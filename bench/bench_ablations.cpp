@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Ablation studies on PPEP's design choices.
+ *
+ * The paper motivates several mechanisms without isolating their
+ * contribution; this bench quantifies each one on a 24-combination
+ * subset (8 per suite, 4-fold CV):
+ *
+ *  A1. PMC multiplexing: 6 physical counters (realistic) vs. a
+ *      hypothetical 12-counter part (no multiplexing) — the paper blames
+ *      multiplexing for the dedup/IS/DC outliers.
+ *  A2. Voltage exponent: the fitted alpha vs. fixed 1.0 / 2.0 / 3.0 —
+ *      how sensitive Eq. 3's cross-VF scaling is to getting alpha right.
+ *  A3. NNLS vs. plain OLS weights: negative "energies" fit VF5 equally
+ *      well but corrupt the voltage extrapolation.
+ *  A4. The Obs.1/2 event predictor vs. naive frequency-linear scaling
+ *      (all event rates ~ f, the assumption of the simple models the
+ *      paper criticises [14, 29]).
+ *  A5. The temperature term of Eq. 2: full Pidle(V, T) vs. a
+ *      temperature-blind Pidle(V) evaluated at the training-mean T.
+ *  A6. Sampling interval: 40 ms / 200 ms / 1 s decision cadence — the
+ *      Sec. IV-E claim that PPEP could sample faster than 200 ms
+ *      without significant overhead.
+ *  A7. Per-CU voltage planes vs. a shared rail: the paper's Sec. V-B
+ *      capping study *assumes* separate planes (like [20, 21]); real
+ *      FX parts share one rail (voltage = max over CUs), which eats
+ *      most of the benefit of per-CU frequency assignments.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "ppep/model/validation.hpp"
+#include "ppep/governor/governor.hpp"
+#include "ppep/governor/ppep_capping.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/util/stats.hpp"
+
+namespace {
+
+using namespace ppep;
+
+/** A diverse 24-combo subset: 8 from each suite. */
+std::vector<const workloads::Combination *>
+subset()
+{
+    std::vector<const workloads::Combination *> out;
+    std::size_t spe = 0, par = 0, npb = 0;
+    for (const auto &c : workloads::allCombinations()) {
+        auto &count =
+            c.suite == workloads::SuiteId::Spec
+                ? spe
+                : (c.suite == workloads::SuiteId::Parsec ? par : npb);
+        if (count < 8) {
+            out.push_back(&c);
+            ++count;
+        }
+    }
+    return out;
+}
+
+/** Mean dynamic/chip estimation AAE over a prepared validator. */
+std::pair<double, double>
+estimationErrors(const model::Validator &v)
+{
+    const auto errors = v.validateEstimation();
+    const auto dyn = model::aggregate(
+        errors, [](const model::ComboError &e) { return e.aae_dynamic; });
+    const auto chip = model::aggregate(
+        errors, [](const model::ComboError &e) { return e.aae_chip; });
+    return {dyn.mean, chip.mean};
+}
+
+/** Mean cross-VF chip prediction error over a prepared validator. */
+double
+crossVfError(const model::Validator &v)
+{
+    const auto errors = v.validateCrossVf();
+    return model::aggregate(errors, [](const model::CrossVfError &e) {
+               return e.err_chip;
+           }).mean;
+}
+
+/** Build + prepare a validator for a config variant. */
+model::Validator
+prepared(const sim::ChipConfig &cfg)
+{
+    model::Validator v(cfg, subset(), bench::kSeed, 4);
+    v.prepare(60);
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ppep;
+    bench::header("Ablation studies on PPEP's design choices",
+                  "design-choice isolation (no direct paper analogue)");
+
+    // ---------------------------------------------------------------- A1
+    std::printf("\nA1. PMC multiplexing (6 counters, extrapolated) vs a "
+                "12-counter part:\n");
+    {
+        // Make sure the rapid-phase programs the paper calls out are in
+        // the validation set alongside the generic subset.
+        auto combos = subset();
+        for (const auto &c : workloads::allCombinations()) {
+            const auto &n = c.name;
+            if (n == "dedup.x1" || n == "dedup.x4" || n == "IS.x1" ||
+                n == "IS.x4" || n == "DC.x1" || n == "DC.x4") {
+                if (std::find(combos.begin(), combos.end(), &c) ==
+                    combos.end())
+                    combos.push_back(&c);
+            }
+        }
+        auto prepare_with = [&](std::size_t counters) {
+            auto cfg = sim::fx8320Config();
+            cfg.pmc_counters = counters;
+            model::Validator v(cfg, combos, bench::kSeed, 4);
+            v.prepare(60);
+            return v;
+        };
+        const auto base = prepare_with(6);
+        const auto wide = prepare_with(12);
+
+        const auto [dyn6, chip6] = estimationErrors(base);
+        const auto [dyn12, chip12] = estimationErrors(wide);
+
+        // Rapid-phase combos suffer most from multiplexing.
+        auto rapid_err = [](const model::Validator &v) {
+            util::RunningStats err;
+            for (const auto &e : v.validateEstimation()) {
+                const auto &n = e.combo->name;
+                if (n.rfind("dedup", 0) == 0 || n.rfind("IS", 0) == 0 ||
+                    n.rfind("DC", 0) == 0)
+                    err.add(e.aae_dynamic);
+            }
+            return err.mean();
+        };
+        util::Table t;
+        t.setHeader({"configuration", "dyn AAE", "chip AAE",
+                     "rapid-phase dyn AAE"});
+        t.addRow({"6 counters (real)", util::Table::pct(dyn6),
+                  util::Table::pct(chip6),
+                  util::Table::pct(rapid_err(base))});
+        t.addRow({"12 counters (no mux)", util::Table::pct(dyn12),
+                  util::Table::pct(chip12),
+                  util::Table::pct(rapid_err(wide))});
+        t.print(std::cout);
+    }
+
+    // --------------------------------------------------------- A2 + A3
+    std::printf("\nA2/A3. Voltage exponent and weight constraints "
+                "(cross-VF chip error):\n");
+    {
+        const auto cfg = sim::fx8320Config();
+        model::Trainer trainer(cfg, bench::kSeed);
+        const auto combos = subset();
+        std::vector<std::size_t> vfs{0, 1, 2, 3, 4};
+        const auto dataset = trainer.collectDataset(combos, vfs, 60);
+        const auto idle = trainer.trainIdle();
+        const double alpha_fit = trainer.estimateAlpha(idle);
+
+        // Shared training rows (top VF) for the variants.
+        std::vector<const model::ComboTrace *> traces;
+        for (const auto &t : dataset)
+            traces.push_back(&t);
+
+        const std::size_t top = cfg.vf_table.top();
+        const double v_top = cfg.vf_table.state(top).voltage;
+        std::vector<model::DynTrainingRow> rows;
+        for (const auto &t : dataset) {
+            if (t.vf_index != top)
+                continue;
+            for (const auto &rec : t.recs) {
+                if (rec.busy_cores == 0)
+                    continue;
+                model::DynTrainingRow row;
+                row.rates_per_s =
+                    model::powerEventRates(rec.pmc, rec.duration_s);
+                row.dynamic_power_w =
+                    rec.sensor_power_w -
+                    idle.predict(v_top, rec.diode_temp_k);
+                rows.push_back(row);
+            }
+        }
+
+        // Cross-VF chip error of a given dynamic model over the dataset.
+        auto cross_err = [&](const model::DynamicPowerModel &dyn) {
+            const model::ChipPowerModel chip(idle, dyn, cfg.vf_table);
+            util::RunningStats err;
+            for (const auto *combo : combos) {
+                std::vector<const model::ComboTrace *> combo_traces(
+                    vfs.size(), nullptr);
+                for (const auto &t : dataset)
+                    if (t.combo == combo)
+                        combo_traces[t.vf_index] = &t;
+                for (std::size_t from = 0; from < vfs.size(); ++from) {
+                    for (std::size_t to = 0; to < vfs.size(); ++to) {
+                        util::RunningStats pred, meas;
+                        for (const auto &rec :
+                             combo_traces[from]->recs) {
+                            if (rec.busy_cores == 0)
+                                continue;
+                            pred.add(chip.predictAt(rec, to).total_w);
+                        }
+                        for (const auto &rec : combo_traces[to]->recs) {
+                            if (rec.busy_cores == 0)
+                                continue;
+                            meas.add(rec.sensor_power_w);
+                        }
+                        err.add(util::absRelErr(pred.mean(),
+                                                meas.mean()));
+                    }
+                }
+            }
+            return err.mean();
+        };
+
+        util::Table t;
+        t.setHeader({"variant", "cross-VF chip error"});
+        for (const double alpha :
+             {alpha_fit, 1.0, 2.0, 3.0}) {
+            const auto dyn =
+                model::DynamicPowerModel::train(rows, v_top, alpha);
+            char label[64];
+            std::snprintf(label, sizeof(label), "alpha = %.2f%s", alpha,
+                          alpha == alpha_fit ? " (fitted)" : "");
+            t.addRow({label, util::Table::pct(cross_err(dyn))});
+        }
+        const auto ols = model::DynamicPowerModel::train(
+            rows, v_top, alpha_fit, /*non_negative=*/false);
+        std::size_t negatives = 0;
+        for (double w : ols.weights())
+            negatives += w < 0.0;
+        t.addRow({"OLS weights (" + std::to_string(negatives) +
+                      " negative)",
+                  util::Table::pct(cross_err(ols))});
+        t.print(std::cout);
+    }
+
+    // ---------------------------------------------------------------- A4
+    std::printf("\nA4. Obs.1/2 event predictor vs naive "
+                "frequency-linear event scaling:\n");
+    {
+        const auto cfg = sim::fx8320Config();
+        const auto v = prepared(cfg);
+        // PPEP's predictor:
+        const double ppep_err = crossVfError(v);
+
+        // Naive variant: every event rate scales ~ f'/f; idle re-priced.
+        util::RunningStats naive_err;
+        const auto &models = v.foldModels(0);
+        for (std::size_t i = 0; i < v.combos().size(); ++i) {
+            std::vector<const model::ComboTrace *> traces(5, nullptr);
+            for (const auto &t : v.dataset())
+                if (t.combo == v.combos()[i])
+                    traces[t.vf_index] = &t;
+            const auto &m = v.foldModels(v.foldOf(i));
+            for (std::size_t from = 0; from < 5; ++from) {
+                for (std::size_t to = 0; to < 5; ++to) {
+                    const double f_from =
+                        cfg.vf_table.state(from).freq_ghz;
+                    const auto &state_to = cfg.vf_table.state(to);
+                    util::RunningStats pred, meas;
+                    for (const auto &rec : traces[from]->recs) {
+                        if (rec.busy_cores == 0)
+                            continue;
+                        auto rates = model::powerEventRates(
+                            rec.pmc, rec.duration_s);
+                        const double scale =
+                            state_to.freq_ghz / f_from;
+                        for (auto &r : rates)
+                            r *= scale;
+                        pred.add(m.idle.predict(state_to.voltage,
+                                                rec.diode_temp_k) +
+                                 m.dynamic.estimate(rates,
+                                                    state_to.voltage));
+                    }
+                    for (const auto &rec : traces[to]->recs) {
+                        if (rec.busy_cores == 0)
+                            continue;
+                        meas.add(rec.sensor_power_w);
+                    }
+                    naive_err.add(util::absRelErr(pred.mean(),
+                                                  meas.mean()));
+                }
+            }
+        }
+        (void)models;
+        util::Table t;
+        t.setHeader({"event prediction", "cross-VF chip error"});
+        t.addRow({"Obs.1/2 + Eq.1 (PPEP)", util::Table::pct(ppep_err)});
+        t.addRow({"all rates ~ f (naive)",
+                  util::Table::pct(naive_err.mean())});
+        t.print(std::cout);
+    }
+
+    // ---------------------------------------------------------------- A5
+    std::printf("\nA5. Idle model temperature term:\n");
+    {
+        const auto cfg = sim::fx8320Config();
+        model::Trainer trainer(cfg, bench::kSeed);
+        const auto idle = trainer.trainIdle();
+
+        // Temperature-blind variant: evaluate at a fixed mid-range T.
+        const double t_fixed = 322.0;
+        model::Trainer validate(cfg, bench::kSeed + 9);
+        util::RunningStats err_full, err_blind;
+        for (std::size_t vf = 0; vf < cfg.vf_table.size(); ++vf) {
+            const auto trace = validate.collectCoolingTrace(vf, 200,
+                                                            350);
+            for (const auto &s : trace.idle_samples) {
+                err_full.add(util::absRelErr(
+                    idle.predict(s.voltage, s.temp_k), s.power_w));
+                err_blind.add(util::absRelErr(
+                    idle.predict(s.voltage, t_fixed), s.power_w));
+            }
+        }
+        util::Table t;
+        t.setHeader({"idle model", "AAE over cooling traces"});
+        t.addRow({"Pidle(V, T) (Eq. 2)",
+                  util::Table::pct(err_full.mean())});
+        t.addRow({"Pidle(V) at fixed T",
+                  util::Table::pct(err_blind.mean())});
+        t.print(std::cout);
+    }
+
+    // ---------------------------------------------------------------- A6
+    std::printf("\nA6. Sampling interval (Sec. IV-E: 'PPEP can also "
+                "sample faster'):\n");
+    {
+        // One model stack trained at the default 200 ms cadence; event
+        // rates are per-second, so the models transfer across interval
+        // lengths. Shorter intervals react faster but see noisier
+        // multiplexed counts and more phase-boundary pairs.
+        const auto base_cfg = sim::fx8320Config();
+        model::Trainer trainer(base_cfg, bench::kSeed);
+        std::vector<const workloads::Combination *> training;
+        for (const auto &c : workloads::allCombinations())
+            if (c.instances.size() == 1 && training.size() < 20)
+                training.push_back(&c);
+        const auto models = trainer.trainAll(training);
+
+        util::Table t;
+        t.setHeader({"interval", "next-interval energy AAE",
+                     "exploration overhead share"});
+        for (const std::size_t ticks : {2u, 10u, 50u}) {
+            auto cfg = base_cfg;
+            cfg.ticks_per_interval = ticks;
+            util::RunningStats err;
+            for (const char *prog :
+                 {"433.milc", "458.sjeng", "403.gcc", "CG",
+                  "blackscholes", "x264"}) {
+                sim::Chip chip(cfg, bench::kSeed + ticks);
+                workloads::launch(chip, workloads::replicate(prog, 2),
+                                  true);
+                trace::Collector col(chip);
+                col.collect(3);
+                auto prev = col.collectInterval();
+                for (int i = 0; i < 40; ++i) {
+                    const auto next = col.collectInterval();
+                    const double est =
+                        models.chip.estimate(prev).total_w *
+                        prev.duration_s;
+                    const double meas =
+                        next.sensor_power_w * next.duration_s;
+                    err.add(util::absRelErr(est, meas));
+                    prev = next;
+                }
+            }
+            // ~4 us for a full 5-state exploration (bench_overhead).
+            const double overhead =
+                4.1e-6 / (cfg.tick_s * static_cast<double>(ticks));
+            char label[32];
+            std::snprintf(label, sizeof(label), "%.0f ms",
+                          cfg.tick_s * static_cast<double>(ticks) *
+                              1e3);
+            char oh[32];
+            std::snprintf(oh, sizeof(oh), "%.4f%%", overhead * 100.0);
+            t.addRow({label, util::Table::pct(err.mean()), oh});
+        }
+        t.print(std::cout);
+    }
+
+    // ---------------------------------------------------------------- A7
+    std::printf("\nA7. Per-CU voltage planes vs a shared rail "
+                "(PPEP one-step capping):\n");
+    {
+        auto run_capping = [&](bool per_cu_voltage) {
+            auto cfg = sim::fx8320Config();
+            cfg.per_cu_voltage = per_cu_voltage;
+            model::Trainer trainer(cfg, bench::kSeed);
+            std::vector<const workloads::Combination *> training;
+            for (const auto &c : workloads::allCombinations())
+                if (c.instances.size() == 1 && training.size() < 20)
+                    training.push_back(&c);
+            const auto models = trainer.trainAll(training);
+            const model::Ppep ppep(cfg, models.chip, models.pg);
+
+            sim::Chip chip(cfg, bench::kSeed + 3);
+            chip.setPowerGatingEnabled(true);
+            chip.setJob(0, workloads::Suite::byName("429.mcf")
+                               .makeLoopingJob());
+            chip.setJob(2, workloads::Suite::byName("458.sjeng")
+                               .makeLoopingJob());
+            chip.setJob(4, workloads::Suite::byName("416.gamess")
+                               .makeLoopingJob());
+            chip.setJob(6, workloads::Suite::byName("swaptions")
+                               .makeLoopingJob());
+
+            governor::PpepCappingGovernor gov(cfg, ppep);
+            governor::GovernorLoop loop(chip, gov);
+            const auto steps =
+                loop.run(80, governor::CapSchedule(55.0));
+            double inst = 0.0;
+            for (const auto &s : steps)
+                inst += s.rec.pmcTotal(sim::Event::RetiredInst);
+            return std::pair{inst / (80.0 * 0.2) / 1e9,
+                             governor::capAdherence(steps)};
+        };
+        const auto [gips_planes, adh_planes] = run_capping(true);
+        const auto [gips_shared, adh_shared] = run_capping(false);
+        util::Table t;
+        t.setHeader({"hardware", "throughput (GIPS)",
+                     "cap adherence"});
+        t.addRow({"per-CU voltage planes (paper assumption)",
+                  util::Table::num(gips_planes, 2),
+                  util::Table::pct(adh_planes)});
+        t.addRow({"shared voltage rail (real FX-8320)",
+                  util::Table::num(gips_shared, 2),
+                  util::Table::pct(adh_shared)});
+        t.print(std::cout);
+        std::printf("(the rail-aware governor prices every CU at the "
+                    "highest requested voltage on shared-rail parts, "
+                    "trading throughput for cap safety)\n");
+    }
+
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries.
+ *
+ * Each binary regenerates one table/figure from the paper's evaluation
+ * and prints the simulated result next to the paper's reference number
+ * where one exists. The default seed makes every bench reproducible.
+ */
+
+#ifndef PPEP_BENCH_COMMON_HPP
+#define PPEP_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ppep/model/trainer.hpp"
+#include "ppep/util/table.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace ppep::bench {
+
+/** Seed shared by every bench binary. */
+inline constexpr std::uint64_t kSeed = 2014; // MICRO 2014
+
+/** Print a bench header. */
+inline void
+header(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================="
+                "=============================\n");
+}
+
+/** All 152 combination pointers. */
+inline std::vector<const workloads::Combination *>
+allCombos()
+{
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations())
+        out.push_back(&c);
+    return out;
+}
+
+/** A diverse training set: every single-program combination (49). */
+inline std::vector<const workloads::Combination *>
+singleProgramCombos()
+{
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations())
+        if (c.instances.size() == 1)
+            out.push_back(&c);
+    return out;
+}
+
+/** Train the full model stack once for a Sec. V style bench. */
+inline model::TrainedModels
+trainModels(const sim::ChipConfig &cfg)
+{
+    model::Trainer trainer(cfg, kSeed);
+    return trainer.trainAll(singleProgramCombos());
+}
+
+} // namespace ppep::bench
+
+#endif // PPEP_BENCH_COMMON_HPP

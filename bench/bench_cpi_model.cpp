@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sec. III in-text result: LL-MAB CPI predictor accuracy.
+ *
+ * All 52 single-threaded benchmarks run at VF5 and VF2; traces are
+ * aligned by retired instructions and split into equal-instruction
+ * segments; Eq. 1 predicts each segment's cycle count from the other
+ * trace's counters.
+ *
+ * Paper: 3.4% average error predicting VF5 -> VF2 (sd 4.6%) and 3.0%
+ * predicting VF2 -> VF5 (sd 3.2%).
+ */
+
+#include "bench_common.hpp"
+#include "ppep/sim/chip.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/trace/segmenter.hpp"
+#include "ppep/util/stats.hpp"
+
+namespace {
+
+using namespace ppep;
+
+std::vector<trace::IntervalRecord>
+runSingle(const workloads::BenchmarkProfile &prof, std::size_t vf)
+{
+    sim::Chip chip(sim::fx8320Config(),
+                   bench::kSeed ^ std::hash<std::string>{}(prof.name));
+    chip.setAllVf(vf);
+    chip.setJob(0, prof.makeJob());
+    trace::Collector col(chip);
+    auto recs = col.collectUntilFinished(400);
+    while (!recs.empty() && recs.back().busy_cores == 0)
+        recs.pop_back();
+    return recs;
+}
+
+/** Average absolute segment error predicting from vf_a to vf_b. */
+double
+segmentError(const workloads::BenchmarkProfile &prof, std::size_t vf_a,
+             std::size_t vf_b)
+{
+    const auto cfg = sim::fx8320Config();
+    const trace::InstructionTimeline tl_a(runSingle(prof, vf_a), 0,
+                                          /*use_pmc=*/true);
+    const trace::InstructionTimeline tl_b(runSingle(prof, vf_b), 0,
+                                          /*use_pmc=*/true);
+    const double total = std::min(tl_a.totalInstructions(),
+                                  tl_b.totalInstructions());
+    const double fa = cfg.vf_table.state(vf_a).freq_ghz;
+    const double fb = cfg.vf_table.state(vf_b).freq_ghz;
+    const int n_segments = 12;
+    const double width = total / n_segments;
+
+    util::RunningStats err;
+    for (int i = 0; i < n_segments; ++i) {
+        const double s = width * i, e = width * (i + 1);
+        const double cyc_a = tl_a.cyclesAt(e) - tl_a.cyclesAt(s);
+        const double mab_a = tl_a.mabCyclesAt(e) - tl_a.mabCyclesAt(s);
+        const double cyc_b = tl_b.cyclesAt(e) - tl_b.cyclesAt(s);
+        if (cyc_b <= 0.0)
+            continue;
+        const double pred = (cyc_a - mab_a) + mab_a * fb / fa; // Eq. 1
+        err.add(std::abs(pred - cyc_b) / cyc_b);
+    }
+    return err.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ppep;
+    bench::header(
+        "CPI predictor accuracy (52 single-threaded benchmarks, "
+        "instruction-aligned segments)",
+        "Sec. III text: VF5->VF2 err 3.4% (sd 4.6%), VF2->VF5 err 3.0% "
+        "(sd 3.2%)");
+
+    std::vector<double> down_errs, up_errs;
+    util::Table per_bench("\nPer-benchmark segment error:");
+    per_bench.setHeader({"benchmark", "VF5->VF2", "VF2->VF5"});
+    for (const auto &prof : workloads::Suite::all()) {
+        // VF5 is index 4, VF2 is index 1.
+        const double down = segmentError(prof, 4, 1);
+        const double up = segmentError(prof, 1, 4);
+        down_errs.push_back(down);
+        up_errs.push_back(up);
+        per_bench.addRow({prof.name, util::Table::pct(down),
+                          util::Table::pct(up)});
+    }
+    per_bench.print(std::cout);
+
+    util::Table summary("\nSummary (paper in parentheses):");
+    summary.setHeader({"direction", "avg error", "std dev", "paper"});
+    summary.addRow({"VF5 -> VF2", util::Table::pct(util::mean(down_errs)),
+                    util::Table::pct(util::stddevPop(down_errs)),
+                    "3.4% (sd 4.6%)"});
+    summary.addRow({"VF2 -> VF5", util::Table::pct(util::mean(up_errs)),
+                    util::Table::pct(util::stddevPop(up_errs)),
+                    "3.0% (sd 3.2%)"});
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 10: per-thread energy split into core and NB parts, and the NB's
+ * share, for 433.milc and 458.sjeng across VF states and 1..4
+ * instances.
+ *
+ * Paper: the NB consumes ~60% of a memory-bound program's energy on
+ * average (minimum 45%) and ~25% of a CPU-bound one's (minimum 10%);
+ * the share grows with fewer busy CUs and at lower core VF states.
+ */
+
+#include "bench_common.hpp"
+#include "ppep/governor/energy_explorer.hpp"
+#include "ppep/util/stats.hpp"
+
+int
+main()
+{
+    using namespace ppep;
+    bench::header(
+        "Fig. 10: NB share of per-thread energy",
+        "paper Fig. 10 (memory-bound avg ~60%, min 45%; CPU-bound avg "
+        "~25%, min 10%; share grows at low VF and few instances)");
+
+    const auto cfg = sim::fx8320Config();
+    const auto models = bench::trainModels(cfg);
+    const model::Ppep ppep(cfg, models.chip, models.pg);
+    const governor::EnergyExplorer explorer(cfg, ppep, bench::kSeed);
+
+    util::RunningStats milc_share, sjeng_share;
+    double share_x1_vf1 = 0.0, share_x1_vf5 = 0.0;
+    double share_x4_vf5 = 0.0;
+
+    for (const char *prog : {"433.milc", "458.sjeng"}) {
+        const bool is_milc = std::string(prog) == "433.milc";
+        util::Table fig("\n" + std::string(prog) +
+                        ": per-thread energy split (J) and NB ratio:");
+        fig.setHeader({"mode", "VF", "core (J)", "NB (J)", "NB ratio"});
+        for (std::size_t copies = 1; copies <= 4; ++copies) {
+            const auto pts = explorer.explore(prog, copies);
+            for (std::size_t vf = cfg.vf_table.size(); vf-- > 0;) {
+                const auto &p = pts[vf];
+                const double ratio = p.nb_energy_j / p.energy_j;
+                fig.addRow({std::string(prog).substr(0, 3) + " x" +
+                                std::to_string(copies),
+                            cfg.vf_table.name(vf),
+                            util::Table::num(p.core_energy_j, 1),
+                            util::Table::num(p.nb_energy_j, 1),
+                            util::Table::pct(ratio)});
+                (is_milc ? milc_share : sjeng_share).add(ratio);
+                if (is_milc && copies == 1 && vf == 0)
+                    share_x1_vf1 = ratio;
+                if (is_milc && copies == 1 && vf == 4)
+                    share_x1_vf5 = ratio;
+                if (is_milc && copies == 4 && vf == 4)
+                    share_x4_vf5 = ratio;
+            }
+        }
+        fig.print(std::cout);
+    }
+
+    util::Table summary("\nSummary:");
+    summary.setHeader({"program", "avg NB share", "min", "max",
+                       "paper"});
+    summary.addRow({"433.milc (memory-bound)",
+                    util::Table::pct(milc_share.mean()),
+                    util::Table::pct(milc_share.minValue()),
+                    util::Table::pct(milc_share.maxValue()),
+                    "avg ~60%, min 45%"});
+    summary.addRow({"458.sjeng (CPU-bound)",
+                    util::Table::pct(sjeng_share.mean()),
+                    util::Table::pct(sjeng_share.minValue()),
+                    util::Table::pct(sjeng_share.maxValue()),
+                    "avg ~25%, min 10%"});
+    summary.print(std::cout);
+
+    std::printf("\nmemory-bound share exceeds CPU-bound share: %s\n",
+                milc_share.mean() > sjeng_share.mean()
+                    ? "reproduced"
+                    : "NOT reproduced");
+    std::printf("share grows at lower core VF (milc x1: VF1 %.0f%% vs "
+                "VF5 %.0f%%): %s\n",
+                share_x1_vf1 * 100.0, share_x1_vf5 * 100.0,
+                share_x1_vf1 > share_x1_vf5 ? "reproduced"
+                                            : "NOT reproduced");
+    std::printf("share grows with fewer busy CUs (milc VF5: x1 %.0f%% "
+                "vs x4 %.0f%%): %s\n",
+                share_x1_vf5 * 100.0, share_x4_vf5 * 100.0,
+                share_x1_vf5 > share_x4_vf5 ? "reproduced"
+                                            : "NOT reproduced");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 11: the NB-DVFS what-if. A hypothetical low NB state (0.940 V,
+ * 1.1 GHz — 20% voltage and 50% frequency drop) is assumed to cut NB
+ * idle power 40% and NB dynamic power 36% while stretching leading-load
+ * cycles 50%; PPEP re-evaluates the energy/performance space for
+ * 433.milc and 458.sjeng at x1..x4.
+ *
+ * Paper: extra energy savings of 26/23/21/20% (milc x1..x4) and
+ * 25/19/16/14% (sjeng), average 20.4%; speedups at similar energy of
+ * 1.54/1.30/1.27/1.25x (milc) and 1.99/1.19/1.19/1.20x (sjeng),
+ * average 1.37x.
+ */
+
+#include "bench_common.hpp"
+#include "ppep/governor/energy_explorer.hpp"
+#include "ppep/util/stats.hpp"
+
+int
+main()
+{
+    using namespace ppep;
+    bench::header(
+        "Fig. 11: energy savings and speedup from a scalable NB",
+        "paper Fig. 11 (savings avg 20.4%, speedup avg 1.37x)");
+
+    const auto cfg = sim::fx8320Config();
+    const auto models = bench::trainModels(cfg);
+    const model::Ppep ppep(cfg, models.chip, models.pg);
+    const governor::EnergyExplorer explorer(cfg, ppep, bench::kSeed);
+
+    const auto &f = explorer.factors();
+    std::printf("\nassumed NB VF_lo factors (Sec. V-C2): idle x%.2f, "
+                "dynamic x%.2f, leading-load cycles x%.2f\n",
+                f.idle_scale, f.dynamic_scale, f.mcpi_scale);
+
+    const char *paper_saving[2][4] = {{"26%", "23%", "21%", "20%"},
+                                      {"25%", "19%", "16%", "14%"}};
+    const char *paper_speedup[2][4] = {
+        {"1.54x", "1.30x", "1.27x", "1.25x"},
+        {"1.99x", "1.19x", "1.19x", "1.20x"}};
+
+    util::Table fig("\nPer-mode what-if results:");
+    fig.setHeader({"mode", "energy saving", "paper", "speedup",
+                   "paper"});
+    util::RunningStats savings, speedups;
+    const char *progs[] = {"433.milc", "458.sjeng"};
+    for (int pi = 0; pi < 2; ++pi) {
+        for (std::size_t copies = 1; copies <= 4; ++copies) {
+            const auto pts =
+                explorer.explore(progs[pi], copies, true);
+            const auto s = governor::EnergyExplorer::summarize(pts);
+            savings.add(s.energy_saving);
+            speedups.add(s.speedup);
+            fig.addRow({std::string(progs[pi]).substr(0, 3) + " x" +
+                            std::to_string(copies),
+                        util::Table::pct(s.energy_saving),
+                        paper_saving[pi][copies - 1],
+                        util::Table::num(s.speedup, 2) + "x",
+                        paper_speedup[pi][copies - 1]});
+        }
+    }
+    fig.print(std::cout);
+
+    std::printf("\nAverage extra energy saving: %.1f%% (paper: "
+                "20.4%%)\n",
+                savings.mean() * 100.0);
+    std::printf("Average speedup at similar energy: %.2fx (paper: "
+                "1.37x)\n",
+                speedups.mean());
+    std::printf("NB scaling helps every mode: %s\n",
+                savings.minValue() > 0.0 && speedups.minValue() >= 1.0
+                    ? "reproduced"
+                    : "NOT reproduced");
+    return 0;
+}

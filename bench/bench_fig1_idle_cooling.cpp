@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fig. 1: chip power and temperature during the heat-then-cool protocol
+ * at VF5, plus the Sec. IV-A idle-model accuracy numbers.
+ *
+ * Paper: exponential heat-up/cool-down; idle model AAE per VF state of
+ * 2%/3%/4%/3%/3% (VF5 down to VF1) on the FX-8320 and 2-3% on the
+ * Phenom II.
+ */
+
+#include "bench_common.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/util/csv.hpp"
+#include "ppep/util/stats.hpp"
+
+namespace {
+
+using namespace ppep;
+
+/** Per-VF idle model AAE against fresh cooling traces. */
+std::vector<double>
+idleAae(const sim::ChipConfig &cfg, const model::IdlePowerModel &m,
+        std::uint64_t seed)
+{
+    model::Trainer validate(cfg, seed);
+    std::vector<double> out;
+    for (std::size_t vf = 0; vf < cfg.vf_table.size(); ++vf) {
+        const auto trace = validate.collectCoolingTrace(vf, 250, 400);
+        util::RunningStats err;
+        for (const auto &s : trace.idle_samples)
+            err.add(util::absRelErr(m.predict(s.voltage, s.temp_k),
+                                    s.power_w));
+        out.push_back(err.mean());
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ppep;
+    bench::header(
+        "Fig. 1: idle power & temperature during heat/cool at VF5 + "
+        "idle model accuracy",
+        "paper Fig. 1 and Sec. IV-A (FX-8320 AAE 2-4% per VF; "
+        "Phenom II 2-3%)");
+
+    const auto cfg = sim::fx8320Config();
+    model::Trainer trainer(cfg, bench::kSeed);
+
+    // The Fig. 1 trace itself (heat 500 intervals, cool 700).
+    const auto trace = trainer.collectCoolingTrace(cfg.vf_table.top());
+    util::CsvWriter csv("fig1_idle_cooling.csv");
+    csv.writeRow(std::vector<std::string>{"step", "power_w", "temp_k",
+                                          "phase"});
+    double peak_power = 0.0;
+    for (std::size_t i = 0; i < trace.power_curve_w.size(); ++i) {
+        peak_power = std::max(peak_power, trace.power_curve_w[i]);
+        csv.writeRow(std::vector<double>{
+            static_cast<double>(i), trace.power_curve_w[i],
+            trace.temp_curve_k[i],
+            i < trace.cool_start ? 1.0 : 0.0});
+    }
+
+    util::Table curve(
+        "\nSampled points of the heat/cool trace (full series in "
+        "fig1_idle_cooling.csv; power normalised to the heated peak):");
+    curve.setHeader({"step (200ms)", "phase", "norm. power", "temp (K)"});
+    for (std::size_t i = 0; i < trace.power_curve_w.size();
+         i += trace.power_curve_w.size() / 24) {
+        curve.addRow({std::to_string(i),
+                      i < trace.cool_start ? "heating" : "cooling",
+                      util::Table::num(trace.power_curve_w[i] /
+                                       peak_power, 3),
+                      util::Table::num(trace.temp_curve_k[i], 1)});
+    }
+    curve.print(std::cout);
+
+    // Idle model accuracy per VF on both platforms.
+    const auto idle_fx = trainer.trainIdle();
+    const auto aae_fx = idleAae(cfg, idle_fx, bench::kSeed + 1);
+
+    const auto cfg_ph = sim::phenomIIConfig();
+    model::Trainer trainer_ph(cfg_ph, bench::kSeed);
+    const auto idle_ph = trainer_ph.trainIdle();
+    const auto aae_ph = idleAae(cfg_ph, idle_ph, bench::kSeed + 1);
+
+    util::Table acc("\nIdle power model AAE per VF state:");
+    acc.setHeader({"platform", "VF state", "AAE", "paper"});
+    const char *paper_fx[] = {"3%", "3%", "4%", "3%", "2%"}; // VF1..VF5
+    for (std::size_t vf = cfg.vf_table.size(); vf-- > 0;) {
+        acc.addRow({"FX-8320", cfg.vf_table.name(vf),
+                    util::Table::pct(aae_fx[vf]), paper_fx[vf]});
+    }
+    const char *paper_ph[] = {"2%", "2%", "2%", "3%"}; // VF1..VF4
+    for (std::size_t vf = cfg_ph.vf_table.size(); vf-- > 0;) {
+        acc.addRow({"Phenom II X6", cfg_ph.vf_table.name(vf),
+                    util::Table::pct(aae_ph[vf]), paper_ph[vf]});
+    }
+    acc.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fig. 2: 4-fold cross-validation error of the dynamic power model (a)
+ * and the full-chip power model (b), per suite and per VF state, over
+ * all 152 benchmark combinations.
+ *
+ * Paper: dynamic model overall AAE 10.6% (per-VF 8.9/8.4/9.5/12.0/14.4%
+ * from VF5 down to VF1, avg sd 5.8%, outliers in dedup/IS/DC up to
+ * 49%); chip model overall 4.6% with avg sd 2.8%.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "ppep/model/validation.hpp"
+#include "ppep/util/stats.hpp"
+
+namespace {
+
+using namespace ppep;
+
+void
+printFig(const std::vector<model::ComboError> &errors,
+         bool dynamic_model, const sim::ChipConfig &cfg)
+{
+    const auto metric = [dynamic_model](const model::ComboError &e) {
+        return dynamic_model ? e.aae_dynamic : e.aae_chip;
+    };
+
+    util::Table table;
+    table.setHeader({"VF state", "suite", "avg AAE", "std dev", "N"});
+    const workloads::SuiteId suites[] = {workloads::SuiteId::Spec,
+                                         workloads::SuiteId::Parsec,
+                                         workloads::SuiteId::Npb};
+    util::RunningStats overall;
+    for (std::size_t vf = cfg.vf_table.size(); vf-- > 0;) {
+        std::vector<model::ComboError> at_vf;
+        for (const auto &e : errors)
+            if (e.vf_index == vf)
+                at_vf.push_back(e);
+        for (const auto suite : suites) {
+            const auto agg = model::aggregate(at_vf, metric, &suite);
+            table.addRow({cfg.vf_table.name(vf),
+                          workloads::suiteLabel(suite),
+                          util::Table::pct(agg.mean),
+                          util::Table::pct(agg.stddev),
+                          std::to_string(agg.count)});
+        }
+        const auto all = model::aggregate(at_vf, metric);
+        table.addRow({cfg.vf_table.name(vf), "ALL",
+                      util::Table::pct(all.mean),
+                      util::Table::pct(all.stddev),
+                      std::to_string(all.count)});
+        for (const auto &e : at_vf)
+            overall.add(metric(e));
+    }
+    table.print(std::cout);
+    std::printf("Overall average AAE: %.1f%%   (paper: %s)\n",
+                overall.mean() * 100.0,
+                dynamic_model ? "10.6%" : "4.6% with avg sd 2.8%");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ppep;
+    bench::header(
+        "Fig. 2: validation error of the dynamic (a) and chip (b) power "
+        "models, 152 combinations, 4-fold CV",
+        "paper Fig. 2 (dynamic avg 10.6%; chip avg 4.6%, sd 2.8%)");
+
+    const auto cfg = sim::fx8320Config();
+    model::Validator validator(cfg, bench::allCombos(), bench::kSeed, 4);
+    std::printf("collecting 152 combinations x 5 VF states and "
+                "training fold models...\n");
+    validator.prepare();
+    const auto errors = validator.validateEstimation();
+
+    std::printf("\n--- Fig. 2(a): dynamic power model ---\n");
+    printFig(errors, true, cfg);
+    std::printf("\n--- Fig. 2(b): chip power model ---\n");
+    printFig(errors, false, cfg);
+
+    // The paper calls out dedup / IS / DC as multiplexing outliers.
+    std::printf("\nLargest per-combination dynamic-model AAEs "
+                "(paper: outliers up to 49%% in DC, IS, dedup):\n");
+    auto sorted = errors;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.aae_dynamic > b.aae_dynamic;
+              });
+    util::Table outliers;
+    outliers.setHeader({"combination", "VF", "dynamic AAE"});
+    for (std::size_t i = 0; i < 8 && i < sorted.size(); ++i) {
+        outliers.addRow({sorted[i].combo->name,
+                         cfg.vf_table.name(sorted[i].vf_index),
+                         util::Table::pct(sorted[i].aae_dynamic)});
+    }
+    outliers.print(std::cout);
+
+    // In-text claim: errors grow toward VF1 because the weights were
+    // trained at VF5 and low states have small absolute power.
+    const auto at = [&](std::size_t vf) {
+        std::vector<model::ComboError> v;
+        for (const auto &e : errors)
+            if (e.vf_index == vf)
+                v.push_back(e);
+        return model::aggregate(v, [](const model::ComboError &e) {
+            return e.aae_dynamic;
+        }).mean;
+    };
+    std::printf("\nVF5 dynamic AAE %.1f%% vs VF1 %.1f%% "
+                "(paper: 8.9%% vs 14.4%% — grows toward VF1: %s)\n",
+                at(4) * 100.0, at(0) * 100.0,
+                at(0) > at(4) ? "reproduced" : "NOT reproduced");
+    return 0;
+}

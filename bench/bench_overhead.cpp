@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Sec. IV-E: PPEP runtime overhead. The paper reports "negligible
+ * overhead at our 200 ms sampling rate" for the user-level daemon; this
+ * google-benchmark binary measures what one full decision actually
+ * costs: reading an interval's counters into predictions at every VF
+ * state, plus the cost of each model component in isolation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "ppep/governor/ppep_capping.hpp"
+#include "ppep/model/ppep.hpp"
+#include "ppep/trace/collector.hpp"
+
+namespace {
+
+using namespace ppep;
+
+/** Trained models + a representative interval, built once. */
+struct Context
+{
+    sim::ChipConfig cfg = sim::fx8320Config();
+    model::TrainedModels models;
+    model::Ppep ppep;
+    trace::IntervalRecord rec;
+
+    Context()
+        : models([this] {
+              model::Trainer trainer(cfg, bench::kSeed);
+              // A compact training set keeps benchmark startup quick.
+              auto combos = bench::singleProgramCombos();
+              combos.resize(12);
+              return trainer.trainAll(combos);
+          }()),
+          ppep(cfg, models.chip, models.pg)
+    {
+        sim::Chip chip(cfg, bench::kSeed);
+        workloads::launch(chip, workloads::replicate("433.milc", 4),
+                          true);
+        trace::Collector col(chip);
+        col.collect(3);
+        rec = col.collectInterval();
+    }
+
+    static const Context &
+    get()
+    {
+        static const Context ctx;
+        return ctx;
+    }
+};
+
+void
+BM_FullExploration(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    for (auto _ : state) {
+        auto preds = ctx.ppep.explore(ctx.rec);
+        benchmark::DoNotOptimize(preds);
+    }
+}
+BENCHMARK(BM_FullExploration);
+
+void
+BM_SingleVfPrediction(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    for (auto _ : state) {
+        auto pred = ctx.ppep.predictVf(ctx.rec, 0);
+        benchmark::DoNotOptimize(pred);
+    }
+}
+BENCHMARK(BM_SingleVfPrediction);
+
+void
+BM_EventPrediction(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    for (auto _ : state) {
+        auto pred = model::EventPredictor::predict(
+            ctx.rec.pmc[0], ctx.rec.duration_s, 3.5, 1.4);
+        benchmark::DoNotOptimize(pred);
+    }
+}
+BENCHMARK(BM_EventPrediction);
+
+void
+BM_IdleModelEvaluation(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    for (auto _ : state) {
+        double p = ctx.models.idle.predict(1.128, 325.0);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_IdleModelEvaluation);
+
+void
+BM_DynamicModelEvaluation(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    const auto rates =
+        model::powerEventRates(ctx.rec.pmc, ctx.rec.duration_s);
+    for (auto _ : state) {
+        double p = ctx.models.dynamic.estimate(rates, 1.128);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_DynamicModelEvaluation);
+
+void
+BM_CappingDecision(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    auto cfg = ctx.cfg;
+    cfg.per_cu_voltage = true;
+    governor::PpepCappingGovernor gov(cfg, ctx.ppep);
+    for (auto _ : state) {
+        auto vf = gov.decide(ctx.rec, 60.0);
+        benchmark::DoNotOptimize(vf);
+    }
+}
+BENCHMARK(BM_CappingDecision);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+#include "ppep/governor/energy_explorer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "ppep/model/event_predictor.hpp"
+#include "ppep/sim/chip.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/util/logging.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace ppep::governor {
+
+EnergyExplorer::EnergyExplorer(sim::ChipConfig cfg,
+                               const model::Ppep &ppep,
+                               std::uint64_t seed)
+    : cfg_(std::move(cfg)), ppep_(ppep), seed_(seed)
+{
+    PPEP_ASSERT(cfg_.pg_supported,
+                "Sec. V-C experiments run with power gating enabled");
+    PPEP_ASSERT(ppep_.pgModel().trained(),
+                "energy exploration needs the PG idle model");
+}
+
+std::vector<ExplorePoint>
+EnergyExplorer::explore(const std::string &program, std::size_t copies,
+                        bool include_nb_low) const
+{
+    // Measure once at the top VF state with PG enabled.
+    sim::Chip chip(cfg_, seed_ ^ std::hash<std::string>{}(program) ^
+                             (copies * 0x9E37ULL));
+    chip.setAllVf(cfg_.vf_table.top());
+    chip.setPowerGatingEnabled(true);
+    chip.setTemperatureK(cfg_.thermal.ambient_k + 12.0);
+    const auto combo = workloads::replicate(program, copies);
+    workloads::launch(chip, combo, /*looping=*/false);
+
+    trace::Collector col(chip);
+    auto recs = col.collectUntilFinished(400);
+    while (!recs.empty() && recs.back().busy_cores == 0)
+        recs.pop_back();
+    PPEP_ASSERT(!recs.empty(), "exploration run produced no intervals");
+
+    const double f_top =
+        cfg_.vf_table.state(cfg_.vf_table.top()).freq_ghz;
+    const auto &dyn_model = ppep_.powerModel().dynamicModel();
+    const auto &pg = ppep_.pgModel();
+
+    std::vector<ExplorePoint> out;
+    for (const bool nb_low : {false, true}) {
+        if (nb_low && !include_nb_low)
+            break;
+        for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf) {
+            const sim::VfState &target = cfg_.vf_table.state(vf);
+            const double mcpi_scale =
+                nb_low ? factors_.mcpi_scale : 1.0;
+            const double nb_dyn_scale =
+                nb_low ? factors_.dynamic_scale : 1.0;
+            const double nb_idle_scale =
+                nb_low ? factors_.idle_scale : 1.0;
+
+            // Accumulate predicted per-thread energy/time over the run.
+            double total_core_j = 0.0, total_nb_j = 0.0;
+            double total_time_s = 0.0;
+            for (const auto &rec : recs) {
+                if (rec.busy_cores == 0)
+                    continue;
+                // Busy-core topology of this interval (for Eq. 7).
+                std::vector<std::size_t> busy_per_cu(cfg_.n_cus, 0);
+                std::size_t busy_total = 0;
+                for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
+                    if (rec.pmc[c][sim::eventIndex(
+                            sim::Event::RetiredInst)] > 0.0) {
+                        ++busy_per_cu[c / cfg_.cores_per_cu];
+                        ++busy_total;
+                    }
+                }
+                if (busy_total == 0)
+                    continue;
+
+                for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
+                    const double inst = rec.pmc[c][sim::eventIndex(
+                        sim::Event::RetiredInst)];
+                    if (inst <= 0.0)
+                        continue;
+                    const auto pred = model::EventPredictor::predict(
+                        rec.pmc[c], rec.duration_s, f_top,
+                        target.freq_ghz, mcpi_scale);
+                    if (pred.ips <= 0.0)
+                        continue;
+                    // This interval's work takes this long at the target.
+                    const double t = inst / pred.ips;
+
+                    std::array<double, sim::kNumPowerEvents> rates{};
+                    for (std::size_t i = 0; i < sim::kNumPowerEvents;
+                         ++i)
+                        rates[i] = pred.rates_per_s[i];
+                    double core_w = 0.0, nb_w = 0.0;
+                    dyn_model.split(rates, target.voltage, core_w,
+                                    nb_w);
+                    nb_w *= nb_dyn_scale;
+
+                    // Eq. 7 idle attribution (PG enabled).
+                    const std::size_t cu = c / cfg_.cores_per_cu;
+                    const double m =
+                        static_cast<double>(busy_per_cu[cu]);
+                    const double n = static_cast<double>(busy_total);
+                    const auto &comp = pg.components(vf);
+                    const double cu_share = comp.p_cu / m;
+                    const double nb_share =
+                        (comp.p_nb * nb_idle_scale + comp.p_base) / n;
+
+                    total_core_j += (core_w + cu_share) * t;
+                    total_nb_j += (nb_w + nb_share) * t;
+                    total_time_s += t;
+                }
+            }
+
+            ExplorePoint p;
+            p.vf_index = vf;
+            p.nb_low = nb_low;
+            const double threads = static_cast<double>(copies);
+            p.core_energy_j = total_core_j / threads;
+            p.nb_energy_j = total_nb_j / threads;
+            p.energy_j = p.core_energy_j + p.nb_energy_j;
+            p.time_s = total_time_s / threads;
+            p.edp = p.energy_j * p.time_s;
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+NbWhatIfSummary
+EnergyExplorer::summarize(const std::vector<ExplorePoint> &points,
+                          double energy_tolerance)
+{
+    NbWhatIfSummary s;
+    double best_hi = std::numeric_limits<double>::max();
+    double best_lo = std::numeric_limits<double>::max();
+    const ExplorePoint *baseline = nullptr; // core VF1 + NB hi
+    for (const auto &p : points) {
+        if (p.nb_low)
+            best_lo = std::min(best_lo, p.energy_j);
+        else
+            best_hi = std::min(best_hi, p.energy_j);
+        if (!p.nb_low && p.vf_index == 0)
+            baseline = &p;
+    }
+    PPEP_ASSERT(baseline != nullptr &&
+                best_lo != std::numeric_limits<double>::max(),
+                "summarize needs NB-low points and the VF1/NB-hi point");
+
+    // Fig. 11a: extra saving the NB-low state unlocks at the
+    // energy-optimal operating point.
+    s.energy_saving = 1.0 - best_lo / best_hi;
+
+    // Fig. 11b: fastest NB-low point whose energy stays "similar" to
+    // the core-VF1/NB-hi baseline.
+    const double budget = baseline->energy_j * energy_tolerance;
+    double best_time = baseline->time_s;
+    for (const auto &p : points) {
+        if (!p.nb_low)
+            continue;
+        if (p.energy_j <= budget && p.time_s < best_time)
+            best_time = p.time_s;
+    }
+    s.speedup = baseline->time_s / best_time;
+    return s;
+}
+
+} // namespace ppep::governor

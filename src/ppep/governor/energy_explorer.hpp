@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Energy/EDP space exploration (paper Sec. V-C, Figs. 8-11).
+ *
+ * Runs a background-workload sweep (one program, 1..n_cus concurrent
+ * instances) at the top VF state with power gating enabled, then uses
+ * PPEP's predictions to evaluate per-thread energy, EDP, and the core/NB
+ * energy split at *every* core VF state — and, for the Sec. V-C2 what-if,
+ * at a hypothetical low NB VF state using the paper's assumed factors:
+ * NB idle power -40%, NB dynamic power -36%, leading-load cycles +50%.
+ */
+
+#ifndef PPEP_GOVERNOR_ENERGY_EXPLORER_HPP
+#define PPEP_GOVERNOR_ENERGY_EXPLORER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppep/model/ppep.hpp"
+#include "ppep/sim/chip_config.hpp"
+
+namespace ppep::governor {
+
+/** Paper-stated NB what-if factors (Sec. V-C2). */
+struct NbWhatIfFactors
+{
+    double idle_scale = 0.60;    ///< NB idle power drops 40%
+    double dynamic_scale = 0.64; ///< NB dynamic power drops 36%
+    double mcpi_scale = 1.50;    ///< leading-load cycles grow 50%
+};
+
+/** One explored operating point. */
+struct ExplorePoint
+{
+    std::size_t vf_index = 0;
+    bool nb_low = false;
+    /** Predicted per-thread energy for the benchmark's fixed work, J. */
+    double energy_j = 0.0;
+    /** Core-attributed part (core dynamic + CU idle share), J. */
+    double core_energy_j = 0.0;
+    /** NB-attributed part (NB dynamic + NB/base idle share), J. */
+    double nb_energy_j = 0.0;
+    /** Predicted per-thread completion time, s. */
+    double time_s = 0.0;
+    /** Per-thread energy-delay product, J*s. */
+    double edp = 0.0;
+};
+
+/** Fig. 11 summary for one run mode. */
+struct NbWhatIfSummary
+{
+    /** Extra energy saving from NB scaling at the energy-optimal point. */
+    double energy_saving = 0.0;
+    /** Speedup at similar energy vs. core-VF1 + NB-hi. */
+    double speedup = 0.0;
+};
+
+/** The Sec. V-C exploration driver. */
+class EnergyExplorer
+{
+  public:
+    /**
+     * @param cfg  platform (PG must be supported: the paper enables PG
+     *             for all Sec. V-C experiments).
+     * @param ppep trained predictor with a PG idle model.
+     * @param seed drives the measurement chip.
+     */
+    EnergyExplorer(sim::ChipConfig cfg, const model::Ppep &ppep,
+                   std::uint64_t seed);
+
+    /**
+     * Sweep all core VF states (and optionally the low NB state) for
+     * @p copies concurrent instances of @p program. Results are ordered
+     * VF-ascending, NB-hi first.
+     */
+    std::vector<ExplorePoint> explore(const std::string &program,
+                                      std::size_t copies,
+                                      bool include_nb_low = false) const;
+
+    /** Fig. 11 metrics from an explore() result that included NB-low. */
+    static NbWhatIfSummary summarize(
+        const std::vector<ExplorePoint> &points,
+        double energy_tolerance = 1.10);
+
+    /** The what-if factors in use. */
+    const NbWhatIfFactors &factors() const { return factors_; }
+
+  private:
+    sim::ChipConfig cfg_;
+    const model::Ppep &ppep_;
+    std::uint64_t seed_;
+    NbWhatIfFactors factors_{};
+};
+
+} // namespace ppep::governor
+
+#endif // PPEP_GOVERNOR_ENERGY_EXPLORER_HPP

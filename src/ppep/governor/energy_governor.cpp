@@ -1,0 +1,65 @@
+#include "ppep/governor/energy_governor.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::governor {
+
+EnergyOptimalGovernor::EnergyOptimalGovernor(const sim::ChipConfig &cfg,
+                                             const model::Ppep &ppep,
+                                             EnergyObjective objective)
+    : cfg_(cfg), ppep_(ppep), objective_(objective),
+      last_choice_(cfg.vf_table.top())
+{
+}
+
+std::string
+EnergyOptimalGovernor::name() const
+{
+    return objective_ == EnergyObjective::Energy ? "ppep-energy-optimal"
+                                                 : "ppep-edp-optimal";
+}
+
+std::vector<std::size_t>
+EnergyOptimalGovernor::decide(const trace::IntervalRecord &rec,
+                              double cap_w)
+{
+    const auto predictions = ppep_.explore(rec);
+
+    std::size_t best = last_choice_;
+    double best_score = std::numeric_limits<double>::max();
+    bool any_busy = false;
+    bool any_feasible = false;
+    std::size_t min_power_vf = 0;
+    double min_power = std::numeric_limits<double>::max();
+    for (const auto &p : predictions) {
+        if (p.total_ips <= 0.0)
+            continue;
+        any_busy = true;
+        if (p.chip_power_w < min_power) {
+            min_power = p.chip_power_w;
+            min_power_vf = p.vf_index;
+        }
+        if (p.chip_power_w > cap_w)
+            continue;
+        any_feasible = true;
+        const double score = objective_ == EnergyObjective::Energy
+                                 ? p.energy_per_inst
+                                 : p.edp_per_inst;
+        if (score < best_score) {
+            best_score = score;
+            best = p.vf_index;
+        }
+    }
+    if (!any_busy) {
+        // Idle chip: park at the lowest state.
+        best = 0;
+    } else if (!any_feasible) {
+        // No state fits the cap: get as close as possible rather than
+        // sticking with whatever ran last interval.
+        best = min_power_vf;
+    }
+    last_choice_ = best;
+    return std::vector<std::size_t>(cfg_.n_cus, best);
+}
+
+} // namespace ppep::governor

@@ -1,0 +1,112 @@
+#include "ppep/governor/governor.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::governor {
+
+CapSchedule::CapSchedule(double cap_w) : points_{{0, cap_w}}
+{
+    PPEP_ASSERT(cap_w > 0.0, "cap must be positive");
+}
+
+CapSchedule::CapSchedule(
+    std::vector<std::pair<std::size_t, double>> points)
+    : points_(std::move(points))
+{
+    PPEP_ASSERT(!points_.empty() && points_.front().first == 0,
+                "schedule must start at interval 0");
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        PPEP_ASSERT(points_[i].first > points_[i - 1].first,
+                    "schedule points must be strictly increasing");
+    }
+}
+
+double
+CapSchedule::capAt(std::size_t index) const
+{
+    double cap = points_.front().second;
+    for (const auto &[start, value] : points_) {
+        if (start > index)
+            break;
+        cap = value;
+    }
+    return cap;
+}
+
+CapSchedule
+CapSchedule::unlimited()
+{
+    return CapSchedule(std::numeric_limits<double>::max());
+}
+
+GovernorLoop::GovernorLoop(sim::Chip &chip, Governor &policy)
+    : chip_(chip), policy_(policy)
+{
+}
+
+std::vector<GovernorStep>
+GovernorLoop::run(std::size_t intervals, const CapSchedule &schedule)
+{
+    trace::Collector col(chip_);
+    std::vector<GovernorStep> out;
+    out.reserve(intervals);
+    for (std::size_t i = 0; i < intervals; ++i) {
+        GovernorStep step;
+        step.cap_w = schedule.capAt(i);
+        step.cu_vf.resize(chip_.config().n_cus);
+        for (std::size_t cu = 0; cu < step.cu_vf.size(); ++cu)
+            step.cu_vf[cu] = chip_.cuVf(cu);
+        step.rec = col.collectInterval();
+        // Decide with the *next* interval's cap: the policy reacts to a
+        // cap change in the very next decision, just like the paper's
+        // Fig. 7 experiment.
+        const double next_cap = schedule.capAt(i + 1);
+        const auto next_vf = policy_.decide(step.rec, next_cap);
+        PPEP_ASSERT(next_vf.size() == chip_.config().n_cus,
+                    "policy returned wrong CU count");
+        for (std::size_t cu = 0; cu < next_vf.size(); ++cu)
+            chip_.setCuVf(cu, next_vf[cu]);
+        if (const auto nb = policy_.decideNb())
+            chip_.setNbVf(*nb);
+        out.push_back(std::move(step));
+    }
+    return out;
+}
+
+double
+capAdherence(const std::vector<GovernorStep> &steps)
+{
+    if (steps.empty())
+        return 0.0;
+    std::size_t ok = 0;
+    for (const auto &s : steps) {
+        // 2% grace band: sensor noise alone can cross an exact cap.
+        if (s.rec.sensor_power_w <= s.cap_w * 1.02)
+            ++ok;
+    }
+    return static_cast<double>(ok) / static_cast<double>(steps.size());
+}
+
+double
+meanSettleIntervals(const std::vector<GovernorStep> &steps)
+{
+    double total = 0.0;
+    std::size_t events = 0;
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+        const bool cap_dropped = steps[i].cap_w < steps[i - 1].cap_w;
+        if (!cap_dropped)
+            continue;
+        // Count intervals until measured power first falls under cap.
+        std::size_t taken = 0;
+        for (std::size_t j = i; j < steps.size(); ++j) {
+            ++taken;
+            if (steps[j].rec.sensor_power_w <= steps[j].cap_w * 1.02)
+                break;
+        }
+        total += static_cast<double>(taken);
+        ++events;
+    }
+    return events ? total / static_cast<double>(events) : 0.0;
+}
+
+} // namespace ppep::governor

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DVFS policy interface and the interval-granularity control loop.
+ *
+ * A Governor observes each completed 200 ms interval (counters, sensor
+ * power, temperature) plus the active power cap and decides the per-CU VF
+ * states for the next interval — the same cadence the paper's daemon
+ * runs at. The GovernorLoop owns the measurement/actuation cycle and
+ * records the full control trace for Fig. 7-style analysis.
+ */
+
+#ifndef PPEP_GOVERNOR_GOVERNOR_HPP
+#define PPEP_GOVERNOR_GOVERNOR_HPP
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "ppep/sim/chip.hpp"
+#include "ppep/trace/collector.hpp"
+
+namespace ppep::governor {
+
+/** A time-varying power cap (square waves, steps, constants). */
+class CapSchedule
+{
+  public:
+    /** Constant cap. */
+    explicit CapSchedule(double cap_w);
+
+    /**
+     * Piecewise-constant schedule: `points[i]` = {start interval, cap}.
+     * @pre starts strictly increasing, first start == 0.
+     */
+    explicit CapSchedule(
+        std::vector<std::pair<std::size_t, double>> points);
+
+    /** Cap active during interval @p index. */
+    double capAt(std::size_t index) const;
+
+    /** A schedule with no cap (infinity). */
+    static CapSchedule unlimited();
+
+  private:
+    std::vector<std::pair<std::size_t, double>> points_;
+};
+
+/** Abstract per-interval DVFS policy. */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /**
+     * Decide the per-CU VF indices to apply for the *next* interval.
+     *
+     * @param rec   the interval that just completed.
+     * @param cap_w the power cap that will be active next interval.
+     */
+    virtual std::vector<std::size_t>
+    decide(const trace::IntervalRecord &rec, double cap_w) = 0;
+
+    /** Human-readable policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Optional NB operating point for the next interval (coordinated
+     * core+NB policies); nullopt leaves the NB untouched. Queried right
+     * after decide().
+     */
+    virtual std::optional<sim::VfState>
+    decideNb()
+    {
+        return std::nullopt;
+    }
+};
+
+/** One step of a governed run. */
+struct GovernorStep
+{
+    trace::IntervalRecord rec;
+    double cap_w = 0.0;                ///< cap active during the interval
+    std::vector<std::size_t> cu_vf;    ///< VF applied during the interval
+};
+
+/** Measurement/decision/actuation loop. */
+class GovernorLoop
+{
+  public:
+    GovernorLoop(sim::Chip &chip, Governor &policy);
+
+    /** Run @p intervals intervals under @p schedule. */
+    std::vector<GovernorStep> run(std::size_t intervals,
+                                  const CapSchedule &schedule);
+
+  private:
+    sim::Chip &chip_;
+    Governor &policy_;
+};
+
+/** Fraction of intervals whose measured power stayed at or under cap. */
+double capAdherence(const std::vector<GovernorStep> &steps);
+
+/**
+ * Mean number of intervals taken to get back under a newly-lowered cap
+ * (the paper's responsiveness metric; PPEP should achieve ~1).
+ */
+double meanSettleIntervals(const std::vector<GovernorStep> &steps);
+
+} // namespace ppep::governor
+
+#endif // PPEP_GOVERNOR_GOVERNOR_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The reactive baseline power-capping policy (paper Sec. V-B, Fig. 7).
+ *
+ * "A control loop will change the VF state and spend some time
+ * determining the current power usage. If the power usage is not yet
+ * under the cap, this VF state is lowered and the process repeats" — one
+ * step per 200 ms interval, so a large cap swing takes many intervals to
+ * track (the paper measures 2.8 s vs. PPEP's 0.2 s).
+ */
+
+#ifndef PPEP_GOVERNOR_ITERATIVE_CAPPING_HPP
+#define PPEP_GOVERNOR_ITERATIVE_CAPPING_HPP
+
+#include "ppep/governor/governor.hpp"
+
+namespace ppep::governor {
+
+/** One-VF-step-per-interval reactive capping. */
+class IterativeCappingGovernor : public Governor
+{
+  public:
+    /**
+     * @param cfg       chip description (CU count + VF table).
+     * @param raise_margin_w raise a VF state only when measured power is
+     *                  at least this far under the cap — the classic
+     *                  hysteresis band that also causes the baseline's
+     *                  residual cap violations when it guesses wrong.
+     */
+    explicit IterativeCappingGovernor(const sim::ChipConfig &cfg,
+                                      double raise_margin_w = 8.0);
+
+    std::vector<std::size_t> decide(const trace::IntervalRecord &rec,
+                                    double cap_w) override;
+
+    std::string name() const override { return "simple-iterative"; }
+
+  private:
+    const sim::ChipConfig &cfg_;
+    double raise_margin_w_;
+    std::vector<std::size_t> cu_vf_;
+    std::size_t rr_ = 0; ///< round-robin CU cursor
+};
+
+} // namespace ppep::governor
+
+#endif // PPEP_GOVERNOR_ITERATIVE_CAPPING_HPP

@@ -1,0 +1,134 @@
+#include "ppep/governor/ppep_capping.hpp"
+
+#include <cmath>
+
+#include "ppep/model/event_predictor.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::governor {
+
+PpepCappingGovernor::PpepCappingGovernor(const sim::ChipConfig &cfg,
+                                         const model::Ppep &ppep,
+                                         double guard_band)
+    : cfg_(cfg), ppep_(ppep), guard_band_(guard_band)
+{
+    PPEP_ASSERT(ppep_.pgModel().trained(),
+                "PPEP capping needs the PG idle decomposition");
+}
+
+std::vector<std::size_t>
+PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
+                            double cap_w)
+{
+    const std::size_t n_vf = cfg_.vf_table.size();
+    const std::size_t n_cores = cfg_.coreCount();
+    const auto &dyn_model = ppep_.powerModel().dynamicModel();
+    const double v_train = dyn_model.trainingVoltage();
+    const double alpha = dyn_model.alpha();
+
+    // Precompute, per core and per VF: predicted ips, the core-event
+    // dynamic power at the *training* voltage (so any rail voltage is a
+    // cheap (v/v_train)^alpha rescale), and the NB-proxy part (never
+    // voltage scaled).
+    std::vector<std::vector<double>> ips(n_cores,
+                                         std::vector<double>(n_vf, 0.0));
+    std::vector<std::vector<double>> core_base(
+        n_cores, std::vector<double>(n_vf, 0.0));
+    std::vector<std::vector<double>> nb_part(
+        n_cores, std::vector<double>(n_vf, 0.0));
+    std::vector<std::size_t> busy_per_cu(cfg_.n_cus, 0);
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        const std::size_t cu = c / cfg_.cores_per_cu;
+        const double f_now =
+            cfg_.vf_table.state(rec.cu_vf[cu]).freq_ghz;
+        bool busy = false;
+        for (std::size_t vf = 0; vf < n_vf; ++vf) {
+            const sim::VfState &target = cfg_.vf_table.state(vf);
+            const auto pred = model::EventPredictor::predict(
+                rec.pmc[c], rec.duration_s, f_now, target.freq_ghz);
+            ips[c][vf] = pred.rates_per_s[sim::eventIndex(
+                sim::Event::RetiredInst)];
+            std::array<double, sim::kNumPowerEvents> rates{};
+            for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
+                rates[i] = pred.rates_per_s[i];
+            dyn_model.split(rates, v_train, core_base[c][vf],
+                            nb_part[c][vf]);
+            busy = busy || pred.ips > 0.0;
+        }
+        if (busy)
+            ++busy_per_cu[cu];
+    }
+
+    const double budget = cap_w * (1.0 - guard_band_);
+    const auto &pg = ppep_.pgModel();
+
+    // Enumerate all per-CU assignments (n_vf^n_cus; 625 on the FX-8320)
+    // and keep the feasible one with the highest predicted throughput.
+    // Fall back to all-lowest if nothing fits.
+    //
+    // On shared-rail hardware every CU runs at the highest requested
+    // voltage, so the governor must price assignments that way or it
+    // will blow straight through the cap (ablation A7 quantifies the
+    // damage of ignoring this).
+    std::vector<std::size_t> best(cfg_.n_cus, 0);
+    double best_ips = -1.0;
+    std::vector<std::size_t> assign(cfg_.n_cus, 0);
+    while (true) {
+        // Rail resolution: per-CU planes use each CU's own voltage;
+        // a shared rail pins everyone to the highest requested state.
+        std::size_t max_idx = 0;
+        if (!cfg_.per_cu_voltage) {
+            for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu)
+                if (busy_per_cu[cu] > 0)
+                    max_idx = std::max(max_idx, assign[cu]);
+        }
+
+        double total_dyn = 0.0;
+        double total_ips = 0.0;
+        for (std::size_t c = 0; c < n_cores; ++c) {
+            const std::size_t cu = c / cfg_.cores_per_cu;
+            const std::size_t vf = assign[cu];
+            const double voltage =
+                cfg_.per_cu_voltage
+                    ? cfg_.vf_table.state(vf).voltage
+                    : cfg_.vf_table.state(max_idx).voltage;
+            const double vscale =
+                std::pow(voltage / v_train, alpha);
+            total_dyn += core_base[c][vf] * vscale + nb_part[c][vf];
+            total_ips += ips[c][vf];
+        }
+
+        // Idle pricing: on a shared rail, a slow CU still leaks at the
+        // rail voltage — approximate with the voltage-dominant state's
+        // component (conservative: also carries its clock power).
+        double idle = 0.0;
+        if (cfg_.per_cu_voltage) {
+            idle = pg.chipIdleMixed(assign, busy_per_cu, true);
+        } else {
+            std::vector<std::size_t> priced = assign;
+            for (auto &vf : priced)
+                vf = std::max(vf, max_idx);
+            idle = pg.chipIdleMixed(priced, busy_per_cu, true);
+        }
+
+        const double power = idle + total_dyn;
+        if (power <= budget && total_ips > best_ips) {
+            best_ips = total_ips;
+            best = assign;
+        }
+
+        // Next assignment (odometer increment).
+        std::size_t pos = 0;
+        while (pos < cfg_.n_cus) {
+            if (++assign[pos] < n_vf)
+                break;
+            assign[pos] = 0;
+            ++pos;
+        }
+        if (pos == cfg_.n_cus)
+            break;
+    }
+    return best;
+}
+
+} // namespace ppep::governor

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The PPEP one-step power-capping policy (paper Sec. V-B, Fig. 7).
+ *
+ * Each interval, PPEP predicts chip power and performance for every
+ * per-CU VF assignment (assuming per-CU voltage planes, as prior work
+ * [20, 21] does) and jumps directly to the assignment that maximises
+ * predicted performance subject to the cap — no iterative search. The
+ * paper measures 14x faster cap tracking and 94% adherence versus the
+ * reactive baseline's 81%.
+ */
+
+#ifndef PPEP_GOVERNOR_PPEP_CAPPING_HPP
+#define PPEP_GOVERNOR_PPEP_CAPPING_HPP
+
+#include "ppep/governor/governor.hpp"
+#include "ppep/model/ppep.hpp"
+
+namespace ppep::governor {
+
+/** Predictive single-step capping built on the PPEP framework. */
+class PpepCappingGovernor : public Governor
+{
+  public:
+    /**
+     * @param cfg  chip description.
+     * @param ppep trained PPEP predictor (must include a PG idle model).
+     * @param guard_band derate the cap by this fraction to absorb model
+     *             error (the paper's residual 6% violations motivate a
+     *             small band).
+     */
+    PpepCappingGovernor(const sim::ChipConfig &cfg,
+                        const model::Ppep &ppep,
+                        double guard_band = 0.02);
+
+    std::vector<std::size_t> decide(const trace::IntervalRecord &rec,
+                                    double cap_w) override;
+
+    std::string name() const override { return "ppep-one-step"; }
+
+  private:
+    const sim::ChipConfig &cfg_;
+    const model::Ppep &ppep_;
+    double guard_band_;
+};
+
+} // namespace ppep::governor
+
+#endif // PPEP_GOVERNOR_PPEP_CAPPING_HPP

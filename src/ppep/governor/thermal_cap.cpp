@@ -1,0 +1,52 @@
+#include "ppep/governor/thermal_cap.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::governor {
+
+ThermalCapGovernor::ThermalCapGovernor(
+    const sim::ChipConfig &cfg, const model::Ppep &ppep,
+    const model::ThermalEstimate &thermal, double temp_cap_k,
+    double margin_k)
+    : cfg_(cfg), ppep_(ppep), thermal_(thermal),
+      temp_cap_k_(temp_cap_k), margin_k_(margin_k)
+{
+    PPEP_ASSERT(temp_cap_k_ > thermal_.ambient_k,
+                "temperature cap below ambient is unreachable");
+    PPEP_ASSERT(margin_k_ >= 0.0, "negative margin");
+}
+
+double
+ThermalCapGovernor::powerBudgetW() const
+{
+    return thermal_.powerBudgetFor(temp_cap_k_ - margin_k_);
+}
+
+std::vector<std::size_t>
+ThermalCapGovernor::decide(const trace::IntervalRecord &rec,
+                           double cap_w)
+{
+    // The thermal ceiling translates to a sustained-power budget; the
+    // effective budget is the tighter of it and any explicit power cap.
+    const double budget = std::min(cap_w, powerBudgetW());
+
+    const auto predictions = ppep_.explore(rec);
+    std::size_t best = 0;
+    double best_ips = -1.0;
+    bool any_busy = false;
+    for (const auto &p : predictions) {
+        if (p.total_ips > 0.0)
+            any_busy = true;
+        if (p.chip_power_w > budget)
+            continue;
+        if (p.total_ips > best_ips) {
+            best_ips = p.total_ips;
+            best = p.vf_index;
+        }
+    }
+    if (!any_busy)
+        best = 0;
+    return std::vector<std::size_t>(cfg_.n_cus, best);
+}
+
+} // namespace ppep::governor

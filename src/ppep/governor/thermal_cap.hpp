@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Proactive thermal capping (extension).
+ *
+ * Same single-step philosophy as the paper's power capping, one level
+ * up: combine PPEP's power predictions with the fitted thermal network
+ * (model::ThermalEstimate) to pick, each interval, the fastest VF state
+ * whose *steady-state temperature* stays under a junction cap — before
+ * the die ever gets there. A reactive thermal throttle waits for the
+ * diode to cross the limit and then backs off.
+ */
+
+#ifndef PPEP_GOVERNOR_THERMAL_CAP_HPP
+#define PPEP_GOVERNOR_THERMAL_CAP_HPP
+
+#include "ppep/governor/governor.hpp"
+#include "ppep/model/ppep.hpp"
+#include "ppep/model/thermal_estimator.hpp"
+
+namespace ppep::governor {
+
+/** One-step thermal capping built on PPEP + the thermal fit. */
+class ThermalCapGovernor : public Governor
+{
+  public:
+    /**
+     * @param cfg      platform description.
+     * @param ppep     trained predictor.
+     * @param thermal  fitted thermal network.
+     * @param temp_cap_k junction temperature ceiling, kelvin.
+     * @param margin_k derate the cap by this much to absorb model and
+     *                 fit error.
+     */
+    ThermalCapGovernor(const sim::ChipConfig &cfg,
+                       const model::Ppep &ppep,
+                       const model::ThermalEstimate &thermal,
+                       double temp_cap_k, double margin_k = 1.0);
+
+    std::vector<std::size_t> decide(const trace::IntervalRecord &rec,
+                                    double cap_w) override;
+
+    std::string name() const override { return "ppep-thermal-cap"; }
+
+    /** The power budget the temperature cap implies, watts. */
+    double powerBudgetW() const;
+
+  private:
+    const sim::ChipConfig &cfg_;
+    const model::Ppep &ppep_;
+    model::ThermalEstimate thermal_;
+    double temp_cap_k_;
+    double margin_k_;
+};
+
+} // namespace ppep::governor
+
+#endif // PPEP_GOVERNOR_THERMAL_CAP_HPP

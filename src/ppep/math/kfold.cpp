@@ -1,0 +1,40 @@
+#include "ppep/math/kfold.hpp"
+
+#include <numeric>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::math {
+
+std::vector<Fold>
+makeFolds(std::size_t item_count, std::size_t k, util::Rng &rng)
+{
+    PPEP_ASSERT(k >= 2, "need at least two folds");
+    PPEP_ASSERT(item_count >= k, "need at least one item per fold");
+
+    std::vector<std::size_t> order(item_count);
+    std::iota(order.begin(), order.end(), 0);
+    // Fisher-Yates with our deterministic stream.
+    for (std::size_t i = item_count; i-- > 1;) {
+        const std::size_t j = rng.uniformInt(i + 1);
+        std::swap(order[i], order[j]);
+    }
+
+    std::vector<Fold> folds(k);
+    for (std::size_t i = 0; i < item_count; ++i) {
+        const std::size_t group = i % k;
+        folds[group].test.push_back(order[i]);
+    }
+    for (std::size_t g = 0; g < k; ++g) {
+        for (std::size_t other = 0; other < k; ++other) {
+            if (other == g)
+                continue;
+            folds[g].train.insert(folds[g].train.end(),
+                                  folds[other].test.begin(),
+                                  folds[other].test.end());
+        }
+    }
+    return folds;
+}
+
+} // namespace ppep::math

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * k-fold cross-validation splitting.
+ *
+ * The paper validates its power models with 4-fold cross validation over
+ * 152 benchmark combinations: "randomly split our collection ... into four
+ * equally sized sets and perform 4-fold cross validation".
+ */
+
+#ifndef PPEP_MATH_KFOLD_HPP
+#define PPEP_MATH_KFOLD_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "ppep/util/rng.hpp"
+
+namespace ppep::math {
+
+/** One train/test split. */
+struct Fold
+{
+    /** Indices of items used for model training. */
+    std::vector<std::size_t> train;
+    /** Indices of items held out for validation. */
+    std::vector<std::size_t> test;
+};
+
+/**
+ * Produce @p k folds over @p item_count items. Items are shuffled with
+ * @p rng, dealt into k near-equal groups, and each fold holds one group
+ * out. Every item appears in exactly one test set.
+ *
+ * @pre k >= 2 and item_count >= k.
+ */
+std::vector<Fold> makeFolds(std::size_t item_count, std::size_t k,
+                            util::Rng &rng);
+
+} // namespace ppep::math
+
+#endif // PPEP_MATH_KFOLD_HPP

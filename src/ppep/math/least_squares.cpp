@@ -1,0 +1,173 @@
+#include "ppep/math/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::math {
+
+namespace {
+
+/** Compute rmse and R^2 given the fitted coefficients. */
+void
+fillGoodness(const Matrix &design, const std::vector<double> &target,
+             FitResult &fit)
+{
+    const auto pred = predict(design, fit.coefficients);
+    double sse = 0.0;
+    double mean_y = 0.0;
+    for (double y : target)
+        mean_y += y;
+    mean_y /= static_cast<double>(target.size());
+    double sst = 0.0;
+    for (std::size_t i = 0; i < target.size(); ++i) {
+        sse += (pred[i] - target[i]) * (pred[i] - target[i]);
+        sst += (target[i] - mean_y) * (target[i] - mean_y);
+    }
+    fit.rmse = std::sqrt(sse / static_cast<double>(target.size()));
+    fit.r_squared = sst > 0.0 ? 1.0 - sse / sst : 0.0;
+}
+
+} // namespace
+
+FitResult
+fitLeastSquares(const Matrix &design, const std::vector<double> &target,
+                double ridge)
+{
+    PPEP_ASSERT(design.rows() == target.size(),
+                "least squares: row/target mismatch");
+    PPEP_ASSERT(design.rows() >= design.cols(),
+                "least squares: underdetermined system (", design.rows(),
+                " rows, ", design.cols(), " cols)");
+
+    FitResult fit;
+    if (ridge > 0.0) {
+        // Tikhonov-regularised normal equations.
+        const Matrix xt = design.transposed();
+        Matrix xtx = xt.multiply(design);
+        for (std::size_t i = 0; i < xtx.rows(); ++i)
+            xtx(i, i) += ridge;
+        fit.coefficients = xtx.solveSpd(xt.multiply(target));
+    } else {
+        // Householder QR: avoids squaring the condition number the way
+        // the normal equations do.
+        fit.coefficients = design.solveLeastSquaresQr(target);
+    }
+    fillGoodness(design, target, fit);
+    return fit;
+}
+
+FitResult
+fitNonNegativeLeastSquares(const Matrix &design,
+                           const std::vector<double> &target)
+{
+    PPEP_ASSERT(design.rows() == target.size(),
+                "nnls: row/target mismatch");
+    const std::size_t p = design.cols();
+    const Matrix xt = design.transposed();
+    const Matrix xtx = xt.multiply(design);
+    const std::vector<double> xty = xt.multiply(target);
+
+    // Lawson-Hanson active set. P = passive (free) set, others clamped to
+    // zero. Problems here have p <= 12, so the O(p^3) inner solves are
+    // negligible.
+    std::vector<bool> passive(p, false);
+    std::vector<double> x(p, 0.0);
+
+    auto gradient = [&]() {
+        // w = X^T y - X^T X x
+        std::vector<double> w(p);
+        for (std::size_t i = 0; i < p; ++i) {
+            double s = xty[i];
+            for (std::size_t j = 0; j < p; ++j)
+                s -= xtx(i, j) * x[j];
+            w[i] = s;
+        }
+        return w;
+    };
+
+    auto solvePassive = [&]() {
+        // Solve the unconstrained problem restricted to the passive set.
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < p; ++i)
+            if (passive[i])
+                idx.push_back(i);
+        std::vector<double> z(p, 0.0);
+        if (idx.empty())
+            return z;
+        Matrix sub(idx.size(), idx.size());
+        std::vector<double> rhs(idx.size());
+        for (std::size_t a = 0; a < idx.size(); ++a) {
+            rhs[a] = xty[idx[a]];
+            for (std::size_t b = 0; b < idx.size(); ++b)
+                sub(a, b) = xtx(idx[a], idx[b]);
+        }
+        const auto sol = sub.solveSpd(rhs);
+        for (std::size_t a = 0; a < idx.size(); ++a)
+            z[idx[a]] = sol[a];
+        return z;
+    };
+
+    const double tol = 1e-10;
+    for (std::size_t outer = 0; outer < 4 * p + 16; ++outer) {
+        const auto w = gradient();
+        // Pick the most violated clamped coordinate.
+        std::size_t best = p;
+        double best_w = tol;
+        for (std::size_t i = 0; i < p; ++i) {
+            if (!passive[i] && w[i] > best_w) {
+                best_w = w[i];
+                best = i;
+            }
+        }
+        if (best == p)
+            break; // KKT satisfied.
+        passive[best] = true;
+
+        for (std::size_t inner = 0; inner < 4 * p + 16; ++inner) {
+            auto z = solvePassive();
+            // If all passive coordinates stayed positive, accept.
+            bool feasible = true;
+            for (std::size_t i = 0; i < p; ++i) {
+                if (passive[i] && z[i] <= 0.0) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if (feasible) {
+                x = std::move(z);
+                break;
+            }
+            // Backtrack along x -> z to the first boundary crossing.
+            double alpha = std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < p; ++i) {
+                if (passive[i] && z[i] <= 0.0) {
+                    const double step = x[i] / (x[i] - z[i]);
+                    alpha = std::min(alpha, step);
+                }
+            }
+            for (std::size_t i = 0; i < p; ++i) {
+                x[i] += alpha * (z[i] - x[i]);
+                if (passive[i] && x[i] <= tol) {
+                    x[i] = 0.0;
+                    passive[i] = false;
+                }
+            }
+        }
+    }
+
+    FitResult fit;
+    fit.coefficients = std::move(x);
+    fillGoodness(design, target, fit);
+    return fit;
+}
+
+std::vector<double>
+predict(const Matrix &design, const std::vector<double> &coefficients)
+{
+    return design.multiply(coefficients);
+}
+
+} // namespace ppep::math

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ordinary / ridge / non-negative least squares.
+ *
+ * The dynamic power model (paper Eq. 3) is a linear regression over nine
+ * event rates; its physically meaningful coefficients are energies per
+ * event, so a non-negative variant is provided and used by default — a
+ * negative per-event energy would make voltage scaling behave nonsensically
+ * at other VF states.
+ */
+
+#ifndef PPEP_MATH_LEAST_SQUARES_HPP
+#define PPEP_MATH_LEAST_SQUARES_HPP
+
+#include <vector>
+
+#include "ppep/math/matrix.hpp"
+
+namespace ppep::math {
+
+/** Result of a least-squares fit. */
+struct FitResult
+{
+    /** Fitted coefficients, one per regressor column. */
+    std::vector<double> coefficients;
+    /** Root mean squared residual on the training data. */
+    double rmse = 0.0;
+    /** Coefficient of determination on the training data. */
+    double r_squared = 0.0;
+};
+
+/**
+ * Ordinary least squares via Householder QR (normal equations +
+ * Cholesky when a ridge penalty is requested).
+ *
+ * @param design n x p design matrix (include a ones column yourself if an
+ *               intercept is wanted).
+ * @param target n observations.
+ * @param ridge  optional Tikhonov regularisation strength (>= 0).
+ */
+FitResult fitLeastSquares(const Matrix &design,
+                          const std::vector<double> &target,
+                          double ridge = 0.0);
+
+/**
+ * Non-negative least squares (Lawson-Hanson active set).
+ *
+ * Solves min ||A x - b||^2 subject to x >= 0. Used for the per-event
+ * energy coefficients of the dynamic power model.
+ */
+FitResult fitNonNegativeLeastSquares(const Matrix &design,
+                                     const std::vector<double> &target);
+
+/** Predicted values design * coefficients. */
+std::vector<double> predict(const Matrix &design,
+                            const std::vector<double> &coefficients);
+
+} // namespace ppep::math
+
+#endif // PPEP_MATH_LEAST_SQUARES_HPP

@@ -1,0 +1,227 @@
+#include "ppep/math/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    PPEP_ASSERT(!rows.empty(), "fromRows: empty input");
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        PPEP_ASSERT(rows[r].size() == m.cols_, "fromRows: ragged input");
+        for (std::size_t c = 0; c < m.cols_; ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    PPEP_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    PPEP_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    PPEP_ASSERT(cols_ == rhs.rows_, "multiply: dimension mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                out(i, j) += a * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &v) const
+{
+    PPEP_ASSERT(cols_ == v.size(), "multiply: vector length mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            s += (*this)(i, j) * v[j];
+        out[i] = s;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+bool
+Matrix::cholesky(Matrix &chol_lower) const
+{
+    const std::size_t n = rows_;
+    chol_lower = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = (*this)(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            d -= chol_lower(j, k) * chol_lower(j, k);
+        if (d <= 0.0)
+            return false;
+        chol_lower(j, j) = std::sqrt(d);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = (*this)(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                s -= chol_lower(i, k) * chol_lower(j, k);
+            chol_lower(i, j) = s / chol_lower(j, j);
+        }
+    }
+    return true;
+}
+
+std::vector<double>
+Matrix::solveSpd(const std::vector<double> &b) const
+{
+    PPEP_ASSERT(rows_ == cols_, "solveSpd: matrix not square");
+    PPEP_ASSERT(b.size() == rows_, "solveSpd: rhs length mismatch");
+    const std::size_t n = rows_;
+
+    Matrix chol;
+    if (!cholesky(chol)) {
+        // Fall back to a jittered copy; the regression problems here are
+        // well scaled, so a tiny ridge restores positive definiteness
+        // without materially changing the solution.
+        Matrix jittered(*this);
+        double scale = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            scale = std::max(scale, std::fabs(jittered(i, i)));
+        const double jitter = (scale > 0.0 ? scale : 1.0) * 1e-10;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            for (std::size_t i = 0; i < n; ++i)
+                jittered(i, i) += jitter * std::pow(10.0, attempt);
+            if (jittered.cholesky(chol))
+                break;
+            if (attempt == 7)
+                PPEP_PANIC("solveSpd: matrix is not positive definite");
+        }
+    }
+
+    // Forward substitution: L y = b.
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            s -= chol(i, k) * y[k];
+        y[i] = s / chol(i, i);
+    }
+    // Backward substitution: L^T x = y.
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            s -= chol(k, ii) * x[k];
+        x[ii] = s / chol(ii, ii);
+    }
+    return x;
+}
+
+std::vector<double>
+Matrix::solveLeastSquaresQr(const std::vector<double> &b) const
+{
+    PPEP_ASSERT(rows_ >= cols_, "QR solve needs rows >= cols");
+    PPEP_ASSERT(b.size() == rows_, "QR solve: rhs length mismatch");
+    const std::size_t m = rows_;
+    const std::size_t n = cols_;
+
+    // Householder QR applied in place to a working copy of [A | b]:
+    // each reflector zeroes one column below the diagonal and is
+    // applied to the rhs as it is built (we never form Q).
+    Matrix a(*this);
+    std::vector<double> rhs(b);
+    for (std::size_t k = 0; k < n; ++k) {
+        // Build the reflector for column k.
+        double norm = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            norm += a(i, k) * a(i, k);
+        norm = std::sqrt(norm);
+        PPEP_ASSERT(norm > 0.0, "QR solve: rank-deficient column ", k);
+        const double alpha = a(k, k) >= 0.0 ? -norm : norm;
+        std::vector<double> v(m - k);
+        v[0] = a(k, k) - alpha;
+        for (std::size_t i = k + 1; i < m; ++i)
+            v[i - k] = a(i, k);
+        double vtv = 0.0;
+        for (double x : v)
+            vtv += x * x;
+        if (vtv == 0.0)
+            continue; // column already triangular
+
+        // Apply I - 2 v v^T / (v^T v) to the remaining columns and rhs.
+        for (std::size_t j = k; j < n; ++j) {
+            double dot = 0.0;
+            for (std::size_t i = k; i < m; ++i)
+                dot += v[i - k] * a(i, j);
+            const double scale = 2.0 * dot / vtv;
+            for (std::size_t i = k; i < m; ++i)
+                a(i, j) -= scale * v[i - k];
+        }
+        double dot = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            dot += v[i - k] * rhs[i];
+        const double scale = 2.0 * dot / vtv;
+        for (std::size_t i = k; i < m; ++i)
+            rhs[i] -= scale * v[i - k];
+    }
+
+    // Back substitution on the triangular top block. Rank deficiency
+    // shows up as an R diagonal entry at rounding-noise scale relative
+    // to the largest one; treat that as singular rather than dividing
+    // by it.
+    double r_max = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+        r_max = std::max(r_max, std::fabs(a(k, k)));
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = rhs[ii];
+        for (std::size_t j = ii + 1; j < n; ++j)
+            s -= a(ii, j) * x[j];
+        PPEP_ASSERT(std::fabs(a(ii, ii)) > 1e-12 * r_max,
+                    "QR solve: singular R (rank-deficient design)");
+        x[ii] = s / a(ii, ii);
+    }
+    return x;
+}
+
+} // namespace ppep::math

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small dense matrix with just the operations the regression models need:
+ * products, transpose, and a symmetric-positive-definite Cholesky solve.
+ *
+ * Sizes here are tiny (<= 12 columns, a few thousand rows), so a plain
+ * row-major std::vector backing store is plenty.
+ */
+
+#ifndef PPEP_MATH_MATRIX_HPP
+#define PPEP_MATH_MATRIX_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace ppep::math {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialised. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Construct from nested initialiser data (rows of equal width). */
+    static Matrix fromRows(
+        const std::vector<std::vector<double>> &rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Element access. @pre indices in range (checked). */
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Unchecked element access for hot loops. */
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Matrix product this * rhs. @pre cols() == rhs.rows(). */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Matrix-vector product. @pre cols() == v.size(). */
+    std::vector<double> multiply(const std::vector<double> &v) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /**
+     * Solve A x = b for symmetric positive definite A via Cholesky
+     * decomposition. A small diagonal jitter is added on failure so that
+     * nearly-singular normal equations (collinear events) still solve.
+     * @pre square, b.size() == rows().
+     */
+    std::vector<double> solveSpd(const std::vector<double> &b) const;
+
+    /**
+     * Least-squares solve min ||A x - b|| via Householder QR — more
+     * numerically stable than forming the normal equations when the
+     * design matrix is ill-conditioned.
+     * @pre rows() >= cols(), b.size() == rows(), full column rank
+     *      (a zero R diagonal is fatal).
+     */
+    std::vector<double>
+    solveLeastSquaresQr(const std::vector<double> &b) const;
+
+  private:
+    /** Cholesky factor attempt; returns false if not positive definite. */
+    bool cholesky(Matrix &chol_lower) const;
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace ppep::math
+
+#endif // PPEP_MATH_MATRIX_HPP

@@ -1,0 +1,65 @@
+#include "ppep/math/polynomial.hpp"
+
+#include "ppep/math/least_squares.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::math {
+
+Polynomial::Polynomial(std::vector<double> coefficients)
+    : coeffs_(std::move(coefficients))
+{
+}
+
+Polynomial
+Polynomial::fit(std::span<const double> xs, std::span<const double> ys,
+                int degree)
+{
+    PPEP_ASSERT(degree >= 0, "polynomial degree must be non-negative");
+    PPEP_ASSERT(xs.size() == ys.size(), "polynomial fit: length mismatch");
+    PPEP_ASSERT(xs.size() > static_cast<std::size_t>(degree),
+                "polynomial fit: need more points than degree");
+
+    Matrix design(xs.size(), static_cast<std::size_t>(degree) + 1);
+    for (std::size_t r = 0; r < xs.size(); ++r) {
+        double pow_x = 1.0;
+        for (int d = 0; d <= degree; ++d) {
+            design(r, static_cast<std::size_t>(d)) = pow_x;
+            pow_x *= xs[r];
+        }
+    }
+    auto fit_result = fitLeastSquares(
+        design, std::vector<double>(ys.begin(), ys.end()));
+    return Polynomial(std::move(fit_result.coefficients));
+}
+
+double
+Polynomial::operator()(double x) const
+{
+    double acc = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;)
+        acc = acc * x + coeffs_[i];
+    return acc;
+}
+
+int
+Polynomial::degree() const
+{
+    for (std::size_t i = coeffs_.size(); i-- > 0;) {
+        if (coeffs_[i] != 0.0)
+            return static_cast<int>(i);
+    }
+    return 0;
+}
+
+Polynomial
+Polynomial::derivative() const
+{
+    if (coeffs_.size() <= 1)
+        return Polynomial(std::vector<double>{0.0});
+    std::vector<double> deriv(coeffs_.size() - 1);
+    for (std::size_t i = 1; i < coeffs_.size(); ++i)
+        deriv[i - 1] = coeffs_[i] * static_cast<double>(i);
+    return Polynomial(std::move(deriv));
+}
+
+} // namespace ppep::math

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Polynomial evaluation and least-squares polynomial fitting.
+ *
+ * The idle power model (paper Eq. 2) stores its two temperature-regression
+ * coefficients as third-order polynomials of voltage; this module supplies
+ * the fit and evaluation primitives.
+ */
+
+#ifndef PPEP_MATH_POLYNOMIAL_HPP
+#define PPEP_MATH_POLYNOMIAL_HPP
+
+#include <span>
+#include <vector>
+
+namespace ppep::math {
+
+/**
+ * Polynomial with coefficients in ascending-power order:
+ * p(x) = c[0] + c[1] x + ... + c[d] x^d.
+ */
+class Polynomial
+{
+  public:
+    /** Zero polynomial. */
+    Polynomial() = default;
+
+    /** Construct from ascending-power coefficients. */
+    explicit Polynomial(std::vector<double> coefficients);
+
+    /**
+     * Least-squares fit of a degree-@p degree polynomial through the
+     * sample points. @pre xs.size() == ys.size() > degree.
+     */
+    static Polynomial fit(std::span<const double> xs,
+                          std::span<const double> ys, int degree);
+
+    /** Evaluate at @p x via Horner's scheme. */
+    double operator()(double x) const;
+
+    /** Degree (0 for constants and the zero polynomial). */
+    int degree() const;
+
+    /** Coefficients in ascending-power order. */
+    const std::vector<double> &coefficients() const { return coeffs_; }
+
+    /** First derivative polynomial. */
+    Polynomial derivative() const;
+
+  private:
+    std::vector<double> coeffs_;
+};
+
+} // namespace ppep::math
+
+#endif // PPEP_MATH_POLYNOMIAL_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Full-chip power model: idle (Eq. 2) + dynamic (Eq. 3), with cross-VF
+ * prediction through the hardware event predictor (Sec. IV-C).
+ *
+ * estimate()   — power at the VF state the counters were gathered at.
+ * predictAt()  — power the same workload would draw at another VF state,
+ *                without ever running there (the paper's Fig. 3 claim).
+ */
+
+#ifndef PPEP_MODEL_CHIP_POWER_MODEL_HPP
+#define PPEP_MODEL_CHIP_POWER_MODEL_HPP
+
+#include "ppep/model/dynamic_power_model.hpp"
+#include "ppep/model/event_predictor.hpp"
+#include "ppep/model/idle_power_model.hpp"
+#include "ppep/sim/vf_state.hpp"
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::model {
+
+/** A chip power estimate decomposed the way PPEP sees it. */
+struct PowerEstimate
+{
+    double total_w = 0.0;
+    double idle_w = 0.0;
+    double dynamic_w = 0.0;
+    /** Core-event (E1-E7) part of the dynamic estimate. */
+    double dyn_core_w = 0.0;
+    /** NB-proxy (E8-E9) part of the dynamic estimate. */
+    double dyn_nb_w = 0.0;
+};
+
+/** Idle + dynamic, at the current or any other VF state. */
+class ChipPowerModel
+{
+  public:
+    ChipPowerModel() = default;
+
+    ChipPowerModel(IdlePowerModel idle, DynamicPowerModel dynamic,
+                   sim::VfTable vf_table);
+
+    /**
+     * Estimate chip power at the interval's own (global) VF state from
+     * its multiplexed PMC counts, diode temperature, and rail voltage.
+     */
+    PowerEstimate estimate(const trace::IntervalRecord &rec) const;
+
+    /**
+     * Predict chip power at @p target_vf (ascending VF index) for the
+     * workload captured by @p rec: per-core event rates are extrapolated
+     * with Obs. 1/2 + Eq. 1, then priced by Eq. 3 at the target voltage;
+     * the idle part is re-evaluated at the target voltage with the
+     * current temperature.
+     */
+    PowerEstimate predictAt(const trace::IntervalRecord &rec,
+                            std::size_t target_vf) const;
+
+    /** The trained idle model. */
+    const IdlePowerModel &idleModel() const { return idle_; }
+
+    /** The trained dynamic model. */
+    const DynamicPowerModel &dynamicModel() const { return dynamic_; }
+
+    /** Whether both submodels are trained. */
+    bool trained() const;
+
+  private:
+    IdlePowerModel idle_;
+    DynamicPowerModel dynamic_;
+    sim::VfTable vf_table_{std::vector<sim::VfState>{{1.0, 1.0}}};
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_CHIP_POWER_MODEL_HPP

@@ -1,0 +1,63 @@
+#include "ppep/model/cpi_model.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::model {
+
+CpiSample
+CpiModel::fromEvents(const sim::EventVector &events)
+{
+    const double inst =
+        events[sim::eventIndex(sim::Event::RetiredInst)];
+    if (inst <= 0.0)
+        return {};
+    CpiSample s;
+    s.cpi = events[sim::eventIndex(sim::Event::ClocksNotHalted)] / inst;
+    s.mcpi = events[sim::eventIndex(sim::Event::MabWaitCycles)] / inst;
+    // Multiplexing extrapolation can make E12 slightly exceed E10 on
+    // pathological intervals; clamp to keep CCPI non-negative.
+    if (s.mcpi > s.cpi)
+        s.mcpi = s.cpi;
+    return s;
+}
+
+double
+CpiModel::predictCpi(const CpiSample &sample, double f_current,
+                     double f_target)
+{
+    PPEP_ASSERT(f_current > 0.0 && f_target > 0.0,
+                "frequencies must be positive");
+    return sample.ccpi() + sample.mcpi * f_target / f_current;
+}
+
+double
+CpiModel::predictMcpi(const CpiSample &sample, double f_current,
+                      double f_target)
+{
+    PPEP_ASSERT(f_current > 0.0 && f_target > 0.0,
+                "frequencies must be positive");
+    return sample.mcpi * f_target / f_current;
+}
+
+double
+CpiModel::predictIps(const CpiSample &sample, double f_current,
+                     double f_target)
+{
+    const double cpi = predictCpi(sample, f_current, f_target);
+    if (cpi <= 0.0)
+        return 0.0;
+    return f_target * 1e9 / cpi;
+}
+
+double
+CpiModel::predictSpeedup(const CpiSample &sample, double f_current,
+                         double f_target)
+{
+    const double cpi_now = sample.cpi;
+    const double cpi_then = predictCpi(sample, f_current, f_target);
+    if (cpi_now <= 0.0 || cpi_then <= 0.0)
+        return 1.0;
+    return (f_target / cpi_then) / (f_current / cpi_now);
+}
+
+} // namespace ppep::model

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * LL-MAB CPI prediction model (paper Sec. III, Eq. 1).
+ *
+ * CPI is split into a core part (CCPI), which is frequency-invariant in
+ * cycle terms, and a memory part (MCPI), whose *wall-clock* time is
+ * frequency-invariant and whose cycle count therefore scales with
+ * frequency:
+ *
+ *     CPI(f') = CCPI(f) + MCPI(f) * f'/f
+ *
+ * Both inputs come from three counters: CPI = E10/E11 and MCPI = E12/E11,
+ * where E12 (MAB Wait Cycles) approximates leading-load cycles on AMD
+ * hardware.
+ */
+
+#ifndef PPEP_MODEL_CPI_MODEL_HPP
+#define PPEP_MODEL_CPI_MODEL_HPP
+
+#include "ppep/sim/events.hpp"
+
+namespace ppep::model {
+
+/** CPI decomposition measured during one interval at one frequency. */
+struct CpiSample
+{
+    double cpi = 0.0;  ///< total cycles per instruction
+    double mcpi = 0.0; ///< memory (MAB-wait) cycles per instruction
+
+    /** Core CPI: the frequency-invariant cycle component. */
+    double ccpi() const { return cpi - mcpi; }
+};
+
+/** The Eq. 1 predictor. Stateless — all methods are pure. */
+class CpiModel
+{
+  public:
+    /**
+     * Extract a CpiSample from raw event counts (E10/E11/E12).
+     * Returns a zero sample if no instructions retired.
+     */
+    static CpiSample fromEvents(const sim::EventVector &events);
+
+    /** Eq. 1: CPI at @p f_target given a sample taken at @p f_current. */
+    static double predictCpi(const CpiSample &sample, double f_current,
+                             double f_target);
+
+    /** MCPI at @p f_target (memory wall-time constant, cycles scale). */
+    static double predictMcpi(const CpiSample &sample, double f_current,
+                              double f_target);
+
+    /**
+     * Instructions per second at @p f_target predicted from a sample
+     * taken at @p f_current.
+     */
+    static double predictIps(const CpiSample &sample, double f_current,
+                             double f_target);
+
+    /**
+     * Predicted speedup of moving f_current -> f_target (ratio of
+     * instruction rates; > 1 means faster).
+     */
+    static double predictSpeedup(const CpiSample &sample, double f_current,
+                                 double f_target);
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_CPI_MODEL_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hardware event predictor (paper Sec. IV-C, Eqs. 4-6).
+ *
+ * Predicts per-second hardware event rates at any target VF state from
+ * counters gathered at the current one, using the paper's two empirical
+ * observations:
+ *
+ *  - Observation 1: core-private event counts *per instruction* (E1-E8)
+ *    are independent of VF state;
+ *  - Observation 2: CPI - DispatchStalls/inst is independent of VF state
+ *    (it equals 1/IssueWidth + MisBranchPen * mispredicts/inst, none of
+ *    which depends on frequency — Eq. 6).
+ *
+ * Combined with the Eq. 1 CPI prediction, per-instruction counts convert
+ * to per-second rates at the target frequency, which is exactly what the
+ * dynamic power model consumes.
+ */
+
+#ifndef PPEP_MODEL_EVENT_PREDICTOR_HPP
+#define PPEP_MODEL_EVENT_PREDICTOR_HPP
+
+#include "ppep/model/cpi_model.hpp"
+#include "ppep/sim/events.hpp"
+
+namespace ppep::model {
+
+/** Predicted state of one core at a target VF. */
+struct PredictedCoreState
+{
+    /** Event rates (per second) at the target VF, Table I order. */
+    sim::EventVector rates_per_s{};
+    /** Predicted CPI at the target VF. */
+    double cpi = 0.0;
+    /** Predicted instruction rate at the target VF, inst/s. */
+    double ips = 0.0;
+};
+
+/** Stateless Obs.1 + Obs.2 event extrapolator. */
+class EventPredictor
+{
+  public:
+    /**
+     * Predict one core's event rates at @p f_target from counts
+     * @p events gathered over @p duration_s seconds at @p f_current.
+     *
+     * @param mcpi_scale multiplier on the memory (leading-load) time,
+     *        used by the NB-DVFS what-if (Sec. V-C2 assumes leading-load
+     *        cycles grow 50% when the NB halves its frequency).
+     *
+     * An idle core (no retired instructions) predicts as all-zero.
+     */
+    static PredictedCoreState predict(const sim::EventVector &events,
+                                      double duration_s, double f_current,
+                                      double f_target,
+                                      double mcpi_scale = 1.0);
+
+    /**
+     * The Observation-2 invariant from measured counts:
+     * CPI - DispatchStalls/inst. Zero if no instructions retired.
+     */
+    static double obs2Gap(const sim::EventVector &events);
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_EVENT_PREDICTOR_HPP

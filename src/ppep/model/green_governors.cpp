@@ -1,0 +1,70 @@
+#include "ppep/model/green_governors.hpp"
+
+#include "ppep/math/least_squares.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::model {
+
+GreenGovernorsModel
+GreenGovernorsModel::train(const std::vector<GgTrainingRow> &rows)
+{
+    PPEP_ASSERT(rows.size() >= 4, "need at least 4 GG training rows");
+    math::Matrix design(rows.size(), 4);
+    std::vector<double> target(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const auto &row = rows[r];
+        design(r, 0) = 1.0;
+        design(r, 1) = row.voltage;
+        design(r, 2) = row.voltage * row.voltage * row.cycle_rate;
+        design(r, 3) = row.voltage * row.voltage * row.inst_rate;
+        target[r] = row.power_w;
+    }
+    // Mild ridge keeps the intercept/voltage columns (nearly collinear
+    // over a 5-point VF table) from blowing up.
+    const auto fit = math::fitLeastSquares(design, target, 1e-6);
+
+    GreenGovernorsModel m;
+    m.c0_ = fit.coefficients[0];
+    m.c1_ = fit.coefficients[1];
+    m.c2_ = fit.coefficients[2];
+    m.c3_ = fit.coefficients[3];
+    m.trained_ = true;
+    return m;
+}
+
+GreenGovernorsModel
+GreenGovernorsModel::fromCoefficients(
+    const std::array<double, 4> &coefficients)
+{
+    GreenGovernorsModel m;
+    m.c0_ = coefficients[0];
+    m.c1_ = coefficients[1];
+    m.c2_ = coefficients[2];
+    m.c3_ = coefficients[3];
+    m.trained_ = true;
+    return m;
+}
+
+double
+GreenGovernorsModel::estimate(const trace::IntervalRecord &rec,
+                              const sim::VfTable &vf_table) const
+{
+    PPEP_ASSERT(!rec.cu_vf.empty(), "record has no VF context");
+    const sim::VfState &vf = vf_table.state(rec.cu_vf.front());
+    const double cyc =
+        rec.pmcTotal(sim::Event::ClocksNotHalted) / rec.duration_s;
+    const double inst =
+        rec.pmcTotal(sim::Event::RetiredInst) / rec.duration_s;
+    return estimate(vf.voltage, cyc, inst);
+}
+
+double
+GreenGovernorsModel::estimate(double voltage, double cycle_rate,
+                              double inst_rate) const
+{
+    PPEP_ASSERT(trained_, "GG model not trained");
+    return c0_ + c1_ * voltage +
+           voltage * voltage * (c2_ * cycle_rate + c3_ * inst_rate);
+}
+
+} // namespace ppep::model

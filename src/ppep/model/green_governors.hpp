@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Green Governors baseline power model (Spiliopoulos et al., IGCC'11 —
+ * reference [27] of the paper).
+ *
+ * The paper compares PPEP's energy prediction against Green Governors in
+ * Fig. 6 and characterises it as "based upon a theoretical power model
+ * (i.e. CV^2 f)" that "does not consider energy contributions from the
+ * NB". We reproduce that class of model: static power linear in voltage,
+ * dynamic power as an effective capacitance times V^2 times clock
+ * activity — no NB events, no temperature term, no per-event detail.
+ * Its higher residual error against PPEP arises for the same structural
+ * reasons as in the paper.
+ */
+
+#ifndef PPEP_MODEL_GREEN_GOVERNORS_HPP
+#define PPEP_MODEL_GREEN_GOVERNORS_HPP
+
+#include <array>
+#include <vector>
+
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::model {
+
+/** One training row for the CV^2 f baseline. */
+struct GgTrainingRow
+{
+    double voltage = 0.0;
+    /** Chip-wide unhalted cycles per second (~ f * busy cores). */
+    double cycle_rate = 0.0;
+    /** Chip-wide retired instructions per second. */
+    double inst_rate = 0.0;
+    /** Measured chip power, watts. */
+    double power_w = 0.0;
+};
+
+/** The CV^2 f-style baseline model. */
+class GreenGovernorsModel
+{
+  public:
+    GreenGovernorsModel() = default;
+
+    /** Least-squares fit of P = c0 + c1 V + V^2 (c2 Rcyc + c3 Rinst). */
+    static GreenGovernorsModel
+    train(const std::vector<GgTrainingRow> &rows);
+
+    /** Estimate chip power for an interval at its own VF state. */
+    double estimate(const trace::IntervalRecord &rec,
+                    const sim::VfTable &vf_table) const;
+
+    /** Estimate chip power from raw features. */
+    double estimate(double voltage, double cycle_rate,
+                    double inst_rate) const;
+
+    /** Whether train() produced this model. */
+    bool trained() const { return trained_; }
+
+    /** Fitted coefficients {c0, c1, c2, c3} (serialization). */
+    std::array<double, 4> coefficients() const
+    {
+        return {c0_, c1_, c2_, c3_};
+    }
+
+    /** Rebuild a trained model from its coefficients (serialization). */
+    static GreenGovernorsModel
+    fromCoefficients(const std::array<double, 4> &coefficients);
+
+  private:
+    double c0_ = 0.0; ///< constant static term
+    double c1_ = 0.0; ///< voltage-linear static term
+    double c2_ = 0.0; ///< effective capacitance per cycle
+    double c3_ = 0.0; ///< effective capacitance per instruction
+    bool trained_ = false;
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_GREEN_GOVERNORS_HPP

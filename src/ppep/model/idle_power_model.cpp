@@ -1,0 +1,84 @@
+#include "ppep/model/idle_power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ppep/math/least_squares.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::model {
+
+IdlePowerModel
+IdlePowerModel::train(const std::vector<IdleSample> &samples)
+{
+    PPEP_ASSERT(!samples.empty(), "no idle training samples");
+
+    // Group by voltage (exact match is fine: VF tables are discrete).
+    std::map<double, std::vector<const IdleSample *>> by_voltage;
+    for (const auto &s : samples)
+        by_voltage[s.voltage].push_back(&s);
+    PPEP_ASSERT(by_voltage.size() >= 2,
+                "idle training needs at least two voltages, got ",
+                by_voltage.size());
+
+    std::vector<double> volts, slopes, intercepts;
+    for (const auto &[v, group] : by_voltage) {
+        PPEP_ASSERT(group.size() >= 2, "need >= 2 samples at V=", v);
+        // Linear regression P = w1 * T + w0 at this voltage.
+        std::vector<double> ts, ps;
+        ts.reserve(group.size());
+        ps.reserve(group.size());
+        for (const auto *s : group) {
+            ts.push_back(s->temp_k);
+            ps.push_back(s->power_w);
+        }
+        const auto line = math::Polynomial::fit(ts, ps, 1);
+        volts.push_back(v);
+        intercepts.push_back(line.coefficients()[0]);
+        slopes.push_back(line.coefficients().size() > 1
+                             ? line.coefficients()[1]
+                             : 0.0);
+    }
+
+    const int degree =
+        std::min<int>(3, static_cast<int>(volts.size()) - 1);
+    IdlePowerModel model;
+    model.w1_ = math::Polynomial::fit(volts, slopes, degree);
+    model.w0_ = math::Polynomial::fit(volts, intercepts, degree);
+    model.trained_ = true;
+    return model;
+}
+
+IdlePowerModel
+IdlePowerModel::fromPolynomials(math::Polynomial w1, math::Polynomial w0)
+{
+    IdlePowerModel model;
+    model.w1_ = std::move(w1);
+    model.w0_ = std::move(w0);
+    model.trained_ = true;
+    return model;
+}
+
+double
+IdlePowerModel::predict(double voltage, double temp_k) const
+{
+    PPEP_ASSERT(trained_, "idle power model not trained");
+    return w1_(voltage) * temp_k + w0_(voltage);
+}
+
+double
+IdlePowerModel::slope(double voltage) const
+{
+    PPEP_ASSERT(trained_, "idle power model not trained");
+    return w1_(voltage);
+}
+
+double
+IdlePowerModel::intercept(double voltage) const
+{
+    PPEP_ASSERT(trained_, "idle power model not trained");
+    return w0_(voltage);
+}
+
+} // namespace ppep::model

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Chip idle power model (paper Sec. IV-A, Eq. 2).
+ *
+ *     Pidle(V, T) = Widle1(V) * T + Widle0(V)
+ *
+ * with Widle1 and Widle0 third-order polynomials of voltage. The linear
+ * temperature form is a deliberate simplification of exponential leakage
+ * that holds well inside the normal operating range; the cubic voltage
+ * form captures both the exponential-in-V leakage and the V*f idle active
+ * power in one unified model (no static power table needed).
+ *
+ * Training data comes from the Fig. 1 protocol: heat the chip, stop all
+ * work, and record (voltage, temperature, power) while it cools at each
+ * VF state.
+ */
+
+#ifndef PPEP_MODEL_IDLE_POWER_MODEL_HPP
+#define PPEP_MODEL_IDLE_POWER_MODEL_HPP
+
+#include <vector>
+
+#include "ppep/math/polynomial.hpp"
+
+namespace ppep::model {
+
+/** One idle observation: (V, T, P) while idle and not power gated. */
+struct IdleSample
+{
+    double voltage = 0.0;
+    double temp_k = 0.0;
+    double power_w = 0.0;
+};
+
+/** The Eq. 2 regression model. */
+class IdlePowerModel
+{
+  public:
+    /** Uninitialised model; predict() panics until trained. */
+    IdlePowerModel() = default;
+
+    /**
+     * Train from cooling-trace samples spanning several voltages.
+     *
+     * Per distinct voltage, a linear P-vs-T fit yields (Widle1, Widle0)
+     * points; each coefficient is then fit as a polynomial of voltage of
+     * degree min(3, #voltages - 1).
+     *
+     * @pre samples from at least two distinct voltages, each with at
+     *      least two distinct temperatures.
+     */
+    static IdlePowerModel train(const std::vector<IdleSample> &samples);
+
+    /** Eq. 2: idle power at (V, T). @pre trained. */
+    double predict(double voltage, double temp_k) const;
+
+    /** Temperature slope Widle1 at a voltage. @pre trained. */
+    double slope(double voltage) const;
+
+    /** Intercept Widle0 at a voltage. @pre trained. */
+    double intercept(double voltage) const;
+
+    /** Whether train() has produced this model. */
+    bool trained() const { return trained_; }
+
+    /** The Widle1(V) polynomial (serialization / inspection). */
+    const math::Polynomial &w1() const { return w1_; }
+
+    /** The Widle0(V) polynomial (serialization / inspection). */
+    const math::Polynomial &w0() const { return w0_; }
+
+    /** Rebuild a trained model from its two polynomials. */
+    static IdlePowerModel fromPolynomials(math::Polynomial w1,
+                                          math::Polynomial w0);
+
+  private:
+    math::Polynomial w1_; ///< Widle1(V)
+    math::Polynomial w0_; ///< Widle0(V)
+    bool trained_ = false;
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_IDLE_POWER_MODEL_HPP

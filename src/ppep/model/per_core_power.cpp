@@ -1,0 +1,65 @@
+#include "ppep/model/per_core_power.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::model {
+
+PerCorePower::PerCorePower(const sim::ChipConfig &cfg,
+                           const DynamicPowerModel &dyn,
+                           const PgIdleModel &pg)
+    : cfg_(cfg), dyn_(dyn), pg_(pg)
+{
+    PPEP_ASSERT(dyn_.trained(), "dynamic model not trained");
+    PPEP_ASSERT(pg_.trained(), "PG idle model not trained");
+}
+
+std::vector<CorePowerShare>
+PerCorePower::attribute(const trace::IntervalRecord &rec,
+                        bool pg_enabled) const
+{
+    PPEP_ASSERT(rec.pmc.size() == cfg_.coreCount(),
+                "record core count mismatch");
+    PPEP_ASSERT(rec.cu_vf.size() == cfg_.n_cus,
+                "record CU context mismatch");
+
+    // Busy topology for the Eq. 7/8 sharing rule.
+    std::vector<std::size_t> busy_per_cu(cfg_.n_cus, 0);
+    std::size_t busy_total = 0;
+    for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
+        if (rec.pmc[c][sim::eventIndex(sim::Event::RetiredInst)] > 0.0) {
+            ++busy_per_cu[c / cfg_.cores_per_cu];
+            ++busy_total;
+        }
+    }
+
+    std::vector<CorePowerShare> out(rec.pmc.size());
+    for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
+        const std::size_t cu = c / cfg_.cores_per_cu;
+        const double inst =
+            rec.pmc[c][sim::eventIndex(sim::Event::RetiredInst)];
+        if (inst <= 0.0)
+            continue; // idle core: attributed nothing
+        CorePowerShare &share = out[c];
+        share.busy = true;
+        const auto rates =
+            powerEventRates(rec.pmc[c], rec.duration_s);
+        const double voltage =
+            cfg_.vf_table.state(rec.cu_vf[cu]).voltage;
+        share.dynamic_w = dyn_.estimate(rates, voltage);
+        share.idle_share_w = pg_.perCoreIdle(
+            rec.cu_vf[cu], pg_enabled, busy_per_cu[cu], busy_total);
+        share.total_w = share.dynamic_w + share.idle_share_w;
+    }
+    return out;
+}
+
+double
+PerCorePower::total(const std::vector<CorePowerShare> &shares)
+{
+    double s = 0.0;
+    for (const auto &share : shares)
+        s += share.total_w;
+    return s;
+}
+
+} // namespace ppep::model

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-core power attribution (the closing step of paper Sec. IV-D:
+ * "Combining this with the per-core dynamic power model, we can derive
+ * total per-core power").
+ *
+ * Each busy core is charged its own dynamic power (Eq. 3 on its private
+ * counters) plus its share of the idle power under the Eq. 7 (PG
+ * enabled) or Eq. 8 (PG disabled) sharing rule. Idle cores are charged
+ * nothing — their CU's residual cost is carried by the busy ones, which
+ * is exactly how the paper's energy accounting treats background
+ * threads.
+ */
+
+#ifndef PPEP_MODEL_PER_CORE_POWER_HPP
+#define PPEP_MODEL_PER_CORE_POWER_HPP
+
+#include <vector>
+
+#include "ppep/model/dynamic_power_model.hpp"
+#include "ppep/model/pg_idle_model.hpp"
+#include "ppep/sim/chip_config.hpp"
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::model {
+
+/** One core's attributed power for an interval. */
+struct CorePowerShare
+{
+    bool busy = false;
+    /** Eq. 3 dynamic power from this core's own counters, watts. */
+    double dynamic_w = 0.0;
+    /** Eq. 7/8 share of the chip's idle power, watts. */
+    double idle_share_w = 0.0;
+    /** dynamic + idle share. */
+    double total_w = 0.0;
+};
+
+/** Per-core attribution of one interval's power. */
+class PerCorePower
+{
+  public:
+    /**
+     * @param cfg platform description (topology).
+     * @param dyn trained Eq. 3 model.
+     * @param pg  trained Eq. 7/8 decomposition.
+     */
+    PerCorePower(const sim::ChipConfig &cfg,
+                 const DynamicPowerModel &dyn, const PgIdleModel &pg);
+
+    /**
+     * Attribute the interval's power to cores. Uses the record's own
+     * (global or per-CU) VF context; @p pg_enabled selects the Eq. 7 or
+     * Eq. 8 sharing rule.
+     */
+    std::vector<CorePowerShare>
+    attribute(const trace::IntervalRecord &rec, bool pg_enabled) const;
+
+    /** Sum of all attributed power (the chip total PPEP would report). */
+    static double total(const std::vector<CorePowerShare> &shares);
+
+  private:
+    const sim::ChipConfig &cfg_;
+    const DynamicPowerModel &dyn_;
+    const PgIdleModel &pg_;
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_PER_CORE_POWER_HPP

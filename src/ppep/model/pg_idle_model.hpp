@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Power-gating-aware idle power decomposition (paper Sec. IV-D,
+ * Fig. 4, Eqs. 7-8).
+ *
+ * The Fig. 4 experiment sweeps the number of busy CUs from 0 to 4 with PG
+ * enabled and disabled, using bench_A (steady, L1-resident, NB-silent).
+ * The bar gaps isolate the idle power of one CU, the NB, and the
+ * always-on base:
+ *
+ *   gap(k busy CUs)  = (n_cus - k) * Pidle(CU)          for k >= 1
+ *   gap(0 busy CUs)  = n_cus * Pidle(CU) + Pidle(NB)    (NB gates too)
+ *   Pidle(Base)      = PG-enabled fully-idle power
+ *
+ * Per-core idle attribution then follows Eq. 7 (PG on: busy cores in a CU
+ * share that CU's idle power; all busy cores share NB + base) and Eq. 8
+ * (PG off: all busy cores share the whole chip idle power).
+ */
+
+#ifndef PPEP_MODEL_PG_IDLE_MODEL_HPP
+#define PPEP_MODEL_PG_IDLE_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace ppep::model {
+
+/** Measured chip power for the Fig. 4 sweep at one VF state. */
+struct PgSweepMeasurement
+{
+    /** VF index these measurements were taken at. */
+    std::size_t vf_index = 0;
+    /** power_pg_off[k] = chip power with k busy CUs, PG disabled. */
+    std::vector<double> power_pg_off;
+    /** power_pg_on[k] = chip power with k busy CUs, PG enabled. */
+    std::vector<double> power_pg_on;
+};
+
+/** Extracted idle components at one VF state. */
+struct PgIdleComponents
+{
+    double p_cu = 0.0;   ///< Pidle(CU)
+    double p_nb = 0.0;   ///< Pidle(NB)
+    double p_base = 0.0; ///< Pidle(Base) — VF-independent in principle
+};
+
+/** The Eq. 7/8 per-core idle power model. */
+class PgIdleModel
+{
+  public:
+    PgIdleModel() = default;
+
+    /**
+     * Derive components from Fig. 4 sweeps (one per VF state, each with
+     * n_cus+1 entries per PG setting).
+     */
+    static PgIdleModel fromSweeps(
+        const std::vector<PgSweepMeasurement> &sweeps,
+        std::size_t n_cus);
+
+    /** Components at a VF index. @pre trained and index known. */
+    const PgIdleComponents &components(std::size_t vf_index) const;
+
+    /**
+     * Eq. 7/8: idle power attributed to one busy core.
+     *
+     * @param pg_enabled     whether power gating is active.
+     * @param busy_in_cu     busy cores in this core's CU (m >= 1).
+     * @param busy_in_chip   busy cores chip-wide (n >= 1).
+     */
+    double perCoreIdle(std::size_t vf_index, bool pg_enabled,
+                       std::size_t busy_in_cu,
+                       std::size_t busy_in_chip) const;
+
+    /**
+     * Total chip idle power under PG with the given per-CU busy-core
+     * counts (size n_cus; zero entries mean the CU is gated).
+     */
+    double chipIdle(std::size_t vf_index, bool pg_enabled,
+                    const std::vector<std::size_t> &busy_per_cu) const;
+
+    /** Number of CUs the model was built for. */
+    std::size_t cuCount() const { return n_cus_; }
+
+    /**
+     * NB idle power averaged over the measured VF states. The NB runs in
+     * its own fixed VF domain, so its idle power is core-VF-independent
+     * up to measurement noise; the average is what mixed per-CU VF
+     * assignments should use.
+     */
+    double pNbAvg() const;
+
+    /** Base (always-on) power averaged over the measured VF states. */
+    double pBaseAvg() const;
+
+    /**
+     * Chip idle power for a *mixed* per-CU VF assignment under PG:
+     * base + NB (if any CU busy) + per-busy-CU Pidle(CU) at that CU's
+     * own VF. @pre pg semantics as in chipIdle().
+     */
+    double chipIdleMixed(const std::vector<std::size_t> &cu_vf,
+                         const std::vector<std::size_t> &busy_per_cu,
+                         bool pg_enabled) const;
+
+    /** Whether fromSweeps() produced this model. */
+    bool trained() const { return !components_.empty(); }
+
+    /** All per-VF components in index order (serialization). */
+    const std::vector<PgIdleComponents> &allComponents() const
+    {
+        return components_;
+    }
+
+    /** Rebuild a trained model from its components (serialization). */
+    static PgIdleModel
+    fromComponents(std::vector<PgIdleComponents> components,
+                   std::size_t n_cus);
+
+  private:
+    std::vector<PgIdleComponents> components_; ///< indexed by VF
+    std::size_t n_cus_ = 0;
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_PG_IDLE_MODEL_HPP

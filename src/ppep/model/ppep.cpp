@@ -1,0 +1,112 @@
+#include "ppep/model/ppep.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::model {
+
+Ppep::Ppep(const sim::ChipConfig &cfg, ChipPowerModel power,
+           PgIdleModel pg)
+    : cfg_(cfg), power_(std::move(power)), pg_(std::move(pg))
+{
+    PPEP_ASSERT(power_.trained(), "PPEP requires a trained power model");
+}
+
+VfPrediction
+Ppep::predictVf(const trace::IntervalRecord &rec,
+                std::size_t target_vf) const
+{
+    PPEP_ASSERT(!rec.cu_vf.empty(), "record has no VF context");
+    const sim::VfState &now = cfg_.vf_table.state(rec.cu_vf.front());
+    const sim::VfState &then = cfg_.vf_table.state(target_vf);
+
+    VfPrediction out;
+    out.vf_index = target_vf;
+
+    const PowerEstimate est = power_.predictAt(rec, target_vf);
+    out.chip_power_w = est.total_w;
+    out.idle_w = est.idle_w;
+    out.dynamic_w = est.dynamic_w;
+
+    out.cores.resize(rec.pmc.size());
+    for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
+        const PredictedCoreState pred = EventPredictor::predict(
+            rec.pmc[c], rec.duration_s, now.freq_ghz, then.freq_ghz);
+        CorePpe &core = out.cores[c];
+        core.cpi = pred.cpi;
+        core.ips = pred.ips;
+        core.busy = pred.ips > 0.0;
+        std::array<double, sim::kNumPowerEvents> rates{};
+        for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
+            rates[i] = pred.rates_per_s[i];
+        core.dynamic_w =
+            power_.dynamicModel().estimate(rates, then.voltage);
+        if (core.busy)
+            out.total_ips +=
+                pred.rates_per_s[sim::eventIndex(
+                    sim::Event::RetiredInst)];
+    }
+
+    if (out.total_ips > 0.0) {
+        out.energy_per_inst = out.chip_power_w / out.total_ips;
+        out.edp_per_inst = out.chip_power_w / (out.total_ips *
+                                               out.total_ips);
+    }
+    return out;
+}
+
+std::vector<VfPrediction>
+Ppep::explore(const trace::IntervalRecord &rec) const
+{
+    std::vector<VfPrediction> out;
+    out.reserve(cfg_.vf_table.size());
+    for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf)
+        out.push_back(predictVf(rec, vf));
+    return out;
+}
+
+AssignmentPrediction
+Ppep::predictAssignment(const trace::IntervalRecord &rec,
+                        const std::vector<std::size_t> &cu_vf,
+                        bool pg_enabled) const
+{
+    PPEP_ASSERT(pg_.trained(),
+                "per-CU assignment prediction needs the PG idle model");
+    PPEP_ASSERT(cu_vf.size() == cfg_.n_cus, "cu_vf size mismatch");
+    PPEP_ASSERT(rec.cu_vf.size() == cfg_.n_cus,
+                "record CU context mismatch");
+
+    AssignmentPrediction out;
+    out.cores.resize(rec.pmc.size());
+
+    std::vector<std::size_t> busy_per_cu(cfg_.n_cus, 0);
+    for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
+        const std::size_t cu = c / cfg_.cores_per_cu;
+        const sim::VfState &now =
+            cfg_.vf_table.state(rec.cu_vf[cu]);
+        const sim::VfState &then = cfg_.vf_table.state(cu_vf[cu]);
+        const PredictedCoreState pred = EventPredictor::predict(
+            rec.pmc[c], rec.duration_s, now.freq_ghz, then.freq_ghz);
+        CorePpe &core = out.cores[c];
+        core.cpi = pred.cpi;
+        core.ips = pred.ips;
+        core.busy = pred.ips > 0.0;
+        if (core.busy)
+            ++busy_per_cu[cu];
+        std::array<double, sim::kNumPowerEvents> rates{};
+        for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
+            rates[i] = pred.rates_per_s[i];
+        // Per-CU voltage plane: this CU's own voltage prices its events.
+        core.dynamic_w =
+            power_.dynamicModel().estimate(rates, then.voltage);
+        out.dynamic_w += core.dynamic_w;
+        if (core.busy)
+            out.total_ips += pred.rates_per_s[sim::eventIndex(
+                sim::Event::RetiredInst)];
+    }
+
+    out.idle_w = pg_.chipIdleMixed(cu_vf, busy_per_cu, pg_enabled);
+    out.chip_power_w = out.idle_w + out.dynamic_w;
+    return out;
+}
+
+} // namespace ppep::model

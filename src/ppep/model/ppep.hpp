@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The PPEP framework facade (paper Fig. 5).
+ *
+ * One object bundles the four trained components — CPI predictor, idle
+ * power model, dynamic power model, hardware event predictor — plus the
+ * PG-aware idle decomposition, and exposes the Fig. 5 pipeline: feed in
+ * one interval's observations (PMC counts, VF state, temperature) and get
+ * back predicted performance, power, and energy at *every* VF state, for
+ * the chip and per core. DVFS policies (ppep::governor) consume these
+ * predictions to act in a single step.
+ */
+
+#ifndef PPEP_MODEL_PPEP_HPP
+#define PPEP_MODEL_PPEP_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "ppep/model/chip_power_model.hpp"
+#include "ppep/model/pg_idle_model.hpp"
+#include "ppep/sim/chip_config.hpp"
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::model {
+
+/** Per-core performance/power prediction at one VF state. */
+struct CorePpe
+{
+    double cpi = 0.0;       ///< predicted CPI
+    double ips = 0.0;       ///< predicted instructions/second
+    double dynamic_w = 0.0; ///< predicted dynamic power, watts
+    bool busy = false;      ///< whether the core had work
+};
+
+/** Chip-level prediction at one VF state (global DVFS). */
+struct VfPrediction
+{
+    std::size_t vf_index = 0;
+    double chip_power_w = 0.0;
+    double idle_w = 0.0;
+    double dynamic_w = 0.0;
+    /** Summed predicted instruction rate over busy cores. */
+    double total_ips = 0.0;
+    /** Energy per instruction, J — the fixed-work energy metric. */
+    double energy_per_inst = 0.0;
+    /** Energy-delay product per instruction^2, J*s — fixed-work EDP. */
+    double edp_per_inst = 0.0;
+    std::vector<CorePpe> cores;
+};
+
+/** Prediction for a per-CU VF assignment (the capping use case). */
+struct AssignmentPrediction
+{
+    double chip_power_w = 0.0;
+    double idle_w = 0.0;
+    double dynamic_w = 0.0;
+    double total_ips = 0.0;
+    std::vector<CorePpe> cores;
+};
+
+/** The assembled PPEP predictor. */
+class Ppep
+{
+  public:
+    /**
+     * @param cfg   chip description (topology + VF table).
+     * @param power trained idle+dynamic chip power model.
+     * @param pg    trained PG idle decomposition; pass an untrained model
+     *              for chips without PG (global predictions still work).
+     */
+    Ppep(const sim::ChipConfig &cfg, ChipPowerModel power,
+         PgIdleModel pg);
+
+    /**
+     * The Fig. 5 pipeline for global DVFS: predictions at every VF state
+     * for the workload captured in @p rec.
+     */
+    std::vector<VfPrediction>
+    explore(const trace::IntervalRecord &rec) const;
+
+    /** Prediction at one VF state (global DVFS). */
+    VfPrediction predictVf(const trace::IntervalRecord &rec,
+                           std::size_t target_vf) const;
+
+    /**
+     * Prediction for a per-CU VF assignment, assuming per-CU voltage
+     * planes (the Sec. V-B capping assumption) and using the PG-aware
+     * idle decomposition. @pre the PG model is trained.
+     */
+    AssignmentPrediction
+    predictAssignment(const trace::IntervalRecord &rec,
+                      const std::vector<std::size_t> &cu_vf,
+                      bool pg_enabled) const;
+
+    /** Underlying chip power model. */
+    const ChipPowerModel &powerModel() const { return power_; }
+
+    /** Underlying PG idle decomposition. */
+    const PgIdleModel &pgModel() const { return pg_; }
+
+    /** VF table in use. */
+    const sim::VfTable &vfTable() const { return cfg_.vf_table; }
+
+  private:
+    sim::ChipConfig cfg_;
+    ChipPowerModel power_;
+    PgIdleModel pg_;
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_PPEP_HPP

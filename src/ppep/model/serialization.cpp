@@ -1,0 +1,232 @@
+#include "ppep/model/serialization.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::model {
+
+namespace {
+
+constexpr const char *kMagic = "ppep-models";
+constexpr int kVersion = 1;
+
+/** Exact double -> text (17 significant digits round-trip). */
+std::string
+num(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** One keyword + values line reader with format checking. */
+class LineReader
+{
+  public:
+    explicit LineReader(std::istream &in) : in_(in) {}
+
+    /** Read the next non-empty line; expect it to start with @p key. */
+    std::vector<double>
+    expect(const std::string &key)
+    {
+        std::string line;
+        while (std::getline(in_, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            std::istringstream iss(line);
+            std::string word;
+            iss >> word;
+            if (word != key) {
+                PPEP_FATAL("model file: expected '", key, "', found '",
+                           word, "'");
+            }
+            std::vector<double> values;
+            double v;
+            while (iss >> v)
+                values.push_back(v);
+            return values;
+        }
+        PPEP_FATAL("model file: unexpected end of file (wanted '", key,
+                   "')");
+    }
+
+    /** Read a keyword line whose payload is a single string token. */
+    std::string
+    expectString(const std::string &key)
+    {
+        std::string line;
+        while (std::getline(in_, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            std::istringstream iss(line);
+            std::string word;
+            iss >> word;
+            if (word != key) {
+                PPEP_FATAL("model file: expected '", key, "', found '",
+                           word, "'");
+            }
+            std::string rest;
+            std::getline(iss, rest);
+            const auto start = rest.find_first_not_of(' ');
+            return start == std::string::npos ? "" : rest.substr(start);
+        }
+        PPEP_FATAL("model file: unexpected end of file (wanted '", key,
+                   "')");
+    }
+
+  private:
+    std::istream &in_;
+};
+
+void
+writePolynomial(std::ostream &out, const char *key,
+                const math::Polynomial &p)
+{
+    out << key;
+    for (double c : p.coefficients())
+        out << ' ' << num(c);
+    out << '\n';
+}
+
+} // namespace
+
+void
+saveModels(const TrainedModels &models, std::ostream &out)
+{
+    PPEP_ASSERT(models.idle.trained() && models.dynamic.trained(),
+                "cannot save untrained models");
+
+    out << kMagic << ' ' << kVersion << '\n';
+    out << "platform generic\n"; // reserved for future use
+    out << "alpha " << num(models.alpha) << '\n';
+
+    writePolynomial(out, "idle_w1", models.idle.w1());
+    writePolynomial(out, "idle_w0", models.idle.w0());
+
+    out << "dyn_vtrain " << num(models.dynamic.trainingVoltage())
+        << '\n';
+    out << "dyn_weights";
+    for (double w : models.dynamic.weights())
+        out << ' ' << num(w);
+    out << '\n';
+
+    out << "gg_trained " << (models.gg.trained() ? 1 : 0) << '\n';
+    if (models.gg.trained()) {
+        out << "gg_coefficients";
+        for (double c : models.gg.coefficients())
+            out << ' ' << num(c);
+        out << '\n';
+    }
+
+    out << "pg_trained " << (models.pg.trained() ? 1 : 0) << '\n';
+    if (models.pg.trained()) {
+        out << "pg_n_cus " << models.pg.cuCount() << '\n';
+        out << "pg_components " << models.pg.allComponents().size()
+            << '\n';
+        for (const auto &c : models.pg.allComponents()) {
+            out << "pg_entry " << num(c.p_cu) << ' ' << num(c.p_nb)
+                << ' ' << num(c.p_base) << '\n';
+        }
+    }
+}
+
+void
+saveModels(const TrainedModels &models, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        PPEP_FATAL("cannot open '", path, "' for writing");
+    saveModels(models, out);
+    if (!out)
+        PPEP_FATAL("write to '", path, "' failed");
+}
+
+TrainedModels
+loadModels(std::istream &in, const sim::ChipConfig &cfg)
+{
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    if (magic != kMagic)
+        PPEP_FATAL("not a PPEP model file (bad magic '", magic, "')");
+    if (version != kVersion)
+        PPEP_FATAL("unsupported model file version ", version);
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+
+    LineReader reader(in);
+    reader.expect("platform"); // reserved; value currently unused
+
+    TrainedModels models;
+    const auto alpha = reader.expect("alpha");
+    PPEP_ASSERT(alpha.size() == 1, "bad alpha line");
+    models.alpha = alpha[0];
+
+    const auto w1 = reader.expect("idle_w1");
+    const auto w0 = reader.expect("idle_w0");
+    models.idle = IdlePowerModel::fromPolynomials(math::Polynomial(w1),
+                                                  math::Polynomial(w0));
+
+    const auto vtrain = reader.expect("dyn_vtrain");
+    PPEP_ASSERT(vtrain.size() == 1, "bad dyn_vtrain line");
+    const auto weights = reader.expect("dyn_weights");
+    PPEP_ASSERT(weights.size() == sim::kNumPowerEvents,
+                "expected ", sim::kNumPowerEvents, " weights, got ",
+                weights.size());
+    std::array<double, sim::kNumPowerEvents> warr{};
+    for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
+        warr[i] = weights[i];
+    models.dynamic =
+        DynamicPowerModel::fromWeights(warr, vtrain[0], models.alpha);
+
+    const auto gg_flag = reader.expect("gg_trained");
+    PPEP_ASSERT(gg_flag.size() == 1, "bad gg_trained line");
+    if (gg_flag[0] != 0.0) {
+        const auto cs = reader.expect("gg_coefficients");
+        PPEP_ASSERT(cs.size() == 4, "bad gg_coefficients line");
+        models.gg = GreenGovernorsModel::fromCoefficients(
+            {cs[0], cs[1], cs[2], cs[3]});
+    }
+
+    const auto pg_flag = reader.expect("pg_trained");
+    PPEP_ASSERT(pg_flag.size() == 1, "bad pg_trained line");
+    if (pg_flag[0] != 0.0) {
+        const auto n_cus = reader.expect("pg_n_cus");
+        const auto count = reader.expect("pg_components");
+        PPEP_ASSERT(n_cus.size() == 1 && count.size() == 1,
+                    "bad PG header lines");
+        std::vector<PgIdleComponents> components;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(count[0]); ++i) {
+            const auto entry = reader.expect("pg_entry");
+            PPEP_ASSERT(entry.size() == 3, "bad pg_entry line");
+            components.push_back({entry[0], entry[1], entry[2]});
+        }
+        models.pg = PgIdleModel::fromComponents(
+            std::move(components),
+            static_cast<std::size_t>(n_cus[0]));
+        PPEP_ASSERT(models.pg.cuCount() == cfg.n_cus,
+                    "model file was trained for a ",
+                    models.pg.cuCount(), "-CU part; this chip has ",
+                    cfg.n_cus);
+    }
+
+    models.chip =
+        ChipPowerModel(models.idle, models.dynamic, cfg.vf_table);
+    return models;
+}
+
+TrainedModels
+loadModels(const std::string &path, const sim::ChipConfig &cfg)
+{
+    std::ifstream in(path);
+    if (!in)
+        PPEP_FATAL("cannot open model file '", path, "'");
+    return loadModels(in, cfg);
+}
+
+} // namespace ppep::model

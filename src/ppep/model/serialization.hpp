@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Persistence for trained PPEP models.
+ *
+ * Training is a one-time offline effort per processor (Sec. IV-B: "a
+ * one-time, offline effort"); a deployment trains once, stores the
+ * models, and every subsequent boot loads them. The format is a
+ * versioned, line-oriented text file: human-inspectable, diff-friendly,
+ * and byte-exact for doubles (hex float round-trip).
+ */
+
+#ifndef PPEP_MODEL_SERIALIZATION_HPP
+#define PPEP_MODEL_SERIALIZATION_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "ppep/model/trainer.hpp"
+
+namespace ppep::model {
+
+/** Serialize all trained models to a stream. @pre chip model trained. */
+void saveModels(const TrainedModels &models, std::ostream &out);
+
+/** Serialize to a file; fatal() on I/O failure. */
+void saveModels(const TrainedModels &models, const std::string &path);
+
+/**
+ * Load models previously written by saveModels(). The VF table (needed
+ * by the assembled ChipPowerModel) comes from @p cfg, which must be the
+ * platform the models were trained for; a CU-count mismatch in the PG
+ * decomposition is fatal.
+ */
+TrainedModels loadModels(std::istream &in, const sim::ChipConfig &cfg);
+
+/** Load from a file; fatal() on I/O or format failure. */
+TrainedModels loadModels(const std::string &path,
+                         const sim::ChipConfig &cfg);
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_SERIALIZATION_HPP

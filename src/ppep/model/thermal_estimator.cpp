@@ -1,0 +1,86 @@
+#include "ppep/model/thermal_estimator.hpp"
+
+#include <cmath>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::model {
+
+ThermalEstimate
+ThermalEstimator::fit(const CoolingTrace &trace, double interval_s)
+{
+    PPEP_ASSERT(interval_s > 0.0, "non-positive interval");
+    PPEP_ASSERT(trace.cool_start >= 10 &&
+                trace.temp_curve_k.size() >= trace.cool_start + 30,
+                "trace too short to fit thermal parameters");
+
+    const std::size_t n_cool =
+        trace.temp_curve_k.size() - trace.cool_start;
+
+    // --- cooling asymptote + time constant -----------------------------
+    // Three equally spaced samples of a first-order decay give the
+    // asymptote in closed form: T_inf = (T0*T2 - T1^2)/(T0 + T2 - 2*T1).
+    const double t0 = trace.temp_curve_k[trace.cool_start];
+    const double t1 =
+        trace.temp_curve_k[trace.cool_start + n_cool / 2];
+    const double t2 = trace.temp_curve_k.back();
+    const double denom = t0 + t2 - 2.0 * t1;
+    PPEP_ASSERT(std::fabs(denom) > 1e-9,
+                "degenerate cooling curve (no decay visible)");
+    const double t_inf = (t0 * t2 - t1 * t1) / denom;
+    PPEP_ASSERT(t0 > t_inf, "cooling curve does not decay");
+
+    const double dt_half =
+        static_cast<double>(n_cool / 2) * interval_s;
+    const double ratio = (t1 - t_inf) / (t0 - t_inf);
+    PPEP_ASSERT(ratio > 0.0 && ratio < 1.0,
+                "implausible cooling ratio");
+    const double tau = -dt_half / std::log(ratio);
+
+    // --- the two (power, steady temperature) anchor points -------------
+    auto tail_mean = [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            s += trace.power_curve_w[i];
+        return s / static_cast<double>(hi - lo);
+    };
+    const double p_idle = tail_mean(
+        trace.power_curve_w.size() - n_cool / 5,
+        trace.power_curve_w.size());
+    const double p_hot =
+        tail_mean(trace.cool_start - trace.cool_start / 5,
+                  trace.cool_start);
+
+    // The heat phase may not have fully settled; correct its endpoint
+    // to the true asymptote using the fitted time constant.
+    const double t_start = trace.temp_curve_k.front();
+    const double t_end_heat =
+        trace.temp_curve_k[trace.cool_start - 1];
+    const double heat_time =
+        static_cast<double>(trace.cool_start) * interval_s;
+    const double decay = std::exp(-heat_time / tau);
+    const double t_ss_hot =
+        (t_end_heat - t_start * decay) / (1.0 - decay);
+
+    ThermalEstimate est;
+    est.time_constant_s = tau;
+    est.resistance_k_per_w = (t_ss_hot - t_inf) / (p_hot - p_idle);
+    est.ambient_k = t_inf - est.resistance_k_per_w * p_idle;
+    PPEP_ASSERT(est.resistance_k_per_w > 0.0 && est.ambient_k > 200.0,
+                "implausible thermal fit (R=", est.resistance_k_per_w,
+                ", ambient=", est.ambient_k, ")");
+    return est;
+}
+
+ThermalEstimate
+ThermalEstimator::estimate(const Trainer &trainer)
+{
+    const auto trace = trainer.collectCoolingTrace(
+        trainer.config().vf_table.top(), 600, 900);
+    const double interval_s =
+        trainer.config().tick_s *
+        static_cast<double>(trainer.config().ticks_per_interval);
+    return fit(trace, interval_s);
+}
+
+} // namespace ppep::model

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Thermal-parameter estimation from the Fig. 1 traces (extension).
+ *
+ * The heat/cool protocol that trains the idle power model also exposes
+ * the package's thermal network: the cooling tail is a first-order
+ * exponential whose asymptote/steepness give the time constant, and the
+ * (power, steady-temperature) pairs of the hot and cooled regimes give
+ * the junction-to-ambient resistance. With those three constants a
+ * governor can predict the *temperature* a VF state would settle at
+ * before switching to it — proactive thermal management in the same
+ * one-step spirit as the paper's power capping.
+ */
+
+#ifndef PPEP_MODEL_THERMAL_ESTIMATOR_HPP
+#define PPEP_MODEL_THERMAL_ESTIMATOR_HPP
+
+#include "ppep/model/trainer.hpp"
+
+namespace ppep::model {
+
+/** Fitted first-order thermal network parameters. */
+struct ThermalEstimate
+{
+    /** Ambient temperature, kelvin. */
+    double ambient_k = 0.0;
+    /** Junction-to-ambient resistance, K/W. */
+    double resistance_k_per_w = 0.0;
+    /** Time constant, seconds. */
+    double time_constant_s = 0.0;
+
+    /** Steady-state temperature this power level settles at. */
+    double steadyState(double power_w) const
+    {
+        return ambient_k + resistance_k_per_w * power_w;
+    }
+
+    /** Highest sustained power that keeps T_ss at or under @p cap. */
+    double powerBudgetFor(double temp_cap_k) const
+    {
+        return (temp_cap_k - ambient_k) / resistance_k_per_w;
+    }
+};
+
+/** Fits ThermalEstimate from a heat/cool run. */
+class ThermalEstimator
+{
+  public:
+    /**
+     * Fit from one CoolingTrace (heat portion must have reached a
+     * near-steady temperature; the default Trainer lengths do).
+     *
+     * @param interval_s wall time per curve sample (one decision
+     *        interval, 0.2 s at the default configuration).
+     */
+    static ThermalEstimate fit(const CoolingTrace &trace,
+                               double interval_s);
+
+    /** Convenience: run the protocol on @p trainer and fit. */
+    static ThermalEstimate estimate(const Trainer &trainer);
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_THERMAL_ESTIMATOR_HPP

@@ -1,0 +1,245 @@
+#include "ppep/model/validation.hpp"
+
+#include <algorithm>
+
+#include "ppep/math/kfold.hpp"
+#include "ppep/util/logging.hpp"
+#include "ppep/util/stats.hpp"
+
+namespace ppep::model {
+
+namespace {
+
+/** Dynamic power below this is treated as unreliable for relative error
+ *  (matches the sensor's noise floor). */
+constexpr double kMinDynW = 1.0;
+
+} // namespace
+
+Validator::Validator(sim::ChipConfig cfg,
+                     std::vector<const workloads::Combination *> combos,
+                     std::uint64_t seed, std::size_t k)
+    : cfg_(std::move(cfg)), combos_(std::move(combos)), seed_(seed),
+      k_(k), trainer_(cfg_, seed)
+{
+    PPEP_ASSERT(!combos_.empty(), "no combinations to validate");
+    PPEP_ASSERT(k_ >= 2, "need at least two folds");
+}
+
+void
+Validator::prepare(std::size_t max_intervals)
+{
+    std::vector<std::size_t> vfs(cfg_.vf_table.size());
+    for (std::size_t i = 0; i < vfs.size(); ++i)
+        vfs[i] = i;
+    dataset_ = trainer_.collectDataset(combos_, vfs, max_intervals);
+
+    // Random fold assignment, as in the paper.
+    util::Rng fold_rng(seed_ ^ 0xF01DF01DULL);
+    const auto folds = math::makeFolds(combos_.size(), k_, fold_rng);
+    combo_fold_.assign(combos_.size(), 0);
+    for (std::size_t f = 0; f < folds.size(); ++f)
+        for (std::size_t idx : folds[f].test)
+            combo_fold_[idx] = f;
+
+    // The hardware-protocol models (idle, alpha, PG) are independent of
+    // the benchmark split; train them once and share across folds.
+    IdlePowerModel idle = trainer_.trainIdle();
+    const double alpha = trainer_.estimateAlpha(idle);
+    PgIdleModel pg;
+    if (cfg_.pg_supported)
+        pg = trainer_.trainPg();
+
+    fold_models_.clear();
+    fold_models_.resize(k_);
+    for (std::size_t f = 0; f < k_; ++f) {
+        std::vector<const ComboTrace *> train_traces;
+        for (const auto &t : dataset_) {
+            // Which combo index is this trace's combo?
+            const auto it =
+                std::find(combos_.begin(), combos_.end(), t.combo);
+            PPEP_ASSERT(it != combos_.end(), "trace of unknown combo");
+            const std::size_t idx = static_cast<std::size_t>(
+                std::distance(combos_.begin(), it));
+            if (combo_fold_[idx] != f) // not held out -> training data
+                train_traces.push_back(&t);
+        }
+        TrainedModels &m = fold_models_[f];
+        m.idle = idle;
+        m.alpha = alpha;
+        m.pg = pg;
+        m.dynamic = trainer_.trainDynamic(idle, alpha, train_traces);
+        m.gg = trainer_.trainGg(train_traces);
+        m.chip = ChipPowerModel(idle, m.dynamic, cfg_.vf_table);
+    }
+    prepared_ = true;
+}
+
+const TrainedModels &
+Validator::foldModels(std::size_t fold) const
+{
+    PPEP_ASSERT(prepared_, "call prepare() first");
+    PPEP_ASSERT(fold < fold_models_.size(), "fold out of range");
+    return fold_models_[fold];
+}
+
+std::size_t
+Validator::foldOf(std::size_t combo_idx) const
+{
+    PPEP_ASSERT(prepared_, "call prepare() first");
+    PPEP_ASSERT(combo_idx < combo_fold_.size(), "combo out of range");
+    return combo_fold_[combo_idx];
+}
+
+std::vector<const ComboTrace *>
+Validator::tracesOf(std::size_t combo_idx) const
+{
+    std::vector<const ComboTrace *> out(cfg_.vf_table.size(), nullptr);
+    const workloads::Combination *combo = combos_[combo_idx];
+    for (const auto &t : dataset_) {
+        if (t.combo == combo)
+            out[t.vf_index] = &t;
+    }
+    for (const auto *t : out)
+        PPEP_ASSERT(t != nullptr, "missing trace for combo");
+    return out;
+}
+
+std::vector<ComboError>
+Validator::validateEstimation() const
+{
+    PPEP_ASSERT(prepared_, "call prepare() first");
+    std::vector<ComboError> out;
+    for (std::size_t i = 0; i < combos_.size(); ++i) {
+        const TrainedModels &m = fold_models_[combo_fold_[i]];
+        for (const auto *trace : tracesOf(i)) {
+            const double v =
+                cfg_.vf_table.state(trace->vf_index).voltage;
+            util::RunningStats err_dyn, err_chip;
+            for (const auto &rec : trace->recs) {
+                if (rec.busy_cores == 0)
+                    continue;
+                const PowerEstimate est = m.chip.estimate(rec);
+                err_chip.add(util::absRelErr(est.total_w,
+                                             rec.sensor_power_w));
+                const double meas_dyn =
+                    rec.sensor_power_w -
+                    m.idle.predict(v, rec.diode_temp_k);
+                if (meas_dyn >= kMinDynW) {
+                    err_dyn.add(
+                        util::absRelErr(est.dynamic_w, meas_dyn));
+                }
+            }
+            ComboError e;
+            e.combo = combos_[i];
+            e.vf_index = trace->vf_index;
+            e.aae_dynamic = err_dyn.mean();
+            e.aae_chip = err_chip.mean();
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+std::vector<CrossVfError>
+Validator::validateCrossVf() const
+{
+    PPEP_ASSERT(prepared_, "call prepare() first");
+    std::vector<CrossVfError> out;
+    const std::size_t n_vf = cfg_.vf_table.size();
+    for (std::size_t i = 0; i < combos_.size(); ++i) {
+        const TrainedModels &m = fold_models_[combo_fold_[i]];
+        const auto traces = tracesOf(i);
+
+        // Measured per-VF averages.
+        std::vector<double> meas_chip(n_vf, 0.0), meas_dyn(n_vf, 0.0);
+        for (std::size_t vf = 0; vf < n_vf; ++vf) {
+            const double v = cfg_.vf_table.state(vf).voltage;
+            util::RunningStats chip_w, dyn_w;
+            for (const auto &rec : traces[vf]->recs) {
+                if (rec.busy_cores == 0)
+                    continue;
+                chip_w.add(rec.sensor_power_w);
+                dyn_w.add(rec.sensor_power_w -
+                          m.idle.predict(v, rec.diode_temp_k));
+            }
+            meas_chip[vf] = chip_w.mean();
+            meas_dyn[vf] = dyn_w.mean();
+        }
+
+        // Predicted averages for every (from, to) pair.
+        for (std::size_t from = 0; from < n_vf; ++from) {
+            std::vector<util::RunningStats> pred_chip(n_vf),
+                pred_dyn(n_vf);
+            for (const auto &rec : traces[from]->recs) {
+                if (rec.busy_cores == 0)
+                    continue;
+                for (std::size_t to = 0; to < n_vf; ++to) {
+                    const PowerEstimate est = m.chip.predictAt(rec, to);
+                    pred_chip[to].add(est.total_w);
+                    pred_dyn[to].add(est.dynamic_w);
+                }
+            }
+            for (std::size_t to = 0; to < n_vf; ++to) {
+                CrossVfError e;
+                e.combo = combos_[i];
+                e.vf_from = from;
+                e.vf_to = to;
+                e.err_chip = util::absRelErr(pred_chip[to].mean(),
+                                             meas_chip[to]);
+                e.err_dynamic =
+                    meas_dyn[to] >= kMinDynW
+                        ? util::absRelErr(pred_dyn[to].mean(),
+                                          meas_dyn[to])
+                        : 0.0;
+                out.push_back(e);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<EnergyError>
+Validator::validateEnergy() const
+{
+    PPEP_ASSERT(prepared_, "call prepare() first");
+    std::vector<EnergyError> out;
+    for (std::size_t i = 0; i < combos_.size(); ++i) {
+        const TrainedModels &m = fold_models_[combo_fold_[i]];
+        for (const auto *trace : tracesOf(i)) {
+            util::RunningStats err_ppep, err_gg;
+            for (std::size_t t = 0; t + 1 < trace->recs.size(); ++t) {
+                const auto &now = trace->recs[t];
+                const auto &next = trace->recs[t + 1];
+                if (now.busy_cores == 0 || next.busy_cores == 0)
+                    continue;
+                // A busy-core-count change means an instance started or
+                // finished — the workload *set* changed, which no
+                // same-workload predictor can anticipate. The paper's
+                // minutes-long runs make such boundaries negligible;
+                // our compressed runs must exclude them explicitly.
+                if (now.busy_cores != next.busy_cores)
+                    continue;
+                const double meas_j =
+                    next.sensor_power_w * next.duration_s;
+                const double ppep_j =
+                    m.chip.estimate(now).total_w * now.duration_s;
+                const double gg_j =
+                    m.gg.estimate(now, cfg_.vf_table) * now.duration_s;
+                err_ppep.add(util::absRelErr(ppep_j, meas_j));
+                err_gg.add(util::absRelErr(gg_j, meas_j));
+            }
+            if (err_ppep.count() == 0)
+                continue;
+            EnergyError e;
+            e.combo = combos_[i];
+            e.vf_index = trace->vf_index;
+            e.aae_ppep = err_ppep.mean();
+            e.aae_gg = err_gg.mean();
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+} // namespace ppep::model

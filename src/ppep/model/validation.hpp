@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Cross-validation drivers reproducing the paper's accuracy studies.
+ *
+ * The paper randomly splits the 152 benchmark combinations into four
+ * equal sets and 4-fold cross validates: every model accuracy number
+ * (Figs. 2, 3, 6 and the in-text suite breakdowns) is an average of
+ * per-benchmark AAEs computed on held-out combinations only. This module
+ * owns the shared dataset, the fold machinery, and the three validation
+ * computations.
+ */
+
+#ifndef PPEP_MODEL_VALIDATION_HPP
+#define PPEP_MODEL_VALIDATION_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ppep/model/trainer.hpp"
+
+namespace ppep::model {
+
+/** Per-combination AAE at one VF state. */
+struct ComboError
+{
+    const workloads::Combination *combo = nullptr;
+    std::size_t vf_index = 0;
+    double aae_dynamic = 0.0; ///< dynamic power model AAE
+    double aae_chip = 0.0;    ///< chip power model AAE
+};
+
+/** Per-combination cross-VF prediction error for one VF pair. */
+struct CrossVfError
+{
+    const workloads::Combination *combo = nullptr;
+    std::size_t vf_from = 0;
+    std::size_t vf_to = 0;
+    double err_dynamic = 0.0; ///< |pred - meas| / meas on avg dyn power
+    double err_chip = 0.0;    ///< same on avg chip power
+};
+
+/** Per-combination next-interval energy prediction AAE at one VF. */
+struct EnergyError
+{
+    const workloads::Combination *combo = nullptr;
+    std::size_t vf_index = 0;
+    double aae_ppep = 0.0; ///< PPEP chip-energy AAE
+    double aae_gg = 0.0;   ///< Green Governors baseline AAE
+};
+
+/**
+ * Shared validation harness: collects the full dataset once (every
+ * combination at every VF state), builds the k folds, trains per-fold
+ * models, and evaluates each study on held-out data.
+ */
+class Validator
+{
+  public:
+    /**
+     * @param cfg   platform to validate on.
+     * @param combos combinations to use (pass allCombinations()-derived
+     *              pointers, or a subset for quick runs).
+     * @param seed  drives collection, folding, and training.
+     * @param k     number of folds (paper: 4).
+     */
+    Validator(sim::ChipConfig cfg,
+              std::vector<const workloads::Combination *> combos,
+              std::uint64_t seed, std::size_t k = 4);
+
+    /** Collect traces and train per-fold models; call before queries. */
+    void prepare(std::size_t max_intervals = 120);
+
+    /** Fig. 2: per-combination estimation AAEs at every VF state. */
+    std::vector<ComboError> validateEstimation() const;
+
+    /** Fig. 3: per-combination cross-VF prediction errors, all pairs. */
+    std::vector<CrossVfError> validateCrossVf() const;
+
+    /** Fig. 6: next-interval energy prediction, PPEP vs GG. */
+    std::vector<EnergyError> validateEnergy() const;
+
+    /** The models trained on fold @p fold's training set. */
+    const TrainedModels &foldModels(std::size_t fold) const;
+
+    /** Fold index whose *test* set contains combo @p combo_idx. */
+    std::size_t foldOf(std::size_t combo_idx) const;
+
+    /** The shared trace dataset (all combos x all VF states). */
+    const std::vector<ComboTrace> &dataset() const { return dataset_; }
+
+    /** The trainer (exposes the chip config + protocols). */
+    const Trainer &trainer() const { return trainer_; }
+
+    /** Combinations under validation, in index order. */
+    const std::vector<const workloads::Combination *> &combos() const
+    {
+        return combos_;
+    }
+
+  private:
+    /** All traces of one combination, one per VF state. */
+    std::vector<const ComboTrace *>
+    tracesOf(std::size_t combo_idx) const;
+
+    sim::ChipConfig cfg_;
+    std::vector<const workloads::Combination *> combos_;
+    std::uint64_t seed_;
+    std::size_t k_;
+    Trainer trainer_;
+
+    std::vector<ComboTrace> dataset_;
+    std::vector<std::size_t> combo_fold_; ///< combo index -> fold
+    std::vector<TrainedModels> fold_models_;
+    bool prepared_ = false;
+};
+
+/**
+ * Aggregate per-combination errors into the paper's per-suite rows:
+ * mean and standard deviation of the AAEs of all combinations of one
+ * suite (or all suites for the "ALL" column).
+ */
+struct SuiteAggregate
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::size_t count = 0;
+};
+
+/** Aggregate a metric over combination errors filtered by suite. */
+template <typename Row, typename Metric>
+SuiteAggregate
+aggregate(const std::vector<Row> &rows, Metric metric,
+          const workloads::SuiteId *suite = nullptr)
+{
+    std::vector<double> vals;
+    for (const auto &r : rows) {
+        if (suite && r.combo->suite != *suite)
+            continue;
+        vals.push_back(metric(r));
+    }
+    SuiteAggregate out;
+    out.count = vals.size();
+    if (vals.empty())
+        return out;
+    double s = 0.0;
+    for (double v : vals)
+        s += v;
+    out.mean = s / static_cast<double>(vals.size());
+    double var = 0.0;
+    for (double v : vals)
+        var += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(var / static_cast<double>(vals.size()));
+    return out;
+}
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_VALIDATION_HPP

@@ -1,0 +1,298 @@
+#include "ppep/sim/chip.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::sim {
+
+Chip::Chip(ChipConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)),
+      nb_(cfg_),
+      thermal_(cfg_.thermal),
+      hw_power_(cfg_),
+      sensor_(cfg_.sensor, util::Rng(seed).fork(0xBEEF)),
+      jobs_(cfg_.coreCount()),
+      cu_vf_(cfg_.n_cus, cfg_.vf_table.top()),
+      pg_enabled_(false)
+{
+    cfg_.validate();
+    util::Rng root(seed);
+    std::vector<Event> all(allEvents().begin(), allEvents().end());
+    for (std::size_t c = 0; c < cfg_.coreCount(); ++c) {
+        pmc_banks_.push_back(
+            std::make_unique<PmcBank>(cfg_.pmc_counters));
+        pmc_mux_.push_back(
+            std::make_unique<PmcMultiplexer>(*pmc_banks_.back(), all,
+                                             c));
+        core_rngs_.push_back(root.fork(100 + c));
+    }
+}
+
+void
+Chip::setJob(std::size_t core, std::unique_ptr<Job> job)
+{
+    PPEP_ASSERT(core < jobs_.size(), "core ", core, " out of range");
+    jobs_[core] = std::move(job);
+}
+
+void
+Chip::clearJob(std::size_t core)
+{
+    PPEP_ASSERT(core < jobs_.size(), "core ", core, " out of range");
+    jobs_[core].reset();
+}
+
+const Job *
+Chip::job(std::size_t core) const
+{
+    PPEP_ASSERT(core < jobs_.size(), "core ", core, " out of range");
+    return jobs_[core].get();
+}
+
+void
+Chip::setCuVf(std::size_t cu, std::size_t vf_index)
+{
+    PPEP_ASSERT(cu < cu_vf_.size(), "CU ", cu, " out of range");
+    PPEP_ASSERT(vf_index < stateCount(), "VF index out of range");
+    cu_vf_[cu] = vf_index;
+}
+
+std::size_t
+Chip::stateCount() const
+{
+    return cfg_.vf_table.size() + cfg_.boost_states.size();
+}
+
+const VfState &
+Chip::stateOf(std::size_t index) const
+{
+    PPEP_ASSERT(index < stateCount(), "state index out of range");
+    if (index < cfg_.vf_table.size())
+        return cfg_.vf_table.state(index);
+    return cfg_.boost_states[index - cfg_.vf_table.size()];
+}
+
+std::size_t
+Chip::grantedVf(std::size_t cu) const
+{
+    PPEP_ASSERT(cu < cu_vf_.size(), "CU out of range");
+    const std::size_t requested = cu_vf_[cu];
+    if (requested < cfg_.vf_table.size())
+        return requested;
+    std::size_t busy_cus = 0;
+    for (std::size_t i = 0; i < cfg_.n_cus; ++i)
+        busy_cus += !cuIdle(i);
+    const bool allowed =
+        busy_cus <= cfg_.boost_max_busy_cus &&
+        thermal_.temperature() < cfg_.boost_temp_limit_k;
+    return allowed ? requested : cfg_.vf_table.top();
+}
+
+void
+Chip::setAllVf(std::size_t vf_index)
+{
+    for (std::size_t cu = 0; cu < cu_vf_.size(); ++cu)
+        setCuVf(cu, vf_index);
+}
+
+std::size_t
+Chip::cuVf(std::size_t cu) const
+{
+    PPEP_ASSERT(cu < cu_vf_.size(), "CU ", cu, " out of range");
+    return cu_vf_[cu];
+}
+
+void
+Chip::setPowerGatingEnabled(bool enabled)
+{
+    PPEP_ASSERT(!enabled || cfg_.pg_supported,
+                "this processor does not support power gating");
+    pg_enabled_ = enabled;
+}
+
+EventVector
+Chip::readPmc(std::size_t core)
+{
+    PPEP_ASSERT(core < pmc_mux_.size(), "core ", core, " out of range");
+    PPEP_ASSERT(pmc_auto_mux_,
+                "auto-multiplexing is off; read the PmcBank directly");
+    return pmc_mux_[core]->readAndReset();
+}
+
+void
+Chip::setPmcAutoMultiplex(bool enabled)
+{
+    pmc_auto_mux_ = enabled;
+}
+
+PmcBank &
+Chip::pmcBank(std::size_t core)
+{
+    PPEP_ASSERT(core < pmc_banks_.size(), "core ", core,
+                " out of range");
+    return *pmc_banks_[core];
+}
+
+bool
+Chip::cuIdle(std::size_t cu) const
+{
+    for (std::size_t k = 0; k < cfg_.cores_per_cu; ++k) {
+        const std::size_t core = cu * cfg_.cores_per_cu + k;
+        if (jobs_[core] && !jobs_[core]->finished())
+            return false;
+    }
+    return true;
+}
+
+double
+Chip::effectiveCuVoltage(std::size_t cu) const
+{
+    PPEP_ASSERT(cu < cu_vf_.size(), "CU out of range");
+    if (cfg_.per_cu_voltage)
+        return stateOf(grantedVf(cu)).voltage;
+    // Shared rail: the highest granted voltage among ungated CUs wins.
+    double v = 0.0;
+    bool any = false;
+    for (std::size_t i = 0; i < cu_vf_.size(); ++i) {
+        if (pg_enabled_ && cuIdle(i))
+            continue;
+        v = std::max(v, stateOf(grantedVf(i)).voltage);
+        any = true;
+    }
+    if (!any)
+        v = cfg_.vf_table.state(0).voltage;
+    return v;
+}
+
+double
+Chip::activityFactor(std::size_t core) const
+{
+    const Job *j = jobs_[core].get();
+    if (!j || j->finished())
+        return 1.0;
+    // Deterministic per (benchmark, phase index): the same code region
+    // has the same unmodeled behaviour at every VF state and in every
+    // run — exactly like real software.
+    const std::uint64_t h =
+        std::hash<std::string>{}(j->name()) ^
+        (j->currentPhaseIndex() * 0x9e3779b97f4a7c15ULL);
+    util::Rng r(h);
+    return std::max(0.5,
+                    1.0 + r.gaussian(0.0, cfg_.power.phase_activity_sd));
+}
+
+TickResult
+Chip::step()
+{
+    const double dt = cfg_.tick_s;
+    const std::size_t n_cores = cfg_.coreCount();
+
+    // 1. Gate states for this tick.
+    std::vector<bool> cu_gated(cfg_.n_cus, false);
+    bool all_gated = true;
+    for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu) {
+        cu_gated[cu] = pg_enabled_ && cuIdle(cu);
+        all_gated = all_gated && cu_gated[cu];
+    }
+    const bool nb_gated = pg_enabled_ && all_gated;
+
+    // 2. Effective per-CU voltage/frequency.
+    std::vector<double> cu_volt(cfg_.n_cus), cu_freq(cfg_.n_cus);
+    for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu) {
+        cu_volt[cu] = effectiveCuVoltage(cu);
+        cu_freq[cu] = stateOf(grantedVf(cu)).freq_ghz;
+    }
+
+    // 3. Effective rates for busy cores, then the NB contention fixed
+    //    point across all of them.
+    std::vector<PerInstRates> rates(n_cores);
+    std::vector<bool> busy(n_cores, false);
+    std::vector<CoreDemand> demands;
+    std::vector<std::size_t> demand_core;
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        Job *j = jobs_[c].get();
+        if (!j || j->finished())
+            continue;
+        busy[c] = true;
+        const std::size_t cu = c / cfg_.cores_per_cu;
+        rates[c] = CoreModel::effectiveRates(cfg_, j->currentPhase(),
+                                             cu_freq[cu], core_rngs_[c]);
+        demands.push_back({rates[c], cu_freq[cu]});
+        demand_core.push_back(c);
+    }
+    const NbResolution nb_res = nb_.resolve(demands);
+
+    // 4. Execute each busy core and advance its job.
+    TickResult res;
+    res.truth.activity.assign(n_cores, CoreActivity{});
+    res.truth.core_events.assign(n_cores, EventVector{});
+    std::vector<double> act_factor(n_cores, 1.0);
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+        const std::size_t c = demand_core[d];
+        Job *j = jobs_[c].get();
+        act_factor[c] = activityFactor(c);
+        const std::size_t cu = c / cfg_.cores_per_cu;
+        CoreActivity act = CoreModel::execute(
+            cfg_, rates[c], cu_freq[cu], nb_res.mem_lat_ns[d], dt,
+            std::numeric_limits<double>::infinity());
+        const double consumed = j->advance(act.instructions);
+        if (consumed < act.instructions) {
+            // Job finished mid-tick; scale the tick's activity down.
+            const double frac =
+                act.instructions > 0.0 ? consumed / act.instructions : 0.0;
+            act.instructions = consumed;
+            act.cycles *= frac;
+            for (auto &e : act.events)
+                e *= frac;
+            act.l3_accesses *= frac;
+            act.dram_accesses *= frac;
+        }
+        res.truth.activity[c] = act;
+        res.truth.core_events[c] = act.events;
+    }
+
+    // 5. Ground-truth power.
+    std::vector<CorePowerInput> pins(n_cores);
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        const std::size_t cu = c / cfg_.cores_per_cu;
+        pins[c].activity = &res.truth.activity[c];
+        pins[c].voltage = cu_volt[cu];
+        pins[c].freq_ghz = cu_freq[cu];
+        pins[c].activity_factor = act_factor[c];
+    }
+    res.truth.power =
+        hw_power_.compute(pins, cu_gated, nb_gated, cu_volt, cu_freq,
+                          nb_.vf(), thermal_.temperature(), dt);
+    res.truth.cu_gated = cu_gated;
+    res.truth.nb_gated = nb_gated;
+    res.truth.nb_utilization = nb_res.utilization;
+
+    // 6. Thermal advance, then the observable readings.
+    thermal_.step(res.truth.power.total, dt);
+    res.truth.temperature_k = thermal_.temperature();
+    res.sensor_power_w = sensor_.sample(res.truth.power.total);
+    res.diode_temp_k = thermal_.diodeReading();
+
+    // 7. Counter hardware ticks; the software multiplexer (when
+    //    enabled) harvests the active group and rotates the selects.
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        pmc_banks_[c]->observe(res.truth.core_events[c]);
+        if (pmc_auto_mux_)
+            pmc_mux_[c]->afterTick();
+    }
+
+    time_s_ += dt;
+    return res;
+}
+
+void
+Chip::run(std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        step();
+}
+
+} // namespace ppep::sim

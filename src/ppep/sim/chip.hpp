@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The simulated processor: cores, CUs, NB, thermal, ground-truth power,
+ * sensor, and PMCs, advanced in 20 ms ticks.
+ *
+ * The Chip is the hardware boundary. Everything above it (trace
+ * collection, PPEP models, governors) may only touch what real software
+ * can touch: job placement (taskset), per-CU VF requests (P-state MSRs),
+ * PMC reads (msr-tools), the thermal diode (hwmon), and the external
+ * power sensor. Ground-truth internals are exposed separately and only
+ * for validation/benchmarks via TickResult::truth.
+ */
+
+#ifndef PPEP_SIM_CHIP_HPP
+#define PPEP_SIM_CHIP_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ppep/sim/chip_config.hpp"
+#include "ppep/sim/core_model.hpp"
+#include "ppep/sim/hw_power_model.hpp"
+#include "ppep/sim/northbridge.hpp"
+#include "ppep/sim/phase.hpp"
+#include "ppep/sim/pmc.hpp"
+#include "ppep/sim/power_sensor.hpp"
+#include "ppep/sim/thermal_model.hpp"
+#include "ppep/util/rng.hpp"
+
+namespace ppep::sim {
+
+/** Ground-truth internals of one tick (validation only). */
+struct TickTruth
+{
+    /** True power decomposition. */
+    PowerBreakdown power;
+    /** Per-core true event counts (no multiplexing). */
+    std::vector<EventVector> core_events;
+    /** Per-core activity summary. */
+    std::vector<CoreActivity> activity;
+    /** Per-CU gate state this tick. */
+    std::vector<bool> cu_gated;
+    /** NB gate state this tick. */
+    bool nb_gated = false;
+    /** DRAM utilisation from the contention fixed point. */
+    double nb_utilization = 0.0;
+    /** True junction temperature, kelvin. */
+    double temperature_k = 0.0;
+};
+
+/** Everything observable (plus truth) from one 20 ms tick. */
+struct TickResult
+{
+    /** Sensor power reading, watts — what training may use. */
+    double sensor_power_w = 0.0;
+    /** Thermal diode reading, kelvin — what training may use. */
+    double diode_temp_k = 0.0;
+    /** Ground-truth internals — validation only. */
+    TickTruth truth;
+};
+
+/** The simulated processor. */
+class Chip
+{
+  public:
+    /** Build a chip; @p seed drives every stochastic element. */
+    explicit Chip(ChipConfig cfg, std::uint64_t seed = 1);
+
+    /** Static configuration. */
+    const ChipConfig &config() const { return cfg_; }
+
+    // --- software-visible controls -------------------------------------
+
+    /** Place (or replace) a job on a core. */
+    void setJob(std::size_t core, std::unique_ptr<Job> job);
+
+    /** Remove the job from a core (core halts). */
+    void clearJob(std::size_t core);
+
+    /** Job currently on a core; nullptr when idle. */
+    const Job *job(std::size_t core) const;
+
+    /**
+     * Request a VF state (ascending index) for one CU. Indices past the
+     * software table address the hardware boost states
+     * (vf_table.size() + k selects boost_states[k]); the hardware grants
+     * boost only while few CUs are busy and the die is cool, clamping to
+     * the top P-state otherwise.
+     */
+    void setCuVf(std::size_t cu, std::size_t vf_index);
+
+    /** Request a VF state for every CU. */
+    void setAllVf(std::size_t vf_index);
+
+    /** Requested VF index of a CU. */
+    std::size_t cuVf(std::size_t cu) const;
+
+    /** Total selectable states: P-states plus boost states. */
+    std::size_t stateCount() const;
+
+    /** Operating point of any selectable index (P-state or boost). */
+    const VfState &stateOf(std::size_t index) const;
+
+    /**
+     * The state the hardware would actually grant a CU right now: the
+     * request, unless it is a boost level the busy-CU count or the die
+     * temperature currently forbids.
+     */
+    std::size_t grantedVf(std::size_t cu) const;
+
+    /** Enable/disable power gating (the paper's BIOS switch). */
+    void setPowerGatingEnabled(bool enabled);
+
+    /** Whether power gating is enabled. */
+    bool powerGatingEnabled() const { return pg_enabled_; }
+
+    /** Set the NB operating point (Sec. V-C2 what-if). */
+    void setNbVf(const VfState &vf) { nb_.setVf(vf); }
+
+    /** Current NB operating point. */
+    const VfState &nbVf() const { return nb_.vf(); }
+
+    /**
+     * Read-and-reset one core's software-multiplexed counters (the
+     * daemon path the paper uses). @pre auto-multiplexing is enabled.
+     */
+    EventVector readPmc(std::size_t core);
+
+    /**
+     * Enable/disable the built-in per-core software multiplexer. With
+     * it disabled, nothing reprograms the counter selects between
+     * ticks: program the bank yourself (directly or through the MSR
+     * facade) and read raw counts — the msr-tools workflow.
+     */
+    void setPmcAutoMultiplex(bool enabled);
+
+    /** Whether the built-in multiplexer is driving the counters. */
+    bool pmcAutoMultiplex() const { return pmc_auto_mux_; }
+
+    /** Direct access to a core's counter hardware (MSR-level use). */
+    PmcBank &pmcBank(std::size_t core);
+
+    // --- simulation -----------------------------------------------------
+
+    /** Advance one 20 ms tick. */
+    TickResult step();
+
+    /** Advance @p n ticks, discarding results (warm-up helper). */
+    void run(std::size_t n);
+
+    /** Simulated time elapsed, seconds. */
+    double timeS() const { return time_s_; }
+
+    /** True junction temperature (truth; use diode in models). */
+    double temperatureK() const { return thermal_.temperature(); }
+
+    /** Force the die temperature (scenario setup). */
+    void setTemperatureK(double t) { thermal_.setTemperature(t); }
+
+    /** Effective voltage a CU currently sees (rail sharing resolved). */
+    double effectiveCuVoltage(std::size_t cu) const;
+
+  private:
+    /** True when both cores of a CU are idle (no runnable job). */
+    bool cuIdle(std::size_t cu) const;
+
+    /** Hidden per-phase activity factor for a core's current phase. */
+    double activityFactor(std::size_t core) const;
+
+    ChipConfig cfg_;
+    NorthBridge nb_;
+    ThermalModel thermal_;
+    HwPowerModel hw_power_;
+    PowerSensor sensor_;
+
+    std::vector<std::unique_ptr<Job>> jobs_;
+    std::vector<std::size_t> cu_vf_;
+    std::vector<std::unique_ptr<PmcBank>> pmc_banks_;
+    std::vector<std::unique_ptr<PmcMultiplexer>> pmc_mux_;
+    bool pmc_auto_mux_ = true;
+    std::vector<util::Rng> core_rngs_;
+    bool pg_enabled_ = false;
+    double time_s_ = 0.0;
+};
+
+} // namespace ppep::sim
+
+#endif // PPEP_SIM_CHIP_HPP

@@ -1,0 +1,87 @@
+#include "ppep/sim/msr.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::sim {
+
+std::uint64_t
+PerfEvtSel::encode() const
+{
+    std::uint64_t v = 0;
+    v |= static_cast<std::uint64_t>(event_select & 0xFF);
+    v |= static_cast<std::uint64_t>(unit_mask) << 8;
+    if (user)
+        v |= 1ULL << 16;
+    if (os)
+        v |= 1ULL << 17;
+    if (enable)
+        v |= 1ULL << 22;
+    v |= static_cast<std::uint64_t>((event_select >> 8) & 0xF) << 32;
+    return v;
+}
+
+PerfEvtSel
+PerfEvtSel::decode(std::uint64_t value)
+{
+    PerfEvtSel sel;
+    sel.event_select = static_cast<std::uint16_t>(
+        (value & 0xFF) | (((value >> 32) & 0xF) << 8));
+    sel.unit_mask = static_cast<std::uint8_t>((value >> 8) & 0xFF);
+    sel.user = (value >> 16) & 1;
+    sel.os = (value >> 17) & 1;
+    sel.enable = (value >> 22) & 1;
+    return sel;
+}
+
+MsrDevice::MsrDevice(PmcBank &bank)
+    : bank_(bank), ctl_shadow_(bank.counterCount(), 0)
+{
+}
+
+std::size_t
+MsrDevice::slotOf(std::uint32_t addr, bool &is_ctl) const
+{
+    if (addr >= kMsrPerfCtlBase &&
+        addr < kMsrPerfCtlBase +
+                   kMsrPerfStride * bank_.counterCount()) {
+        const std::uint32_t off = addr - kMsrPerfCtlBase;
+        is_ctl = (off % kMsrPerfStride) == 0;
+        return off / kMsrPerfStride;
+    }
+    PPEP_FATAL("unknown MSR 0x", std::hex, addr);
+}
+
+void
+MsrDevice::wrmsr(std::uint32_t addr, std::uint64_t value)
+{
+    bool is_ctl = false;
+    const std::size_t slot = slotOf(addr, is_ctl);
+    if (is_ctl) {
+        ctl_shadow_[slot] = value;
+        const PerfEvtSel sel = PerfEvtSel::decode(value);
+        if (sel.enable) {
+            const auto event = eventFromSelect(sel.event_select);
+            // Selects the simulator does not model count nothing —
+            // the counter freezes, exactly like asking real silicon
+            // for a reserved event.
+            bank_.program(slot, event);
+        } else {
+            bank_.program(slot, std::nullopt);
+        }
+    } else {
+        bank_.write(slot, static_cast<double>(value));
+    }
+}
+
+std::uint64_t
+MsrDevice::rdmsr(std::uint32_t addr) const
+{
+    bool is_ctl = false;
+    const std::size_t slot = slotOf(addr, is_ctl);
+    if (is_ctl)
+        return ctl_shadow_[slot];
+    // 48-bit counters wrap on real hardware; counts here stay far below.
+    return static_cast<std::uint64_t>(bank_.read(slot));
+}
+
+} // namespace ppep::sim

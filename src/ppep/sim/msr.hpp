@@ -1,0 +1,84 @@
+/**
+ * @file
+ * AMD family-15h style MSR facade over the counter hardware — the
+ * interface the paper's daemon actually uses ("we use ... msr-tools to
+ * set and read performance counters").
+ *
+ * Six counter pairs per core:
+ *   PERF_CTL<i> = 0xC0010200 + 2*i   (event select)
+ *   PERF_CTR<i> = 0xC0010201 + 2*i   (48-bit count)
+ *
+ * PERF_CTL uses the real family-15h layout: EventSelect[7:0] in bits
+ * 7..0 and EventSelect[11:8] in bits 35..32, unit mask in 15..8, USR in
+ * 16, OS in 17, EN in 22. Writing an enabled select whose event the
+ * simulator models programs the slot; anything else disables it.
+ */
+
+#ifndef PPEP_SIM_MSR_HPP
+#define PPEP_SIM_MSR_HPP
+
+#include <cstdint>
+
+#include "ppep/sim/pmc.hpp"
+
+namespace ppep::sim {
+
+/** Base address of PERF_CTL0. */
+inline constexpr std::uint32_t kMsrPerfCtlBase = 0xC0010200;
+/** Base address of PERF_CTR0. */
+inline constexpr std::uint32_t kMsrPerfCtrBase = 0xC0010201;
+/** Address stride between successive counter pairs. */
+inline constexpr std::uint32_t kMsrPerfStride = 2;
+
+/** Decoded PERF_CTL register. */
+struct PerfEvtSel
+{
+    /** 12-bit event select code (e.g. 0x0c1 = Retired UOP). */
+    std::uint16_t event_select = 0;
+    /** Unit mask (sub-event filter; informational in this model). */
+    std::uint8_t unit_mask = 0;
+    /** Count user-mode activity. */
+    bool user = true;
+    /** Count kernel-mode activity. */
+    bool os = true;
+    /** Counter enabled. */
+    bool enable = false;
+
+    /** Pack into the family-15h register layout. */
+    std::uint64_t encode() const;
+
+    /** Unpack from the register layout. */
+    static PerfEvtSel decode(std::uint64_t value);
+};
+
+/**
+ * Per-core MSR device (the /dev/cpu/N/msr equivalent). A thin view over
+ * one PmcBank; construct as many as you like.
+ */
+class MsrDevice
+{
+  public:
+    /** Bind to a core's counter hardware (not owned). */
+    explicit MsrDevice(PmcBank &bank);
+
+    /**
+     * Write an MSR. PERF_CTL writes (re)program the slot; PERF_CTR
+     * writes overwrite the count. Unknown addresses are fatal, like a
+     * #GP from the real wrmsr.
+     */
+    void wrmsr(std::uint32_t addr, std::uint64_t value);
+
+    /** Read an MSR (CTL reads return the last written select). */
+    std::uint64_t rdmsr(std::uint32_t addr) const;
+
+  private:
+    /** Map an address onto (is_ctl, slot); fatal on unknown MSRs. */
+    std::size_t slotOf(std::uint32_t addr, bool &is_ctl) const;
+
+    PmcBank &bank_;
+    std::vector<std::uint64_t> ctl_shadow_;
+};
+
+} // namespace ppep::sim
+
+#endif // PPEP_SIM_MSR_HPP

@@ -1,0 +1,90 @@
+#include "ppep/sim/northbridge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::sim {
+
+NorthBridge::NorthBridge(const ChipConfig &cfg)
+    : cfg_(cfg), vf_(cfg.nb.vf_hi)
+{
+}
+
+void
+NorthBridge::setVf(const VfState &vf)
+{
+    PPEP_ASSERT(vf.freq_ghz > 0.0 && vf.voltage > 0.0, "bad NB VF state");
+    vf_ = vf;
+}
+
+double
+NorthBridge::l3LatencyNs() const
+{
+    return cfg_.nb.l3_latency_cycles / vf_.freq_ghz;
+}
+
+double
+NorthBridge::dramLatencyNs() const
+{
+    return cfg_.nb.dram_fixed_ns +
+           cfg_.nb.mc_latency_cycles / vf_.freq_ghz;
+}
+
+double
+NorthBridge::coreLatencyNs(double l3_miss_rate, double queue_factor) const
+{
+    return l3LatencyNs() * (1.0 - l3_miss_rate) +
+           dramLatencyNs() * queue_factor * l3_miss_rate;
+}
+
+NbResolution
+NorthBridge::resolve(const std::vector<CoreDemand> &demands) const
+{
+    NbResolution res;
+    res.mem_lat_ns.resize(demands.size(), 0.0);
+    if (demands.empty())
+        return res;
+
+    const double bw_max = cfg_.nb.dram_bw_gbs * 1e9;
+
+    // Fixed point: latency -> instruction rate -> bandwidth -> latency.
+    // Damped iteration converges in a handful of rounds for any sane
+    // utilisation; the cap keeps the M/M/1 form from diverging.
+    double queue_factor = 1.0;
+    double utilization = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+        // MLP collapse: under pressure, overlapped misses serialise and
+        // the effective leading-load latency grows super-linearly.
+        const double mlp_scale =
+            1.0 + cfg_.nb.mlp_collapse * utilization * utilization;
+        double bytes_per_s = 0.0;
+        for (std::size_t i = 0; i < demands.size(); ++i) {
+            const auto &d = demands[i];
+            const double lat = coreLatencyNs(
+                d.rates.l3_per_inst > 0.0
+                    ? d.rates.dram_per_inst / d.rates.l3_per_inst
+                    : 0.0,
+                queue_factor) * mlp_scale;
+            res.mem_lat_ns[i] = lat;
+            const double ips = CoreModel::instRate(d.rates, d.f_ghz, lat);
+            bytes_per_s += ips * d.rates.dram_per_inst * cfg_.nb.line_bytes;
+        }
+        const double rho =
+            std::min(bytes_per_s / bw_max, cfg_.nb.max_utilization);
+        const double target_qf = 1.0 / (1.0 - rho);
+        const double next_qf = 0.5 * queue_factor + 0.5 * target_qf;
+        const bool converged = std::fabs(next_qf - queue_factor) < 1e-12;
+        queue_factor = next_qf;
+        utilization = rho;
+        if (converged)
+            break;
+    }
+
+    res.utilization = utilization;
+    res.queue_factor = queue_factor;
+    return res;
+}
+
+} // namespace ppep::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared north-bridge model: L3 + memory-controller latency, DRAM
+ * bandwidth contention, and the NB's own VF state.
+ *
+ * All cores share the NB (Sec. II), so memory-bound co-runners slow each
+ * other down — the mechanism behind the paper's background-workload
+ * findings (Figs. 8-10). Contention is modelled as an M/M/1-style queueing
+ * inflation of DRAM latency with total bandwidth utilisation, resolved by
+ * a per-tick fixed point over all busy cores (demand depends on latency,
+ * latency depends on demand).
+ */
+
+#ifndef PPEP_SIM_NORTHBRIDGE_HPP
+#define PPEP_SIM_NORTHBRIDGE_HPP
+
+#include <vector>
+
+#include "ppep/sim/chip_config.hpp"
+#include "ppep/sim/core_model.hpp"
+
+namespace ppep::sim {
+
+/** One busy core's demand description for the contention fixed point. */
+struct CoreDemand
+{
+    /** Effective per-instruction rates for this tick. */
+    PerInstRates rates;
+    /** Core frequency, GHz. */
+    double f_ghz = 0.0;
+};
+
+/** Resolved contention state for one tick. */
+struct NbResolution
+{
+    /** Per-core average leading-load latency, nanoseconds. */
+    std::vector<double> mem_lat_ns;
+    /** Total DRAM bandwidth utilisation in [0, max_utilization]. */
+    double utilization = 0.0;
+    /** Queueing inflation factor applied to DRAM latency (>= 1). */
+    double queue_factor = 1.0;
+};
+
+/**
+ * The north bridge: owns the NB VF state and answers latency queries.
+ * Stateless across ticks except for the VF setting.
+ */
+class NorthBridge
+{
+  public:
+    explicit NorthBridge(const ChipConfig &cfg);
+
+    /** Current NB operating point. */
+    const VfState &vf() const { return vf_; }
+
+    /** Change the NB operating point (the Sec. V-C2 what-if). */
+    void setVf(const VfState &vf);
+
+    /** L3 hit latency at the current NB frequency, nanoseconds. */
+    double l3LatencyNs() const;
+
+    /** Uncontended DRAM access latency, nanoseconds. */
+    double dramLatencyNs() const;
+
+    /**
+     * Average leading-load latency for a core whose L3 accesses miss to
+     * DRAM with probability @p l3_miss_rate, given a DRAM queueing factor.
+     */
+    double coreLatencyNs(double l3_miss_rate, double queue_factor) const;
+
+    /**
+     * Resolve the contention fixed point for one tick: given every busy
+     * core's demand, find mutually consistent per-core latencies and the
+     * resulting DRAM utilisation.
+     */
+    NbResolution resolve(const std::vector<CoreDemand> &demands) const;
+
+  private:
+    const ChipConfig &cfg_;
+    VfState vf_;
+};
+
+} // namespace ppep::sim
+
+#endif // PPEP_SIM_NORTHBRIDGE_HPP

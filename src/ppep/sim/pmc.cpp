@@ -1,0 +1,123 @@
+#include "ppep/sim/pmc.hpp"
+
+#include <algorithm>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::sim {
+
+PmcBank::PmcBank(std::size_t n_counters) : slots_(n_counters)
+{
+    PPEP_ASSERT(n_counters >= 1, "need at least one counter");
+}
+
+void
+PmcBank::program(std::size_t slot, std::optional<Event> event)
+{
+    PPEP_ASSERT(slot < slots_.size(), "slot ", slot, " out of range");
+    slots_[slot].event = event;
+}
+
+std::optional<Event>
+PmcBank::programmed(std::size_t slot) const
+{
+    PPEP_ASSERT(slot < slots_.size(), "slot ", slot, " out of range");
+    return slots_[slot].event;
+}
+
+double
+PmcBank::read(std::size_t slot) const
+{
+    PPEP_ASSERT(slot < slots_.size(), "slot ", slot, " out of range");
+    return slots_[slot].count;
+}
+
+void
+PmcBank::write(std::size_t slot, double value)
+{
+    PPEP_ASSERT(slot < slots_.size(), "slot ", slot, " out of range");
+    PPEP_ASSERT(value >= 0.0, "counters hold non-negative counts");
+    slots_[slot].count = value;
+}
+
+void
+PmcBank::observe(const EventVector &true_counts)
+{
+    for (auto &slot : slots_) {
+        if (slot.event)
+            slot.count += true_counts[eventIndex(*slot.event)];
+    }
+}
+
+PmcMultiplexer::PmcMultiplexer(PmcBank &bank, std::vector<Event> events,
+                               std::size_t stagger)
+    : bank_(bank), events_(std::move(events)),
+      n_groups_((events_.size() + bank.counterCount() - 1) /
+                bank.counterCount()),
+      current_group_(n_groups_ ? stagger % n_groups_ : 0)
+{
+    PPEP_ASSERT(!events_.empty(), "multiplexer needs events");
+    group_ticks_.assign(n_groups_, 0);
+    programCurrentGroup();
+}
+
+std::size_t
+PmcMultiplexer::groupOf(Event e) const
+{
+    const auto it = std::find(events_.begin(), events_.end(), e);
+    PPEP_ASSERT(it != events_.end(), "event not covered");
+    return static_cast<std::size_t>(
+               std::distance(events_.begin(), it)) /
+           bank_.counterCount();
+}
+
+void
+PmcMultiplexer::programCurrentGroup()
+{
+    const std::size_t width = bank_.counterCount();
+    const std::size_t lo = current_group_ * width;
+    for (std::size_t s = 0; s < width; ++s) {
+        const std::size_t idx = lo + s;
+        bank_.program(s, idx < events_.size()
+                             ? std::optional<Event>(events_[idx])
+                             : std::nullopt);
+        bank_.write(s, 0.0);
+    }
+}
+
+void
+PmcMultiplexer::afterTick()
+{
+    // Harvest what the hardware just counted for the active group.
+    const std::size_t width = bank_.counterCount();
+    const std::size_t lo = current_group_ * width;
+    for (std::size_t s = 0; s < width; ++s) {
+        const std::size_t idx = lo + s;
+        if (idx < events_.size())
+            accum_[eventIndex(events_[idx])] += bank_.read(s);
+    }
+    ++group_ticks_[current_group_];
+    ++total_ticks_;
+    current_group_ = (current_group_ + 1) % n_groups_;
+    programCurrentGroup();
+}
+
+EventVector
+PmcMultiplexer::readAndReset()
+{
+    EventVector out{};
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const std::size_t g = i / bank_.counterCount();
+        if (group_ticks_[g] > 0) {
+            const std::size_t e = eventIndex(events_[i]);
+            out[e] = accum_[e] * static_cast<double>(total_ticks_) /
+                     static_cast<double>(group_ticks_[g]);
+        }
+    }
+    accum_ = EventVector{};
+    group_ticks_.assign(n_groups_, 0);
+    total_ticks_ = 0;
+    return out;
+}
+
+} // namespace ppep::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-core performance-monitor hardware and the software multiplexer.
+ *
+ * The hardware (PmcBank) is a set of programmable counter slots, six per
+ * core on the AMD FX-8320: each slot is told which event to count and
+ * accumulates that event's occurrences every tick. That is all the
+ * silicon provides.
+ *
+ * PPEP needs twelve events (Table I), so the paper's daemon
+ * time-multiplexes the slots *in software* — reprogramming the selects
+ * periodically and extrapolating each event's accumulated count by
+ * total-ticks / observed-ticks. PmcMultiplexer is that daemon-side
+ * logic. Benchmarks whose phases flip at the multiplexing timescale
+ * therefore show extrapolation error — the outlier mechanism the paper
+ * reports for dedup/IS/DC.
+ */
+
+#ifndef PPEP_SIM_PMC_HPP
+#define PPEP_SIM_PMC_HPP
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ppep/sim/events.hpp"
+
+namespace ppep::sim {
+
+/** One core's programmable counter hardware. */
+class PmcBank
+{
+  public:
+    /** @param n_counters physical slots (6 on the FX-8320). */
+    explicit PmcBank(std::size_t n_counters);
+
+    /** Number of physical slots. */
+    std::size_t counterCount() const { return slots_.size(); }
+
+    /** Select the event a slot counts (nullopt disables the slot). */
+    void program(std::size_t slot, std::optional<Event> event);
+
+    /** The event a slot currently counts. */
+    std::optional<Event> programmed(std::size_t slot) const;
+
+    /** Raw accumulated count of a slot. */
+    double read(std::size_t slot) const;
+
+    /** Overwrite a slot's accumulated count (wrmsr to the CTR). */
+    void write(std::size_t slot, double value);
+
+    /**
+     * Hardware tick: every enabled slot accumulates its selected
+     * event's true count.
+     */
+    void observe(const EventVector &true_counts);
+
+  private:
+    struct Slot
+    {
+        std::optional<Event> event;
+        double count = 0.0;
+    };
+    std::vector<Slot> slots_;
+};
+
+/**
+ * The daemon-side time multiplexer: rotates a list of events through a
+ * PmcBank's slots, one group per tick, and extrapolates on read.
+ */
+class PmcMultiplexer
+{
+  public:
+    /**
+     * @param bank    the hardware to drive (not owned).
+     * @param events  events to cover, in read-out order.
+     * @param stagger initial group offset so different cores need not
+     *                rotate in lockstep.
+     */
+    PmcMultiplexer(PmcBank &bank, std::vector<Event> events,
+                   std::size_t stagger = 0);
+
+    /** Number of rotation groups (ceil(events / slots)). */
+    std::size_t groupCount() const { return n_groups_; }
+
+    /** Group an event belongs to; group order follows the event list. */
+    std::size_t groupOf(Event e) const;
+
+    /**
+     * Program the bank for the current group. Call before the tick the
+     * group should observe.
+     */
+    void programCurrentGroup();
+
+    /**
+     * Harvest the just-observed group's counts from the bank and rotate
+     * to the next group. Call after every hardware tick.
+     */
+    void afterTick();
+
+    /**
+     * Extrapolated per-event counts for the ticks observed since the
+     * last reset, then clear. Events never observed read as zero.
+     */
+    EventVector readAndReset();
+
+    /** Ticks observed since last reset. */
+    std::size_t ticksSinceReset() const { return total_ticks_; }
+
+  private:
+    PmcBank &bank_;
+    std::vector<Event> events_;
+    std::size_t n_groups_;
+    std::size_t current_group_;
+    std::size_t total_ticks_ = 0;
+    EventVector accum_{};
+    std::vector<std::size_t> group_ticks_;
+};
+
+} // namespace ppep::sim
+
+#endif // PPEP_SIM_PMC_HPP

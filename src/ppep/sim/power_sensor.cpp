@@ -1,0 +1,23 @@
+#include "ppep/sim/power_sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppep::sim {
+
+PowerSensor::PowerSensor(const SensorConfig &cfg, util::Rng rng)
+    : cfg_(cfg), rng_(rng)
+{
+}
+
+double
+PowerSensor::sample(double true_power_w)
+{
+    const double gain = 1.0 + rng_.gaussian(0.0, cfg_.noise_fraction);
+    const double noisy = true_power_w * gain +
+                         rng_.gaussian(0.0, cfg_.noise_floor_w);
+    const double clamped = std::max(0.0, noisy);
+    return std::round(clamped / cfg_.quantum_w) * cfg_.quantum_w;
+}
+
+} // namespace ppep::sim

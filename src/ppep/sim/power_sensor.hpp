@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Simulated Hall-effect current sensor.
+ *
+ * The paper clamps a Pololu ACS711 onto the CPU's +12 V ATX line and
+ * samples it through an Arduino ADC every 20 ms. We model the measurement
+ * chain as multiplicative gain noise + an additive noise floor + ADC
+ * quantisation. Model training consumes *these* readings, never the true
+ * power, so regression residuals include realistic measurement error.
+ */
+
+#ifndef PPEP_SIM_POWER_SENSOR_HPP
+#define PPEP_SIM_POWER_SENSOR_HPP
+
+#include "ppep/sim/chip_config.hpp"
+#include "ppep/util/rng.hpp"
+
+namespace ppep::sim {
+
+/** Noisy, quantised power meter. */
+class PowerSensor
+{
+  public:
+    PowerSensor(const SensorConfig &cfg, util::Rng rng);
+
+    /** One 20 ms reading of @p true_power_w watts. */
+    double sample(double true_power_w);
+
+  private:
+    const SensorConfig cfg_;
+    util::Rng rng_;
+};
+
+} // namespace ppep::sim
+
+#endif // PPEP_SIM_POWER_SENSOR_HPP

@@ -1,0 +1,44 @@
+#include "ppep/sim/thermal_model.hpp"
+
+#include <cmath>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::sim {
+
+ThermalModel::ThermalModel(const ThermalConfig &cfg)
+    : cfg_(cfg), temp_k_(cfg.ambient_k)
+{
+}
+
+void
+ThermalModel::step(double power_w, double dt_s)
+{
+    PPEP_ASSERT(dt_s > 0.0, "non-positive thermal step");
+    PPEP_ASSERT(power_w >= 0.0, "negative power");
+    const double t_ss = steadyState(power_w);
+    const double decay = std::exp(-dt_s / cfg_.time_constant_s);
+    temp_k_ = t_ss + (temp_k_ - t_ss) * decay;
+}
+
+double
+ThermalModel::diodeReading() const
+{
+    const double q = cfg_.diode_quantum_k;
+    return std::round(temp_k_ / q) * q;
+}
+
+double
+ThermalModel::steadyState(double power_w) const
+{
+    return cfg_.ambient_k + cfg_.resistance_k_per_w * power_w;
+}
+
+void
+ThermalModel::setTemperature(double temp_k)
+{
+    PPEP_ASSERT(temp_k > 0.0, "non-positive absolute temperature");
+    temp_k_ = temp_k;
+}
+
+} // namespace ppep::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lumped RC thermal network.
+ *
+ * One thermal node (the die/package) coupled to ambient through a thermal
+ * resistance, with a first-order time constant. This reproduces the
+ * exponential heat-up/cool-down transients of paper Fig. 1, which the idle
+ * power model's training protocol exploits: heat the chip with work, stop,
+ * and record (power, temperature) pairs while it cools.
+ */
+
+#ifndef PPEP_SIM_THERMAL_MODEL_HPP
+#define PPEP_SIM_THERMAL_MODEL_HPP
+
+#include "ppep/sim/chip_config.hpp"
+
+namespace ppep::sim {
+
+/** First-order thermal model with a quantised diode readout. */
+class ThermalModel
+{
+  public:
+    /** Start at ambient temperature. */
+    explicit ThermalModel(const ThermalConfig &cfg);
+
+    /**
+     * Advance by @p dt_s seconds with @p power_w watts dissipated.
+     * Exact exponential update (unconditionally stable for any dt):
+     * T -> T_ss + (T - T_ss) * exp(-dt/tau), T_ss = T_amb + R * P.
+     */
+    void step(double power_w, double dt_s);
+
+    /** True junction temperature, kelvin. */
+    double temperature() const { return temp_k_; }
+
+    /** Diode readout: quantised junction temperature, kelvin. */
+    double diodeReading() const;
+
+    /** Steady-state temperature this power level would settle at. */
+    double steadyState(double power_w) const;
+
+    /** Force the node to a temperature (test/scenario setup). */
+    void setTemperature(double temp_k);
+
+  private:
+    const ThermalConfig cfg_;
+    double temp_k_;
+};
+
+} // namespace ppep::sim
+
+#endif // PPEP_SIM_THERMAL_MODEL_HPP

@@ -1,0 +1,77 @@
+#include "ppep/sim/vf_state.hpp"
+
+#include <algorithm>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::sim {
+
+VfTable::VfTable(std::vector<VfState> states) : states_(std::move(states))
+{
+    PPEP_ASSERT(!states_.empty(), "VF table must not be empty");
+    for (std::size_t i = 1; i < states_.size(); ++i) {
+        PPEP_ASSERT(states_[i].freq_ghz > states_[i - 1].freq_ghz,
+                    "VF table must be ascending in frequency");
+        PPEP_ASSERT(states_[i].voltage >= states_[i - 1].voltage,
+                    "VF table voltage must be non-decreasing");
+    }
+}
+
+const VfState &
+VfTable::state(std::size_t index) const
+{
+    PPEP_ASSERT(index < states_.size(), "VF index ", index, " out of range");
+    return states_[index];
+}
+
+std::string
+VfTable::name(std::size_t index) const
+{
+    PPEP_ASSERT(index < states_.size(), "VF index out of range");
+    return "VF" + std::to_string(index + 1);
+}
+
+double
+VfTable::maxVoltage() const
+{
+    return states_.back().voltage;
+}
+
+VfTable
+fx8320VfTable()
+{
+    // Sec. II: VF5 (1.320V, 3.5GHz) ... VF1 (0.888V, 1.4GHz).
+    return VfTable({
+        {0.888, 1.4},
+        {1.008, 1.7},
+        {1.128, 2.3},
+        {1.242, 2.9},
+        {1.320, 3.5},
+    });
+}
+
+VfTable
+phenomIIVfTable()
+{
+    // The 1090T's P-states; voltages follow the same node scaling.
+    return VfTable({
+        {0.925, 0.8},
+        {1.075, 1.6},
+        {1.225, 2.4},
+        {1.350, 3.2},
+    });
+}
+
+VfState
+nbVfHi()
+{
+    return {1.175, 2.2};
+}
+
+VfState
+nbVfLo()
+{
+    return {0.940, 1.1};
+}
+
+} // namespace ppep::sim

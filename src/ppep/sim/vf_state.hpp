@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Voltage-frequency (VF) state descriptors and tables.
+ *
+ * The paper's main platform, the AMD FX-8320, exposes five software-visible
+ * VF states (VF5 down to VF1); the secondary AMD Phenom II X6 1090T exposes
+ * four. The north bridge (NB) has its own VF domain, fixed in stock
+ * hardware and made scalable in the Sec. V-C2 what-if study.
+ */
+
+#ifndef PPEP_SIM_VF_STATE_HPP
+#define PPEP_SIM_VF_STATE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppep::sim {
+
+/** One voltage-frequency operating point. */
+struct VfState
+{
+    /** Supply voltage in volts. */
+    double voltage = 0.0;
+    /** Core clock in GHz. */
+    double freq_ghz = 0.0;
+};
+
+/**
+ * Ordered table of VF states, index 0 = lowest (paper's VF1).
+ *
+ * The paper numbers states VF1..VF5 from slowest to fastest; we store them
+ * in the same ascending order, so `state(0)` is VF1 and `state(size()-1)`
+ * is the top state.
+ */
+class VfTable
+{
+  public:
+    /** Build from ascending states. @pre non-empty, strictly ascending f. */
+    explicit VfTable(std::vector<VfState> states);
+
+    /** Number of states. */
+    std::size_t size() const { return states_.size(); }
+
+    /** State by ascending index (0 = VF1). @pre index < size(). */
+    const VfState &state(std::size_t index) const;
+
+    /** Index of the top (fastest) state. */
+    std::size_t top() const { return states_.size() - 1; }
+
+    /** Human-readable name, "VF1".."VFn", by ascending index. */
+    std::string name(std::size_t index) const;
+
+    /** Highest voltage in the table (the shared-rail ceiling). */
+    double maxVoltage() const;
+
+  private:
+    std::vector<VfState> states_;
+};
+
+/** The AMD FX-8320 table from Sec. II: VF1..VF5. */
+VfTable fx8320VfTable();
+
+/** The AMD Phenom II X6 1090T table: VF1..VF4. */
+VfTable phenomIIVfTable();
+
+/** NB operating points from Sec. V-C2. */
+VfState nbVfHi(); ///< Stock NB point (1.175 V, 2.2 GHz).
+VfState nbVfLo(); ///< Hypothetical low NB point (0.940 V, 1.1 GHz).
+
+} // namespace ppep::sim
+
+#endif // PPEP_SIM_VF_STATE_HPP

@@ -1,0 +1,96 @@
+#include "ppep/trace/collector.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::trace {
+
+Collector::Collector(sim::Chip &chip) : chip_(chip) {}
+
+IntervalRecord
+Collector::collectInterval()
+{
+    const auto &cfg = chip_.config();
+    const std::size_t n_cores = cfg.coreCount();
+    const std::size_t n_ticks = cfg.ticks_per_interval;
+
+    IntervalRecord rec;
+    rec.duration_s = cfg.tick_s * static_cast<double>(n_ticks);
+    rec.oracle.assign(n_cores, sim::EventVector{});
+    rec.cu_vf.resize(cfg.n_cus);
+    for (std::size_t cu = 0; cu < cfg.n_cus; ++cu)
+        rec.cu_vf[cu] = chip_.cuVf(cu);
+    rec.nb_vf = chip_.nbVf();
+
+    std::vector<double> retired(n_cores, 0.0);
+    for (std::size_t t = 0; t < n_ticks; ++t) {
+        const sim::TickResult tick = chip_.step();
+        rec.sensor_power_w += tick.sensor_power_w;
+        rec.diode_temp_k += tick.diode_temp_k;
+        rec.true_power_w += tick.truth.power.total;
+        rec.true_dynamic_w += tick.truth.power.coreDynamicTotal() +
+                              tick.truth.power.nb_dynamic;
+        rec.true_idle_w += tick.truth.power.base +
+                           tick.truth.power.housekeeping +
+                           tick.truth.power.nb_static +
+                           tick.truth.power.cuIdleTotal();
+        rec.true_nb_power_w += tick.truth.power.nb_static +
+                               tick.truth.power.nb_dynamic;
+        rec.true_temp_k += tick.truth.temperature_k;
+        rec.nb_utilization += tick.truth.nb_utilization;
+        for (std::size_t c = 0; c < n_cores; ++c) {
+            for (std::size_t e = 0; e < sim::kNumEvents; ++e)
+                rec.oracle[c][e] += tick.truth.core_events[c][e];
+            retired[c] += tick.truth.activity[c].instructions;
+        }
+    }
+
+    const double inv = 1.0 / static_cast<double>(n_ticks);
+    rec.sensor_power_w *= inv;
+    rec.diode_temp_k *= inv;
+    rec.true_power_w *= inv;
+    rec.true_dynamic_w *= inv;
+    rec.true_idle_w *= inv;
+    rec.true_nb_power_w *= inv;
+    rec.true_temp_k *= inv;
+    rec.nb_utilization *= inv;
+
+    rec.pmc.resize(n_cores);
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        rec.pmc[c] = chip_.readPmc(c);
+        if (retired[c] > 0.0)
+            ++rec.busy_cores;
+    }
+    return rec;
+}
+
+std::vector<IntervalRecord>
+Collector::collect(std::size_t n)
+{
+    std::vector<IntervalRecord> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(collectInterval());
+    return out;
+}
+
+std::vector<IntervalRecord>
+Collector::collectUntilFinished(std::size_t max_intervals)
+{
+    std::vector<IntervalRecord> out;
+    while (out.size() < max_intervals && !allJobsFinished())
+        out.push_back(collectInterval());
+    return out;
+}
+
+bool
+Collector::allJobsFinished() const
+{
+    for (std::size_t c = 0; c < chip_.config().coreCount(); ++c) {
+        const sim::Job *j = chip_.job(c);
+        if (j && !j->finished())
+            return false;
+    }
+    return true;
+}
+
+} // namespace ppep::trace

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Interval-granularity trace collection on a simulated chip.
+ *
+ * The Collector plays the role of the paper's measurement harness
+ * (msr-tools + the Arduino power logger): it steps the chip tick by tick,
+ * averages the sensor/diode streams, reads the multiplexed PMCs once per
+ * interval, and stamps each record with the VF context.
+ */
+
+#ifndef PPEP_TRACE_COLLECTOR_HPP
+#define PPEP_TRACE_COLLECTOR_HPP
+
+#include <vector>
+
+#include "ppep/sim/chip.hpp"
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::trace {
+
+/** Tick-accurate interval collector bound to one chip. */
+class Collector
+{
+  public:
+    explicit Collector(sim::Chip &chip);
+
+    /** Run one full interval (ticks_per_interval ticks) and record it. */
+    IntervalRecord collectInterval();
+
+    /** Collect @p n intervals back to back. */
+    std::vector<IntervalRecord> collect(std::size_t n);
+
+    /**
+     * Collect until every job on the chip has finished, or until
+     * @p max_intervals have elapsed, whichever is first.
+     */
+    std::vector<IntervalRecord>
+    collectUntilFinished(std::size_t max_intervals);
+
+    /** True when no core has an unfinished job. */
+    bool allJobsFinished() const;
+
+  private:
+    sim::Chip &chip_;
+};
+
+} // namespace ppep::trace
+
+#endif // PPEP_TRACE_COLLECTOR_HPP

@@ -1,0 +1,57 @@
+#include "ppep/trace/export.hpp"
+
+#include "ppep/util/csv.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::trace {
+
+void
+exportCsv(const std::vector<IntervalRecord> &trace,
+          const std::string &path, const ExportOptions &options)
+{
+    util::CsvWriter csv(path);
+
+    std::vector<std::string> header{"interval",       "duration_s",
+                                    "sensor_power_w", "diode_temp_k",
+                                    "vf_index",       "busy_cores"};
+    if (options.pmc_rates) {
+        for (const auto e : sim::allEvents()) {
+            std::string name(sim::eventLabel(e));
+            for (auto &c : name)
+                c = static_cast<char>(std::tolower(c));
+            header.push_back(name + "_per_s");
+        }
+    }
+    if (options.truth) {
+        header.insert(header.end(),
+                      {"true_power_w", "true_dynamic_w", "true_idle_w",
+                       "true_nb_power_w", "nb_utilization"});
+    }
+    csv.writeRow(header);
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto &rec = trace[i];
+        PPEP_ASSERT(!rec.cu_vf.empty(), "record has no VF context");
+        std::vector<double> row{
+            static_cast<double>(i),
+            rec.duration_s,
+            rec.sensor_power_w,
+            rec.diode_temp_k,
+            static_cast<double>(rec.cu_vf.front()),
+            static_cast<double>(rec.busy_cores)};
+        if (options.pmc_rates) {
+            for (const auto e : sim::allEvents())
+                row.push_back(rec.pmcTotal(e) / rec.duration_s);
+        }
+        if (options.truth) {
+            row.push_back(rec.true_power_w);
+            row.push_back(rec.true_dynamic_w);
+            row.push_back(rec.true_idle_w);
+            row.push_back(rec.true_nb_power_w);
+            row.push_back(rec.nb_utilization);
+        }
+        csv.writeRow(row);
+    }
+}
+
+} // namespace ppep::trace

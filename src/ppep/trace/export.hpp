@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CSV export of interval traces for offline analysis and plotting.
+ *
+ * Every paper figure started as a trace; this utility dumps what the
+ * Collector records — observable columns always, ground-truth columns
+ * optionally — in a stable, documented column order.
+ */
+
+#ifndef PPEP_TRACE_EXPORT_HPP
+#define PPEP_TRACE_EXPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::trace {
+
+/** Column selection for exportCsv(). */
+struct ExportOptions
+{
+    /** Include per-event chip-wide PMC rate columns (E1..E12, per s). */
+    bool pmc_rates = true;
+    /** Include ground-truth columns (validation work only). */
+    bool truth = false;
+};
+
+/**
+ * Write a trace to @p path. Columns, in order:
+ *   interval, duration_s, sensor_power_w, diode_temp_k, vf_index,
+ *   busy_cores[, e1_per_s..e12_per_s][, true_power_w, true_dynamic_w,
+ *   true_idle_w, true_nb_power_w, nb_utilization]
+ *
+ * The VF column records the first CU's requested index (global DVFS
+ * runs keep all CUs equal). fatal() on I/O failure.
+ */
+void exportCsv(const std::vector<IntervalRecord> &trace,
+               const std::string &path, const ExportOptions &options = {});
+
+} // namespace ppep::trace
+
+#endif // PPEP_TRACE_EXPORT_HPP

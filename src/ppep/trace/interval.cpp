@@ -1,0 +1,23 @@
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::trace {
+
+double
+IntervalRecord::pmcTotal(sim::Event e) const
+{
+    double s = 0.0;
+    for (const auto &core : pmc)
+        s += core[sim::eventIndex(e)];
+    return s;
+}
+
+double
+IntervalRecord::oracleTotal(sim::Event e) const
+{
+    double s = 0.0;
+    for (const auto &core : oracle)
+        s += core[sim::eventIndex(e)];
+    return s;
+}
+
+} // namespace ppep::trace

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-interval records: everything PPEP observes in one 200 ms DVFS
+ * decision interval, plus ground truth for validation.
+ *
+ * The paper takes a power reading every 20 ms and uses ten readings per
+ * 200 ms interval, averaging them as the interval's power; performance
+ * counters are read once per interval (with multiplexed extrapolation).
+ */
+
+#ifndef PPEP_TRACE_INTERVAL_HPP
+#define PPEP_TRACE_INTERVAL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "ppep/sim/events.hpp"
+#include "ppep/sim/vf_state.hpp"
+
+namespace ppep::trace {
+
+/** One 200 ms interval of observations (+ truth for validation). */
+struct IntervalRecord
+{
+    /** Interval length, seconds. */
+    double duration_s = 0.0;
+
+    // --- observable by software (model inputs) --------------------------
+    /** Per-core multiplexed-and-extrapolated PMC counts. */
+    std::vector<sim::EventVector> pmc;
+    /** Mean sensor power over the interval's samples, watts. */
+    double sensor_power_w = 0.0;
+    /** Mean thermal-diode reading, kelvin. */
+    double diode_temp_k = 0.0;
+    /** Requested VF index per CU at collection time. */
+    std::vector<std::size_t> cu_vf;
+    /** NB operating point at collection time. */
+    sim::VfState nb_vf{};
+
+    // --- ground truth (validation only) ---------------------------------
+    /** Per-core true event counts (no multiplexing). */
+    std::vector<sim::EventVector> oracle;
+    /** Mean true total power, watts. */
+    double true_power_w = 0.0;
+    /** Mean true dynamic power (core switched + NB access energy). */
+    double true_dynamic_w = 0.0;
+    /** Mean true idle power (base + housekeeping + statics). */
+    double true_idle_w = 0.0;
+    /** Mean true NB power (static + dynamic). */
+    double true_nb_power_w = 0.0;
+    /** Mean true junction temperature, kelvin. */
+    double true_temp_k = 0.0;
+    /** Mean DRAM utilisation. */
+    double nb_utilization = 0.0;
+    /** Number of cores that retired instructions this interval. */
+    std::size_t busy_cores = 0;
+
+    /** Summed PMC counts across cores for one event. */
+    double pmcTotal(sim::Event e) const;
+    /** Summed oracle counts across cores for one event. */
+    double oracleTotal(sim::Event e) const;
+};
+
+} // namespace ppep::trace
+
+#endif // PPEP_TRACE_INTERVAL_HPP

@@ -1,0 +1,94 @@
+#include "ppep/trace/segmenter.hpp"
+
+#include <algorithm>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::trace {
+
+InstructionTimeline::InstructionTimeline(
+    const std::vector<IntervalRecord> &trace, std::size_t core,
+    bool use_pmc)
+{
+    cum_inst_.push_back(0.0);
+    cum_cycles_.push_back(0.0);
+    cum_mab_.push_back(0.0);
+    for (const auto &rec : trace) {
+        PPEP_ASSERT(core < rec.oracle.size(), "core index out of range");
+        const sim::EventVector &ev =
+            use_pmc ? rec.pmc[core] : rec.oracle[core];
+        const double inst = ev[sim::eventIndex(sim::Event::RetiredInst)];
+        const double cyc =
+            ev[sim::eventIndex(sim::Event::ClocksNotHalted)];
+        const double mab =
+            ev[sim::eventIndex(sim::Event::MabWaitCycles)];
+        if (inst <= 0.0)
+            continue;
+        cum_inst_.push_back(cum_inst_.back() + inst);
+        cum_cycles_.push_back(cum_cycles_.back() + cyc);
+        cum_mab_.push_back(cum_mab_.back() + mab);
+    }
+}
+
+double
+InstructionTimeline::totalInstructions() const
+{
+    return cum_inst_.back();
+}
+
+double
+InstructionTimeline::interp(const std::vector<double> &ys,
+                            double instructions) const
+{
+    PPEP_ASSERT(instructions >= 0.0, "negative instruction point");
+    if (instructions >= cum_inst_.back())
+        return ys.back();
+    // Find the first boundary >= the query point.
+    const auto it = std::lower_bound(cum_inst_.begin(), cum_inst_.end(),
+                                     instructions);
+    const std::size_t hi = static_cast<std::size_t>(
+        std::distance(cum_inst_.begin(), it));
+    if (hi == 0)
+        return ys.front();
+    const std::size_t lo = hi - 1;
+    const double span = cum_inst_[hi] - cum_inst_[lo];
+    const double frac =
+        span > 0.0 ? (instructions - cum_inst_[lo]) / span : 0.0;
+    return ys[lo] + frac * (ys[hi] - ys[lo]);
+}
+
+double
+InstructionTimeline::cyclesAt(double instructions) const
+{
+    return interp(cum_cycles_, instructions);
+}
+
+double
+InstructionTimeline::mabCyclesAt(double instructions) const
+{
+    return interp(cum_mab_, instructions);
+}
+
+std::vector<Segment>
+segmentTimeline(const InstructionTimeline &timeline,
+                double segment_instructions)
+{
+    PPEP_ASSERT(segment_instructions > 0.0,
+                "segment width must be positive");
+    std::vector<Segment> out;
+    const double total = timeline.totalInstructions();
+    double start = 0.0;
+    while (start + segment_instructions <= total) {
+        const double end = start + segment_instructions;
+        Segment s;
+        s.instructions = segment_instructions;
+        s.cycles = timeline.cyclesAt(end) - timeline.cyclesAt(start);
+        s.mab_cycles =
+            timeline.mabCyclesAt(end) - timeline.mabCyclesAt(start);
+        out.push_back(s);
+        start = end;
+    }
+    return out;
+}
+
+} // namespace ppep::trace

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Instruction-aligned trace segmentation for CPI-model validation.
+ *
+ * Comparing per-sample CPI across two frequencies is meaningless because
+ * the same wall-clock sample covers different work. The paper instead
+ * divides both traces "into segments based on the number of instructions
+ * completed", sums the cycles each segment was predicted to take from the
+ * other trace's counters, and compares with the cycles it actually took
+ * (Sec. III). This module implements that alignment.
+ */
+
+#ifndef PPEP_TRACE_SEGMENTER_HPP
+#define PPEP_TRACE_SEGMENTER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::trace {
+
+/**
+ * Cumulative (instructions -> cycles, mab-wait-cycles) timeline for one
+ * core of one trace, with piecewise-linear interpolation inside
+ * intervals.
+ */
+class InstructionTimeline
+{
+  public:
+    /**
+     * Build from a trace, using the oracle or PMC counts of @p core.
+     * @param use_pmc read multiplexed PMC counts (realistic) instead of
+     *                oracle counts.
+     */
+    InstructionTimeline(const std::vector<IntervalRecord> &trace,
+                        std::size_t core, bool use_pmc);
+
+    /** Total instructions covered. */
+    double totalInstructions() const;
+
+    /** Cumulative unhalted cycles after @p instructions retired. */
+    double cyclesAt(double instructions) const;
+
+    /** Cumulative MAB wait cycles after @p instructions retired. */
+    double mabCyclesAt(double instructions) const;
+
+  private:
+    double interp(const std::vector<double> &ys,
+                  double instructions) const;
+
+    std::vector<double> cum_inst_;   ///< len n+1, cum_inst_[0] == 0
+    std::vector<double> cum_cycles_; ///< len n+1
+    std::vector<double> cum_mab_;    ///< len n+1
+};
+
+/** Per-segment cycle observations for one trace. */
+struct Segment
+{
+    double instructions = 0.0; ///< segment width
+    double cycles = 0.0;       ///< unhalted cycles spent on the segment
+    double mab_cycles = 0.0;   ///< MAB wait cycles within the segment
+};
+
+/**
+ * Slice a timeline into equal-instruction segments (the last partial
+ * segment is dropped). @pre segment_instructions > 0.
+ */
+std::vector<Segment> segmentTimeline(const InstructionTimeline &timeline,
+                                     double segment_instructions);
+
+} // namespace ppep::trace
+
+#endif // PPEP_TRACE_SEGMENTER_HPP

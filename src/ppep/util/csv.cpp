@@ -1,0 +1,67 @@
+#include "ppep/util/csv.hpp"
+
+#include <sstream>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::util {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        PPEP_FATAL("cannot open CSV file for writing: ", path);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        std::ostringstream oss;
+        oss.precision(10);
+        oss << cells[i];
+        out_ << oss.str();
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::close()
+{
+    if (out_.is_open())
+        out_.close();
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+} // namespace ppep::util

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV writer so bench binaries can optionally dump raw series
+ * (e.g. the Fig. 1 cooling trace or Fig. 7 capping trace) for plotting.
+ */
+
+#ifndef PPEP_UTIL_CSV_HPP
+#define PPEP_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ppep::util {
+
+/** Append-only CSV file writer with RFC-4180 style quoting. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write one row of numeric cells. */
+    void writeRow(const std::vector<double> &cells);
+
+    /** Flush and close; also called by the destructor. */
+    void close();
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+  private:
+    /** Quote a cell if it contains a delimiter, quote, or newline. */
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace ppep::util
+
+#endif // PPEP_UTIL_CSV_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a PPEP bug); aborts.
+ * fatal()  — the caller supplied an impossible configuration; exits(1).
+ * warn()   — something is off but execution can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef PPEP_UTIL_LOGGING_HPP
+#define PPEP_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace ppep::util {
+
+/** Terminate with an internal-error message; never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a user-error message; never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace ppep::util
+
+#define PPEP_PANIC(...) \
+    ::ppep::util::panicImpl(__FILE__, __LINE__, \
+                            ::ppep::util::detail::concat(__VA_ARGS__))
+
+#define PPEP_FATAL(...) \
+    ::ppep::util::fatalImpl(__FILE__, __LINE__, \
+                            ::ppep::util::detail::concat(__VA_ARGS__))
+
+#define PPEP_WARN(...) \
+    ::ppep::util::warnImpl(__FILE__, __LINE__, \
+                           ::ppep::util::detail::concat(__VA_ARGS__))
+
+#define PPEP_INFORM(...) \
+    ::ppep::util::informImpl(::ppep::util::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define PPEP_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            PPEP_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // PPEP_UTIL_LOGGING_HPP

@@ -1,0 +1,119 @@
+#include "ppep/util/rng.hpp"
+
+#include <cmath>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::util {
+
+namespace {
+
+/** splitmix64 step, used to expand a single seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    PPEP_ASSERT(n > 0, "uniformInt needs n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - (UINT64_MAX % n);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gauss_) {
+        has_cached_gauss_ = false;
+        return cached_gauss_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_cached_gauss_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sd)
+{
+    return mean + sd * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    // Derive a child seed by hashing the parent state with the stream id.
+    std::uint64_t mix = s_[0] ^ rotl(s_[3], 13) ^
+                        (stream_id * 0xd1342543de82ef95ULL + 1);
+    return Rng(mix);
+}
+
+} // namespace ppep::util

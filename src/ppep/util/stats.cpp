@@ -1,0 +1,119 @@
+#include "ppep/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::util {
+
+double
+mean(std::span<const double> xs)
+{
+    PPEP_ASSERT(!xs.empty(), "mean of empty span");
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddevPop(std::span<const double> xs)
+{
+    PPEP_ASSERT(!xs.empty(), "stddev of empty span");
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+stddevSample(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double
+minValue(std::span<const double> xs)
+{
+    PPEP_ASSERT(!xs.empty(), "min of empty span");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxValue(std::span<const double> xs)
+{
+    PPEP_ASSERT(!xs.empty(), "max of empty span");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+absRelErr(double estimate, double reference)
+{
+    if (reference == 0.0)
+        return estimate == 0.0 ? 0.0 : 1.0;
+    return std::fabs(estimate - reference) / std::fabs(reference);
+}
+
+double
+aae(std::span<const double> estimates, std::span<const double> references)
+{
+    PPEP_ASSERT(estimates.size() == references.size(),
+                "aae: length mismatch");
+    PPEP_ASSERT(!estimates.empty(), "aae of empty spans");
+    double s = 0.0;
+    for (std::size_t i = 0; i < estimates.size(); ++i)
+        s += absRelErr(estimates[i], references[i]);
+    return s / static_cast<double>(estimates.size());
+}
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    PPEP_ASSERT(xs.size() == ys.size() && xs.size() >= 2,
+                "pearson needs two aligned series of length >= 2");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::stddevPop() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+} // namespace ppep::util

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Summary statistics used throughout model validation.
+ *
+ * The paper reports average absolute error (AAE) per benchmark and then the
+ * mean and standard deviation of those AAEs per suite; the helpers here
+ * implement exactly those reductions.
+ */
+
+#ifndef PPEP_UTIL_STATS_HPP
+#define PPEP_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ppep::util {
+
+/** Arithmetic mean. @pre non-empty input. */
+double mean(std::span<const double> xs);
+
+/** Population standard deviation. @pre non-empty input. */
+double stddevPop(std::span<const double> xs);
+
+/** Sample (n-1) standard deviation; 0 for fewer than two samples. */
+double stddevSample(std::span<const double> xs);
+
+/** Minimum value. @pre non-empty input. */
+double minValue(std::span<const double> xs);
+
+/** Maximum value. @pre non-empty input. */
+double maxValue(std::span<const double> xs);
+
+/**
+ * Absolute relative error |est - ref| / |ref|.
+ *
+ * A zero reference with a zero estimate counts as zero error; a zero
+ * reference with a nonzero estimate is treated as 100% error rather than
+ * infinity so that aggregate statistics stay finite.
+ */
+double absRelErr(double estimate, double reference);
+
+/**
+ * Average absolute (relative) error between two aligned series — the AAE
+ * metric the paper reports for every model.
+ * @pre equal, nonzero lengths.
+ */
+double aae(std::span<const double> estimates,
+           std::span<const double> references);
+
+/** Pearson correlation coefficient. @pre equal lengths >= 2. */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Incremental mean/variance accumulator (Welford's algorithm), for
+ * streaming reductions over long traces.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return n_; }
+
+    /** Mean of samples; 0 if empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population standard deviation; 0 if empty. */
+    double stddevPop() const;
+
+    /** Minimum sample; 0 if empty. */
+    double minValue() const { return n_ ? min_ : 0.0; }
+
+    /** Maximum sample; 0 if empty. */
+    double maxValue() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+} // namespace ppep::util
+
+#endif // PPEP_UTIL_STATS_HPP

@@ -1,0 +1,88 @@
+#include "ppep/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::util {
+
+Table::Table(std::string caption) : caption_(std::move(caption)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    PPEP_ASSERT(header_.empty() || row.size() == header_.size(),
+                "table row width ", row.size(), " != header width ",
+                header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    if (!caption_.empty())
+        os << caption_ << "\n";
+
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << (i == 0 ? "| " : " | ");
+            os << row[i];
+            os << std::string(widths[i] - row[i].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    auto rule = [&]() {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            os << (i == 0 ? "|-" : "-|-");
+            os << std::string(widths[i], '-');
+        }
+        os << "-|\n";
+    };
+
+    if (!header_.empty()) {
+        rule();
+        emit(header_);
+    }
+    rule();
+    for (const auto &row : rows_)
+        emit(row);
+    rule();
+}
+
+} // namespace ppep::util

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output.
+ *
+ * Every bench binary regenerates one paper table/figure as rows of text;
+ * this helper keeps columns aligned and formatting consistent.
+ */
+
+#ifndef PPEP_UTIL_TABLE_HPP
+#define PPEP_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ppep::util {
+
+/**
+ * Column-aligned ASCII table. Add a header, then rows of equal width;
+ * print() computes column widths and emits the table.
+ */
+class Table
+{
+  public:
+    /** Construct with an optional caption printed above the table. */
+    explicit Table(std::string caption = "");
+
+    /** Set the column headers; defines the table width. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row. @pre width matches the header (if one is set). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p decimals decimal places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Convenience: format a fraction as a percentage string. */
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Render to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ppep::util
+
+#endif // PPEP_UTIL_TABLE_HPP

@@ -1,0 +1,86 @@
+#include "ppep/workloads/builder.hpp"
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::workloads {
+
+ProfileBuilder::ProfileBuilder(std::string name) : name_(std::move(name))
+{
+    PPEP_ASSERT(!name_.empty(), "profile needs a name");
+}
+
+ProfileBuilder &
+ProfileBuilder::memoryIntensity(double mem)
+{
+    PPEP_ASSERT(mem >= 0.0 && mem <= 1.0,
+                "memory intensity out of [0,1]");
+    mem_ = mem;
+    return *this;
+}
+
+ProfileBuilder &
+ProfileBuilder::dramShare(double dram)
+{
+    PPEP_ASSERT(dram >= 0.0 && dram <= 1.0, "DRAM share out of [0,1]");
+    dram_ = dram;
+    return *this;
+}
+
+ProfileBuilder &
+ProfileBuilder::fpuPerInst(double fpu)
+{
+    PPEP_ASSERT(fpu >= 0.0, "negative FPU rate");
+    fpu_ = fpu;
+    return *this;
+}
+
+ProfileBuilder &
+ProfileBuilder::branchRate(double branch)
+{
+    PPEP_ASSERT(branch >= 0.0 && branch <= 0.5,
+                "branch rate out of [0,0.5]");
+    branch_ = branch;
+    return *this;
+}
+
+ProfileBuilder &
+ProfileBuilder::mispredictRate(double rate)
+{
+    PPEP_ASSERT(rate >= 0.0 && rate <= 0.5,
+                "mispredict rate out of [0,0.5]");
+    mispred_ = rate;
+    return *this;
+}
+
+ProfileBuilder &
+ProfileBuilder::resourceStallCpi(double cpi)
+{
+    PPEP_ASSERT(cpi >= 0.05, "stall CPI below the model floor (0.05)");
+    stall_ = cpi;
+    return *this;
+}
+
+ProfileBuilder &
+ProfileBuilder::addPhase(double instructions)
+{
+    PPEP_ASSERT(instructions > 0.0, "phase must contain instructions");
+    phases_.push_back(derivePhase(mem_, dram_, fpu_, branch_, mispred_,
+                                  stall_, instructions));
+    return *this;
+}
+
+std::unique_ptr<sim::Job>
+ProfileBuilder::makeJob() const
+{
+    PPEP_ASSERT(!phases_.empty(), "profile '", name_, "' has no phases");
+    return std::make_unique<sim::Job>(name_, phases_, /*looping=*/false);
+}
+
+std::unique_ptr<sim::Job>
+ProfileBuilder::makeLoopingJob() const
+{
+    PPEP_ASSERT(!phases_.empty(), "profile '", name_, "' has no phases");
+    return std::make_unique<sim::Job>(name_, phases_, /*looping=*/true);
+}
+
+} // namespace ppep::workloads

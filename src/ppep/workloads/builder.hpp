@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fluent builder for custom workload profiles.
+ *
+ * The built-in suite covers the paper's 52 programs; downstream users
+ * characterising their own applications need a way to author profiles
+ * without hand-filling every sim::Phase field. The builder exposes the
+ * same high-level knobs the suite's trait table uses (memory intensity,
+ * DRAM share, FPU density, branchiness, ...) and derives consistent
+ * low-level per-instruction rates from them.
+ */
+
+#ifndef PPEP_WORKLOADS_BUILDER_HPP
+#define PPEP_WORKLOADS_BUILDER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ppep/sim/phase.hpp"
+
+namespace ppep::workloads {
+
+/**
+ * Derive a consistent sim::Phase from high-level characteristics — the
+ * single mapping both the built-in suite and the ProfileBuilder use.
+ * Inputs are clamped to their valid ranges.
+ */
+sim::Phase derivePhase(double mem, double dram, double fpu,
+                       double branch, double mispred, double stall,
+                       double inst_count);
+
+/** Fluent custom-workload author. */
+class ProfileBuilder
+{
+  public:
+    /** Start a profile named @p name. */
+    explicit ProfileBuilder(std::string name);
+
+    /** Memory intensity in [0, 1] (drives cache/memory rates). */
+    ProfileBuilder &memoryIntensity(double mem);
+
+    /** DRAM share of L3 accesses in [0, 1]. */
+    ProfileBuilder &dramShare(double dram);
+
+    /** FPU operations per instruction (>= 0). */
+    ProfileBuilder &fpuPerInst(double fpu);
+
+    /** Branches per instruction in [0, 0.5]. */
+    ProfileBuilder &branchRate(double branch);
+
+    /** Misprediction rate as a fraction of branches in [0, 0.5]. */
+    ProfileBuilder &mispredictRate(double rate);
+
+    /** Frequency-invariant resource-stall CPI (>= 0.05). */
+    ProfileBuilder &resourceStallCpi(double cpi);
+
+    /**
+     * Append one phase of @p instructions using the current knob
+     * values; knobs persist, so consecutive addPhase() calls with
+     * interleaved knob changes build phase sequences naturally.
+     */
+    ProfileBuilder &addPhase(double instructions);
+
+    /** Number of phases added so far. */
+    std::size_t phaseCount() const { return phases_.size(); }
+
+    /** Build a run-once job. @pre at least one phase added. */
+    std::unique_ptr<sim::Job> makeJob() const;
+
+    /** Build an infinitely looping job. @pre at least one phase added. */
+    std::unique_ptr<sim::Job> makeLoopingJob() const;
+
+    /** The raw phases (inspection/tests). */
+    const std::vector<sim::Phase> &phases() const { return phases_; }
+
+  private:
+    std::string name_;
+    double mem_ = 0.2;
+    double dram_ = 0.4;
+    double fpu_ = 0.1;
+    double branch_ = 0.15;
+    double mispred_ = 0.03;
+    double stall_ = 0.3;
+    std::vector<sim::Phase> phases_;
+};
+
+} // namespace ppep::workloads
+
+#endif // PPEP_WORKLOADS_BUILDER_HPP

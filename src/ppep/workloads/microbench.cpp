@@ -1,0 +1,56 @@
+#include "ppep/workloads/microbench.hpp"
+
+#include <vector>
+
+namespace ppep::workloads {
+
+std::unique_ptr<sim::Job>
+makeBenchA()
+{
+    sim::Phase p;
+    p.uops_per_inst = 1.2;
+    p.fpu_per_inst = 0.05;
+    p.ifetch_per_inst = 0.22;
+    p.dcache_per_inst = 0.45; // L1-resident: lots of hits, no misses
+    p.l2req_per_inst = 0.0;   // never leaves L1
+    p.branch_per_inst = 0.10;
+    p.mispred_per_inst = 0.0005;
+    p.l2miss_per_inst = 0.0;  // no dynamic NB accesses
+    p.leading_per_inst = 0.0;
+    p.l3_miss_rate = 0.0;
+    p.resource_stall_cpi = 0.70;
+    p.inst_count = 1e9;
+    p.validate();
+    return std::make_unique<sim::Job>("bench_A",
+                                      std::vector<sim::Phase>{p},
+                                      /*looping=*/true);
+}
+
+std::unique_ptr<sim::Job>
+makeHeater()
+{
+    // A realistic power virus: FPU-heavy but with normal pipeline
+    // pressure, landing a ~125-150 W-class chip at its thermal design
+    // envelope (not an unphysical IPC-3 fantasy that would heat the
+    // simulated die past any real operating point and skew the idle
+    // model's temperature training range).
+    sim::Phase p;
+    p.uops_per_inst = 1.5;
+    p.fpu_per_inst = 0.45;
+    p.ifetch_per_inst = 0.28;
+    p.dcache_per_inst = 0.50;
+    p.l2req_per_inst = 0.02;
+    p.branch_per_inst = 0.08;
+    p.mispred_per_inst = 0.0008;
+    p.l2miss_per_inst = 0.002;
+    p.leading_per_inst = 0.0004;
+    p.l3_miss_rate = 0.3;
+    p.resource_stall_cpi = 0.62;
+    p.inst_count = 1e9;
+    p.validate();
+    return std::make_unique<sim::Job>("heater",
+                                      std::vector<sim::Phase>{p},
+                                      /*looping=*/true);
+}
+
+} // namespace ppep::workloads

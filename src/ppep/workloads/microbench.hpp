@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Microbenchmarks used by the paper's power-gating study (Sec. IV-D) and
+ * by the idle-power training protocol (Sec. IV-A / Fig. 1).
+ *
+ * bench_A is the paper's own construction: "an L1-resident data set,
+ * requires no dynamic NB accesses, and has a steady program phase. The
+ * performance and dynamic power of each instance is the same if multiple
+ * instances are running concurrently on different CUs." The heater is the
+ * heavy workload used to warm the die before a cooling trace.
+ */
+
+#ifndef PPEP_WORKLOADS_MICROBENCH_HPP
+#define PPEP_WORKLOADS_MICROBENCH_HPP
+
+#include <memory>
+
+#include "ppep/sim/phase.hpp"
+
+namespace ppep::workloads {
+
+/** The Sec. IV-D bench_A: steady, L1-resident, NB-silent, looping. */
+std::unique_ptr<sim::Job> makeBenchA();
+
+/** A high-activity looping workload for heating the die (Fig. 1). */
+std::unique_ptr<sim::Job> makeHeater();
+
+} // namespace ppep::workloads
+
+#endif // PPEP_WORKLOADS_MICROBENCH_HPP

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Cross-platform property suite: the full PPEP pipeline must hold on
+ * both simulated parts (FX-8320 and Phenom II X6 1090T), exactly as the
+ * paper validates its generality claim (Sec. IV-E) on two processors.
+ * Parameterised over the platform so every invariant runs twice.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/ppep.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/util/stats.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep;
+
+enum class Platform
+{
+    Fx8320,
+    PhenomII,
+};
+
+sim::ChipConfig
+configOf(Platform p)
+{
+    return p == Platform::Fx8320 ? sim::fx8320Config()
+                                 : sim::phenomIIConfig();
+}
+
+/** Per-platform trained models, built once each. */
+const model::TrainedModels &
+modelsOf(Platform p)
+{
+    static const auto build = [](Platform plat) {
+        const auto cfg = configOf(plat);
+        model::Trainer trainer(cfg, 2023);
+        std::vector<const workloads::Combination *> training;
+        for (const auto &c : workloads::allCombinations()) {
+            if (c.instances.size() != 1)
+                continue;
+            // The Phenom study uses PARSEC + NPB only, as the paper does.
+            if (plat == Platform::PhenomII &&
+                c.suite == workloads::SuiteId::Spec)
+                continue;
+            if (training.size() < 14)
+                training.push_back(&c);
+        }
+        return trainer.trainAll(training);
+    };
+    static const model::TrainedModels fx = build(Platform::Fx8320);
+    static const model::TrainedModels ph = build(Platform::PhenomII);
+    return p == Platform::Fx8320 ? fx : ph;
+}
+
+class PlatformSweep : public ::testing::TestWithParam<Platform>
+{
+  protected:
+    sim::ChipConfig cfg_ = configOf(GetParam());
+    const model::TrainedModels &models_ = modelsOf(GetParam());
+
+    trace::IntervalRecord
+    measure(const std::string &program, std::size_t copies)
+    {
+        sim::Chip chip(cfg_, 9);
+        chip.setAllVf(cfg_.vf_table.top());
+        workloads::launch(chip, workloads::replicate(program, copies),
+                          true);
+        trace::Collector col(chip);
+        col.collect(3);
+        return col.collectInterval();
+    }
+};
+
+TEST_P(PlatformSweep, AlphaRecoveredNearGroundTruth)
+{
+    EXPECT_NEAR(models_.alpha, cfg_.power.alpha_true, 0.3);
+}
+
+TEST_P(PlatformSweep, SelfEstimateTracksSensor)
+{
+    const auto rec = measure("CG", 2);
+    const auto est = models_.chip.estimate(rec);
+    EXPECT_NEAR(est.total_w / rec.sensor_power_w, 1.0, 0.10);
+}
+
+TEST_P(PlatformSweep, CrossVfPredictionTracksActualRun)
+{
+    const auto rec = measure("streamcluster", 2);
+    const auto pred = models_.chip.predictAt(rec, 1);
+
+    sim::Chip chip(cfg_, 9);
+    chip.setAllVf(1);
+    workloads::launch(chip, workloads::replicate("streamcluster", 2),
+                      true);
+    trace::Collector col(chip);
+    col.collect(3);
+    const auto actual = col.collectInterval();
+    EXPECT_NEAR(pred.total_w / actual.sensor_power_w, 1.0, 0.15);
+}
+
+TEST_P(PlatformSweep, PredictedPowerMonotoneInVf)
+{
+    const auto rec = measure("EP", cfg_.n_cus);
+    double prev = 0.0;
+    for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf) {
+        const auto est = models_.chip.predictAt(rec, vf);
+        EXPECT_GT(est.total_w, prev) << "VF index " << vf;
+        prev = est.total_w;
+    }
+}
+
+TEST_P(PlatformSweep, MemoryBoundSpeedupSaturates)
+{
+    const auto mem = measure("CG", 1);
+    const auto cpu = measure("EP", 1);
+    const double f_lo = cfg_.vf_table.state(0).freq_ghz;
+    const double f_hi =
+        cfg_.vf_table.state(cfg_.vf_table.top()).freq_ghz;
+    const double clock_ratio = f_hi / f_lo;
+
+    auto speedup = [&](const trace::IntervalRecord &rec) {
+        const auto s = model::CpiModel::fromEvents(rec.pmc[0]);
+        return model::CpiModel::predictSpeedup(s, f_hi, f_lo);
+    };
+    // Downscaling hurts the CPU-bound program nearly 1/clock_ratio but
+    // the memory-bound one much less.
+    EXPECT_LT(speedup(cpu), 1.0 / clock_ratio * 1.1);
+    EXPECT_GT(speedup(mem), 1.0 / clock_ratio * 1.15);
+}
+
+TEST_P(PlatformSweep, IdleModelCoversOperatingRange)
+{
+    // Idle power prediction stays positive and monotone in V across the
+    // platform's own table and plausible temperatures.
+    for (double t : {305.0, 320.0, 335.0}) {
+        double prev = 0.0;
+        for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf) {
+            const double p = models_.idle.predict(
+                cfg_.vf_table.state(vf).voltage, t);
+            EXPECT_GT(p, 0.0);
+            EXPECT_GT(p, prev);
+            prev = p;
+        }
+    }
+}
+
+TEST_P(PlatformSweep, EnergyPredictionTracksNextInterval)
+{
+    sim::Chip chip(cfg_, 31);
+    workloads::launch(chip, workloads::replicate("LU", 2), true);
+    trace::Collector col(chip);
+    col.collect(3);
+    util::RunningStats err;
+    auto prev = col.collectInterval();
+    for (int i = 0; i < 10; ++i) {
+        const auto next = col.collectInterval();
+        const double est_j =
+            models_.chip.estimate(prev).total_w * prev.duration_s;
+        const double meas_j = next.sensor_power_w * next.duration_s;
+        err.add(util::absRelErr(est_j, meas_j));
+        prev = next;
+    }
+    EXPECT_LT(err.mean(), 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, PlatformSweep,
+                         ::testing::Values(Platform::Fx8320,
+                                           Platform::PhenomII),
+                         [](const auto &info) {
+                             return info.param == Platform::Fx8320
+                                        ? "Fx8320"
+                                        : "PhenomII";
+                         });
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the power-capping governors (the Fig. 7 experiment) and the
+ * control-loop machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/governor/governor.hpp"
+#include "ppep/governor/iterative_capping.hpp"
+#include "ppep/governor/ppep_capping.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep::governor;
+namespace sim = ppep::sim;
+namespace wl = ppep::workloads;
+namespace model = ppep::model;
+
+TEST(CapSchedule, ConstantCap)
+{
+    CapSchedule s(100.0);
+    EXPECT_DOUBLE_EQ(s.capAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(s.capAt(999), 100.0);
+}
+
+TEST(CapSchedule, PiecewiseSteps)
+{
+    CapSchedule s({{0, 120.0}, {10, 60.0}, {20, 90.0}});
+    EXPECT_DOUBLE_EQ(s.capAt(0), 120.0);
+    EXPECT_DOUBLE_EQ(s.capAt(9), 120.0);
+    EXPECT_DOUBLE_EQ(s.capAt(10), 60.0);
+    EXPECT_DOUBLE_EQ(s.capAt(19), 60.0);
+    EXPECT_DOUBLE_EQ(s.capAt(25), 90.0);
+}
+
+TEST(CapSchedule, UnlimitedIsHuge)
+{
+    EXPECT_GT(CapSchedule::unlimited().capAt(0), 1e9);
+}
+
+TEST(CapScheduleDeath, MustStartAtZero)
+{
+    EXPECT_DEATH(CapSchedule({{5, 100.0}}), "start at interval 0");
+}
+
+TEST(Metrics, AdherenceCountsUnderCap)
+{
+    std::vector<GovernorStep> steps(4);
+    for (auto &s : steps)
+        s.cap_w = 100.0;
+    steps[0].rec.sensor_power_w = 90.0;
+    steps[1].rec.sensor_power_w = 101.0; // within 2% grace
+    steps[2].rec.sensor_power_w = 110.0; // violation
+    steps[3].rec.sensor_power_w = 95.0;
+    EXPECT_DOUBLE_EQ(capAdherence(steps), 0.75);
+}
+
+TEST(Metrics, SettleCountsIntervalsAfterDrop)
+{
+    std::vector<GovernorStep> steps(6);
+    for (auto &s : steps) {
+        s.cap_w = 120.0;
+        s.rec.sensor_power_w = 100.0;
+    }
+    // Cap drops at step 3; power falls under it at step 5.
+    steps[3].cap_w = steps[4].cap_w = steps[5].cap_w = 80.0;
+    steps[3].rec.sensor_power_w = 100.0;
+    steps[4].rec.sensor_power_w = 95.0;
+    steps[5].rec.sensor_power_w = 75.0;
+    EXPECT_DOUBLE_EQ(meanSettleIntervals(steps), 3.0);
+}
+
+/** Shared trained models for governor tests. */
+struct Shared
+{
+    sim::ChipConfig cfg;
+    model::TrainedModels models;
+
+    Shared() : cfg(sim::fx8320Config())
+    {
+        cfg.per_cu_voltage = true; // the Sec. V-B assumption
+        model::Trainer trainer(cfg, 51);
+        std::vector<const wl::Combination *> training;
+        for (const auto &c : wl::allCombinations())
+            if (c.instances.size() == 1 && training.size() < 12)
+                training.push_back(&c);
+        models = trainer.trainAll(training);
+    }
+
+    static const Shared &
+    get()
+    {
+        static const Shared s;
+        return s;
+    }
+
+    /** The paper's Fig. 7 workload on four CUs, PG enabled. */
+    sim::Chip
+    makeLoadedChip(std::uint64_t seed) const
+    {
+        sim::Chip chip(cfg, seed);
+        chip.setPowerGatingEnabled(true);
+        chip.setJob(0, wl::Suite::byName("429.mcf").makeLoopingJob());
+        chip.setJob(2, wl::Suite::byName("458.sjeng").makeLoopingJob());
+        chip.setJob(4, wl::Suite::byName("416.gamess").makeLoopingJob());
+        chip.setJob(6, wl::Suite::byName("swaptions").makeLoopingJob());
+        return chip;
+    }
+};
+
+TEST(Iterative, LowersUnderTightCap)
+{
+    const auto &s = Shared::get();
+    auto chip = s.makeLoadedChip(1);
+    IterativeCappingGovernor gov(s.cfg);
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(40, CapSchedule(55.0));
+    // Eventually under the cap...
+    EXPECT_LE(steps.back().rec.sensor_power_w, 57.0);
+    // ...but only after several intervals (one VF step per interval).
+    std::size_t settle = 0;
+    for (const auto &st : steps) {
+        ++settle;
+        if (st.rec.sensor_power_w <= st.cap_w)
+            break;
+    }
+    EXPECT_GT(settle, 3u);
+}
+
+TEST(Iterative, RecoversPerformanceUnderLooseCap)
+{
+    const auto &s = Shared::get();
+    auto chip = s.makeLoadedChip(2);
+    chip.setAllVf(0); // start slow
+    IterativeCappingGovernor gov(s.cfg);
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(40, CapSchedule(200.0));
+    // With a generous cap the governor must climb back up.
+    double sum_vf = 0.0;
+    for (std::size_t vf : steps.back().cu_vf)
+        sum_vf += static_cast<double>(vf);
+    EXPECT_GT(sum_vf, 8.0); // well above all-VF1 (sum 0)
+}
+
+TEST(PpepCapping, MeetsCapInOneStep)
+{
+    const auto &s = Shared::get();
+    auto chip = s.makeLoadedChip(3);
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    PpepCappingGovernor gov(s.cfg, ppep);
+    GovernorLoop loop(chip, gov);
+    // Warm cap, then a hard drop.
+    const auto steps =
+        loop.run(20, CapSchedule({{0, 120.0}, {8, 55.0}}));
+    // Settle within ~1 interval of the drop (paper: single step).
+    EXPECT_LE(meanSettleIntervals(steps), 2.0);
+    // Everything after the drop (given one interval to act) is capped.
+    for (std::size_t i = 10; i < steps.size(); ++i)
+        EXPECT_LE(steps[i].rec.sensor_power_w, 55.0 * 1.05)
+            << "interval " << i;
+}
+
+TEST(PpepCapping, FasterThanIterative)
+{
+    const auto &s = Shared::get();
+    const CapSchedule swing(
+        {{0, 120.0}, {10, 50.0}, {30, 120.0}, {40, 50.0}});
+
+    auto chip_i = s.makeLoadedChip(4);
+    IterativeCappingGovernor it(s.cfg);
+    GovernorLoop loop_i(chip_i, it);
+    const auto steps_i = loop_i.run(60, swing);
+
+    auto chip_p = s.makeLoadedChip(4);
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    PpepCappingGovernor pg(s.cfg, ppep);
+    GovernorLoop loop_p(chip_p, pg);
+    const auto steps_p = loop_p.run(60, swing);
+
+    EXPECT_LT(meanSettleIntervals(steps_p),
+              meanSettleIntervals(steps_i));
+    EXPECT_GT(capAdherence(steps_p), capAdherence(steps_i));
+}
+
+TEST(PpepCapping, MaximisesPerformanceUnderCap)
+{
+    // Under a loose cap, the one-step policy should sit at (or near)
+    // the top VF, not sandbag.
+    const auto &s = Shared::get();
+    auto chip = s.makeLoadedChip(5);
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    PpepCappingGovernor gov(s.cfg, ppep);
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(10, CapSchedule(300.0));
+    for (std::size_t vf : steps.back().cu_vf)
+        EXPECT_EQ(vf, s.cfg.vf_table.top());
+}
+
+TEST(PpepCapping, InfeasibleCapFallsToLowest)
+{
+    const auto &s = Shared::get();
+    auto chip = s.makeLoadedChip(6);
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    PpepCappingGovernor gov(s.cfg, ppep);
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(6, CapSchedule(5.0)); // impossible
+    for (std::size_t vf : steps.back().cu_vf)
+        EXPECT_EQ(vf, 0u);
+}
+
+} // namespace

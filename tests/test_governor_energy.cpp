@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the energy/EDP exploration (Figs. 8-11) and the
+ * energy-optimal governor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/governor/energy_explorer.hpp"
+#include "ppep/governor/energy_governor.hpp"
+#include "ppep/governor/governor.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep::governor;
+namespace sim = ppep::sim;
+namespace wl = ppep::workloads;
+namespace model = ppep::model;
+
+struct Shared
+{
+    sim::ChipConfig cfg = sim::fx8320Config();
+    model::TrainedModels models;
+
+    Shared()
+    {
+        model::Trainer trainer(cfg, 61);
+        std::vector<const wl::Combination *> training;
+        for (const auto &c : wl::allCombinations())
+            if (c.instances.size() == 1 && training.size() < 12)
+                training.push_back(&c);
+        models = trainer.trainAll(training);
+    }
+
+    static const Shared &
+    get()
+    {
+        static const Shared s;
+        return s;
+    }
+};
+
+TEST(Explorer, SweepCoversVfStates)
+{
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 71);
+    const auto points = ex.explore("433.milc", 1);
+    ASSERT_EQ(points.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(points[i].vf_index, i);
+        EXPECT_FALSE(points[i].nb_low);
+        EXPECT_GT(points[i].energy_j, 0.0);
+        EXPECT_GT(points[i].time_s, 0.0);
+        EXPECT_NEAR(points[i].edp,
+                    points[i].energy_j * points[i].time_s, 1e-9);
+        EXPECT_NEAR(points[i].energy_j,
+                    points[i].core_energy_j + points[i].nb_energy_j,
+                    1e-9);
+    }
+}
+
+TEST(Explorer, LowestVfIsEnergyOptimal)
+{
+    // Paper Fig. 8 observation 1: for both CPU- and memory-bound
+    // programs the lowest VF state minimises per-thread energy.
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 72);
+    for (const char *prog : {"433.milc", "458.sjeng"}) {
+        for (std::size_t copies : {1u, 4u}) {
+            const auto pts = ex.explore(prog, copies);
+            for (std::size_t i = 1; i < pts.size(); ++i)
+                EXPECT_LT(pts[0].energy_j, pts[i].energy_j)
+                    << prog << " x" << copies << " vs VF" << i + 1;
+        }
+    }
+}
+
+TEST(Explorer, CpuBoundSharingLowersPerThreadEnergy)
+{
+    // Paper Fig. 8 observation 3: CPU-bound instances share NB/static
+    // energy, so per-thread energy falls with more instances.
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 73);
+    const auto x1 = ex.explore("458.sjeng", 1);
+    const auto x4 = ex.explore("458.sjeng", 4);
+    EXPECT_GT(x1[4].energy_j, x4[4].energy_j); // at VF5
+}
+
+TEST(Explorer, MemoryBoundContentionRaisesPerThreadEnergyAtHighVf)
+{
+    // Paper Fig. 8 observation 2: NB contention makes multi-instance
+    // memory-bound runs cost *more* per thread at the high VF state.
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 74);
+    const auto x1 = ex.explore("433.milc", 1);
+    const auto x4 = ex.explore("433.milc", 4);
+    EXPECT_LT(x1[4].energy_j, x4[4].energy_j); // at VF5
+}
+
+TEST(Explorer, MemoryBoundNbShareExceedsCpuBound)
+{
+    // Paper Fig. 10: NB consumes ~60% of energy for memory-bound
+    // programs and ~25% for CPU-bound ones.
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 75);
+    const auto milc = ex.explore("433.milc", 1);
+    const auto sjeng = ex.explore("458.sjeng", 4);
+    const double milc_share =
+        milc[4].nb_energy_j / milc[4].energy_j;
+    const double sjeng_share =
+        sjeng[4].nb_energy_j / sjeng[4].energy_j;
+    EXPECT_GT(milc_share, sjeng_share + 0.1);
+    EXPECT_GT(milc_share, 0.30);
+    EXPECT_LT(sjeng_share, 0.30);
+}
+
+TEST(Explorer, NbShareGrowsAtLowerVf)
+{
+    // Paper Fig. 10: lowering the core VF state increases the NB's
+    // fraction (NB energy is core-VF-independent, runtime stretches).
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 76);
+    const auto pts = ex.explore("433.milc", 2);
+    const double share_hi = pts[4].nb_energy_j / pts[4].energy_j;
+    const double share_lo = pts[0].nb_energy_j / pts[0].energy_j;
+    EXPECT_GT(share_lo, share_hi);
+}
+
+TEST(Explorer, NbLowUnlocksEnergySavings)
+{
+    // Paper Fig. 11a: NB DVFS saves energy for both workload types.
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 77);
+    for (const char *prog : {"433.milc", "458.sjeng"}) {
+        const auto pts = ex.explore(prog, 1, /*include_nb_low=*/true);
+        ASSERT_EQ(pts.size(), 10u);
+        const auto summary = EnergyExplorer::summarize(pts);
+        EXPECT_GT(summary.energy_saving, 0.05) << prog;
+        EXPECT_LT(summary.energy_saving, 0.45) << prog;
+    }
+}
+
+TEST(Explorer, NbLowUnlocksSpeedup)
+{
+    // Paper Fig. 11b: at similar energy, cores can run faster.
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 78);
+    const auto pts = ex.explore("458.sjeng", 1, true);
+    const auto summary = EnergyExplorer::summarize(pts);
+    EXPECT_GT(summary.speedup, 1.1);
+}
+
+TEST(Explorer, NbLowStretchesMemoryBoundTime)
+{
+    // At the same core VF, NB-low must slow a memory-bound program.
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyExplorer ex(s.cfg, ppep, 79);
+    const auto pts = ex.explore("429.mcf", 1, true);
+    EXPECT_GT(pts[9].time_s, pts[4].time_s); // VF5/lo vs VF5/hi
+}
+
+TEST(EnergyGovernor, PicksLowVfForEnergy)
+{
+    // Fig. 8 observation 1 again, now through the governor: the
+    // energy-optimal policy should settle at the lowest VF state.
+    const auto &s = Shared::get();
+    sim::Chip chip(s.cfg, 80);
+    chip.setJob(0, wl::Suite::byName("433.milc").makeLoopingJob());
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyOptimalGovernor gov(s.cfg, ppep, EnergyObjective::Energy);
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(10, CapSchedule::unlimited());
+    EXPECT_EQ(steps.back().cu_vf[0], 0u);
+}
+
+TEST(EnergyGovernor, EdpPrefersFasterStateThanEnergy)
+{
+    const auto &s = Shared::get();
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+
+    const auto settle = [&](EnergyObjective obj) {
+        sim::Chip chip(s.cfg, 81);
+        chip.setJob(0,
+                    wl::Suite::byName("458.sjeng").makeLoopingJob());
+        EnergyOptimalGovernor gov(s.cfg, ppep, obj);
+        GovernorLoop loop(chip, gov);
+        return loop.run(10, CapSchedule::unlimited()).back().cu_vf[0];
+    };
+    EXPECT_GE(settle(EnergyObjective::Edp),
+              settle(EnergyObjective::Energy));
+}
+
+TEST(EnergyGovernor, RespectsCap)
+{
+    const auto &s = Shared::get();
+    sim::Chip chip(s.cfg, 82);
+    for (std::size_t c = 0; c < 8; ++c)
+        chip.setJob(c, wl::Suite::byName("EP").makeLoopingJob());
+    model::Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    EnergyOptimalGovernor gov(s.cfg, ppep, EnergyObjective::Edp);
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(12, CapSchedule(60.0));
+    for (std::size_t i = 2; i < steps.size(); ++i)
+        EXPECT_LE(steps[i].rec.sensor_power_w, 60.0 * 1.06);
+}
+
+} // namespace

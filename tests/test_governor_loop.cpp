@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Edge-case tests for the governor control loop and its metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/governor/governor.hpp"
+#include "ppep/workloads/microbench.hpp"
+
+namespace {
+
+using namespace ppep::governor;
+namespace sim = ppep::sim;
+
+/** A scripted policy returning a fixed sequence of VF choices. */
+class ScriptedGovernor : public Governor
+{
+  public:
+    explicit ScriptedGovernor(std::vector<std::size_t> script)
+        : script_(std::move(script))
+    {
+    }
+
+    std::vector<std::size_t>
+    decide(const ppep::trace::IntervalRecord &rec, double) override
+    {
+        const std::size_t vf =
+            script_[std::min(cursor_++, script_.size() - 1)];
+        return std::vector<std::size_t>(rec.cu_vf.size(), vf);
+    }
+
+    std::optional<sim::VfState>
+    decideNb() override
+    {
+        return nb_;
+    }
+
+    std::string name() const override { return "scripted"; }
+
+    std::optional<sim::VfState> nb_;
+
+  private:
+    std::vector<std::size_t> script_;
+    std::size_t cursor_ = 0;
+};
+
+TEST(GovernorLoop, AppliesDecisionsNextInterval)
+{
+    sim::Chip chip(sim::fx8320Config(), 1);
+    chip.setJob(0, ppep::workloads::makeBenchA());
+    ScriptedGovernor gov({2, 0, 4});
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(4, CapSchedule::unlimited());
+    // Interval 0 ran at the chip's default (top); decisions apply to
+    // the following interval.
+    EXPECT_EQ(steps[0].cu_vf[0], 4u);
+    EXPECT_EQ(steps[1].cu_vf[0], 2u);
+    EXPECT_EQ(steps[2].cu_vf[0], 0u);
+    EXPECT_EQ(steps[3].cu_vf[0], 4u);
+}
+
+TEST(GovernorLoop, AppliesNbDecision)
+{
+    const auto cfg = sim::fx8320Config();
+    sim::Chip chip(cfg, 1);
+    ScriptedGovernor gov({4});
+    gov.nb_ = cfg.nb.vf_lo;
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(2, CapSchedule::unlimited());
+    // First interval still ran on the stock NB; second on the low one.
+    EXPECT_DOUBLE_EQ(steps[0].rec.nb_vf.freq_ghz, 2.2);
+    EXPECT_DOUBLE_EQ(steps[1].rec.nb_vf.freq_ghz, 1.1);
+}
+
+TEST(GovernorLoop, NulloptLeavesNbUntouched)
+{
+    const auto cfg = sim::fx8320Config();
+    sim::Chip chip(cfg, 1);
+    chip.setNbVf(cfg.nb.vf_lo);
+    ScriptedGovernor gov({4});
+    GovernorLoop loop(chip, gov);
+    const auto steps = loop.run(2, CapSchedule::unlimited());
+    EXPECT_DOUBLE_EQ(steps[1].rec.nb_vf.freq_ghz, 1.1);
+}
+
+TEST(Metrics, AdherenceOfEmptyTraceIsZero)
+{
+    EXPECT_DOUBLE_EQ(capAdherence({}), 0.0);
+}
+
+TEST(Metrics, SettleWithNoCapDropsIsZero)
+{
+    std::vector<GovernorStep> steps(5);
+    for (auto &s : steps) {
+        s.cap_w = 100.0;
+        s.rec.sensor_power_w = 120.0; // always violating, but no drop
+    }
+    EXPECT_DOUBLE_EQ(meanSettleIntervals(steps), 0.0);
+}
+
+TEST(Metrics, SettleCountsToTraceEndWhenNeverRecovering)
+{
+    std::vector<GovernorStep> steps(6);
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        steps[i].cap_w = i < 3 ? 100.0 : 50.0;
+        steps[i].rec.sensor_power_w = 90.0; // never under 50
+    }
+    // Drop at index 3; power never recovers in the remaining 3 steps.
+    EXPECT_DOUBLE_EQ(meanSettleIntervals(steps), 3.0);
+}
+
+TEST(Metrics, MultipleDropsAveraged)
+{
+    std::vector<GovernorStep> steps(8);
+    for (auto &s : steps) {
+        s.cap_w = 100.0;
+        s.rec.sensor_power_w = 90.0;
+    }
+    // Drop 1 at i=2, recovers immediately (settle 1).
+    steps[2].cap_w = steps[3].cap_w = 80.0;
+    steps[2].rec.sensor_power_w = 75.0;
+    steps[3].rec.sensor_power_w = 75.0;
+    // Back up at i=4, drop 2 at i=5, recovers at i=7 (settle 3).
+    steps[5].cap_w = steps[6].cap_w = steps[7].cap_w = 60.0;
+    steps[5].rec.sensor_power_w = 90.0;
+    steps[6].rec.sensor_power_w = 90.0;
+    steps[7].rec.sensor_power_w = 55.0;
+    EXPECT_DOUBLE_EQ(meanSettleIntervals(steps), 2.0);
+}
+
+TEST(MetricsDeath, WrongCuCountCaught)
+{
+    sim::Chip chip(sim::fx8320Config(), 1);
+    class BadGovernor : public Governor
+    {
+        std::vector<std::size_t>
+        decide(const ppep::trace::IntervalRecord &, double) override
+        {
+            return {1}; // wrong width
+        }
+        std::string name() const override { return "bad"; }
+    } gov;
+    GovernorLoop loop(chip, gov);
+    EXPECT_DEATH(loop.run(1, CapSchedule::unlimited()),
+                 "wrong CU count");
+}
+
+} // namespace

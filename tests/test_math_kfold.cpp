@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for k-fold splitting (the paper's 4-fold cross validation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ppep/math/kfold.hpp"
+
+namespace {
+
+using ppep::math::makeFolds;
+
+TEST(Kfold, EveryItemTestedExactlyOnce)
+{
+    ppep::util::Rng rng(1);
+    const auto folds = makeFolds(152, 4, rng);
+    std::set<std::size_t> tested;
+    for (const auto &f : folds)
+        for (std::size_t idx : f.test)
+            EXPECT_TRUE(tested.insert(idx).second)
+                << "item " << idx << " tested twice";
+    EXPECT_EQ(tested.size(), 152u);
+}
+
+TEST(Kfold, TrainAndTestDisjointAndComplete)
+{
+    ppep::util::Rng rng(2);
+    const auto folds = makeFolds(100, 4, rng);
+    for (const auto &f : folds) {
+        std::set<std::size_t> train(f.train.begin(), f.train.end());
+        for (std::size_t idx : f.test)
+            EXPECT_EQ(train.count(idx), 0u);
+        EXPECT_EQ(train.size() + f.test.size(), 100u);
+    }
+}
+
+TEST(Kfold, NearEqualSizes)
+{
+    ppep::util::Rng rng(3);
+    const auto folds = makeFolds(152, 4, rng);
+    for (const auto &f : folds)
+        EXPECT_EQ(f.test.size(), 38u); // 152 / 4 exactly
+}
+
+TEST(Kfold, UnevenSizesDifferByAtMostOne)
+{
+    ppep::util::Rng rng(4);
+    const auto folds = makeFolds(10, 3, rng);
+    std::size_t lo = 100, hi = 0;
+    for (const auto &f : folds) {
+        lo = std::min(lo, f.test.size());
+        hi = std::max(hi, f.test.size());
+    }
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Kfold, DeterministicForSameSeed)
+{
+    ppep::util::Rng a(5), b(5);
+    const auto fa = makeFolds(50, 4, a);
+    const auto fb = makeFolds(50, 4, b);
+    for (std::size_t f = 0; f < 4; ++f)
+        EXPECT_EQ(fa[f].test, fb[f].test);
+}
+
+TEST(Kfold, ShuffledNotIdentity)
+{
+    ppep::util::Rng rng(6);
+    const auto folds = makeFolds(100, 4, rng);
+    // Fold 0's test set should not simply be {0, 4, 8, ...} of a sorted
+    // deal — the shuffle must actually mix items.
+    std::vector<std::size_t> sorted = folds[0].test;
+    std::sort(sorted.begin(), sorted.end());
+    bool contiguous_prefix = true;
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        contiguous_prefix = contiguous_prefix && sorted[i] == i;
+    EXPECT_FALSE(contiguous_prefix);
+}
+
+// Property sweep: fold invariants hold across k.
+class KfoldSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(KfoldSweep, PartitionInvariants)
+{
+    const std::size_t k = GetParam();
+    ppep::util::Rng rng(7 + k);
+    const std::size_t n = 152;
+    const auto folds = makeFolds(n, k, rng);
+    ASSERT_EQ(folds.size(), k);
+    std::set<std::size_t> tested;
+    for (const auto &f : folds) {
+        EXPECT_EQ(f.train.size() + f.test.size(), n);
+        for (std::size_t idx : f.test) {
+            EXPECT_LT(idx, n);
+            tested.insert(idx);
+        }
+    }
+    EXPECT_EQ(tested.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KfoldSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 8u));
+
+} // namespace

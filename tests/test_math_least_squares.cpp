@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for ordinary and non-negative least squares.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ppep/math/least_squares.hpp"
+#include "ppep/util/rng.hpp"
+
+namespace {
+
+using ppep::math::fitLeastSquares;
+using ppep::math::fitNonNegativeLeastSquares;
+using ppep::math::Matrix;
+
+Matrix
+randomDesign(std::size_t n, std::size_t p, ppep::util::Rng &rng)
+{
+    Matrix x(n, p);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < p; ++c)
+            x(r, c) = rng.uniform(0.0, 10.0);
+    return x;
+}
+
+TEST(LeastSquares, RecoversExactCoefficients)
+{
+    ppep::util::Rng rng(1);
+    const auto x = randomDesign(50, 3, rng);
+    const std::vector<double> truth{2.0, -1.5, 0.25};
+    const auto y = x.multiply(truth);
+    const auto fit = fitLeastSquares(x, y);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(fit.coefficients[i], truth[i], 1e-9);
+    EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, RecoversUnderNoise)
+{
+    ppep::util::Rng rng(2);
+    const auto x = randomDesign(2000, 2, rng);
+    const std::vector<double> truth{3.0, 7.0};
+    auto y = x.multiply(truth);
+    for (auto &v : y)
+        v += rng.gaussian(0.0, 0.5);
+    const auto fit = fitLeastSquares(x, y);
+    EXPECT_NEAR(fit.coefficients[0], 3.0, 0.05);
+    EXPECT_NEAR(fit.coefficients[1], 7.0, 0.05);
+    EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LeastSquares, RidgeShrinksCoefficients)
+{
+    ppep::util::Rng rng(3);
+    const auto x = randomDesign(50, 2, rng);
+    const std::vector<double> truth{5.0, -5.0};
+    const auto y = x.multiply(truth);
+    const auto plain = fitLeastSquares(x, y);
+    const auto ridged = fitLeastSquares(x, y, 1000.0);
+    EXPECT_LT(std::fabs(ridged.coefficients[0]),
+              std::fabs(plain.coefficients[0]) + 1e-9);
+    EXPECT_LT(std::fabs(ridged.coefficients[1]),
+              std::fabs(plain.coefficients[1]));
+}
+
+TEST(LeastSquares, PredictMatchesManual)
+{
+    const auto x = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    const std::vector<double> coef{10.0, 1.0};
+    const auto pred = ppep::math::predict(x, coef);
+    EXPECT_DOUBLE_EQ(pred[0], 12.0);
+    EXPECT_DOUBLE_EQ(pred[1], 34.0);
+}
+
+TEST(Nnls, MatchesOlsWhenTruthIsPositive)
+{
+    ppep::util::Rng rng(4);
+    const auto x = randomDesign(200, 4, rng);
+    const std::vector<double> truth{1.0, 0.5, 2.0, 0.1};
+    const auto y = x.multiply(truth);
+    const auto fit = fitNonNegativeLeastSquares(x, y);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(fit.coefficients[i], truth[i], 1e-6);
+}
+
+TEST(Nnls, ClampsNegativeTruthToZero)
+{
+    ppep::util::Rng rng(5);
+    const auto x = randomDesign(300, 3, rng);
+    const std::vector<double> truth{2.0, -1.0, 1.0};
+    const auto y = x.multiply(truth);
+    const auto fit = fitNonNegativeLeastSquares(x, y);
+    for (double c : fit.coefficients)
+        EXPECT_GE(c, 0.0);
+    EXPECT_DOUBLE_EQ(fit.coefficients[1], 0.0);
+}
+
+TEST(Nnls, AllZeroTargetGivesZeroCoefficients)
+{
+    ppep::util::Rng rng(6);
+    const auto x = randomDesign(30, 3, rng);
+    const std::vector<double> y(30, 0.0);
+    const auto fit = fitNonNegativeLeastSquares(x, y);
+    for (double c : fit.coefficients)
+        EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(Nnls, ResidualNeverWorseThanZeroVector)
+{
+    ppep::util::Rng rng(7);
+    const auto x = randomDesign(100, 5, rng);
+    std::vector<double> y(100);
+    for (auto &v : y)
+        v = rng.uniform(-5.0, 5.0);
+    const auto fit = fitNonNegativeLeastSquares(x, y);
+    double norm_y = 0.0;
+    for (double v : y)
+        norm_y += v * v;
+    EXPECT_LE(fit.rmse * fit.rmse * 100.0, norm_y + 1e-9);
+}
+
+// Property sweep over problem sizes: NNLS on noisy positive-truth data
+// must stay close to the truth.
+class NnlsSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(NnlsSweep, RecoversPositiveTruthUnderNoise)
+{
+    const std::size_t p = GetParam();
+    ppep::util::Rng rng(100 + p);
+    const auto x = randomDesign(400 * p, p, rng);
+    std::vector<double> truth(p);
+    for (std::size_t i = 0; i < p; ++i)
+        truth[i] = 0.5 + static_cast<double>(i);
+    auto y = x.multiply(truth);
+    for (auto &v : y)
+        v += rng.gaussian(0.0, 0.1);
+    const auto fit = fitNonNegativeLeastSquares(x, y);
+    for (std::size_t i = 0; i < p; ++i)
+        EXPECT_NEAR(fit.coefficients[i], truth[i], 0.1) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NnlsSweep,
+                         ::testing::Values(1u, 2u, 3u, 6u, 9u));
+
+} // namespace

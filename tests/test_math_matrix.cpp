@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the dense matrix and its SPD solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ppep/math/matrix.hpp"
+
+namespace {
+
+using ppep::math::Matrix;
+
+TEST(Matrix, ZeroInitialised)
+{
+    Matrix m(2, 3);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, FromRowsAndAt)
+{
+    const auto m = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(Matrix, IdentityMultiplyIsNoop)
+{
+    const auto m = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    const auto i = Matrix::identity(2);
+    const auto p = m.multiply(i);
+    EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(p(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(p(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(p(1, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    const auto a = Matrix::fromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    const auto b =
+        Matrix::fromRows({{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}});
+    const auto p = a.multiply(b);
+    EXPECT_EQ(p.rows(), 2u);
+    EXPECT_EQ(p.cols(), 2u);
+    EXPECT_DOUBLE_EQ(p(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(p(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(p(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(p(1, 1), 154.0);
+}
+
+TEST(Matrix, MatrixVectorProduct)
+{
+    const auto a = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    const auto v = a.multiply(std::vector<double>{1.0, 1.0});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    const auto a = Matrix::fromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    const auto t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    const auto tt = t.transposed();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(tt(r, c), a(r, c));
+}
+
+TEST(Matrix, SolveSpdKnownSystem)
+{
+    // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+    const auto a = Matrix::fromRows({{4.0, 1.0}, {1.0, 3.0}});
+    const auto x = a.solveSpd({1.0, 2.0});
+    EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+    EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(Matrix, SolveSpdIdentity)
+{
+    const auto i = Matrix::identity(4);
+    const std::vector<double> b{1.0, -2.0, 3.0, -4.0};
+    const auto x = i.solveSpd(b);
+    for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_NEAR(x[k], b[k], 1e-14);
+}
+
+TEST(Matrix, SolveSpdResidualSmall)
+{
+    // Build an SPD matrix as M^T M + I and check A x == b.
+    const auto m = Matrix::fromRows(
+        {{1.0, 2.0, 0.5}, {0.0, 1.5, 2.0}, {3.0, 0.1, 1.0}});
+    auto a = m.transposed().multiply(m);
+    for (std::size_t i = 0; i < 3; ++i)
+        a(i, i) += 1.0;
+    const std::vector<double> b{1.0, 2.0, 3.0};
+    const auto x = a.solveSpd(b);
+    const auto ax = a.multiply(x);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(Matrix, SolveSpdNearSingularJitters)
+{
+    // Rank-deficient Gram matrix: columns are collinear. The solver must
+    // not crash; the jittered solution still satisfies A x ~= b within
+    // the column space.
+    const auto m =
+        Matrix::fromRows({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}});
+    const auto a = m.transposed().multiply(m);
+    const std::vector<double> b = {14.0, 28.0};
+    const auto x = a.solveSpd(b);
+    const auto ax = a.multiply(x);
+    EXPECT_NEAR(ax[0], b[0], 1e-3);
+    EXPECT_NEAR(ax[1], b[1], 1e-3);
+}
+
+TEST(MatrixQr, ExactlyDeterminedSystem)
+{
+    const auto a = Matrix::fromRows({{2.0, 1.0}, {1.0, 3.0}});
+    const auto x = a.solveLeastSquaresQr({5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(MatrixQr, OverdeterminedMatchesNormalEquations)
+{
+    const auto a = Matrix::fromRows(
+        {{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}, {1.0, 4.0}});
+    const std::vector<double> b{6.0, 5.0, 7.0, 10.0};
+    const auto qr = a.solveLeastSquaresQr(b);
+    const auto at = a.transposed();
+    const auto ne = at.multiply(a).solveSpd(at.multiply(b));
+    EXPECT_NEAR(qr[0], ne[0], 1e-9);
+    EXPECT_NEAR(qr[1], ne[1], 1e-9);
+    // Known regression of this classic data: intercept 3.5, slope 1.4.
+    EXPECT_NEAR(qr[0], 3.5, 1e-9);
+    EXPECT_NEAR(qr[1], 1.4, 1e-9);
+}
+
+TEST(MatrixQr, HandlesIllConditionedDesign)
+{
+    // Two nearly collinear columns: QR must still recover the
+    // generating coefficients to good accuracy.
+    Matrix a(200, 2);
+    std::vector<double> b(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+        const double t = static_cast<double>(i) / 200.0;
+        a(i, 0) = t;
+        a(i, 1) = t + 1e-7 * static_cast<double>(i % 3);
+        b[i] = 2.0 * a(i, 0) + 3.0 * a(i, 1);
+    }
+    const auto x = a.solveLeastSquaresQr(b);
+    const auto residual = a.multiply(x);
+    for (std::size_t i = 0; i < 200; ++i)
+        EXPECT_NEAR(residual[i], b[i], 1e-8);
+}
+
+TEST(MatrixQrDeath, RankDeficientRejected)
+{
+    const auto a =
+        Matrix::fromRows({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}});
+    EXPECT_DEATH(a.solveLeastSquaresQr({1.0, 2.0, 3.0}),
+                 "rank-deficient|singular");
+}
+
+TEST(MatrixQrDeath, UnderdeterminedRejected)
+{
+    const auto a = Matrix::fromRows({{1.0, 2.0, 3.0}});
+    EXPECT_DEATH(a.solveLeastSquaresQr({1.0}), "rows >= cols");
+}
+
+// Property sweep: random SPD systems of several sizes must solve with a
+// tiny residual.
+class SpdSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SpdSweep, ResidualTiny)
+{
+    const int n = GetParam();
+    Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    // Deterministic pseudo-random entries.
+    unsigned state = 12345u + static_cast<unsigned>(n);
+    auto next = [&state]() {
+        state = state * 1664525u + 1013904223u;
+        return static_cast<double>(state % 1000) / 500.0 - 1.0;
+    };
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = next();
+    auto a = m.transposed().multiply(m);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        a(i, i) += static_cast<double>(n);
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (auto &v : b)
+        v = next();
+    const auto x = a.solveSpd(b);
+    const auto ax = a.multiply(x);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpdSweep,
+                         ::testing::Values(1, 2, 3, 5, 9, 12));
+
+} // namespace

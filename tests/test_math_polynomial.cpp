@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for polynomial fitting/evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ppep/math/polynomial.hpp"
+
+namespace {
+
+using ppep::math::Polynomial;
+
+TEST(Polynomial, EvaluateKnown)
+{
+    // p(x) = 1 + 2x + 3x^2
+    const Polynomial p({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p(1.0), 6.0);
+    EXPECT_DOUBLE_EQ(p(2.0), 17.0);
+    EXPECT_DOUBLE_EQ(p(-1.0), 2.0);
+}
+
+TEST(Polynomial, ZeroPolynomial)
+{
+    const Polynomial p;
+    EXPECT_DOUBLE_EQ(p(123.0), 0.0);
+    EXPECT_EQ(p.degree(), 0);
+}
+
+TEST(Polynomial, DegreeIgnoresTrailingZeros)
+{
+    const Polynomial p({1.0, 2.0, 0.0});
+    EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Polynomial, FitExactLine)
+{
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys{5.0, 7.0, 9.0, 11.0};
+    const auto p = Polynomial::fit(xs, ys, 1);
+    EXPECT_NEAR(p.coefficients()[0], 5.0, 1e-10);
+    EXPECT_NEAR(p.coefficients()[1], 2.0, 1e-10);
+}
+
+TEST(Polynomial, FitExactCubic)
+{
+    // y = 2 - x + 0.5 x^2 + 0.25 x^3 sampled at 6 points.
+    const Polynomial truth({2.0, -1.0, 0.5, 0.25});
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 6; ++i) {
+        xs.push_back(0.5 * i);
+        ys.push_back(truth(xs.back()));
+    }
+    const auto p = Polynomial::fit(xs, ys, 3);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NEAR(p.coefficients()[i], truth.coefficients()[i], 1e-8);
+}
+
+TEST(Polynomial, FitOverdeterminedAverages)
+{
+    // Constant fit through scattered points = their mean.
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys{10.0, 12.0, 14.0, 16.0};
+    const auto p = Polynomial::fit(xs, ys, 0);
+    EXPECT_NEAR(p.coefficients()[0], 13.0, 1e-10);
+}
+
+TEST(Polynomial, FitInterpolatesWithinRange)
+{
+    // Degree-3 fit of the idle-power-style shape must interpolate
+    // smoothly between sample voltages.
+    const std::vector<double> volts{0.888, 1.008, 1.128, 1.242, 1.320};
+    std::vector<double> power;
+    for (double v : volts)
+        power.push_back(3.0 * v * v * v + 2.0 * v);
+    const auto p = Polynomial::fit(volts, power, 3);
+    // Query midway between table points.
+    const double v_mid = 1.07;
+    EXPECT_NEAR(p(v_mid), 3.0 * v_mid * v_mid * v_mid + 2.0 * v_mid,
+                1e-6);
+}
+
+TEST(Polynomial, DerivativeOfCubic)
+{
+    const Polynomial p({1.0, 2.0, 3.0, 4.0});
+    const auto d = p.derivative();
+    // d(x) = 2 + 6x + 12x^2
+    EXPECT_DOUBLE_EQ(d(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(d(1.0), 20.0);
+    EXPECT_EQ(d.degree(), 2);
+}
+
+TEST(Polynomial, DerivativeOfConstantIsZero)
+{
+    const Polynomial p({7.0});
+    const auto d = p.derivative();
+    EXPECT_DOUBLE_EQ(d(100.0), 0.0);
+}
+
+// Property sweep over degrees: fitting with the true degree recovers the
+// generating polynomial.
+class FitSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FitSweep, RecoversGeneratingPolynomial)
+{
+    const int degree = GetParam();
+    std::vector<double> truth;
+    for (int i = 0; i <= degree; ++i)
+        truth.push_back(1.0 / (1.0 + i));
+    const Polynomial gen(truth);
+    std::vector<double> xs, ys;
+    for (int i = 0; i <= degree + 4; ++i) {
+        xs.push_back(-1.0 + 0.4 * i);
+        ys.push_back(gen(xs.back()));
+    }
+    const auto p = Polynomial::fit(xs, ys, degree);
+    for (int i = 0; i <= degree; ++i)
+        EXPECT_NEAR(p.coefficients()[static_cast<std::size_t>(i)],
+                    truth[static_cast<std::size_t>(i)], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FitSweep, ::testing::Values(0, 1, 2, 3, 4));
+
+} // namespace

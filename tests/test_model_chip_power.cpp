@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the assembled ChipPowerModel (idle + dynamic +
+ * cross-VF event extrapolation) on controlled synthetic records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppep/model/chip_power_model.hpp"
+
+namespace {
+
+using namespace ppep::model;
+namespace sim = ppep::sim;
+
+/** An idle model with known linear behaviour: P = 10 V + 0.1 V T. */
+IdlePowerModel
+syntheticIdle()
+{
+    return IdlePowerModel::fromPolynomials(
+        ppep::math::Polynomial({0.0, 0.1}), // W1(V) = 0.1 V
+        ppep::math::Polynomial({0.0, 10.0})); // W0(V) = 10 V
+}
+
+/** A dynamic model with one nonzero weight on E1 and one on E9. */
+DynamicPowerModel
+syntheticDynamic()
+{
+    std::array<double, sim::kNumPowerEvents> w{};
+    w[0] = 2e-9;  // E1: 2 nJ per uop
+    w[8] = 1e-9;  // E9: 1 nJ per stall cycle (NB proxy, unscaled)
+    return DynamicPowerModel::fromWeights(w, 1.32, 2.0);
+}
+
+ChipPowerModel
+syntheticModel()
+{
+    return ChipPowerModel(syntheticIdle(), syntheticDynamic(),
+                          sim::fx8320VfTable());
+}
+
+/** One busy core: 1e9 inst over 0.2 s with simple proportions. */
+ppep::trace::IntervalRecord
+record(std::size_t vf_index)
+{
+    ppep::trace::IntervalRecord rec;
+    rec.duration_s = 0.2;
+    rec.cu_vf.assign(4, vf_index);
+    rec.diode_temp_k = 320.0;
+    rec.pmc.assign(8, sim::EventVector{});
+    auto &ev = rec.pmc[0];
+    const double inst = 1e9 * 0.2;
+    ev[sim::eventIndex(sim::Event::RetiredInst)] = inst;
+    ev[sim::eventIndex(sim::Event::RetiredUop)] = 1.5 * inst;
+    // CPI 2.0 with half the cycles in memory stalls at VF5 (3.5 GHz).
+    ev[sim::eventIndex(sim::Event::ClocksNotHalted)] = 2.0 * inst;
+    ev[sim::eventIndex(sim::Event::MabWaitCycles)] = 1.0 * inst;
+    ev[sim::eventIndex(sim::Event::DispatchStall)] = 1.2 * inst;
+    return rec;
+}
+
+TEST(ChipPowerModel, EstimateSumsIdleAndDynamic)
+{
+    const auto model = syntheticModel();
+    const auto rec = record(4); // VF5: 1.32 V
+    const auto est = model.estimate(rec);
+    const double idle = 10.0 * 1.32 + 0.1 * 1.32 * 320.0;
+    // E1 rate = 1.5e9/s at 2 nJ, (V/Vt)^2 = 1 -> 3 W core part;
+    // E9 rate = 1.2e9/s at 1 nJ -> 1.2 W NB part.
+    EXPECT_NEAR(est.idle_w, idle, 1e-9);
+    EXPECT_NEAR(est.dyn_core_w, 3.0, 1e-9);
+    EXPECT_NEAR(est.dyn_nb_w, 1.2, 1e-9);
+    EXPECT_NEAR(est.total_w, idle + 4.2, 1e-9);
+}
+
+TEST(ChipPowerModel, SelfPredictionMatchesEstimate)
+{
+    const auto model = syntheticModel();
+    const auto rec = record(4);
+    const auto est = model.estimate(rec);
+    const auto pred = model.predictAt(rec, 4);
+    EXPECT_NEAR(pred.total_w, est.total_w, est.total_w * 1e-9);
+}
+
+TEST(ChipPowerModel, PredictionAppliesEquationOne)
+{
+    // At VF2 (1.7 GHz) the memory cycles shrink by f'/f while core
+    // cycles stay: CPI' = 1.0 + 1.0 * 1.7/3.5, so the E1 rate falls by
+    // (f'/f) * CPI/CPI' and the core part additionally rescales by
+    // (V'/Vt)^alpha.
+    const auto model = syntheticModel();
+    const auto rec = record(4);
+    const auto pred = model.predictAt(rec, 1); // VF2: 1.008 V, 1.7 GHz
+
+    const double cpi_now = 2.0;
+    const double cpi_then = 1.0 + 1.0 * 1.7 / 3.5;
+    // The record's core was only 2e9/3.5e9 = 57% busy (1e9 inst/s at
+    // CPI 2 on a 3.5 GHz clock); predicted rates keep that duty cycle.
+    const double busy_frac = (2.0 * 1e9) / 3.5e9;
+    const double ips_then = 1.7e9 / cpi_then * busy_frac;
+    const double e1_rate_then = 1.5 * ips_then;
+    const double vscale = std::pow(1.008 / 1.32, 2.0);
+    EXPECT_NEAR(pred.dyn_core_w, 2e-9 * e1_rate_then * vscale, 1e-6);
+
+    // E9/inst at the target follows Obs. 2: gap = CPI - DS/inst = 0.8
+    // is invariant, so DS/inst' = CPI' - 0.8.
+    const double ds_per_inst_then = cpi_then - (cpi_now - 1.2);
+    EXPECT_NEAR(pred.dyn_nb_w, 1e-9 * ds_per_inst_then * ips_then,
+                1e-6);
+    (void)cpi_now;
+}
+
+TEST(ChipPowerModel, IdleUsesTargetVoltageAndCurrentTemperature)
+{
+    const auto model = syntheticModel();
+    const auto rec = record(4);
+    const auto pred = model.predictAt(rec, 0); // VF1: 0.888 V
+    EXPECT_NEAR(pred.idle_w, 10.0 * 0.888 + 0.1 * 0.888 * 320.0,
+                1e-9);
+}
+
+TEST(ChipPowerModel, IdleCoresContributeNothingDynamic)
+{
+    const auto model = syntheticModel();
+    ppep::trace::IntervalRecord rec;
+    rec.duration_s = 0.2;
+    rec.cu_vf.assign(4, 4);
+    rec.diode_temp_k = 315.0;
+    rec.pmc.assign(8, sim::EventVector{}); // all idle
+    const auto est = model.estimate(rec);
+    EXPECT_DOUBLE_EQ(est.dynamic_w, 0.0);
+    const auto pred = model.predictAt(rec, 0);
+    EXPECT_DOUBLE_EQ(pred.dynamic_w, 0.0);
+}
+
+TEST(ChipPowerModel, TrainedFlagTracksSubmodels)
+{
+    ChipPowerModel empty;
+    EXPECT_FALSE(empty.trained());
+    EXPECT_TRUE(syntheticModel().trained());
+}
+
+TEST(ChipPowerModelDeath, UntrainedEstimatePanics)
+{
+    ChipPowerModel empty;
+    const auto rec = record(4);
+    EXPECT_DEATH(empty.estimate(rec), "not trained");
+}
+
+TEST(ChipPowerModelDeath, RecordWithoutVfContextPanics)
+{
+    const auto model = syntheticModel();
+    ppep::trace::IntervalRecord rec;
+    rec.duration_s = 0.2;
+    rec.pmc.assign(8, sim::EventVector{});
+    EXPECT_DEATH(model.estimate(rec), "VF context");
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit + integration tests for the Eq. 1 CPI predictor, including the
+ * paper's instruction-aligned segment validation method (Sec. III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/cpi_model.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/trace/segmenter.hpp"
+#include "ppep/util/stats.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep::model;
+namespace sim = ppep::sim;
+
+sim::EventVector
+makeEvents(double inst, double cycles, double mab)
+{
+    sim::EventVector ev{};
+    ev[sim::eventIndex(sim::Event::RetiredInst)] = inst;
+    ev[sim::eventIndex(sim::Event::ClocksNotHalted)] = cycles;
+    ev[sim::eventIndex(sim::Event::MabWaitCycles)] = mab;
+    return ev;
+}
+
+TEST(CpiModel, FromEventsComputesRatios)
+{
+    const auto s = CpiModel::fromEvents(makeEvents(100.0, 250.0, 50.0));
+    EXPECT_DOUBLE_EQ(s.cpi, 2.5);
+    EXPECT_DOUBLE_EQ(s.mcpi, 0.5);
+    EXPECT_DOUBLE_EQ(s.ccpi(), 2.0);
+}
+
+TEST(CpiModel, FromEventsIdleIsZero)
+{
+    const auto s = CpiModel::fromEvents(makeEvents(0.0, 0.0, 0.0));
+    EXPECT_DOUBLE_EQ(s.cpi, 0.0);
+    EXPECT_DOUBLE_EQ(s.mcpi, 0.0);
+}
+
+TEST(CpiModel, FromEventsClampsMcpiToCpi)
+{
+    // Multiplexing extrapolation can overshoot E12.
+    const auto s = CpiModel::fromEvents(makeEvents(100.0, 200.0, 300.0));
+    EXPECT_DOUBLE_EQ(s.mcpi, s.cpi);
+    EXPECT_DOUBLE_EQ(s.ccpi(), 0.0);
+}
+
+TEST(CpiModel, Equation1Identity)
+{
+    // CPI(f') = CCPI + MCPI * f'/f.
+    CpiSample s{2.0, 0.8};
+    EXPECT_DOUBLE_EQ(CpiModel::predictCpi(s, 2.0, 2.0), 2.0);
+    EXPECT_DOUBLE_EQ(CpiModel::predictCpi(s, 2.0, 4.0), 1.2 + 1.6);
+    EXPECT_DOUBLE_EQ(CpiModel::predictCpi(s, 2.0, 1.0), 1.2 + 0.4);
+}
+
+TEST(CpiModel, PredictMcpiScalesLinearly)
+{
+    CpiSample s{2.0, 0.8};
+    EXPECT_DOUBLE_EQ(CpiModel::predictMcpi(s, 2.0, 3.0), 1.2);
+}
+
+TEST(CpiModel, CpuBoundIpsScalesWithFrequency)
+{
+    CpiSample s{1.0, 0.0}; // no memory time
+    const double ips_lo = CpiModel::predictIps(s, 1.4, 1.4);
+    const double ips_hi = CpiModel::predictIps(s, 1.4, 3.5);
+    EXPECT_NEAR(ips_hi / ips_lo, 2.5, 1e-12);
+}
+
+TEST(CpiModel, MemoryBoundIpsSublinear)
+{
+    CpiSample s{3.0, 2.5}; // mostly memory time
+    const double speedup = CpiModel::predictSpeedup(s, 1.4, 3.5);
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, 1.5); // far below the 2.5x clock ratio
+}
+
+TEST(CpiModel, SpeedupSymmetry)
+{
+    CpiSample s{2.0, 0.8};
+    const double up = CpiModel::predictSpeedup(s, 1.4, 3.5);
+    // Predicting down from the predicted state must invert the ratio.
+    CpiSample at_hi{CpiModel::predictCpi(s, 1.4, 3.5),
+                    CpiModel::predictMcpi(s, 1.4, 3.5)};
+    const double down = CpiModel::predictSpeedup(at_hi, 3.5, 1.4);
+    EXPECT_NEAR(up * down, 1.0, 1e-12);
+}
+
+/**
+ * The paper's Sec. III validation: run single-threaded benchmarks at two
+ * VF states, align the traces by instructions, and compare predicted
+ * vs. actual cycles per segment. The paper reports 3.4% (VF5->VF2) and
+ * 3.0% (VF2->VF5); the simulator should land in the same few-percent
+ * band.
+ */
+class CpiPredictionAccuracy
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::vector<ppep::trace::IntervalRecord>
+    runAt(std::size_t vf)
+    {
+        sim::Chip chip(sim::fx8320Config(), 99);
+        chip.setAllVf(vf);
+        const auto &prof =
+            ppep::workloads::Suite::byName(GetParam());
+        chip.setJob(0, prof.makeJob());
+        ppep::trace::Collector col(chip);
+        auto recs = col.collectUntilFinished(200);
+        while (!recs.empty() && recs.back().busy_cores == 0)
+            recs.pop_back();
+        return recs;
+    }
+
+    /** Mean segment error predicting from vf_a's trace to vf_b's. */
+    double
+    segmentError(std::size_t vf_a, std::size_t vf_b)
+    {
+        const auto cfg = sim::fx8320Config();
+        const auto trace_a = runAt(vf_a);
+        const auto trace_b = runAt(vf_b);
+        const ppep::trace::InstructionTimeline tl_a(trace_a, 0, true);
+        const ppep::trace::InstructionTimeline tl_b(trace_b, 0, true);
+        const double total = std::min(tl_a.totalInstructions(),
+                                      tl_b.totalInstructions());
+        const double width = total / 20.0;
+        const double fa = cfg.vf_table.state(vf_a).freq_ghz;
+        const double fb = cfg.vf_table.state(vf_b).freq_ghz;
+
+        ppep::util::RunningStats err;
+        for (int i = 0; i < 20; ++i) {
+            const double s = width * i, e = width * (i + 1);
+            const double cyc_a =
+                tl_a.cyclesAt(e) - tl_a.cyclesAt(s);
+            const double mab_a =
+                tl_a.mabCyclesAt(e) - tl_a.mabCyclesAt(s);
+            const double cyc_b =
+                tl_b.cyclesAt(e) - tl_b.cyclesAt(s);
+            // Eq. 1 on segment totals.
+            const double pred = (cyc_a - mab_a) + mab_a * fb / fa;
+            err.add(std::abs(pred - cyc_b) / cyc_b);
+        }
+        return err.mean();
+    }
+};
+
+TEST_P(CpiPredictionAccuracy, DownscaleWithinPaperBand)
+{
+    // VF5 (index 4) -> VF2 (index 1); paper: 3.4% average.
+    EXPECT_LT(segmentError(4, 1), 0.08) << GetParam();
+}
+
+TEST_P(CpiPredictionAccuracy, UpscaleWithinPaperBand)
+{
+    // VF2 -> VF5; paper: 3.0% average.
+    EXPECT_LT(segmentError(1, 4), 0.08) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, CpiPredictionAccuracy,
+                         ::testing::Values("433.milc", "458.sjeng",
+                                           "429.mcf", "456.hmmer",
+                                           "canneal", "EP"));
+
+} // namespace

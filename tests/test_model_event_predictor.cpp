@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the hardware event predictor, including simulator-level
+ * validation of the paper's Observations 1 and 2 (Sec. IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/event_predictor.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep::model;
+namespace sim = ppep::sim;
+
+sim::EventVector
+busyInterval()
+{
+    // 0.2 s at 3.5 GHz, CPI 1.4, with plausible per-inst rates.
+    sim::EventVector ev{};
+    const double inst = 0.5e9;
+    ev[sim::eventIndex(sim::Event::RetiredInst)] = inst;
+    ev[sim::eventIndex(sim::Event::ClocksNotHalted)] = 0.7e9;
+    ev[sim::eventIndex(sim::Event::MabWaitCycles)] = 0.2e9;
+    ev[sim::eventIndex(sim::Event::DispatchStall)] = 0.32e9;
+    ev[sim::eventIndex(sim::Event::RetiredUop)] = 1.3 * inst;
+    ev[sim::eventIndex(sim::Event::FpuPipeAssignment)] = 0.2 * inst;
+    ev[sim::eventIndex(sim::Event::InstCacheFetch)] = 0.25 * inst;
+    ev[sim::eventIndex(sim::Event::DataCacheAccess)] = 0.4 * inst;
+    ev[sim::eventIndex(sim::Event::RequestToL2)] = 0.03 * inst;
+    ev[sim::eventIndex(sim::Event::RetiredBranch)] = 0.15 * inst;
+    ev[sim::eventIndex(sim::Event::RetiredMispBranch)] = 0.004 * inst;
+    ev[sim::eventIndex(sim::Event::L2CacheMiss)] = 0.012 * inst;
+    return ev;
+}
+
+TEST(EventPredictor, IdleCorePredictsZero)
+{
+    const sim::EventVector ev{};
+    const auto pred = EventPredictor::predict(ev, 0.2, 3.5, 1.4);
+    EXPECT_DOUBLE_EQ(pred.ips, 0.0);
+    for (double r : pred.rates_per_s)
+        EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(EventPredictor, SelfPredictionRecoversRates)
+{
+    const auto ev = busyInterval();
+    const auto pred = EventPredictor::predict(ev, 0.2, 3.5, 3.5);
+    for (std::size_t i = 0; i < sim::kNumEvents; ++i)
+        EXPECT_NEAR(pred.rates_per_s[i], ev[i] / 0.2,
+                    ev[i] / 0.2 * 1e-9 + 1e-9)
+            << "event " << i;
+}
+
+TEST(EventPredictor, Obs2GapComputed)
+{
+    const auto ev = busyInterval();
+    // CPI = 1.4, DS/inst = 0.64 -> gap = 0.76.
+    EXPECT_NEAR(EventPredictor::obs2Gap(ev), 0.76, 1e-12);
+}
+
+TEST(EventPredictor, PerInstCountsPreservedAcrossVf)
+{
+    const auto ev = busyInterval();
+    const auto pred = EventPredictor::predict(ev, 0.2, 3.5, 1.4);
+    const double inst_now =
+        ev[sim::eventIndex(sim::Event::RetiredInst)];
+    const double ips_then = pred.rates_per_s[sim::eventIndex(
+        sim::Event::RetiredInst)];
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(pred.rates_per_s[i] / ips_then, ev[i] / inst_now,
+                    1e-12)
+            << "event " << i;
+    }
+}
+
+TEST(EventPredictor, DispatchStallsFollowObs2)
+{
+    const auto ev = busyInterval();
+    const auto pred = EventPredictor::predict(ev, 0.2, 3.5, 1.4);
+    const double ips = pred.rates_per_s[sim::eventIndex(
+        sim::Event::RetiredInst)];
+    const double ds_per_inst =
+        pred.rates_per_s[sim::eventIndex(sim::Event::DispatchStall)] /
+        ips;
+    EXPECT_NEAR(pred.cpi - ds_per_inst, EventPredictor::obs2Gap(ev),
+                1e-9);
+}
+
+TEST(EventPredictor, DownscaleReducesStallShare)
+{
+    // At lower frequency memory stalls shrink in cycle terms, so the
+    // predicted CPI falls and throughput-per-hertz improves.
+    const auto ev = busyInterval();
+    const auto lo = EventPredictor::predict(ev, 0.2, 3.5, 1.4);
+    const double cpi_now = 0.7e9 / 0.5e9;
+    EXPECT_LT(lo.cpi, cpi_now);
+    EXPECT_GT(lo.ips * 3.5 / 1.4, 0.5e9 / 0.2);
+}
+
+TEST(EventPredictor, McpiScaleStretchesMemoryTime)
+{
+    const auto ev = busyInterval();
+    const auto plain = EventPredictor::predict(ev, 0.2, 3.5, 3.5, 1.0);
+    const auto slow = EventPredictor::predict(ev, 0.2, 3.5, 3.5, 1.5);
+    EXPECT_LT(slow.ips, plain.ips);
+    // MCPI component grows exactly 1.5x.
+    const double mab_plain = plain.rates_per_s[sim::eventIndex(
+        sim::Event::MabWaitCycles)] / plain.rates_per_s[sim::eventIndex(
+        sim::Event::RetiredInst)];
+    const double mab_slow = slow.rates_per_s[sim::eventIndex(
+        sim::Event::MabWaitCycles)] / slow.rates_per_s[sim::eventIndex(
+        sim::Event::RetiredInst)];
+    EXPECT_NEAR(mab_slow / mab_plain, 1.5, 1e-9);
+}
+
+TEST(EventPredictor, PartialBusyIntervalScalesRates)
+{
+    auto ev = busyInterval();
+    // Halve the busy time: cycles say the core ran 0.1 s of 0.2 s.
+    for (double &v : ev)
+        v *= 0.5;
+    const auto pred = EventPredictor::predict(ev, 0.2, 3.5, 3.5);
+    // Effective rates are half the fully-busy rates.
+    EXPECT_NEAR(pred.rates_per_s[sim::eventIndex(
+                    sim::Event::RetiredInst)],
+                0.5 * 0.5e9 / 0.2, 1e3);
+}
+
+/**
+ * Simulator-level check of the paper's observation magnitudes: measure
+ * per-instruction counts of E1..E8 and the Obs. 2 gap at VF5 and VF2 on
+ * real profiles; deltas should match the paper's scale (<= ~5% for
+ * events, ~2% for the gap).
+ */
+class ObservationSweep : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    /** Per-inst event vector + obs2 gap, averaged over a short run. */
+    std::pair<std::array<double, 8>, double>
+    measureAt(std::size_t vf)
+    {
+        sim::Chip chip(sim::fx8320Config(), 7);
+        chip.setAllVf(vf);
+        chip.setJob(0, ppep::workloads::Suite::byName(GetParam())
+                           .makeLoopingJob());
+        ppep::trace::Collector col(chip);
+        col.collect(2);
+        const auto recs = col.collect(10);
+        std::array<double, 8> per_inst{};
+        double gap = 0.0;
+        double inst = 0.0;
+        for (const auto &r : recs) {
+            inst += r.oracle[0][sim::eventIndex(
+                sim::Event::RetiredInst)];
+            for (std::size_t i = 0; i < 8; ++i)
+                per_inst[i] += r.oracle[0][i];
+            gap += EventPredictor::obs2Gap(r.oracle[0]);
+        }
+        for (auto &v : per_inst)
+            v /= inst;
+        gap /= static_cast<double>(recs.size());
+        return {per_inst, gap};
+    }
+};
+
+TEST_P(ObservationSweep, Observation1HoldsWithinPaperBand)
+{
+    const auto [hi, gap_hi] = measureAt(4);
+    const auto [lo, gap_lo] = measureAt(1);
+    (void)gap_hi;
+    (void)gap_lo;
+    for (std::size_t i = 0; i < 8; ++i) {
+        if (hi[i] <= 1e-9)
+            continue;
+        const double delta = std::abs(hi[i] - lo[i]) / hi[i];
+        EXPECT_LT(delta, 0.09) << GetParam() << " event E" << i + 1;
+    }
+}
+
+TEST_P(ObservationSweep, Observation2HoldsWithinPaperBand)
+{
+    const auto [hi, gap_hi] = measureAt(4);
+    const auto [lo, gap_lo] = measureAt(1);
+    (void)hi;
+    (void)lo;
+    EXPECT_NEAR(gap_lo / gap_hi, 1.0, 0.05) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, ObservationSweep,
+                         ::testing::Values("433.milc", "458.sjeng",
+                                           "470.lbm", "blackscholes"));
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the Green Governors CV^2 f baseline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/green_governors.hpp"
+#include "ppep/util/rng.hpp"
+
+namespace {
+
+using namespace ppep::model;
+
+std::vector<GgTrainingRow>
+syntheticRows(double c0, double c1, double c2, double c3, std::size_t n,
+              double noise_sd, ppep::util::Rng &rng)
+{
+    std::vector<GgTrainingRow> rows;
+    for (std::size_t i = 0; i < n; ++i) {
+        GgTrainingRow row;
+        row.voltage = rng.uniform(0.88, 1.33);
+        row.cycle_rate = rng.uniform(1e9, 3e10);
+        row.inst_rate = rng.uniform(1e9, 3e10);
+        row.power_w = c0 + c1 * row.voltage +
+                      row.voltage * row.voltage *
+                          (c2 * row.cycle_rate + c3 * row.inst_rate) +
+                      rng.gaussian(0.0, noise_sd);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+TEST(GreenGovernors, RecoversGeneratingModel)
+{
+    ppep::util::Rng rng(1);
+    const auto rows =
+        syntheticRows(10.0, 15.0, 1.2e-9, 0.4e-9, 2000, 0.0, rng);
+    const auto m = GreenGovernorsModel::train(rows);
+    ASSERT_TRUE(m.trained());
+    for (const auto &row : rows) {
+        EXPECT_NEAR(
+            m.estimate(row.voltage, row.cycle_rate, row.inst_rate),
+            row.power_w, 0.01);
+    }
+}
+
+TEST(GreenGovernors, RobustToNoise)
+{
+    ppep::util::Rng rng(2);
+    const auto rows =
+        syntheticRows(10.0, 15.0, 1.2e-9, 0.4e-9, 5000, 1.0, rng);
+    const auto m = GreenGovernorsModel::train(rows);
+    double err = 0.0;
+    for (const auto &row : rows)
+        err += std::abs(m.estimate(row.voltage, row.cycle_rate,
+                                   row.inst_rate) -
+                        row.power_w) /
+               row.power_w;
+    EXPECT_LT(err / static_cast<double>(rows.size()), 0.05);
+}
+
+TEST(GreenGovernors, PowerGrowsWithActivity)
+{
+    ppep::util::Rng rng(3);
+    const auto rows =
+        syntheticRows(10.0, 15.0, 1.2e-9, 0.4e-9, 1000, 0.0, rng);
+    const auto m = GreenGovernorsModel::train(rows);
+    EXPECT_GT(m.estimate(1.32, 2e10, 2e10),
+              m.estimate(1.32, 1e10, 1e10));
+}
+
+TEST(GreenGovernors, PowerGrowsWithVoltage)
+{
+    ppep::util::Rng rng(4);
+    const auto rows =
+        syntheticRows(10.0, 15.0, 1.2e-9, 0.4e-9, 1000, 0.0, rng);
+    const auto m = GreenGovernorsModel::train(rows);
+    EXPECT_GT(m.estimate(1.32, 2e10, 2e10),
+              m.estimate(0.9, 2e10, 2e10));
+}
+
+TEST(GreenGovernors, EstimateFromIntervalUsesVfContext)
+{
+    ppep::util::Rng rng(5);
+    const auto rows =
+        syntheticRows(10.0, 15.0, 1.2e-9, 0.4e-9, 1000, 0.0, rng);
+    const auto m = GreenGovernorsModel::train(rows);
+
+    ppep::trace::IntervalRecord rec;
+    rec.duration_s = 0.2;
+    rec.cu_vf = {4, 4, 4, 4};
+    rec.pmc.resize(1);
+    rec.pmc[0][ppep::sim::eventIndex(
+        ppep::sim::Event::ClocksNotHalted)] = 0.7e9 * 0.2;
+    rec.pmc[0][ppep::sim::eventIndex(ppep::sim::Event::RetiredInst)] =
+        0.5e9 * 0.2;
+    const auto table = ppep::sim::fx8320VfTable();
+    EXPECT_NEAR(m.estimate(rec, table),
+                m.estimate(1.320, 0.7e9, 0.5e9), 1e-9);
+}
+
+TEST(GreenGovernorsDeath, UntrainedPanics)
+{
+    GreenGovernorsModel m;
+    EXPECT_DEATH(m.estimate(1.0, 1e9, 1e9), "not trained");
+}
+
+TEST(GreenGovernorsDeath, TooFewRows)
+{
+    std::vector<GgTrainingRow> rows(2);
+    EXPECT_DEATH(GreenGovernorsModel::train(rows), "training rows");
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the Eq. 2 idle power model, including the Fig. 1 protocol
+ * run against the simulator (paper: per-VF AAE of 2-4%).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/idle_power_model.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/util/stats.hpp"
+
+namespace {
+
+using namespace ppep::model;
+namespace sim = ppep::sim;
+
+/** Synthetic samples from an exactly-linear P(V, T) ground truth. */
+std::vector<IdleSample>
+linearSamples()
+{
+    std::vector<IdleSample> out;
+    const std::vector<double> volts{0.9, 1.0, 1.1, 1.2, 1.3};
+    for (double v : volts) {
+        const double w1 = 0.1 + 0.2 * v;       // slope
+        const double w0 = 5.0 * v * v - 2.0;   // intercept
+        for (double t = 305.0; t <= 335.0; t += 2.0)
+            out.push_back({v, t, w1 * t + w0});
+    }
+    return out;
+}
+
+TEST(IdleModel, UntrainedIsFlagged)
+{
+    IdlePowerModel m;
+    EXPECT_FALSE(m.trained());
+}
+
+TEST(IdleModel, RecoversExactLinearTruth)
+{
+    const auto m = IdlePowerModel::train(linearSamples());
+    ASSERT_TRUE(m.trained());
+    for (double v : {0.9, 1.05, 1.3}) {
+        const double w1 = 0.1 + 0.2 * v;
+        const double w0 = 5.0 * v * v - 2.0;
+        for (double t : {306.0, 320.0, 334.0})
+            EXPECT_NEAR(m.predict(v, t), w1 * t + w0, 1e-6)
+                << "V=" << v << " T=" << t;
+    }
+}
+
+TEST(IdleModel, SlopeAndInterceptAccessors)
+{
+    const auto m = IdlePowerModel::train(linearSamples());
+    EXPECT_NEAR(m.slope(1.0), 0.3, 1e-6);
+    EXPECT_NEAR(m.intercept(1.0), 3.0, 1e-6);
+}
+
+TEST(IdleModel, PowerIncreasesWithTemperature)
+{
+    const auto m = IdlePowerModel::train(linearSamples());
+    EXPECT_GT(m.predict(1.1, 330.0), m.predict(1.1, 310.0));
+}
+
+TEST(IdleModelDeath, NeedsTwoVoltages)
+{
+    std::vector<IdleSample> one_volt = {
+        {1.0, 310.0, 20.0}, {1.0, 320.0, 21.0}, {1.0, 330.0, 22.0}};
+    EXPECT_DEATH(IdlePowerModel::train(one_volt), "two voltages");
+}
+
+TEST(IdleModelDeath, PredictBeforeTrainPanics)
+{
+    IdlePowerModel m;
+    EXPECT_DEATH(m.predict(1.0, 320.0), "not trained");
+}
+
+/** Full Fig. 1 protocol against the simulator. */
+class IdleProtocol : public ::testing::Test
+{
+  protected:
+    struct TrainedIdle
+    {
+        IdlePowerModel model;
+    };
+
+    static const TrainedIdle &
+    shared()
+    {
+        static const TrainedIdle t = [] {
+            TrainedIdle out;
+            Trainer trainer(sim::fx8320Config(), 11);
+            out.model = trainer.trainIdle();
+            return out;
+        }();
+        return t;
+    }
+};
+
+TEST_F(IdleProtocol, CoolingTraceDecays)
+{
+    Trainer trainer(sim::fx8320Config(), 11);
+    const auto trace = trainer.collectCoolingTrace(4, 200, 300);
+    ASSERT_GT(trace.power_curve_w.size(), trace.cool_start);
+    // Heating raises temperature, cooling lowers it.
+    EXPECT_GT(trace.temp_curve_k[trace.cool_start - 1],
+              trace.temp_curve_k.front() + 3.0);
+    EXPECT_LT(trace.temp_curve_k.back(),
+              trace.temp_curve_k[trace.cool_start] - 2.0);
+    // Idle power also decays with the temperature (leakage).
+    EXPECT_LT(trace.power_curve_w.back(),
+              trace.power_curve_w[trace.cool_start] + 1.0);
+    // The samples carry the right voltage.
+    for (const auto &s : trace.idle_samples)
+        EXPECT_DOUBLE_EQ(s.voltage, 1.320);
+}
+
+TEST_F(IdleProtocol, TrainedModelAccurateAtEveryVf)
+{
+    // Paper Sec. IV-A: AAE of 2-4% per VF state on the FX-8320.
+    const auto &m = shared().model;
+    Trainer trainer(sim::fx8320Config(), 123); // fresh validation chips
+    const auto cfg = sim::fx8320Config();
+    for (std::size_t vf = 0; vf < cfg.vf_table.size(); ++vf) {
+        const auto trace = trainer.collectCoolingTrace(vf, 150, 250);
+        ppep::util::RunningStats err;
+        for (const auto &s : trace.idle_samples)
+            err.add(ppep::util::absRelErr(
+                m.predict(s.voltage, s.temp_k), s.power_w));
+        EXPECT_LT(err.mean(), 0.05) << "VF index " << vf;
+    }
+}
+
+TEST_F(IdleProtocol, HigherVoltageMoreIdlePower)
+{
+    const auto &m = shared().model;
+    const auto cfg = sim::fx8320Config();
+    const double t = 320.0;
+    double prev = 0.0;
+    for (std::size_t vf = 0; vf < cfg.vf_table.size(); ++vf) {
+        const double p =
+            m.predict(cfg.vf_table.state(vf).voltage, t);
+        EXPECT_GT(p, prev) << "VF index " << vf;
+        prev = p;
+    }
+}
+
+TEST_F(IdleProtocol, PhenomIdleModelAlsoAccurate)
+{
+    // Paper: AAE 2-3% on the Phenom II X6 1090T.
+    Trainer trainer(sim::phenomIIConfig(), 17);
+    const auto m = trainer.trainIdle();
+    Trainer validate(sim::phenomIIConfig(), 177);
+    const auto trace = validate.collectCoolingTrace(3, 150, 250);
+    ppep::util::RunningStats err;
+    for (const auto &s : trace.idle_samples)
+        err.add(ppep::util::absRelErr(m.predict(s.voltage, s.temp_k),
+                                      s.power_w));
+    EXPECT_LT(err.mean(), 0.05);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the Eq. 7/8 power-gating idle decomposition and the Fig. 4
+ * extraction protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/pg_idle_model.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/sim/chip.hpp"
+#include "ppep/sim/hw_power_model.hpp"
+
+namespace {
+
+using namespace ppep::model;
+namespace sim = ppep::sim;
+
+/** Synthetic sweeps built from exact components (no noise). */
+std::vector<PgSweepMeasurement>
+syntheticSweeps(double p_cu, double p_nb, double p_base,
+                double busy_power)
+{
+    PgSweepMeasurement m;
+    m.vf_index = 0;
+    for (std::size_t k = 0; k <= 4; ++k) {
+        const double busy = busy_power * static_cast<double>(k);
+        // PG off: everything idle-powered regardless of k.
+        m.power_pg_off.push_back(4.0 * p_cu + p_nb + p_base + busy);
+        // PG on: only busy CUs (and the NB when any CU is alive).
+        const double idle =
+            k == 0 ? p_base
+                   : static_cast<double>(k) * p_cu + p_nb + p_base;
+        m.power_pg_on.push_back(idle + busy);
+    }
+    return {m};
+}
+
+TEST(PgModel, ExtractsExactComponents)
+{
+    const auto model =
+        PgIdleModel::fromSweeps(syntheticSweeps(6.0, 9.0, 7.0, 12.0), 4);
+    const auto &c = model.components(0);
+    EXPECT_NEAR(c.p_cu, 6.0, 1e-9);
+    EXPECT_NEAR(c.p_nb, 9.0, 1e-9);
+    EXPECT_NEAR(c.p_base, 7.0, 1e-9);
+}
+
+TEST(PgModel, Equation7Arithmetic)
+{
+    const auto model =
+        PgIdleModel::fromSweeps(syntheticSweeps(6.0, 9.0, 7.0, 12.0), 4);
+    // m = 2 busy cores in the CU, n = 4 busy chip-wide.
+    EXPECT_NEAR(model.perCoreIdle(0, true, 2, 4),
+                6.0 / 2.0 + (9.0 + 7.0) / 4.0, 1e-9);
+}
+
+TEST(PgModel, Equation8Arithmetic)
+{
+    const auto model =
+        PgIdleModel::fromSweeps(syntheticSweeps(6.0, 9.0, 7.0, 12.0), 4);
+    // PG off: whole chip idle shared by n = 4.
+    EXPECT_NEAR(model.perCoreIdle(0, false, 2, 4),
+                (4.0 * 6.0 + 9.0 + 7.0) / 4.0, 1e-9);
+}
+
+TEST(PgModel, PerCoreSharesSumToChipIdle)
+{
+    const auto model =
+        PgIdleModel::fromSweeps(syntheticSweeps(6.0, 9.0, 7.0, 12.0), 4);
+    // 3 busy CUs with {2, 1, 1} busy cores -> 4 busy cores total.
+    const std::vector<std::size_t> busy{2, 1, 1, 0};
+    double shared = 0.0;
+    for (std::size_t cu = 0; cu < 3; ++cu)
+        for (std::size_t i = 0; i < busy[cu]; ++i)
+            shared += model.perCoreIdle(0, true, busy[cu], 4);
+    EXPECT_NEAR(shared, model.chipIdle(0, true, busy), 1e-9);
+}
+
+TEST(PgModel, ChipIdleFullyGated)
+{
+    const auto model =
+        PgIdleModel::fromSweeps(syntheticSweeps(6.0, 9.0, 7.0, 12.0), 4);
+    EXPECT_NEAR(model.chipIdle(0, true, {0, 0, 0, 0}), 7.0, 1e-9);
+    EXPECT_NEAR(model.chipIdle(0, false, {0, 0, 0, 0}),
+                4.0 * 6.0 + 9.0 + 7.0, 1e-9);
+}
+
+TEST(PgModel, ChipIdleMixedUsesPerCuVf)
+{
+    // Two VF states with different CU idle power.
+    auto sweeps = syntheticSweeps(6.0, 9.0, 7.0, 12.0);
+    auto hi = syntheticSweeps(10.0, 9.0, 7.0, 20.0);
+    hi[0].vf_index = 1;
+    sweeps.push_back(hi[0]);
+    const auto model = PgIdleModel::fromSweeps(sweeps, 4);
+    const std::vector<std::size_t> cu_vf{0, 1, 0, 1};
+    const std::vector<std::size_t> busy{1, 1, 0, 0};
+    EXPECT_NEAR(model.chipIdleMixed(cu_vf, busy, true),
+                7.0 + 9.0 + 6.0 + 10.0, 1e-9);
+}
+
+TEST(PgModel, AveragedNbAndBase)
+{
+    auto sweeps = syntheticSweeps(6.0, 8.0, 7.0, 12.0);
+    auto second = syntheticSweeps(9.0, 10.0, 7.0, 20.0);
+    second[0].vf_index = 1;
+    sweeps.push_back(second[0]);
+    const auto model = PgIdleModel::fromSweeps(sweeps, 4);
+    EXPECT_NEAR(model.pNbAvg(), 9.0, 1e-9);
+    EXPECT_NEAR(model.pBaseAvg(), 7.0, 1e-9);
+}
+
+TEST(PgModelDeath, UntrainedComponentsPanic)
+{
+    PgIdleModel m;
+    EXPECT_FALSE(m.trained());
+    EXPECT_DEATH(m.components(0), "no components");
+}
+
+/** The full Fig. 4 protocol against the simulator. */
+TEST(PgProtocol, RecoversGroundTruthComponents)
+{
+    const auto cfg = sim::fx8320Config();
+    Trainer trainer(cfg, 13);
+    const auto model = trainer.trainPg();
+    ASSERT_TRUE(model.trained());
+
+    // Ground truth at the top VF, warm die.
+    const sim::HwPowerModel hw(cfg);
+    const double temp = cfg.thermal.ambient_k + 16.0;
+    const double true_cu = hw.cuIdlePower(1.320, 3.5, temp);
+    const double true_nb = hw.nbStaticPower(cfg.nb.vf_hi, temp);
+
+    const auto &c = model.components(cfg.vf_table.top());
+    // Measured components within ~20%: the protocol fights sensor noise,
+    // thermal drift, and the PG residual, just like the real experiment.
+    EXPECT_NEAR(c.p_cu / true_cu, 1.0, 0.2);
+    EXPECT_NEAR(c.p_nb / (true_nb + cfg.power.housekeeping_w), 1.0, 0.3);
+    // The measured base absorbs the gating residuals of the CUs and
+    // the NB (nothing reaches exactly zero when gated). When every CU
+    // gates, the shared rail falls to the lowest table voltage, so the
+    // residual is priced there.
+    const double v_floor = cfg.vf_table.state(0).voltage;
+    const double residual =
+        cfg.power.pg_residual *
+        (static_cast<double>(cfg.n_cus) *
+             hw.cuIdlePower(v_floor, 3.5, temp) +
+         hw.nbStaticPower(cfg.nb.vf_hi, temp));
+    EXPECT_NEAR(c.p_base, cfg.power.base_power_w + residual,
+                (cfg.power.base_power_w + residual) * 0.3);
+}
+
+TEST(PgProtocol, Figure4GapsGrowAsBusyCusShrink)
+{
+    Trainer trainer(sim::fx8320Config(), 13);
+    const auto sweeps = trainer.collectPgSweeps();
+    ASSERT_EQ(sweeps.size(), 5u);
+    for (const auto &s : sweeps) {
+        // gap(k) decreases with k and vanishes at k = 4 (paper Fig. 4).
+        double prev_gap = 1e9;
+        for (std::size_t k = 0; k <= 4; ++k) {
+            const double gap = s.power_pg_off[k] - s.power_pg_on[k];
+            EXPECT_LT(gap, prev_gap + 0.5) << "VF " << s.vf_index
+                                           << " k=" << k;
+            prev_gap = gap;
+        }
+        EXPECT_NEAR(s.power_pg_off[4], s.power_pg_on[4],
+                    0.02 * s.power_pg_off[4] + 0.5);
+    }
+}
+
+TEST(PgProtocol, ComponentsShrinkWithVf)
+{
+    Trainer trainer(sim::fx8320Config(), 13);
+    const auto model = trainer.trainPg();
+    // CU idle power at VF1 must be well below VF5 (lower V and f).
+    EXPECT_LT(model.components(0).p_cu,
+              0.6 * model.components(4).p_cu);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Integration tests for the assembled PPEP framework (Fig. 5 pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/ppep.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/util/stats.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep::model;
+namespace sim = ppep::sim;
+namespace wl = ppep::workloads;
+
+/** Train once for the whole file (a few hundred ms). */
+struct SharedModels
+{
+    sim::ChipConfig cfg = sim::fx8320Config();
+    TrainedModels models;
+
+    SharedModels()
+    {
+        Trainer trainer(cfg, 21);
+        std::vector<const wl::Combination *> training;
+        for (const auto &c : wl::allCombinations()) {
+            if (c.instances.size() == 1 && training.size() < 16)
+                training.push_back(&c);
+        }
+        models = trainer.trainAll(training);
+    }
+
+    static const SharedModels &
+    get()
+    {
+        static const SharedModels s;
+        return s;
+    }
+};
+
+ppep::trace::IntervalRecord
+measure(const std::string &program, std::size_t copies, std::size_t vf,
+        bool pg = false)
+{
+    const auto &s = SharedModels::get();
+    sim::Chip chip(s.cfg, 77);
+    chip.setAllVf(vf);
+    if (pg)
+        chip.setPowerGatingEnabled(true);
+    wl::launch(chip, wl::replicate(program, copies), true);
+    ppep::trace::Collector col(chip);
+    col.collect(3);
+    return col.collectInterval();
+}
+
+TEST(Ppep, ExploreCoversAllVfStates)
+{
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto preds = ppep.explore(measure("433.milc", 1, 4));
+    ASSERT_EQ(preds.size(), 5u);
+    for (std::size_t i = 0; i < preds.size(); ++i)
+        EXPECT_EQ(preds[i].vf_index, i);
+}
+
+TEST(Ppep, PowerMonotoneInVf)
+{
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto preds = ppep.explore(measure("458.sjeng", 4, 4));
+    for (std::size_t i = 1; i < preds.size(); ++i)
+        EXPECT_GT(preds[i].chip_power_w, preds[i - 1].chip_power_w);
+}
+
+TEST(Ppep, SelfPredictionMatchesSensor)
+{
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto rec = measure("462.libquantum", 2, 4);
+    const auto pred = ppep.predictVf(rec, 4);
+    EXPECT_NEAR(pred.chip_power_w / rec.sensor_power_w, 1.0, 0.10);
+}
+
+TEST(Ppep, CrossVfPredictionMatchesActualRun)
+{
+    // Predict VF2 power from a VF5 measurement, then actually run at
+    // VF2 and compare — the paper's core claim (avg error 4.2%).
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    for (const char *prog : {"433.milc", "458.sjeng", "canneal"}) {
+        const auto pred = ppep.predictVf(measure(prog, 2, 4), 1);
+        const auto actual = measure(prog, 2, 1);
+        EXPECT_NEAR(pred.chip_power_w / actual.sensor_power_w, 1.0,
+                    0.15)
+            << prog;
+    }
+}
+
+TEST(Ppep, MemoryBoundThroughputSaturates)
+{
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto preds = ppep.explore(measure("429.mcf", 1, 4));
+    const double speedup =
+        preds[4].total_ips / preds[0].total_ips;
+    EXPECT_LT(speedup, 1.8); // far below the 2.5x clock ratio
+    const auto cpu = ppep.explore(measure("456.hmmer", 1, 4));
+    EXPECT_GT(cpu[4].total_ips / cpu[0].total_ips, 2.2);
+}
+
+TEST(Ppep, IdleCoresPredictIdle)
+{
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto rec = measure("456.hmmer", 1, 4);
+    const auto pred = ppep.predictVf(rec, 2);
+    std::size_t busy = 0;
+    for (const auto &core : pred.cores)
+        busy += core.busy;
+    EXPECT_EQ(busy, 1u);
+}
+
+TEST(Ppep, EnergyMetricsPopulated)
+{
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto preds = ppep.explore(measure("FT", 4, 4));
+    for (const auto &p : preds) {
+        EXPECT_GT(p.energy_per_inst, 0.0);
+        EXPECT_GT(p.edp_per_inst, 0.0);
+        EXPECT_NEAR(p.edp_per_inst,
+                    p.energy_per_inst / p.total_ips, 1e-18);
+    }
+}
+
+TEST(Ppep, AssignmentPredictionMatchesUniformExplore)
+{
+    // A uniform per-CU assignment under PG must order the same way the
+    // global exploration does.
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto rec = measure("433.milc", 4, 4, /*pg=*/true);
+    const auto lo = ppep.predictAssignment(
+        rec, std::vector<std::size_t>(4, 0), true);
+    const auto hi = ppep.predictAssignment(
+        rec, std::vector<std::size_t>(4, 4), true);
+    EXPECT_GT(hi.chip_power_w, lo.chip_power_w);
+    EXPECT_GT(hi.total_ips, lo.total_ips);
+}
+
+TEST(Ppep, AssignmentIdleUsesGatedDecomposition)
+{
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto rec = measure("456.hmmer", 1, 4, /*pg=*/true);
+    const auto gated = ppep.predictAssignment(
+        rec, std::vector<std::size_t>(4, 4), true);
+    const auto open = ppep.predictAssignment(
+        rec, std::vector<std::size_t>(4, 4), false);
+    // With one busy CU, gating the other three must save power.
+    EXPECT_LT(gated.idle_w, open.idle_w - 3.0);
+}
+
+TEST(Ppep, MixedAssignmentBetweenUniformExtremes)
+{
+    const auto &s = SharedModels::get();
+    Ppep ppep(s.cfg, s.models.chip, s.models.pg);
+    const auto rec = measure("LU", 8, 4, /*pg=*/true);
+    const auto lo = ppep.predictAssignment(
+        rec, std::vector<std::size_t>(4, 0), true);
+    const auto hi = ppep.predictAssignment(
+        rec, std::vector<std::size_t>(4, 4), true);
+    const auto mixed = ppep.predictAssignment(rec, {0, 4, 0, 4}, true);
+    EXPECT_GT(mixed.chip_power_w, lo.chip_power_w);
+    EXPECT_LT(mixed.chip_power_w, hi.chip_power_w);
+}
+
+TEST(PpepDeath, RequiresTrainedPowerModel)
+{
+    const auto &s = SharedModels::get();
+    EXPECT_DEATH(Ppep(s.cfg, ChipPowerModel{}, s.models.pg),
+                 "trained power model");
+}
+
+} // namespace

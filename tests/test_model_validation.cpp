@@ -1,0 +1,159 @@
+/**
+ * @file
+ * End-to-end cross-validation tests: a scaled-down version of the
+ * paper's Figs. 2/3/6 pipeline must land in the paper's error bands.
+ * The full 152-combination runs live in the bench binaries; these tests
+ * use a 24-combination subset to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/validation.hpp"
+#include "ppep/util/stats.hpp"
+
+namespace {
+
+using namespace ppep::model;
+namespace wl = ppep::workloads;
+
+/** A diverse 24-combo subset: 8 from each suite. */
+std::vector<const wl::Combination *>
+subset()
+{
+    std::vector<const wl::Combination *> out;
+    std::size_t spe = 0, par = 0, npb = 0;
+    for (const auto &c : wl::allCombinations()) {
+        auto &count = c.suite == wl::SuiteId::Spec
+                          ? spe
+                          : (c.suite == wl::SuiteId::Parsec ? par : npb);
+        if (count < 8) {
+            out.push_back(&c);
+            ++count;
+        }
+    }
+    return out;
+}
+
+/** Shared prepared validator (collection + training once per file). */
+const Validator &
+shared()
+{
+    static const Validator v = [] {
+        Validator val(ppep::sim::fx8320Config(), subset(), 31, 4);
+        val.prepare(60);
+        return val;
+    }();
+    return v;
+}
+
+TEST(Validation, DatasetCoversComboVfCross)
+{
+    const auto &v = shared();
+    EXPECT_EQ(v.dataset().size(), 24u * 5u);
+    for (const auto &t : v.dataset())
+        EXPECT_FALSE(t.recs.empty());
+}
+
+TEST(Validation, FoldsPartitionCombos)
+{
+    const auto &v = shared();
+    std::array<std::size_t, 4> sizes{};
+    for (std::size_t i = 0; i < v.combos().size(); ++i)
+        ++sizes[v.foldOf(i)];
+    for (std::size_t s : sizes)
+        EXPECT_EQ(s, 6u);
+}
+
+TEST(Validation, AlphaNearGroundTruth)
+{
+    // The trainer must recover the configured voltage exponent.
+    const auto &v = shared();
+    EXPECT_NEAR(v.foldModels(0).alpha,
+                ppep::sim::fx8320Config().power.alpha_true, 0.25);
+}
+
+TEST(Validation, ChipModelErrorInPaperBand)
+{
+    // Paper Fig. 2b: 4.6% average AAE (sd 2.8%) for the chip model.
+    const auto errors = shared().validateEstimation();
+    const auto agg = aggregate(
+        errors, [](const ComboError &e) { return e.aae_chip; });
+    EXPECT_GT(agg.count, 0u);
+    EXPECT_LT(agg.mean, 0.09);
+    EXPECT_GT(agg.mean, 0.005); // a perfect model would be suspicious
+}
+
+TEST(Validation, DynamicModelErrorInPaperBand)
+{
+    // Paper Fig. 2a: 10.6% average AAE for the dynamic model.
+    const auto errors = shared().validateEstimation();
+    const auto agg = aggregate(
+        errors, [](const ComboError &e) { return e.aae_dynamic; });
+    EXPECT_LT(agg.mean, 0.25);
+    EXPECT_GT(agg.mean, 0.01);
+}
+
+TEST(Validation, DynamicErrorExceedsChipError)
+{
+    // Dynamic power is the harder target (smaller denominator): its
+    // relative error must exceed the chip-level error, as in the paper.
+    const auto errors = shared().validateEstimation();
+    const auto dyn = aggregate(
+        errors, [](const ComboError &e) { return e.aae_dynamic; });
+    const auto chip = aggregate(
+        errors, [](const ComboError &e) { return e.aae_chip; });
+    EXPECT_GT(dyn.mean, chip.mean);
+}
+
+TEST(Validation, CrossVfChipErrorInPaperBand)
+{
+    // Paper Fig. 3b: 4.2% average across the 25 VF pairs.
+    const auto errors = shared().validateCrossVf();
+    const auto agg = aggregate(
+        errors, [](const CrossVfError &e) { return e.err_chip; });
+    EXPECT_EQ(agg.count, 24u * 25u);
+    EXPECT_LT(agg.mean, 0.09);
+}
+
+TEST(Validation, SelfPairBeatsDistantPair)
+{
+    // VFi->VFi prediction must be more accurate on average than the
+    // furthest extrapolation VF5->VF1.
+    const auto errors = shared().validateCrossVf();
+    ppep::util::RunningStats self, distant;
+    for (const auto &e : errors) {
+        if (e.vf_from == e.vf_to)
+            self.add(e.err_chip);
+        if (e.vf_from == 4 && e.vf_to == 0)
+            distant.add(e.err_chip);
+    }
+    EXPECT_LT(self.mean(), distant.mean() + 0.02);
+}
+
+TEST(Validation, EnergyPredictionBeatsGreenGovernors)
+{
+    // Paper Fig. 6: PPEP 3.6% vs Green Governors ~7% at VF5.
+    const auto errors = shared().validateEnergy();
+    ppep::util::RunningStats ppep_err, gg_err;
+    for (const auto &e : errors) {
+        if (e.vf_index != 4)
+            continue;
+        ppep_err.add(e.aae_ppep);
+        gg_err.add(e.aae_gg);
+    }
+    EXPECT_GT(ppep_err.count(), 0u);
+    EXPECT_LT(ppep_err.mean(), 0.10);
+    EXPECT_GT(gg_err.mean(), ppep_err.mean());
+}
+
+TEST(Validation, EnergyErrorsReportedPerVf)
+{
+    const auto errors = shared().validateEnergy();
+    std::array<std::size_t, 5> seen{};
+    for (const auto &e : errors)
+        ++seen[e.vf_index];
+    for (std::size_t s : seen)
+        EXPECT_GT(s, 0u);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the validation helpers (the aggregate() reduction all
+ * figure benches rely on), independent of any simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/validation.hpp"
+
+namespace {
+
+using namespace ppep::model;
+namespace wl = ppep::workloads;
+
+/** Hand-built combos spanning two suites. */
+struct Fixture
+{
+    wl::Combination spec_a, spec_b, npb_a;
+    std::vector<ComboError> rows;
+
+    Fixture()
+    {
+        spec_a.name = "a";
+        spec_a.suite = wl::SuiteId::Spec;
+        spec_b.name = "b";
+        spec_b.suite = wl::SuiteId::Spec;
+        npb_a.name = "c";
+        npb_a.suite = wl::SuiteId::Npb;
+        rows = {
+            {&spec_a, 0, 0.10, 0.04},
+            {&spec_b, 0, 0.20, 0.06},
+            {&npb_a, 0, 0.40, 0.10},
+        };
+    }
+};
+
+TEST(Aggregate, AllRowsMeanAndCount)
+{
+    Fixture f;
+    const auto agg = aggregate(
+        f.rows, [](const ComboError &e) { return e.aae_dynamic; });
+    EXPECT_EQ(agg.count, 3u);
+    EXPECT_NEAR(agg.mean, (0.10 + 0.20 + 0.40) / 3.0, 1e-12);
+}
+
+TEST(Aggregate, SuiteFilterRestrictsRows)
+{
+    Fixture f;
+    const auto spec = wl::SuiteId::Spec;
+    const auto agg = aggregate(
+        f.rows, [](const ComboError &e) { return e.aae_dynamic; },
+        &spec);
+    EXPECT_EQ(agg.count, 2u);
+    EXPECT_NEAR(agg.mean, 0.15, 1e-12);
+}
+
+TEST(Aggregate, PopulationStddev)
+{
+    Fixture f;
+    const auto spec = wl::SuiteId::Spec;
+    const auto agg = aggregate(
+        f.rows, [](const ComboError &e) { return e.aae_dynamic; },
+        &spec);
+    // Values {0.10, 0.20}: population sd = 0.05.
+    EXPECT_NEAR(agg.stddev, 0.05, 1e-12);
+}
+
+TEST(Aggregate, EmptyFilterYieldsZeroCount)
+{
+    Fixture f;
+    const auto parsec = wl::SuiteId::Parsec;
+    const auto agg = aggregate(
+        f.rows, [](const ComboError &e) { return e.aae_dynamic; },
+        &parsec);
+    EXPECT_EQ(agg.count, 0u);
+    EXPECT_DOUBLE_EQ(agg.mean, 0.0);
+    EXPECT_DOUBLE_EQ(agg.stddev, 0.0);
+}
+
+TEST(Aggregate, MetricSelectsField)
+{
+    Fixture f;
+    const auto chip = aggregate(
+        f.rows, [](const ComboError &e) { return e.aae_chip; });
+    EXPECT_NEAR(chip.mean, (0.04 + 0.06 + 0.10) / 3.0, 1e-12);
+}
+
+TEST(Aggregate, WorksOnCrossVfRows)
+{
+    wl::Combination c;
+    c.suite = wl::SuiteId::Spec;
+    std::vector<CrossVfError> rows = {
+        {&c, 4, 0, 0.08, 0.03},
+        {&c, 0, 4, 0.12, 0.05},
+    };
+    const auto agg = aggregate(
+        rows, [](const CrossVfError &e) { return e.err_chip; });
+    EXPECT_NEAR(agg.mean, 0.04, 1e-12);
+}
+
+TEST(Aggregate, WorksOnEnergyRows)
+{
+    wl::Combination c;
+    c.suite = wl::SuiteId::Parsec;
+    std::vector<EnergyError> rows = {
+        {&c, 4, 0.03, 0.07},
+        {&c, 4, 0.05, 0.09},
+    };
+    const auto ppep_agg = aggregate(
+        rows, [](const EnergyError &e) { return e.aae_ppep; });
+    const auto gg_agg = aggregate(
+        rows, [](const EnergyError &e) { return e.aae_gg; });
+    EXPECT_NEAR(ppep_agg.mean, 0.04, 1e-12);
+    EXPECT_NEAR(gg_agg.mean, 0.08, 1e-12);
+}
+
+} // namespace

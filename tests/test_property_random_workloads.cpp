@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Randomised property tests: the full PPEP pipeline must hold for
+ * workloads it has never seen — profiles drawn at random from the
+ * ProfileBuilder's knob space, not from the training suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/model/ppep.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/util/rng.hpp"
+#include "ppep/workloads/builder.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep;
+
+const model::TrainedModels &
+models()
+{
+    static const model::TrainedModels m = [] {
+        model::Trainer trainer(sim::fx8320Config(), 404);
+        std::vector<const workloads::Combination *> training;
+        for (const auto &c : workloads::allCombinations())
+            if (c.instances.size() == 1 && training.size() < 16)
+                training.push_back(&c);
+        return trainer.trainAll(training);
+    }();
+    return m;
+}
+
+/** A random but plausible profile drawn from seed @p seed. */
+std::unique_ptr<sim::Job>
+randomJob(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    workloads::ProfileBuilder b("random-" + std::to_string(seed));
+    const std::size_t phases = 1 + rng.uniformInt(4);
+    for (std::size_t p = 0; p < phases; ++p) {
+        b.memoryIntensity(rng.uniform(0.0, 1.0))
+            .dramShare(rng.uniform(0.0, 1.0))
+            .fpuPerInst(rng.uniform(0.0, 0.6))
+            .branchRate(rng.uniform(0.02, 0.3))
+            .mispredictRate(rng.uniform(0.0, 0.1))
+            .resourceStallCpi(rng.uniform(0.1, 0.8))
+            .addPhase(rng.uniform(5e8, 3e9));
+    }
+    return b.makeLoopingJob();
+}
+
+class RandomWorkloadSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    trace::IntervalRecord
+    measureAt(std::size_t vf)
+    {
+        sim::Chip chip(sim::fx8320Config(), GetParam());
+        chip.setAllVf(vf);
+        chip.setJob(0, randomJob(GetParam()));
+        chip.setJob(5, randomJob(GetParam() + 1000));
+        trace::Collector col(chip);
+        col.collect(3);
+        return col.collectInterval();
+    }
+};
+
+TEST_P(RandomWorkloadSweep, SelfEstimateWithinBand)
+{
+    const auto rec = measureAt(4);
+    const auto est = models().chip.estimate(rec);
+    EXPECT_NEAR(est.total_w / rec.sensor_power_w, 1.0, 0.15);
+}
+
+TEST_P(RandomWorkloadSweep, CrossVfPredictionWithinBand)
+{
+    const auto at_top = measureAt(4);
+    const auto at_low = measureAt(0);
+    const auto pred = models().chip.predictAt(at_top, 0);
+    EXPECT_NEAR(pred.total_w / at_low.sensor_power_w, 1.0, 0.2);
+}
+
+TEST_P(RandomWorkloadSweep, PredictedPowerMonotoneInVf)
+{
+    const auto rec = measureAt(4);
+    double prev = 0.0;
+    for (std::size_t vf = 0; vf < 5; ++vf) {
+        const double p = models().chip.predictAt(rec, vf).total_w;
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST_P(RandomWorkloadSweep, PredictedIpsNeverExceedsClockScaling)
+{
+    // Speedup from VF1 to VF5 is bounded by the 2.5x clock ratio and
+    // never below 1 (Eq. 1 is monotone in f).
+    const auto rec = measureAt(4);
+    const auto lo = models().chip.predictAt(rec, 0);
+    (void)lo;
+    const auto s = model::CpiModel::fromEvents(rec.pmc[0]);
+    if (s.cpi <= 0.0)
+        GTEST_SKIP() << "core idle in sampled interval";
+    const double speedup = model::CpiModel::predictSpeedup(s, 1.4, 3.5);
+    EXPECT_GE(speedup, 1.0);
+    EXPECT_LE(speedup, 3.5 / 1.4 + 1e-9);
+}
+
+TEST_P(RandomWorkloadSweep, EventPredictionPreservesPerInstCounts)
+{
+    const auto rec = measureAt(4);
+    const auto &ev = rec.pmc[0];
+    const double inst =
+        ev[sim::eventIndex(sim::Event::RetiredInst)];
+    if (inst <= 0.0)
+        GTEST_SKIP() << "core idle in sampled interval";
+    const auto pred = model::EventPredictor::predict(
+        ev, rec.duration_s, 3.5, 1.7);
+    const double ips = pred.rates_per_s[sim::eventIndex(
+        sim::Event::RetiredInst)];
+    for (std::size_t i = 0; i < 8; ++i) {
+        if (ev[i] <= 0.0)
+            continue;
+        EXPECT_NEAR(pred.rates_per_s[i] / ips, ev[i] / inst, 1e-9)
+            << "event E" << i + 1;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u,
+                                           66u, 77u, 88u));
+
+} // namespace

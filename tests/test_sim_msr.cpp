@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the msr-tools facade: PERF_CTL/PERF_CTR encoding, counter
+ * programming through wrmsr, and raw counting on a chip with the
+ * built-in multiplexer disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/sim/chip.hpp"
+#include "ppep/sim/msr.hpp"
+#include "ppep/workloads/microbench.hpp"
+
+namespace {
+
+using namespace ppep::sim;
+
+TEST(PerfEvtSel, EncodeDecodeRoundTrip)
+{
+    for (const auto e : allEvents()) {
+        PerfEvtSel sel;
+        sel.event_select = eventSelect(e);
+        sel.unit_mask = 0x5A;
+        sel.user = true;
+        sel.os = false;
+        sel.enable = true;
+        const auto back = PerfEvtSel::decode(sel.encode());
+        EXPECT_EQ(back.event_select, sel.event_select);
+        EXPECT_EQ(back.unit_mask, sel.unit_mask);
+        EXPECT_EQ(back.user, sel.user);
+        EXPECT_EQ(back.os, sel.os);
+        EXPECT_EQ(back.enable, sel.enable);
+    }
+}
+
+TEST(PerfEvtSel, TwelveBitSelectSplitsAcrossFields)
+{
+    // 0x0c1 fits the low byte; a hypothetical 0x1c1 needs bits 35:32.
+    PerfEvtSel sel;
+    sel.event_select = 0x1c1;
+    sel.enable = true;
+    const std::uint64_t v = sel.encode();
+    EXPECT_EQ(v & 0xFF, 0xC1u);
+    EXPECT_EQ((v >> 32) & 0xF, 0x1u);
+    EXPECT_EQ(PerfEvtSel::decode(v).event_select, 0x1c1);
+}
+
+TEST(EventSelect, TableICodesRoundTrip)
+{
+    EXPECT_EQ(eventSelect(Event::RetiredUop), 0x0c1);
+    EXPECT_EQ(eventSelect(Event::MabWaitCycles), 0x069);
+    for (const auto e : allEvents())
+        EXPECT_EQ(eventFromSelect(eventSelect(e)), e);
+    EXPECT_FALSE(eventFromSelect(0x123).has_value());
+}
+
+TEST(MsrDevice, ProgramsSlotThroughCtlWrite)
+{
+    PmcBank bank(6);
+    MsrDevice msr(bank);
+    PerfEvtSel sel;
+    sel.event_select = eventSelect(Event::RetiredInst);
+    sel.enable = true;
+    msr.wrmsr(kMsrPerfCtlBase + 2 * 3, sel.encode()); // slot 3
+    EXPECT_EQ(bank.programmed(3), Event::RetiredInst);
+    EXPECT_EQ(msr.rdmsr(kMsrPerfCtlBase + 2 * 3), sel.encode());
+}
+
+TEST(MsrDevice, DisabledSelectClearsSlot)
+{
+    PmcBank bank(6);
+    MsrDevice msr(bank);
+    bank.program(0, Event::RetiredUop);
+    PerfEvtSel off;
+    off.event_select = eventSelect(Event::RetiredUop);
+    off.enable = false;
+    msr.wrmsr(kMsrPerfCtlBase, off.encode());
+    EXPECT_FALSE(bank.programmed(0).has_value());
+}
+
+TEST(MsrDevice, UnknownSelectFreezesCounter)
+{
+    PmcBank bank(6);
+    MsrDevice msr(bank);
+    PerfEvtSel sel;
+    sel.event_select = 0x3FF; // not modelled
+    sel.enable = true;
+    msr.wrmsr(kMsrPerfCtlBase, sel.encode());
+    EXPECT_FALSE(bank.programmed(0).has_value());
+}
+
+TEST(MsrDevice, CtrReadWrite)
+{
+    PmcBank bank(6);
+    MsrDevice msr(bank);
+    msr.wrmsr(kMsrPerfCtrBase + 2 * 2, 12345);
+    EXPECT_EQ(msr.rdmsr(kMsrPerfCtrBase + 2 * 2), 12345u);
+    EXPECT_DOUBLE_EQ(bank.read(2), 12345.0);
+}
+
+TEST(MsrDeviceDeath, UnknownMsrFaults)
+{
+    PmcBank bank(6);
+    MsrDevice msr(bank);
+    EXPECT_DEATH(msr.wrmsr(0xC0010000, 0), "unknown MSR");
+    EXPECT_DEATH(msr.rdmsr(0x10), "unknown MSR");
+}
+
+TEST(MsrOnChip, RawCountingWithoutMultiplexer)
+{
+    // The msr-tools workflow end to end: disable the daemon
+    // multiplexer, program two selects by hand, run, read raw counts.
+    Chip chip(fx8320Config(), 1);
+    chip.setPmcAutoMultiplex(false);
+    chip.setJob(0, ppep::workloads::makeBenchA());
+
+    MsrDevice msr(chip.pmcBank(0));
+    PerfEvtSel inst;
+    inst.event_select = eventSelect(Event::RetiredInst);
+    inst.enable = true;
+    msr.wrmsr(kMsrPerfCtlBase, inst.encode());
+    PerfEvtSel cyc;
+    cyc.event_select = eventSelect(Event::ClocksNotHalted);
+    cyc.enable = true;
+    msr.wrmsr(kMsrPerfCtlBase + 2, cyc.encode());
+    msr.wrmsr(kMsrPerfCtrBase, 0);
+    msr.wrmsr(kMsrPerfCtrBase + 2, 0);
+
+    double truth_inst = 0.0, truth_cyc = 0.0;
+    for (int t = 0; t < 10; ++t) {
+        const auto r = chip.step();
+        truth_inst += r.truth.activity[0].instructions;
+        truth_cyc += r.truth.activity[0].cycles;
+    }
+    // Raw counters match truth exactly: no multiplexing extrapolation.
+    EXPECT_NEAR(static_cast<double>(msr.rdmsr(kMsrPerfCtrBase)),
+                truth_inst, 1.0);
+    EXPECT_NEAR(static_cast<double>(msr.rdmsr(kMsrPerfCtrBase + 2)),
+                truth_cyc, 1.0);
+}
+
+TEST(MsrOnChipDeath, ReadPmcNeedsMultiplexer)
+{
+    Chip chip(fx8320Config(), 1);
+    chip.setPmcAutoMultiplex(false);
+    EXPECT_DEATH(chip.readPmc(0), "auto-multiplexing is off");
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for workload phases and jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ppep/sim/phase.hpp"
+
+namespace {
+
+using ppep::sim::Job;
+using ppep::sim::Phase;
+
+Phase
+simplePhase(double instructions)
+{
+    Phase p;
+    p.inst_count = instructions;
+    return p;
+}
+
+TEST(Phase, DefaultIsValid)
+{
+    Phase p;
+    EXPECT_NO_FATAL_FAILURE(p.validate());
+}
+
+TEST(PhaseDeath, RejectsLeadingExceedingMisses)
+{
+    Phase p;
+    p.l2miss_per_inst = 0.001;
+    p.leading_per_inst = 0.01;
+    EXPECT_DEATH(p.validate(), "leading loads exceed");
+}
+
+TEST(PhaseDeath, RejectsMispredictsExceedingBranches)
+{
+    Phase p;
+    p.branch_per_inst = 0.1;
+    p.mispred_per_inst = 0.2;
+    EXPECT_DEATH(p.validate(), "mispredictions exceed");
+}
+
+TEST(PhaseDeath, RejectsEmptyPhase)
+{
+    Phase p;
+    p.inst_count = 0.0;
+    EXPECT_DEATH(p.validate(), "instructions");
+}
+
+TEST(Job, SinglePhaseRunsToCompletion)
+{
+    Job j("t", {simplePhase(100.0)});
+    EXPECT_FALSE(j.finished());
+    EXPECT_DOUBLE_EQ(j.advance(60.0), 60.0);
+    EXPECT_FALSE(j.finished());
+    EXPECT_DOUBLE_EQ(j.advance(60.0), 40.0); // only 40 left
+    EXPECT_TRUE(j.finished());
+    EXPECT_DOUBLE_EQ(j.instructionsRetired(), 100.0);
+}
+
+TEST(Job, CrossesPhaseBoundaries)
+{
+    Job j("t", {simplePhase(50.0), simplePhase(50.0)});
+    EXPECT_EQ(j.currentPhaseIndex(), 0u);
+    j.advance(75.0);
+    EXPECT_EQ(j.currentPhaseIndex(), 1u);
+    EXPECT_FALSE(j.finished());
+    j.advance(25.0);
+    EXPECT_TRUE(j.finished());
+}
+
+TEST(Job, ExactBoundaryAdvancesPhase)
+{
+    Job j("t", {simplePhase(50.0), simplePhase(50.0)});
+    j.advance(50.0);
+    EXPECT_EQ(j.currentPhaseIndex(), 1u);
+}
+
+TEST(Job, LoopingNeverFinishes)
+{
+    Job j("t", {simplePhase(10.0)}, /*looping=*/true);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(j.advance(7.0), 7.0);
+    EXPECT_FALSE(j.finished());
+    EXPECT_DOUBLE_EQ(j.instructionsRetired(), 700.0);
+}
+
+TEST(Job, LoopingWrapsToFirstPhase)
+{
+    Job j("t", {simplePhase(10.0), simplePhase(10.0)}, /*looping=*/true);
+    j.advance(20.0);
+    EXPECT_EQ(j.currentPhaseIndex(), 0u);
+    j.advance(10.0);
+    EXPECT_EQ(j.currentPhaseIndex(), 1u);
+}
+
+TEST(Job, AdvanceOnFinishedReturnsZero)
+{
+    Job j("t", {simplePhase(10.0)});
+    j.advance(10.0);
+    ASSERT_TRUE(j.finished());
+    EXPECT_DOUBLE_EQ(j.advance(5.0), 0.0);
+}
+
+TEST(Job, ResetRestoresStart)
+{
+    Job j("t", {simplePhase(10.0), simplePhase(10.0)});
+    j.advance(15.0);
+    j.reset();
+    EXPECT_FALSE(j.finished());
+    EXPECT_EQ(j.currentPhaseIndex(), 0u);
+    EXPECT_DOUBLE_EQ(j.instructionsRetired(), 0.0);
+}
+
+TEST(Job, TotalInstructionsSumsPhases)
+{
+    Job j("t", {simplePhase(10.0), simplePhase(25.0)});
+    EXPECT_DOUBLE_EQ(j.totalInstructions(), 35.0);
+}
+
+TEST(Job, NamePreserved)
+{
+    Job j("433.milc", {simplePhase(1.0)});
+    EXPECT_EQ(j.name(), "433.milc");
+}
+
+TEST(Job, PhaseAccessor)
+{
+    Job j("t", {simplePhase(10.0), simplePhase(20.0)});
+    EXPECT_EQ(j.phaseCount(), 2u);
+    EXPECT_DOUBLE_EQ(j.phase(1).inst_count, 20.0);
+}
+
+TEST(JobDeath, EmptyPhaseListRejected)
+{
+    EXPECT_DEATH(Job("t", std::vector<Phase>{}), "no phases");
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the RC thermal model (Fig. 1's heat/cool transients).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppep/sim/thermal_model.hpp"
+
+namespace {
+
+using namespace ppep::sim;
+
+ThermalConfig
+cfg()
+{
+    return ThermalConfig{};
+}
+
+TEST(Thermal, StartsAtAmbient)
+{
+    ThermalModel t(cfg());
+    EXPECT_DOUBLE_EQ(t.temperature(), cfg().ambient_k);
+}
+
+TEST(Thermal, SteadyStateFormula)
+{
+    ThermalModel t(cfg());
+    EXPECT_DOUBLE_EQ(t.steadyState(100.0),
+                     cfg().ambient_k + cfg().resistance_k_per_w * 100.0);
+    EXPECT_DOUBLE_EQ(t.steadyState(0.0), cfg().ambient_k);
+}
+
+TEST(Thermal, ApproachesSteadyStateMonotonically)
+{
+    ThermalModel t(cfg());
+    const double target = t.steadyState(100.0);
+    double prev = t.temperature();
+    for (int i = 0; i < 1000; ++i) {
+        t.step(100.0, 0.2);
+        EXPECT_GE(t.temperature(), prev - 1e-12);
+        EXPECT_LE(t.temperature(), target + 1e-9);
+        prev = t.temperature();
+    }
+    EXPECT_NEAR(t.temperature(), target, 0.5);
+}
+
+TEST(Thermal, ExactExponentialDecay)
+{
+    ThermalModel t(cfg());
+    t.setTemperature(340.0);
+    const double t_ss = t.steadyState(0.0);
+    const double dt = 10.0;
+    t.step(0.0, dt);
+    const double expected =
+        t_ss + (340.0 - t_ss) * std::exp(-dt / cfg().time_constant_s);
+    EXPECT_NEAR(t.temperature(), expected, 1e-9);
+}
+
+TEST(Thermal, StepSizeInvariance)
+{
+    // One 10 s step must equal ten 1 s steps (exact update, not Euler).
+    ThermalModel a(cfg()), b(cfg());
+    a.setTemperature(330.0);
+    b.setTemperature(330.0);
+    a.step(80.0, 10.0);
+    for (int i = 0; i < 10; ++i)
+        b.step(80.0, 1.0);
+    EXPECT_NEAR(a.temperature(), b.temperature(), 1e-9);
+}
+
+TEST(Thermal, CoolingAfterHeating)
+{
+    ThermalModel t(cfg());
+    for (int i = 0; i < 2000; ++i)
+        t.step(120.0, 0.2);
+    const double hot = t.temperature();
+    for (int i = 0; i < 2000; ++i)
+        t.step(35.0, 0.2);
+    EXPECT_LT(t.temperature(), hot);
+    EXPECT_NEAR(t.temperature(), t.steadyState(35.0), 0.5);
+}
+
+TEST(Thermal, DiodeQuantised)
+{
+    ThermalModel t(cfg());
+    t.setTemperature(320.0701);
+    const double reading = t.diodeReading();
+    const double q = cfg().diode_quantum_k;
+    EXPECT_NEAR(std::remainder(reading, q), 0.0, 1e-9);
+    EXPECT_NEAR(reading, 320.0701, q);
+}
+
+TEST(Thermal, SetTemperatureOverrides)
+{
+    ThermalModel t(cfg());
+    t.setTemperature(400.0);
+    EXPECT_DOUBLE_EQ(t.temperature(), 400.0);
+}
+
+TEST(ThermalDeath, RejectsNegativePower)
+{
+    ThermalModel t(cfg());
+    EXPECT_DEATH(t.step(-1.0, 0.2), "negative power");
+}
+
+TEST(ThermalDeath, RejectsZeroStep)
+{
+    ThermalModel t(cfg());
+    EXPECT_DEATH(t.step(10.0, 0.0), "thermal step");
+}
+
+// Property sweep: the half-life of the decay matches the configured time
+// constant for any starting offset.
+class DecaySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DecaySweep, TimeConstantRespected)
+{
+    ThermalModel t(cfg());
+    const double start = cfg().ambient_k + GetParam();
+    t.setTemperature(start);
+    t.step(0.0, cfg().time_constant_s); // exactly one tau
+    const double expected =
+        cfg().ambient_k + GetParam() * std::exp(-1.0);
+    EXPECT_NEAR(t.temperature(), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, DecaySweep,
+                         ::testing::Values(5.0, 10.0, 20.0, 40.0));
+
+} // namespace

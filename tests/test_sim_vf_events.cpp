@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for VF tables and the Table-I event catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/sim/events.hpp"
+#include "ppep/sim/vf_state.hpp"
+
+namespace {
+
+using namespace ppep::sim;
+
+TEST(VfTable, Fx8320MatchesPaper)
+{
+    const auto t = fx8320VfTable();
+    ASSERT_EQ(t.size(), 5u);
+    // Sec. II: VF5 (1.320V, 3.5GHz) ... VF1 (0.888V, 1.4GHz).
+    EXPECT_DOUBLE_EQ(t.state(4).voltage, 1.320);
+    EXPECT_DOUBLE_EQ(t.state(4).freq_ghz, 3.5);
+    EXPECT_DOUBLE_EQ(t.state(0).voltage, 0.888);
+    EXPECT_DOUBLE_EQ(t.state(0).freq_ghz, 1.4);
+    EXPECT_DOUBLE_EQ(t.state(2).voltage, 1.128);
+    EXPECT_DOUBLE_EQ(t.state(2).freq_ghz, 2.3);
+}
+
+TEST(VfTable, PhenomHasFourStates)
+{
+    const auto t = phenomIIVfTable();
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.top(), 3u);
+}
+
+TEST(VfTable, NamesAscend)
+{
+    const auto t = fx8320VfTable();
+    EXPECT_EQ(t.name(0), "VF1");
+    EXPECT_EQ(t.name(4), "VF5");
+}
+
+TEST(VfTable, MaxVoltageIsTop)
+{
+    const auto t = fx8320VfTable();
+    EXPECT_DOUBLE_EQ(t.maxVoltage(), 1.320);
+}
+
+TEST(VfTable, FrequenciesStrictlyAscending)
+{
+    const auto t = fx8320VfTable();
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_GT(t.state(i).freq_ghz, t.state(i - 1).freq_ghz);
+}
+
+TEST(VfTable, NbStatesMatchPaper)
+{
+    // Sec. V-C2: VF_hi (1.175V, 2.2GHz), VF_lo (0.940V, 1.1GHz).
+    EXPECT_DOUBLE_EQ(nbVfHi().voltage, 1.175);
+    EXPECT_DOUBLE_EQ(nbVfHi().freq_ghz, 2.2);
+    EXPECT_DOUBLE_EQ(nbVfLo().voltage, 0.940);
+    EXPECT_DOUBLE_EQ(nbVfLo().freq_ghz, 1.1);
+    // The what-if is a 20% voltage drop and a 50% frequency drop.
+    EXPECT_NEAR(nbVfLo().voltage / nbVfHi().voltage, 0.8, 0.001);
+    EXPECT_NEAR(nbVfLo().freq_ghz / nbVfHi().freq_ghz, 0.5, 1e-12);
+}
+
+TEST(Events, CatalogueMatchesTableI)
+{
+    EXPECT_EQ(eventCode(Event::RetiredUop), "PMCx0c1");
+    EXPECT_EQ(eventCode(Event::FpuPipeAssignment), "PMCx000");
+    EXPECT_EQ(eventCode(Event::InstCacheFetch), "PMCx080");
+    EXPECT_EQ(eventCode(Event::DataCacheAccess), "PMCx040");
+    EXPECT_EQ(eventCode(Event::RequestToL2), "PMCx07d");
+    EXPECT_EQ(eventCode(Event::RetiredBranch), "PMCx0c2");
+    EXPECT_EQ(eventCode(Event::RetiredMispBranch), "PMCx0c3");
+    EXPECT_EQ(eventCode(Event::L2CacheMiss), "PMCx07e");
+    EXPECT_EQ(eventCode(Event::DispatchStall), "PMCx0d1");
+    EXPECT_EQ(eventCode(Event::ClocksNotHalted), "PMCx076");
+    EXPECT_EQ(eventCode(Event::RetiredInst), "PMCx0c0");
+    EXPECT_EQ(eventCode(Event::MabWaitCycles), "PMCx069");
+}
+
+TEST(Events, LabelsAreE1ToE12)
+{
+    EXPECT_EQ(eventLabel(Event::RetiredUop), "E1");
+    EXPECT_EQ(eventLabel(Event::MabWaitCycles), "E12");
+}
+
+TEST(Events, CycleCountingEvents)
+{
+    EXPECT_TRUE(eventCountsCycles(Event::DispatchStall));
+    EXPECT_TRUE(eventCountsCycles(Event::ClocksNotHalted));
+    EXPECT_TRUE(eventCountsCycles(Event::MabWaitCycles));
+    EXPECT_FALSE(eventCountsCycles(Event::RetiredUop));
+    EXPECT_FALSE(eventCountsCycles(Event::RetiredInst));
+}
+
+TEST(Events, AllEventsCoverTableInOrder)
+{
+    const auto &all = allEvents();
+    ASSERT_EQ(all.size(), kNumEvents);
+    for (std::size_t i = 0; i < kNumEvents; ++i)
+        EXPECT_EQ(eventIndex(all[i]), i);
+}
+
+TEST(Events, PowerEventSplit)
+{
+    // E1-E9 power (first seven core-private), E10-E12 performance.
+    EXPECT_EQ(kNumPowerEvents, 9u);
+    EXPECT_EQ(kNumCorePowerEvents, 7u);
+    EXPECT_EQ(kNumEvents, 12u);
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the deterministic xoshiro256** RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "ppep/util/rng.hpp"
+
+namespace {
+
+using ppep::util::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    std::size_t same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5u);
+}
+
+TEST(Rng, CopyIsIndependentSnapshot)
+{
+    Rng a(99);
+    a.next();
+    Rng b = a; // snapshot
+    EXPECT_EQ(a.next(), b.next());
+    a.next();
+    // b is one draw behind a now; sequences must still match pairwise.
+    EXPECT_EQ(a.next(), (b.next(), b.next()));
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double s = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        s += r.uniform();
+    EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng r(17);
+    std::array<int, 7> counts{};
+    for (int i = 0; i < 7000; ++i)
+        ++counts[r.uniformInt(7)];
+    for (int c : counts)
+        EXPECT_GT(c, 700); // each residue ~1000 expected
+}
+
+TEST(Rng, UniformIntOneAlwaysZero)
+{
+    Rng r(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.uniformInt(1), 0u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(23);
+    const int n = 200000;
+    double s = 0.0, s2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.gaussian();
+        s += g;
+        s2 += g * g;
+    }
+    EXPECT_NEAR(s / n, 0.0, 0.01);
+    EXPECT_NEAR(s2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng r(29);
+    const int n = 100000;
+    double s = 0.0, s2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.gaussian(10.0, 2.0);
+        s += g;
+        s2 += (g - 10.0) * (g - 10.0);
+    }
+    EXPECT_NEAR(s / n, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(s2 / n), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng r(37);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng parent(41);
+    Rng a = parent.fork(5);
+    Rng b = parent.fork(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkedStreamsDecorrelated)
+{
+    Rng parent(43);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    std::size_t same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5u);
+}
+
+TEST(Rng, NoShortCycle)
+{
+    Rng r(47);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(r.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace

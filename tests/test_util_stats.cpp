@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for summary statistics (the AAE machinery every validation
+ * figure relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ppep/util/stats.hpp"
+
+namespace {
+
+namespace stats = ppep::util;
+
+TEST(Stats, MeanSimple)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+}
+
+TEST(Stats, MeanSingle)
+{
+    const std::vector<double> xs{42.0};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 42.0);
+}
+
+TEST(Stats, StddevPopKnown)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(stats::stddevPop(xs), 2.0);
+}
+
+TEST(Stats, StddevSampleVsPop)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    EXPECT_GT(stats::stddevSample(xs), stats::stddevPop(xs));
+    EXPECT_NEAR(stats::stddevSample(xs), 1.0, 1e-12);
+}
+
+TEST(Stats, StddevSampleDegenerate)
+{
+    const std::vector<double> one{5.0};
+    EXPECT_DOUBLE_EQ(stats::stddevSample(one), 0.0);
+}
+
+TEST(Stats, MinMax)
+{
+    const std::vector<double> xs{3.0, -1.0, 7.0, 2.0};
+    EXPECT_DOUBLE_EQ(stats::minValue(xs), -1.0);
+    EXPECT_DOUBLE_EQ(stats::maxValue(xs), 7.0);
+}
+
+TEST(Stats, AbsRelErrBasics)
+{
+    EXPECT_DOUBLE_EQ(stats::absRelErr(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(stats::absRelErr(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(stats::absRelErr(-90.0, -100.0), 0.1);
+}
+
+TEST(Stats, AbsRelErrZeroReference)
+{
+    EXPECT_DOUBLE_EQ(stats::absRelErr(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(stats::absRelErr(5.0, 0.0), 1.0);
+}
+
+TEST(Stats, AaeAverages)
+{
+    const std::vector<double> est{110.0, 95.0};
+    const std::vector<double> ref{100.0, 100.0};
+    EXPECT_NEAR(stats::aae(est, ref), 0.075, 1e-12);
+}
+
+TEST(Stats, AaePerfectMatch)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(stats::aae(v, v), 0.0);
+}
+
+TEST(Stats, PearsonPerfectPositive)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(stats::pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const std::vector<double> ys{3.0, 2.0, 1.0};
+    EXPECT_NEAR(stats::pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const std::vector<double> ys{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(stats::pearson(xs, ys), 0.0);
+}
+
+TEST(RunningStats, MatchesBatch)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    stats::RunningStats rs;
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_NEAR(rs.mean(), stats::mean(xs), 1e-12);
+    EXPECT_NEAR(rs.stddevPop(), stats::stddevPop(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.minValue(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.maxValue(), 9.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    stats::RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddevPop(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    stats::RunningStats rs;
+    rs.add(-3.5);
+    EXPECT_DOUBLE_EQ(rs.mean(), -3.5);
+    EXPECT_DOUBLE_EQ(rs.stddevPop(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.minValue(), -3.5);
+    EXPECT_DOUBLE_EQ(rs.maxValue(), -3.5);
+}
+
+// Property sweep: Welford must agree with the two-pass formula for many
+// shapes of input.
+class RunningStatsSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RunningStatsSweep, AgreesWithTwoPass)
+{
+    const int n = GetParam();
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i)
+        xs.push_back(std::sin(i * 0.7) * 100.0 + i);
+    stats::RunningStats rs;
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_NEAR(rs.mean(), stats::mean(xs), 1e-9);
+    EXPECT_NEAR(rs.stddevPop(), stats::stddevPop(xs), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RunningStatsSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+} // namespace

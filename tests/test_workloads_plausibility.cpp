@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-program plausibility sweep: every one of the 52 synthetic
+ * benchmarks must land in silicon-plausible IPC, power, and
+ * memory-behaviour bands when run alone at the top VF state. Runs as a
+ * parameterised test over the whole suite, so a bad trait row fails by
+ * name.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ppep/sim/chip.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep;
+
+struct Measured
+{
+    double ipc = 0.0;
+    double chip_power_w = 0.0;
+    double core_dynamic_w = 0.0;
+    double mcpi_share = 0.0; ///< memory cycles / unhalted cycles
+};
+
+Measured
+measure(const std::string &name)
+{
+    sim::Chip chip(sim::fx8320Config(), 1234);
+    chip.setJob(0, workloads::Suite::byName(name).makeLoopingJob());
+    trace::Collector col(chip);
+    col.collect(2);
+    const auto recs = col.collect(8);
+
+    Measured out;
+    double inst = 0.0, cycles = 0.0, mab = 0.0;
+    for (const auto &rec : recs) {
+        inst += rec.oracleTotal(sim::Event::RetiredInst);
+        cycles += rec.oracleTotal(sim::Event::ClocksNotHalted);
+        mab += rec.oracleTotal(sim::Event::MabWaitCycles);
+        out.chip_power_w += rec.true_power_w;
+        out.core_dynamic_w += rec.true_dynamic_w;
+    }
+    out.ipc = inst / cycles;
+    out.mcpi_share = mab / cycles;
+    out.chip_power_w /= static_cast<double>(recs.size());
+    out.core_dynamic_w /= static_cast<double>(recs.size());
+    return out;
+}
+
+class SuiteSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteSweep, IpcInPlausibleBand)
+{
+    const auto m = measure(GetParam());
+    // Real single-thread IPC on a Piledriver-class core spans roughly
+    // 0.2 (mcf-like) to 2.2 (hmmer-like).
+    EXPECT_GT(m.ipc, 0.2) << GetParam();
+    EXPECT_LT(m.ipc, 2.3) << GetParam();
+}
+
+TEST_P(SuiteSweep, SingleThreadPowerInPlausibleBand)
+{
+    const auto m = measure(GetParam());
+    // One busy core + active-idle rest of the chip at VF5: between a
+    // warm idle (~33 W) and a single-core power-virus envelope.
+    EXPECT_GT(m.chip_power_w, 33.0) << GetParam();
+    EXPECT_LT(m.chip_power_w, 70.0) << GetParam();
+    EXPECT_GT(m.core_dynamic_w, 1.0) << GetParam();
+    EXPECT_LT(m.core_dynamic_w, 30.0) << GetParam();
+}
+
+TEST_P(SuiteSweep, MemoryShareMatchesSuiteRole)
+{
+    const auto m = measure(GetParam());
+    EXPECT_GE(m.mcpi_share, 0.0) << GetParam();
+    EXPECT_LT(m.mcpi_share, 0.85) << GetParam();
+    // The anchor programs must sit on their sides of the spectrum.
+    if (GetParam() == "433.milc" || GetParam() == "429.mcf" ||
+        GetParam() == "470.lbm") {
+        EXPECT_GT(m.mcpi_share, 0.35) << GetParam();
+    }
+    if (GetParam() == "458.sjeng" || GetParam() == "456.hmmer" ||
+        GetParam() == "EP") {
+        EXPECT_LT(m.mcpi_share, 0.15) << GetParam();
+    }
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : workloads::Suite::all())
+        names.push_back(p.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, SuiteSweep,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (auto &c : name)
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return name;
+                         });
+
+} // namespace

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * The `ppep` command-line tool: train models for a simulated platform,
+ * persist them, and use them for prediction, exploration, and
+ * validation — the full deployment loop in one binary.
+ *
+ *   ppep list                                  available benchmarks
+ *   ppep train    --out FILE [options]         one-time offline training
+ *   ppep predict  --models FILE -b NAME [...]  power/perf at every VF
+ *   ppep explore  --models FILE -b NAME [...]  per-thread energy/EDP
+ *   ppep validate [options]                    estimation-error summary
+ *
+ * Common options:
+ *   --platform fx8320|fx8320-boost|phenom2     (default fx8320)
+ *   --seed N                                   (default 2014)
+ *   -b/--benchmark NAME, -n/--copies N, --nb-whatif, --quick
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ppep/governor/energy_explorer.hpp"
+#include "ppep/model/ppep.hpp"
+#include "ppep/model/serialization.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/model/validation.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/util/stats.hpp"
+#include "ppep/util/table.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep;
+
+struct Options
+{
+    std::string command;
+    std::string platform = "fx8320";
+    std::string models_path;
+    std::string out_path;
+    std::string benchmark = "433.milc";
+    std::size_t copies = 1;
+    std::uint64_t seed = 2014;
+    bool quick = false;
+    bool nb_whatif = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: ppep <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                       list available benchmarks\n"
+        "  train --out FILE           train models and persist them\n"
+        "  predict --models FILE -b NAME [-n COPIES]\n"
+        "                             predict power/perf at every VF\n"
+        "  explore --models FILE -b NAME [-n COPIES] [--nb-whatif]\n"
+        "                             per-thread energy/EDP space\n"
+        "  validate [--quick]         estimation-error summary\n"
+        "\n"
+        "options:\n"
+        "  --platform fx8320|fx8320-boost|phenom2   (default fx8320)\n"
+        "  --seed N                                  (default 2014)\n"
+        "  --quick                    small training/validation sets\n");
+    std::exit(code);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(1);
+    Options opt;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--platform")
+            opt.platform = next();
+        else if (arg == "--models")
+            opt.models_path = next();
+        else if (arg == "--out")
+            opt.out_path = next();
+        else if (arg == "-b" || arg == "--benchmark")
+            opt.benchmark = next();
+        else if (arg == "-n" || arg == "--copies")
+            opt.copies = std::stoul(next());
+        else if (arg == "--seed")
+            opt.seed = std::stoull(next());
+        else if (arg == "--quick")
+            opt.quick = true;
+        else if (arg == "--nb-whatif")
+            opt.nb_whatif = true;
+        else if (arg == "-h" || arg == "--help")
+            usage(0);
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(1);
+        }
+    }
+    return opt;
+}
+
+sim::ChipConfig
+platformOf(const std::string &name)
+{
+    if (name == "fx8320")
+        return sim::fx8320Config();
+    if (name == "fx8320-boost")
+        return sim::fx8320ConfigWithBoost();
+    if (name == "phenom2")
+        return sim::phenomIIConfig();
+    std::fprintf(stderr, "unknown platform '%s'\n", name.c_str());
+    usage(1);
+}
+
+std::vector<const workloads::Combination *>
+trainingSet(bool quick)
+{
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations()) {
+        if (c.instances.size() == 1 && out.size() < (quick ? 10u : 49u))
+            out.push_back(&c);
+    }
+    if (!quick) {
+        for (const auto &c : workloads::allCombinations())
+            if (c.instances.size() >= 3 && out.size() < 70)
+                out.push_back(&c);
+    }
+    return out;
+}
+
+int
+cmdList()
+{
+    util::Table t("Available benchmarks (SPEC CPU2006 / PARSEC / NPB, "
+                  "synthetic):");
+    t.setHeader({"name", "suite", "instructions (G)"});
+    for (const auto &p : workloads::Suite::all()) {
+        t.addRow({p.name, workloads::suiteLabel(p.suite),
+                  util::Table::num(p.totalInstructions() / 1e9, 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdTrain(const Options &opt)
+{
+    if (opt.out_path.empty()) {
+        std::fprintf(stderr, "train: --out FILE is required\n");
+        return 1;
+    }
+    const auto cfg = platformOf(opt.platform);
+    std::printf("training on %s (seed %llu)...\n", cfg.name.c_str(),
+                static_cast<unsigned long long>(opt.seed));
+    model::Trainer trainer(cfg, opt.seed);
+    const auto models = trainer.trainAll(trainingSet(opt.quick));
+    model::saveModels(models, opt.out_path);
+    std::printf("alpha = %.3f\n", models.alpha);
+    std::printf("models written to %s\n", opt.out_path.c_str());
+    return 0;
+}
+
+/** Measure one interval of the requested workload at the top VF. */
+trace::IntervalRecord
+measure(const sim::ChipConfig &cfg, const Options &opt)
+{
+    if (!workloads::Suite::exists(opt.benchmark)) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try `ppep list`)\n",
+                     opt.benchmark.c_str());
+        std::exit(1);
+    }
+    // PG stays off: Ppep::explore prices the active-idle chip (Eq. 2),
+    // so the measurement context must match.
+    sim::Chip chip(cfg, opt.seed + 1);
+    workloads::launch(chip,
+                      workloads::replicate(opt.benchmark, opt.copies),
+                      true);
+    trace::Collector col(chip);
+    col.collect(3);
+    return col.collectInterval();
+}
+
+int
+cmdPredict(const Options &opt)
+{
+    if (opt.models_path.empty()) {
+        std::fprintf(stderr, "predict: --models FILE is required\n");
+        return 1;
+    }
+    const auto cfg = platformOf(opt.platform);
+    const auto models = model::loadModels(opt.models_path, cfg);
+    const model::Ppep ppep(cfg, models.chip, models.pg);
+
+    const auto rec = measure(cfg, opt);
+    std::printf("measured %s x%zu at %s: %.1f W (sensor), %.1f K\n",
+                opt.benchmark.c_str(), opt.copies,
+                cfg.vf_table.name(cfg.vf_table.top()).c_str(),
+                rec.sensor_power_w, rec.diode_temp_k);
+
+    util::Table t("\nPPEP predictions:");
+    t.setHeader({"VF", "V", "GHz", "power (W)", "GIPS",
+                 "energy/inst (nJ)"});
+    for (const auto &p : ppep.explore(rec)) {
+        const auto &vf = cfg.vf_table.state(p.vf_index);
+        t.addRow({cfg.vf_table.name(p.vf_index),
+                  util::Table::num(vf.voltage, 3),
+                  util::Table::num(vf.freq_ghz, 1),
+                  util::Table::num(p.chip_power_w, 1),
+                  util::Table::num(p.total_ips / 1e9, 2),
+                  util::Table::num(p.energy_per_inst * 1e9, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdExplore(const Options &opt)
+{
+    if (opt.models_path.empty()) {
+        std::fprintf(stderr, "explore: --models FILE is required\n");
+        return 1;
+    }
+    const auto cfg = platformOf(opt.platform);
+    if (!cfg.pg_supported) {
+        std::fprintf(stderr,
+                     "explore needs a power-gating platform (fx8320)\n");
+        return 1;
+    }
+    const auto models = model::loadModels(opt.models_path, cfg);
+    const model::Ppep ppep(cfg, models.chip, models.pg);
+    const governor::EnergyExplorer explorer(cfg, ppep, opt.seed + 2);
+
+    const auto points =
+        explorer.explore(opt.benchmark, opt.copies, opt.nb_whatif);
+    util::Table t("Per-thread operating space, " + opt.benchmark + " x" +
+                  std::to_string(opt.copies) + ":");
+    t.setHeader({"core VF", "NB", "time (s)", "energy (J)",
+                 "core (J)", "NB (J)", "EDP (J*s)"});
+    for (auto it = points.rbegin(); it != points.rend(); ++it) {
+        t.addRow({cfg.vf_table.name(it->vf_index),
+                  it->nb_low ? "lo" : "hi",
+                  util::Table::num(it->time_s, 2),
+                  util::Table::num(it->energy_j, 1),
+                  util::Table::num(it->core_energy_j, 1),
+                  util::Table::num(it->nb_energy_j, 1),
+                  util::Table::num(it->edp, 1)});
+    }
+    t.print(std::cout);
+    if (opt.nb_whatif) {
+        const auto s = governor::EnergyExplorer::summarize(points);
+        std::printf("\nNB-DVFS what-if: %.1f%% extra energy saving, "
+                    "%.2fx speedup at similar energy\n",
+                    s.energy_saving * 100.0, s.speedup);
+    }
+    return 0;
+}
+
+int
+cmdValidate(const Options &opt)
+{
+    const auto cfg = platformOf(opt.platform);
+    std::vector<const workloads::Combination *> combos;
+    for (const auto &c : workloads::allCombinations()) {
+        if (cfg.coreCount() < c.instances.size())
+            continue;
+        if (opt.quick && combos.size() >= 24)
+            break;
+        combos.push_back(&c);
+    }
+    std::printf("validating %zu combinations on %s...\n", combos.size(),
+                cfg.name.c_str());
+    model::Validator validator(cfg, combos, opt.seed, 4);
+    validator.prepare(opt.quick ? 60 : 120);
+    const auto errors = validator.validateEstimation();
+    const auto dyn = model::aggregate(
+        errors, [](const model::ComboError &e) { return e.aae_dynamic; });
+    const auto chip = model::aggregate(
+        errors, [](const model::ComboError &e) { return e.aae_chip; });
+    std::printf("dynamic power model AAE: %.1f%% (sd %.1f%%)\n",
+                dyn.mean * 100.0, dyn.stddev * 100.0);
+    std::printf("chip power model AAE:    %.1f%% (sd %.1f%%)\n",
+                chip.mean * 100.0, chip.stddev * 100.0);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    if (opt.command == "list")
+        return cmdList();
+    if (opt.command == "train")
+        return cmdTrain(opt);
+    if (opt.command == "predict")
+        return cmdPredict(opt);
+    if (opt.command == "explore")
+        return cmdExplore(opt);
+    if (opt.command == "validate")
+        return cmdValidate(opt);
+    std::fprintf(stderr, "unknown command '%s'\n", opt.command.c_str());
+    usage(1);
+}
