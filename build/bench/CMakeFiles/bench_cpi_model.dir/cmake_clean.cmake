@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpi_model.dir/bench_cpi_model.cpp.o"
+  "CMakeFiles/bench_cpi_model.dir/bench_cpi_model.cpp.o.d"
+  "bench_cpi_model"
+  "bench_cpi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_nb_dvfs.dir/bench_fig11_nb_dvfs.cpp.o"
+  "CMakeFiles/bench_fig11_nb_dvfs.dir/bench_fig11_nb_dvfs.cpp.o.d"
+  "bench_fig11_nb_dvfs"
+  "bench_fig11_nb_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_nb_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

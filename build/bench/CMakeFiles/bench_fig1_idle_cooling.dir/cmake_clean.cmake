@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_idle_cooling.dir/bench_fig1_idle_cooling.cpp.o"
+  "CMakeFiles/bench_fig1_idle_cooling.dir/bench_fig1_idle_cooling.cpp.o.d"
+  "bench_fig1_idle_cooling"
+  "bench_fig1_idle_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_idle_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

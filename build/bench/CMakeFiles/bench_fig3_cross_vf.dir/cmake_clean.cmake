@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cross_vf.dir/bench_fig3_cross_vf.cpp.o"
+  "CMakeFiles/bench_fig3_cross_vf.dir/bench_fig3_cross_vf.cpp.o.d"
+  "bench_fig3_cross_vf"
+  "bench_fig3_cross_vf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cross_vf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

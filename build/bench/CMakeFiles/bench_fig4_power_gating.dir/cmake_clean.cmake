@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_power_gating.dir/bench_fig4_power_gating.cpp.o"
+  "CMakeFiles/bench_fig4_power_gating.dir/bench_fig4_power_gating.cpp.o.d"
+  "bench_fig4_power_gating"
+  "bench_fig4_power_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_power_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

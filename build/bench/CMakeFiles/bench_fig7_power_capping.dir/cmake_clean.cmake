@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_power_capping.dir/bench_fig7_power_capping.cpp.o"
+  "CMakeFiles/bench_fig7_power_capping.dir/bench_fig7_power_capping.cpp.o.d"
+  "bench_fig7_power_capping"
+  "bench_fig7_power_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_power_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phenom_validation.dir/bench_phenom_validation.cpp.o"
+  "CMakeFiles/bench_phenom_validation.dir/bench_phenom_validation.cpp.o.d"
+  "bench_phenom_validation"
+  "bench_phenom_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phenom_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boost_study.dir/boost_study.cpp.o"
+  "CMakeFiles/boost_study.dir/boost_study.cpp.o.d"
+  "boost_study"
+  "boost_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boost_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

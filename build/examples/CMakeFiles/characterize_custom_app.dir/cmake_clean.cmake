@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_custom_app.dir/characterize_custom_app.cpp.o"
+  "CMakeFiles/characterize_custom_app.dir/characterize_custom_app.cpp.o.d"
+  "characterize_custom_app"
+  "characterize_custom_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_custom_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

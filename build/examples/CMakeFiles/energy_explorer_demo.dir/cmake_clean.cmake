@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_explorer_demo.dir/energy_explorer_demo.cpp.o"
+  "CMakeFiles/energy_explorer_demo.dir/energy_explorer_demo.cpp.o.d"
+  "energy_explorer_demo"
+  "energy_explorer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_explorer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_whatif.dir/nb_whatif.cpp.o"
+  "CMakeFiles/nb_whatif.dir/nb_whatif.cpp.o.d"
+  "nb_whatif"
+  "nb_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

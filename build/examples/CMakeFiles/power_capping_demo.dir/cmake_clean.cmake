@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_capping_demo.dir/power_capping_demo.cpp.o"
+  "CMakeFiles/power_capping_demo.dir/power_capping_demo.cpp.o.d"
+  "power_capping_demo"
+  "power_capping_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_capping_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

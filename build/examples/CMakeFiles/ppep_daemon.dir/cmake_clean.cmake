@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep_daemon.dir/ppep_daemon.cpp.o"
+  "CMakeFiles/ppep_daemon.dir/ppep_daemon.cpp.o.d"
+  "ppep_daemon"
+  "ppep_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

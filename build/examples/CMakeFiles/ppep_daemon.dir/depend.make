@@ -1,0 +1,2 @@
+# Empty dependencies file for ppep_daemon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_cap_demo.dir/thermal_cap_demo.cpp.o"
+  "CMakeFiles/thermal_cap_demo.dir/thermal_cap_demo.cpp.o.d"
+  "thermal_cap_demo"
+  "thermal_cap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_cap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppep/governor/coscale_lite.cpp" "src/ppep/governor/CMakeFiles/ppep_governor.dir/coscale_lite.cpp.o" "gcc" "src/ppep/governor/CMakeFiles/ppep_governor.dir/coscale_lite.cpp.o.d"
+  "/root/repo/src/ppep/governor/energy_explorer.cpp" "src/ppep/governor/CMakeFiles/ppep_governor.dir/energy_explorer.cpp.o" "gcc" "src/ppep/governor/CMakeFiles/ppep_governor.dir/energy_explorer.cpp.o.d"
+  "/root/repo/src/ppep/governor/energy_governor.cpp" "src/ppep/governor/CMakeFiles/ppep_governor.dir/energy_governor.cpp.o" "gcc" "src/ppep/governor/CMakeFiles/ppep_governor.dir/energy_governor.cpp.o.d"
+  "/root/repo/src/ppep/governor/governor.cpp" "src/ppep/governor/CMakeFiles/ppep_governor.dir/governor.cpp.o" "gcc" "src/ppep/governor/CMakeFiles/ppep_governor.dir/governor.cpp.o.d"
+  "/root/repo/src/ppep/governor/iterative_capping.cpp" "src/ppep/governor/CMakeFiles/ppep_governor.dir/iterative_capping.cpp.o" "gcc" "src/ppep/governor/CMakeFiles/ppep_governor.dir/iterative_capping.cpp.o.d"
+  "/root/repo/src/ppep/governor/ppep_capping.cpp" "src/ppep/governor/CMakeFiles/ppep_governor.dir/ppep_capping.cpp.o" "gcc" "src/ppep/governor/CMakeFiles/ppep_governor.dir/ppep_capping.cpp.o.d"
+  "/root/repo/src/ppep/governor/thermal_cap.cpp" "src/ppep/governor/CMakeFiles/ppep_governor.dir/thermal_cap.cpp.o" "gcc" "src/ppep/governor/CMakeFiles/ppep_governor.dir/thermal_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppep/model/CMakeFiles/ppep_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/trace/CMakeFiles/ppep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/sim/CMakeFiles/ppep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/workloads/CMakeFiles/ppep_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/util/CMakeFiles/ppep_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/math/CMakeFiles/ppep_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

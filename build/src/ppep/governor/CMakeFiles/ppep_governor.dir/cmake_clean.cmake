@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep_governor.dir/coscale_lite.cpp.o"
+  "CMakeFiles/ppep_governor.dir/coscale_lite.cpp.o.d"
+  "CMakeFiles/ppep_governor.dir/energy_explorer.cpp.o"
+  "CMakeFiles/ppep_governor.dir/energy_explorer.cpp.o.d"
+  "CMakeFiles/ppep_governor.dir/energy_governor.cpp.o"
+  "CMakeFiles/ppep_governor.dir/energy_governor.cpp.o.d"
+  "CMakeFiles/ppep_governor.dir/governor.cpp.o"
+  "CMakeFiles/ppep_governor.dir/governor.cpp.o.d"
+  "CMakeFiles/ppep_governor.dir/iterative_capping.cpp.o"
+  "CMakeFiles/ppep_governor.dir/iterative_capping.cpp.o.d"
+  "CMakeFiles/ppep_governor.dir/ppep_capping.cpp.o"
+  "CMakeFiles/ppep_governor.dir/ppep_capping.cpp.o.d"
+  "CMakeFiles/ppep_governor.dir/thermal_cap.cpp.o"
+  "CMakeFiles/ppep_governor.dir/thermal_cap.cpp.o.d"
+  "libppep_governor.a"
+  "libppep_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppep/math/kfold.cpp" "src/ppep/math/CMakeFiles/ppep_math.dir/kfold.cpp.o" "gcc" "src/ppep/math/CMakeFiles/ppep_math.dir/kfold.cpp.o.d"
+  "/root/repo/src/ppep/math/least_squares.cpp" "src/ppep/math/CMakeFiles/ppep_math.dir/least_squares.cpp.o" "gcc" "src/ppep/math/CMakeFiles/ppep_math.dir/least_squares.cpp.o.d"
+  "/root/repo/src/ppep/math/matrix.cpp" "src/ppep/math/CMakeFiles/ppep_math.dir/matrix.cpp.o" "gcc" "src/ppep/math/CMakeFiles/ppep_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/ppep/math/polynomial.cpp" "src/ppep/math/CMakeFiles/ppep_math.dir/polynomial.cpp.o" "gcc" "src/ppep/math/CMakeFiles/ppep_math.dir/polynomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppep/util/CMakeFiles/ppep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

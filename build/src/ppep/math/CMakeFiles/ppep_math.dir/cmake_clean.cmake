@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep_math.dir/kfold.cpp.o"
+  "CMakeFiles/ppep_math.dir/kfold.cpp.o.d"
+  "CMakeFiles/ppep_math.dir/least_squares.cpp.o"
+  "CMakeFiles/ppep_math.dir/least_squares.cpp.o.d"
+  "CMakeFiles/ppep_math.dir/matrix.cpp.o"
+  "CMakeFiles/ppep_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/ppep_math.dir/polynomial.cpp.o"
+  "CMakeFiles/ppep_math.dir/polynomial.cpp.o.d"
+  "libppep_math.a"
+  "libppep_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppep/model/chip_power_model.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/chip_power_model.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/chip_power_model.cpp.o.d"
+  "/root/repo/src/ppep/model/cpi_model.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/cpi_model.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/cpi_model.cpp.o.d"
+  "/root/repo/src/ppep/model/dynamic_power_model.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/dynamic_power_model.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/dynamic_power_model.cpp.o.d"
+  "/root/repo/src/ppep/model/event_predictor.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/event_predictor.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/event_predictor.cpp.o.d"
+  "/root/repo/src/ppep/model/green_governors.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/green_governors.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/green_governors.cpp.o.d"
+  "/root/repo/src/ppep/model/idle_power_model.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/idle_power_model.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/idle_power_model.cpp.o.d"
+  "/root/repo/src/ppep/model/per_core_power.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/per_core_power.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/per_core_power.cpp.o.d"
+  "/root/repo/src/ppep/model/pg_idle_model.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/pg_idle_model.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/pg_idle_model.cpp.o.d"
+  "/root/repo/src/ppep/model/ppep.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/ppep.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/ppep.cpp.o.d"
+  "/root/repo/src/ppep/model/serialization.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/serialization.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/serialization.cpp.o.d"
+  "/root/repo/src/ppep/model/thermal_estimator.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/thermal_estimator.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/thermal_estimator.cpp.o.d"
+  "/root/repo/src/ppep/model/trainer.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/trainer.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/trainer.cpp.o.d"
+  "/root/repo/src/ppep/model/validation.cpp" "src/ppep/model/CMakeFiles/ppep_model.dir/validation.cpp.o" "gcc" "src/ppep/model/CMakeFiles/ppep_model.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppep/math/CMakeFiles/ppep_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/sim/CMakeFiles/ppep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/trace/CMakeFiles/ppep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/workloads/CMakeFiles/ppep_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/util/CMakeFiles/ppep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep_model.dir/chip_power_model.cpp.o"
+  "CMakeFiles/ppep_model.dir/chip_power_model.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/cpi_model.cpp.o"
+  "CMakeFiles/ppep_model.dir/cpi_model.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/dynamic_power_model.cpp.o"
+  "CMakeFiles/ppep_model.dir/dynamic_power_model.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/event_predictor.cpp.o"
+  "CMakeFiles/ppep_model.dir/event_predictor.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/green_governors.cpp.o"
+  "CMakeFiles/ppep_model.dir/green_governors.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/idle_power_model.cpp.o"
+  "CMakeFiles/ppep_model.dir/idle_power_model.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/per_core_power.cpp.o"
+  "CMakeFiles/ppep_model.dir/per_core_power.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/pg_idle_model.cpp.o"
+  "CMakeFiles/ppep_model.dir/pg_idle_model.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/ppep.cpp.o"
+  "CMakeFiles/ppep_model.dir/ppep.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/serialization.cpp.o"
+  "CMakeFiles/ppep_model.dir/serialization.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/thermal_estimator.cpp.o"
+  "CMakeFiles/ppep_model.dir/thermal_estimator.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/trainer.cpp.o"
+  "CMakeFiles/ppep_model.dir/trainer.cpp.o.d"
+  "CMakeFiles/ppep_model.dir/validation.cpp.o"
+  "CMakeFiles/ppep_model.dir/validation.cpp.o.d"
+  "libppep_model.a"
+  "libppep_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppep/sim/chip.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/chip.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/chip.cpp.o.d"
+  "/root/repo/src/ppep/sim/chip_config.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/chip_config.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/chip_config.cpp.o.d"
+  "/root/repo/src/ppep/sim/core_model.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/core_model.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/core_model.cpp.o.d"
+  "/root/repo/src/ppep/sim/events.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/events.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/events.cpp.o.d"
+  "/root/repo/src/ppep/sim/hw_power_model.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/hw_power_model.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/hw_power_model.cpp.o.d"
+  "/root/repo/src/ppep/sim/msr.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/msr.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/msr.cpp.o.d"
+  "/root/repo/src/ppep/sim/northbridge.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/northbridge.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/northbridge.cpp.o.d"
+  "/root/repo/src/ppep/sim/phase.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/phase.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/phase.cpp.o.d"
+  "/root/repo/src/ppep/sim/pmc.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/pmc.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/pmc.cpp.o.d"
+  "/root/repo/src/ppep/sim/power_sensor.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/power_sensor.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/power_sensor.cpp.o.d"
+  "/root/repo/src/ppep/sim/thermal_model.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/thermal_model.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/thermal_model.cpp.o.d"
+  "/root/repo/src/ppep/sim/vf_state.cpp" "src/ppep/sim/CMakeFiles/ppep_sim.dir/vf_state.cpp.o" "gcc" "src/ppep/sim/CMakeFiles/ppep_sim.dir/vf_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppep/util/CMakeFiles/ppep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep_sim.dir/chip.cpp.o"
+  "CMakeFiles/ppep_sim.dir/chip.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/chip_config.cpp.o"
+  "CMakeFiles/ppep_sim.dir/chip_config.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/core_model.cpp.o"
+  "CMakeFiles/ppep_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/events.cpp.o"
+  "CMakeFiles/ppep_sim.dir/events.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/hw_power_model.cpp.o"
+  "CMakeFiles/ppep_sim.dir/hw_power_model.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/msr.cpp.o"
+  "CMakeFiles/ppep_sim.dir/msr.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/northbridge.cpp.o"
+  "CMakeFiles/ppep_sim.dir/northbridge.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/phase.cpp.o"
+  "CMakeFiles/ppep_sim.dir/phase.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/pmc.cpp.o"
+  "CMakeFiles/ppep_sim.dir/pmc.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/power_sensor.cpp.o"
+  "CMakeFiles/ppep_sim.dir/power_sensor.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/thermal_model.cpp.o"
+  "CMakeFiles/ppep_sim.dir/thermal_model.cpp.o.d"
+  "CMakeFiles/ppep_sim.dir/vf_state.cpp.o"
+  "CMakeFiles/ppep_sim.dir/vf_state.cpp.o.d"
+  "libppep_sim.a"
+  "libppep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppep/trace/collector.cpp" "src/ppep/trace/CMakeFiles/ppep_trace.dir/collector.cpp.o" "gcc" "src/ppep/trace/CMakeFiles/ppep_trace.dir/collector.cpp.o.d"
+  "/root/repo/src/ppep/trace/export.cpp" "src/ppep/trace/CMakeFiles/ppep_trace.dir/export.cpp.o" "gcc" "src/ppep/trace/CMakeFiles/ppep_trace.dir/export.cpp.o.d"
+  "/root/repo/src/ppep/trace/interval.cpp" "src/ppep/trace/CMakeFiles/ppep_trace.dir/interval.cpp.o" "gcc" "src/ppep/trace/CMakeFiles/ppep_trace.dir/interval.cpp.o.d"
+  "/root/repo/src/ppep/trace/segmenter.cpp" "src/ppep/trace/CMakeFiles/ppep_trace.dir/segmenter.cpp.o" "gcc" "src/ppep/trace/CMakeFiles/ppep_trace.dir/segmenter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppep/sim/CMakeFiles/ppep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/util/CMakeFiles/ppep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

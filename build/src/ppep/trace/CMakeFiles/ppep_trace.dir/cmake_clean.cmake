@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep_trace.dir/collector.cpp.o"
+  "CMakeFiles/ppep_trace.dir/collector.cpp.o.d"
+  "CMakeFiles/ppep_trace.dir/export.cpp.o"
+  "CMakeFiles/ppep_trace.dir/export.cpp.o.d"
+  "CMakeFiles/ppep_trace.dir/interval.cpp.o"
+  "CMakeFiles/ppep_trace.dir/interval.cpp.o.d"
+  "CMakeFiles/ppep_trace.dir/segmenter.cpp.o"
+  "CMakeFiles/ppep_trace.dir/segmenter.cpp.o.d"
+  "libppep_trace.a"
+  "libppep_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

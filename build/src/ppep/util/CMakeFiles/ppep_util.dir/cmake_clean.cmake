@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep_util.dir/csv.cpp.o"
+  "CMakeFiles/ppep_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ppep_util.dir/logging.cpp.o"
+  "CMakeFiles/ppep_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ppep_util.dir/rng.cpp.o"
+  "CMakeFiles/ppep_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ppep_util.dir/stats.cpp.o"
+  "CMakeFiles/ppep_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ppep_util.dir/table.cpp.o"
+  "CMakeFiles/ppep_util.dir/table.cpp.o.d"
+  "libppep_util.a"
+  "libppep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

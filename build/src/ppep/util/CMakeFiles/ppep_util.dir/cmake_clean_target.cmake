@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppep_util.a"
+)

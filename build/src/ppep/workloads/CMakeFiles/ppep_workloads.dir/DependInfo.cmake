@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppep/workloads/builder.cpp" "src/ppep/workloads/CMakeFiles/ppep_workloads.dir/builder.cpp.o" "gcc" "src/ppep/workloads/CMakeFiles/ppep_workloads.dir/builder.cpp.o.d"
+  "/root/repo/src/ppep/workloads/microbench.cpp" "src/ppep/workloads/CMakeFiles/ppep_workloads.dir/microbench.cpp.o" "gcc" "src/ppep/workloads/CMakeFiles/ppep_workloads.dir/microbench.cpp.o.d"
+  "/root/repo/src/ppep/workloads/suite.cpp" "src/ppep/workloads/CMakeFiles/ppep_workloads.dir/suite.cpp.o" "gcc" "src/ppep/workloads/CMakeFiles/ppep_workloads.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppep/sim/CMakeFiles/ppep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/util/CMakeFiles/ppep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

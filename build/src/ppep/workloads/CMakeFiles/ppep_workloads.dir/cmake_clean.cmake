@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep_workloads.dir/builder.cpp.o"
+  "CMakeFiles/ppep_workloads.dir/builder.cpp.o.d"
+  "CMakeFiles/ppep_workloads.dir/microbench.cpp.o"
+  "CMakeFiles/ppep_workloads.dir/microbench.cpp.o.d"
+  "CMakeFiles/ppep_workloads.dir/suite.cpp.o"
+  "CMakeFiles/ppep_workloads.dir/suite.cpp.o.d"
+  "libppep_workloads.a"
+  "libppep_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governor_capping.dir/test_governor_capping.cpp.o"
+  "CMakeFiles/test_governor_capping.dir/test_governor_capping.cpp.o.d"
+  "test_governor_capping"
+  "test_governor_capping.pdb"
+  "test_governor_capping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governor_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governor_coscale.dir/test_governor_coscale.cpp.o"
+  "CMakeFiles/test_governor_coscale.dir/test_governor_coscale.cpp.o.d"
+  "test_governor_coscale"
+  "test_governor_coscale.pdb"
+  "test_governor_coscale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governor_coscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

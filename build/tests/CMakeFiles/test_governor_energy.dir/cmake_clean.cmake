@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governor_energy.dir/test_governor_energy.cpp.o"
+  "CMakeFiles/test_governor_energy.dir/test_governor_energy.cpp.o.d"
+  "test_governor_energy"
+  "test_governor_energy.pdb"
+  "test_governor_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governor_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governor_loop.dir/test_governor_loop.cpp.o"
+  "CMakeFiles/test_governor_loop.dir/test_governor_loop.cpp.o.d"
+  "test_governor_loop"
+  "test_governor_loop.pdb"
+  "test_governor_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governor_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

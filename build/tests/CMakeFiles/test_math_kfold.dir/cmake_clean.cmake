@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_kfold.dir/test_math_kfold.cpp.o"
+  "CMakeFiles/test_math_kfold.dir/test_math_kfold.cpp.o.d"
+  "test_math_kfold"
+  "test_math_kfold.pdb"
+  "test_math_kfold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_kfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_math_least_squares.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_matrix.dir/test_math_matrix.cpp.o"
+  "CMakeFiles/test_math_matrix.dir/test_math_matrix.cpp.o.d"
+  "test_math_matrix"
+  "test_math_matrix.pdb"
+  "test_math_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_polynomial.dir/test_math_polynomial.cpp.o"
+  "CMakeFiles/test_math_polynomial.dir/test_math_polynomial.cpp.o.d"
+  "test_math_polynomial"
+  "test_math_polynomial.pdb"
+  "test_math_polynomial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_polynomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

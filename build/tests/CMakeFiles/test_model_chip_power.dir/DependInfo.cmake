@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_model_chip_power.cpp" "tests/CMakeFiles/test_model_chip_power.dir/test_model_chip_power.cpp.o" "gcc" "tests/CMakeFiles/test_model_chip_power.dir/test_model_chip_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppep/governor/CMakeFiles/ppep_governor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/model/CMakeFiles/ppep_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/trace/CMakeFiles/ppep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/workloads/CMakeFiles/ppep_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/sim/CMakeFiles/ppep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/math/CMakeFiles/ppep_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppep/util/CMakeFiles/ppep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

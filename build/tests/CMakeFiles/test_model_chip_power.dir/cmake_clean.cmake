@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_chip_power.dir/test_model_chip_power.cpp.o"
+  "CMakeFiles/test_model_chip_power.dir/test_model_chip_power.cpp.o.d"
+  "test_model_chip_power"
+  "test_model_chip_power.pdb"
+  "test_model_chip_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_chip_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

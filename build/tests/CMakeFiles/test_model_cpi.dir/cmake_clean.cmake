@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_cpi.dir/test_model_cpi.cpp.o"
+  "CMakeFiles/test_model_cpi.dir/test_model_cpi.cpp.o.d"
+  "test_model_cpi"
+  "test_model_cpi.pdb"
+  "test_model_cpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

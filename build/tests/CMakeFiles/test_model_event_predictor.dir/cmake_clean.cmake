@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_event_predictor.dir/test_model_event_predictor.cpp.o"
+  "CMakeFiles/test_model_event_predictor.dir/test_model_event_predictor.cpp.o.d"
+  "test_model_event_predictor"
+  "test_model_event_predictor.pdb"
+  "test_model_event_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_event_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

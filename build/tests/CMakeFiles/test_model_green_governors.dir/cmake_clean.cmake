@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_green_governors.dir/test_model_green_governors.cpp.o"
+  "CMakeFiles/test_model_green_governors.dir/test_model_green_governors.cpp.o.d"
+  "test_model_green_governors"
+  "test_model_green_governors.pdb"
+  "test_model_green_governors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_green_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

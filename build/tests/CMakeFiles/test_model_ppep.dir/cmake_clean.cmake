@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_ppep.dir/test_model_ppep.cpp.o"
+  "CMakeFiles/test_model_ppep.dir/test_model_ppep.cpp.o.d"
+  "test_model_ppep"
+  "test_model_ppep.pdb"
+  "test_model_ppep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_ppep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_serialization.dir/test_model_serialization.cpp.o"
+  "CMakeFiles/test_model_serialization.dir/test_model_serialization.cpp.o.d"
+  "test_model_serialization"
+  "test_model_serialization.pdb"
+  "test_model_serialization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

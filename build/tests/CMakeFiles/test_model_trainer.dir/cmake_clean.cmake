@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_trainer.dir/test_model_trainer.cpp.o"
+  "CMakeFiles/test_model_trainer.dir/test_model_trainer.cpp.o.d"
+  "test_model_trainer"
+  "test_model_trainer.pdb"
+  "test_model_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_validation_unit.dir/test_model_validation_unit.cpp.o"
+  "CMakeFiles/test_model_validation_unit.dir/test_model_validation_unit.cpp.o.d"
+  "test_model_validation_unit"
+  "test_model_validation_unit.pdb"
+  "test_model_validation_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_validation_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

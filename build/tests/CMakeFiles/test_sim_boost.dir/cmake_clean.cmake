@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_boost.dir/test_sim_boost.cpp.o"
+  "CMakeFiles/test_sim_boost.dir/test_sim_boost.cpp.o.d"
+  "test_sim_boost"
+  "test_sim_boost.pdb"
+  "test_sim_boost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_chip.dir/test_sim_chip.cpp.o"
+  "CMakeFiles/test_sim_chip.dir/test_sim_chip.cpp.o.d"
+  "test_sim_chip"
+  "test_sim_chip.pdb"
+  "test_sim_chip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_hw_power.dir/test_sim_hw_power.cpp.o"
+  "CMakeFiles/test_sim_hw_power.dir/test_sim_hw_power.cpp.o.d"
+  "test_sim_hw_power"
+  "test_sim_hw_power.pdb"
+  "test_sim_hw_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_hw_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_msr.dir/test_sim_msr.cpp.o"
+  "CMakeFiles/test_sim_msr.dir/test_sim_msr.cpp.o.d"
+  "test_sim_msr"
+  "test_sim_msr.pdb"
+  "test_sim_msr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

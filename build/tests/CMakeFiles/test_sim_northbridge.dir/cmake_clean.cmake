@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_northbridge.dir/test_sim_northbridge.cpp.o"
+  "CMakeFiles/test_sim_northbridge.dir/test_sim_northbridge.cpp.o.d"
+  "test_sim_northbridge"
+  "test_sim_northbridge.pdb"
+  "test_sim_northbridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_northbridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_phase_job.dir/test_sim_phase_job.cpp.o"
+  "CMakeFiles/test_sim_phase_job.dir/test_sim_phase_job.cpp.o.d"
+  "test_sim_phase_job"
+  "test_sim_phase_job.pdb"
+  "test_sim_phase_job[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_phase_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_pmc.dir/test_sim_pmc.cpp.o"
+  "CMakeFiles/test_sim_pmc.dir/test_sim_pmc.cpp.o.d"
+  "test_sim_pmc"
+  "test_sim_pmc.pdb"
+  "test_sim_pmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_pmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_thermal.dir/test_sim_thermal.cpp.o"
+  "CMakeFiles/test_sim_thermal.dir/test_sim_thermal.cpp.o.d"
+  "test_sim_thermal"
+  "test_sim_thermal.pdb"
+  "test_sim_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_vf_events.dir/test_sim_vf_events.cpp.o"
+  "CMakeFiles/test_sim_vf_events.dir/test_sim_vf_events.cpp.o.d"
+  "test_sim_vf_events"
+  "test_sim_vf_events.pdb"
+  "test_sim_vf_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_vf_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_management.dir/test_thermal_management.cpp.o"
+  "CMakeFiles/test_thermal_management.dir/test_thermal_management.cpp.o.d"
+  "test_thermal_management"
+  "test_thermal_management.pdb"
+  "test_thermal_management[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_builder.dir/test_workloads_builder.cpp.o"
+  "CMakeFiles/test_workloads_builder.dir/test_workloads_builder.cpp.o.d"
+  "test_workloads_builder"
+  "test_workloads_builder.pdb"
+  "test_workloads_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_plausibility.dir/test_workloads_plausibility.cpp.o"
+  "CMakeFiles/test_workloads_plausibility.dir/test_workloads_plausibility.cpp.o.d"
+  "test_workloads_plausibility"
+  "test_workloads_plausibility.pdb"
+  "test_workloads_plausibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_plausibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppep.dir/ppep_cli.cpp.o"
+  "CMakeFiles/ppep.dir/ppep_cli.cpp.o.d"
+  "ppep"
+  "ppep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppep.
+# This may be replaced when dependencies are built.
