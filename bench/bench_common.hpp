@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ppep/model/trainer.hpp"
+#include "ppep/runtime/model_store.hpp"
 #include "ppep/util/table.hpp"
 #include "ppep/workloads/suite.hpp"
 
@@ -57,12 +58,22 @@ singleProgramCombos()
     return out;
 }
 
-/** Train the full model stack once for a Sec. V style bench. */
+/**
+ * The full model stack for a Sec. V style bench: trained once, then
+ * served from the ModelStore cache on every later bench run (loading
+ * reproduces the trained coefficients bit for bit).
+ */
 inline model::TrainedModels
 trainModels(const sim::ChipConfig &cfg)
 {
-    model::Trainer trainer(cfg, kSeed);
-    return trainer.trainAll(singleProgramCombos());
+    runtime::ModelStore store;
+    bool cached = false;
+    auto models =
+        store.trainOrLoad(cfg, kSeed, singleProgramCombos(), &cached);
+    if (cached)
+        std::printf("(PPEP models loaded from %s)\n",
+                    store.cacheDir().c_str());
+    return models;
 }
 
 } // namespace ppep::bench

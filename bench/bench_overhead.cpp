@@ -64,6 +64,20 @@ BM_FullExploration(benchmark::State &state)
 BENCHMARK(BM_FullExploration);
 
 void
+BM_FullExplorationReused(benchmark::State &state)
+{
+    // The governor's steady-state path: exploreInto() with a reused
+    // buffer performs no heap allocation after the first interval.
+    const auto &ctx = Context::get();
+    std::vector<model::VfPrediction> preds;
+    for (auto _ : state) {
+        ctx.ppep.exploreInto(ctx.rec, preds);
+        benchmark::DoNotOptimize(preds);
+    }
+}
+BENCHMARK(BM_FullExplorationReused);
+
+void
 BM_SingleVfPrediction(benchmark::State &state)
 {
     const auto &ctx = Context::get();

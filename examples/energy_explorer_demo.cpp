@@ -15,7 +15,8 @@
 #include <string>
 
 #include "ppep/governor/energy_explorer.hpp"
-#include "ppep/model/trainer.hpp"
+#include "ppep/model/ppep.hpp"
+#include "ppep/runtime/model_store.hpp"
 #include "ppep/util/table.hpp"
 #include "ppep/workloads/suite.hpp"
 
@@ -35,13 +36,17 @@ main(int argc, char **argv)
     }
 
     const auto cfg = sim::fx8320Config();
-    std::printf("Training PPEP models (one-time offline step)...\n");
-    model::Trainer trainer(cfg, 42);
     std::vector<const workloads::Combination *> training;
     for (const auto &c : workloads::allCombinations())
         if (c.instances.size() == 1)
             training.push_back(&c);
-    const auto models = trainer.trainAll(training);
+    runtime::ModelStore store;
+    bool cached = false;
+    const auto models = store.trainOrLoad(cfg, 42, training, &cached);
+    std::printf(cached
+                    ? "Loaded cached PPEP models.\n"
+                    : "Trained PPEP models (one-time offline step, now "
+                      "cached).\n");
     const model::Ppep ppep(cfg, models.chip, models.pg);
 
     const governor::EnergyExplorer explorer(cfg, ppep, 7);

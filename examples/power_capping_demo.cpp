@@ -7,6 +7,11 @@
  * one-step governor and the classic reactive governor, and prints the
  * control traces and responsiveness metrics.
  *
+ * Both runs go through runtime::Session: the predictive side pulls its
+ * models from the ModelStore cache and builds its governor from a
+ * factory; the reactive side plugs in an external model-free policy.
+ * SummarySinks collect the responsiveness metrics as the runs stream.
+ *
  * Usage: power_capping_demo [high_cap_w] [low_cap_w]
  */
 
@@ -16,28 +21,10 @@
 
 #include "ppep/governor/governor.hpp"
 #include "ppep/governor/iterative_capping.hpp"
-#include "ppep/governor/ppep_capping.hpp"
-#include "ppep/model/ppep.hpp"
-#include "ppep/model/trainer.hpp"
+#include "ppep/runtime/model_store.hpp"
+#include "ppep/runtime/session.hpp"
+#include "ppep/runtime/telemetry.hpp"
 #include "ppep/util/table.hpp"
-#include "ppep/workloads/suite.hpp"
-
-namespace {
-
-ppep::sim::Chip
-makeLoadedChip(const ppep::sim::ChipConfig &cfg)
-{
-    using ppep::workloads::Suite;
-    ppep::sim::Chip chip(cfg, 99);
-    chip.setPowerGatingEnabled(true);
-    chip.setJob(0, Suite::byName("429.mcf").makeLoopingJob());
-    chip.setJob(2, Suite::byName("458.sjeng").makeLoopingJob());
-    chip.setJob(4, Suite::byName("416.gamess").makeLoopingJob());
-    chip.setJob(6, Suite::byName("swaptions").makeLoopingJob());
-    return chip;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -50,30 +37,42 @@ main(int argc, char **argv)
     auto cfg = sim::fx8320Config();
     cfg.per_cu_voltage = true;
 
-    std::printf("Training PPEP models (one-time offline step)...\n");
-    model::Trainer trainer(cfg, 42);
-    std::vector<const workloads::Combination *> training;
-    for (const auto &c : workloads::allCombinations())
-        if (c.instances.size() == 1)
-            training.push_back(&c);
-    const auto models = trainer.trainAll(training);
-    const model::Ppep ppep(cfg, models.chip, models.pg);
-
+    const std::vector<std::string> mix = {"429.mcf", "458.sjeng",
+                                          "416.gamess", "swaptions"};
     const governor::CapSchedule swing({{0, high},
                                        {40, low},
                                        {100, high},
                                        {160, low}});
     const std::size_t intervals = 220;
 
-    governor::PpepCappingGovernor one_step(cfg, ppep);
-    auto chip_p = makeLoadedChip(cfg);
-    governor::GovernorLoop loop_p(chip_p, one_step);
-    const auto steps_p = loop_p.run(intervals, swing);
+    std::printf("Acquiring PPEP models (trains on first run, cached "
+                "after)...\n");
+    runtime::ModelStore store;
+
+    runtime::SummarySink summary_p;
+    auto session_p = runtime::Session::builder(cfg)
+                         .seed(99)
+                         .pg(true)
+                         .onePerCu(mix)
+                         .trainingSeed(42)
+                         .store(store)
+                         .governor(runtime::cappingGovernor())
+                         .schedule(swing)
+                         .sink(summary_p)
+                         .build();
+    const auto steps_p = session_p.run(intervals);
 
     governor::IterativeCappingGovernor reactive(cfg);
-    auto chip_i = makeLoadedChip(cfg);
-    governor::GovernorLoop loop_i(chip_i, reactive);
-    const auto steps_i = loop_i.run(intervals, swing);
+    runtime::SummarySink summary_i;
+    auto session_i = runtime::Session::builder(cfg)
+                         .seed(99)
+                         .pg(true)
+                         .onePerCu(mix)
+                         .governor(reactive)
+                         .schedule(swing)
+                         .sink(summary_i)
+                         .build();
+    const auto steps_i = session_i.run(intervals);
 
     util::Table trace("Control trace around the cap drop at t = 8.0 s "
                       "(interval 40):");
@@ -95,16 +94,18 @@ main(int argc, char **argv)
     }
     trace.print(std::cout);
 
+    const auto sp = summary_p.summary();
+    const auto si = summary_i.summary();
     util::Table summary("\nResponsiveness:");
-    summary.setHeader({"policy", "mean settle (s)", "cap adherence"});
+    summary.setHeader({"policy", "mean settle (s)", "cap adherence",
+                       "power MAE (W)"});
     summary.addRow({"PPEP one-step",
-                    util::Table::num(
-                        governor::meanSettleIntervals(steps_p) * 0.2, 2),
-                    util::Table::pct(governor::capAdherence(steps_p))});
+                    util::Table::num(sp.mean_settle_intervals * 0.2, 2),
+                    util::Table::pct(sp.cap_adherence),
+                    util::Table::num(sp.power_mae_w, 2)});
     summary.addRow({"simple reactive",
-                    util::Table::num(
-                        governor::meanSettleIntervals(steps_i) * 0.2, 2),
-                    util::Table::pct(governor::capAdherence(steps_i))});
+                    util::Table::num(si.mean_settle_intervals * 0.2, 2),
+                    util::Table::pct(si.cap_adherence), "-"});
     summary.print(std::cout);
     return 0;
 }

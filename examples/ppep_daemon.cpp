@@ -5,18 +5,27 @@
  * decision as it happens — counters in, PPE predictions out, VF state
  * actuated, all in a single step per interval.
  *
+ * Built on the runtime layer: models come through the ModelStore cache
+ * (first run trains and persists; later runs load and skip the offline
+ * step entirely — with bit-identical decisions, since the model file
+ * round-trips every coefficient exactly), and per-interval telemetry
+ * streams through TelemetrySinks.
+ *
  * Usage: ppep_daemon [intervals] [benchmark...]
  *        (default: 40 intervals of 433.milc + 458.sjeng + CG + EP)
+ * Env:   PPEP_CACHE_DIR    model cache directory (default .ppep-cache)
+ *        PPEP_DAEMON_JSONL write per-interval JSONL telemetry here
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "ppep/governor/energy_governor.hpp"
-#include "ppep/governor/governor.hpp"
-#include "ppep/model/trainer.hpp"
+#include "ppep/runtime/model_store.hpp"
+#include "ppep/runtime/session.hpp"
+#include "ppep/runtime/telemetry.hpp"
 #include "ppep/util/table.hpp"
 #include "ppep/workloads/suite.hpp"
 
@@ -39,29 +48,34 @@ main(int argc, char **argv)
     }
 
     const auto cfg = sim::fx8320Config();
-    std::printf("Training PPEP models (one-time offline step)...\n");
-    model::Trainer trainer(cfg, 42);
-    std::vector<const workloads::Combination *> training;
-    for (const auto &c : workloads::allCombinations())
-        if (c.instances.size() == 1)
-            training.push_back(&c);
-    const auto models = trainer.trainAll(training);
-    const model::Ppep ppep(cfg, models.chip, models.pg);
+    runtime::ModelStore store;
 
-    // One program per CU, looping, PG on.
-    sim::Chip chip(cfg, 123);
-    chip.setPowerGatingEnabled(true);
-    for (std::size_t i = 0; i < programs.size() && i < cfg.n_cus; ++i) {
-        chip.setJob(i * cfg.cores_per_cu,
-                    workloads::Suite::byName(programs[i])
-                        .makeLoopingJob());
-    }
+    runtime::SummarySink summary;
+    std::unique_ptr<runtime::JsonlSink> jsonl;
+    if (const char *path = std::getenv("PPEP_DAEMON_JSONL");
+        path && *path)
+        jsonl = std::make_unique<runtime::JsonlSink>(std::string(path));
 
-    governor::EnergyOptimalGovernor gov(cfg, ppep,
-                                        governor::EnergyObjective::Edp);
-    governor::GovernorLoop loop(chip, gov);
-    const auto steps =
-        loop.run(intervals, governor::CapSchedule::unlimited());
+    auto builder = runtime::Session::builder(cfg)
+                       .seed(123)
+                       .pg(true)
+                       .onePerCu(programs)
+                       .trainingSeed(42)
+                       .store(store)
+                       .governor(runtime::edpGovernor())
+                       .sink(summary);
+    if (jsonl)
+        builder.sink(*jsonl);
+    auto session = builder.build();
+
+    std::printf(session.modelsWereCached()
+                    ? "Loaded cached PPEP models from %s (offline "
+                      "training skipped).\n"
+                    : "Trained PPEP models (one-time offline step; "
+                      "cached in %s).\n",
+                store.cacheDir().c_str());
+
+    const auto steps = session.run(intervals);
 
     util::Table table("PPEP daemon trace (EDP-optimal policy, 200 ms "
                       "decisions):");
@@ -80,6 +94,9 @@ main(int argc, char **argv)
                       util::Table::num(mips, 0)});
     }
     table.print(std::cout);
+
+    std::printf("\n");
+    summary.print(std::cout);
 
     std::printf("\nSettled VF state: %s (EDP-optimal for this mix, "
                 "found in one prediction step)\n",

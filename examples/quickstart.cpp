@@ -13,7 +13,7 @@
 #include <string>
 
 #include "ppep/model/ppep.hpp"
-#include "ppep/model/trainer.hpp"
+#include "ppep/runtime/model_store.hpp"
 #include "ppep/sim/chip.hpp"
 #include "ppep/trace/collector.hpp"
 #include "ppep/util/table.hpp"
@@ -32,16 +32,21 @@ main(int argc, char **argv)
     std::printf("Platform: %s\n", cfg.name.c_str());
 
     // 1. One-time offline training (idle model, alpha, PG sweep, Eq. 3
-    //    regression on a handful of training combinations).
-    std::printf("Training PPEP models...\n");
-    ppep::model::Trainer trainer(cfg, /*seed=*/42);
+    //    regression on a handful of training combinations). The
+    //    ModelStore caches the result on disk, so only the very first
+    //    quickstart run pays for it.
     std::vector<const ppep::workloads::Combination *> training;
     for (const auto &c : ppep::workloads::allCombinations()) {
         // A small, diverse training set keeps the quickstart fast.
         if (c.instances.size() == 1 && training.size() < 12)
             training.push_back(&c);
     }
-    const ppep::model::TrainedModels models = trainer.trainAll(training);
+    ppep::runtime::ModelStore store;
+    bool cached = false;
+    const ppep::model::TrainedModels models =
+        store.trainOrLoad(cfg, /*seed=*/42, training, &cached);
+    std::printf(cached ? "Loaded cached PPEP models.\n"
+                       : "Trained PPEP models (now cached).\n");
     std::printf("  alpha = %.2f\n", models.alpha);
 
     // 2. Run the chosen workload at the top VF state and grab one

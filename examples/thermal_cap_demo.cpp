@@ -6,6 +6,10 @@
  * state's steady-state temperature — no reactive throttling, no
  * overshoot.
  *
+ * The run is assembled through runtime::Session; the governor factory
+ * shows how a policy with extra training needs (the thermal-network
+ * fit) plugs into the runtime layer.
+ *
  * Usage: thermal_cap_demo [temp_cap_k] [intervals]
  */
 
@@ -16,8 +20,9 @@
 #include "ppep/governor/thermal_cap.hpp"
 #include "ppep/model/thermal_estimator.hpp"
 #include "ppep/model/trainer.hpp"
+#include "ppep/runtime/model_store.hpp"
+#include "ppep/runtime/session.hpp"
 #include "ppep/util/table.hpp"
-#include "ppep/workloads/suite.hpp"
 
 int
 main(int argc, char **argv)
@@ -28,15 +33,32 @@ main(int argc, char **argv)
         argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 120;
 
     const auto cfg = sim::fx8320Config();
-    std::printf("Training PPEP models + fitting the thermal "
+    std::printf("Acquiring PPEP models + fitting the thermal "
                 "network...\n");
-    model::Trainer trainer(cfg, 42);
-    std::vector<const workloads::Combination *> training;
-    for (const auto &c : workloads::allCombinations())
-        if (c.instances.size() == 1)
-            training.push_back(&c);
-    const auto models = trainer.trainAll(training);
-    const auto thermal = model::ThermalEstimator::estimate(trainer);
+
+    model::ThermalEstimate thermal{};
+    auto factory = [&](const runtime::ModelContext &ctx) {
+        // The thermal fit reuses the idle-training heat/cool protocol,
+        // so it needs a Trainer seeded like the one that produced the
+        // models.
+        model::Trainer trainer(ctx.cfg, ctx.training_seed);
+        thermal = model::ThermalEstimator::estimate(trainer);
+        return std::make_unique<governor::ThermalCapGovernor>(
+            ctx.cfg, ctx.ppep, thermal, cap_k);
+    };
+
+    using Session = runtime::Session;
+    std::vector<Session::JobSpec> jobs;
+    for (std::size_t c = 0; c < cfg.coreCount(); ++c)
+        jobs.push_back({c, "EP", true});
+
+    auto session = Session::builder(cfg)
+                       .seed(55)
+                       .trainingSeed(42)
+                       .store(runtime::ModelStore())
+                       .jobs(jobs)
+                       .governor(factory)
+                       .build();
 
     std::printf("fitted: ambient %.1f K, R %.3f K/W, tau %.1f s\n",
                 thermal.ambient_k, thermal.resistance_k_per_w,
@@ -45,15 +67,7 @@ main(int argc, char **argv)
                 "%.1f W\n\n",
                 cap_k, thermal.powerBudgetFor(cap_k));
 
-    const model::Ppep ppep(cfg, models.chip, models.pg);
-    governor::ThermalCapGovernor gov(cfg, ppep, thermal, cap_k);
-
-    sim::Chip chip(cfg, 55);
-    for (std::size_t c = 0; c < cfg.coreCount(); ++c)
-        chip.setJob(c, workloads::Suite::byName("EP").makeLoopingJob());
-    governor::GovernorLoop loop(chip, gov);
-    const auto steps =
-        loop.run(intervals, governor::CapSchedule::unlimited());
+    const auto steps = session.run(intervals);
 
     util::Table trace("Managed full-chip load (one row per second):");
     trace.setHeader({"t (s)", "VF", "power (W)", "diode (K)"});

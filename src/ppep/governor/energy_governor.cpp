@@ -23,7 +23,8 @@ std::vector<std::size_t>
 EnergyOptimalGovernor::decide(const trace::IntervalRecord &rec,
                               double cap_w)
 {
-    const auto predictions = ppep_.explore(rec);
+    ppep_.exploreInto(rec, preds_);
+    const auto &predictions = preds_;
 
     std::size_t best = last_choice_;
     double best_score = std::numeric_limits<double>::max();
@@ -59,6 +60,7 @@ EnergyOptimalGovernor::decide(const trace::IntervalRecord &rec,
         best = min_power_vf;
     }
     last_choice_ = best;
+    last_predicted_power_w_ = predictions[best].chip_power_w;
     return std::vector<std::size_t>(cfg_.n_cus, best);
 }
 

@@ -40,11 +40,26 @@ class EnergyOptimalGovernor : public Governor
     /** The VF the policy chose most recently. */
     std::size_t lastChoice() const { return last_choice_; }
 
+    const std::vector<model::VfPrediction> *
+    lastExploration() const override
+    {
+        return preds_.empty() ? nullptr : &preds_;
+    }
+
+    double lastPredictedPower() const override
+    {
+        return last_predicted_power_w_;
+    }
+
   private:
     const sim::ChipConfig &cfg_;
     const model::Ppep &ppep_;
     EnergyObjective objective_;
     std::size_t last_choice_;
+    /** Exploration buffer reused every interval (no per-decision heap). */
+    std::vector<model::VfPrediction> preds_;
+    double last_predicted_power_w_ =
+        std::numeric_limits<double>::quiet_NaN();
 };
 
 } // namespace ppep::governor

@@ -1,5 +1,7 @@
 #include "ppep/governor/governor.hpp"
 
+#include <chrono>
+
 #include "ppep/util/logging.hpp"
 
 namespace ppep::governor {
@@ -45,8 +47,10 @@ GovernorLoop::GovernorLoop(sim::Chip &chip, Governor &policy)
 }
 
 std::vector<GovernorStep>
-GovernorLoop::run(std::size_t intervals, const CapSchedule &schedule)
+GovernorLoop::run(std::size_t intervals, const CapSchedule &schedule,
+                  const StepObserver &observer)
 {
+    using clock = std::chrono::steady_clock;
     trace::Collector col(chip_);
     std::vector<GovernorStep> out;
     out.reserve(intervals);
@@ -61,6 +65,7 @@ GovernorLoop::run(std::size_t intervals, const CapSchedule &schedule)
         // cap change in the very next decision, just like the paper's
         // Fig. 7 experiment.
         const double next_cap = schedule.capAt(i + 1);
+        const auto t0 = clock::now();
         const auto next_vf = policy_.decide(step.rec, next_cap);
         PPEP_ASSERT(next_vf.size() == chip_.config().n_cus,
                     "policy returned wrong CU count");
@@ -68,7 +73,11 @@ GovernorLoop::run(std::size_t intervals, const CapSchedule &schedule)
             chip_.setCuVf(cu, next_vf[cu]);
         if (const auto nb = policy_.decideNb())
             chip_.setNbVf(*nb);
+        const double latency_s =
+            std::chrono::duration<double>(clock::now() - t0).count();
         out.push_back(std::move(step));
+        if (observer)
+            observer(out.back(), latency_s);
     }
     return out;
 }

@@ -12,10 +12,13 @@
 #ifndef PPEP_GOVERNOR_GOVERNOR_HPP
 #define PPEP_GOVERNOR_GOVERNOR_HPP
 
+#include <cmath>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
 
+#include "ppep/model/ppep.hpp"
 #include "ppep/sim/chip.hpp"
 #include "ppep/trace/collector.hpp"
 
@@ -73,6 +76,29 @@ class Governor
     {
         return std::nullopt;
     }
+
+    // --- telemetry hooks (ppep::runtime) ---------------------------------
+
+    /**
+     * The per-VF exploration computed during the most recent decide(),
+     * if this is a PPEP-based global-DVFS policy; nullptr otherwise.
+     * Valid until the next decide(). Consumed by telemetry sinks.
+     */
+    virtual const std::vector<model::VfPrediction> *
+    lastExploration() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Chip power this policy predicts for the interval its most recent
+     * decision will govern; NaN when the policy does not predict power.
+     */
+    virtual double
+    lastPredictedPower() const
+    {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
 };
 
 /** One step of a governed run. */
@@ -87,11 +113,22 @@ struct GovernorStep
 class GovernorLoop
 {
   public:
+    /**
+     * Per-step observer: invoked once per completed interval with the
+     * finished step and the wall-clock cost of the decide()/decideNb()
+     * call that followed it. ppep::runtime::Session uses this to drive
+     * its telemetry sinks without duplicating the cycle.
+     */
+    using StepObserver =
+        std::function<void(const GovernorStep &step,
+                           double decision_latency_s)>;
+
     GovernorLoop(sim::Chip &chip, Governor &policy);
 
     /** Run @p intervals intervals under @p schedule. */
     std::vector<GovernorStep> run(std::size_t intervals,
-                                  const CapSchedule &schedule);
+                                  const CapSchedule &schedule,
+                                  const StepObserver &observer = nullptr);
 
   private:
     sim::Chip &chip_;

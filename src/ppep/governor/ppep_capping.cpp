@@ -24,12 +24,22 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
     const std::size_t n_cores = cfg_.coreCount();
     const auto &dyn_model = ppep_.powerModel().dynamicModel();
     const double v_train = dyn_model.trainingVoltage();
-    const double alpha = dyn_model.alpha();
+
+    // Rail voltage scale factors depend only on the VF table, not on the
+    // interval — compute each (v/v_train)^alpha once, not once per
+    // assignment per core (the odometer loop below visits n_vf^n_cus
+    // assignments).
+    std::vector<double> vscale_by_vf(n_vf);
+    for (std::size_t vf = 0; vf < n_vf; ++vf)
+        vscale_by_vf[vf] =
+            dyn_model.voltageScale(cfg_.vf_table.state(vf).voltage);
 
     // Precompute, per core and per VF: predicted ips, the core-event
     // dynamic power at the *training* voltage (so any rail voltage is a
     // cheap (v/v_train)^alpha rescale), and the NB-proxy part (never
-    // voltage scaled).
+    // voltage scaled). The frequency-independent observation (Eq. 1
+    // inputs, Obs. 2 gap, busy fraction) is extracted once per core and
+    // shared across the VF sweep.
     std::vector<std::vector<double>> ips(n_cores,
                                          std::vector<double>(n_vf, 0.0));
     std::vector<std::vector<double>> core_base(
@@ -41,11 +51,13 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
         const std::size_t cu = c / cfg_.cores_per_cu;
         const double f_now =
             cfg_.vf_table.state(rec.cu_vf[cu]).freq_ghz;
+        const auto obs = model::EventPredictor::observe(
+            rec.pmc[c], rec.duration_s, f_now);
         bool busy = false;
         for (std::size_t vf = 0; vf < n_vf; ++vf) {
             const sim::VfState &target = cfg_.vf_table.state(vf);
-            const auto pred = model::EventPredictor::predict(
-                rec.pmc[c], rec.duration_s, f_now, target.freq_ghz);
+            const auto pred =
+                model::EventPredictor::predictAt(obs, target.freq_ghz);
             ips[c][vf] = pred.rates_per_s[sim::eventIndex(
                 sim::Event::RetiredInst)];
             std::array<double, sim::kNumPowerEvents> rates{};
@@ -72,7 +84,10 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
     // damage of ignoring this).
     std::vector<std::size_t> best(cfg_.n_cus, 0);
     double best_ips = -1.0;
+    double best_power = std::numeric_limits<double>::quiet_NaN();
+    double all_lowest_power = std::numeric_limits<double>::quiet_NaN();
     std::vector<std::size_t> assign(cfg_.n_cus, 0);
+    bool first_assignment = true;
     while (true) {
         // Rail resolution: per-CU planes use each CU's own voltage;
         // a shared rail pins everyone to the highest requested state.
@@ -88,12 +103,8 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
         for (std::size_t c = 0; c < n_cores; ++c) {
             const std::size_t cu = c / cfg_.cores_per_cu;
             const std::size_t vf = assign[cu];
-            const double voltage =
-                cfg_.per_cu_voltage
-                    ? cfg_.vf_table.state(vf).voltage
-                    : cfg_.vf_table.state(max_idx).voltage;
             const double vscale =
-                std::pow(voltage / v_train, alpha);
+                vscale_by_vf[cfg_.per_cu_voltage ? vf : max_idx];
             total_dyn += core_base[c][vf] * vscale + nb_part[c][vf];
             total_ips += ips[c][vf];
         }
@@ -112,9 +123,16 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
         }
 
         const double power = idle + total_dyn;
+        if (first_assignment) {
+            // Odometer starts at the all-lowest assignment — remember its
+            // power as the prediction behind the infeasible-cap fallback.
+            all_lowest_power = power;
+            first_assignment = false;
+        }
         if (power <= budget && total_ips > best_ips) {
             best_ips = total_ips;
             best = assign;
+            best_power = power;
         }
 
         // Next assignment (odometer increment).
@@ -128,6 +146,8 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
         if (pos == cfg_.n_cus)
             break;
     }
+    last_predicted_power_w_ =
+        best_ips >= 0.0 ? best_power : all_lowest_power;
     return best;
 }
 

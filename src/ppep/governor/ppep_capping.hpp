@@ -38,10 +38,17 @@ class PpepCappingGovernor : public Governor
 
     std::string name() const override { return "ppep-one-step"; }
 
+    double lastPredictedPower() const override
+    {
+        return last_predicted_power_w_;
+    }
+
   private:
     const sim::ChipConfig &cfg_;
     const model::Ppep &ppep_;
     double guard_band_;
+    double last_predicted_power_w_ =
+        std::numeric_limits<double>::quiet_NaN();
 };
 
 } // namespace ppep::governor

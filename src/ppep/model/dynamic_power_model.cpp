@@ -73,14 +73,38 @@ DynamicPowerModel::estimateFromRates(const sim::EventVector &rates_per_s,
     return estimate(rates, voltage);
 }
 
+double
+DynamicPowerModel::voltageScale(double voltage) const
+{
+    PPEP_ASSERT(trained_, "dynamic power model not trained");
+    PPEP_ASSERT(voltage > 0.0, "non-positive voltage");
+    return std::pow(voltage / v_train_, alpha_);
+}
+
 void
 DynamicPowerModel::split(
     const std::array<double, sim::kNumPowerEvents> &rates_per_s,
     double voltage, double &core_w, double &nb_w) const
 {
+    splitScaled(rates_per_s, voltageScale(voltage), core_w, nb_w);
+}
+
+double
+DynamicPowerModel::estimateScaled(
+    const std::array<double, sim::kNumPowerEvents> &rates_per_s,
+    double vscale) const
+{
+    double core_w = 0.0, nb_w = 0.0;
+    splitScaled(rates_per_s, vscale, core_w, nb_w);
+    return core_w + nb_w;
+}
+
+void
+DynamicPowerModel::splitScaled(
+    const std::array<double, sim::kNumPowerEvents> &rates_per_s,
+    double vscale, double &core_w, double &nb_w) const
+{
     PPEP_ASSERT(trained_, "dynamic power model not trained");
-    PPEP_ASSERT(voltage > 0.0, "non-positive voltage");
-    const double vscale = std::pow(voltage / v_train_, alpha_);
     core_w = 0.0;
     for (std::size_t i = 0; i < sim::kNumCorePowerEvents; ++i)
         core_w += weights_[i] * rates_per_s[i];

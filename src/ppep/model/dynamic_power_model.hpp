@@ -73,6 +73,24 @@ class DynamicPowerModel
     void split(const std::array<double, sim::kNumPowerEvents> &rates_per_s,
                double voltage, double &core_w, double &nb_w) const;
 
+    /**
+     * The (V / Vtrain)^alpha factor applied to the core-event weights at
+     * @p voltage. Callers sweeping many estimates at a fixed voltage
+     * (e.g. a per-VF exploration) should compute this once and use the
+     * *Scaled variants below — the pow() dominates a single estimate.
+     */
+    double voltageScale(double voltage) const;
+
+    /** split() with a precomputed voltageScale() factor. */
+    void splitScaled(
+        const std::array<double, sim::kNumPowerEvents> &rates_per_s,
+        double vscale, double &core_w, double &nb_w) const;
+
+    /** estimate() with a precomputed voltageScale() factor. */
+    double estimateScaled(
+        const std::array<double, sim::kNumPowerEvents> &rates_per_s,
+        double vscale) const;
+
     /** Fitted weights W_1..W_9 (watts per event/second). */
     const std::array<double, sim::kNumPowerEvents> &weights() const
     {

@@ -26,58 +26,88 @@ EventPredictor::obs2Gap(const sim::EventVector &events)
     return cpi - ds_per_inst;
 }
 
-PredictedCoreState
-EventPredictor::predict(const sim::EventVector &events, double duration_s,
-                        double f_current, double f_target,
-                        double mcpi_scale)
+CoreObservation
+EventPredictor::observe(const sim::EventVector &events, double duration_s,
+                        double f_current, double mcpi_scale)
 {
     PPEP_ASSERT(duration_s > 0.0, "non-positive interval duration");
-    PPEP_ASSERT(f_current > 0.0 && f_target > 0.0,
-                "frequencies must be positive");
+    PPEP_ASSERT(f_current > 0.0, "frequencies must be positive");
     PPEP_ASSERT(mcpi_scale > 0.0, "non-positive MCPI scale");
 
-    PredictedCoreState out;
+    CoreObservation obs;
+    obs.f_current = f_current;
     const double inst = events[eventIndex(Event::RetiredInst)];
     if (inst <= 0.0)
-        return out; // idle core stays idle
+        return obs; // idle core stays idle
 
-    // Step 1: CPI at the target VF (Eq. 1), with the memory time
-    // optionally stretched by the NB what-if factor.
-    CpiSample sample = CpiModel::fromEvents(events);
-    sample.cpi += sample.mcpi * (mcpi_scale - 1.0);
-    sample.mcpi *= mcpi_scale;
-    const double cpi_target =
-        CpiModel::predictCpi(sample, f_current, f_target);
-    const double ips_target = f_target * 1e9 / cpi_target;
+    obs.idle = false;
+    // CPI decomposition, with the memory time optionally stretched by
+    // the NB what-if factor.
+    obs.sample = CpiModel::fromEvents(events);
+    obs.sample.cpi += obs.sample.mcpi * (mcpi_scale - 1.0);
+    obs.sample.mcpi *= mcpi_scale;
 
-    // Step 2: Obs. 2 gives dispatch stalls per instruction at the target:
-    // DS/inst(f') = CPI(f') - gap, gap measured now and VF-invariant.
-    const double gap = obs2Gap(events);
-    const double ds_per_inst_target = std::max(0.0, cpi_target - gap);
+    // Obs. 2 gap: measured now, VF-invariant.
+    obs.gap = obs2Gap(events);
 
     // The core may have been halted for part of the interval (job ended,
     // I/O wait). Predicted per-second rates assume the same busy duty
     // cycle at the target state.
-    const double busy_frac = std::min(
+    obs.busy_frac = std::min(
         1.0, events[eventIndex(Event::ClocksNotHalted)] /
                  (f_current * 1e9 * duration_s));
-    const double eff_ips = ips_target * busy_frac;
 
-    // Step 3: Obs. 1 — per-instruction counts of E1..E8 carry over
-    // unchanged; scale everything to per-second at the target.
+    // Obs. 1 — per-instruction counts of E1..E8 carry over unchanged.
     for (std::size_t i = 0; i < 8; ++i)
-        out.rates_per_s[i] = events[i] / inst * eff_ips;
+        obs.per_inst[i] = events[i] / inst;
+    return obs;
+}
+
+PredictedCoreState
+EventPredictor::predictAt(const CoreObservation &obs, double f_target)
+{
+    PPEP_ASSERT(f_target > 0.0, "frequencies must be positive");
+
+    PredictedCoreState out;
+    if (obs.idle)
+        return out;
+
+    // Step 1: CPI at the target VF (Eq. 1).
+    const double cpi_target =
+        CpiModel::predictCpi(obs.sample, obs.f_current, f_target);
+    const double ips_target = f_target * 1e9 / cpi_target;
+
+    // Step 2: Obs. 2 gives dispatch stalls per instruction at the target:
+    // DS/inst(f') = CPI(f') - gap.
+    const double ds_per_inst_target = std::max(0.0, cpi_target - obs.gap);
+
+    const double eff_ips = ips_target * obs.busy_frac;
+
+    // Step 3: scale the per-instruction invariants to per-second rates
+    // at the target.
+    for (std::size_t i = 0; i < 8; ++i)
+        out.rates_per_s[i] = obs.per_inst[i] * eff_ips;
     out.rates_per_s[eventIndex(Event::DispatchStall)] =
         ds_per_inst_target * eff_ips;
     out.rates_per_s[eventIndex(Event::ClocksNotHalted)] =
         cpi_target * eff_ips;
     out.rates_per_s[eventIndex(Event::RetiredInst)] = eff_ips;
     out.rates_per_s[eventIndex(Event::MabWaitCycles)] =
-        CpiModel::predictMcpi(sample, f_current, f_target) * eff_ips;
+        CpiModel::predictMcpi(obs.sample, obs.f_current, f_target) *
+        eff_ips;
 
     out.cpi = cpi_target;
     out.ips = ips_target;
     return out;
+}
+
+PredictedCoreState
+EventPredictor::predict(const sim::EventVector &events, double duration_s,
+                        double f_current, double f_target,
+                        double mcpi_scale)
+{
+    return predictAt(observe(events, duration_s, f_current, mcpi_scale),
+                     f_target);
 }
 
 } // namespace ppep::model

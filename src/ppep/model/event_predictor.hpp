@@ -36,6 +36,23 @@ struct PredictedCoreState
     double ips = 0.0;
 };
 
+/**
+ * The target-frequency-independent part of one core's interval: the CPI
+ * decomposition, the Obs. 2 gap, the busy duty cycle, and the Obs. 1
+ * per-instruction counts. Computing this once per core and reusing it
+ * across the whole VF sweep (see Ppep::explore) halves the cost of a
+ * full exploration versus re-deriving it per target state.
+ */
+struct CoreObservation
+{
+    CpiSample sample{};            ///< Eq. 1 inputs (mcpi_scale applied)
+    double f_current = 0.0;        ///< frequency the counts came from
+    double gap = 0.0;              ///< Obs. 2: CPI - DispatchStalls/inst
+    double busy_frac = 0.0;        ///< fraction of the interval unhalted
+    std::array<double, 8> per_inst{}; ///< Obs. 1: E1..E8 per instruction
+    bool idle = true;              ///< no retired instructions
+};
+
 /** Stateless Obs.1 + Obs.2 event extrapolator. */
 class EventPredictor
 {
@@ -54,6 +71,19 @@ class EventPredictor
                                       double duration_s, double f_current,
                                       double f_target,
                                       double mcpi_scale = 1.0);
+
+    /**
+     * Extract everything predict() needs that does not depend on the
+     * target frequency. Pair with predictAt() when sweeping many target
+     * states from one interval's counts.
+     */
+    static CoreObservation observe(const sim::EventVector &events,
+                                   double duration_s, double f_current,
+                                   double mcpi_scale = 1.0);
+
+    /** Predict at one target frequency from a prepared observation. */
+    static PredictedCoreState predictAt(const CoreObservation &obs,
+                                        double f_target);
 
     /**
      * The Observation-2 invariant from measured counts:

@@ -9,6 +9,70 @@ Ppep::Ppep(const sim::ChipConfig &cfg, ChipPowerModel power,
     : cfg_(cfg), power_(std::move(power)), pg_(std::move(pg))
 {
     PPEP_ASSERT(power_.trained(), "PPEP requires a trained power model");
+    // Hoist everything per-VF that does not depend on the observed
+    // interval: the explore() hot path then runs pow()- and
+    // polynomial-free.
+    factors_.reserve(cfg_.vf_table.size());
+    for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf) {
+        const sim::VfState &state = cfg_.vf_table.state(vf);
+        VfFactors f;
+        f.voltage = state.voltage;
+        f.freq_ghz = state.freq_ghz;
+        f.vscale = power_.dynamicModel().voltageScale(state.voltage);
+        f.idle_slope = power_.idleModel().slope(state.voltage);
+        f.idle_icept = power_.idleModel().intercept(state.voltage);
+        factors_.push_back(f);
+    }
+}
+
+void
+Ppep::predictVfInto(const trace::IntervalRecord &rec,
+                    const std::vector<CoreObservation> &obs,
+                    std::size_t target_vf, VfPrediction &out) const
+{
+    PPEP_ASSERT(target_vf < factors_.size(),
+                "target VF index outside the software table");
+    const VfFactors &f = factors_[target_vf];
+    const DynamicPowerModel &dynamic = power_.dynamicModel();
+
+    out.vf_index = target_vf;
+    out.total_ips = 0.0;
+    out.energy_per_inst = 0.0;
+    out.edp_per_inst = 0.0;
+
+    // Eq. 2 idle part with the voltage polynomials pre-evaluated.
+    out.idle_w = f.idle_slope * rec.diode_temp_k + f.idle_icept;
+
+    double dyn_core_w = 0.0, dyn_nb_w = 0.0;
+    out.cores.resize(rec.pmc.size());
+    for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
+        const PredictedCoreState pred =
+            EventPredictor::predictAt(obs[c], f.freq_ghz);
+        CorePpe &core = out.cores[c];
+        core.cpi = pred.cpi;
+        core.ips = pred.ips;
+        core.busy = pred.ips > 0.0;
+        std::array<double, sim::kNumPowerEvents> rates{};
+        for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
+            rates[i] = pred.rates_per_s[i];
+        double core_w = 0.0, nb_w = 0.0;
+        dynamic.splitScaled(rates, f.vscale, core_w, nb_w);
+        core.dynamic_w = core_w + nb_w;
+        dyn_core_w += core_w;
+        dyn_nb_w += nb_w;
+        if (core.busy)
+            out.total_ips +=
+                pred.rates_per_s[sim::eventIndex(
+                    sim::Event::RetiredInst)];
+    }
+
+    out.dynamic_w = dyn_core_w + dyn_nb_w;
+    out.chip_power_w = out.idle_w + out.dynamic_w;
+    if (out.total_ips > 0.0) {
+        out.energy_per_inst = out.chip_power_w / out.total_ips;
+        out.edp_per_inst = out.chip_power_w / (out.total_ips *
+                                               out.total_ips);
+    }
 }
 
 VfPrediction
@@ -17,50 +81,42 @@ Ppep::predictVf(const trace::IntervalRecord &rec,
 {
     PPEP_ASSERT(!rec.cu_vf.empty(), "record has no VF context");
     const sim::VfState &now = cfg_.vf_table.state(rec.cu_vf.front());
-    const sim::VfState &then = cfg_.vf_table.state(target_vf);
 
+    std::vector<CoreObservation> obs;
+    obs.reserve(rec.pmc.size());
+    for (const auto &core : rec.pmc)
+        obs.push_back(EventPredictor::observe(core, rec.duration_s,
+                                              now.freq_ghz));
     VfPrediction out;
-    out.vf_index = target_vf;
-
-    const PowerEstimate est = power_.predictAt(rec, target_vf);
-    out.chip_power_w = est.total_w;
-    out.idle_w = est.idle_w;
-    out.dynamic_w = est.dynamic_w;
-
-    out.cores.resize(rec.pmc.size());
-    for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
-        const PredictedCoreState pred = EventPredictor::predict(
-            rec.pmc[c], rec.duration_s, now.freq_ghz, then.freq_ghz);
-        CorePpe &core = out.cores[c];
-        core.cpi = pred.cpi;
-        core.ips = pred.ips;
-        core.busy = pred.ips > 0.0;
-        std::array<double, sim::kNumPowerEvents> rates{};
-        for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
-            rates[i] = pred.rates_per_s[i];
-        core.dynamic_w =
-            power_.dynamicModel().estimate(rates, then.voltage);
-        if (core.busy)
-            out.total_ips +=
-                pred.rates_per_s[sim::eventIndex(
-                    sim::Event::RetiredInst)];
-    }
-
-    if (out.total_ips > 0.0) {
-        out.energy_per_inst = out.chip_power_w / out.total_ips;
-        out.edp_per_inst = out.chip_power_w / (out.total_ips *
-                                               out.total_ips);
-    }
+    predictVfInto(rec, obs, target_vf, out);
     return out;
+}
+
+void
+Ppep::exploreInto(const trace::IntervalRecord &rec,
+                  std::vector<VfPrediction> &out) const
+{
+    PPEP_ASSERT(!rec.cu_vf.empty(), "record has no VF context");
+    const sim::VfState &now = cfg_.vf_table.state(rec.cu_vf.front());
+
+    // The target-independent per-core work (CPI decomposition, Obs. 1/2
+    // invariants) is shared across the whole VF sweep.
+    std::vector<CoreObservation> obs;
+    obs.reserve(rec.pmc.size());
+    for (const auto &core : rec.pmc)
+        obs.push_back(EventPredictor::observe(core, rec.duration_s,
+                                              now.freq_ghz));
+
+    out.resize(cfg_.vf_table.size());
+    for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf)
+        predictVfInto(rec, obs, vf, out[vf]);
 }
 
 std::vector<VfPrediction>
 Ppep::explore(const trace::IntervalRecord &rec) const
 {
     std::vector<VfPrediction> out;
-    out.reserve(cfg_.vf_table.size());
-    for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf)
-        out.push_back(predictVf(rec, vf));
+    exploreInto(rec, out);
     return out;
 }
 
@@ -83,7 +139,9 @@ Ppep::predictAssignment(const trace::IntervalRecord &rec,
         const std::size_t cu = c / cfg_.cores_per_cu;
         const sim::VfState &now =
             cfg_.vf_table.state(rec.cu_vf[cu]);
-        const sim::VfState &then = cfg_.vf_table.state(cu_vf[cu]);
+        PPEP_ASSERT(cu_vf[cu] < factors_.size(),
+                    "assignment VF index outside the software table");
+        const VfFactors &then = factors_[cu_vf[cu]];
         const PredictedCoreState pred = EventPredictor::predict(
             rec.pmc[c], rec.duration_s, now.freq_ghz, then.freq_ghz);
         CorePpe &core = out.cores[c];
@@ -97,7 +155,7 @@ Ppep::predictAssignment(const trace::IntervalRecord &rec,
             rates[i] = pred.rates_per_s[i];
         // Per-CU voltage plane: this CU's own voltage prices its events.
         core.dynamic_w =
-            power_.dynamicModel().estimate(rates, then.voltage);
+            power_.dynamicModel().estimateScaled(rates, then.vscale);
         out.dynamic_w += core.dynamic_w;
         if (core.busy)
             out.total_ips += pred.rates_per_s[sim::eventIndex(

@@ -79,6 +79,14 @@ class Ppep
     std::vector<VfPrediction>
     explore(const trace::IntervalRecord &rec) const;
 
+    /**
+     * explore() into a caller-owned buffer, reusing its allocations.
+     * A governor calling this every 200 ms interval with the same buffer
+     * performs no heap allocation after the first call.
+     */
+    void exploreInto(const trace::IntervalRecord &rec,
+                     std::vector<VfPrediction> &out) const;
+
     /** Prediction at one VF state (global DVFS). */
     VfPrediction predictVf(const trace::IntervalRecord &rec,
                            std::size_t target_vf) const;
@@ -103,9 +111,30 @@ class Ppep
     const sim::VfTable &vfTable() const { return cfg_.vf_table; }
 
   private:
+    /**
+     * Per-VF factors that depend only on the trained models and the VF
+     * table, hoisted out of the per-interval path: the operating point,
+     * the (V/Vtrain)^alpha dynamic-power scale (one pow() per estimate
+     * otherwise), and the Eq. 2 idle polynomials evaluated at V.
+     */
+    struct VfFactors
+    {
+        double voltage = 0.0;
+        double freq_ghz = 0.0;
+        double vscale = 1.0;     ///< DynamicPowerModel::voltageScale(V)
+        double idle_slope = 0.0; ///< Widle1(V)
+        double idle_icept = 0.0; ///< Widle0(V)
+    };
+
+    /** predictVf() into an existing prediction, reusing its buffers. */
+    void predictVfInto(const trace::IntervalRecord &rec,
+                       const std::vector<CoreObservation> &obs,
+                       std::size_t target_vf, VfPrediction &out) const;
+
     sim::ChipConfig cfg_;
     ChipPowerModel power_;
     PgIdleModel pg_;
+    std::vector<VfFactors> factors_;
 };
 
 } // namespace ppep::model

@@ -1,0 +1,213 @@
+#include "ppep/runtime/model_store.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "ppep/model/serialization.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::runtime {
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+fnv1a(const void *data, std::size_t n, std::uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+namespace {
+
+std::uint64_t
+mixString(std::uint64_t h, const std::string &s)
+{
+    // Length-prefix so {"ab","c"} and {"a","bc"} hash differently.
+    const std::uint64_t len = s.size();
+    h = fnv1a(&len, sizeof(len), h);
+    return fnv1a(s.data(), s.size(), h);
+}
+
+std::uint64_t
+mixDouble(std::uint64_t h, double d)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return fnv1a(&bits, sizeof(bits), h);
+}
+
+std::uint64_t
+mixU64(std::uint64_t h, std::uint64_t v)
+{
+    return fnv1a(&v, sizeof(v), h);
+}
+
+std::uint64_t
+mixVf(std::uint64_t h, const sim::VfState &vf)
+{
+    h = mixDouble(h, vf.voltage);
+    return mixDouble(h, vf.freq_ghz);
+}
+
+} // namespace
+
+std::uint64_t
+platformFingerprint(const sim::ChipConfig &cfg)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    h = mixU64(h, cfg.n_cus);
+    h = mixU64(h, cfg.cores_per_cu);
+    h = mixU64(h, cfg.pg_supported ? 1 : 0);
+    h = mixU64(h, cfg.per_cu_voltage ? 1 : 0);
+    h = mixDouble(h, cfg.tick_s);
+    h = mixU64(h, cfg.ticks_per_interval);
+    h = mixU64(h, cfg.vf_table.size());
+    for (std::size_t i = 0; i < cfg.vf_table.size(); ++i)
+        h = mixVf(h, cfg.vf_table.state(i));
+    h = mixU64(h, cfg.boost_states.size());
+    for (const auto &vf : cfg.boost_states)
+        h = mixVf(h, vf);
+    h = mixVf(h, cfg.nb.vf_hi);
+    h = mixVf(h, cfg.nb.vf_lo);
+    return h;
+}
+
+std::uint64_t
+comboDigest(const std::vector<const workloads::Combination *> &combos)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    h = mixU64(h, combos.size());
+    for (const auto *c : combos) {
+        PPEP_ASSERT(c != nullptr, "null training combination");
+        h = mixString(h, c->name);
+        h = mixU64(h, c->instances.size());
+        for (const auto &inst : c->instances)
+            h = mixString(h, inst);
+    }
+    return h;
+}
+
+std::uint64_t
+ModelKey::digest() const
+{
+    std::uint64_t h = 14695981039346656037ull;
+    h = mixString(h, platform);
+    h = mixU64(h, fingerprint);
+    h = mixU64(h, seed);
+    h = mixU64(h, trainer_version);
+    h = mixU64(h, combo_digest);
+    return h;
+}
+
+std::string
+ModelKey::fileName() const
+{
+    // Platform slug keeps the cache human-navigable; the digest keeps it
+    // collision-safe.
+    std::string slug;
+    for (char c : platform) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        else if (!slug.empty() && slug.back() != '-')
+            slug += '-';
+    }
+    while (!slug.empty() && slug.back() == '-')
+        slug.pop_back();
+    if (slug.empty())
+        slug = "platform";
+
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(digest()));
+    return slug + "-" + hex + ".ppepm";
+}
+
+ModelStore::ModelStore(std::string cache_dir) : dir_(std::move(cache_dir))
+{
+    PPEP_ASSERT(!dir_.empty(), "cache dir must be non-empty");
+}
+
+std::string
+ModelStore::defaultCacheDir()
+{
+    if (const char *env = std::getenv("PPEP_CACHE_DIR"); env && *env)
+        return env;
+    return ".ppep-cache";
+}
+
+ModelKey
+ModelStore::keyFor(const sim::ChipConfig &cfg, std::uint64_t seed,
+                   const std::vector<const workloads::Combination *> &combos)
+{
+    ModelKey key;
+    key.platform = cfg.name;
+    key.fingerprint = platformFingerprint(cfg);
+    key.seed = seed;
+    key.trainer_version = kTrainerVersion;
+    key.combo_digest = comboDigest(combos);
+    return key;
+}
+
+std::string
+ModelStore::pathFor(const ModelKey &key) const
+{
+    return (fs::path(dir_) / key.fileName()).string();
+}
+
+bool
+ModelStore::contains(const ModelKey &key) const
+{
+    std::error_code ec;
+    return fs::is_regular_file(pathFor(key), ec);
+}
+
+void
+ModelStore::save(const ModelKey &key, const model::TrainedModels &models) const
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        PPEP_FATAL("cannot create model cache dir '", dir_,
+                   "': ", ec.message());
+
+    // Write-then-rename: a crashed or concurrent writer never leaves a
+    // half-written cache entry where a reader can find it.
+    const std::string final_path = pathFor(key);
+    const std::string tmp_path = final_path + ".tmp";
+    model::saveModels(models, tmp_path);
+    fs::rename(tmp_path, final_path, ec);
+    if (ec)
+        PPEP_FATAL("cannot publish model cache entry '", final_path,
+                   "': ", ec.message());
+}
+
+model::TrainedModels
+ModelStore::trainOrLoad(
+    const sim::ChipConfig &cfg, std::uint64_t seed,
+    const std::vector<const workloads::Combination *> &combos,
+    bool *was_cached) const
+{
+    const ModelKey key = keyFor(cfg, seed, combos);
+    if (contains(key)) {
+        if (was_cached)
+            *was_cached = true;
+        return model::loadModels(pathFor(key), cfg);
+    }
+    if (was_cached)
+        *was_cached = false;
+    model::Trainer trainer(cfg, seed);
+    model::TrainedModels models = trainer.trainAll(combos);
+    save(key, models);
+    return models;
+}
+
+} // namespace ppep::runtime

@@ -1,0 +1,345 @@
+#include "ppep/runtime/session.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "ppep/governor/energy_governor.hpp"
+#include "ppep/governor/ppep_capping.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::runtime {
+
+namespace {
+
+std::vector<const workloads::Combination *>
+defaultTrainingCombos()
+{
+    // Every single-program combination: the diverse one-time training
+    // set the repo's daemons and benches standardise on.
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations())
+        if (c.instances.size() == 1)
+            out.push_back(&c);
+    return out;
+}
+
+} // namespace
+
+GovernorFactory
+edpGovernor()
+{
+    return [](const ModelContext &ctx) {
+        return std::make_unique<governor::EnergyOptimalGovernor>(
+            ctx.cfg, ctx.ppep, governor::EnergyObjective::Edp);
+    };
+}
+
+GovernorFactory
+energyGovernor()
+{
+    return [](const ModelContext &ctx) {
+        return std::make_unique<governor::EnergyOptimalGovernor>(
+            ctx.cfg, ctx.ppep, governor::EnergyObjective::Energy);
+    };
+}
+
+GovernorFactory
+cappingGovernor(double guard_band)
+{
+    return [guard_band](const ModelContext &ctx) {
+        return std::make_unique<governor::PpepCappingGovernor>(
+            ctx.cfg, ctx.ppep, guard_band);
+    };
+}
+
+/** Everything a built session owns; address-stable behind unique_ptr. */
+struct Session::State
+{
+    sim::ChipConfig cfg;
+    std::optional<model::TrainedModels> models;
+    std::optional<model::Ppep> ppep;
+    std::optional<sim::Chip> chip;
+    std::unique_ptr<governor::Governor> owned_gov;
+    governor::Governor *gov = nullptr;
+    governor::CapSchedule schedule = governor::CapSchedule::unlimited();
+    std::vector<TelemetrySink *> sinks;
+    std::size_t warmup = 0;
+    bool warmed = false;
+    bool was_cached = false;
+    std::size_t next_index = 0;
+    /** lastPredictedPower() carried over to the interval it forecasts. */
+    double pending_pred = std::numeric_limits<double>::quiet_NaN();
+};
+
+Session::Builder::Builder(sim::ChipConfig cfg) : cfg_(std::move(cfg)) {}
+
+Session::Builder &
+Session::Builder::seed(std::uint64_t s)
+{
+    chip_seed_ = s;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::trainingSeed(std::uint64_t s)
+{
+    training_seed_ = s;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::pg(bool enabled)
+{
+    pg_ = enabled;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::jobs(std::vector<JobSpec> specs)
+{
+    for (auto &j : specs)
+        jobs_.push_back(std::move(j));
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::onePerCu(const std::vector<std::string> &programs)
+{
+    PPEP_ASSERT(programs.size() <= cfg_.n_cus,
+                "more programs than compute units");
+    for (std::size_t i = 0; i < programs.size(); ++i)
+        jobs_.push_back({i * cfg_.cores_per_cu, programs[i], true});
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::combo(const workloads::Combination &c, bool looping)
+{
+    combo_ = &c;
+    combo_looping_ = looping;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::trainingCombos(
+    std::vector<const workloads::Combination *> combos)
+{
+    training_combos_ = std::move(combos);
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::store(ModelStore s)
+{
+    store_ = std::move(s);
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::models(model::TrainedModels m)
+{
+    models_ = std::move(m);
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::governor(GovernorFactory factory)
+{
+    factory_ = std::move(factory);
+    external_gov_ = nullptr;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::governor(ppep::governor::Governor &external)
+{
+    external_gov_ = &external;
+    factory_ = nullptr;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::schedule(ppep::governor::CapSchedule s)
+{
+    schedule_ = std::move(s);
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::warmup(std::size_t intervals)
+{
+    warmup_ = intervals;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::sink(TelemetrySink &s)
+{
+    sinks_.push_back(&s);
+    return *this;
+}
+
+Session
+Session::Builder::build()
+{
+    auto state = std::make_unique<State>();
+    state->cfg = std::move(cfg_);
+    state->schedule = schedule_ ? std::move(*schedule_)
+                                : governor::CapSchedule::unlimited();
+    state->sinks = std::move(sinks_);
+    state->warmup = warmup_;
+
+    // Model acquisition. An external governor needs none unless the
+    // caller explicitly supplied models or a store.
+    const bool needs_models =
+        models_.has_value() || store_.has_value() ||
+        external_gov_ == nullptr;
+    if (models_) {
+        state->models = std::move(*models_);
+    } else if (needs_models) {
+        const auto combos =
+            training_combos_ ? *training_combos_
+                             : defaultTrainingCombos();
+        if (store_) {
+            state->models = store_->trainOrLoad(
+                state->cfg, training_seed_, combos,
+                &state->was_cached);
+        } else {
+            model::Trainer trainer(state->cfg, training_seed_);
+            state->models = trainer.trainAll(combos);
+        }
+    }
+    if (state->models)
+        state->ppep.emplace(state->cfg, state->models->chip,
+                            state->models->pg);
+
+    // Chip + jobs.
+    state->chip.emplace(state->cfg, chip_seed_);
+    state->chip->setPowerGatingEnabled(pg_);
+    if (combo_)
+        workloads::launch(*state->chip, *combo_, combo_looping_);
+    for (const auto &j : jobs_) {
+        const auto &profile = workloads::Suite::byName(j.program);
+        state->chip->setJob(j.core, j.looping
+                                        ? profile.makeLoopingJob()
+                                        : profile.makeJob());
+    }
+
+    // Policy.
+    if (external_gov_) {
+        state->gov = external_gov_;
+    } else {
+        const GovernorFactory factory =
+            factory_ ? factory_ : edpGovernor();
+        PPEP_ASSERT(state->models && state->ppep,
+                    "governor factory requires trained models");
+        const ModelContext ctx{state->cfg, *state->models,
+                               *state->ppep, training_seed_};
+        state->owned_gov = factory(ctx);
+        PPEP_ASSERT(state->owned_gov != nullptr,
+                    "governor factory returned null");
+        state->gov = state->owned_gov.get();
+    }
+
+    return Session(std::move(state));
+}
+
+Session::Builder
+Session::builder(sim::ChipConfig cfg)
+{
+    return Builder(std::move(cfg));
+}
+
+Session::Session(std::unique_ptr<State> state) : state_(std::move(state))
+{
+}
+
+Session::Session(Session &&) noexcept = default;
+Session &Session::operator=(Session &&) noexcept = default;
+Session::~Session() = default;
+
+std::vector<governor::GovernorStep>
+Session::run(std::size_t intervals)
+{
+    auto &s = *state_;
+    if (s.warmup && !s.warmed) {
+        trace::Collector warm(*s.chip);
+        warm.collect(s.warmup);
+        s.warmed = true;
+    }
+    governor::GovernorLoop loop(*s.chip, *s.gov);
+    const auto observer = [&s](const governor::GovernorStep &step,
+                               double latency_s) {
+        IntervalTelemetry t;
+        t.index = s.next_index++;
+        // Accumulated tick rounding can leave the first interval a hair
+        // below zero; clamp rather than report negative time.
+        t.time_s =
+            std::max(0.0, s.chip->timeS() - step.rec.duration_s);
+        t.rec = &step.rec;
+        t.cu_vf = &step.cu_vf;
+        t.cap_w = step.cap_w;
+        t.predicted_power_w = s.pending_pred;
+        t.exploration = s.gov->lastExploration();
+        t.decision_latency_s = latency_s;
+        for (auto *sink : s.sinks)
+            sink->onInterval(t);
+        // The decision that just ran governs the *next* interval; hold
+        // its forecast until that interval's record arrives.
+        s.pending_pred = s.gov->lastPredictedPower();
+    };
+    auto steps = loop.run(intervals, s.schedule, observer);
+    for (auto *sink : s.sinks)
+        sink->finish();
+    return steps;
+}
+
+sim::Chip &
+Session::chip()
+{
+    return *state_->chip;
+}
+
+const sim::ChipConfig &
+Session::config() const
+{
+    return state_->cfg;
+}
+
+bool
+Session::hasModels() const
+{
+    return state_->models.has_value();
+}
+
+const model::TrainedModels &
+Session::models() const
+{
+    if (!state_->models)
+        PPEP_FATAL("this session trained no models");
+    return *state_->models;
+}
+
+const model::Ppep &
+Session::ppep() const
+{
+    if (!state_->ppep)
+        PPEP_FATAL("this session trained no models");
+    return *state_->ppep;
+}
+
+governor::Governor &
+Session::policy()
+{
+    return *state_->gov;
+}
+
+bool
+Session::modelsWereCached() const
+{
+    return state_->was_cached;
+}
+
+} // namespace ppep::runtime

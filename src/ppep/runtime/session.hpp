@@ -1,0 +1,206 @@
+/**
+ * @file
+ * One governed run, end to end, behind a builder.
+ *
+ * A Session bundles what every governed experiment in this repo used to
+ * assemble by hand: chip construction + seeding, job placement, model
+ * acquisition (through the ModelStore cache), governor construction,
+ * the cap schedule, and the measurement/decision/actuation loop — plus
+ * telemetry fan-out to any number of TelemetrySinks.
+ *
+ *     auto session = runtime::Session::builder(sim::fx8320Config())
+ *                        .seed(123)
+ *                        .pg(true)
+ *                        .onePerCu({"433.milc", "458.sjeng", "CG", "EP"})
+ *                        .trainingSeed(42)
+ *                        .store(runtime::ModelStore())
+ *                        .governor(runtime::edpGovernor())
+ *                        .sink(my_sink)
+ *                        .build();
+ *     auto steps = session.run(40);
+ *
+ * The loop itself stays in governor::GovernorLoop (one canonical cycle);
+ * the Session drives it and feeds its sinks through the loop's step
+ * observer, adding per-decision wall-clock latency and the governor's
+ * own predictions to the record.
+ */
+
+#ifndef PPEP_RUNTIME_SESSION_HPP
+#define PPEP_RUNTIME_SESSION_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ppep/governor/governor.hpp"
+#include "ppep/model/ppep.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/runtime/model_store.hpp"
+#include "ppep/runtime/telemetry.hpp"
+#include "ppep/sim/chip.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace ppep::runtime {
+
+/** What a GovernorFactory gets to work with. */
+struct ModelContext
+{
+    const sim::ChipConfig &cfg;
+    const model::TrainedModels &models;
+    const model::Ppep &ppep;
+    /** The seed the models were trained with (for protocols that need a
+     *  Trainer, e.g. the thermal-network fit). */
+    std::uint64_t training_seed;
+};
+
+/** Builds the session's policy once models are available. */
+using GovernorFactory =
+    std::function<std::unique_ptr<governor::Governor>(const ModelContext &)>;
+
+/** EDP-optimal one-step DVFS (the daemon default). */
+GovernorFactory edpGovernor();
+
+/** Energy-optimal one-step DVFS. */
+GovernorFactory energyGovernor();
+
+/** PPEP one-step power capping (Sec. V-B). */
+GovernorFactory cappingGovernor(double guard_band = 0.02);
+
+/** A governed run: chip + jobs + models + policy + telemetry. */
+class Session
+{
+  public:
+    /** One pinned job. */
+    struct JobSpec
+    {
+        std::size_t core = 0;
+        std::string program;
+        bool looping = true;
+    };
+
+    class Builder
+    {
+      public:
+        explicit Builder(sim::ChipConfig cfg);
+
+        /** Chip RNG seed (default 1). */
+        Builder &seed(std::uint64_t s);
+
+        /** Trainer seed for model acquisition (default 42). */
+        Builder &trainingSeed(std::uint64_t s);
+
+        /** Enable/disable power gating on the chip (default off). */
+        Builder &pg(bool enabled);
+
+        /** Pin explicit jobs to cores. */
+        Builder &jobs(std::vector<JobSpec> specs);
+
+        /**
+         * Convenience: program i on the first core of CU i, looping —
+         * the paper's multi-programmed placement.
+         */
+        Builder &onePerCu(const std::vector<std::string> &programs);
+
+        /** Place one of the 152 benchmark combinations. */
+        Builder &combo(const workloads::Combination &c,
+                       bool looping = true);
+
+        /**
+         * Training set for model acquisition (default: all 49
+         * single-program combinations).
+         */
+        Builder &trainingCombos(
+            std::vector<const workloads::Combination *> combos);
+
+        /** Acquire models through this cache (default: train fresh). */
+        Builder &store(ModelStore s);
+
+        /** Use already-trained models; skips the store and training. */
+        Builder &models(model::TrainedModels m);
+
+        /** Policy built from the trained models (default: EDP). */
+        Builder &governor(GovernorFactory factory);
+
+        /**
+         * Use a caller-owned policy instead; the Session then trains no
+         * models unless a store or models were given explicitly.
+         */
+        Builder &governor(ppep::governor::Governor &external);
+
+        /** Cap schedule (default: unlimited). */
+        Builder &schedule(ppep::governor::CapSchedule s);
+
+        /** Warm-up intervals to run (and discard) before run(). */
+        Builder &warmup(std::size_t intervals);
+
+        /** Attach a caller-owned telemetry sink (repeatable). */
+        Builder &sink(TelemetrySink &s);
+
+        /** Assemble the session (trains or loads models as needed). */
+        Session build();
+
+      private:
+        sim::ChipConfig cfg_;
+        std::uint64_t chip_seed_ = 1;
+        std::uint64_t training_seed_ = 42;
+        bool pg_ = false;
+        std::vector<JobSpec> jobs_;
+        const workloads::Combination *combo_ = nullptr;
+        bool combo_looping_ = true;
+        std::optional<std::vector<const workloads::Combination *>>
+            training_combos_;
+        std::optional<ModelStore> store_;
+        std::optional<model::TrainedModels> models_;
+        GovernorFactory factory_;
+        ppep::governor::Governor *external_gov_ = nullptr;
+        std::optional<ppep::governor::CapSchedule> schedule_;
+        std::size_t warmup_ = 0;
+        std::vector<TelemetrySink *> sinks_;
+    };
+
+    static Builder builder(sim::ChipConfig cfg);
+
+    Session(Session &&) noexcept;
+    Session &operator=(Session &&) noexcept;
+    ~Session();
+
+    /**
+     * Run @p intervals governed intervals, fanning each completed step
+     * out to the attached sinks (and calling their finish() at the end).
+     * Repeatable; telemetry interval indices continue across calls.
+     */
+    std::vector<ppep::governor::GovernorStep> run(std::size_t intervals);
+
+    /** The simulated chip (for inspection or extra job placement). */
+    sim::Chip &chip();
+    const sim::ChipConfig &config() const;
+
+    /** Whether this session holds trained models. */
+    bool hasModels() const;
+
+    /** Trained models; fatal() when the session trained none. */
+    const model::TrainedModels &models() const;
+
+    /** Assembled predictor; fatal() when the session trained none. */
+    const model::Ppep &ppep() const;
+
+    /** The active policy. */
+    ppep::governor::Governor &policy();
+
+    /** True when build() served the models from the store's cache. */
+    bool modelsWereCached() const;
+
+  private:
+    struct State;
+    explicit Session(std::unique_ptr<State> state);
+
+    std::unique_ptr<State> state_;
+    friend class Builder;
+};
+
+} // namespace ppep::runtime
+
+#endif // PPEP_RUNTIME_SESSION_HPP

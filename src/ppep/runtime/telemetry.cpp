@@ -1,0 +1,239 @@
+#include "ppep/runtime/telemetry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "ppep/sim/events.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::runtime {
+
+namespace {
+
+/** Shortest round-trippable decimal for a finite double. */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** JSON value: finite numbers as-is, NaN/inf as null. */
+std::string
+jsonNum(double v)
+{
+    return std::isfinite(v) ? num(v) : std::string("null");
+}
+
+std::unique_ptr<std::ostream>
+openFile(const std::string &path)
+{
+    auto f = std::make_unique<std::ofstream>(path);
+    if (!f->is_open())
+        PPEP_FATAL("cannot open telemetry output '", path, "'");
+    return f;
+}
+
+double
+totalIps(const trace::IntervalRecord &rec)
+{
+    double inst = 0.0;
+    for (const auto &core : rec.pmc)
+        inst += core[sim::eventIndex(sim::Event::RetiredInst)];
+    return rec.duration_s > 0.0 ? inst / rec.duration_s : 0.0;
+}
+
+} // namespace
+
+// --- CsvSink -------------------------------------------------------------
+
+CsvSink::CsvSink(std::ostream &out) : out_(&out) {}
+
+CsvSink::CsvSink(const std::string &path)
+    : owned_(openFile(path))
+{
+    out_ = owned_.get();
+}
+
+CsvSink::~CsvSink() = default;
+
+std::ostream &
+CsvSink::stream()
+{
+    return *out_;
+}
+
+void
+CsvSink::onInterval(const IntervalTelemetry &t)
+{
+    auto &os = stream();
+    if (!header_written_) {
+        os << "interval,time_s,cap_w,cu_vf,measured_power_w,"
+              "predicted_power_w,diode_temp_k,total_ips,"
+              "decision_latency_us\n";
+        header_written_ = true;
+    }
+    std::string vf;
+    for (std::size_t v : *t.cu_vf) {
+        if (!vf.empty())
+            vf += '+';
+        vf += std::to_string(v);
+    }
+    os << t.index << ',' << num(t.time_s) << ',' << num(t.cap_w) << ','
+       << vf << ',' << num(t.rec->sensor_power_w) << ','
+       << (std::isfinite(t.predicted_power_w)
+               ? num(t.predicted_power_w)
+               : std::string())
+       << ',' << num(t.rec->diode_temp_k) << ','
+       << num(totalIps(*t.rec)) << ','
+       << num(t.decision_latency_s * 1e6) << '\n';
+}
+
+void
+CsvSink::finish()
+{
+    stream().flush();
+}
+
+// --- JsonlSink -----------------------------------------------------------
+
+JsonlSink::JsonlSink(std::ostream &out) : out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string &path)
+    : owned_(openFile(path))
+{
+    out_ = owned_.get();
+}
+
+JsonlSink::~JsonlSink() = default;
+
+void
+JsonlSink::onInterval(const IntervalTelemetry &t)
+{
+    auto &os = *out_;
+    os << "{\"interval\":" << t.index << ",\"time_s\":" << num(t.time_s)
+       << ",\"cap_w\":" << jsonNum(t.cap_w) << ",\"cu_vf\":[";
+    for (std::size_t i = 0; i < t.cu_vf->size(); ++i)
+        os << (i ? "," : "") << (*t.cu_vf)[i];
+    os << "],\"measured_power_w\":" << jsonNum(t.rec->sensor_power_w)
+       << ",\"predicted_power_w\":" << jsonNum(t.predicted_power_w)
+       << ",\"diode_temp_k\":" << jsonNum(t.rec->diode_temp_k)
+       << ",\"total_ips\":" << jsonNum(totalIps(*t.rec))
+       << ",\"decision_latency_us\":"
+       << jsonNum(t.decision_latency_s * 1e6) << "}\n";
+}
+
+void
+JsonlSink::finish()
+{
+    out_->flush();
+}
+
+// --- SummarySink ---------------------------------------------------------
+
+void
+SummarySink::onInterval(const IntervalTelemetry &t)
+{
+    steps_.push_back({t.cap_w, t.rec->sensor_power_w});
+    for (std::size_t v : *t.cu_vf) {
+        if (v >= residency_.size())
+            residency_.resize(v + 1, 0);
+        ++residency_[v];
+    }
+    if (std::isfinite(t.predicted_power_w)) {
+        abs_err_sum_w_ +=
+            std::abs(t.predicted_power_w - t.rec->sensor_power_w);
+        ++predicted_;
+    }
+    power_sum_w_ += t.rec->sensor_power_w;
+    energy_j_ += t.rec->sensor_power_w * t.rec->duration_s;
+    latency_sum_s_ += t.decision_latency_s;
+    latency_max_s_ = std::max(latency_max_s_, t.decision_latency_s);
+}
+
+SummarySink::Summary
+SummarySink::summary() const
+{
+    Summary s;
+    s.intervals = steps_.size();
+    s.vf_residency = residency_;
+    if (steps_.empty())
+        return s;
+
+    // Same grace band as governor::capAdherence: sensor noise alone can
+    // cross an exact cap.
+    std::size_t ok = 0;
+    for (const auto &st : steps_)
+        if (st.power_w <= st.cap_w * 1.02)
+            ++ok;
+    s.cap_adherence =
+        static_cast<double>(ok) / static_cast<double>(steps_.size());
+
+    double settle_total = 0.0;
+    std::size_t settle_events = 0;
+    for (std::size_t i = 1; i < steps_.size(); ++i) {
+        if (!(steps_[i].cap_w < steps_[i - 1].cap_w))
+            continue;
+        std::size_t taken = 0;
+        for (std::size_t j = i; j < steps_.size(); ++j) {
+            ++taken;
+            if (steps_[j].power_w <= steps_[j].cap_w * 1.02)
+                break;
+        }
+        settle_total += static_cast<double>(taken);
+        ++settle_events;
+    }
+    s.mean_settle_intervals =
+        settle_events
+            ? settle_total / static_cast<double>(settle_events)
+            : 0.0;
+
+    s.predicted_intervals = predicted_;
+    if (predicted_)
+        s.power_mae_w =
+            abs_err_sum_w_ / static_cast<double>(predicted_);
+    s.mean_power_w =
+        power_sum_w_ / static_cast<double>(steps_.size());
+    s.energy_j = energy_j_;
+    s.mean_decision_latency_s =
+        latency_sum_s_ / static_cast<double>(steps_.size());
+    s.max_decision_latency_s = latency_max_s_;
+    return s;
+}
+
+void
+SummarySink::print(std::ostream &out) const
+{
+    const Summary s = summary();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "run summary: %zu intervals, mean power %.1f W, "
+                  "energy %.1f J\n",
+                  s.intervals, s.mean_power_w, s.energy_j);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  cap adherence %.1f%%, mean settle %.2f intervals\n",
+                  100.0 * s.cap_adherence, s.mean_settle_intervals);
+    out << buf;
+    if (s.predicted_intervals) {
+        std::snprintf(buf, sizeof(buf),
+                      "  predicted-vs-measured power MAE %.2f W over "
+                      "%zu intervals\n",
+                      s.power_mae_w, s.predicted_intervals);
+        out << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  decision latency mean %.1f us, max %.1f us\n",
+                  1e6 * s.mean_decision_latency_s,
+                  1e6 * s.max_decision_latency_s);
+    out << buf;
+    out << "  VF residency (CU-intervals):";
+    for (std::size_t v = 0; v < s.vf_residency.size(); ++v)
+        out << " VF" << v + 1 << "=" << s.vf_residency[v];
+    out << '\n';
+}
+
+} // namespace ppep::runtime

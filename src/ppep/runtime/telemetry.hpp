@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Per-interval telemetry for governed runs.
+ *
+ * A TelemetrySink observes a Session's control loop from the outside:
+ * once per completed 200 ms interval it receives the measured record,
+ * the VF state that produced it, the active cap, the power the governor
+ * had predicted for that interval, the per-VF exploration behind the
+ * decision just taken, and the wall-clock cost of that decision — the
+ * observability surface a production daemon exports.
+ *
+ * Shipped sinks: CsvSink (spreadsheet-friendly trace), JsonlSink (one
+ * JSON object per interval, machine-ingestible), SummarySink (end-of-run
+ * aggregates: cap adherence, settle time, VF residency, predicted-vs-
+ * measured power MAE, decision latency).
+ */
+
+#ifndef PPEP_RUNTIME_TELEMETRY_HPP
+#define PPEP_RUNTIME_TELEMETRY_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ppep/governor/governor.hpp"
+#include "ppep/model/ppep.hpp"
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::runtime {
+
+/** Everything a sink sees about one completed interval. */
+struct IntervalTelemetry
+{
+    /** Interval number, monotonic across a Session's run() calls. */
+    std::size_t index = 0;
+
+    /** Simulated time at the start of the interval, seconds. */
+    double time_s = 0.0;
+
+    /** The measured interval (counters, sensor power, diode). */
+    const trace::IntervalRecord *rec = nullptr;
+
+    /** Per-CU VF indices applied *during* the interval. */
+    const std::vector<std::size_t> *cu_vf = nullptr;
+
+    /** Power cap active during the interval, watts. */
+    double cap_w = 0.0;
+
+    /**
+     * Chip power the governor predicted for *this* interval when it
+     * decided at the end of the previous one; NaN for the first interval
+     * and for non-predictive policies.
+     */
+    double predicted_power_w = std::numeric_limits<double>::quiet_NaN();
+
+    /**
+     * The per-VF exploration behind the decision taken at the *end* of
+     * this interval (i.e. the sweep that chose the next VF); nullptr for
+     * policies that do not explore. Valid only during the callback.
+     */
+    const std::vector<model::VfPrediction> *exploration = nullptr;
+
+    /** Wall-clock cost of the decide() call that ended the interval. */
+    double decision_latency_s = 0.0;
+};
+
+/** Observer of a governed run, invoked once per completed interval. */
+class TelemetrySink
+{
+  public:
+    virtual ~TelemetrySink() = default;
+
+    /** One completed interval. Pointers are valid only during the call. */
+    virtual void onInterval(const IntervalTelemetry &t) = 0;
+
+    /** End of run; flush/summarise. May be called more than once. */
+    virtual void finish() {}
+};
+
+/** Comma-separated trace, one row per interval, header on first row. */
+class CsvSink : public TelemetrySink
+{
+  public:
+    /** Write to a caller-owned stream (kept open). */
+    explicit CsvSink(std::ostream &out);
+
+    /** Write to a file; fatal() when it cannot be opened. */
+    explicit CsvSink(const std::string &path);
+
+    ~CsvSink() override;
+
+    void onInterval(const IntervalTelemetry &t) override;
+    void finish() override;
+
+  private:
+    std::ostream &stream();
+
+    std::ostream *out_ = nullptr;
+    std::unique_ptr<std::ostream> owned_;
+    bool header_written_ = false;
+};
+
+/** JSON-lines trace: one self-contained JSON object per interval. */
+class JsonlSink : public TelemetrySink
+{
+  public:
+    explicit JsonlSink(std::ostream &out);
+    explicit JsonlSink(const std::string &path);
+    ~JsonlSink() override;
+
+    void onInterval(const IntervalTelemetry &t) override;
+    void finish() override;
+
+  private:
+    std::ostream *out_ = nullptr;
+    std::unique_ptr<std::ostream> owned_;
+};
+
+/** End-of-run aggregates over a governed trace. */
+class SummarySink : public TelemetrySink
+{
+  public:
+    struct Summary
+    {
+        std::size_t intervals = 0;
+
+        /** Fraction of intervals at or under cap (2% grace band). */
+        double cap_adherence = 0.0;
+
+        /** Mean intervals to get back under a newly-lowered cap. */
+        double mean_settle_intervals = 0.0;
+
+        /**
+         * CU-interval counts per VF index (how long each state was
+         * occupied, summed over CUs).
+         */
+        std::vector<std::size_t> vf_residency;
+
+        /** Mean |predicted - measured| chip power over predicted
+         *  intervals, watts; NaN when nothing was predicted. */
+        double power_mae_w = std::numeric_limits<double>::quiet_NaN();
+
+        /** Number of intervals that carried a power prediction. */
+        std::size_t predicted_intervals = 0;
+
+        double mean_power_w = 0.0;
+        double energy_j = 0.0; ///< sensor power integrated over time
+
+        double mean_decision_latency_s = 0.0;
+        double max_decision_latency_s = 0.0;
+    };
+
+    void onInterval(const IntervalTelemetry &t) override;
+
+    /** Aggregates over everything seen so far. */
+    Summary summary() const;
+
+    /** Print a human-readable report. */
+    void print(std::ostream &out) const;
+
+  private:
+    struct StepLite
+    {
+        double cap_w = 0.0;
+        double power_w = 0.0;
+    };
+
+    std::vector<StepLite> steps_;
+    std::vector<std::size_t> residency_;
+    double abs_err_sum_w_ = 0.0;
+    std::size_t predicted_ = 0;
+    double power_sum_w_ = 0.0;
+    double energy_j_ = 0.0;
+    double latency_sum_s_ = 0.0;
+    double latency_max_s_ = 0.0;
+};
+
+} // namespace ppep::runtime
+
+#endif // PPEP_RUNTIME_TELEMETRY_HPP

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the content-addressed model cache: keys must change with
+ * anything that changes the training outcome, cache round trips must be
+ * prediction-exact, and the cold/warm lifecycle must behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "ppep/model/ppep.hpp"
+#include "ppep/runtime/model_store.hpp"
+#include "ppep/trace/collector.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep;
+using runtime::ModelKey;
+using runtime::ModelStore;
+
+std::vector<const workloads::Combination *>
+smallTrainingSet(std::size_t n = 8)
+{
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations())
+        if (c.instances.size() == 1 && out.size() < n)
+            out.push_back(&c);
+    return out;
+}
+
+std::string
+freshCacheDir(const std::string &tag)
+{
+    const std::string dir =
+        ::testing::TempDir() + "ppep_store_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(ModelKey, ChangesWithSeed)
+{
+    const auto cfg = sim::fx8320Config();
+    const auto combos = smallTrainingSet();
+    const auto a = ModelStore::keyFor(cfg, 1, combos);
+    const auto b = ModelStore::keyFor(cfg, 2, combos);
+    EXPECT_NE(a.digest(), b.digest());
+    EXPECT_NE(a.fileName(), b.fileName());
+}
+
+TEST(ModelKey, ChangesWithPlatform)
+{
+    const auto combos = smallTrainingSet();
+    const auto fx = ModelStore::keyFor(sim::fx8320Config(), 1, combos);
+    const auto phenom =
+        ModelStore::keyFor(sim::phenomIIConfig(), 1, combos);
+    EXPECT_NE(fx.digest(), phenom.digest());
+
+    // A visible config tweak on the same platform name must also miss:
+    // per-CU voltage planes change what training measures.
+    auto cfg = sim::fx8320Config();
+    cfg.per_cu_voltage = true;
+    const auto planes = ModelStore::keyFor(cfg, 1, combos);
+    EXPECT_NE(fx.digest(), planes.digest());
+    EXPECT_NE(fx.fingerprint, planes.fingerprint);
+}
+
+TEST(ModelKey, ChangesWithTrainingSet)
+{
+    const auto cfg = sim::fx8320Config();
+    const auto a = ModelStore::keyFor(cfg, 1, smallTrainingSet(8));
+    const auto b = ModelStore::keyFor(cfg, 1, smallTrainingSet(9));
+    EXPECT_NE(a.digest(), b.digest());
+    EXPECT_NE(a.combo_digest, b.combo_digest);
+}
+
+TEST(ModelKey, StableForIdenticalRequests)
+{
+    const auto cfg = sim::fx8320Config();
+    const auto a = ModelStore::keyFor(cfg, 7, smallTrainingSet());
+    const auto b = ModelStore::keyFor(cfg, 7, smallTrainingSet());
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.fileName(), b.fileName());
+}
+
+TEST(ModelKey, FileNameIsSlugged)
+{
+    const auto key =
+        ModelStore::keyFor(sim::fx8320Config(), 1, smallTrainingSet());
+    // "AMD FX-8320 (simulated)" -> lower-case slug, no spaces/parens.
+    EXPECT_EQ(key.fileName().find("amd-fx-8320-simulated-"), 0u);
+    EXPECT_NE(key.fileName().find(".ppepm"), std::string::npos);
+}
+
+TEST(ModelStore, DefaultCacheDirHonoursEnv)
+{
+    ::setenv("PPEP_CACHE_DIR", "/tmp/ppep-env-cache", 1);
+    EXPECT_EQ(ModelStore::defaultCacheDir(), "/tmp/ppep-env-cache");
+    ::unsetenv("PPEP_CACHE_DIR");
+    EXPECT_EQ(ModelStore::defaultCacheDir(), ".ppep-cache");
+}
+
+TEST(ModelStore, TrainOrLoadLifecycle)
+{
+    const auto cfg = sim::fx8320Config();
+    const auto combos = smallTrainingSet();
+    const ModelStore store(freshCacheDir("lifecycle"));
+    const auto key = ModelStore::keyFor(cfg, 33, combos);
+    EXPECT_FALSE(store.contains(key));
+
+    bool cached = true;
+    const auto trained = store.trainOrLoad(cfg, 33, combos, &cached);
+    EXPECT_FALSE(cached);
+    EXPECT_TRUE(store.contains(key));
+
+    bool cached2 = false;
+    const auto loaded = store.trainOrLoad(cfg, 33, combos, &cached2);
+    EXPECT_TRUE(cached2);
+
+    // The warm-cache copy must predict bit-identically to the freshly
+    // trained one — the property that makes cached daemon runs replay
+    // the cold run's decision trace exactly.
+    sim::Chip chip(cfg, 5);
+    workloads::launch(chip, workloads::replicate("433.milc", 2), true);
+    trace::Collector col(chip);
+    col.collect(2);
+    const auto rec = col.collectInterval();
+
+    const model::Ppep ppep_a(cfg, trained.chip, trained.pg);
+    const model::Ppep ppep_b(cfg, loaded.chip, loaded.pg);
+    const auto pa = ppep_a.explore(rec);
+    const auto pb = ppep_b.explore(rec);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t vf = 0; vf < pa.size(); ++vf) {
+        EXPECT_DOUBLE_EQ(pa[vf].chip_power_w, pb[vf].chip_power_w);
+        EXPECT_DOUBLE_EQ(pa[vf].total_ips, pb[vf].total_ips);
+        EXPECT_DOUBLE_EQ(pa[vf].energy_per_inst, pb[vf].energy_per_inst);
+        EXPECT_DOUBLE_EQ(pa[vf].edp_per_inst, pb[vf].edp_per_inst);
+    }
+    EXPECT_DOUBLE_EQ(loaded.alpha, trained.alpha);
+}
+
+TEST(ModelStore, DifferentSeedMissesCache)
+{
+    const auto cfg = sim::fx8320Config();
+    const auto combos = smallTrainingSet();
+    const ModelStore store(freshCacheDir("seed_miss"));
+
+    bool cached = true;
+    (void)store.trainOrLoad(cfg, 33, combos, &cached);
+    EXPECT_FALSE(cached);
+
+    // Same platform, same combos, different seed: must retrain.
+    bool cached2 = true;
+    (void)store.trainOrLoad(cfg, 34, combos, &cached2);
+    EXPECT_FALSE(cached2);
+    EXPECT_TRUE(store.contains(ModelStore::keyFor(cfg, 33, combos)));
+    EXPECT_TRUE(store.contains(ModelStore::keyFor(cfg, 34, combos)));
+}
+
+TEST(ModelStore, Fnv1aMatchesReferenceVectors)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(runtime::fnv1a("", 0), 14695981039346656037ull);
+    EXPECT_EQ(runtime::fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(runtime::fnv1a("foobar", 6), 0x85944171f73967e8ull);
+}
+
+} // namespace
