@@ -12,6 +12,8 @@
 #include "bench_common.hpp"
 #include "ppep/governor/ppep_capping.hpp"
 #include "ppep/model/ppep.hpp"
+#include "ppep/runtime/sampler.hpp"
+#include "ppep/sim/fault.hpp"
 #include "ppep/trace/collector.hpp"
 
 namespace {
@@ -123,6 +125,63 @@ BM_DynamicModelEvaluation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DynamicModelEvaluation);
+
+// --- acquisition-path overhead ------------------------------------------
+//
+// The fault-injection layer is strictly opt-in; the three benchmarks
+// below quantify what "opt-in" costs. CollectorInterval is the seed
+// baseline; SamplerIntervalClean runs the hardened path on a faultless
+// chip (the price of the guards themselves); SamplerIntervalFaulty adds
+// an active fault plan. The first two should be within noise of each
+// other — the hardened path's per-interval work is a handful of
+// comparisons per tick on top of the simulation.
+
+void
+BM_CollectorInterval(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    sim::Chip chip(ctx.cfg, bench::kSeed);
+    workloads::launch(chip, workloads::replicate("433.milc", 4), true);
+    trace::Collector col(chip);
+    for (auto _ : state) {
+        auto rec = col.collectInterval();
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_CollectorInterval);
+
+void
+BM_SamplerIntervalClean(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    sim::Chip chip(ctx.cfg, bench::kSeed);
+    workloads::launch(chip, workloads::replicate("433.milc", 4), true);
+    runtime::Sampler sampler(chip);
+    for (auto _ : state) {
+        auto rec = sampler.collectInterval();
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_SamplerIntervalClean);
+
+void
+BM_SamplerIntervalFaulty(benchmark::State &state)
+{
+    const auto &ctx = Context::get();
+    sim::Chip chip(ctx.cfg, bench::kSeed);
+    workloads::launch(chip, workloads::replicate("433.milc", 4), true);
+    chip.setFaultPlan(sim::FaultPlan::parse(
+                          "msr=0.05,wrap=30,saturate=0.001,mux=0.02,"
+                          "diode_spike=0.01,sensor_drop=0.01,"
+                          "vf_reject=0.05,jitter=0.2"),
+                      bench::kSeed);
+    runtime::Sampler sampler(chip);
+    for (auto _ : state) {
+        auto rec = sampler.collectInterval();
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_SamplerIntervalFaulty);
 
 void
 BM_CappingDecision(benchmark::State &state)

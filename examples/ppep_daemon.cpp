@@ -11,10 +11,17 @@
  * round-trips every coefficient exactly), and per-interval telemetry
  * streams through TelemetrySinks.
  *
- * Usage: ppep_daemon [intervals] [benchmark...]
+ * Usage: ppep_daemon [--faults=SPEC] [intervals] [benchmark...]
  *        (default: 40 intervals of 433.milc + 458.sjeng + CG + EP)
  * Env:   PPEP_CACHE_DIR    model cache directory (default .ppep-cache)
  *        PPEP_DAEMON_JSONL write per-interval JSONL telemetry here
+ *        PPEP_FAULTS       fault spec, same format as --faults=
+ *
+ * A fault spec ("msr=0.02,sensor_drop=0.01,vf_reject=0.05,...", see
+ * sim::FaultPlan::parse) runs the daemon against misbehaving hardware:
+ * acquisition switches to the hardened Sampler, a HealthMonitor scores
+ * every interval, and the governor demotes to a safe hold/step-down
+ * policy whenever the data cannot be trusted.
  */
 
 #include <cstdio>
@@ -33,11 +40,22 @@ int
 main(int argc, char **argv)
 {
     using namespace ppep;
+    std::string fault_spec;
+    if (const char *env = std::getenv("PPEP_FAULTS"); env && *env)
+        fault_spec = env;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--faults=", 0) == 0)
+            fault_spec = arg.substr(9);
+        else
+            args.push_back(arg);
+    }
     const std::size_t intervals =
-        argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 40;
-    std::vector<std::string> programs;
-    for (int i = 2; i < argc; ++i)
-        programs.push_back(argv[i]);
+        !args.empty() ? static_cast<std::size_t>(std::stoul(args[0]))
+                      : 40;
+    std::vector<std::string> programs(
+        args.begin() + (args.empty() ? 0 : 1), args.end());
     if (programs.empty())
         programs = {"433.milc", "458.sjeng", "CG", "EP"};
     for (const auto &p : programs) {
@@ -66,6 +84,12 @@ main(int argc, char **argv)
                        .sink(summary);
     if (jsonl)
         builder.sink(*jsonl);
+    if (!fault_spec.empty()) {
+        const auto plan = sim::FaultPlan::parse(fault_spec);
+        std::printf("Injecting hardware faults: %s\n",
+                    plan.describe().c_str());
+        builder.faults(plan);
+    }
     auto session = builder.build();
 
     std::printf(session.modelsWereCached()
@@ -97,6 +121,22 @@ main(int argc, char **argv)
 
     std::printf("\n");
     summary.print(std::cout);
+
+    if (session.hardened()) {
+        const auto &h = session.sampler()->lastHealth();
+        const auto *mon = session.healthMonitor();
+        const auto *deg = session.degradedGovernor();
+        std::printf("\nhardened-path health: %zu fault events absorbed "
+                    "(%zu injected), %zu PMC wraps\n",
+                    h.total_fault_events + h.faultEvents(),
+                    h.injected.total(), h.pmc_wrap_events);
+        std::printf("  degraded intervals %zu (%zu demotions, %zu "
+                    "re-promotions), divergence EWMA %.2f W\n",
+                    deg->degradedIntervals(), mon->demotions(),
+                    mon->repromotions(), mon->divergenceEwma());
+    }
+    for (const auto &err : session.sinkErrors())
+        std::fprintf(stderr, "warning: %s\n", err.c_str());
 
     std::printf("\nSettled VF state: %s (EDP-optimal for this mix, "
                 "found in one prediction step)\n",

@@ -10,12 +10,18 @@
  * shows how a policy with extra training needs (the thermal-network
  * fit) plugs into the runtime layer.
  *
- * Usage: thermal_cap_demo [temp_cap_k] [intervals]
+ * Usage: thermal_cap_demo [--faults=SPEC] [temp_cap_k] [intervals]
+ *
+ * With --faults= (sim::FaultPlan::parse format) the run faces glitchy
+ * diodes/sensors/counters through the hardened acquisition path — the
+ * interesting case for a thermal governor, whose one defense against a
+ * spiking diode is the Sampler's plausibility window.
  */
 
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "ppep/governor/thermal_cap.hpp"
 #include "ppep/model/thermal_estimator.hpp"
@@ -28,9 +34,19 @@ int
 main(int argc, char **argv)
 {
     using namespace ppep;
-    const double cap_k = argc > 1 ? std::stod(argv[1]) : 328.0;
+    std::string fault_spec;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--faults=", 0) == 0)
+            fault_spec = arg.substr(9);
+        else
+            args.push_back(arg);
+    }
+    const double cap_k = !args.empty() ? std::stod(args[0]) : 328.0;
     const std::size_t intervals =
-        argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 120;
+        args.size() > 1 ? static_cast<std::size_t>(std::stoul(args[1]))
+                        : 120;
 
     const auto cfg = sim::fx8320Config();
     std::printf("Acquiring PPEP models + fitting the thermal "
@@ -52,13 +68,19 @@ main(int argc, char **argv)
     for (std::size_t c = 0; c < cfg.coreCount(); ++c)
         jobs.push_back({c, "EP", true});
 
-    auto session = Session::builder(cfg)
+    auto builder = Session::builder(cfg)
                        .seed(55)
                        .trainingSeed(42)
                        .store(runtime::ModelStore())
                        .jobs(jobs)
-                       .governor(factory)
-                       .build();
+                       .governor(factory);
+    if (!fault_spec.empty()) {
+        const auto plan = sim::FaultPlan::parse(fault_spec);
+        std::printf("Injecting hardware faults: %s\n",
+                    plan.describe().c_str());
+        builder.faults(plan);
+    }
+    auto session = builder.build();
 
     std::printf("fitted: ambient %.1f K, R %.3f K/W, tau %.1f s\n",
                 thermal.ambient_k, thermal.resistance_k_per_w,
@@ -86,5 +108,12 @@ main(int argc, char **argv)
                 max_temp, cap_k,
                 max_temp <= cap_k + 0.5 ? "held proactively"
                                         : "CAP VIOLATED");
+    if (session.hardened()) {
+        const auto &h = session.sampler()->lastHealth();
+        std::printf("hardened path: %zu fault events absorbed, %zu "
+                    "degraded intervals\n",
+                    h.total_fault_events + h.faultEvents(),
+                    session.degradedGovernor()->degradedIntervals());
+    }
     return 0;
 }

@@ -1,0 +1,85 @@
+#include "ppep/governor/degraded_mode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::governor {
+
+DegradedModeGovernor::DegradedModeGovernor(const sim::Chip &chip,
+                                           Governor &inner,
+                                           HealthProbe probe,
+                                           SafePolicy policy)
+    : chip_(chip), inner_(inner), probe_(std::move(probe)),
+      policy_(policy),
+      last_predicted_w_(std::numeric_limits<double>::quiet_NaN())
+{
+    PPEP_ASSERT(policy_.cap_guard >= 0.0 && policy_.cap_guard < 1.0,
+                "cap_guard in [0, 1)");
+}
+
+std::vector<std::size_t>
+DegradedModeGovernor::decide(const trace::IntervalRecord &rec,
+                             double cap_w)
+{
+    // The probe runs before anything else: at this point
+    // lastPredictedPower() still reports the forecast made for the
+    // interval in rec, which is what divergence tracking needs.
+    degraded_now_ = probe_ ? probe_(rec) : false;
+
+    if (!degraded_now_) {
+        auto vf = inner_.decide(rec, cap_w);
+        last_predicted_w_ = inner_.lastPredictedPower();
+        return vf;
+    }
+
+    ++degraded_intervals_;
+    last_predicted_w_ = std::numeric_limits<double>::quiet_NaN();
+
+    // Safe policy: hold, clamped out of boost; step everything down
+    // one state when measured power nears the cap. Never steps up, so
+    // a degraded run can only lower power relative to its entry point.
+    const std::size_t top = chip_.config().vf_table.size() - 1;
+    std::vector<std::size_t> vf(rec.cu_vf);
+    PPEP_ASSERT(vf.size() == chip_.config().n_cus,
+                "record CU count mismatch");
+    for (auto &s : vf)
+        s = std::min(s, top);
+    const bool near_cap =
+        std::isfinite(cap_w) &&
+        rec.sensor_power_w > cap_w * (1.0 - policy_.cap_guard);
+    if (near_cap) {
+        for (auto &s : vf)
+            s = s > 0 ? s - 1 : 0;
+    }
+    return vf;
+}
+
+std::optional<sim::VfState>
+DegradedModeGovernor::decideNb()
+{
+    if (degraded_now_)
+        return std::nullopt;
+    return inner_.decideNb();
+}
+
+std::string
+DegradedModeGovernor::name() const
+{
+    return "degraded-mode(" + inner_.name() + ")";
+}
+
+const std::vector<model::VfPrediction> *
+DegradedModeGovernor::lastExploration() const
+{
+    return degraded_now_ ? nullptr : inner_.lastExploration();
+}
+
+double
+DegradedModeGovernor::lastPredictedPower() const
+{
+    return last_predicted_w_;
+}
+
+} // namespace ppep::governor

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Degraded-mode wrapper: a safety shell around any Governor.
+ *
+ * When the acquisition path reports that its inputs cannot be trusted
+ * (fault storm, model divergence), acting on a sophisticated policy's
+ * decisions is worse than acting on none: the PPEP exploration that
+ * makes the inner governor smart is exactly what corrupted counters
+ * poison. The wrapper consults a health probe at the top of every
+ * decision and, while degraded, replaces the inner policy with a
+ * conservative hold/step-down rule:
+ *
+ *  - never select a boost state (requests clamp to the software
+ *    P-state table);
+ *  - hold the current operating point while measured power sits
+ *    comfortably under the cap;
+ *  - step every CU down one state whenever measured power crosses the
+ *    guard band below the cap — measured power is the one input the
+ *    hardened sampler still vouches for;
+ *  - leave the NB untouched.
+ *
+ * Control returns to the inner governor the first decision after the
+ * probe reports healthy (the runtime::HealthMonitor behind the probe
+ * requires N consecutive clean intervals, so re-promotion is already
+ * hysteretic).
+ */
+
+#ifndef PPEP_GOVERNOR_DEGRADED_MODE_HPP
+#define PPEP_GOVERNOR_DEGRADED_MODE_HPP
+
+#include <functional>
+
+#include "ppep/governor/governor.hpp"
+
+namespace ppep::governor {
+
+/** Tuning for the degraded-mode safe policy. */
+struct SafePolicy
+{
+    /** Step down when measured power exceeds cap * (1 - cap_guard);
+     *  the margin absorbs sensor noise and the one-interval lag
+     *  between deciding and measuring. */
+    double cap_guard = 0.1;
+};
+
+/**
+ * Wraps an inner Governor and demotes to the safe policy whenever the
+ * health probe says the interval's data cannot be trusted.
+ */
+class DegradedModeGovernor : public Governor
+{
+  public:
+    /**
+     * Health probe, evaluated once at the top of every decide() with
+     * the interval that just completed; true = govern in degraded
+     * mode this decision. runtime::Session binds this to a
+     * HealthMonitor fed by the hardened Sampler.
+     */
+    using HealthProbe =
+        std::function<bool(const trace::IntervalRecord &rec)>;
+
+    /**
+     * @param chip   consulted for the software P-state table only;
+     *               must outlive the governor.
+     * @param inner  the policy to run while healthy; must outlive
+     *               the governor.
+     * @param probe  health probe (empty = always healthy).
+     */
+    DegradedModeGovernor(const sim::Chip &chip, Governor &inner,
+                         HealthProbe probe, SafePolicy policy = {});
+
+    std::vector<std::size_t>
+    decide(const trace::IntervalRecord &rec, double cap_w) override;
+
+    std::optional<sim::VfState> decideNb() override;
+
+    std::string name() const override;
+
+    /** Inner exploration while healthy; nullptr while degraded. */
+    const std::vector<model::VfPrediction> *
+    lastExploration() const override;
+
+    /** Inner prediction while healthy; NaN while degraded. */
+    double lastPredictedPower() const override;
+
+    /** True when the most recent decision ran the safe policy. */
+    bool degradedNow() const { return degraded_now_; }
+
+    /** Decisions taken in degraded mode so far. */
+    std::size_t degradedIntervals() const { return degraded_intervals_; }
+
+    /** The safe-policy tuning in force. */
+    const SafePolicy &safePolicy() const { return policy_; }
+
+  private:
+    const sim::Chip &chip_;
+    Governor &inner_;
+    HealthProbe probe_;
+    SafePolicy policy_;
+    bool degraded_now_ = false;
+    std::size_t degraded_intervals_ = 0;
+    double last_predicted_w_;
+};
+
+} // namespace ppep::governor
+
+#endif // PPEP_GOVERNOR_DEGRADED_MODE_HPP

@@ -46,12 +46,19 @@ GovernorLoop::GovernorLoop(sim::Chip &chip, Governor &policy)
 {
 }
 
+GovernorLoop::GovernorLoop(sim::Chip &chip, Governor &policy,
+                           trace::IntervalSource &source)
+    : chip_(chip), policy_(policy), source_(&source)
+{
+}
+
 std::vector<GovernorStep>
 GovernorLoop::run(std::size_t intervals, const CapSchedule &schedule,
                   const StepObserver &observer)
 {
     using clock = std::chrono::steady_clock;
     trace::Collector col(chip_);
+    trace::IntervalSource &source = source_ ? *source_ : col;
     std::vector<GovernorStep> out;
     out.reserve(intervals);
     for (std::size_t i = 0; i < intervals; ++i) {
@@ -60,7 +67,7 @@ GovernorLoop::run(std::size_t intervals, const CapSchedule &schedule,
         step.cu_vf.resize(chip_.config().n_cus);
         for (std::size_t cu = 0; cu < step.cu_vf.size(); ++cu)
             step.cu_vf[cu] = chip_.cuVf(cu);
-        step.rec = col.collectInterval();
+        step.rec = source.collectInterval();
         // Decide with the *next* interval's cap: the policy reacts to a
         // cap change in the very next decision, just like the paper's
         // Fig. 7 experiment.

@@ -125,6 +125,14 @@ class GovernorLoop
 
     GovernorLoop(sim::Chip &chip, Governor &policy);
 
+    /**
+     * Drive the cycle from @p source instead of a plain Collector — the
+     * hardened-acquisition hookup (runtime::Sampler). @p source must be
+     * bound to the same chip.
+     */
+    GovernorLoop(sim::Chip &chip, Governor &policy,
+                 trace::IntervalSource &source);
+
     /** Run @p intervals intervals under @p schedule. */
     std::vector<GovernorStep> run(std::size_t intervals,
                                   const CapSchedule &schedule,
@@ -133,6 +141,7 @@ class GovernorLoop
   private:
     sim::Chip &chip_;
     Governor &policy_;
+    trace::IntervalSource *source_ = nullptr;
 };
 
 /** Fraction of intervals whose measured power stayed at or under cap. */

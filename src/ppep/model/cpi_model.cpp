@@ -1,5 +1,7 @@
 #include "ppep/model/cpi_model.hpp"
 
+#include <cmath>
+
 #include "ppep/util/logging.hpp"
 
 namespace ppep::model {
@@ -9,11 +11,20 @@ CpiModel::fromEvents(const sim::EventVector &events)
 {
     const double inst =
         events[sim::eventIndex(sim::Event::RetiredInst)];
-    if (inst <= 0.0)
+    // !(x > 0) rather than x <= 0 so a NaN count also takes the
+    // sentinel path instead of flowing into the divisions.
+    if (!(inst > 0.0))
         return {};
     CpiSample s;
     s.cpi = events[sim::eventIndex(sim::Event::ClocksNotHalted)] / inst;
     s.mcpi = events[sim::eventIndex(sim::Event::MabWaitCycles)] / inst;
+    // A counter set claiming retired instructions but no (or garbage)
+    // cycles is corrupt — dropped multiplexer harvests and saturated
+    // slots both produce it. The zero sample is the defined sentinel;
+    // every downstream predictor treats it as an idle core.
+    if (!std::isfinite(s.cpi) || !std::isfinite(s.mcpi) ||
+        s.cpi <= 0.0 || s.mcpi < 0.0)
+        return {};
     // Multiplexing extrapolation can make E12 slightly exceed E10 on
     // pathological intervals; clamp to keep CCPI non-negative.
     if (s.mcpi > s.cpi)

@@ -37,7 +37,12 @@ class CpiModel
   public:
     /**
      * Extract a CpiSample from raw event counts (E10/E11/E12).
-     * Returns a zero sample if no instructions retired.
+     *
+     * Returns the zero sample — the defined idle/corrupt sentinel —
+     * when no instructions retired, when any input is NaN, or when
+     * the set is internally inconsistent (instructions retired with
+     * zero or negative cycles, negative MAB-wait cycles). Callers
+     * can rely on a non-zero result having cpi > 0 and mcpi >= 0.
      */
     static CpiSample fromEvents(const sim::EventVector &events);
 

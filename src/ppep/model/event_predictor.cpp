@@ -1,6 +1,7 @@
 #include "ppep/model/event_predictor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "ppep/util/logging.hpp"
 
@@ -17,7 +18,7 @@ double
 EventPredictor::obs2Gap(const sim::EventVector &events)
 {
     const double inst = events[eventIndex(Event::RetiredInst)];
-    if (inst <= 0.0)
+    if (!(inst > 0.0))
         return 0.0;
     const double cpi =
         events[eventIndex(Event::ClocksNotHalted)] / inst;
@@ -37,13 +38,21 @@ EventPredictor::observe(const sim::EventVector &events, double duration_s,
     CoreObservation obs;
     obs.f_current = f_current;
     const double inst = events[eventIndex(Event::RetiredInst)];
-    if (inst <= 0.0)
-        return obs; // idle core stays idle
+    if (!(inst > 0.0))
+        return obs; // idle core stays idle (NaN counts land here too)
 
-    obs.idle = false;
     // CPI decomposition, with the memory time optionally stretched by
-    // the NB what-if factor.
+    // the NB what-if factor. fromEvents returns the zero sample for
+    // corrupt counter sets (instructions without cycles, non-finite
+    // counts); treat those as idle rather than dividing by CPI = 0
+    // below.
     obs.sample = CpiModel::fromEvents(events);
+    if (obs.sample.cpi <= 0.0) {
+        CoreObservation idle;
+        idle.f_current = obs.f_current;
+        return idle;
+    }
+    obs.idle = false;
     obs.sample.cpi += obs.sample.mcpi * (mcpi_scale - 1.0);
     obs.sample.mcpi *= mcpi_scale;
 
@@ -72,9 +81,14 @@ EventPredictor::predictAt(const CoreObservation &obs, double f_target)
     if (obs.idle)
         return out;
 
-    // Step 1: CPI at the target VF (Eq. 1).
+    // Step 1: CPI at the target VF (Eq. 1). Defensive sentinel: a
+    // non-positive or non-finite target CPI (possible only with a
+    // hand-built observation that bypassed observe()) would otherwise
+    // turn the IPS division into Inf and poison every rate below.
     const double cpi_target =
         CpiModel::predictCpi(obs.sample, obs.f_current, f_target);
+    if (!(cpi_target > 0.0) || !std::isfinite(cpi_target))
+        return out;
     const double ips_target = f_target * 1e9 / cpi_target;
 
     // Step 2: Obs. 2 gives dispatch stalls per instruction at the target:

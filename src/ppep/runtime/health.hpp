@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fault accounting and model-health tracking for governed runs.
+ *
+ * The HealthMonitor folds two signals into a single degraded/healthy
+ * verdict each interval:
+ *
+ *  - the Sampler's per-interval fault events (failed read-outs,
+ *    rejected samples, substitutions, timing overruns), and
+ *  - the divergence between the power the governor *predicted* for an
+ *    interval and the power the sensor then *measured*, smoothed with
+ *    an EWMA so a single glitch does not flip the verdict.
+ *
+ * A demotion latches: the system stays degraded until it has seen
+ * policy.repromote_clean consecutive clean intervals. The
+ * DegradedModeGovernor consults the verdict at the top of every
+ * decision.
+ */
+
+#ifndef PPEP_RUNTIME_HEALTH_HPP
+#define PPEP_RUNTIME_HEALTH_HPP
+
+#include <cstddef>
+
+#include "ppep/runtime/sampler.hpp"
+
+namespace ppep::runtime {
+
+/** Demotion/re-promotion thresholds. */
+struct HealthPolicy
+{
+    /** EWMA smoothing factor for |predicted - measured| power. */
+    double ewma_alpha = 0.25;
+
+    /** Demote when the divergence EWMA exceeds this, watts. */
+    double demote_divergence_w = 15.0;
+
+    /** Demote when one interval records at least this many fault
+     *  events (Sampler interventions). */
+    std::size_t demote_fault_events = 3;
+
+    /** Consecutive clean intervals required to re-promote. */
+    std::size_t repromote_clean = 5;
+
+    /** An interval only counts as clean if the divergence EWMA is
+     *  back under this, watts (hysteresis below the demote level). */
+    double clean_divergence_w = 8.0;
+};
+
+/** Latching healthy/degraded state machine fed once per interval. */
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(HealthPolicy policy = {});
+
+    /**
+     * Account one completed interval.
+     *
+     * @param health      the Sampler's record for the interval.
+     * @param predicted_w chip power the governor predicted for this
+     *                    interval when it decided the previous one;
+     *                    NaN when no prediction was made (degraded
+     *                    mode, non-predicting policy) — divergence
+     *                    tracking is skipped for that interval.
+     * @param measured_w  sensor power the interval actually measured.
+     */
+    void observe(const SampleHealth &health, double predicted_w,
+                 double measured_w);
+
+    /** Current verdict. */
+    bool degraded() const { return degraded_; }
+
+    /** Smoothed |predicted - measured| power, watts. */
+    double divergenceEwma() const { return divergence_ewma_; }
+
+    /** Healthy→degraded transitions so far. */
+    std::size_t demotions() const { return demotions_; }
+
+    /** Degraded→healthy transitions so far. */
+    std::size_t repromotions() const { return repromotions_; }
+
+    /** Consecutive clean intervals ending at the latest observation. */
+    std::size_t cleanStreak() const { return clean_streak_; }
+
+    /** Intervals observed so far. */
+    std::size_t intervalsObserved() const { return intervals_; }
+
+    /** The thresholds in force. */
+    const HealthPolicy &policy() const { return policy_; }
+
+  private:
+    HealthPolicy policy_;
+    bool degraded_ = false;
+    double divergence_ewma_ = 0.0;
+    std::size_t clean_streak_ = 0;
+    std::size_t demotions_ = 0;
+    std::size_t repromotions_ = 0;
+    std::size_t intervals_ = 0;
+};
+
+} // namespace ppep::runtime
+
+#endif // PPEP_RUNTIME_HEALTH_HPP

@@ -71,6 +71,12 @@ struct Session::State
     std::size_t next_index = 0;
     /** lastPredictedPower() carried over to the interval it forecasts. */
     double pending_pred = std::numeric_limits<double>::quiet_NaN();
+    // Hardened-path members; declared after chip so they die first.
+    bool hardened = false;
+    std::optional<Sampler> sampler;
+    std::optional<HealthMonitor> monitor;
+    std::unique_ptr<governor::DegradedModeGovernor> degraded_gov;
+    std::vector<std::string> sink_errors;
 };
 
 Session::Builder::Builder(sim::ChipConfig cfg) : cfg_(std::move(cfg)) {}
@@ -181,6 +187,45 @@ Session::Builder::sink(TelemetrySink &s)
     return *this;
 }
 
+Session::Builder &
+Session::Builder::faults(const sim::FaultPlan &plan)
+{
+    plan_ = plan;
+    hardened_ = true;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::faultSeed(std::uint64_t s)
+{
+    fault_seed_ = s;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::samplerPolicy(const SamplerPolicy &p)
+{
+    sampler_policy_ = p;
+    hardened_ = true;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::healthPolicy(const HealthPolicy &p)
+{
+    health_policy_ = p;
+    hardened_ = true;
+    return *this;
+}
+
+Session::Builder &
+Session::Builder::safePolicy(const ppep::governor::SafePolicy &p)
+{
+    safe_policy_ = p;
+    hardened_ = true;
+    return *this;
+}
+
 Session
 Session::Builder::build()
 {
@@ -243,6 +288,39 @@ Session::Builder::build()
         state->gov = state->owned_gov.get();
     }
 
+    // Hardened acquisition: faults on the chip, the Sampler in the
+    // loop, the HealthMonitor scoring every interval, and the
+    // degraded-mode wrapper gating the policy on its verdict.
+    state->hardened = hardened_;
+    if (plan_) {
+        // Decorrelate from the chip's own noise streams by default,
+        // but keep the derivation a pure function of the chip seed.
+        const std::uint64_t fseed =
+            fault_seed_ ? *fault_seed_
+                        : chip_seed_ ^ 0x9E3779B97F4A7C15ULL;
+        state->chip->setFaultPlan(*plan_, fseed);
+    }
+    if (hardened_) {
+        state->sampler.emplace(*state->chip, sampler_policy_);
+        state->monitor.emplace(health_policy_);
+        State *st = state.get();
+        // The probe runs at the top of every decide(), when the
+        // wrapper's lastPredictedPower() is still the forecast made
+        // for the interval in rec — exactly what divergence needs.
+        state->degraded_gov =
+            std::make_unique<governor::DegradedModeGovernor>(
+                *state->chip, *state->gov,
+                [st](const trace::IntervalRecord &rec) {
+                    st->monitor->observe(
+                        st->sampler->lastHealth(),
+                        st->degraded_gov->lastPredictedPower(),
+                        rec.sensor_power_w);
+                    return st->monitor->degraded();
+                },
+                safe_policy_);
+        state->gov = state->degraded_gov.get();
+    }
+
     return Session(std::move(state));
 }
 
@@ -265,11 +343,20 @@ Session::run(std::size_t intervals)
 {
     auto &s = *state_;
     if (s.warmup && !s.warmed) {
-        trace::Collector warm(*s.chip);
-        warm.collect(s.warmup);
+        if (s.sampler) {
+            // Warm through the hardened path so its last-good state
+            // is primed before governed intervals begin.
+            for (std::size_t i = 0; i < s.warmup; ++i)
+                s.sampler->collectInterval();
+        } else {
+            trace::Collector warm(*s.chip);
+            warm.collect(s.warmup);
+        }
         s.warmed = true;
     }
-    governor::GovernorLoop loop(*s.chip, *s.gov);
+    governor::GovernorLoop loop =
+        s.sampler ? governor::GovernorLoop(*s.chip, *s.gov, *s.sampler)
+                  : governor::GovernorLoop(*s.chip, *s.gov);
     const auto observer = [&s](const governor::GovernorStep &step,
                                double latency_s) {
         IntervalTelemetry t;
@@ -284,6 +371,9 @@ Session::run(std::size_t intervals)
         t.predicted_power_w = s.pending_pred;
         t.exploration = s.gov->lastExploration();
         t.decision_latency_s = latency_s;
+        t.health = s.sampler ? &s.sampler->lastHealth() : nullptr;
+        t.degraded =
+            s.degraded_gov ? s.degraded_gov->degradedNow() : false;
         for (auto *sink : s.sinks)
             sink->onInterval(t);
         // The decision that just ran governs the *next* interval; hold
@@ -291,8 +381,14 @@ Session::run(std::size_t intervals)
         s.pending_pred = s.gov->lastPredictedPower();
     };
     auto steps = loop.run(intervals, s.schedule, observer);
-    for (auto *sink : s.sinks)
+    s.sink_errors.clear();
+    for (auto *sink : s.sinks) {
         sink->finish();
+        if (sink->failed()) {
+            PPEP_WARN("telemetry sink failed: ", sink->error());
+            s.sink_errors.push_back(sink->error());
+        }
+    }
     return steps;
 }
 
@@ -340,6 +436,36 @@ bool
 Session::modelsWereCached() const
 {
     return state_->was_cached;
+}
+
+bool
+Session::hardened() const
+{
+    return state_->hardened;
+}
+
+const Sampler *
+Session::sampler() const
+{
+    return state_->sampler ? &*state_->sampler : nullptr;
+}
+
+const HealthMonitor *
+Session::healthMonitor() const
+{
+    return state_->monitor ? &*state_->monitor : nullptr;
+}
+
+const ppep::governor::DegradedModeGovernor *
+Session::degradedGovernor() const
+{
+    return state_->degraded_gov.get();
+}
+
+const std::vector<std::string> &
+Session::sinkErrors() const
+{
+    return state_->sink_errors;
 }
 
 } // namespace ppep::runtime

@@ -35,12 +35,16 @@
 #include <string>
 #include <vector>
 
+#include "ppep/governor/degraded_mode.hpp"
 #include "ppep/governor/governor.hpp"
 #include "ppep/model/ppep.hpp"
 #include "ppep/model/trainer.hpp"
+#include "ppep/runtime/health.hpp"
 #include "ppep/runtime/model_store.hpp"
+#include "ppep/runtime/sampler.hpp"
 #include "ppep/runtime/telemetry.hpp"
 #include "ppep/sim/chip.hpp"
+#include "ppep/sim/fault.hpp"
 #include "ppep/workloads/suite.hpp"
 
 namespace ppep::runtime {
@@ -139,6 +143,30 @@ class Session
         /** Attach a caller-owned telemetry sink (repeatable). */
         Builder &sink(TelemetrySink &s);
 
+        // --- hardened acquisition ------------------------------------
+
+        /**
+         * Install a hardware fault plan on the chip and switch the
+         * run onto the hardened path: Sampler acquisition,
+         * HealthMonitor accounting, and a degraded-mode wrapper
+         * around the policy. An all-zero plan exercises the hardened
+         * path against perfect hardware.
+         */
+        Builder &faults(const sim::FaultPlan &plan);
+
+        /** Seed for the fault decision stream (default: derived from
+         *  the chip seed, so runs stay reproducible). */
+        Builder &faultSeed(std::uint64_t s);
+
+        /** Hardened-acquisition tuning (implies the hardened path). */
+        Builder &samplerPolicy(const SamplerPolicy &p);
+
+        /** Demotion/re-promotion thresholds (implies hardened path). */
+        Builder &healthPolicy(const HealthPolicy &p);
+
+        /** Degraded-mode safe-policy tuning (implies hardened path). */
+        Builder &safePolicy(const ppep::governor::SafePolicy &p);
+
         /** Assemble the session (trains or loads models as needed). */
         Session build();
 
@@ -159,6 +187,12 @@ class Session
         std::optional<ppep::governor::CapSchedule> schedule_;
         std::size_t warmup_ = 0;
         std::vector<TelemetrySink *> sinks_;
+        std::optional<sim::FaultPlan> plan_;
+        std::optional<std::uint64_t> fault_seed_;
+        SamplerPolicy sampler_policy_;
+        HealthPolicy health_policy_;
+        ppep::governor::SafePolicy safe_policy_;
+        bool hardened_ = false;
     };
 
     static Builder builder(sim::ChipConfig cfg);
@@ -192,6 +226,25 @@ class Session
 
     /** True when build() served the models from the store's cache. */
     bool modelsWereCached() const;
+
+    /** True when this session runs the hardened acquisition path. */
+    bool hardened() const;
+
+    /** Hardened sampler; nullptr on plain sessions. */
+    const Sampler *sampler() const;
+
+    /** Health monitor; nullptr on plain sessions. */
+    const HealthMonitor *healthMonitor() const;
+
+    /** Degraded-mode wrapper; nullptr on plain sessions. */
+    const ppep::governor::DegradedModeGovernor *degradedGovernor() const;
+
+    /**
+     * Errors from sinks that failed during the most recent run()
+     * (satisfying "a full disk must not pass silently"); empty when
+     * every sink recorded faithfully.
+     */
+    const std::vector<std::string> &sinkErrors() const;
 
   private:
     struct State;

@@ -53,7 +53,7 @@ totalIps(const trace::IntervalRecord &rec)
 CsvSink::CsvSink(std::ostream &out) : out_(&out) {}
 
 CsvSink::CsvSink(const std::string &path)
-    : owned_(openFile(path))
+    : owned_(openFile(path)), path_(path)
 {
     out_ = owned_.get();
 }
@@ -67,13 +67,30 @@ CsvSink::stream()
 }
 
 void
+CsvSink::checkStream()
+{
+    if (failed_ || *out_)
+        return;
+    failed_ = true;
+    error_ = "csv telemetry write failed" +
+             (path_.empty() ? std::string() : " ('" + path_ + "')");
+}
+
+void
 CsvSink::onInterval(const IntervalTelemetry &t)
 {
     auto &os = stream();
     if (!header_written_) {
+        // Fault columns appear only on hardened runs, so traces from
+        // plain sessions are byte-identical to what they always were.
+        with_health_ = t.health != nullptr;
         os << "interval,time_s,cap_w,cu_vf,measured_power_w,"
               "predicted_power_w,diode_temp_k,total_ips,"
-              "decision_latency_us\n";
+              "decision_latency_us";
+        if (with_health_)
+            os << ",fault_events,substituted_cores,zeroed_cores,"
+                  "sensor_rejects,diode_rejects,degraded";
+        os << '\n';
         header_written_ = true;
     }
     std::string vf;
@@ -89,13 +106,28 @@ CsvSink::onInterval(const IntervalTelemetry &t)
                : std::string())
        << ',' << num(t.rec->diode_temp_k) << ','
        << num(totalIps(*t.rec)) << ','
-       << num(t.decision_latency_s * 1e6) << '\n';
+       << num(t.decision_latency_s * 1e6);
+    if (with_health_) {
+        if (t.health) {
+            os << ',' << t.health->faultEvents() << ','
+               << t.health->substituted_cores << ','
+               << t.health->zeroed_cores << ','
+               << t.health->sensor_rejects << ','
+               << t.health->diode_rejects << ','
+               << (t.degraded ? 1 : 0);
+        } else {
+            os << ",0,0,0,0,0,0";
+        }
+    }
+    os << '\n';
+    checkStream();
 }
 
 void
 CsvSink::finish()
 {
     stream().flush();
+    checkStream();
 }
 
 // --- JsonlSink -----------------------------------------------------------
@@ -103,12 +135,22 @@ CsvSink::finish()
 JsonlSink::JsonlSink(std::ostream &out) : out_(&out) {}
 
 JsonlSink::JsonlSink(const std::string &path)
-    : owned_(openFile(path))
+    : owned_(openFile(path)), path_(path)
 {
     out_ = owned_.get();
 }
 
 JsonlSink::~JsonlSink() = default;
+
+void
+JsonlSink::checkStream()
+{
+    if (failed_ || *out_)
+        return;
+    failed_ = true;
+    error_ = "jsonl telemetry write failed" +
+             (path_.empty() ? std::string() : " ('" + path_ + "')");
+}
 
 void
 JsonlSink::onInterval(const IntervalTelemetry &t)
@@ -123,13 +165,26 @@ JsonlSink::onInterval(const IntervalTelemetry &t)
        << ",\"diode_temp_k\":" << jsonNum(t.rec->diode_temp_k)
        << ",\"total_ips\":" << jsonNum(totalIps(*t.rec))
        << ",\"decision_latency_us\":"
-       << jsonNum(t.decision_latency_s * 1e6) << "}\n";
+       << jsonNum(t.decision_latency_s * 1e6);
+    if (t.health) {
+        os << ",\"fault_events\":" << t.health->faultEvents()
+           << ",\"substituted_cores\":" << t.health->substituted_cores
+           << ",\"zeroed_cores\":" << t.health->zeroed_cores
+           << ",\"sensor_rejects\":" << t.health->sensor_rejects
+           << ",\"diode_rejects\":" << t.health->diode_rejects
+           << ",\"total_fault_events\":"
+           << (t.health->total_fault_events + t.health->faultEvents())
+           << ",\"degraded\":" << (t.degraded ? "true" : "false");
+    }
+    os << "}\n";
+    checkStream();
 }
 
 void
 JsonlSink::finish()
 {
     out_->flush();
+    checkStream();
 }
 
 // --- SummarySink ---------------------------------------------------------
@@ -152,6 +207,14 @@ SummarySink::onInterval(const IntervalTelemetry &t)
     energy_j_ += t.rec->sensor_power_w * t.rec->duration_s;
     latency_sum_s_ += t.decision_latency_s;
     latency_max_s_ = std::max(latency_max_s_, t.decision_latency_s);
+    if (t.health)
+        fault_events_ += t.health->faultEvents();
+    if (t.degraded) {
+        ++degraded_intervals_;
+        if (!last_degraded_)
+            ++demotions_;
+    }
+    last_degraded_ = t.degraded;
 }
 
 SummarySink::Summary
@@ -201,6 +264,9 @@ SummarySink::summary() const
     s.mean_decision_latency_s =
         latency_sum_s_ / static_cast<double>(steps_.size());
     s.max_decision_latency_s = latency_max_s_;
+    s.fault_events = fault_events_;
+    s.degraded_intervals = degraded_intervals_;
+    s.demotions = demotions_;
     return s;
 }
 
@@ -230,6 +296,14 @@ SummarySink::print(std::ostream &out) const
                   1e6 * s.mean_decision_latency_s,
                   1e6 * s.max_decision_latency_s);
     out << buf;
+    if (s.fault_events || s.degraded_intervals) {
+        std::snprintf(buf, sizeof(buf),
+                      "  fault events %zu, degraded intervals %zu "
+                      "(%zu demotions)\n",
+                      s.fault_events, s.degraded_intervals,
+                      s.demotions);
+        out << buf;
+    }
     out << "  VF residency (CU-intervals):";
     for (std::size_t v = 0; v < s.vf_residency.size(); ++v)
         out << " VF" << v + 1 << "=" << s.vf_residency[v];

@@ -27,6 +27,7 @@
 
 #include "ppep/governor/governor.hpp"
 #include "ppep/model/ppep.hpp"
+#include "ppep/runtime/sampler.hpp"
 #include "ppep/trace/interval.hpp"
 
 namespace ppep::runtime {
@@ -65,6 +66,17 @@ struct IntervalTelemetry
 
     /** Wall-clock cost of the decide() call that ended the interval. */
     double decision_latency_s = 0.0;
+
+    /**
+     * The hardened Sampler's health record for this interval; nullptr
+     * when the session runs the perfect-acquisition Collector. Valid
+     * only during the callback.
+     */
+    const SampleHealth *health = nullptr;
+
+    /** True when the decision that ended this interval ran the
+     *  degraded-mode safe policy instead of the configured governor. */
+    bool degraded = false;
 };
 
 /** Observer of a governed run, invoked once per completed interval. */
@@ -78,6 +90,17 @@ class TelemetrySink
 
     /** End of run; flush/summarise. May be called more than once. */
     virtual void finish() {}
+
+    /**
+     * True when the sink has stopped recording faithfully (e.g. its
+     * output stream failed mid-run). Session::run checks this after
+     * finish() and reports failed sinks instead of losing data
+     * silently.
+     */
+    virtual bool failed() const { return false; }
+
+    /** Description of the failure; empty while healthy. */
+    virtual std::string error() const { return {}; }
 };
 
 /** Comma-separated trace, one row per interval, header on first row. */
@@ -94,13 +117,20 @@ class CsvSink : public TelemetrySink
 
     void onInterval(const IntervalTelemetry &t) override;
     void finish() override;
+    bool failed() const override { return failed_; }
+    std::string error() const override { return error_; }
 
   private:
     std::ostream &stream();
+    void checkStream();
 
     std::ostream *out_ = nullptr;
     std::unique_ptr<std::ostream> owned_;
+    std::string path_;
     bool header_written_ = false;
+    bool with_health_ = false;
+    bool failed_ = false;
+    std::string error_;
 };
 
 /** JSON-lines trace: one self-contained JSON object per interval. */
@@ -113,10 +143,17 @@ class JsonlSink : public TelemetrySink
 
     void onInterval(const IntervalTelemetry &t) override;
     void finish() override;
+    bool failed() const override { return failed_; }
+    std::string error() const override { return error_; }
 
   private:
+    void checkStream();
+
     std::ostream *out_ = nullptr;
     std::unique_ptr<std::ostream> owned_;
+    std::string path_;
+    bool failed_ = false;
+    std::string error_;
 };
 
 /** End-of-run aggregates over a governed trace. */
@@ -151,6 +188,15 @@ class SummarySink : public TelemetrySink
 
         double mean_decision_latency_s = 0.0;
         double max_decision_latency_s = 0.0;
+
+        /** Total Sampler fault events over the run (hardened runs). */
+        std::size_t fault_events = 0;
+
+        /** Intervals governed by the degraded-mode safe policy. */
+        std::size_t degraded_intervals = 0;
+
+        /** Healthy-to-degraded transitions observed. */
+        std::size_t demotions = 0;
     };
 
     void onInterval(const IntervalTelemetry &t) override;
@@ -170,6 +216,10 @@ class SummarySink : public TelemetrySink
 
     std::vector<StepLite> steps_;
     std::vector<std::size_t> residency_;
+    std::size_t fault_events_ = 0;
+    std::size_t degraded_intervals_ = 0;
+    std::size_t demotions_ = 0;
+    bool last_degraded_ = false;
     double abs_err_sum_w_ = 0.0;
     std::size_t predicted_ = 0;
     double power_sum_w_ = 0.0;

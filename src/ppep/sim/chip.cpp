@@ -57,6 +57,18 @@ Chip::setCuVf(std::size_t cu, std::size_t vf_index)
 {
     PPEP_ASSERT(cu < cu_vf_.size(), "CU ", cu, " out of range");
     PPEP_ASSERT(vf_index < stateCount(), "VF index out of range");
+    if (injector_) {
+        switch (injector_->onVfWrite()) {
+        case FaultInjector::VfWrite::Reject:
+            return; // silently dropped, like a contended P-state MSR
+        case FaultInjector::VfWrite::Delay:
+            pending_vf_.push_back(
+                {cu, vf_index, injector_->plan().vf_delay_ticks});
+            return;
+        case FaultInjector::VfWrite::Apply:
+            break;
+        }
+    }
     cu_vf_[cu] = vf_index;
 }
 
@@ -120,6 +132,42 @@ Chip::readPmc(std::size_t core)
     PPEP_ASSERT(pmc_auto_mux_,
                 "auto-multiplexing is off; read the PmcBank directly");
     return pmc_mux_[core]->readAndReset();
+}
+
+bool
+Chip::tryReadPmc(std::size_t core, EventVector &out)
+{
+    PPEP_ASSERT(core < pmc_mux_.size(), "core ", core, " out of range");
+    PPEP_ASSERT(pmc_auto_mux_,
+                "auto-multiplexing is off; read the PmcBank directly");
+    if (injector_ && injector_->msrReadFails())
+        return false;
+    out = pmc_mux_[core]->readAndReset();
+    return true;
+}
+
+std::size_t
+Chip::pmcTicksSinceReset(std::size_t core) const
+{
+    PPEP_ASSERT(core < pmc_mux_.size(), "core ", core, " out of range");
+    return pmc_mux_[core]->ticksSinceReset();
+}
+
+void
+Chip::setFaultPlan(const FaultPlan &plan, std::uint64_t seed)
+{
+    injector_ = std::make_unique<FaultInjector>(plan, seed);
+    for (auto &bank : pmc_banks_)
+        bank->setWrapBits(plan.pmc_wrap_bits);
+}
+
+std::size_t
+Chip::pmcWrapEvents() const
+{
+    std::size_t total = 0;
+    for (const auto &bank : pmc_banks_)
+        total += bank->wrapEvents();
+    return total;
 }
 
 void
@@ -189,6 +237,20 @@ Chip::step()
 {
     const double dt = cfg_.tick_s;
     const std::size_t n_cores = cfg_.coreCount();
+
+    // 0. Delayed P-state writes land once their latency expires.
+    if (!pending_vf_.empty()) {
+        std::size_t kept = 0;
+        for (auto &w : pending_vf_) {
+            if (w.ticks_left > 0) {
+                --w.ticks_left;
+                pending_vf_[kept++] = w;
+            } else {
+                cu_vf_[w.cu] = w.vf_index;
+            }
+        }
+        pending_vf_.resize(kept);
+    }
 
     // 1. Gate states for this tick.
     std::vector<bool> cu_gated(cfg_.n_cus, false);
@@ -275,11 +337,25 @@ Chip::step()
     res.truth.temperature_k = thermal_.temperature();
     res.sensor_power_w = sensor_.sample(res.truth.power.total);
     res.diode_temp_k = thermal_.diodeReading();
+    if (injector_) {
+        res.sensor_power_w = injector_->corruptSensor(res.sensor_power_w);
+        res.diode_temp_k = injector_->corruptDiode(res.diode_temp_k);
+    }
 
     // 7. Counter hardware ticks; the software multiplexer (when
     //    enabled) harvests the active group and rotates the selects.
+    //    Injected faults: a slot may saturate to full scale, and the
+    //    daemon-side harvest may miss the tick entirely (the counts
+    //    then bleed into the next harvest unrotated).
     for (std::size_t c = 0; c < n_cores; ++c) {
         pmc_banks_[c]->observe(res.truth.core_events[c]);
+        if (injector_) {
+            if (const auto slot = injector_->saturatedSlot(
+                    pmc_banks_[c]->counterCount()))
+                pmc_banks_[c]->write(*slot, pmc_banks_[c]->maxCount());
+            if (pmc_auto_mux_ && injector_->muxTickDropped())
+                continue;
+        }
         if (pmc_auto_mux_)
             pmc_mux_[c]->afterTick();
     }

@@ -20,6 +20,7 @@
 
 #include "ppep/sim/chip_config.hpp"
 #include "ppep/sim/core_model.hpp"
+#include "ppep/sim/fault.hpp"
 #include "ppep/sim/hw_power_model.hpp"
 #include "ppep/sim/northbridge.hpp"
 #include "ppep/sim/phase.hpp"
@@ -123,9 +124,27 @@ class Chip
 
     /**
      * Read-and-reset one core's software-multiplexed counters (the
-     * daemon path the paper uses). @pre auto-multiplexing is enabled.
+     * daemon path the paper uses). Never fails — the legacy perfect-
+     * hardware read. @pre auto-multiplexing is enabled.
      */
     EventVector readPmc(std::size_t core);
+
+    /**
+     * Fallible read-and-reset of one core's multiplexed counters. With
+     * a fault plan installed the attempt can fail (EAGAIN-style, per
+     * FaultPlan::msr_read_fail_p); the multiplexer then keeps
+     * accumulating, so a later retry reads a longer window. Returns
+     * false and leaves @p out untouched on failure.
+     * @pre auto-multiplexing is enabled.
+     */
+    bool tryReadPmc(std::size_t core, EventVector &out);
+
+    /**
+     * Ticks the core's multiplexer has accumulated since its last
+     * successful read — the read window a tryReadPmc() success would
+     * cover (longer than one interval after failed reads).
+     */
+    std::size_t pmcTicksSinceReset(std::size_t core) const;
 
     /**
      * Enable/disable the built-in per-core software multiplexer. With
@@ -140,6 +159,25 @@ class Chip
 
     /** Direct access to a core's counter hardware (MSR-level use). */
     PmcBank &pmcBank(std::size_t core);
+
+    // --- fault injection ------------------------------------------------
+
+    /**
+     * Install a fault plan (see sim/fault.hpp): every hardware interface
+     * the daemon touches then misbehaves at the configured rates, driven
+     * by a dedicated RNG stream derived from @p seed. Strictly opt-in —
+     * without this call (or with an all-zero plan) the chip's outputs
+     * are bit-identical to a fault-free build. Finite counter width
+     * (plan.pmc_wrap_bits) is applied to every core's PmcBank.
+     */
+    void setFaultPlan(const FaultPlan &plan, std::uint64_t seed);
+
+    /** The installed injector; nullptr when no plan is installed. */
+    FaultInjector *faultInjector() { return injector_.get(); }
+    const FaultInjector *faultInjector() const { return injector_.get(); }
+
+    /** Total PMC wraparounds across all cores (finite-width counters). */
+    std::size_t pmcWrapEvents() const;
 
     // --- simulation -----------------------------------------------------
 
@@ -182,6 +220,16 @@ class Chip
     std::vector<util::Rng> core_rngs_;
     bool pg_enabled_ = false;
     double time_s_ = 0.0;
+
+    /** A P-state write the hardware accepted but has not applied yet. */
+    struct PendingVfWrite
+    {
+        std::size_t cu = 0;
+        std::size_t vf_index = 0;
+        std::size_t ticks_left = 0;
+    };
+    std::unique_ptr<FaultInjector> injector_;
+    std::vector<PendingVfWrite> pending_vf_;
 };
 
 } // namespace ppep::sim

@@ -1,0 +1,231 @@
+#include "ppep/sim/fault.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::sim {
+
+bool
+FaultPlan::any() const
+{
+    return msr_read_fail_p > 0.0 || pmc_wrap_bits > 0 ||
+           pmc_slot_saturate_p > 0.0 || mux_dropout_p > 0.0 ||
+           diode_spike_p > 0.0 || diode_stuck_p > 0.0 ||
+           diode_dropout_p > 0.0 || sensor_spike_p > 0.0 ||
+           sensor_dropout_p > 0.0 || vf_reject_p > 0.0 ||
+           vf_delay_p > 0.0 || tick_jitter_p > 0.0;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string item =
+            spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        pos = comma == std::string::npos ? spec.size() : comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            PPEP_FATAL("fault spec item '", item, "' has no '='");
+        const std::string key = item.substr(0, eq);
+        const double value = std::stod(item.substr(eq + 1));
+        PPEP_ASSERT(value >= 0.0, "fault rates must be non-negative");
+        if (key == "msr")
+            plan.msr_read_fail_p = value;
+        else if (key == "wrap")
+            plan.pmc_wrap_bits = static_cast<unsigned>(value);
+        else if (key == "saturate")
+            plan.pmc_slot_saturate_p = value;
+        else if (key == "mux")
+            plan.mux_dropout_p = value;
+        else if (key == "diode_spike")
+            plan.diode_spike_p = value;
+        else if (key == "diode_spike_k")
+            plan.diode_spike_k = value;
+        else if (key == "diode_stuck")
+            plan.diode_stuck_p = value;
+        else if (key == "diode_stuck_ticks")
+            plan.diode_stuck_ticks = static_cast<std::size_t>(value);
+        else if (key == "diode_drop")
+            plan.diode_dropout_p = value;
+        else if (key == "sensor_spike")
+            plan.sensor_spike_p = value;
+        else if (key == "sensor_spike_w")
+            plan.sensor_spike_w = value;
+        else if (key == "sensor_drop")
+            plan.sensor_dropout_p = value;
+        else if (key == "vf_reject")
+            plan.vf_reject_p = value;
+        else if (key == "vf_delay")
+            plan.vf_delay_p = value;
+        else if (key == "vf_delay_ticks")
+            plan.vf_delay_ticks = static_cast<std::size_t>(value);
+        else if (key == "jitter")
+            plan.tick_jitter_p = value;
+        else if (key == "jitter_max")
+            plan.tick_jitter_max = static_cast<std::size_t>(value);
+        else
+            PPEP_FATAL("unknown fault spec key '", key, "'");
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (!any())
+        return "no faults";
+    std::string out;
+    const auto add = [&out](const char *key, double v) {
+        if (v <= 0.0)
+            return;
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s%s=%g", out.empty() ? "" : ",",
+                      key, v);
+        out += buf;
+    };
+    add("msr", msr_read_fail_p);
+    add("wrap", static_cast<double>(pmc_wrap_bits));
+    add("saturate", pmc_slot_saturate_p);
+    add("mux", mux_dropout_p);
+    add("diode_spike", diode_spike_p);
+    add("diode_stuck", diode_stuck_p);
+    add("diode_drop", diode_dropout_p);
+    add("sensor_spike", sensor_spike_p);
+    add("sensor_drop", sensor_dropout_p);
+    add("vf_reject", vf_reject_p);
+    add("vf_delay", vf_delay_p);
+    add("jitter", tick_jitter_p);
+    return out;
+}
+
+std::size_t
+FaultCounters::total() const
+{
+    return msr_read_failures + pmc_slot_saturations + mux_dropped_ticks +
+           diode_spikes + diode_stuck_ticks + diode_dropouts +
+           sensor_spikes + sensor_dropouts + vf_rejects + vf_delays +
+           jittered_intervals;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(plan), rng_(seed)
+{
+    PPEP_ASSERT(plan_.pmc_wrap_bits <= 63,
+                "counter width must fit a 64-bit register");
+}
+
+bool
+FaultInjector::msrReadFails()
+{
+    if (plan_.msr_read_fail_p <= 0.0 ||
+        !rng_.bernoulli(plan_.msr_read_fail_p))
+        return false;
+    ++counters_.msr_read_failures;
+    return true;
+}
+
+bool
+FaultInjector::muxTickDropped()
+{
+    if (plan_.mux_dropout_p <= 0.0 ||
+        !rng_.bernoulli(plan_.mux_dropout_p))
+        return false;
+    ++counters_.mux_dropped_ticks;
+    return true;
+}
+
+std::optional<std::size_t>
+FaultInjector::saturatedSlot(std::size_t n_slots)
+{
+    if (plan_.pmc_slot_saturate_p <= 0.0 || plan_.pmc_wrap_bits == 0 ||
+        n_slots == 0 || !rng_.bernoulli(plan_.pmc_slot_saturate_p))
+        return std::nullopt;
+    ++counters_.pmc_slot_saturations;
+    return rng_.uniformInt(n_slots);
+}
+
+double
+FaultInjector::corruptDiode(double reading_k)
+{
+    // A stuck diode wins over everything: the readout register simply
+    // stops updating for a while.
+    if (diode_stuck_left_ > 0) {
+        --diode_stuck_left_;
+        ++counters_.diode_stuck_ticks;
+        return diode_stuck_value_;
+    }
+    if (plan_.diode_stuck_p > 0.0 && rng_.bernoulli(plan_.diode_stuck_p)) {
+        diode_stuck_left_ = plan_.diode_stuck_ticks;
+        diode_stuck_value_ = reading_k;
+        return reading_k;
+    }
+    if (plan_.diode_dropout_p > 0.0 &&
+        rng_.bernoulli(plan_.diode_dropout_p)) {
+        ++counters_.diode_dropouts;
+        return 0.0; // the hwmon "sensor unavailable" read
+    }
+    if (plan_.diode_spike_p > 0.0 && rng_.bernoulli(plan_.diode_spike_p)) {
+        ++counters_.diode_spikes;
+        const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+        return reading_k + sign * plan_.diode_spike_k;
+    }
+    return reading_k;
+}
+
+double
+FaultInjector::corruptSensor(double reading_w)
+{
+    if (plan_.sensor_dropout_p > 0.0 &&
+        rng_.bernoulli(plan_.sensor_dropout_p)) {
+        ++counters_.sensor_dropouts;
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (plan_.sensor_spike_p > 0.0 &&
+        rng_.bernoulli(plan_.sensor_spike_p)) {
+        ++counters_.sensor_spikes;
+        // ADC rail hits: full-scale or zero, both seen on real loggers.
+        return rng_.bernoulli(0.5) ? plan_.sensor_spike_w : 0.0;
+    }
+    return reading_w;
+}
+
+FaultInjector::VfWrite
+FaultInjector::onVfWrite()
+{
+    if (plan_.vf_reject_p > 0.0 && rng_.bernoulli(plan_.vf_reject_p)) {
+        ++counters_.vf_rejects;
+        return VfWrite::Reject;
+    }
+    if (plan_.vf_delay_p > 0.0 && rng_.bernoulli(plan_.vf_delay_p)) {
+        ++counters_.vf_delays;
+        return VfWrite::Delay;
+    }
+    return VfWrite::Apply;
+}
+
+std::size_t
+FaultInjector::jitterTicks(std::size_t nominal)
+{
+    if (plan_.tick_jitter_p <= 0.0 || plan_.tick_jitter_max == 0 ||
+        !rng_.bernoulli(plan_.tick_jitter_p))
+        return nominal;
+    ++counters_.jittered_intervals;
+    const std::size_t span = 2 * plan_.tick_jitter_max + 1;
+    const std::int64_t offset =
+        static_cast<std::int64_t>(rng_.uniformInt(span)) -
+        static_cast<std::int64_t>(plan_.tick_jitter_max);
+    const std::int64_t jittered =
+        static_cast<std::int64_t>(nominal) + offset;
+    return jittered < 1 ? 1 : static_cast<std::size_t>(jittered);
+}
+
+} // namespace ppep::sim

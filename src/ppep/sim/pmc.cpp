@@ -6,9 +6,37 @@
 
 namespace ppep::sim {
 
+std::uint64_t
+wrapCounterDelta(std::uint64_t prev, std::uint64_t cur,
+                 unsigned width_bits)
+{
+    PPEP_ASSERT(width_bits >= 1 && width_bits <= 63,
+                "counter width out of range");
+    const std::uint64_t mask = (1ULL << width_bits) - 1;
+    PPEP_ASSERT(prev <= mask && cur <= mask,
+                "raw reads exceed the counter width");
+    return (cur - prev) & mask;
+}
+
 PmcBank::PmcBank(std::size_t n_counters) : slots_(n_counters)
 {
     PPEP_ASSERT(n_counters >= 1, "need at least one counter");
+}
+
+void
+PmcBank::setWrapBits(unsigned bits)
+{
+    PPEP_ASSERT(bits <= 63, "counter width must fit a 64-bit register");
+    wrap_bits_ = bits;
+    wrap_modulus_ =
+        bits ? static_cast<double>(1ULL << bits) : 0.0;
+}
+
+double
+PmcBank::maxCount() const
+{
+    PPEP_ASSERT(wrap_bits_ > 0, "unbounded counters have no full scale");
+    return wrap_modulus_ - 1.0;
 }
 
 void
@@ -44,8 +72,17 @@ void
 PmcBank::observe(const EventVector &true_counts)
 {
     for (auto &slot : slots_) {
-        if (slot.event)
-            slot.count += true_counts[eventIndex(*slot.event)];
+        if (!slot.event)
+            continue;
+        slot.count += true_counts[eventIndex(*slot.event)];
+        if (wrap_modulus_ > 0.0) {
+            // Finite-width counters lose their high bits on overflow,
+            // exactly like a real 48-bit PERF_CTR rolling over.
+            while (slot.count >= wrap_modulus_) {
+                slot.count -= wrap_modulus_;
+                ++wrap_events_;
+            }
+        }
     }
 }
 

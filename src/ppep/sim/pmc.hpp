@@ -20,12 +20,23 @@
 #define PPEP_SIM_PMC_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "ppep/sim/events.hpp"
 
 namespace ppep::sim {
+
+/**
+ * Wraparound-safe delta between two raw reads of a free-running
+ * @p width_bits counter: the true increment modulo 2^width, assuming at
+ * most one wrap between the reads (the standard perf/msr-tools polling
+ * contract — poll faster than the counter can wrap twice).
+ * @pre 1 <= width_bits <= 63 and both reads fit the width.
+ */
+std::uint64_t wrapCounterDelta(std::uint64_t prev, std::uint64_t cur,
+                               unsigned width_bits);
 
 /** One core's programmable counter hardware. */
 class PmcBank
@@ -36,6 +47,22 @@ class PmcBank
 
     /** Number of physical slots. */
     std::size_t counterCount() const { return slots_.size(); }
+
+    /**
+     * Bound every slot at 2^bits (counts wrap on overflow, like the real
+     * 48-bit PERF_CTRs). 0 (the default) leaves counters unbounded — the
+     * seed behaviour, bit-identical to hardware that never overflows.
+     */
+    void setWrapBits(unsigned bits);
+
+    /** Configured counter width; 0 = unbounded. */
+    unsigned wrapBits() const { return wrap_bits_; }
+
+    /** Largest representable count (2^bits - 1); unbounded when 0 bits. */
+    double maxCount() const;
+
+    /** Number of wraparounds observe() has performed since construction. */
+    std::size_t wrapEvents() const { return wrap_events_; }
 
     /** Select the event a slot counts (nullopt disables the slot). */
     void program(std::size_t slot, std::optional<Event> event);
@@ -62,6 +89,9 @@ class PmcBank
         double count = 0.0;
     };
     std::vector<Slot> slots_;
+    unsigned wrap_bits_ = 0;
+    double wrap_modulus_ = 0.0;
+    std::size_t wrap_events_ = 0;
 };
 
 /**
@@ -100,7 +130,15 @@ class PmcMultiplexer
 
     /**
      * Extrapolated per-event counts for the ticks observed since the
-     * last reset, then clear. Events never observed read as zero.
+     * last reset, then clear.
+     *
+     * Contract for partial coverage: an event whose group was scheduled
+     * zero ticks in the window (harvest preempted, or the window shorter
+     * than one full rotation) reads as exactly 0.0 — a defined sentinel,
+     * never a division by its zero coverage time. Likewise a window with
+     * zero observed ticks reads all-zero. Callers that must distinguish
+     * "counted nothing" from "never scheduled" should check
+     * ticksSinceReset() against groupCount() before reading.
      */
     EventVector readAndReset();
 

@@ -18,14 +18,29 @@
 
 namespace ppep::trace {
 
+/**
+ * Anything that can advance the chip by one decision interval and hand
+ * back its record: the perfect-acquisition Collector below, or the
+ * hardened runtime::Sampler (retry, sanity guards, last-good
+ * substitution) when the hardware is allowed to misbehave.
+ */
+class IntervalSource
+{
+  public:
+    virtual ~IntervalSource() = default;
+
+    /** Run one full interval and record it. */
+    virtual IntervalRecord collectInterval() = 0;
+};
+
 /** Tick-accurate interval collector bound to one chip. */
-class Collector
+class Collector : public IntervalSource
 {
   public:
     explicit Collector(sim::Chip &chip);
 
     /** Run one full interval (ticks_per_interval ticks) and record it. */
-    IntervalRecord collectInterval();
+    IntervalRecord collectInterval() override;
 
     /** Collect @p n intervals back to back. */
     std::vector<IntervalRecord> collect(std::size_t n);

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "ppep/model/cpi_model.hpp"
 #include "ppep/trace/collector.hpp"
 #include "ppep/trace/segmenter.hpp"
@@ -40,6 +43,42 @@ TEST(CpiModel, FromEventsIdleIsZero)
     const auto s = CpiModel::fromEvents(makeEvents(0.0, 0.0, 0.0));
     EXPECT_DOUBLE_EQ(s.cpi, 0.0);
     EXPECT_DOUBLE_EQ(s.mcpi, 0.0);
+}
+
+TEST(CpiModel, FromEventsCorruptInputsYieldTheIdleSentinel)
+{
+    // Faulty hardware hands the model zeros, NaNs, and wrapped counts;
+    // the defined result is the all-zero idle sentinel, never NaN/Inf.
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    const sim::EventVector cases[] = {
+        makeEvents(0.0, 1e9, 1e8),   // zero retired, nonzero cycles
+        makeEvents(nan, 1e9, 1e8),   // NaN retired
+        makeEvents(-5.0, 1e9, 1e8),  // negative (wrap delta bug)
+        makeEvents(100.0, nan, 1.0), // NaN cycles
+        makeEvents(100.0, inf, 1.0), // Inf cycles
+        makeEvents(100.0, -2.0, 1.0) // negative cycles
+    };
+    for (const auto &ev : cases) {
+        const auto s = CpiModel::fromEvents(ev);
+        EXPECT_DOUBLE_EQ(s.cpi, 0.0);
+        EXPECT_DOUBLE_EQ(s.mcpi, 0.0);
+        EXPECT_DOUBLE_EQ(s.ccpi(), 0.0);
+    }
+}
+
+TEST(CpiModel, FromEventsNeverReturnsNonFinite)
+{
+    const double nan = std::nan("");
+    for (double inst : {0.0, nan, 1.0, 1e20})
+        for (double cyc : {0.0, nan, 2.0, 1e20})
+            for (double mab : {0.0, nan, 0.5}) {
+                const auto s =
+                    CpiModel::fromEvents(makeEvents(inst, cyc, mab));
+                EXPECT_TRUE(std::isfinite(s.cpi));
+                EXPECT_TRUE(std::isfinite(s.mcpi));
+                EXPECT_GE(s.mcpi, 0.0);
+            }
 }
 
 TEST(CpiModel, FromEventsClampsMcpiToCpi)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "ppep/model/event_predictor.hpp"
 #include "ppep/trace/collector.hpp"
 #include "ppep/workloads/suite.hpp"
@@ -43,6 +45,52 @@ TEST(EventPredictor, IdleCorePredictsZero)
     EXPECT_DOUBLE_EQ(pred.ips, 0.0);
     for (double r : pred.rates_per_s)
         EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(EventPredictor, CorruptCountsPredictAsIdleNeverNan)
+{
+    // Wrapped, saturated, or failed read-outs reach the model as zero,
+    // NaN, or absurd counts; every path must land on the defined idle
+    // prediction (all-zero) rather than NaN/Inf rates.
+    const double nan = std::nan("");
+    auto zero_inst = busyInterval();
+    zero_inst[sim::eventIndex(sim::Event::RetiredInst)] = 0.0;
+    auto nan_inst = busyInterval();
+    nan_inst[sim::eventIndex(sim::Event::RetiredInst)] = nan;
+    auto nan_cycles = busyInterval();
+    nan_cycles[sim::eventIndex(sim::Event::ClocksNotHalted)] = nan;
+    auto no_cycles = busyInterval();
+    no_cycles[sim::eventIndex(sim::Event::ClocksNotHalted)] = 0.0;
+
+    for (const auto *ev :
+         {&zero_inst, &nan_inst, &nan_cycles, &no_cycles}) {
+        const auto pred = EventPredictor::predict(*ev, 0.2, 3.5, 1.4);
+        EXPECT_DOUBLE_EQ(pred.ips, 0.0);
+        EXPECT_DOUBLE_EQ(pred.cpi, 0.0);
+        for (double r : pred.rates_per_s)
+            EXPECT_DOUBLE_EQ(r, 0.0);
+    }
+}
+
+TEST(EventPredictor, CorruptObservationsComeBackIdle)
+{
+    auto ev = busyInterval();
+    ev[sim::eventIndex(sim::Event::ClocksNotHalted)] = std::nan("");
+    const auto obs = EventPredictor::observe(ev, 0.2, 3.5);
+    EXPECT_TRUE(obs.idle);
+    EXPECT_DOUBLE_EQ(obs.f_current, 3.5);
+    const auto pred = EventPredictor::predictAt(obs, 1.4);
+    EXPECT_DOUBLE_EQ(pred.ips, 0.0);
+    for (double r : pred.rates_per_s)
+        EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(EventPredictor, Obs2GapDefinedForDegenerateCounts)
+{
+    sim::EventVector ev{};
+    EXPECT_DOUBLE_EQ(EventPredictor::obs2Gap(ev), 0.0);
+    ev[sim::eventIndex(sim::Event::RetiredInst)] = std::nan("");
+    EXPECT_DOUBLE_EQ(EventPredictor::obs2Gap(ev), 0.0);
 }
 
 TEST(EventPredictor, SelfPredictionRecoversRates)

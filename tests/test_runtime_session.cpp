@@ -264,6 +264,142 @@ TEST(Session, ExternalGovernorNeedsNoModels)
     EXPECT_EQ(&session.policy(), &reactive);
 }
 
+TEST(Session, FailedSinksAreReportedNotSilent)
+{
+    // A full disk (stream failure) mid-run must surface through both
+    // the sink's own error state and Session::sinkErrors().
+    const auto &s = Shared::get();
+    governor::IterativeCappingGovernor reactive(s.cfg);
+    std::ostringstream csv_out, jsonl_out;
+    runtime::CsvSink csv(csv_out);
+    runtime::JsonlSink jsonl(jsonl_out);
+    auto session = runtime::Session::builder(s.cfg)
+                       .seed(11)
+                       .onePerCu({"EP"})
+                       .governor(reactive)
+                       .sink(csv)
+                       .sink(jsonl)
+                       .build();
+
+    csv_out.setstate(std::ios::badbit); // the "disk fills up" moment
+    session.run(3);
+
+    EXPECT_TRUE(csv.failed());
+    EXPECT_NE(csv.error().find("csv telemetry write failed"),
+              std::string::npos);
+    EXPECT_FALSE(jsonl.failed());
+    EXPECT_TRUE(jsonl.error().empty());
+    ASSERT_EQ(session.sinkErrors().size(), 1u);
+    EXPECT_EQ(session.sinkErrors()[0], csv.error());
+
+    // A later healthy run reports no stale errors from the sinks that
+    // recovered... the CSV stream is still bad, so it stays reported.
+    session.run(2);
+    EXPECT_EQ(session.sinkErrors().size(), 1u);
+}
+
+TEST(Session, HardenedRunsExtendTelemetryPlainRunsDoNot)
+{
+    const auto &s = Shared::get();
+    governor::IterativeCappingGovernor reactive(s.cfg);
+
+    std::ostringstream plain_csv;
+    {
+        runtime::CsvSink csv(plain_csv);
+        auto session = runtime::Session::builder(s.cfg)
+                           .seed(5)
+                           .onePerCu({"EP"})
+                           .governor(reactive)
+                           .sink(csv)
+                           .build();
+        session.run(2);
+    }
+    EXPECT_EQ(plain_csv.str().find("fault_events"), std::string::npos);
+
+    governor::IterativeCappingGovernor reactive2(s.cfg);
+    std::ostringstream csv_out, jsonl_out;
+    {
+        runtime::CsvSink csv(csv_out);
+        runtime::JsonlSink jsonl(jsonl_out);
+        auto session = runtime::Session::builder(s.cfg)
+                           .seed(5)
+                           .onePerCu({"EP"})
+                           .governor(reactive2)
+                           .faults(sim::FaultPlan::parse("msr=0.5"))
+                           .sink(csv)
+                           .sink(jsonl)
+                           .build();
+        session.run(4);
+    }
+    // Header gains the health columns, rows carry the degraded flag.
+    std::istringstream lines(csv_out.str());
+    std::string header;
+    ASSERT_TRUE(std::getline(lines, header));
+    EXPECT_NE(header.find(",fault_events,"), std::string::npos);
+    EXPECT_NE(header.find(",degraded"), std::string::npos);
+
+    std::istringstream jlines(jsonl_out.str());
+    std::string line;
+    bool saw_fault_events = false;
+    while (std::getline(jlines, line)) {
+        EXPECT_FALSE(jsonField(line, "fault_events").empty());
+        const std::string flag = jsonField(line, "degraded");
+        EXPECT_TRUE(flag == "true" || flag == "false");
+        saw_fault_events |=
+            jsonField(line, "fault_events") != "0";
+    }
+    EXPECT_TRUE(saw_fault_events); // msr=0.5 fails plenty of reads
+}
+
+TEST(Session, ZeroFaultPlanHardenedTraceMatchesPlainRun)
+{
+    // The hardened stack (Sampler + HealthMonitor + degraded wrapper)
+    // around perfect hardware must reproduce the plain session's trace
+    // bit for bit — the whole layer is strictly opt-in.
+    const auto &s = Shared::get();
+    auto run = [&](bool hardened) {
+        governor::IterativeCappingGovernor reactive(s.cfg);
+        auto builder = runtime::Session::builder(s.cfg)
+                           .seed(21)
+                           .onePerCu(kMix)
+                           .governor(reactive)
+                           .schedule(governor::CapSchedule(80.0));
+        if (hardened)
+            builder.faults(sim::FaultPlan{});
+        auto session = builder.build();
+        auto steps = session.run(15);
+        if (hardened) {
+            EXPECT_TRUE(session.hardened());
+            EXPECT_EQ(session.sampler()->lastHealth().total_fault_events,
+                      0u);
+            EXPECT_FALSE(session.healthMonitor()->degraded());
+            EXPECT_EQ(session.policy().name(),
+                      "degraded-mode(simple-iterative)");
+        } else {
+            EXPECT_FALSE(session.hardened());
+            EXPECT_EQ(session.sampler(), nullptr);
+        }
+        return steps;
+    };
+
+    const auto plain = run(false);
+    const auto hardened = run(true);
+    ASSERT_EQ(plain.size(), hardened.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].cu_vf, hardened[i].cu_vf) << "interval " << i;
+        EXPECT_EQ(plain[i].rec.sensor_power_w,
+                  hardened[i].rec.sensor_power_w)
+            << "interval " << i;
+        EXPECT_EQ(plain[i].rec.diode_temp_k,
+                  hardened[i].rec.diode_temp_k)
+            << "interval " << i;
+        for (std::size_t c = 0; c < plain[i].rec.pmc.size(); ++c)
+            for (std::size_t e = 0; e < sim::kNumEvents; ++e)
+                EXPECT_EQ(plain[i].rec.pmc[c][e],
+                          hardened[i].rec.pmc[c][e]);
+    }
+}
+
 TEST(Session, TelemetryIndicesContinueAcrossRuns)
 {
     const auto &s = Shared::get();

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "ppep/sim/pmc.hpp"
 
 namespace {
@@ -209,6 +212,129 @@ TEST(Mux, SubsetOfEventsCoverable)
     const auto read = mux.readAndReset();
     EXPECT_DOUBLE_EQ(read[eventIndex(Event::RetiredInst)], 15.0);
     EXPECT_DOUBLE_EQ(read[eventIndex(Event::RetiredUop)], 0.0);
+}
+
+// --- the zero-coverage contract (documented on readAndReset) ------------
+
+TEST(MuxZeroCoverage, ZeroTickGroupReadsExactlyZero)
+{
+    // Contract: a group that accumulated zero ticks since the last
+    // reset reads exactly 0.0 for all its events — never a division
+    // by zero coverage. Here group 1 is starved for the whole window.
+    PmcBank bank(6);
+    PmcMultiplexer mux(bank, allEventList(), /*stagger=*/0);
+    bank.observe(constantCounts(100.0)); // one tick: group 0 only
+    mux.afterTick();
+    ASSERT_EQ(mux.ticksSinceReset(), 1u);
+    const auto read = mux.readAndReset();
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+        if (mux.groupOf(static_cast<Event>(i)) == 1u)
+            EXPECT_DOUBLE_EQ(read[i], 0.0) << "event " << i;
+    }
+}
+
+TEST(MuxZeroCoverage, ZeroTickWindowReadsAllZero)
+{
+    // Degenerate window: readAndReset with no ticks at all returns the
+    // all-zero vector and leaves the multiplexer usable.
+    PmcBank bank(6);
+    PmcMultiplexer mux(bank, allEventList());
+    const auto read = mux.readAndReset();
+    for (double v : read)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    EXPECT_EQ(mux.ticksSinceReset(), 0u);
+    bank.observe(constantCounts(5.0));
+    mux.afterTick();
+    EXPECT_GT(mux.readAndReset()[0], 0.0);
+}
+
+TEST(MuxZeroCoverage, NoNanEverEscapes)
+{
+    // Whatever mixture of starved and covered groups, the extrapolated
+    // vector is always finite.
+    PmcBank bank(6);
+    PmcMultiplexer mux(bank, allEventList());
+    for (int t = 0; t < 3; ++t) {
+        bank.observe(constantCounts(11.0));
+        mux.afterTick();
+        const auto read = mux.readAndReset();
+        for (double v : read)
+            EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+// --- counter wraparound -------------------------------------------------
+
+TEST(WrapDelta, IdentityWithoutWrap)
+{
+    EXPECT_EQ(wrapCounterDelta(100, 250, 48), 150u);
+    EXPECT_EQ(wrapCounterDelta(0, 0, 48), 0u);
+}
+
+TEST(WrapDelta, RecoversIncrementAcrossWrap)
+{
+    // prev near full scale, cur small: the true increment assuming at
+    // most one wrap.
+    const std::uint64_t max = (1ULL << 16) - 1;
+    EXPECT_EQ(wrapCounterDelta(max - 10, 5, 16), 16u);
+    EXPECT_EQ(wrapCounterDelta(max, 0, 16), 1u);
+}
+
+TEST(WrapDelta, FullWidthBoundary)
+{
+    const std::uint64_t max = (1ULL << 48) - 1;
+    EXPECT_EQ(wrapCounterDelta(max, 0, 48), 1u);
+    EXPECT_EQ(wrapCounterDelta(0, max, 48), max);
+}
+
+TEST(WrapDeltaDeath, RejectsOutOfRangeInputs)
+{
+    EXPECT_DEATH(wrapCounterDelta(0, 1, 0), "width");
+    EXPECT_DEATH(wrapCounterDelta(0, 1, 64), "width");
+    EXPECT_DEATH(wrapCounterDelta(1ULL << 20, 0, 16), "exceed");
+}
+
+TEST(PmcBankWrap, UnboundedByDefault)
+{
+    PmcBank bank(6);
+    EXPECT_EQ(bank.wrapBits(), 0u);
+    EXPECT_EQ(bank.wrapEvents(), 0u);
+}
+
+TEST(PmcBankWrap, CountWrapsAtConfiguredWidth)
+{
+    PmcBank bank(6);
+    bank.setWrapBits(8); // wraps at 256
+    bank.program(0, Event::RetiredInst);
+    EventVector counts{};
+    counts[eventIndex(Event::RetiredInst)] = 100.0;
+    bank.observe(counts);
+    bank.observe(counts);
+    EXPECT_DOUBLE_EQ(bank.read(0), 200.0);
+    bank.observe(counts); // 300 -> wraps to 44
+    EXPECT_DOUBLE_EQ(bank.read(0), 44.0);
+    EXPECT_EQ(bank.wrapEvents(), 1u);
+    EXPECT_DOUBLE_EQ(bank.maxCount(), 255.0);
+}
+
+TEST(PmcBankWrap, WrappedCountRecoverableViaWrapDelta)
+{
+    // The raw-MSR polling discipline: remember the previous raw value,
+    // recover the true increment with wrapCounterDelta.
+    PmcBank bank(6);
+    bank.setWrapBits(8);
+    bank.program(0, Event::RetiredInst);
+    EventVector counts{};
+    counts[eventIndex(Event::RetiredInst)] = 100.0;
+    std::uint64_t prev = 0;
+    std::uint64_t recovered = 0;
+    for (int t = 0; t < 5; ++t) {
+        bank.observe(counts);
+        const auto cur = static_cast<std::uint64_t>(bank.read(0));
+        recovered += wrapCounterDelta(prev, cur, 8);
+        prev = cur;
+    }
+    EXPECT_EQ(recovered, 500u);
 }
 
 // Property sweep: with steady per-tick counts, extrapolation is exact
