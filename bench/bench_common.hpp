@@ -11,6 +11,7 @@
 #define PPEP_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -75,6 +76,77 @@ trainModels(const sim::ChipConfig &cfg)
                     store.cacheDir().c_str());
     return models;
 }
+
+/**
+ * Tiny machine-readable bench emitter with a stable schema, shared by
+ * the bench binaries that persist results (bench_fleet,
+ * bench_overhead):
+ *
+ *     {"bench": "<bench>",
+ *      "results": [
+ *        {"name": "...", "metric": "...", "value": <num>,
+ *         "unit": "...", "threads": <int>},
+ *        ...]}
+ *
+ * `threads` is 0 for measurements that have no thread dimension.
+ */
+class BenchJson
+{
+  public:
+    BenchJson(std::string bench, std::string path)
+        : bench_(std::move(bench)), path_(std::move(path))
+    {
+    }
+
+    void add(const std::string &name, const std::string &metric,
+             double value, const std::string &unit,
+             std::size_t threads = 0)
+    {
+        rows_.push_back({name, metric, value, unit, threads});
+    }
+
+    /** Write the file; returns false (and warns) on I/O failure. */
+    bool write() const
+    {
+        std::ofstream out(path_);
+        if (!out.is_open()) {
+            std::fprintf(stderr, "cannot open %s\n", path_.c_str());
+            return false;
+        }
+        out << "{\"bench\": \"" << bench_ << "\",\n \"results\": [";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            const Row &r = rows_[i];
+            char value[32];
+            std::snprintf(value, sizeof(value), "%.10g", r.value);
+            out << (i ? ",\n  " : "\n  ") << "{\"name\": \"" << r.name
+                << "\", \"metric\": \"" << r.metric
+                << "\", \"value\": " << value << ", \"unit\": \""
+                << r.unit << "\", \"threads\": " << r.threads << "}";
+        }
+        out << "\n]}\n";
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "write to %s failed\n", path_.c_str());
+            return false;
+        }
+        std::printf("(bench results written to %s)\n", path_.c_str());
+        return true;
+    }
+
+  private:
+    struct Row
+    {
+        std::string name;
+        std::string metric;
+        double value = 0.0;
+        std::string unit;
+        std::size_t threads = 0;
+    };
+
+    std::string bench_;
+    std::string path_;
+    std::vector<Row> rows_;
+};
 
 } // namespace ppep::bench
 

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fleet throughput bench: N independent governed sessions over one
+ * shared immutable Ppep, scaled across a worker pool.
+ *
+ * Measures sessions/sec and intervals/sec at 1/2/4/8 threads and
+ * cross-checks the determinism contract: every session's telemetry
+ * digest must be bit-identical to the serial run at every thread
+ * count. Results land in BENCH_fleet.json (schema: bench_common.hpp).
+ */
+
+#include <cstdlib>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "ppep/runtime/fleet.hpp"
+
+namespace {
+
+using namespace ppep;
+
+/** Distinct 2-CU mixes rotated across the fleet's sessions. */
+const std::vector<std::vector<std::string>> kMixes = {
+    {"429.mcf", "458.sjeng"},
+    {"416.gamess", "swaptions"},
+    {"EP", "CG"},
+    {"458.sjeng", "416.gamess"},
+};
+
+runtime::FleetSpec
+makeSpec(std::size_t n_sessions)
+{
+    runtime::FleetSpec spec;
+    spec.cfg = sim::fx8320Config();
+    spec.training_seed = bench::kSeed;
+    spec.training_combos = bench::singleProgramCombos();
+    spec.store.emplace(); // cache shared with the other benches
+    spec.warmup = 2;
+    spec.intervals = 30;
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        runtime::FleetSessionSpec ss;
+        ss.name = "fleet-s" + std::to_string(i);
+        ss.seed = 100 + i;
+        ss.pg = (i % 2) == 0;
+        ss.one_per_cu = kMixes[i % kMixes.size()];
+        spec.sessions.push_back(std::move(ss));
+    }
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ppep;
+    bench::header(
+        "Fleet scaling: thread-pooled multi-session governing",
+        "runtime extension (not a paper figure): shared immutable Ppep, "
+        "per-session state, bit-identical at any thread count");
+
+    const std::size_t n_sessions = 8;
+    runtime::Fleet fleet(makeSpec(n_sessions));
+    fleet.prepare(); // keep training out of the timed region
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("sessions: %zu, intervals/session: %zu, "
+                "hardware_concurrency: %u\n\n",
+                n_sessions, fleet.spec().intervals, hw);
+
+    bench::BenchJson json("fleet", "BENCH_fleet.json");
+    json.add("env", "hardware_concurrency", static_cast<double>(hw),
+             "threads");
+    json.add("env", "sessions", static_cast<double>(n_sessions),
+             "count");
+
+    util::Table table("Fleet scaling (8 sessions, shared Ppep)");
+    table.setHeader({"threads", "wall_s", "sessions_per_s",
+                     "intervals_per_s", "speedup", "digests"});
+
+    std::vector<std::uint64_t> serial_digests;
+    double serial_wall = 0.0;
+    bool all_match = true;
+
+    for (const std::size_t threads : {1, 2, 4, 8}) {
+        const auto res = fleet.run(threads);
+        if (res.failed != 0) {
+            std::fprintf(stderr, "FLEET BENCH FAILED: %zu session(s) "
+                         "errored at %zu threads\n",
+                         res.failed, threads);
+            return EXIT_FAILURE;
+        }
+
+        bool match = true;
+        if (threads == 1) {
+            serial_wall = res.wall_s;
+            for (const auto &s : res.sessions)
+                serial_digests.push_back(s.telemetry_digest);
+        } else {
+            for (std::size_t i = 0; i < res.sessions.size(); ++i)
+                match &= res.sessions[i].telemetry_digest ==
+                         serial_digests[i];
+        }
+        all_match &= match;
+
+        const double speedup =
+            res.wall_s > 0.0 ? serial_wall / res.wall_s : 0.0;
+        table.addRow({std::to_string(threads),
+                      util::Table::num(res.wall_s, 3),
+                      util::Table::num(res.sessions_per_s, 2),
+                      util::Table::num(res.intervals_per_s, 1),
+                      util::Table::num(speedup, 2) + "x",
+                      match ? "bit-identical" : "MISMATCH"});
+
+        json.add("fleet", "wall_s", res.wall_s, "s", threads);
+        json.add("fleet", "sessions_per_s", res.sessions_per_s,
+                 "1/s", threads);
+        json.add("fleet", "intervals_per_s", res.intervals_per_s,
+                 "1/s", threads);
+        json.add("fleet", "speedup_vs_serial", speedup, "x", threads);
+        json.add("fleet", "digest_match", match ? 1.0 : 0.0, "bool",
+                 threads);
+    }
+
+    table.print(std::cout);
+    std::printf("\nDeterminism: per-session telemetry digests %s the "
+                "serial run at every thread count.\n",
+                all_match ? "match" : "DO NOT match");
+    if (hw < 8)
+        std::printf("(note: only %u hardware thread(s) available — "
+                    "speedup is bounded by the host, not the pool)\n",
+                    hw);
+
+    json.write();
+    return all_match ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "ppep/governor/energy_governor.hpp"
+#include "ppep/governor/governor.hpp"
 #include "ppep/governor/ppep_capping.hpp"
 #include "ppep/model/ppep.hpp"
 #include "ppep/runtime/sampler.hpp"
@@ -78,6 +80,22 @@ BM_FullExplorationReused(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullExplorationReused);
+
+void
+BM_FullExplorationScratch(benchmark::State &state)
+{
+    // The zero-allocation overload the governors use: the observation
+    // buffer lives in the caller's scratch, so steady state touches no
+    // heap at all.
+    const auto &ctx = Context::get();
+    std::vector<model::VfPrediction> preds;
+    model::ExploreScratch scratch;
+    for (auto _ : state) {
+        ctx.ppep.exploreInto(ctx.rec, preds, scratch);
+        benchmark::DoNotOptimize(preds);
+    }
+}
+BENCHMARK(BM_FullExplorationScratch);
 
 void
 BM_SingleVfPrediction(benchmark::State &state)
@@ -197,6 +215,76 @@ BM_CappingDecision(benchmark::State &state)
 }
 BENCHMARK(BM_CappingDecision);
 
+void
+BM_CappingDecisionScratch(benchmark::State &state)
+{
+    // decideInto() with a reused output vector — the GovernorLoop
+    // steady-state path.
+    const auto &ctx = Context::get();
+    auto cfg = ctx.cfg;
+    cfg.per_cu_voltage = true;
+    governor::PpepCappingGovernor gov(cfg, ctx.ppep);
+    std::vector<std::size_t> vf;
+    for (auto _ : state) {
+        gov.decideInto(ctx.rec, 60.0, vf);
+        benchmark::DoNotOptimize(vf);
+    }
+}
+BENCHMARK(BM_CappingDecisionScratch);
+
+void
+BM_GovernorLoopInterval(benchmark::State &state)
+{
+    // One full governed interval on the allocation-free drive() path:
+    // simulate + collect + explore + decide + apply, reusing every
+    // buffer after warm-up.
+    const auto &ctx = Context::get();
+    sim::Chip chip(ctx.cfg, bench::kSeed);
+    workloads::launch(chip, workloads::replicate("433.milc", 4), true);
+    governor::EnergyOptimalGovernor gov(ctx.cfg, ctx.ppep,
+                                        governor::EnergyObjective::Edp);
+    governor::GovernorLoop loop(chip, gov);
+    const auto schedule = governor::CapSchedule::unlimited();
+    loop.drive(3, schedule); // warm the scratch buffers
+    for (auto _ : state)
+        benchmark::DoNotOptimize(loop.drive(1, schedule));
+}
+BENCHMARK(BM_GovernorLoopInterval);
+
+/**
+ * Console output as usual, plus every result mirrored into
+ * BENCH_overhead.json through the shared BenchJson schema.
+ */
+class JsonMirrorReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonMirrorReporter(bench::BenchJson &json) : json_(json) {}
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &r : runs)
+            json_.add(r.benchmark_name(), "real_time",
+                      r.GetAdjustedRealTime(),
+                      benchmark::GetTimeUnitString(r.time_unit));
+    }
+
+  private:
+    bench::BenchJson &json_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ppep::bench::BenchJson json("overhead", "BENCH_overhead.json");
+    JsonMirrorReporter reporter(json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    json.write();
+    benchmark::Shutdown();
+    return 0;
+}

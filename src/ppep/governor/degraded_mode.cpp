@@ -23,15 +23,25 @@ std::vector<std::size_t>
 DegradedModeGovernor::decide(const trace::IntervalRecord &rec,
                              double cap_w)
 {
+    std::vector<std::size_t> out;
+    decideInto(rec, cap_w, out);
+    return out;
+}
+
+void
+DegradedModeGovernor::decideInto(const trace::IntervalRecord &rec,
+                                 double cap_w,
+                                 std::vector<std::size_t> &out)
+{
     // The probe runs before anything else: at this point
     // lastPredictedPower() still reports the forecast made for the
     // interval in rec, which is what divergence tracking needs.
     degraded_now_ = probe_ ? probe_(rec) : false;
 
     if (!degraded_now_) {
-        auto vf = inner_.decide(rec, cap_w);
+        inner_.decideInto(rec, cap_w, out);
         last_predicted_w_ = inner_.lastPredictedPower();
-        return vf;
+        return;
     }
 
     ++degraded_intervals_;
@@ -41,19 +51,18 @@ DegradedModeGovernor::decide(const trace::IntervalRecord &rec,
     // one state when measured power nears the cap. Never steps up, so
     // a degraded run can only lower power relative to its entry point.
     const std::size_t top = chip_.config().vf_table.size() - 1;
-    std::vector<std::size_t> vf(rec.cu_vf);
-    PPEP_ASSERT(vf.size() == chip_.config().n_cus,
+    out.assign(rec.cu_vf.begin(), rec.cu_vf.end());
+    PPEP_ASSERT(out.size() == chip_.config().n_cus,
                 "record CU count mismatch");
-    for (auto &s : vf)
+    for (auto &s : out)
         s = std::min(s, top);
     const bool near_cap =
         std::isfinite(cap_w) &&
         rec.sensor_power_w > cap_w * (1.0 - policy_.cap_guard);
     if (near_cap) {
-        for (auto &s : vf)
+        for (auto &s : out)
             s = s > 0 ? s - 1 : 0;
     }
-    return vf;
 }
 
 std::optional<sim::VfState>

@@ -72,6 +72,10 @@ class DegradedModeGovernor : public Governor
     std::vector<std::size_t>
     decide(const trace::IntervalRecord &rec, double cap_w) override;
 
+    /** Allocation-free decide() (identical decisions either mode). */
+    void decideInto(const trace::IntervalRecord &rec, double cap_w,
+                    std::vector<std::size_t> &out) override;
+
     std::optional<sim::VfState> decideNb() override;
 
     std::string name() const override;

@@ -23,7 +23,17 @@ std::vector<std::size_t>
 EnergyOptimalGovernor::decide(const trace::IntervalRecord &rec,
                               double cap_w)
 {
-    ppep_.exploreInto(rec, preds_);
+    std::vector<std::size_t> out;
+    decideInto(rec, cap_w, out);
+    return out;
+}
+
+void
+EnergyOptimalGovernor::decideInto(const trace::IntervalRecord &rec,
+                                  double cap_w,
+                                  std::vector<std::size_t> &out)
+{
+    ppep_.exploreInto(rec, preds_, scratch_);
     const auto &predictions = preds_;
 
     std::size_t best = last_choice_;
@@ -61,7 +71,7 @@ EnergyOptimalGovernor::decide(const trace::IntervalRecord &rec,
     }
     last_choice_ = best;
     last_predicted_power_w_ = predictions[best].chip_power_w;
-    return std::vector<std::size_t>(cfg_.n_cus, best);
+    out.assign(cfg_.n_cus, best);
 }
 
 } // namespace ppep::governor

@@ -35,6 +35,10 @@ class EnergyOptimalGovernor : public Governor
     std::vector<std::size_t> decide(const trace::IntervalRecord &rec,
                                     double cap_w) override;
 
+    /** Allocation-free decide() (identical choice). */
+    void decideInto(const trace::IntervalRecord &rec, double cap_w,
+                    std::vector<std::size_t> &out) override;
+
     std::string name() const override;
 
     /** The VF the policy chose most recently. */
@@ -56,8 +60,9 @@ class EnergyOptimalGovernor : public Governor
     const model::Ppep &ppep_;
     EnergyObjective objective_;
     std::size_t last_choice_;
-    /** Exploration buffer reused every interval (no per-decision heap). */
+    /** Exploration buffers reused every interval (no per-decision heap). */
     std::vector<model::VfPrediction> preds_;
+    model::ExploreScratch scratch_;
     double last_predicted_power_w_ =
         std::numeric_limits<double>::quiet_NaN();
 };

@@ -52,41 +52,74 @@ GovernorLoop::GovernorLoop(sim::Chip &chip, Governor &policy,
 {
 }
 
+void
+GovernorLoop::cycle(std::size_t index, const CapSchedule &schedule,
+                    trace::IntervalSource &source, GovernorStep &step,
+                    std::vector<std::size_t> &next_vf, double &latency_s)
+{
+    using clock = std::chrono::steady_clock;
+    step.cap_w = schedule.capAt(index);
+    step.cu_vf.resize(chip_.config().n_cus);
+    for (std::size_t cu = 0; cu < step.cu_vf.size(); ++cu)
+        step.cu_vf[cu] = chip_.cuVf(cu);
+    source.collectIntervalInto(step.rec);
+    // Decide with the *next* interval's cap: the policy reacts to a
+    // cap change in the very next decision, just like the paper's
+    // Fig. 7 experiment.
+    const double next_cap = schedule.capAt(index + 1);
+    const auto t0 = clock::now();
+    policy_.decideInto(step.rec, next_cap, next_vf);
+    PPEP_ASSERT(next_vf.size() == chip_.config().n_cus,
+                "policy returned wrong CU count");
+    for (std::size_t cu = 0; cu < next_vf.size(); ++cu)
+        chip_.setCuVf(cu, next_vf[cu]);
+    if (const auto nb = policy_.decideNb())
+        chip_.setNbVf(*nb);
+    latency_s =
+        std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+trace::IntervalSource &
+GovernorLoop::source()
+{
+    if (source_)
+        return *source_;
+    if (!own_collector_)
+        own_collector_.emplace(chip_);
+    return *own_collector_;
+}
+
 std::vector<GovernorStep>
 GovernorLoop::run(std::size_t intervals, const CapSchedule &schedule,
                   const StepObserver &observer)
 {
-    using clock = std::chrono::steady_clock;
-    trace::Collector col(chip_);
-    trace::IntervalSource &source = source_ ? *source_ : col;
+    trace::IntervalSource &src = source();
     std::vector<GovernorStep> out;
     out.reserve(intervals);
+    std::vector<std::size_t> next_vf;
     for (std::size_t i = 0; i < intervals; ++i) {
         GovernorStep step;
-        step.cap_w = schedule.capAt(i);
-        step.cu_vf.resize(chip_.config().n_cus);
-        for (std::size_t cu = 0; cu < step.cu_vf.size(); ++cu)
-            step.cu_vf[cu] = chip_.cuVf(cu);
-        step.rec = source.collectInterval();
-        // Decide with the *next* interval's cap: the policy reacts to a
-        // cap change in the very next decision, just like the paper's
-        // Fig. 7 experiment.
-        const double next_cap = schedule.capAt(i + 1);
-        const auto t0 = clock::now();
-        const auto next_vf = policy_.decide(step.rec, next_cap);
-        PPEP_ASSERT(next_vf.size() == chip_.config().n_cus,
-                    "policy returned wrong CU count");
-        for (std::size_t cu = 0; cu < next_vf.size(); ++cu)
-            chip_.setCuVf(cu, next_vf[cu]);
-        if (const auto nb = policy_.decideNb())
-            chip_.setNbVf(*nb);
-        const double latency_s =
-            std::chrono::duration<double>(clock::now() - t0).count();
+        double latency_s = 0.0;
+        cycle(i, schedule, src, step, next_vf, latency_s);
         out.push_back(std::move(step));
         if (observer)
             observer(out.back(), latency_s);
     }
     return out;
+}
+
+std::size_t
+GovernorLoop::drive(std::size_t intervals, const CapSchedule &schedule,
+                    const StepObserver &observer)
+{
+    trace::IntervalSource &src = source();
+    for (std::size_t i = 0; i < intervals; ++i) {
+        double latency_s = 0.0;
+        cycle(i, schedule, src, scratch_step_, scratch_vf_, latency_s);
+        if (observer)
+            observer(scratch_step_, latency_s);
+    }
+    return intervals;
 }
 
 double

@@ -63,6 +63,18 @@ class Governor
     virtual std::vector<std::size_t>
     decide(const trace::IntervalRecord &rec, double cap_w) = 0;
 
+    /**
+     * decide() into a caller-owned vector, reusing its storage — the
+     * allocation-free steady-state path. The default forwards to
+     * decide(); policies with a hot path override it. Outputs are
+     * identical to decide().
+     */
+    virtual void decideInto(const trace::IntervalRecord &rec, double cap_w,
+                            std::vector<std::size_t> &out)
+    {
+        out = decide(rec, cap_w);
+    }
+
     /** Human-readable policy name for reports. */
     virtual std::string name() const = 0;
 
@@ -138,10 +150,35 @@ class GovernorLoop
                                   const CapSchedule &schedule,
                                   const StepObserver &observer = nullptr);
 
+    /**
+     * Run @p intervals intervals without retaining the step trace — the
+     * steady-state path. One internal step is reused across intervals,
+     * so after the first few intervals warm the scratch buffers the loop
+     * performs zero heap allocations per interval (given a policy and
+     * source with allocation-free Into paths). The observer sees each
+     * step exactly as run() would produce it. Returns the number of
+     * intervals run.
+     */
+    std::size_t drive(std::size_t intervals, const CapSchedule &schedule,
+                      const StepObserver &observer = nullptr);
+
   private:
+    /** One measurement/decision/actuation cycle shared by run/drive. */
+    void cycle(std::size_t index, const CapSchedule &schedule,
+               trace::IntervalSource &source, GovernorStep &step,
+               std::vector<std::size_t> &next_vf, double &latency_s);
+
+    /** The injected source, or a lazily-built Collector that persists
+     *  across run()/drive() calls so its scratch stays warm. */
+    trace::IntervalSource &source();
+
     sim::Chip &chip_;
     Governor &policy_;
     trace::IntervalSource *source_ = nullptr;
+    std::optional<trace::Collector> own_collector_;
+    /** Scratch reused by drive(). */
+    GovernorStep scratch_step_;
+    std::vector<std::size_t> scratch_vf_;
 };
 
 /** Fraction of intervals whose measured power stayed at or under cap. */

@@ -14,39 +14,48 @@ PpepCappingGovernor::PpepCappingGovernor(const sim::ChipConfig &cfg,
 {
     PPEP_ASSERT(ppep_.pgModel().trained(),
                 "PPEP capping needs the PG idle decomposition");
+    // Rail voltage scale factors depend only on the VF table, not on the
+    // interval — compute each (v/v_train)^alpha once at construction, not
+    // once per assignment per core (the odometer loop visits n_vf^n_cus
+    // assignments every decision).
+    const auto &dyn_model = ppep_.powerModel().dynamicModel();
+    const std::size_t n_vf = cfg_.vf_table.size();
+    vscale_by_vf_.resize(n_vf);
+    for (std::size_t vf = 0; vf < n_vf; ++vf)
+        vscale_by_vf_[vf] =
+            dyn_model.voltageScale(cfg_.vf_table.state(vf).voltage);
 }
 
 std::vector<std::size_t>
 PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
                             double cap_w)
 {
+    std::vector<std::size_t> out;
+    decideInto(rec, cap_w, out);
+    return out;
+}
+
+void
+PpepCappingGovernor::decideInto(const trace::IntervalRecord &rec,
+                                double cap_w,
+                                std::vector<std::size_t> &out)
+{
     const std::size_t n_vf = cfg_.vf_table.size();
     const std::size_t n_cores = cfg_.coreCount();
     const auto &dyn_model = ppep_.powerModel().dynamicModel();
     const double v_train = dyn_model.trainingVoltage();
-
-    // Rail voltage scale factors depend only on the VF table, not on the
-    // interval — compute each (v/v_train)^alpha once, not once per
-    // assignment per core (the odometer loop below visits n_vf^n_cus
-    // assignments).
-    std::vector<double> vscale_by_vf(n_vf);
-    for (std::size_t vf = 0; vf < n_vf; ++vf)
-        vscale_by_vf[vf] =
-            dyn_model.voltageScale(cfg_.vf_table.state(vf).voltage);
 
     // Precompute, per core and per VF: predicted ips, the core-event
     // dynamic power at the *training* voltage (so any rail voltage is a
     // cheap (v/v_train)^alpha rescale), and the NB-proxy part (never
     // voltage scaled). The frequency-independent observation (Eq. 1
     // inputs, Obs. 2 gap, busy fraction) is extracted once per core and
-    // shared across the VF sweep.
-    std::vector<std::vector<double>> ips(n_cores,
-                                         std::vector<double>(n_vf, 0.0));
-    std::vector<std::vector<double>> core_base(
-        n_cores, std::vector<double>(n_vf, 0.0));
-    std::vector<std::vector<double>> nb_part(
-        n_cores, std::vector<double>(n_vf, 0.0));
-    std::vector<std::size_t> busy_per_cu(cfg_.n_cus, 0);
+    // shared across the VF sweep. Tables are flat [c * n_vf + vf] in
+    // member scratch so steady-state decisions never touch the heap.
+    ips_.assign(n_cores * n_vf, 0.0);
+    core_base_.assign(n_cores * n_vf, 0.0);
+    nb_part_.assign(n_cores * n_vf, 0.0);
+    busy_per_cu_.assign(cfg_.n_cus, 0);
     for (std::size_t c = 0; c < n_cores; ++c) {
         const std::size_t cu = c / cfg_.cores_per_cu;
         const double f_now =
@@ -58,17 +67,17 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
             const sim::VfState &target = cfg_.vf_table.state(vf);
             const auto pred =
                 model::EventPredictor::predictAt(obs, target.freq_ghz);
-            ips[c][vf] = pred.rates_per_s[sim::eventIndex(
+            ips_[c * n_vf + vf] = pred.rates_per_s[sim::eventIndex(
                 sim::Event::RetiredInst)];
             std::array<double, sim::kNumPowerEvents> rates{};
             for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
                 rates[i] = pred.rates_per_s[i];
-            dyn_model.split(rates, v_train, core_base[c][vf],
-                            nb_part[c][vf]);
+            dyn_model.split(rates, v_train, core_base_[c * n_vf + vf],
+                            nb_part_[c * n_vf + vf]);
             busy = busy || pred.ips > 0.0;
         }
         if (busy)
-            ++busy_per_cu[cu];
+            ++busy_per_cu_[cu];
     }
 
     const double budget = cap_w * (1.0 - guard_band_);
@@ -82,11 +91,11 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
     // voltage, so the governor must price assignments that way or it
     // will blow straight through the cap (ablation A7 quantifies the
     // damage of ignoring this).
-    std::vector<std::size_t> best(cfg_.n_cus, 0);
+    out.assign(cfg_.n_cus, 0);
     double best_ips = -1.0;
     double best_power = std::numeric_limits<double>::quiet_NaN();
     double all_lowest_power = std::numeric_limits<double>::quiet_NaN();
-    std::vector<std::size_t> assign(cfg_.n_cus, 0);
+    assign_.assign(cfg_.n_cus, 0);
     bool first_assignment = true;
     while (true) {
         // Rail resolution: per-CU planes use each CU's own voltage;
@@ -94,19 +103,20 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
         std::size_t max_idx = 0;
         if (!cfg_.per_cu_voltage) {
             for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu)
-                if (busy_per_cu[cu] > 0)
-                    max_idx = std::max(max_idx, assign[cu]);
+                if (busy_per_cu_[cu] > 0)
+                    max_idx = std::max(max_idx, assign_[cu]);
         }
 
         double total_dyn = 0.0;
         double total_ips = 0.0;
         for (std::size_t c = 0; c < n_cores; ++c) {
             const std::size_t cu = c / cfg_.cores_per_cu;
-            const std::size_t vf = assign[cu];
+            const std::size_t vf = assign_[cu];
             const double vscale =
-                vscale_by_vf[cfg_.per_cu_voltage ? vf : max_idx];
-            total_dyn += core_base[c][vf] * vscale + nb_part[c][vf];
-            total_ips += ips[c][vf];
+                vscale_by_vf_[cfg_.per_cu_voltage ? vf : max_idx];
+            total_dyn += core_base_[c * n_vf + vf] * vscale +
+                         nb_part_[c * n_vf + vf];
+            total_ips += ips_[c * n_vf + vf];
         }
 
         // Idle pricing: on a shared rail, a slow CU still leaks at the
@@ -114,12 +124,12 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
         // component (conservative: also carries its clock power).
         double idle = 0.0;
         if (cfg_.per_cu_voltage) {
-            idle = pg.chipIdleMixed(assign, busy_per_cu, true);
+            idle = pg.chipIdleMixed(assign_, busy_per_cu_, true);
         } else {
-            std::vector<std::size_t> priced = assign;
-            for (auto &vf : priced)
+            priced_.assign(assign_.begin(), assign_.end());
+            for (auto &vf : priced_)
                 vf = std::max(vf, max_idx);
-            idle = pg.chipIdleMixed(priced, busy_per_cu, true);
+            idle = pg.chipIdleMixed(priced_, busy_per_cu_, true);
         }
 
         const double power = idle + total_dyn;
@@ -131,16 +141,16 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
         }
         if (power <= budget && total_ips > best_ips) {
             best_ips = total_ips;
-            best = assign;
+            out.assign(assign_.begin(), assign_.end());
             best_power = power;
         }
 
         // Next assignment (odometer increment).
         std::size_t pos = 0;
         while (pos < cfg_.n_cus) {
-            if (++assign[pos] < n_vf)
+            if (++assign_[pos] < n_vf)
                 break;
-            assign[pos] = 0;
+            assign_[pos] = 0;
             ++pos;
         }
         if (pos == cfg_.n_cus)
@@ -148,7 +158,6 @@ PpepCappingGovernor::decide(const trace::IntervalRecord &rec,
     }
     last_predicted_power_w_ =
         best_ips >= 0.0 ? best_power : all_lowest_power;
-    return best;
 }
 
 } // namespace ppep::governor

@@ -36,6 +36,10 @@ class PpepCappingGovernor : public Governor
     std::vector<std::size_t> decide(const trace::IntervalRecord &rec,
                                     double cap_w) override;
 
+    /** Allocation-free decide() (identical assignment). */
+    void decideInto(const trace::IntervalRecord &rec, double cap_w,
+                    std::vector<std::size_t> &out) override;
+
     std::string name() const override { return "ppep-one-step"; }
 
     double lastPredictedPower() const override
@@ -49,6 +53,19 @@ class PpepCappingGovernor : public Governor
     double guard_band_;
     double last_predicted_power_w_ =
         std::numeric_limits<double>::quiet_NaN();
+    /** Per-VF rail voltage scales — VF-table-only, hoisted at build. */
+    std::vector<double> vscale_by_vf_;
+    /**
+     * Per-decision scratch reused across intervals (no per-decision
+     * heap): flattened per-core-per-VF tables indexed [c * n_vf + vf],
+     * plus the odometer state.
+     */
+    std::vector<double> ips_;
+    std::vector<double> core_base_;
+    std::vector<double> nb_part_;
+    std::vector<std::size_t> busy_per_cu_;
+    std::vector<std::size_t> assign_;
+    std::vector<std::size_t> priced_;
 };
 
 } // namespace ppep::governor

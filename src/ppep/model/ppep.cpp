@@ -11,17 +11,23 @@ Ppep::Ppep(const sim::ChipConfig &cfg, ChipPowerModel power,
     PPEP_ASSERT(power_.trained(), "PPEP requires a trained power model");
     // Hoist everything per-VF that does not depend on the observed
     // interval: the explore() hot path then runs pow()- and
-    // polynomial-free.
-    factors_.reserve(cfg_.vf_table.size());
-    for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf) {
+    // polynomial-free over dense coefficient arrays.
+    const std::size_t n_vf = cfg_.vf_table.size();
+    plan_.voltage.reserve(n_vf);
+    plan_.freq_ghz.reserve(n_vf);
+    plan_.vscale.reserve(n_vf);
+    plan_.idle_slope.reserve(n_vf);
+    plan_.idle_icept.reserve(n_vf);
+    for (std::size_t vf = 0; vf < n_vf; ++vf) {
         const sim::VfState &state = cfg_.vf_table.state(vf);
-        VfFactors f;
-        f.voltage = state.voltage;
-        f.freq_ghz = state.freq_ghz;
-        f.vscale = power_.dynamicModel().voltageScale(state.voltage);
-        f.idle_slope = power_.idleModel().slope(state.voltage);
-        f.idle_icept = power_.idleModel().intercept(state.voltage);
-        factors_.push_back(f);
+        plan_.voltage.push_back(state.voltage);
+        plan_.freq_ghz.push_back(state.freq_ghz);
+        plan_.vscale.push_back(
+            power_.dynamicModel().voltageScale(state.voltage));
+        plan_.idle_slope.push_back(
+            power_.idleModel().slope(state.voltage));
+        plan_.idle_icept.push_back(
+            power_.idleModel().intercept(state.voltage));
     }
 }
 
@@ -30,9 +36,10 @@ Ppep::predictVfInto(const trace::IntervalRecord &rec,
                     const std::vector<CoreObservation> &obs,
                     std::size_t target_vf, VfPrediction &out) const
 {
-    PPEP_ASSERT(target_vf < factors_.size(),
+    PPEP_ASSERT(target_vf < plan_.size(),
                 "target VF index outside the software table");
-    const VfFactors &f = factors_[target_vf];
+    const double freq_ghz = plan_.freq_ghz[target_vf];
+    const double vscale = plan_.vscale[target_vf];
     const DynamicPowerModel &dynamic = power_.dynamicModel();
 
     out.vf_index = target_vf;
@@ -41,13 +48,14 @@ Ppep::predictVfInto(const trace::IntervalRecord &rec,
     out.edp_per_inst = 0.0;
 
     // Eq. 2 idle part with the voltage polynomials pre-evaluated.
-    out.idle_w = f.idle_slope * rec.diode_temp_k + f.idle_icept;
+    out.idle_w = plan_.idle_slope[target_vf] * rec.diode_temp_k +
+                 plan_.idle_icept[target_vf];
 
     double dyn_core_w = 0.0, dyn_nb_w = 0.0;
     out.cores.resize(rec.pmc.size());
     for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
         const PredictedCoreState pred =
-            EventPredictor::predictAt(obs[c], f.freq_ghz);
+            EventPredictor::predictAt(obs[c], freq_ghz);
         CorePpe &core = out.cores[c];
         core.cpi = pred.cpi;
         core.ips = pred.ips;
@@ -56,7 +64,7 @@ Ppep::predictVfInto(const trace::IntervalRecord &rec,
         for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
             rates[i] = pred.rates_per_s[i];
         double core_w = 0.0, nb_w = 0.0;
-        dynamic.splitScaled(rates, f.vscale, core_w, nb_w);
+        dynamic.splitScaled(rates, vscale, core_w, nb_w);
         core.dynamic_w = core_w + nb_w;
         dyn_core_w += core_w;
         dyn_nb_w += nb_w;
@@ -94,22 +102,31 @@ Ppep::predictVf(const trace::IntervalRecord &rec,
 
 void
 Ppep::exploreInto(const trace::IntervalRecord &rec,
-                  std::vector<VfPrediction> &out) const
+                  std::vector<VfPrediction> &out,
+                  ExploreScratch &scratch) const
 {
     PPEP_ASSERT(!rec.cu_vf.empty(), "record has no VF context");
     const sim::VfState &now = cfg_.vf_table.state(rec.cu_vf.front());
 
     // The target-independent per-core work (CPI decomposition, Obs. 1/2
     // invariants) is shared across the whole VF sweep.
-    std::vector<CoreObservation> obs;
-    obs.reserve(rec.pmc.size());
-    for (const auto &core : rec.pmc)
-        obs.push_back(EventPredictor::observe(core, rec.duration_s,
-                                              now.freq_ghz));
+    scratch.obs.resize(rec.pmc.size());
+    for (std::size_t c = 0; c < rec.pmc.size(); ++c)
+        scratch.obs[c] = EventPredictor::observe(rec.pmc[c],
+                                                 rec.duration_s,
+                                                 now.freq_ghz);
 
     out.resize(cfg_.vf_table.size());
     for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf)
-        predictVfInto(rec, obs, vf, out[vf]);
+        predictVfInto(rec, scratch.obs, vf, out[vf]);
+}
+
+void
+Ppep::exploreInto(const trace::IntervalRecord &rec,
+                  std::vector<VfPrediction> &out) const
+{
+    ExploreScratch scratch;
+    exploreInto(rec, out, scratch);
 }
 
 std::vector<VfPrediction>
@@ -139,11 +156,12 @@ Ppep::predictAssignment(const trace::IntervalRecord &rec,
         const std::size_t cu = c / cfg_.cores_per_cu;
         const sim::VfState &now =
             cfg_.vf_table.state(rec.cu_vf[cu]);
-        PPEP_ASSERT(cu_vf[cu] < factors_.size(),
+        PPEP_ASSERT(cu_vf[cu] < plan_.size(),
                     "assignment VF index outside the software table");
-        const VfFactors &then = factors_[cu_vf[cu]];
+        const double then_freq = plan_.freq_ghz[cu_vf[cu]];
+        const double then_vscale = plan_.vscale[cu_vf[cu]];
         const PredictedCoreState pred = EventPredictor::predict(
-            rec.pmc[c], rec.duration_s, now.freq_ghz, then.freq_ghz);
+            rec.pmc[c], rec.duration_s, now.freq_ghz, then_freq);
         CorePpe &core = out.cores[c];
         core.cpi = pred.cpi;
         core.ips = pred.ips;
@@ -155,7 +173,7 @@ Ppep::predictAssignment(const trace::IntervalRecord &rec,
             rates[i] = pred.rates_per_s[i];
         // Per-CU voltage plane: this CU's own voltage prices its events.
         core.dynamic_w =
-            power_.dynamicModel().estimateScaled(rates, then.vscale);
+            power_.dynamicModel().estimateScaled(rates, then_vscale);
         out.dynamic_w += core.dynamic_w;
         if (core.busy)
             out.total_ips += pred.rates_per_s[sim::eventIndex(

@@ -59,6 +59,17 @@ struct AssignmentPrediction
     std::vector<CorePpe> cores;
 };
 
+/**
+ * Caller-owned scratch for the allocation-free exploration path. Holds
+ * the per-core observation buffer that explore() would otherwise
+ * allocate every interval; reuse one instance per control loop and the
+ * steady-state sweep performs no heap allocation at all.
+ */
+struct ExploreScratch
+{
+    std::vector<CoreObservation> obs;
+};
+
 /** The assembled PPEP predictor. */
 class Ppep
 {
@@ -82,10 +93,22 @@ class Ppep
     /**
      * explore() into a caller-owned buffer, reusing its allocations.
      * A governor calling this every 200 ms interval with the same buffer
-     * performs no heap allocation after the first call.
+     * performs no heap allocation after the first call apart from the
+     * per-core observation buffer; pass an ExploreScratch as well to
+     * eliminate that too.
      */
     void exploreInto(const trace::IntervalRecord &rec,
                      std::vector<VfPrediction> &out) const;
+
+    /**
+     * The fully allocation-free exploration: identical outputs to
+     * explore(), but every buffer — predictions and per-core
+     * observations — is caller-owned and reused across calls. This is
+     * the steady-state governing path.
+     */
+    void exploreInto(const trace::IntervalRecord &rec,
+                     std::vector<VfPrediction> &out,
+                     ExploreScratch &scratch) const;
 
     /** Prediction at one VF state (global DVFS). */
     VfPrediction predictVf(const trace::IntervalRecord &rec,
@@ -112,18 +135,23 @@ class Ppep
 
   private:
     /**
-     * Per-VF factors that depend only on the trained models and the VF
-     * table, hoisted out of the per-interval path: the operating point,
-     * the (V/Vtrain)^alpha dynamic-power scale (one pow() per estimate
-     * otherwise), and the Eq. 2 idle polynomials evaluated at V.
+     * The precomputed per-VF exploration plan: everything that depends
+     * only on the trained models and the VF table, hoisted out of the
+     * per-interval path and laid out structure-of-arrays so the VF
+     * sweep streams through dense coefficient vectors. Covers the
+     * operating point, the (V/Vtrain)^alpha dynamic-power scale (one
+     * pow() per estimate otherwise), and the Eq. 2 idle polynomials
+     * evaluated at V.
      */
-    struct VfFactors
+    struct VfPlan
     {
-        double voltage = 0.0;
-        double freq_ghz = 0.0;
-        double vscale = 1.0;     ///< DynamicPowerModel::voltageScale(V)
-        double idle_slope = 0.0; ///< Widle1(V)
-        double idle_icept = 0.0; ///< Widle0(V)
+        std::vector<double> voltage;
+        std::vector<double> freq_ghz;
+        std::vector<double> vscale;     ///< DynamicPowerModel::voltageScale(V)
+        std::vector<double> idle_slope; ///< Widle1(V)
+        std::vector<double> idle_icept; ///< Widle0(V)
+
+        std::size_t size() const { return voltage.size(); }
     };
 
     /** predictVf() into an existing prediction, reusing its buffers. */
@@ -134,7 +162,7 @@ class Ppep
     sim::ChipConfig cfg_;
     ChipPowerModel power_;
     PgIdleModel pg_;
-    std::vector<VfFactors> factors_;
+    VfPlan plan_;
 };
 
 } // namespace ppep::model

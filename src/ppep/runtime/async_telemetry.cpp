@@ -1,0 +1,138 @@
+#include "ppep/runtime/async_telemetry.hpp"
+
+#include <algorithm>
+
+#include "ppep/util/logging.hpp"
+
+namespace ppep::runtime {
+
+AsyncTelemetrySink::AsyncTelemetrySink(TelemetrySink &wrapped,
+                                       std::size_t capacity)
+    : wrapped_(wrapped), ring_(capacity)
+{
+    PPEP_ASSERT(capacity > 0, "ring capacity must be positive");
+    writer_ = std::thread([this] { writerLoop(); });
+}
+
+AsyncTelemetrySink::~AsyncTelemetrySink()
+{
+    close();
+}
+
+void
+AsyncTelemetrySink::onInterval(const IntervalTelemetry &t)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    PPEP_ASSERT(!closed_, "onInterval() after close()");
+    producer_cv_.wait(lock, [this] { return size_ < ring_.size(); });
+
+    // Deep-copy into the slot: the callback's pointers die when we
+    // return, but the slot (and its re-pointed telemetry) stays valid
+    // until the writer advances past it. Assignments reuse the slot's
+    // existing buffers, so a warmed ring costs no allocation.
+    Slot &slot = ring_[(head_ + size_) % ring_.size()];
+    slot.t = t;
+    slot.rec = *t.rec;
+    slot.t.rec = &slot.rec;
+    slot.cu_vf = *t.cu_vf;
+    slot.t.cu_vf = &slot.cu_vf;
+    slot.has_exploration = t.exploration != nullptr;
+    if (slot.has_exploration) {
+        slot.exploration = *t.exploration;
+        slot.t.exploration = &slot.exploration;
+    } else {
+        slot.t.exploration = nullptr;
+    }
+    slot.has_health = t.health != nullptr;
+    if (slot.has_health) {
+        slot.health = *t.health;
+        slot.t.health = &slot.health;
+    } else {
+        slot.t.health = nullptr;
+    }
+
+    ++size_;
+    max_depth_ = std::max(max_depth_, size_);
+    writer_cv_.notify_one();
+}
+
+void
+AsyncTelemetrySink::writerLoop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mu_);
+        writer_cv_.wait(lock, [this] { return size_ > 0 || stop_; });
+        if (size_ == 0 && stop_)
+            return;
+        Slot &slot = ring_[head_];
+        lock.unlock();
+        // The slot cannot be overwritten while unlocked: the producer
+        // only reuses it after size_ drops below capacity, which
+        // happens under the lock below.
+        wrapped_.onInterval(slot.t);
+        lock.lock();
+        head_ = (head_ + 1) % ring_.size();
+        --size_;
+        if (size_ == 0)
+            drained_cv_.notify_all();
+        producer_cv_.notify_one();
+    }
+}
+
+void
+AsyncTelemetrySink::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return size_ == 0; });
+}
+
+void
+AsyncTelemetrySink::finish()
+{
+    drain();
+    wrapped_.finish();
+}
+
+void
+AsyncTelemetrySink::flush()
+{
+    drain();
+    wrapped_.flush();
+}
+
+void
+AsyncTelemetrySink::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_)
+            return;
+        closed_ = true;
+        stop_ = true;
+        writer_cv_.notify_one();
+    }
+    if (writer_.joinable())
+        writer_.join(); // writer drains the ring before exiting
+    wrapped_.close();
+}
+
+bool
+AsyncTelemetrySink::failed() const
+{
+    return wrapped_.failed();
+}
+
+std::string
+AsyncTelemetrySink::error() const
+{
+    return wrapped_.error();
+}
+
+std::size_t
+AsyncTelemetrySink::maxDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+}
+
+} // namespace ppep::runtime

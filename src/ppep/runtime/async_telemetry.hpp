@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Asynchronous telemetry: a bounded SPSC ring between the governing
+ * thread and a dedicated writer thread.
+ *
+ * Serialising telemetry (CSV/JSONL formatting, stream writes) on the
+ * governing thread puts disk latency inside the 200 ms control loop. An
+ * AsyncTelemetrySink moves it off: onInterval() deep-copies the
+ * interval into a preallocated ring slot (the IntervalTelemetry
+ * pointers are only valid during the callback) and returns; a writer
+ * thread drains slots into the wrapped sink in order.
+ *
+ * The ring is bounded and the producer *blocks* when it is full —
+ * backpressure, never loss: a slow disk throttles the session rather
+ * than silently dropping intervals. One sink serves one session
+ * (single producer); the fleet attaches one per session.
+ */
+
+#ifndef PPEP_RUNTIME_ASYNC_TELEMETRY_HPP
+#define PPEP_RUNTIME_ASYNC_TELEMETRY_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ppep/runtime/telemetry.hpp"
+
+namespace ppep::runtime {
+
+/** Decouples a wrapped sink from the governing thread via a bounded
+ *  ring and a writer thread. See file comment for the contract. */
+class AsyncTelemetrySink : public TelemetrySink
+{
+  public:
+    /**
+     * @param wrapped  sink to drain into; owned by the caller, must
+     *                 outlive this object. After construction it is
+     *                 touched only from the writer thread (and from
+     *                 flush()/close(), which drain first).
+     * @param capacity ring depth in intervals (> 0). The producer
+     *                 blocks once this many intervals are in flight.
+     */
+    explicit AsyncTelemetrySink(TelemetrySink &wrapped,
+                                std::size_t capacity = 64);
+
+    ~AsyncTelemetrySink() override;
+
+    AsyncTelemetrySink(const AsyncTelemetrySink &) = delete;
+    AsyncTelemetrySink &operator=(const AsyncTelemetrySink &) = delete;
+
+    /** Deep-copy the interval into the ring; blocks while full. */
+    void onInterval(const IntervalTelemetry &t) override;
+
+    /** Drain, then finish() the wrapped sink. */
+    void finish() override;
+
+    /** Drain, then flush() the wrapped sink (the durability point). */
+    void flush() override;
+
+    /** Drain, stop the writer thread, close() the wrapped sink.
+     *  Idempotent; implied by destruction. */
+    void close() override;
+
+    /** Wrapped sink's failure state (meaningful after a drain). */
+    bool failed() const override;
+    std::string error() const override;
+
+    /** High-water mark of in-flight intervals (observability). */
+    std::size_t maxDepth() const;
+
+  private:
+    /** One ring entry: the telemetry plus deep copies of everything it
+     *  points at, re-pointed before hand-off. */
+    struct Slot
+    {
+        IntervalTelemetry t;
+        trace::IntervalRecord rec;
+        std::vector<std::size_t> cu_vf;
+        std::vector<model::VfPrediction> exploration;
+        bool has_exploration = false;
+        SampleHealth health;
+        bool has_health = false;
+    };
+
+    void writerLoop();
+    /** Blocks until every enqueued interval has been handed off. */
+    void drain();
+
+    TelemetrySink &wrapped_;
+    std::vector<Slot> ring_;
+
+    mutable std::mutex mu_;
+    std::condition_variable producer_cv_;
+    std::condition_variable writer_cv_;
+    std::condition_variable drained_cv_;
+    std::size_t head_ = 0; ///< next slot the writer consumes
+    std::size_t size_ = 0; ///< slots in flight
+    std::size_t max_depth_ = 0;
+    bool stop_ = false;
+    bool closed_ = false;
+
+    std::thread writer_;
+};
+
+} // namespace ppep::runtime
+
+#endif // PPEP_RUNTIME_ASYNC_TELEMETRY_HPP

@@ -1,0 +1,223 @@
+#include "ppep/runtime/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "ppep/model/trainer.hpp"
+#include "ppep/runtime/async_telemetry.hpp"
+#include "ppep/util/logging.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace ppep::runtime {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double
+secondsSince(clock::time_point t0)
+{
+    return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+std::vector<const workloads::Combination *>
+defaultTrainingCombos()
+{
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations())
+        if (c.instances.size() == 1)
+            out.push_back(&c);
+    return out;
+}
+
+} // namespace
+
+Fleet::Fleet(FleetSpec spec) : spec_(std::move(spec))
+{
+    PPEP_ASSERT(!spec_.sessions.empty(), "fleet has no sessions");
+    PPEP_ASSERT(spec_.intervals > 0, "fleet intervals must be positive");
+    for (std::size_t i = 0; i < spec_.sessions.size(); ++i)
+        if (spec_.sessions[i].name.empty())
+            spec_.sessions[i].name = "s" + std::to_string(i);
+}
+
+void
+Fleet::prepare()
+{
+    if (ppep_)
+        return;
+    const auto combos = spec_.training_combos ? *spec_.training_combos
+                                              : defaultTrainingCombos();
+    if (spec_.store) {
+        models_ = spec_.store->trainOrLoad(spec_.cfg,
+                                           spec_.training_seed, combos);
+    } else {
+        model::Trainer trainer(spec_.cfg, spec_.training_seed);
+        models_ = trainer.trainAll(combos);
+    }
+    ppep_.emplace(spec_.cfg, models_->chip, models_->pg);
+    // Warm the workload registry's magic statics on this thread too, so
+    // workers never contend on first-touch initialisation.
+    (void)workloads::allCombinations();
+}
+
+const model::TrainedModels &
+Fleet::models() const
+{
+    PPEP_ASSERT(models_.has_value(), "prepare() has not run");
+    return *models_;
+}
+
+const model::Ppep &
+Fleet::ppep() const
+{
+    PPEP_ASSERT(ppep_.has_value(), "prepare() has not run");
+    return *ppep_;
+}
+
+FleetSessionResult
+Fleet::runOne(std::size_t index)
+{
+    const FleetSessionSpec &ss = spec_.sessions[index];
+    FleetSessionResult res;
+    res.name = ss.name;
+    res.seed = ss.seed;
+    const auto t0 = clock::now();
+    try {
+        SummarySink summary;
+        DigestSink digest;
+
+        std::unique_ptr<CsvSink> csv;
+        std::unique_ptr<AsyncTelemetrySink> async_csv;
+        if (!spec_.csv_dir.empty()) {
+            const auto path =
+                std::filesystem::path(spec_.csv_dir) / (ss.name + ".csv");
+            csv = std::make_unique<CsvSink>(path.string());
+            if (spec_.async_telemetry)
+                async_csv =
+                    std::make_unique<AsyncTelemetrySink>(*csv);
+        }
+
+        auto builder = Session::builder(spec_.cfg)
+                           .seed(ss.seed)
+                           .pg(ss.pg)
+                           .sharedModels(*models_, *ppep_)
+                           .warmup(spec_.warmup)
+                           .sink(summary)
+                           .sink(digest);
+        if (async_csv)
+            builder.sink(*async_csv);
+        else if (csv)
+            builder.sink(*csv);
+        if (!ss.jobs.empty())
+            builder.jobs(ss.jobs);
+        if (!ss.one_per_cu.empty())
+            builder.onePerCu(ss.one_per_cu);
+        if (ss.governor)
+            builder.governor(ss.governor);
+        else if (spec_.default_governor)
+            builder.governor(spec_.default_governor);
+        if (ss.schedule)
+            builder.schedule(*ss.schedule);
+        else if (spec_.default_schedule)
+            builder.schedule(*spec_.default_schedule);
+        if (ss.faults)
+            builder.faults(*ss.faults);
+        if (ss.fault_seed)
+            builder.faultSeed(*ss.fault_seed);
+
+        Session session = builder.build();
+        res.intervals = session.drive(spec_.intervals);
+        res.sink_errors = session.sinkErrors();
+        if (async_csv)
+            async_csv->close();
+        else if (csv)
+            csv->close();
+        res.summary = summary.summary();
+        res.telemetry_digest = digest.digest();
+        res.completed = true;
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    } catch (...) {
+        res.error = "unknown exception";
+    }
+    res.wall_s = secondsSince(t0);
+    return res;
+}
+
+FleetResult
+Fleet::run(std::size_t n_threads)
+{
+    prepare();
+    if (!spec_.csv_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(spec_.csv_dir, ec);
+        if (ec)
+            PPEP_FATAL("cannot create fleet csv dir '", spec_.csv_dir,
+                       "': ", ec.message());
+    }
+
+    const std::size_t n_sessions = spec_.sessions.size();
+    const std::size_t workers =
+        std::clamp<std::size_t>(n_threads, 1, n_sessions);
+
+    FleetResult out;
+    out.sessions.resize(n_sessions);
+    const auto t0 = clock::now();
+
+    // Workers pull indices from a shared counter; every result lands in
+    // its preallocated slot, so no two threads ever touch the same
+    // session, result, model, or chip. The shared Ppep/TrainedModels
+    // are read-only by the Session contract.
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n_sessions)
+                return;
+            out.sessions[i] = runOne(i);
+        }
+    };
+    if (workers == 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back(work);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    out.wall_s = secondsSince(t0);
+    double power_sum = 0.0;
+    for (const auto &r : out.sessions) {
+        if (r.completed) {
+            ++out.completed;
+            out.total_intervals += r.intervals;
+            power_sum += r.summary.mean_power_w;
+            out.energy_j += r.summary.energy_j;
+        } else {
+            ++out.failed;
+            PPEP_WARN("fleet session '", r.name,
+                      "' failed: ", r.error);
+        }
+    }
+    if (out.completed)
+        out.mean_power_w =
+            power_sum / static_cast<double>(out.completed);
+    if (out.wall_s > 0.0) {
+        out.sessions_per_s =
+            static_cast<double>(out.completed) / out.wall_s;
+        out.intervals_per_s =
+            static_cast<double>(out.total_intervals) / out.wall_s;
+    }
+    return out;
+}
+
+} // namespace ppep::runtime

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Fleet-scale parallel runtime: N independent governed sessions over
+ * one immutable set of trained models, executed on a fixed-size thread
+ * pool.
+ *
+ * The expensive, shareable state — TrainedModels and the assembled
+ * Ppep (with its precomputed per-VF plan) — is acquired exactly once
+ * on the calling thread; every session then holds const references to
+ * it (Session::Builder::sharedModels). Everything mutable (Chip,
+ * Sampler, Governor, RNG streams, telemetry sinks) is per-session, so
+ * sessions never synchronise with each other while governing.
+ *
+ * Determinism contract: a session's telemetry stream is a pure
+ * function of its spec (seed, jobs, governor, schedule, fault plan).
+ * The thread pool only changes *when* a session runs, never what it
+ * computes, so per-session results are bit-identical at any thread
+ * count — including serial. test_runtime_fleet asserts this with
+ * DigestSink digests.
+ */
+
+#ifndef PPEP_RUNTIME_FLEET_HPP
+#define PPEP_RUNTIME_FLEET_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ppep/governor/governor.hpp"
+#include "ppep/runtime/model_store.hpp"
+#include "ppep/runtime/session.hpp"
+#include "ppep/sim/chip_config.hpp"
+#include "ppep/sim/fault.hpp"
+
+namespace ppep::runtime {
+
+/** One session's overrides within a fleet. */
+struct FleetSessionSpec
+{
+    /** Label in results; defaults to "s<index>" when empty. */
+    std::string name;
+    /** Chip RNG seed — the per-session deterministic stream root. */
+    std::uint64_t seed = 1;
+    /** Power gating on this session's chip. */
+    bool pg = false;
+    /** Explicit pinned jobs. */
+    std::vector<Session::JobSpec> jobs;
+    /** Convenience placement: program i on the first core of CU i. */
+    std::vector<std::string> one_per_cu;
+    /** Policy; empty falls back to the fleet default (EDP). */
+    GovernorFactory governor;
+    /** Cap schedule; nullopt falls back to the fleet default. */
+    std::optional<ppep::governor::CapSchedule> schedule;
+    /** Per-session fault plan (hardened path); nullopt = plain. */
+    std::optional<sim::FaultPlan> faults;
+    /** Fault stream seed; nullopt derives from the chip seed. */
+    std::optional<std::uint64_t> fault_seed;
+};
+
+/** Shared fleet configuration plus the per-session specs. */
+struct FleetSpec
+{
+    /** Chip description shared by every session. */
+    sim::ChipConfig cfg;
+    /** Trainer seed for the shared models. */
+    std::uint64_t training_seed = 42;
+    /** Acquire models through this cache; nullopt trains fresh. */
+    std::optional<ModelStore> store;
+    /** Training set; nullopt = all single-program combinations. */
+    std::optional<std::vector<const workloads::Combination *>>
+        training_combos;
+    /** Fleet-default policy; empty = EDP-optimal. */
+    GovernorFactory default_governor;
+    /** Fleet-default cap schedule; nullopt = unlimited. */
+    std::optional<ppep::governor::CapSchedule> default_schedule;
+    /** Warm-up intervals per session. */
+    std::size_t warmup = 0;
+    /** Governed intervals per session. */
+    std::size_t intervals = 40;
+    /** When non-empty, write one CSV trace per session into this
+     *  directory (`<name>.csv`), created on demand. */
+    std::string csv_dir;
+    /** Put each session's CSV behind an AsyncTelemetrySink so stream
+     *  writes happen off the governing thread. */
+    bool async_telemetry = false;
+    /** The sessions to run. */
+    std::vector<FleetSessionSpec> sessions;
+};
+
+/** One session's outcome. */
+struct FleetSessionResult
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    /** False when the session threw; error carries the reason. */
+    bool completed = false;
+    std::string error;
+    /** End-of-run aggregates (meaningful when completed). */
+    SummarySink::Summary summary;
+    /** DigestSink digest over the deterministic telemetry stream —
+     *  the cross-thread bit-identity witness. */
+    std::uint64_t telemetry_digest = 0;
+    /** Governed intervals run. */
+    std::size_t intervals = 0;
+    /** Failed-sink errors surfaced by the session. */
+    std::vector<std::string> sink_errors;
+    /** Wall-clock cost of this session, seconds. */
+    double wall_s = 0.0;
+};
+
+/** Fleet rollup (specs order preserved in sessions). */
+struct FleetResult
+{
+    std::vector<FleetSessionResult> sessions;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t total_intervals = 0;
+    /** Wall-clock of the whole run() call, seconds. */
+    double wall_s = 0.0;
+    double sessions_per_s = 0.0;
+    double intervals_per_s = 0.0;
+    /** Mean of completed sessions' mean power, watts. */
+    double mean_power_w = 0.0;
+    /** Total energy across completed sessions, joules. */
+    double energy_j = 0.0;
+};
+
+/**
+ * Runs a FleetSpec on a fixed-size worker pool. Workers pull session
+ * indices from a shared atomic counter; each session is built, driven
+ * and torn down entirely on one worker. A session that throws is
+ * recorded as failed without taking the pool down.
+ */
+class Fleet
+{
+  public:
+    explicit Fleet(FleetSpec spec);
+
+    /**
+     * Acquire the shared models (train, or load through the store) on
+     * the calling thread. Idempotent; run() calls it implicitly.
+     */
+    void prepare();
+
+    /** Shared models/predictor; prepare() must have run. */
+    const model::TrainedModels &models() const;
+    const model::Ppep &ppep() const;
+
+    /** The spec in force. */
+    const FleetSpec &spec() const { return spec_; }
+
+    /**
+     * Run every session on @p n_threads workers (clamped to
+     * [1, sessions]). Per-session results are bit-identical at any
+     * thread count.
+     */
+    FleetResult run(std::size_t n_threads);
+
+  private:
+    FleetSessionResult runOne(std::size_t index);
+
+    FleetSpec spec_;
+    std::optional<model::TrainedModels> models_;
+    std::optional<model::Ppep> ppep_;
+};
+
+} // namespace ppep::runtime
+
+#endif // PPEP_RUNTIME_FLEET_HPP

@@ -1,10 +1,14 @@
 #include "ppep/runtime/model_store.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "ppep/model/serialization.hpp"
 #include "ppep/util/logging.hpp"
@@ -55,6 +59,29 @@ mixVf(std::uint64_t h, const sim::VfState &vf)
 {
     h = mixDouble(h, vf.voltage);
     return mixDouble(h, vf.freq_ghz);
+}
+
+std::atomic<std::uint64_t> g_train_events{0};
+
+/**
+ * One in-process lock per cache path. Concurrent trainOrLoad() calls
+ * for the same key serialise on it: the first caller trains and
+ * publishes, later callers load the published file — exactly-once
+ * training per key per process. Distinct keys proceed in parallel.
+ * (Cross-process racers are still safe via write-then-rename; they may
+ * train redundantly but never corrupt the cache.)
+ */
+std::mutex &
+pathLock(const std::string &path)
+{
+    static std::mutex registry_mu;
+    static std::unordered_map<std::string, std::unique_ptr<std::mutex>>
+        locks;
+    std::lock_guard<std::mutex> g(registry_mu);
+    auto &slot = locks[path];
+    if (!slot)
+        slot = std::make_unique<std::mutex>();
+    return *slot;
 }
 
 } // namespace
@@ -197,17 +224,26 @@ ModelStore::trainOrLoad(
     bool *was_cached) const
 {
     const ModelKey key = keyFor(cfg, seed, combos);
+    const std::string path = pathFor(key);
+    std::lock_guard<std::mutex> lock(pathLock(path));
     if (contains(key)) {
         if (was_cached)
             *was_cached = true;
-        return model::loadModels(pathFor(key), cfg);
+        return model::loadModels(path, cfg);
     }
     if (was_cached)
         *was_cached = false;
+    ++g_train_events;
     model::Trainer trainer(cfg, seed);
     model::TrainedModels models = trainer.trainAll(combos);
     save(key, models);
     return models;
+}
+
+std::uint64_t
+ModelStore::trainEvents()
+{
+    return g_train_events.load();
 }
 
 } // namespace ppep::runtime

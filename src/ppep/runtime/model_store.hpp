@@ -103,6 +103,15 @@ class ModelStore
     /** Persist models under the key (atomic replace). */
     void save(const ModelKey &key, const model::TrainedModels &models) const;
 
+    /**
+     * Process-wide count of actual Trainer runs performed by
+     * trainOrLoad() (i.e. cache misses that trained). Concurrent
+     * trainOrLoad() calls for one key serialise on an in-process
+     * per-path lock, so this advances exactly once per distinct key per
+     * process — the train-once guarantee the concurrency tests assert.
+     */
+    static std::uint64_t trainEvents();
+
   private:
     std::string dir_;
 };

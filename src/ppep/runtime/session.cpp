@@ -60,6 +60,9 @@ struct Session::State
     sim::ChipConfig cfg;
     std::optional<model::TrainedModels> models;
     std::optional<model::Ppep> ppep;
+    /** Fleet path: caller-owned immutable models shared across sessions. */
+    const model::TrainedModels *shared_models = nullptr;
+    const model::Ppep *shared_ppep = nullptr;
     std::optional<sim::Chip> chip;
     std::unique_ptr<governor::Governor> owned_gov;
     governor::Governor *gov = nullptr;
@@ -151,6 +154,15 @@ Session::Builder::models(model::TrainedModels m)
 }
 
 Session::Builder &
+Session::Builder::sharedModels(const model::TrainedModels &m,
+                               const model::Ppep &p)
+{
+    shared_models_ = &m;
+    shared_ppep_ = &p;
+    return *this;
+}
+
+Session::Builder &
 Session::Builder::governor(GovernorFactory factory)
 {
     factory_ = std::move(factory);
@@ -237,11 +249,15 @@ Session::Builder::build()
     state->warmup = warmup_;
 
     // Model acquisition. An external governor needs none unless the
-    // caller explicitly supplied models or a store.
+    // caller explicitly supplied models or a store; shared models skip
+    // acquisition entirely (the fleet trained them once up front).
     const bool needs_models =
         models_.has_value() || store_.has_value() ||
-        external_gov_ == nullptr;
-    if (models_) {
+        (external_gov_ == nullptr && shared_ppep_ == nullptr);
+    if (shared_ppep_) {
+        state->shared_models = shared_models_;
+        state->shared_ppep = shared_ppep_;
+    } else if (models_) {
         state->models = std::move(*models_);
     } else if (needs_models) {
         const auto combos =
@@ -278,10 +294,15 @@ Session::Builder::build()
     } else {
         const GovernorFactory factory =
             factory_ ? factory_ : edpGovernor();
-        PPEP_ASSERT(state->models && state->ppep,
+        PPEP_ASSERT((state->models && state->ppep) ||
+                        (state->shared_models && state->shared_ppep),
                     "governor factory requires trained models");
-        const ModelContext ctx{state->cfg, *state->models,
-                               *state->ppep, training_seed_};
+        const ModelContext ctx{
+            state->cfg,
+            state->shared_models ? *state->shared_models
+                                 : *state->models,
+            state->shared_ppep ? *state->shared_ppep : *state->ppep,
+            training_seed_};
         state->owned_gov = factory(ctx);
         PPEP_ASSERT(state->owned_gov != nullptr,
                     "governor factory returned null");
@@ -338,27 +359,30 @@ Session::Session(Session &&) noexcept = default;
 Session &Session::operator=(Session &&) noexcept = default;
 Session::~Session() = default;
 
-std::vector<governor::GovernorStep>
-Session::run(std::size_t intervals)
+void
+Session::warmupIfNeeded()
 {
     auto &s = *state_;
-    if (s.warmup && !s.warmed) {
-        if (s.sampler) {
-            // Warm through the hardened path so its last-good state
-            // is primed before governed intervals begin.
-            for (std::size_t i = 0; i < s.warmup; ++i)
-                s.sampler->collectInterval();
-        } else {
-            trace::Collector warm(*s.chip);
-            warm.collect(s.warmup);
-        }
-        s.warmed = true;
+    if (!s.warmup || s.warmed)
+        return;
+    if (s.sampler) {
+        // Warm through the hardened path so its last-good state
+        // is primed before governed intervals begin.
+        for (std::size_t i = 0; i < s.warmup; ++i)
+            s.sampler->collectInterval();
+    } else {
+        trace::Collector warm(*s.chip);
+        warm.collect(s.warmup);
     }
-    governor::GovernorLoop loop =
-        s.sampler ? governor::GovernorLoop(*s.chip, *s.gov, *s.sampler)
-                  : governor::GovernorLoop(*s.chip, *s.gov);
-    const auto observer = [&s](const governor::GovernorStep &step,
-                               double latency_s) {
+    s.warmed = true;
+}
+
+governor::GovernorLoop::StepObserver
+Session::makeObserver()
+{
+    State *sp = state_.get();
+    return [sp](const governor::GovernorStep &step, double latency_s) {
+        auto &s = *sp;
         IntervalTelemetry t;
         t.index = s.next_index++;
         // Accumulated tick rounding can leave the first interval a hair
@@ -380,16 +404,50 @@ Session::run(std::size_t intervals)
         // its forecast until that interval's record arrives.
         s.pending_pred = s.gov->lastPredictedPower();
     };
-    auto steps = loop.run(intervals, s.schedule, observer);
+}
+
+void
+Session::finishSinks()
+{
+    auto &s = *state_;
     s.sink_errors.clear();
     for (auto *sink : s.sinks) {
         sink->finish();
+        // The explicit durability point of the sink contract: after
+        // run()/drive() returns, everything observed is on its medium.
+        sink->flush();
         if (sink->failed()) {
             PPEP_WARN("telemetry sink failed: ", sink->error());
             s.sink_errors.push_back(sink->error());
         }
     }
+}
+
+std::vector<governor::GovernorStep>
+Session::run(std::size_t intervals)
+{
+    auto &s = *state_;
+    warmupIfNeeded();
+    governor::GovernorLoop loop =
+        s.sampler ? governor::GovernorLoop(*s.chip, *s.gov, *s.sampler)
+                  : governor::GovernorLoop(*s.chip, *s.gov);
+    auto steps = loop.run(intervals, s.schedule, makeObserver());
+    finishSinks();
     return steps;
+}
+
+std::size_t
+Session::drive(std::size_t intervals)
+{
+    auto &s = *state_;
+    warmupIfNeeded();
+    governor::GovernorLoop loop =
+        s.sampler ? governor::GovernorLoop(*s.chip, *s.gov, *s.sampler)
+                  : governor::GovernorLoop(*s.chip, *s.gov);
+    const std::size_t ran = loop.drive(intervals, s.schedule,
+                                       makeObserver());
+    finishSinks();
+    return ran;
 }
 
 sim::Chip &
@@ -407,12 +465,15 @@ Session::config() const
 bool
 Session::hasModels() const
 {
-    return state_->models.has_value();
+    return state_->models.has_value() ||
+           state_->shared_models != nullptr;
 }
 
 const model::TrainedModels &
 Session::models() const
 {
+    if (state_->shared_models)
+        return *state_->shared_models;
     if (!state_->models)
         PPEP_FATAL("this session trained no models");
     return *state_->models;
@@ -421,6 +482,8 @@ Session::models() const
 const model::Ppep &
 Session::ppep() const
 {
+    if (state_->shared_ppep)
+        return *state_->shared_ppep;
     if (!state_->ppep)
         PPEP_FATAL("this session trained no models");
     return *state_->ppep;

@@ -125,6 +125,16 @@ class Session
         /** Use already-trained models; skips the store and training. */
         Builder &models(model::TrainedModels m);
 
+        /**
+         * Share caller-owned models and an assembled predictor without
+         * copying either — the fleet path: N sessions over one immutable
+         * Ppep. Both objects must outlive the session; the session
+         * treats them as strictly read-only, so any number of sessions
+         * (on any threads) may share them.
+         */
+        Builder &sharedModels(const model::TrainedModels &m,
+                              const model::Ppep &p);
+
         /** Policy built from the trained models (default: EDP). */
         Builder &governor(GovernorFactory factory);
 
@@ -182,6 +192,8 @@ class Session
             training_combos_;
         std::optional<ModelStore> store_;
         std::optional<model::TrainedModels> models_;
+        const model::TrainedModels *shared_models_ = nullptr;
+        const model::Ppep *shared_ppep_ = nullptr;
         GovernorFactory factory_;
         ppep::governor::Governor *external_gov_ = nullptr;
         std::optional<ppep::governor::CapSchedule> schedule_;
@@ -207,6 +219,15 @@ class Session
      * Repeatable; telemetry interval indices continue across calls.
      */
     std::vector<ppep::governor::GovernorStep> run(std::size_t intervals);
+
+    /**
+     * run() without retaining the step trace — the steady-state fleet
+     * path. Telemetry fan-out, warm-up, sink finish()/flush() and index
+     * continuity are identical to run(); the loop reuses one internal
+     * step so a governed interval performs zero heap allocations once
+     * the scratch buffers are warm. Returns the number of intervals run.
+     */
+    std::size_t drive(std::size_t intervals);
 
     /** The simulated chip (for inspection or extra job placement). */
     sim::Chip &chip();
@@ -249,6 +270,13 @@ class Session
   private:
     struct State;
     explicit Session(std::unique_ptr<State> state);
+
+    /** Run the configured warm-up once. */
+    void warmupIfNeeded();
+    /** The telemetry fan-out observer shared by run() and drive(). */
+    ppep::governor::GovernorLoop::StepObserver makeObserver();
+    /** finish()+flush() every sink; collect failures. */
+    void finishSinks();
 
     std::unique_ptr<State> state_;
     friend class Builder;

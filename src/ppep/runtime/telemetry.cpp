@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 
@@ -130,6 +131,24 @@ CsvSink::finish()
     checkStream();
 }
 
+void
+CsvSink::flush()
+{
+    stream().flush();
+    checkStream();
+}
+
+void
+CsvSink::close()
+{
+    auto *f = dynamic_cast<std::ofstream *>(owned_.get());
+    if (f && !f->is_open())
+        return; // already closed
+    flush();
+    if (f)
+        f->close();
+}
+
 // --- JsonlSink -----------------------------------------------------------
 
 JsonlSink::JsonlSink(std::ostream &out) : out_(&out) {}
@@ -185,6 +204,109 @@ JsonlSink::finish()
 {
     out_->flush();
     checkStream();
+}
+
+void
+JsonlSink::flush()
+{
+    out_->flush();
+    checkStream();
+}
+
+void
+JsonlSink::close()
+{
+    auto *f = dynamic_cast<std::ofstream *>(owned_.get());
+    if (f && !f->is_open())
+        return; // already closed
+    flush();
+    if (f)
+        f->close();
+}
+
+// --- DigestSink ----------------------------------------------------------
+
+void
+DigestSink::mixU64(std::uint64_t v)
+{
+    // FNV-1a over the value's 8 bytes, little-endian byte order.
+    for (int i = 0; i < 8; ++i) {
+        hash_ ^= (v >> (8 * i)) & 0xffULL;
+        hash_ *= 1099511628211ULL;
+    }
+}
+
+void
+DigestSink::mixDouble(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mixU64(bits);
+}
+
+void
+DigestSink::onInterval(const IntervalTelemetry &t)
+{
+    ++count_;
+    mixU64(t.index);
+    mixDouble(t.time_s);
+    mixDouble(t.cap_w);
+    mixDouble(t.predicted_power_w);
+    mixU64(t.degraded ? 1 : 0);
+    // decision_latency_s is wall clock — deliberately NOT hashed.
+
+    for (std::size_t v : *t.cu_vf)
+        mixU64(v);
+
+    const trace::IntervalRecord &rec = *t.rec;
+    mixDouble(rec.duration_s);
+    mixDouble(rec.sensor_power_w);
+    mixDouble(rec.diode_temp_k);
+    mixU64(rec.busy_cores);
+    mixDouble(rec.nb_utilization);
+    mixDouble(rec.true_power_w);
+    mixDouble(rec.true_dynamic_w);
+    mixDouble(rec.true_idle_w);
+    mixDouble(rec.true_nb_power_w);
+    mixDouble(rec.true_temp_k);
+    mixDouble(rec.nb_vf.voltage);
+    mixDouble(rec.nb_vf.freq_ghz);
+    for (std::size_t v : rec.cu_vf)
+        mixU64(v);
+    for (const auto &core : rec.pmc)
+        for (double e : core)
+            mixDouble(e);
+    for (const auto &core : rec.oracle)
+        for (double e : core)
+            mixDouble(e);
+
+    if (t.exploration) {
+        for (const auto &p : *t.exploration) {
+            mixU64(p.vf_index);
+            mixDouble(p.total_ips);
+            mixDouble(p.idle_w);
+            mixDouble(p.dynamic_w);
+            mixDouble(p.chip_power_w);
+            mixDouble(p.energy_per_inst);
+            mixDouble(p.edp_per_inst);
+        }
+    }
+
+    if (t.health) {
+        const SampleHealth &h = *t.health;
+        mixU64(h.msr_retries);
+        mixU64(h.msr_failed_cores);
+        mixU64(h.pmc_rejected_cores);
+        mixU64(h.substituted_cores);
+        mixU64(h.zeroed_cores);
+        mixU64(h.sensor_rejects);
+        mixU64(h.diode_rejects);
+        mixU64(h.ticks);
+        mixU64(h.timing_overrun ? 1 : 0);
+        mixU64(h.pmc_wrap_events);
+        mixU64(h.total_fault_events);
+    }
 }
 
 // --- SummarySink ---------------------------------------------------------

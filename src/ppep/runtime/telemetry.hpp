@@ -19,6 +19,7 @@
 #define PPEP_RUNTIME_TELEMETRY_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <limits>
 #include <memory>
@@ -92,6 +93,23 @@ class TelemetrySink
     virtual void finish() {}
 
     /**
+     * Durability point: everything observed so far is pushed through to
+     * the underlying medium before flush() returns — buffered writers
+     * flush their stream, async sinks drain their queue and flush the
+     * sink they wrap. Callable at any point between intervals, any
+     * number of times. Default is a no-op (unbuffered sinks).
+     */
+    virtual void flush() {}
+
+    /**
+     * Terminal: flush, then release resources (writer threads, owned
+     * files). Idempotent. After close() returns the caller must not
+     * deliver further onInterval() calls; failed()/error() stay valid.
+     * Destruction implies close(). Default forwards to flush().
+     */
+    virtual void close() { flush(); }
+
+    /**
      * True when the sink has stopped recording faithfully (e.g. its
      * output stream failed mid-run). Session::run checks this after
      * finish() and reports failed sinks instead of losing data
@@ -117,6 +135,8 @@ class CsvSink : public TelemetrySink
 
     void onInterval(const IntervalTelemetry &t) override;
     void finish() override;
+    void flush() override;
+    void close() override;
     bool failed() const override { return failed_; }
     std::string error() const override { return error_; }
 
@@ -143,6 +163,8 @@ class JsonlSink : public TelemetrySink
 
     void onInterval(const IntervalTelemetry &t) override;
     void finish() override;
+    void flush() override;
+    void close() override;
     bool failed() const override { return failed_; }
     std::string error() const override { return error_; }
 
@@ -154,6 +176,32 @@ class JsonlSink : public TelemetrySink
     std::string path_;
     bool failed_ = false;
     std::string error_;
+};
+
+/**
+ * Order-sensitive FNV-1a digest over every *deterministic* field of the
+ * telemetry stream — the cheap bit-identical-replay witness behind the
+ * fleet determinism tests and bench. decision_latency_s (wall clock) is
+ * excluded by construction; everything else, down to per-core PMC
+ * counts and ground truth, is folded in bit-for-bit.
+ */
+class DigestSink : public TelemetrySink
+{
+  public:
+    void onInterval(const IntervalTelemetry &t) override;
+
+    /** Digest over everything seen so far. */
+    std::uint64_t digest() const { return hash_; }
+
+    /** Intervals folded in. */
+    std::size_t intervals() const { return count_; }
+
+  private:
+    void mixU64(std::uint64_t v);
+    void mixDouble(double v);
+
+    std::uint64_t hash_ = 1469598103934665603ULL;
+    std::size_t count_ = 0;
 };
 
 /** End-of-run aggregates over a governed trace. */

@@ -235,6 +235,14 @@ Chip::activityFactor(std::size_t core) const
 TickResult
 Chip::step()
 {
+    TickResult res;
+    stepInto(res);
+    return res;
+}
+
+void
+Chip::stepInto(TickResult &res)
+{
     const double dt = cfg_.tick_s;
     const std::size_t n_cores = cfg_.coreCount();
 
@@ -253,7 +261,8 @@ Chip::step()
     }
 
     // 1. Gate states for this tick.
-    std::vector<bool> cu_gated(cfg_.n_cus, false);
+    std::vector<bool> &cu_gated = scratch_.cu_gated;
+    cu_gated.assign(cfg_.n_cus, false);
     bool all_gated = true;
     for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu) {
         cu_gated[cu] = pg_enabled_ && cuIdle(cu);
@@ -262,7 +271,10 @@ Chip::step()
     const bool nb_gated = pg_enabled_ && all_gated;
 
     // 2. Effective per-CU voltage/frequency.
-    std::vector<double> cu_volt(cfg_.n_cus), cu_freq(cfg_.n_cus);
+    std::vector<double> &cu_volt = scratch_.cu_volt;
+    std::vector<double> &cu_freq = scratch_.cu_freq;
+    cu_volt.assign(cfg_.n_cus, 0.0);
+    cu_freq.assign(cfg_.n_cus, 0.0);
     for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu) {
         cu_volt[cu] = effectiveCuVoltage(cu);
         cu_freq[cu] = stateOf(grantedVf(cu)).freq_ghz;
@@ -270,28 +282,32 @@ Chip::step()
 
     // 3. Effective rates for busy cores, then the NB contention fixed
     //    point across all of them.
-    std::vector<PerInstRates> rates(n_cores);
-    std::vector<bool> busy(n_cores, false);
-    std::vector<CoreDemand> demands;
-    std::vector<std::size_t> demand_core;
+    std::vector<PerInstRates> &rates = scratch_.rates;
+    rates.assign(n_cores, PerInstRates{});
+    std::vector<CoreDemand> &demands = scratch_.demands;
+    std::vector<std::size_t> &demand_core = scratch_.demand_core;
+    demands.clear();
+    demand_core.clear();
     for (std::size_t c = 0; c < n_cores; ++c) {
         Job *j = jobs_[c].get();
         if (!j || j->finished())
             continue;
-        busy[c] = true;
         const std::size_t cu = c / cfg_.cores_per_cu;
         rates[c] = CoreModel::effectiveRates(cfg_, j->currentPhase(),
                                              cu_freq[cu], core_rngs_[c]);
         demands.push_back({rates[c], cu_freq[cu]});
         demand_core.push_back(c);
     }
-    const NbResolution nb_res = nb_.resolve(demands);
+    const NbResolution &nb_res = scratch_.nb_res;
+    nb_.resolveInto(demands, scratch_.nb_res);
 
     // 4. Execute each busy core and advance its job.
-    TickResult res;
+    res.sensor_power_w = 0.0;
+    res.diode_temp_k = 0.0;
     res.truth.activity.assign(n_cores, CoreActivity{});
     res.truth.core_events.assign(n_cores, EventVector{});
-    std::vector<double> act_factor(n_cores, 1.0);
+    std::vector<double> &act_factor = scratch_.act_factor;
+    act_factor.assign(n_cores, 1.0);
     for (std::size_t d = 0; d < demands.size(); ++d) {
         const std::size_t c = demand_core[d];
         Job *j = jobs_[c].get();
@@ -317,7 +333,8 @@ Chip::step()
     }
 
     // 5. Ground-truth power.
-    std::vector<CorePowerInput> pins(n_cores);
+    std::vector<CorePowerInput> &pins = scratch_.pins;
+    pins.assign(n_cores, CorePowerInput{});
     for (std::size_t c = 0; c < n_cores; ++c) {
         const std::size_t cu = c / cfg_.cores_per_cu;
         pins[c].activity = &res.truth.activity[c];
@@ -325,10 +342,10 @@ Chip::step()
         pins[c].freq_ghz = cu_freq[cu];
         pins[c].activity_factor = act_factor[c];
     }
-    res.truth.power =
-        hw_power_.compute(pins, cu_gated, nb_gated, cu_volt, cu_freq,
-                          nb_.vf(), thermal_.temperature(), dt);
-    res.truth.cu_gated = cu_gated;
+    hw_power_.computeInto(pins, cu_gated, nb_gated, cu_volt, cu_freq,
+                          nb_.vf(), thermal_.temperature(), dt,
+                          res.truth.power);
+    res.truth.cu_gated.assign(cu_gated.begin(), cu_gated.end());
     res.truth.nb_gated = nb_gated;
     res.truth.nb_utilization = nb_res.utilization;
 
@@ -361,7 +378,6 @@ Chip::step()
     }
 
     time_s_ += dt;
-    return res;
 }
 
 void

@@ -184,6 +184,13 @@ class Chip
     /** Advance one 20 ms tick. */
     TickResult step();
 
+    /**
+     * step() into a caller-owned result, reusing its vectors (and the
+     * chip's internal scratch) — the allocation-free per-tick path.
+     * Outputs are bit-identical to step().
+     */
+    void stepInto(TickResult &res);
+
     /** Advance @p n ticks, discarding results (warm-up helper). */
     void run(std::size_t n);
 
@@ -230,6 +237,25 @@ class Chip
     };
     std::unique_ptr<FaultInjector> injector_;
     std::vector<PendingVfWrite> pending_vf_;
+
+    /**
+     * Per-tick scratch reused by stepInto() so steady-state stepping
+     * performs no heap allocation. Sized on first use; never observable
+     * from outside a tick.
+     */
+    struct StepScratch
+    {
+        std::vector<bool> cu_gated;
+        std::vector<double> cu_volt;
+        std::vector<double> cu_freq;
+        std::vector<PerInstRates> rates;
+        std::vector<CoreDemand> demands;
+        std::vector<std::size_t> demand_core;
+        std::vector<double> act_factor;
+        std::vector<CorePowerInput> pins;
+        NbResolution nb_res;
+    };
+    StepScratch scratch_;
 };
 
 } // namespace ppep::sim

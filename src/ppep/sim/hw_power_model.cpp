@@ -73,6 +73,21 @@ HwPowerModel::compute(const std::vector<CorePowerInput> &cores,
                       const VfState &nb_vf, double temp_k,
                       double dt_s) const
 {
+    PowerBreakdown out;
+    computeInto(cores, cu_gated, nb_gated, cu_voltage, cu_freq_ghz,
+                nb_vf, temp_k, dt_s, out);
+    return out;
+}
+
+void
+HwPowerModel::computeInto(const std::vector<CorePowerInput> &cores,
+                          const std::vector<bool> &cu_gated,
+                          bool nb_gated,
+                          const std::vector<double> &cu_voltage,
+                          const std::vector<double> &cu_freq_ghz,
+                          const VfState &nb_vf, double temp_k,
+                          double dt_s, PowerBreakdown &out) const
+{
     PPEP_ASSERT(cores.size() == cfg_.coreCount(), "core count mismatch");
     PPEP_ASSERT(cu_gated.size() == cfg_.n_cus &&
                 cu_voltage.size() == cfg_.n_cus &&
@@ -81,11 +96,10 @@ HwPowerModel::compute(const std::vector<CorePowerInput> &cores,
     PPEP_ASSERT(dt_s > 0.0, "non-positive tick");
 
     const auto &p = cfg_.power;
-    PowerBreakdown out;
     out.base = p.base_power_w;
 
     // Per-CU idle (leakage + clock tree), with the gate applied.
-    out.cu_idle.resize(cfg_.n_cus, 0.0);
+    out.cu_idle.assign(cfg_.n_cus, 0.0);
     bool any_cu_alive = false;
     for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu) {
         const double full =
@@ -102,7 +116,7 @@ HwPowerModel::compute(const std::vector<CorePowerInput> &cores,
     out.nb_static = nb_gated ? nb_full * p.pg_residual : nb_full;
 
     // Per-core switched energy + NB access energy.
-    out.core_dynamic.resize(cores.size(), 0.0);
+    out.core_dynamic.assign(cores.size(), 0.0);
     double l3_rate = 0.0;
     double dram_rate = 0.0;
     for (std::size_t c = 0; c < cores.size(); ++c) {
@@ -141,7 +155,6 @@ HwPowerModel::compute(const std::vector<CorePowerInput> &cores,
     out.total = out.base + out.housekeeping + out.nb_static +
                 out.nb_dynamic + out.cuIdleTotal() +
                 out.coreDynamicTotal();
-    return out;
 }
 
 } // namespace ppep::sim

@@ -86,6 +86,17 @@ class HwPowerModel
                            const VfState &nb_vf, double temp_k,
                            double dt_s) const;
 
+    /**
+     * compute() into a caller-owned breakdown, reusing its per-CU and
+     * per-core vectors — the allocation-free per-tick path.
+     */
+    void computeInto(const std::vector<CorePowerInput> &cores,
+                     const std::vector<bool> &cu_gated, bool nb_gated,
+                     const std::vector<double> &cu_voltage,
+                     const std::vector<double> &cu_freq_ghz,
+                     const VfState &nb_vf, double temp_k, double dt_s,
+                     PowerBreakdown &out) const;
+
     /** CU leakage+clock power at the given point (before gating). */
     double cuIdlePower(double voltage, double freq_ghz,
                        double temp_k) const;

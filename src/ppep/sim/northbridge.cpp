@@ -43,9 +43,19 @@ NbResolution
 NorthBridge::resolve(const std::vector<CoreDemand> &demands) const
 {
     NbResolution res;
-    res.mem_lat_ns.resize(demands.size(), 0.0);
+    resolveInto(demands, res);
+    return res;
+}
+
+void
+NorthBridge::resolveInto(const std::vector<CoreDemand> &demands,
+                         NbResolution &res) const
+{
+    res.mem_lat_ns.assign(demands.size(), 0.0);
+    res.utilization = 0.0;
+    res.queue_factor = 1.0;
     if (demands.empty())
-        return res;
+        return;
 
     const double bw_max = cfg_.nb.dram_bw_gbs * 1e9;
 
@@ -84,7 +94,6 @@ NorthBridge::resolve(const std::vector<CoreDemand> &demands) const
 
     res.utilization = utilization;
     res.queue_factor = queue_factor;
-    return res;
 }
 
 } // namespace ppep::sim

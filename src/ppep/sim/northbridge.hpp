@@ -75,6 +75,13 @@ class NorthBridge
      */
     NbResolution resolve(const std::vector<CoreDemand> &demands) const;
 
+    /**
+     * resolve() into a caller-owned result, reusing its latency buffer —
+     * the allocation-free per-tick path.
+     */
+    void resolveInto(const std::vector<CoreDemand> &demands,
+                     NbResolution &res) const;
+
   private:
     const ChipConfig &cfg_;
     VfState vf_;

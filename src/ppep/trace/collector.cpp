@@ -9,38 +9,54 @@ Collector::Collector(sim::Chip &chip) : chip_(chip) {}
 IntervalRecord
 Collector::collectInterval()
 {
+    IntervalRecord rec;
+    collectIntervalInto(rec);
+    return rec;
+}
+
+void
+Collector::collectIntervalInto(IntervalRecord &rec)
+{
     const auto &cfg = chip_.config();
     const std::size_t n_cores = cfg.coreCount();
     const std::size_t n_ticks = cfg.ticks_per_interval;
 
-    IntervalRecord rec;
     rec.duration_s = cfg.tick_s * static_cast<double>(n_ticks);
+    rec.sensor_power_w = 0.0;
+    rec.diode_temp_k = 0.0;
+    rec.true_power_w = 0.0;
+    rec.true_dynamic_w = 0.0;
+    rec.true_idle_w = 0.0;
+    rec.true_nb_power_w = 0.0;
+    rec.true_temp_k = 0.0;
+    rec.nb_utilization = 0.0;
+    rec.busy_cores = 0;
     rec.oracle.assign(n_cores, sim::EventVector{});
     rec.cu_vf.resize(cfg.n_cus);
     for (std::size_t cu = 0; cu < cfg.n_cus; ++cu)
         rec.cu_vf[cu] = chip_.cuVf(cu);
     rec.nb_vf = chip_.nbVf();
 
-    std::vector<double> retired(n_cores, 0.0);
+    retired_.assign(n_cores, 0.0);
     for (std::size_t t = 0; t < n_ticks; ++t) {
-        const sim::TickResult tick = chip_.step();
-        rec.sensor_power_w += tick.sensor_power_w;
-        rec.diode_temp_k += tick.diode_temp_k;
-        rec.true_power_w += tick.truth.power.total;
-        rec.true_dynamic_w += tick.truth.power.coreDynamicTotal() +
-                              tick.truth.power.nb_dynamic;
-        rec.true_idle_w += tick.truth.power.base +
-                           tick.truth.power.housekeeping +
-                           tick.truth.power.nb_static +
-                           tick.truth.power.cuIdleTotal();
-        rec.true_nb_power_w += tick.truth.power.nb_static +
-                               tick.truth.power.nb_dynamic;
-        rec.true_temp_k += tick.truth.temperature_k;
-        rec.nb_utilization += tick.truth.nb_utilization;
+        chip_.stepInto(tick_);
+        rec.sensor_power_w += tick_.sensor_power_w;
+        rec.diode_temp_k += tick_.diode_temp_k;
+        rec.true_power_w += tick_.truth.power.total;
+        rec.true_dynamic_w += tick_.truth.power.coreDynamicTotal() +
+                              tick_.truth.power.nb_dynamic;
+        rec.true_idle_w += tick_.truth.power.base +
+                           tick_.truth.power.housekeeping +
+                           tick_.truth.power.nb_static +
+                           tick_.truth.power.cuIdleTotal();
+        rec.true_nb_power_w += tick_.truth.power.nb_static +
+                               tick_.truth.power.nb_dynamic;
+        rec.true_temp_k += tick_.truth.temperature_k;
+        rec.nb_utilization += tick_.truth.nb_utilization;
         for (std::size_t c = 0; c < n_cores; ++c) {
             for (std::size_t e = 0; e < sim::kNumEvents; ++e)
-                rec.oracle[c][e] += tick.truth.core_events[c][e];
-            retired[c] += tick.truth.activity[c].instructions;
+                rec.oracle[c][e] += tick_.truth.core_events[c][e];
+            retired_[c] += tick_.truth.activity[c].instructions;
         }
     }
 
@@ -57,10 +73,9 @@ Collector::collectInterval()
     rec.pmc.resize(n_cores);
     for (std::size_t c = 0; c < n_cores; ++c) {
         rec.pmc[c] = chip_.readPmc(c);
-        if (retired[c] > 0.0)
+        if (retired_[c] > 0.0)
             ++rec.busy_cores;
     }
-    return rec;
 }
 
 std::vector<IntervalRecord>

@@ -31,6 +31,17 @@ class IntervalSource
 
     /** Run one full interval and record it. */
     virtual IntervalRecord collectInterval() = 0;
+
+    /**
+     * collectInterval() into a caller-owned record, reusing its vectors —
+     * the allocation-free steady-state path. Every field is overwritten.
+     * The default forwards to collectInterval(); sources with a hot path
+     * override it.
+     */
+    virtual void collectIntervalInto(IntervalRecord &rec)
+    {
+        rec = collectInterval();
+    }
 };
 
 /** Tick-accurate interval collector bound to one chip. */
@@ -41,6 +52,9 @@ class Collector : public IntervalSource
 
     /** Run one full interval (ticks_per_interval ticks) and record it. */
     IntervalRecord collectInterval() override;
+
+    /** Allocation-free collectInterval() (bit-identical outputs). */
+    void collectIntervalInto(IntervalRecord &rec) override;
 
     /** Collect @p n intervals back to back. */
     std::vector<IntervalRecord> collect(std::size_t n);
@@ -57,6 +71,9 @@ class Collector : public IntervalSource
 
   private:
     sim::Chip &chip_;
+    /** Per-interval scratch reused by collectIntervalInto(). */
+    sim::TickResult tick_;
+    std::vector<double> retired_;
 };
 
 } // namespace ppep::trace

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Fleet runtime tests: the determinism contract (per-session telemetry
+ * bit-identical at any thread count), shared-model correctness, fault
+ * isolation between sessions, and pool survival when a session throws.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "ppep/model/ppep.hpp"
+#include "ppep/runtime/fleet.hpp"
+#include "ppep/sim/fault.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep;
+using runtime::Fleet;
+using runtime::FleetSessionSpec;
+using runtime::FleetSpec;
+using runtime::Session;
+
+std::vector<const workloads::Combination *>
+smallTrainingSet(std::size_t n = 8)
+{
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations())
+        if (c.instances.size() == 1 && out.size() < n)
+            out.push_back(&c);
+    return out;
+}
+
+/** One cache dir for the whole binary: the first fleet trains, every
+ *  later one loads the same bytes, keeping the tests fast. */
+const std::string &
+cacheDir()
+{
+    static const std::string dir = [] {
+        const std::string d = ::testing::TempDir() + "ppep_fleet_cache";
+        std::filesystem::remove_all(d);
+        return d;
+    }();
+    return dir;
+}
+
+FleetSpec
+baseSpec(std::size_t n_sessions)
+{
+    static const std::vector<std::string> programs = {"EP", "CG",
+                                                      "458.sjeng"};
+    FleetSpec spec;
+    spec.cfg = sim::fx8320Config();
+    spec.training_seed = 91;
+    spec.training_combos = smallTrainingSet();
+    spec.store.emplace(cacheDir());
+    spec.warmup = 1;
+    spec.intervals = 6;
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        FleetSessionSpec ss;
+        ss.seed = 7 + i;
+        ss.pg = (i % 2) == 0;
+        ss.one_per_cu = {programs[i % programs.size()]};
+        spec.sessions.push_back(std::move(ss));
+    }
+    return spec;
+}
+
+TEST(Fleet, BitIdenticalAcrossThreadCounts)
+{
+    Fleet fleet(baseSpec(5));
+    const auto serial = fleet.run(1);
+    ASSERT_EQ(serial.failed, 0u);
+    ASSERT_EQ(serial.completed, 5u);
+
+    // Sessions must also differ from each other (distinct seeds and
+    // workloads), or digest equality below would be vacuous.
+    for (std::size_t i = 1; i < serial.sessions.size(); ++i)
+        EXPECT_NE(serial.sessions[i].telemetry_digest,
+                  serial.sessions[0].telemetry_digest);
+
+    for (const std::size_t threads : {2, 8}) {
+        const auto parallel = fleet.run(threads);
+        ASSERT_EQ(parallel.failed, 0u) << threads << " threads";
+        for (std::size_t i = 0; i < serial.sessions.size(); ++i) {
+            EXPECT_EQ(parallel.sessions[i].telemetry_digest,
+                      serial.sessions[i].telemetry_digest)
+                << "session " << i << " at " << threads << " threads";
+            EXPECT_EQ(parallel.sessions[i].name,
+                      serial.sessions[i].name);
+        }
+    }
+}
+
+TEST(Fleet, SharedModelsMatchOwnedModels)
+{
+    const auto spec = baseSpec(1);
+    Fleet fleet(spec);
+    fleet.prepare();
+    // Both accessors hand out const references: a session can only
+    // read the shared state.
+    const model::TrainedModels &models = fleet.models();
+    const model::Ppep &ppep = fleet.ppep();
+
+    runtime::DigestSink shared_digest;
+    auto shared = Session::builder(spec.cfg)
+                      .seed(7)
+                      .onePerCu({"EP"})
+                      .sharedModels(models, ppep)
+                      .sink(shared_digest)
+                      .build();
+    EXPECT_EQ(shared.drive(6), 6u);
+
+    runtime::DigestSink owned_digest;
+    auto owned = Session::builder(spec.cfg)
+                     .seed(7)
+                     .onePerCu({"EP"})
+                     .models(models)
+                     .sink(owned_digest)
+                     .build();
+    EXPECT_EQ(owned.drive(6), 6u);
+
+    EXPECT_EQ(shared_digest.intervals(), 6u);
+    EXPECT_EQ(shared_digest.digest(), owned_digest.digest());
+}
+
+TEST(Fleet, PerSessionFaultPlansAreIsolated)
+{
+    Fleet clean(baseSpec(3));
+    const auto base = clean.run(2);
+    ASSERT_EQ(base.failed, 0u);
+
+    auto spec = baseSpec(3);
+    spec.sessions[1].faults = sim::FaultPlan::parse(
+        "msr=0.3,sensor_drop=0.2,diode_spike=0.1,jitter=0.3");
+    Fleet faulty(std::move(spec));
+    const auto mixed = faulty.run(2);
+    ASSERT_EQ(mixed.failed, 0u);
+
+    // The faulted session's telemetry changes; its neighbours replay
+    // the clean fleet bit for bit.
+    EXPECT_NE(mixed.sessions[1].telemetry_digest,
+              base.sessions[1].telemetry_digest);
+    EXPECT_EQ(mixed.sessions[0].telemetry_digest,
+              base.sessions[0].telemetry_digest);
+    EXPECT_EQ(mixed.sessions[2].telemetry_digest,
+              base.sessions[2].telemetry_digest);
+}
+
+TEST(Fleet, ThrowingSessionDoesNotSinkThePool)
+{
+    auto spec = baseSpec(4);
+    spec.sessions[2].governor = [](const runtime::ModelContext &)
+        -> std::unique_ptr<ppep::governor::Governor> {
+        class Throwing : public ppep::governor::Governor
+        {
+          public:
+            std::vector<std::size_t>
+            decide(const trace::IntervalRecord &, double) override
+            {
+                throw std::runtime_error("injected governor failure");
+            }
+            std::string name() const override { return "throwing"; }
+        };
+        return std::make_unique<Throwing>();
+    };
+
+    Fleet fleet(std::move(spec));
+    const auto res = fleet.run(2);
+    EXPECT_EQ(res.completed, 3u);
+    EXPECT_EQ(res.failed, 1u);
+    EXPECT_FALSE(res.sessions[2].completed);
+    EXPECT_NE(res.sessions[2].error.find("injected governor failure"),
+              std::string::npos);
+    for (const std::size_t i : {0, 1, 3}) {
+        EXPECT_TRUE(res.sessions[i].completed) << "session " << i;
+        EXPECT_EQ(res.sessions[i].intervals, 6u);
+    }
+}
+
+TEST(Fleet, AsyncTelemetryMatchesSyncCsv)
+{
+    namespace fs = std::filesystem;
+    const std::string sync_dir =
+        ::testing::TempDir() + "ppep_fleet_sync";
+    const std::string async_dir =
+        ::testing::TempDir() + "ppep_fleet_async";
+    fs::remove_all(sync_dir);
+    fs::remove_all(async_dir);
+
+    auto sync_spec = baseSpec(2);
+    sync_spec.csv_dir = sync_dir;
+    Fleet sync_fleet(std::move(sync_spec));
+    ASSERT_EQ(sync_fleet.run(2).failed, 0u);
+
+    auto async_spec = baseSpec(2);
+    async_spec.csv_dir = async_dir;
+    async_spec.async_telemetry = true;
+    Fleet async_fleet(std::move(async_spec));
+    ASSERT_EQ(async_fleet.run(2).failed, 0u);
+
+    // The async writer must not reorder, drop, or alter rows. The
+    // decision_latency_us column (index 8) is wall clock, so it is
+    // blanked before comparing.
+    const auto normalized = [](const std::string &path) {
+        std::ifstream in(path);
+        EXPECT_TRUE(in.is_open()) << path;
+        std::string out, line;
+        while (std::getline(in, line)) {
+            std::vector<std::string> fields;
+            std::stringstream row(line);
+            for (std::string f; std::getline(row, f, ',');)
+                fields.push_back(f);
+            if (fields.size() > 8)
+                fields[8] = "x";
+            for (std::size_t i = 0; i < fields.size(); ++i)
+                out += (i ? "," : "") + fields[i];
+            out += '\n';
+        }
+        return out;
+    };
+    for (const std::string name : {"s0", "s1"}) {
+        const auto sa = normalized(sync_dir + "/" + name + ".csv");
+        const auto sb = normalized(async_dir + "/" + name + ".csv");
+        EXPECT_GT(sa.size(), 100u) << name;
+        EXPECT_EQ(sa, sb) << name;
+    }
+}
+
+} // namespace

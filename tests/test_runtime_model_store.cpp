@@ -9,6 +9,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 
 #include "ppep/model/ppep.hpp"
 #include "ppep/runtime/model_store.hpp"
@@ -158,6 +159,49 @@ TEST(ModelStore, DifferentSeedMissesCache)
     EXPECT_FALSE(cached2);
     EXPECT_TRUE(store.contains(ModelStore::keyFor(cfg, 33, combos)));
     EXPECT_TRUE(store.contains(ModelStore::keyFor(cfg, 34, combos)));
+}
+
+TEST(ModelStore, ConcurrentTrainOrLoadTrainsOnce)
+{
+    const auto cfg = sim::fx8320Config();
+    const auto combos = smallTrainingSet();
+    const ModelStore store(freshCacheDir("concurrent"));
+
+    const auto events_before = ModelStore::trainEvents();
+    constexpr std::size_t kThreads = 4;
+    std::vector<model::TrainedModels> results(kThreads);
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        pool.emplace_back([&, t] {
+            results[t] = store.trainOrLoad(cfg, 77, combos);
+        });
+    for (auto &th : pool)
+        th.join();
+
+    // All racers asked for the same key: exactly one may pay for
+    // training; the rest must be served the identical artifact.
+    EXPECT_EQ(ModelStore::trainEvents() - events_before, 1u);
+    EXPECT_TRUE(store.contains(ModelStore::keyFor(cfg, 77, combos)));
+
+    sim::Chip chip(cfg, 5);
+    workloads::launch(chip, workloads::replicate("433.milc", 2), true);
+    trace::Collector col(chip);
+    col.collect(2);
+    const auto rec = col.collectInterval();
+
+    const model::Ppep ref(cfg, results[0].chip, results[0].pg);
+    const auto pr = ref.explore(rec);
+    for (std::size_t t = 1; t < kThreads; ++t) {
+        EXPECT_DOUBLE_EQ(results[t].alpha, results[0].alpha);
+        const model::Ppep ppep(cfg, results[t].chip, results[t].pg);
+        const auto pt = ppep.explore(rec);
+        ASSERT_EQ(pt.size(), pr.size());
+        for (std::size_t vf = 0; vf < pt.size(); ++vf) {
+            EXPECT_DOUBLE_EQ(pt[vf].chip_power_w, pr[vf].chip_power_w);
+            EXPECT_DOUBLE_EQ(pt[vf].energy_per_inst,
+                             pr[vf].energy_per_inst);
+        }
+    }
 }
 
 TEST(ModelStore, Fnv1aMatchesReferenceVectors)

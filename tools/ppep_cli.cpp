@@ -9,6 +9,8 @@
  *   ppep predict  --models FILE -b NAME [...]  power/perf at every VF
  *   ppep explore  --models FILE -b NAME [...]  per-thread energy/EDP
  *   ppep validate [options]                    estimation-error summary
+ *   ppep fleet    --fleet N --threads K        N governed sessions on a
+ *                                              K-worker pool
  *
  * Common options:
  *   --platform fx8320|fx8320-boost|phenom2     (default fx8320)
@@ -27,6 +29,7 @@
 #include "ppep/model/serialization.hpp"
 #include "ppep/model/trainer.hpp"
 #include "ppep/model/validation.hpp"
+#include "ppep/runtime/fleet.hpp"
 #include "ppep/trace/collector.hpp"
 #include "ppep/util/stats.hpp"
 #include "ppep/util/table.hpp"
@@ -47,6 +50,9 @@ struct Options
     std::uint64_t seed = 2014;
     bool quick = false;
     bool nb_whatif = false;
+    std::size_t fleet_sessions = 4;
+    std::size_t threads = 1;
+    std::size_t intervals = 40;
 };
 
 [[noreturn]] void
@@ -64,6 +70,9 @@ usage(int code)
         "  explore --models FILE -b NAME [-n COPIES] [--nb-whatif]\n"
         "                             per-thread energy/EDP space\n"
         "  validate [--quick]         estimation-error summary\n"
+        "  fleet [--fleet N] [--threads K] [--intervals I]\n"
+        "                             run N governed sessions on a\n"
+        "                             K-worker pool over shared models\n"
         "\n"
         "options:\n"
         "  --platform fx8320|fx8320-boost|phenom2   (default fx8320)\n"
@@ -105,6 +114,12 @@ parse(int argc, char **argv)
             opt.quick = true;
         else if (arg == "--nb-whatif")
             opt.nb_whatif = true;
+        else if (arg == "--fleet")
+            opt.fleet_sessions = std::stoul(next());
+        else if (arg == "--threads")
+            opt.threads = std::stoul(next());
+        else if (arg == "--intervals")
+            opt.intervals = std::stoul(next());
         else if (arg == "-h" || arg == "--help")
             usage(0);
         else {
@@ -299,6 +314,69 @@ cmdValidate(const Options &opt)
     return 0;
 }
 
+int
+cmdFleet(const Options &opt)
+{
+    if (opt.fleet_sessions == 0 || opt.intervals == 0) {
+        std::fprintf(stderr, "fleet: --fleet and --intervals must be "
+                             "positive\n");
+        return 1;
+    }
+    static const std::vector<std::vector<std::string>> mixes = {
+        {"429.mcf", "458.sjeng"},
+        {"416.gamess", "swaptions"},
+        {"EP", "CG"},
+        {"458.sjeng", "416.gamess"},
+    };
+
+    runtime::FleetSpec spec;
+    spec.cfg = platformOf(opt.platform);
+    spec.training_seed = opt.seed;
+    spec.training_combos = trainingSet(opt.quick);
+    spec.store.emplace();
+    spec.warmup = 2;
+    spec.intervals = opt.intervals;
+    for (std::size_t i = 0; i < opt.fleet_sessions; ++i) {
+        runtime::FleetSessionSpec ss;
+        ss.seed = opt.seed + 100 + i;
+        ss.pg = (i % 2) == 0;
+        ss.one_per_cu = mixes[i % mixes.size()];
+        spec.sessions.push_back(std::move(ss));
+    }
+
+    runtime::Fleet fleet(std::move(spec));
+    std::printf("training/loading shared models (seed %llu)...\n",
+                static_cast<unsigned long long>(opt.seed));
+    fleet.prepare();
+    std::printf("running %zu sessions x %zu intervals on %zu "
+                "thread(s)...\n",
+                opt.fleet_sessions, opt.intervals, opt.threads);
+    const auto res = fleet.run(opt.threads);
+
+    util::Table t("\nFleet sessions:");
+    t.setHeader({"session", "seed", "intervals", "mean W", "energy J",
+                 "digest"});
+    for (const auto &s : res.sessions) {
+        char digest[32];
+        std::snprintf(digest, sizeof(digest), "%016llx",
+                      static_cast<unsigned long long>(
+                          s.telemetry_digest));
+        t.addRow({s.name, std::to_string(s.seed),
+                  s.completed ? std::to_string(s.intervals)
+                              : ("FAILED: " + s.error),
+                  util::Table::num(s.summary.mean_power_w, 1),
+                  util::Table::num(s.summary.energy_j, 1), digest});
+    }
+    t.print(std::cout);
+    std::printf("\n%zu/%zu sessions completed in %.3f s "
+                "(%.2f sessions/s, %.1f intervals/s)\n",
+                res.completed, res.sessions.size(), res.wall_s,
+                res.sessions_per_s, res.intervals_per_s);
+    std::printf("fleet mean power %.1f W, total energy %.1f J\n",
+                res.mean_power_w, res.energy_j);
+    return res.failed == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -315,6 +393,8 @@ main(int argc, char **argv)
         return cmdExplore(opt);
     if (opt.command == "validate")
         return cmdValidate(opt);
+    if (opt.command == "fleet")
+        return cmdFleet(opt);
     std::fprintf(stderr, "unknown command '%s'\n", opt.command.c_str());
     usage(1);
 }
