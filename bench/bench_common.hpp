@@ -18,6 +18,7 @@
 
 #include "ppep/model/trainer.hpp"
 #include "ppep/runtime/model_store.hpp"
+#include "ppep/util/fmt.hpp"
 #include "ppep/util/table.hpp"
 #include "ppep/workloads/suite.hpp"
 
@@ -116,8 +117,10 @@ class BenchJson
         out << "{\"bench\": \"" << bench_ << "\",\n \"results\": [";
         for (std::size_t i = 0; i < rows_.size(); ++i) {
             const Row &r = rows_[i];
-            char value[32];
-            std::snprintf(value, sizeof(value), "%.10g", r.value);
+            char value[util::fmt::kMaxDoubleChars + 1];
+            *util::fmt::writeDouble(value,
+                                    value + util::fmt::kMaxDoubleChars,
+                                    r.value) = '\0';
             out << (i ? ",\n  " : "\n  ") << "{\"name\": \"" << r.name
                 << "\", \"metric\": \"" << r.metric
                 << "\", \"value\": " << value << ", \"unit\": \""

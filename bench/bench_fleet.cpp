@@ -9,11 +9,17 @@
  * count. Results land in BENCH_fleet.json (schema: bench_common.hpp).
  */
 
+#include <chrono>
 #include <cstdlib>
+#include <ostream>
+#include <streambuf>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "ppep/runtime/fleet.hpp"
+#include "ppep/runtime/telemetry.hpp"
+#include "ppep/sim/chip.hpp"
+#include "ppep/trace/collector.hpp"
 
 namespace {
 
@@ -46,6 +52,60 @@ makeSpec(std::size_t n_sessions)
         spec.sessions.push_back(std::move(ss));
     }
     return spec;
+}
+
+/** Discards everything; isolates encode cost from the filesystem. */
+class NullStreambuf : public std::streambuf
+{
+  protected:
+    int
+    overflow(int c) override
+    {
+        return c == traits_type::eof() ? 0 : c;
+    }
+    std::streamsize
+    xsputn(const char *, std::streamsize n) override
+    {
+        return n;
+    }
+};
+
+/**
+ * ns per telemetry row through a real sink into a null stream — the
+ * encode cost a fleet's writer threads pay per governed interval.
+ */
+template <typename Sink>
+double
+encodeNsPerRow(const sim::ChipConfig &cfg)
+{
+    sim::Chip chip(cfg, 7);
+    chip.setAllVf(2);
+    workloads::launch(chip, workloads::replicate("433.milc", 4), true);
+    trace::Collector col(chip);
+    col.collect(3);
+    const trace::IntervalRecord rec = col.collectInterval();
+    const std::vector<std::size_t> cu_vf(cfg.n_cus, 2);
+
+    runtime::IntervalTelemetry t;
+    t.index = 1;
+    t.time_s = 0.2;
+    t.rec = &rec;
+    t.cu_vf = &cu_vf;
+    t.cap_w = 80.0;
+    t.predicted_power_w = 41.25;
+    t.decision_latency_s = 3e-6;
+
+    NullStreambuf null;
+    std::ostream out(&null);
+    Sink sink(out);
+    sink.onInterval(t); // warm the row buffer
+    const std::size_t iters = 200000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i)
+        sink.onInterval(t);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(iters);
 }
 
 } // namespace
@@ -123,6 +183,17 @@ main()
     }
 
     table.print(std::cout);
+
+    const double csv_ns =
+        encodeNsPerRow<runtime::CsvSink>(fleet.spec().cfg);
+    const double jsonl_ns =
+        encodeNsPerRow<runtime::JsonlSink>(fleet.spec().cfg);
+    std::printf("\ntelemetry encode (null stream): csv %.1f ns/row, "
+                "jsonl %.1f ns/row\n",
+                csv_ns, jsonl_ns);
+    json.add("encode_csv", "ns_per_row", csv_ns, "ns");
+    json.add("encode_jsonl", "ns_per_row", jsonl_ns, "ns");
+
     std::printf("\nDeterminism: per-session telemetry digests %s the "
                 "serial run at every thread count.\n",
                 all_match ? "match" : "DO NOT match");

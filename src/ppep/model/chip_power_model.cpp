@@ -54,11 +54,11 @@ ChipPowerModel::predictAt(const trace::IntervalRecord &rec,
     for (const auto &core : rec.pmc) {
         const PredictedCoreState pred = EventPredictor::predict(
             core, rec.duration_s, now.freq_ghz, then.freq_ghz);
-        std::array<double, sim::kNumPowerEvents> rates{};
-        for (std::size_t i = 0; i < sim::kNumPowerEvents; ++i)
-            rates[i] = pred.rates_per_s[i];
         double core_w = 0.0, nb_w = 0.0;
-        dynamic_.split(rates, then.voltage, core_w, nb_w);
+        // The predicted rate vector's E1..E9 prefix prices directly —
+        // no 9-element staging copy.
+        dynamic_.splitFromRates(pred.rates_per_s, then.voltage, core_w,
+                                nb_w);
         est.dyn_core_w += core_w;
         est.dyn_nb_w += nb_w;
     }

@@ -38,7 +38,8 @@ CpiModel::predictCpi(const CpiSample &sample, double f_current,
 {
     PPEP_ASSERT(f_current > 0.0 && f_target > 0.0,
                 "frequencies must be positive");
-    return sample.ccpi() + sample.mcpi * f_target / f_current;
+    return predictCpiTerms(sample.ccpi(), sample.mcpi, f_current,
+                           f_target);
 }
 
 double

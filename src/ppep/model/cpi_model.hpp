@@ -36,6 +36,19 @@ class CpiModel
 {
   public:
     /**
+     * The Eq. 1 arithmetic on raw decomposition terms:
+     * CPI(f') = CCPI + MCPI * f'/f. Single source of the evaluation
+     * order — predictCpi() and the batched exploration kernel both
+     * call this, which is what makes the batched sweep bit-identical
+     * to the scalar path (same operations, same rounding).
+     */
+    static double predictCpiTerms(double ccpi, double mcpi,
+                                  double f_current, double f_target)
+    {
+        return ccpi + mcpi * f_target / f_current;
+    }
+
+    /**
      * Extract a CpiSample from raw event counts (E10/E11/E12).
      *
      * Returns the zero sample — the defined idle/corrupt sentinel —

@@ -115,6 +115,36 @@ DynamicPowerModel::splitScaled(
         nb_w += weights_[i] * rates_per_s[i];
 }
 
+void
+DynamicPowerModel::splitFromRates(const sim::EventVector &rates_per_s,
+                                  double voltage, double &core_w,
+                                  double &nb_w) const
+{
+    PPEP_ASSERT(trained_, "dynamic power model not trained");
+    const double vscale = voltageScale(voltage);
+    core_w = 0.0;
+    for (std::size_t i = 0; i < sim::kNumCorePowerEvents; ++i)
+        core_w += weights_[i] * rates_per_s[i];
+    core_w *= vscale;
+    nb_w = 0.0;
+    for (std::size_t i = sim::kNumCorePowerEvents;
+         i < sim::kNumPowerEvents; ++i)
+        nb_w += weights_[i] * rates_per_s[i];
+}
+
+KernelWeights
+DynamicPowerModel::kernelWeights() const
+{
+    PPEP_ASSERT(trained_, "dynamic power model not trained");
+    KernelWeights kw;
+    for (std::size_t i = 0; i < sim::kNumCorePowerEvents; ++i)
+        kw.core[i] = weights_[i];
+    kw.l2_miss = weights_[sim::eventIndex(sim::Event::L2CacheMiss)];
+    kw.dispatch_stall =
+        weights_[sim::eventIndex(sim::Event::DispatchStall)];
+    return kw;
+}
+
 std::array<double, sim::kNumPowerEvents>
 powerEventRates(const sim::EventVector &counts, double duration_s)
 {

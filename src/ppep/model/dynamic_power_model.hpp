@@ -32,6 +32,20 @@ struct DynTrainingRow
     double dynamic_power_w = 0.0;
 };
 
+/**
+ * The trained Eq. 3 weights repackaged for the batched exploration
+ * kernel: the seven voltage-scaled core weights contiguously, plus the
+ * two unscaled NB-proxy weights broken out by role (E8 rates are
+ * VF-invariant per instruction; the E9 dispatch-stall rate is the one
+ * power input that depends on the target CPI).
+ */
+struct KernelWeights
+{
+    std::array<double, sim::kNumCorePowerEvents> core{};
+    double l2_miss = 0.0;        ///< W_8 (E8, NB-proxy, unscaled)
+    double dispatch_stall = 0.0; ///< W_9 (E9, NB-proxy, unscaled)
+};
+
 /** The Eq. 3 model. */
 class DynamicPowerModel
 {
@@ -90,6 +104,18 @@ class DynamicPowerModel
     double estimateScaled(
         const std::array<double, sim::kNumPowerEvents> &rates_per_s,
         double vscale) const;
+
+    /**
+     * split() reading the E1..E9 prefix of a full per-second event
+     * vector directly — spares callers the 9-element copy that pricing
+     * a PredictedCoreState otherwise needs.
+     */
+    void splitFromRates(const sim::EventVector &rates_per_s,
+                        double voltage, double &core_w,
+                        double &nb_w) const;
+
+    /** The weights repacked for the batched exploration kernel. */
+    KernelWeights kernelWeights() const;
 
     /** Fitted weights W_1..W_9 (watts per event/second). */
     const std::array<double, sim::kNumPowerEvents> &weights() const

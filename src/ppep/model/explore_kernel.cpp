@@ -1,0 +1,114 @@
+#include "ppep/model/explore_kernel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ppep/model/cpi_model.hpp"
+#include "ppep/util/logging.hpp"
+
+namespace ppep::model {
+
+ExplorePlan
+ExplorePlan::build(const ChipPowerModel &power, const sim::VfTable &table)
+{
+    PPEP_ASSERT(power.trained(),
+                "exploration plan needs a trained power model");
+    const std::size_t n_vf = table.size();
+    ExplorePlan plan;
+    plan.voltage.reserve(n_vf);
+    plan.freq_ghz.reserve(n_vf);
+    plan.vscale.reserve(n_vf);
+    plan.idle_slope.reserve(n_vf);
+    plan.idle_icept.reserve(n_vf);
+    for (std::size_t vf = 0; vf < n_vf; ++vf) {
+        const sim::VfState &state = table.state(vf);
+        plan.voltage.push_back(state.voltage);
+        plan.freq_ghz.push_back(state.freq_ghz);
+        plan.vscale.push_back(
+            power.dynamicModel().voltageScale(state.voltage));
+        const IdleLine line = power.idleModel().lineAt(state.voltage);
+        plan.idle_slope.push_back(line.slope);
+        plan.idle_icept.push_back(line.intercept);
+    }
+    plan.weights = power.dynamicModel().kernelWeights();
+    return plan;
+}
+
+void
+exploreBatch(const ExplorePlan &plan, const CoreObservation *obs,
+             std::size_t n_cores, ExploreWorkspace &ws)
+{
+    const std::size_t n_vf = plan.size();
+    ws.resize(n_cores, n_vf);
+
+    const double *const freq = plan.freq_ghz.data();
+    const double *const vscale = plan.vscale.data();
+    const KernelWeights &w = plan.weights;
+    const double w0 = w.core[0], w1 = w.core[1], w2 = w.core[2],
+                 w3 = w.core[3], w4 = w.core[4], w5 = w.core[5],
+                 w6 = w.core[6];
+    constexpr double kHuge = std::numeric_limits<double>::max();
+
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        double *const cpi_row = ws.cpi.data() + c * n_vf;
+        double *const ips_row = ws.ips.data() + c * n_vf;
+        double *const core_row = ws.core_w.data() + c * n_vf;
+        double *const nb_row = ws.nb_w.data() + c * n_vf;
+
+        const CoreObservation &o = obs[c];
+        if (o.idle) {
+            // predictAt()'s idle sentinel: an all-zero prediction.
+            std::fill(cpi_row, cpi_row + n_vf, 0.0);
+            std::fill(ips_row, ips_row + n_vf, 0.0);
+            std::fill(core_row, core_row + n_vf, 0.0);
+            std::fill(nb_row, nb_row + n_vf, 0.0);
+            continue;
+        }
+
+        // Per-core invariants, hoisted once for the whole VF lane.
+        const double ccpi = o.sample.ccpi();
+        const double mcpi = o.sample.mcpi;
+        const double f_cur = o.f_current;
+        const double gap = o.gap;
+        const double busy = o.busy_frac;
+        const double p0 = o.per_inst[0], p1 = o.per_inst[1],
+                     p2 = o.per_inst[2], p3 = o.per_inst[3],
+                     p4 = o.per_inst[4], p5 = o.per_inst[5],
+                     p6 = o.per_inst[6], p7 = o.per_inst[7];
+
+        // Branch-free sweep over all VF states. Each lane performs the
+        // exact operation sequence of predictAt() + splitScaled(): the
+        // validity guard becomes a select, and the dynamic-power dot
+        // product keeps rates-then-weights order and weight-order
+        // accumulation so results stay bit-identical.
+#pragma omp simd
+        for (std::size_t vf = 0; vf < n_vf; ++vf) {
+            const double cpi_t =
+                CpiModel::predictCpiTerms(ccpi, mcpi, f_cur, freq[vf]);
+            // predictAt(): !(cpi > 0) || !isfinite(cpi) -> zero pred.
+            const bool valid = cpi_t > 0.0 && cpi_t <= kHuge;
+            const double safe_cpi = valid ? cpi_t : 1.0;
+            const double ips_t = freq[vf] * 1e9 / safe_cpi;
+            const double ds_per_inst = std::max(0.0, cpi_t - gap);
+            const double eff = ips_t * busy;
+
+            double acc = w0 * (p0 * eff);
+            acc += w1 * (p1 * eff);
+            acc += w2 * (p2 * eff);
+            acc += w3 * (p3 * eff);
+            acc += w4 * (p4 * eff);
+            acc += w5 * (p5 * eff);
+            acc += w6 * (p6 * eff);
+            const double core_dyn = acc * vscale[vf];
+            const double nb_dyn = w.l2_miss * (p7 * eff) +
+                                  w.dispatch_stall * (ds_per_inst * eff);
+
+            cpi_row[vf] = valid ? cpi_t : 0.0;
+            ips_row[vf] = valid ? ips_t : 0.0;
+            core_row[vf] = valid ? core_dyn : 0.0;
+            nb_row[vf] = valid ? nb_dyn : 0.0;
+        }
+    }
+}
+
+} // namespace ppep::model

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Batched VF×core exploration kernel (the Fig. 5 sweep, data-parallel).
+ *
+ * PPEP's per-interval hot path is a dense sweep: every VF state × every
+ * core, each cell an Eq. 1 CPI extrapolation plus an Eq. 3 pricing of
+ * the predicted event rates. The scalar path walks it through
+ * EventPredictor::predictAt + DynamicPowerModel::splitScaled — correct,
+ * but each cell pays two calls, a 12-double rate-vector store, and a
+ * 9-double staging copy.
+ *
+ * This kernel flattens the sweep:
+ *
+ *  - ExplorePlan: everything per-VF that depends only on the trained
+ *    models and the VF table, laid out structure-of-arrays (voltage,
+ *    frequency, (V/Vtrain)^alpha scale, Eq. 2 idle line), plus the
+ *    Eq. 3 weights repacked so the inner loop needs no model object —
+ *    no per-VF virtual or cross-TU calls survive into the sweep.
+ *  - ExploreWorkspace: caller-owned core×VF result matrices, reused
+ *    across intervals (zero steady-state allocation).
+ *  - exploreBatch(): for each core, one branch-free vectorizable pass
+ *    over all VF states.
+ *
+ * The kernel is arithmetically *identical* to the scalar path: every
+ * cell performs the same operations in the same order (Eq. 1 through
+ * CpiModel::predictCpiTerms, Eq. 3 accumulation in weight order), and
+ * the guard branches of predictAt() become value selects that
+ * reproduce its zero-prediction sentinel bit for bit. The build keeps
+ * FP contraction off for this library, so scalar and batched results
+ * are bit-identical — test_explore_kernel holds a randomized 10k-record
+ * differential proof over both paths.
+ *
+ * One carve-out: when an *input* is already poisoned (NaN counter
+ * values, or rates that overflow to infinity against a zero weight),
+ * both paths deterministically produce NaN in the same cells, but the
+ * NaN's payload/sign bits are not pinned — IEEE propagation for an
+ * operation with two NaN operands returns whichever one the generated
+ * instruction ordered first, a codegen choice no source-level contract
+ * can fix. Bit-identity therefore means: every non-NaN output
+ * (including signed zeros and infinities) matches bit for bit, and the
+ * NaN cell sets are equal.
+ */
+
+#ifndef PPEP_MODEL_EXPLORE_KERNEL_HPP
+#define PPEP_MODEL_EXPLORE_KERNEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "ppep/model/chip_power_model.hpp"
+#include "ppep/sim/vf_state.hpp"
+
+namespace ppep::model {
+
+/**
+ * The precomputed per-VF exploration plan: one contiguous lane per
+ * model quantity, indexed by VF state, plus the repacked Eq. 3
+ * weights. Built once per Ppep (or per retrain); read-only and shared
+ * by any number of concurrent explorations.
+ */
+struct ExplorePlan
+{
+    // --- per-VF lanes (SoA over the software VF table) ------------------
+    std::vector<double> voltage;    ///< operating voltage
+    std::vector<double> freq_ghz;   ///< operating frequency
+    std::vector<double> vscale;     ///< DynamicPowerModel::voltageScale(V)
+    std::vector<double> idle_slope; ///< Eq. 2 Widle1(V)
+    std::vector<double> idle_icept; ///< Eq. 2 Widle0(V)
+
+    // --- VF-invariant model constants ------------------------------------
+    KernelWeights weights; ///< Eq. 3 weights, kernel layout
+
+    std::size_t size() const { return voltage.size(); }
+
+    /** Hoist the per-VF invariants out of @p power over @p table. */
+    static ExplorePlan build(const ChipPowerModel &power,
+                             const sim::VfTable &table);
+};
+
+/**
+ * Caller-owned core×VF result matrices, row-major with one row per
+ * core (stride = plan size). resize() only ever grows the backing
+ * stores, so a warm workspace allocates nothing.
+ */
+struct ExploreWorkspace
+{
+    std::vector<double> cpi;    ///< predicted CPI at [core][vf]
+    std::vector<double> ips;    ///< predicted inst/s at [core][vf]
+    std::vector<double> core_w; ///< voltage-scaled core dynamic watts
+    std::vector<double> nb_w;   ///< NB-proxy dynamic watts
+
+    std::size_t n_cores = 0;
+    std::size_t n_vf = 0;
+
+    void resize(std::size_t cores, std::size_t vf_states)
+    {
+        n_cores = cores;
+        n_vf = vf_states;
+        const std::size_t cells = cores * vf_states;
+        cpi.resize(cells);
+        ips.resize(cells);
+        core_w.resize(cells);
+        nb_w.resize(cells);
+    }
+};
+
+/**
+ * Fill @p ws with predictions for every (core, VF state) cell from the
+ * per-core observations @p obs (length @p n_cores, produced by
+ * EventPredictor::observe). Idle cores and cells whose target CPI
+ * fails the predictAt() validity guard yield all-zero rows/cells,
+ * exactly like the scalar path.
+ */
+void exploreBatch(const ExplorePlan &plan, const CoreObservation *obs,
+                  std::size_t n_cores, ExploreWorkspace &ws);
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_EXPLORE_KERNEL_HPP

@@ -81,4 +81,11 @@ IdlePowerModel::intercept(double voltage) const
     return w0_(voltage);
 }
 
+IdleLine
+IdlePowerModel::lineAt(double voltage) const
+{
+    PPEP_ASSERT(trained_, "idle power model not trained");
+    return {w1_(voltage), w0_(voltage)};
+}
+
 } // namespace ppep::model

@@ -32,6 +32,13 @@ struct IdleSample
     double power_w = 0.0;
 };
 
+/** Eq. 2 evaluated at one voltage: Pidle(T) = slope * T + intercept. */
+struct IdleLine
+{
+    double slope = 0.0;     ///< Widle1(V), watts per kelvin
+    double intercept = 0.0; ///< Widle0(V), watts
+};
+
 /** The Eq. 2 regression model. */
 class IdlePowerModel
 {
@@ -59,6 +66,12 @@ class IdlePowerModel
 
     /** Intercept Widle0 at a voltage. @pre trained. */
     double intercept(double voltage) const;
+
+    /**
+     * Both Eq. 2 coefficients at a voltage in one call — what a per-VF
+     * exploration plan hoists out of the hot path. @pre trained.
+     */
+    IdleLine lineAt(double voltage) const;
 
     /** Whether train() has produced this model. */
     bool trained() const { return trained_; }

@@ -12,23 +12,7 @@ Ppep::Ppep(const sim::ChipConfig &cfg, ChipPowerModel power,
     // Hoist everything per-VF that does not depend on the observed
     // interval: the explore() hot path then runs pow()- and
     // polynomial-free over dense coefficient arrays.
-    const std::size_t n_vf = cfg_.vf_table.size();
-    plan_.voltage.reserve(n_vf);
-    plan_.freq_ghz.reserve(n_vf);
-    plan_.vscale.reserve(n_vf);
-    plan_.idle_slope.reserve(n_vf);
-    plan_.idle_icept.reserve(n_vf);
-    for (std::size_t vf = 0; vf < n_vf; ++vf) {
-        const sim::VfState &state = cfg_.vf_table.state(vf);
-        plan_.voltage.push_back(state.voltage);
-        plan_.freq_ghz.push_back(state.freq_ghz);
-        plan_.vscale.push_back(
-            power_.dynamicModel().voltageScale(state.voltage));
-        plan_.idle_slope.push_back(
-            power_.idleModel().slope(state.voltage));
-        plan_.idle_icept.push_back(
-            power_.idleModel().intercept(state.voltage));
-    }
+    plan_ = ExplorePlan::build(power_, cfg_.vf_table);
 }
 
 void
@@ -101,23 +85,78 @@ Ppep::predictVf(const trace::IntervalRecord &rec,
 }
 
 void
-Ppep::exploreInto(const trace::IntervalRecord &rec,
-                  std::vector<VfPrediction> &out,
-                  ExploreScratch &scratch) const
+Ppep::observeCores(const trace::IntervalRecord &rec,
+                   std::vector<CoreObservation> &obs) const
 {
     PPEP_ASSERT(!rec.cu_vf.empty(), "record has no VF context");
     const sim::VfState &now = cfg_.vf_table.state(rec.cu_vf.front());
 
     // The target-independent per-core work (CPI decomposition, Obs. 1/2
     // invariants) is shared across the whole VF sweep.
-    scratch.obs.resize(rec.pmc.size());
+    obs.resize(rec.pmc.size());
     for (std::size_t c = 0; c < rec.pmc.size(); ++c)
-        scratch.obs[c] = EventPredictor::observe(rec.pmc[c],
-                                                 rec.duration_s,
-                                                 now.freq_ghz);
+        obs[c] = EventPredictor::observe(rec.pmc[c], rec.duration_s,
+                                         now.freq_ghz);
+}
 
-    out.resize(cfg_.vf_table.size());
-    for (std::size_t vf = 0; vf < cfg_.vf_table.size(); ++vf)
+void
+Ppep::exploreInto(const trace::IntervalRecord &rec,
+                  std::vector<VfPrediction> &out,
+                  ExploreScratch &scratch) const
+{
+    observeCores(rec, scratch.obs);
+
+    const std::size_t n_cores = scratch.obs.size();
+    const std::size_t n_vf = plan_.size();
+    exploreBatch(plan_, scratch.obs.data(), n_cores, scratch.ws);
+
+    // Assemble the kernel's core×VF matrices into per-VF predictions.
+    // Accumulation runs in core order per VF — the same order as the
+    // scalar reference — so the sums round identically.
+    out.resize(n_vf);
+    const ExploreWorkspace &ws = scratch.ws;
+    for (std::size_t vf = 0; vf < n_vf; ++vf) {
+        VfPrediction &p = out[vf];
+        p.vf_index = vf;
+        p.total_ips = 0.0;
+        p.energy_per_inst = 0.0;
+        p.edp_per_inst = 0.0;
+        p.idle_w = plan_.idle_slope[vf] * rec.diode_temp_k +
+                   plan_.idle_icept[vf];
+        double dyn_core_w = 0.0, dyn_nb_w = 0.0;
+        p.cores.resize(n_cores);
+        for (std::size_t c = 0; c < n_cores; ++c) {
+            const std::size_t cell = c * n_vf + vf;
+            CorePpe &core = p.cores[c];
+            core.cpi = ws.cpi[cell];
+            core.ips = ws.ips[cell];
+            core.busy = core.ips > 0.0;
+            const double core_w = ws.core_w[cell];
+            const double nb_w = ws.nb_w[cell];
+            core.dynamic_w = core_w + nb_w;
+            dyn_core_w += core_w;
+            dyn_nb_w += nb_w;
+            if (core.busy)
+                p.total_ips += core.ips * scratch.obs[c].busy_frac;
+        }
+        p.dynamic_w = dyn_core_w + dyn_nb_w;
+        p.chip_power_w = p.idle_w + p.dynamic_w;
+        if (p.total_ips > 0.0) {
+            p.energy_per_inst = p.chip_power_w / p.total_ips;
+            p.edp_per_inst =
+                p.chip_power_w / (p.total_ips * p.total_ips);
+        }
+    }
+}
+
+void
+Ppep::exploreScalarInto(const trace::IntervalRecord &rec,
+                        std::vector<VfPrediction> &out,
+                        ExploreScratch &scratch) const
+{
+    observeCores(rec, scratch.obs);
+    out.resize(plan_.size());
+    for (std::size_t vf = 0; vf < plan_.size(); ++vf)
         predictVfInto(rec, scratch.obs, vf, out[vf]);
 }
 

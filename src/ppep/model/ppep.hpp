@@ -9,6 +9,11 @@
  * back predicted performance, power, and energy at *every* VF state, for
  * the chip and per core. DVFS policies (ppep::governor) consume these
  * predictions to act in a single step.
+ *
+ * The full-table sweep runs on the batched VF×core kernel
+ * (explore_kernel.hpp): a branch-free data-parallel pass over the
+ * precomputed per-VF plan, bit-identical to the scalar reference path
+ * that exploreScalarInto() retains for differential testing.
  */
 
 #ifndef PPEP_MODEL_PPEP_HPP
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "ppep/model/chip_power_model.hpp"
+#include "ppep/model/explore_kernel.hpp"
 #include "ppep/model/pg_idle_model.hpp"
 #include "ppep/sim/chip_config.hpp"
 #include "ppep/trace/interval.hpp"
@@ -61,13 +67,15 @@ struct AssignmentPrediction
 
 /**
  * Caller-owned scratch for the allocation-free exploration path. Holds
- * the per-core observation buffer that explore() would otherwise
- * allocate every interval; reuse one instance per control loop and the
- * steady-state sweep performs no heap allocation at all.
+ * the per-core observation buffer and the batched kernel's core×VF
+ * result matrices that explore() would otherwise allocate every
+ * interval; reuse one instance per control loop and the steady-state
+ * sweep performs no heap allocation at all.
  */
 struct ExploreScratch
 {
     std::vector<CoreObservation> obs;
+    ExploreWorkspace ws;
 };
 
 /** The assembled PPEP predictor. */
@@ -94,21 +102,31 @@ class Ppep
      * explore() into a caller-owned buffer, reusing its allocations.
      * A governor calling this every 200 ms interval with the same buffer
      * performs no heap allocation after the first call apart from the
-     * per-core observation buffer; pass an ExploreScratch as well to
-     * eliminate that too.
+     * scratch buffers; pass an ExploreScratch as well to eliminate
+     * those too.
      */
     void exploreInto(const trace::IntervalRecord &rec,
                      std::vector<VfPrediction> &out) const;
 
     /**
-     * The fully allocation-free exploration: identical outputs to
-     * explore(), but every buffer — predictions and per-core
-     * observations — is caller-owned and reused across calls. This is
-     * the steady-state governing path.
+     * The fully allocation-free exploration: every buffer —
+     * predictions, per-core observations, kernel matrices — is
+     * caller-owned and reused across calls. This is the steady-state
+     * governing path; it runs the batched VF×core kernel.
      */
     void exploreInto(const trace::IntervalRecord &rec,
                      std::vector<VfPrediction> &out,
                      ExploreScratch &scratch) const;
+
+    /**
+     * The scalar reference exploration: the original per-VF
+     * predictAt() loop, kept as the golden baseline the batched kernel
+     * is differentially tested (bit-identical) and benchmarked
+     * against. Semantically interchangeable with exploreInto().
+     */
+    void exploreScalarInto(const trace::IntervalRecord &rec,
+                           std::vector<VfPrediction> &out,
+                           ExploreScratch &scratch) const;
 
     /** Prediction at one VF state (global DVFS). */
     VfPrediction predictVf(const trace::IntervalRecord &rec,
@@ -133,36 +151,23 @@ class Ppep
     /** VF table in use. */
     const sim::VfTable &vfTable() const { return cfg_.vf_table; }
 
+    /** The precomputed per-VF exploration plan (read-only). */
+    const ExplorePlan &plan() const { return plan_; }
+
   private:
-    /**
-     * The precomputed per-VF exploration plan: everything that depends
-     * only on the trained models and the VF table, hoisted out of the
-     * per-interval path and laid out structure-of-arrays so the VF
-     * sweep streams through dense coefficient vectors. Covers the
-     * operating point, the (V/Vtrain)^alpha dynamic-power scale (one
-     * pow() per estimate otherwise), and the Eq. 2 idle polynomials
-     * evaluated at V.
-     */
-    struct VfPlan
-    {
-        std::vector<double> voltage;
-        std::vector<double> freq_ghz;
-        std::vector<double> vscale;     ///< DynamicPowerModel::voltageScale(V)
-        std::vector<double> idle_slope; ///< Widle1(V)
-        std::vector<double> idle_icept; ///< Widle0(V)
-
-        std::size_t size() const { return voltage.size(); }
-    };
-
     /** predictVf() into an existing prediction, reusing its buffers. */
     void predictVfInto(const trace::IntervalRecord &rec,
                        const std::vector<CoreObservation> &obs,
                        std::size_t target_vf, VfPrediction &out) const;
 
+    /** Shared front half of the sweep: per-core observations. */
+    void observeCores(const trace::IntervalRecord &rec,
+                      std::vector<CoreObservation> &obs) const;
+
     sim::ChipConfig cfg_;
     ChipPowerModel power_;
     PgIdleModel pg_;
-    VfPlan plan_;
+    ExplorePlan plan_;
 };
 
 } // namespace ppep::model

@@ -1,6 +1,7 @@
 #include "ppep/runtime/async_telemetry.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "ppep/util/logging.hpp"
 
@@ -69,8 +70,12 @@ AsyncTelemetrySink::writerLoop()
         // The slot cannot be overwritten while unlocked: the producer
         // only reuses it after size_ drops below capacity, which
         // happens under the lock below.
+        const auto t0 = std::chrono::steady_clock::now();
         wrapped_.onInterval(slot.t);
+        const auto t1 = std::chrono::steady_clock::now();
         lock.lock();
+        encode_s_ += std::chrono::duration<double>(t1 - t0).count();
+        ++encoded_count_;
         head_ = (head_ + 1) % ring_.size();
         --size_;
         if (size_ == 0)
@@ -133,6 +138,20 @@ AsyncTelemetrySink::maxDepth() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return max_depth_;
+}
+
+double
+AsyncTelemetrySink::encodeSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return encode_s_;
+}
+
+std::size_t
+AsyncTelemetrySink::encodedIntervals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return encoded_count_;
 }
 
 } // namespace ppep::runtime

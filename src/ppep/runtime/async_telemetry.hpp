@@ -70,6 +70,14 @@ class AsyncTelemetrySink : public TelemetrySink
     /** High-water mark of in-flight intervals (observability). */
     std::size_t maxDepth() const;
 
+    /** Cumulative wall time the writer thread spent inside the wrapped
+     *  sink's onInterval() — i.e. encode + write cost moved off the
+     *  governing thread (observability; bench_fleet reports it). */
+    double encodeSeconds() const;
+
+    /** Intervals handed off to the wrapped sink so far. */
+    std::size_t encodedIntervals() const;
+
   private:
     /** One ring entry: the telemetry plus deep copies of everything it
      *  points at, re-pointed before hand-off. */
@@ -98,6 +106,8 @@ class AsyncTelemetrySink : public TelemetrySink
     std::size_t head_ = 0; ///< next slot the writer consumes
     std::size_t size_ = 0; ///< slots in flight
     std::size_t max_depth_ = 0;
+    double encode_s_ = 0.0;         ///< wrapped onInterval() wall time
+    std::size_t encoded_count_ = 0; ///< intervals handed off
     bool stop_ = false;
     bool closed_ = false;
 

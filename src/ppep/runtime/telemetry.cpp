@@ -1,7 +1,6 @@
 #include "ppep/runtime/telemetry.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <ostream>
@@ -12,22 +11,6 @@
 namespace ppep::runtime {
 
 namespace {
-
-/** Shortest round-trippable decimal for a finite double. */
-std::string
-num(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.10g", v);
-    return buf;
-}
-
-/** JSON value: finite numbers as-is, NaN/inf as null. */
-std::string
-jsonNum(double v)
-{
-    return std::isfinite(v) ? num(v) : std::string("null");
-}
 
 std::unique_ptr<std::ostream>
 openFile(const std::string &path)
@@ -94,33 +77,53 @@ CsvSink::onInterval(const IntervalTelemetry &t)
         os << '\n';
         header_written_ = true;
     }
-    std::string vf;
-    for (std::size_t v : *t.cu_vf) {
-        if (!vf.empty())
-            vf += '+';
-        vf += std::to_string(v);
+    // Encode the whole row into the reused buffer (shortest
+    // round-trip doubles, no locale, no per-cell allocation), then
+    // hand the stream one write.
+    util::fmt::RowBuffer &row = row_;
+    row.clear();
+    row.appendU64(t.index);
+    row.append(',');
+    row.appendDouble(t.time_s);
+    row.append(',');
+    row.appendDouble(t.cap_w);
+    row.append(',');
+    for (std::size_t i = 0; i < t.cu_vf->size(); ++i) {
+        if (i)
+            row.append('+');
+        row.appendU64((*t.cu_vf)[i]);
     }
-    os << t.index << ',' << num(t.time_s) << ',' << num(t.cap_w) << ','
-       << vf << ',' << num(t.rec->sensor_power_w) << ','
-       << (std::isfinite(t.predicted_power_w)
-               ? num(t.predicted_power_w)
-               : std::string())
-       << ',' << num(t.rec->diode_temp_k) << ','
-       << num(totalIps(*t.rec)) << ','
-       << num(t.decision_latency_s * 1e6);
+    row.append(',');
+    row.appendDouble(t.rec->sensor_power_w);
+    row.append(',');
+    if (std::isfinite(t.predicted_power_w))
+        row.appendDouble(t.predicted_power_w);
+    row.append(',');
+    row.appendDouble(t.rec->diode_temp_k);
+    row.append(',');
+    row.appendDouble(totalIps(*t.rec));
+    row.append(',');
+    row.appendDouble(t.decision_latency_s * 1e6);
     if (with_health_) {
         if (t.health) {
-            os << ',' << t.health->faultEvents() << ','
-               << t.health->substituted_cores << ','
-               << t.health->zeroed_cores << ','
-               << t.health->sensor_rejects << ','
-               << t.health->diode_rejects << ','
-               << (t.degraded ? 1 : 0);
+            row.append(',');
+            row.appendU64(t.health->faultEvents());
+            row.append(',');
+            row.appendU64(t.health->substituted_cores);
+            row.append(',');
+            row.appendU64(t.health->zeroed_cores);
+            row.append(',');
+            row.appendU64(t.health->sensor_rejects);
+            row.append(',');
+            row.appendU64(t.health->diode_rejects);
+            row.append(',');
+            row.append(t.degraded ? '1' : '0');
         } else {
-            os << ",0,0,0,0,0,0";
+            row.append(std::string_view{",0,0,0,0,0,0"});
         }
     }
-    os << '\n';
+    row.append('\n');
+    os.write(row.data(), static_cast<std::streamsize>(row.size()));
     checkStream();
 }
 
@@ -174,28 +177,49 @@ JsonlSink::checkStream()
 void
 JsonlSink::onInterval(const IntervalTelemetry &t)
 {
-    auto &os = *out_;
-    os << "{\"interval\":" << t.index << ",\"time_s\":" << num(t.time_s)
-       << ",\"cap_w\":" << jsonNum(t.cap_w) << ",\"cu_vf\":[";
-    for (std::size_t i = 0; i < t.cu_vf->size(); ++i)
-        os << (i ? "," : "") << (*t.cu_vf)[i];
-    os << "],\"measured_power_w\":" << jsonNum(t.rec->sensor_power_w)
-       << ",\"predicted_power_w\":" << jsonNum(t.predicted_power_w)
-       << ",\"diode_temp_k\":" << jsonNum(t.rec->diode_temp_k)
-       << ",\"total_ips\":" << jsonNum(totalIps(*t.rec))
-       << ",\"decision_latency_us\":"
-       << jsonNum(t.decision_latency_s * 1e6);
-    if (t.health) {
-        os << ",\"fault_events\":" << t.health->faultEvents()
-           << ",\"substituted_cores\":" << t.health->substituted_cores
-           << ",\"zeroed_cores\":" << t.health->zeroed_cores
-           << ",\"sensor_rejects\":" << t.health->sensor_rejects
-           << ",\"diode_rejects\":" << t.health->diode_rejects
-           << ",\"total_fault_events\":"
-           << (t.health->total_fault_events + t.health->faultEvents())
-           << ",\"degraded\":" << (t.degraded ? "true" : "false");
+    util::fmt::RowBuffer &row = row_;
+    row.clear();
+    row.append(std::string_view{"{\"interval\":"});
+    row.appendU64(t.index);
+    row.append(std::string_view{",\"time_s\":"});
+    row.appendJsonDouble(t.time_s);
+    row.append(std::string_view{",\"cap_w\":"});
+    row.appendJsonDouble(t.cap_w);
+    row.append(std::string_view{",\"cu_vf\":["});
+    for (std::size_t i = 0; i < t.cu_vf->size(); ++i) {
+        if (i)
+            row.append(',');
+        row.appendU64((*t.cu_vf)[i]);
     }
-    os << "}\n";
+    row.append(std::string_view{"],\"measured_power_w\":"});
+    row.appendJsonDouble(t.rec->sensor_power_w);
+    row.append(std::string_view{",\"predicted_power_w\":"});
+    row.appendJsonDouble(t.predicted_power_w);
+    row.append(std::string_view{",\"diode_temp_k\":"});
+    row.appendJsonDouble(t.rec->diode_temp_k);
+    row.append(std::string_view{",\"total_ips\":"});
+    row.appendJsonDouble(totalIps(*t.rec));
+    row.append(std::string_view{",\"decision_latency_us\":"});
+    row.appendJsonDouble(t.decision_latency_s * 1e6);
+    if (t.health) {
+        row.append(std::string_view{",\"fault_events\":"});
+        row.appendU64(t.health->faultEvents());
+        row.append(std::string_view{",\"substituted_cores\":"});
+        row.appendU64(t.health->substituted_cores);
+        row.append(std::string_view{",\"zeroed_cores\":"});
+        row.appendU64(t.health->zeroed_cores);
+        row.append(std::string_view{",\"sensor_rejects\":"});
+        row.appendU64(t.health->sensor_rejects);
+        row.append(std::string_view{",\"diode_rejects\":"});
+        row.appendU64(t.health->diode_rejects);
+        row.append(std::string_view{",\"total_fault_events\":"});
+        row.appendU64(t.health->total_fault_events +
+                      t.health->faultEvents());
+        row.append(std::string_view{",\"degraded\":"});
+        row.append(std::string_view{t.degraded ? "true" : "false"});
+    }
+    row.append(std::string_view{"}\n"});
+    out_->write(row.data(), static_cast<std::streamsize>(row.size()));
     checkStream();
 }
 
@@ -396,40 +420,49 @@ void
 SummarySink::print(std::ostream &out) const
 {
     const Summary s = summary();
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "run summary: %zu intervals, mean power %.1f W, "
-                  "energy %.1f J\n",
-                  s.intervals, s.mean_power_w, s.energy_j);
-    out << buf;
-    std::snprintf(buf, sizeof(buf),
-                  "  cap adherence %.1f%%, mean settle %.2f intervals\n",
-                  100.0 * s.cap_adherence, s.mean_settle_intervals);
-    out << buf;
+    util::fmt::RowBuffer row(512);
+    row.append(std::string_view{"run summary: "});
+    row.appendU64(s.intervals);
+    row.append(std::string_view{" intervals, mean power "});
+    row.appendFixed(s.mean_power_w, 1);
+    row.append(std::string_view{" W, energy "});
+    row.appendFixed(s.energy_j, 1);
+    row.append(std::string_view{" J\n  cap adherence "});
+    row.appendFixed(100.0 * s.cap_adherence, 1);
+    row.append(std::string_view{"%, mean settle "});
+    row.appendFixed(s.mean_settle_intervals, 2);
+    row.append(std::string_view{" intervals\n"});
     if (s.predicted_intervals) {
-        std::snprintf(buf, sizeof(buf),
-                      "  predicted-vs-measured power MAE %.2f W over "
-                      "%zu intervals\n",
-                      s.power_mae_w, s.predicted_intervals);
-        out << buf;
+        row.append(
+            std::string_view{"  predicted-vs-measured power MAE "});
+        row.appendFixed(s.power_mae_w, 2);
+        row.append(std::string_view{" W over "});
+        row.appendU64(s.predicted_intervals);
+        row.append(std::string_view{" intervals\n"});
     }
-    std::snprintf(buf, sizeof(buf),
-                  "  decision latency mean %.1f us, max %.1f us\n",
-                  1e6 * s.mean_decision_latency_s,
-                  1e6 * s.max_decision_latency_s);
-    out << buf;
+    row.append(std::string_view{"  decision latency mean "});
+    row.appendFixed(1e6 * s.mean_decision_latency_s, 1);
+    row.append(std::string_view{" us, max "});
+    row.appendFixed(1e6 * s.max_decision_latency_s, 1);
+    row.append(std::string_view{" us\n"});
     if (s.fault_events || s.degraded_intervals) {
-        std::snprintf(buf, sizeof(buf),
-                      "  fault events %zu, degraded intervals %zu "
-                      "(%zu demotions)\n",
-                      s.fault_events, s.degraded_intervals,
-                      s.demotions);
-        out << buf;
+        row.append(std::string_view{"  fault events "});
+        row.appendU64(s.fault_events);
+        row.append(std::string_view{", degraded intervals "});
+        row.appendU64(s.degraded_intervals);
+        row.append(std::string_view{" ("});
+        row.appendU64(s.demotions);
+        row.append(std::string_view{" demotions)\n"});
     }
-    out << "  VF residency (CU-intervals):";
-    for (std::size_t v = 0; v < s.vf_residency.size(); ++v)
-        out << " VF" << v + 1 << "=" << s.vf_residency[v];
-    out << '\n';
+    row.append(std::string_view{"  VF residency (CU-intervals):"});
+    for (std::size_t v = 0; v < s.vf_residency.size(); ++v) {
+        row.append(std::string_view{" VF"});
+        row.appendU64(v + 1);
+        row.append('=');
+        row.appendU64(s.vf_residency[v]);
+    }
+    row.append('\n');
+    out.write(row.data(), static_cast<std::streamsize>(row.size()));
 }
 
 } // namespace ppep::runtime

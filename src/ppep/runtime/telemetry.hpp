@@ -30,6 +30,7 @@
 #include "ppep/model/ppep.hpp"
 #include "ppep/runtime/sampler.hpp"
 #include "ppep/trace/interval.hpp"
+#include "ppep/util/fmt.hpp"
 
 namespace ppep::runtime {
 
@@ -147,6 +148,7 @@ class CsvSink : public TelemetrySink
     std::ostream *out_ = nullptr;
     std::unique_ptr<std::ostream> owned_;
     std::string path_;
+    util::fmt::RowBuffer row_;
     bool header_written_ = false;
     bool with_health_ = false;
     bool failed_ = false;
@@ -174,6 +176,7 @@ class JsonlSink : public TelemetrySink
     std::ostream *out_ = nullptr;
     std::unique_ptr<std::ostream> owned_;
     std::string path_;
+    util::fmt::RowBuffer row_;
     bool failed_ = false;
     std::string error_;
 };

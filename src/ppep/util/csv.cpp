@@ -1,7 +1,6 @@
 #include "ppep/util/csv.hpp"
 
-#include <sstream>
-
+#include "ppep/util/fmt.hpp"
 #include "ppep/util/logging.hpp"
 
 namespace ppep::util {
@@ -41,15 +40,16 @@ CsvWriter::writeRow(const std::vector<std::string> &cells)
 void
 CsvWriter::writeRow(const std::vector<double> &cells)
 {
+    // Shortest round-trip encoding: unlike the old 10-significant-digit
+    // ostringstream, every double parses back to the exact same bits.
+    row_.clear();
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i)
-            out_ << ',';
-        std::ostringstream oss;
-        oss.precision(10);
-        oss << cells[i];
-        out_ << oss.str();
+            row_.append(',');
+        row_.appendDouble(cells[i]);
     }
-    out_ << '\n';
+    row_.append('\n');
+    out_.write(row_.data(), static_cast<std::streamsize>(row_.size()));
 }
 
 void

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "ppep/util/fmt.hpp"
+
 namespace ppep::util {
 
 /** Append-only CSV file writer with RFC-4180 style quoting. */
@@ -39,6 +41,7 @@ class CsvWriter
     static std::string escape(const std::string &cell);
 
     std::ofstream out_;
+    fmt::RowBuffer row_;
 };
 
 } // namespace ppep::util

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Allocation- and locale-free number formatting for the telemetry hot
+ * path, built on std::to_chars.
+ *
+ * The per-interval encode cost of a governed session used to be
+ * snprintf("%.10g") plus an ostringstream per numeric cell: every call
+ * consults the C locale, and "%.10g" silently truncates doubles (a
+ * round-trip needs up to 17 significant digits). This layer replaces
+ * both with std::to_chars:
+ *
+ *  - doubles render as the *shortest* decimal that parses back to the
+ *    exact same bits (strtod(fmt) == value, bit for bit);
+ *  - integers render directly, no temporary std::string;
+ *  - RowBuffer assembles a whole telemetry row in one preallocated
+ *    buffer, so a warm sink performs zero heap allocations per row and
+ *    hands the stream a single write() instead of a dozen operator<<.
+ *
+ * Output is locale-independent by construction (to_chars always uses
+ * '.' and never grouping), which keeps CSV/JSONL traces machine-stable
+ * on any host.
+ */
+
+#ifndef PPEP_UTIL_FMT_HPP
+#define PPEP_UTIL_FMT_HPP
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace ppep::util::fmt {
+
+/**
+ * Worst-case characters for one formatted double: shortest round-trip
+ * needs at most 17 significant digits plus sign, point, and a 5-char
+ * exponent ("-1.7976931348623157e+308" is 24); 32 leaves slack.
+ */
+inline constexpr std::size_t kMaxDoubleChars = 32;
+
+/** Worst-case characters for a formatted 64-bit unsigned integer. */
+inline constexpr std::size_t kMaxU64Chars = 20;
+
+/**
+ * Shortest round-trip decimal for a finite double into [first, last).
+ * Returns one past the last written char. @pre the range holds at
+ * least kMaxDoubleChars bytes (to_chars then cannot fail).
+ */
+inline char *
+writeDouble(char *first, char *last, double v)
+{
+    return std::to_chars(first, last, v).ptr;
+}
+
+/** Fixed-notation double with @p precision fractional digits. */
+inline char *
+writeFixed(char *first, char *last, double v, int precision)
+{
+    return std::to_chars(first, last, v, std::chars_format::fixed,
+                         precision)
+        .ptr;
+}
+
+/** Decimal unsigned integer into [first, last). */
+inline char *
+writeU64(char *first, char *last, std::uint64_t v)
+{
+    return std::to_chars(first, last, v).ptr;
+}
+
+/**
+ * Append-only row encoder over one reusable buffer. Construct (or
+ * reserve) once per sink; clear() + append per row. Growth doubles the
+ * buffer, so capacity converges after the first few rows and a warm
+ * encode performs no heap allocation.
+ */
+class RowBuffer
+{
+  public:
+    explicit RowBuffer(std::size_t capacity = 256) { buf_.reserve(capacity); }
+
+    void clear() { buf_.clear(); }
+
+    const char *data() const { return buf_.data(); }
+    std::size_t size() const { return buf_.size(); }
+    std::string_view view() const { return {buf_.data(), buf_.size()}; }
+
+    void append(char c) { buf_.push_back(c); }
+
+    void append(std::string_view s)
+    {
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    /** Shortest round-trip decimal (see writeDouble). */
+    void appendDouble(double v)
+    {
+        char *p = grow(kMaxDoubleChars);
+        shrink(writeDouble(p, p + kMaxDoubleChars, v));
+    }
+
+    /** JSON number: finite values round-trip, NaN/inf become null. */
+    void appendJsonDouble(double v)
+    {
+        if (std::isfinite(v))
+            appendDouble(v);
+        else
+            append(std::string_view{"null"});
+    }
+
+    /** Fixed-notation double (human-facing summaries, not traces). */
+    void appendFixed(double v, int precision)
+    {
+        // Fixed notation of a huge double can need ~310 integral digits.
+        const std::size_t need =
+            std::isfinite(v) ? 336 + static_cast<std::size_t>(precision)
+                             : kMaxDoubleChars;
+        char *p = grow(need);
+        shrink(writeFixed(p, p + need, v, precision));
+    }
+
+    void appendU64(std::uint64_t v)
+    {
+        char *p = grow(kMaxU64Chars);
+        shrink(writeU64(p, p + kMaxU64Chars, v));
+    }
+
+  private:
+    /** Make room for @p n more bytes; return the write cursor. */
+    char *grow(std::size_t n)
+    {
+        const std::size_t len = buf_.size();
+        buf_.resize(len + n);
+        return buf_.data() + len;
+    }
+
+    /** Drop the unused tail after an in-place write ending at @p end. */
+    void shrink(char *end)
+    {
+        buf_.resize(static_cast<std::size_t>(end - buf_.data()));
+    }
+
+    std::vector<char> buf_;
+};
+
+} // namespace ppep::util::fmt
+
+#endif // PPEP_UTIL_FMT_HPP

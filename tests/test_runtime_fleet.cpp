@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "ppep/model/ppep.hpp"
+#include "ppep/runtime/async_telemetry.hpp"
 #include "ppep/runtime/fleet.hpp"
 #include "ppep/sim/fault.hpp"
 #include "ppep/workloads/suite.hpp"
@@ -230,6 +231,33 @@ TEST(Fleet, AsyncTelemetryMatchesSyncCsv)
         EXPECT_GT(sa.size(), 100u) << name;
         EXPECT_EQ(sa, sb) << name;
     }
+}
+
+TEST(Fleet, AsyncTelemetryAccountsEncodeTime)
+{
+    trace::IntervalRecord rec;
+    rec.duration_s = 0.2;
+    rec.sensor_power_w = 40.0;
+    rec.diode_temp_k = 320.0;
+    rec.pmc.resize(1);
+    const std::vector<std::size_t> cu_vf = {1, 2};
+    runtime::IntervalTelemetry t;
+    t.rec = &rec;
+    t.cu_vf = &cu_vf;
+
+    std::ostringstream out;
+    runtime::CsvSink csv(out);
+    runtime::AsyncTelemetrySink async(csv, 4);
+    EXPECT_EQ(async.encodedIntervals(), 0u);
+    for (std::size_t i = 0; i < 16; ++i) {
+        t.index = i;
+        async.onInterval(t);
+    }
+    async.flush(); // drained: every interval has been handed off
+    EXPECT_EQ(async.encodedIntervals(), 16u);
+    EXPECT_GE(async.encodeSeconds(), 0.0);
+    async.close();
+    EXPECT_EQ(async.encodedIntervals(), 16u);
 }
 
 } // namespace

@@ -16,12 +16,17 @@
 #include <cstdlib>
 #include <new>
 
+#include <ostream>
+#include <streambuf>
+
 #include "ppep/governor/energy_governor.hpp"
 #include "ppep/governor/governor.hpp"
 #include "ppep/governor/ppep_capping.hpp"
 #include "ppep/model/ppep.hpp"
 #include "ppep/model/trainer.hpp"
+#include "ppep/runtime/telemetry.hpp"
 #include "ppep/sim/chip.hpp"
+#include "ppep/trace/collector.hpp"
 #include "ppep/workloads/suite.hpp"
 
 namespace {
@@ -147,6 +152,73 @@ TEST(ZeroAlloc, CappingGovernorSteadyStateIntervalIsAllocationFree)
     for (int i = 0; i < 10; ++i)
         EXPECT_EQ(allocationsPerInterval(loop, schedule), 0u)
             << "interval " << i;
+}
+
+/** Discards everything without ever touching the heap. */
+class NullStreambuf : public std::streambuf
+{
+  protected:
+    int
+    overflow(int c) override
+    {
+        return c == traits_type::eof() ? 0 : c;
+    }
+
+    std::streamsize
+    xsputn(const char *, std::streamsize n) override
+    {
+        return n;
+    }
+};
+
+/** A warmed telemetry sink must encode an interval allocation-free. */
+template <typename Sink>
+void
+expectEncodeIsAllocationFree()
+{
+    const Stack stack;
+    sim::Chip chip(stack.cfg, 5);
+    workloads::launch(chip, workloads::replicate("433.milc", 4), true);
+    trace::Collector col(chip);
+    col.collect(2);
+    const trace::IntervalRecord rec = col.collectInterval();
+    const std::vector<std::size_t> cu_vf(stack.cfg.n_cus, 2);
+
+    runtime::IntervalTelemetry t;
+    t.index = 0;
+    t.time_s = 0.2;
+    t.rec = &rec;
+    t.cu_vf = &cu_vf;
+    t.cap_w = 80.0;
+    t.predicted_power_w = 41.25;
+    t.decision_latency_s = 3e-6;
+
+    NullStreambuf null;
+    std::ostream out(&null);
+    Sink sink(out);
+    for (int i = 0; i < 3; ++i) // warm the row buffer
+        sink.onInterval(t);
+
+    for (int i = 0; i < 10; ++i) {
+        ++t.index;
+        t.time_s += 0.2;
+        g_news.store(0, std::memory_order_relaxed);
+        g_counting.store(true, std::memory_order_relaxed);
+        sink.onInterval(t);
+        g_counting.store(false, std::memory_order_relaxed);
+        EXPECT_EQ(g_news.load(std::memory_order_relaxed), 0u)
+            << "interval " << i;
+    }
+}
+
+TEST(ZeroAlloc, CsvSinkEncodeIsAllocationFreeOnceWarm)
+{
+    expectEncodeIsAllocationFree<runtime::CsvSink>();
+}
+
+TEST(ZeroAlloc, JsonlSinkEncodeIsAllocationFreeOnceWarm)
+{
+    expectEncodeIsAllocationFree<runtime::JsonlSink>();
 }
 
 TEST(ZeroAlloc, CountingHookIsLive)
