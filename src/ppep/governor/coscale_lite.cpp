@@ -129,7 +129,7 @@ CoScaleLiteGovernor::decide(const trace::IntervalRecord &rec,
 }
 
 std::optional<sim::VfState>
-CoScaleLiteGovernor::decideNb()
+CoScaleLiteGovernor::decideNb() PPEP_NONBLOCKING
 {
     return nb_low_ ? cfg_.nb.vf_lo : cfg_.nb.vf_hi;
 }

@@ -46,7 +46,7 @@ class CoScaleLiteGovernor : public Governor
     std::vector<std::size_t> decide(const trace::IntervalRecord &rec,
                                     double cap_w) override;
 
-    std::optional<sim::VfState> decideNb() override;
+    std::optional<sim::VfState> decideNb() PPEP_NONBLOCKING override;
 
     std::string name() const override { return "coscale-lite"; }
 

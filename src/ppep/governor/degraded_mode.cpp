@@ -32,11 +32,17 @@ void
 DegradedModeGovernor::decideInto(const trace::IntervalRecord &rec,
                                  double cap_w,
                                  std::vector<std::size_t> &out)
+    PPEP_NONBLOCKING
 {
     // The probe runs before anything else: at this point
     // lastPredictedPower() still reports the forecast made for the
     // interval in rec, which is what divergence tracking needs.
+    // rt-escape: std::function trampoline the effect analysis cannot
+    // see through; Session binds it to HealthMonitor::observe, which
+    // is pure arithmetic. RTSan still verifies the call at runtime.
+    PPEP_RT_OPAQUE_BEGIN
     degraded_now_ = probe_ ? probe_(rec) : false;
+    PPEP_RT_OPAQUE_END
 
     if (!degraded_now_) {
         inner_.decideInto(rec, cap_w, out);
@@ -51,7 +57,10 @@ DegradedModeGovernor::decideInto(const trace::IntervalRecord &rec,
     // one state when measured power nears the cap. Never steps up, so
     // a degraded run can only lower power relative to its entry point.
     const std::size_t top = chip_.config().vf_table.size() - 1;
+    // rt-escape: warm-up growth of the caller-owned decision vector.
+    PPEP_RT_WARMUP_BEGIN
     out.assign(rec.cu_vf.begin(), rec.cu_vf.end());
+    PPEP_RT_WARMUP_END
     PPEP_ASSERT(out.size() == chip_.config().n_cus,
                 "record CU count mismatch");
     for (auto &s : out)
@@ -66,7 +75,7 @@ DegradedModeGovernor::decideInto(const trace::IntervalRecord &rec,
 }
 
 std::optional<sim::VfState>
-DegradedModeGovernor::decideNb()
+DegradedModeGovernor::decideNb() PPEP_NONBLOCKING
 {
     if (degraded_now_)
         return std::nullopt;
@@ -80,13 +89,13 @@ DegradedModeGovernor::name() const
 }
 
 const std::vector<model::VfPrediction> *
-DegradedModeGovernor::lastExploration() const
+DegradedModeGovernor::lastExploration() const PPEP_NONBLOCKING
 {
     return degraded_now_ ? nullptr : inner_.lastExploration();
 }
 
 double
-DegradedModeGovernor::lastPredictedPower() const
+DegradedModeGovernor::lastPredictedPower() const PPEP_NONBLOCKING
 {
     return last_predicted_w_;
 }

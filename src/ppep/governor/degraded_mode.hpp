@@ -74,18 +74,19 @@ class DegradedModeGovernor : public Governor
 
     /** Allocation-free decide() (identical decisions either mode). */
     void decideInto(const trace::IntervalRecord &rec, double cap_w,
-                    std::vector<std::size_t> &out) override;
+                    std::vector<std::size_t> &out) PPEP_NONBLOCKING
+        override;
 
-    std::optional<sim::VfState> decideNb() override;
+    std::optional<sim::VfState> decideNb() PPEP_NONBLOCKING override;
 
     std::string name() const override;
 
     /** Inner exploration while healthy; nullptr while degraded. */
     const std::vector<model::VfPrediction> *
-    lastExploration() const override;
+    lastExploration() const PPEP_NONBLOCKING override;
 
     /** Inner prediction while healthy; NaN while degraded. */
-    double lastPredictedPower() const override;
+    double lastPredictedPower() const PPEP_NONBLOCKING override;
 
     /** True when the most recent decision ran the safe policy. */
     bool degradedNow() const { return degraded_now_; }

@@ -32,6 +32,7 @@ void
 EnergyOptimalGovernor::decideInto(const trace::IntervalRecord &rec,
                                   double cap_w,
                                   std::vector<std::size_t> &out)
+    PPEP_NONBLOCKING
 {
     ppep_.exploreInto(rec, preds_, scratch_);
     const auto &predictions = preds_;
@@ -71,7 +72,10 @@ EnergyOptimalGovernor::decideInto(const trace::IntervalRecord &rec,
     }
     last_choice_ = best;
     last_predicted_power_w_ = predictions[best].chip_power_w;
+    // rt-escape: warm-up growth of the caller-owned decision vector.
+    PPEP_RT_WARMUP_BEGIN
     out.assign(cfg_.n_cus, best);
+    PPEP_RT_WARMUP_END
 }
 
 } // namespace ppep::governor

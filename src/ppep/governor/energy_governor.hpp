@@ -37,7 +37,8 @@ class EnergyOptimalGovernor : public Governor
 
     /** Allocation-free decide() (identical choice). */
     void decideInto(const trace::IntervalRecord &rec, double cap_w,
-                    std::vector<std::size_t> &out) override;
+                    std::vector<std::size_t> &out) PPEP_NONBLOCKING
+        override;
 
     std::string name() const override;
 
@@ -45,12 +46,12 @@ class EnergyOptimalGovernor : public Governor
     std::size_t lastChoice() const { return last_choice_; }
 
     const std::vector<model::VfPrediction> *
-    lastExploration() const override
+    lastExploration() const PPEP_NONBLOCKING override
     {
         return preds_.empty() ? nullptr : &preds_;
     }
 
-    double lastPredictedPower() const override
+    double lastPredictedPower() const PPEP_NONBLOCKING override
     {
         return last_predicted_power_w_;
     }

@@ -24,7 +24,7 @@ CapSchedule::CapSchedule(
 }
 
 double
-CapSchedule::capAt(std::size_t index) const
+CapSchedule::capAt(std::size_t index) const PPEP_NONBLOCKING
 {
     double cap = points_.front().second;
     for (const auto &[start, value] : points_) {
@@ -55,11 +55,16 @@ GovernorLoop::GovernorLoop(sim::Chip &chip, Governor &policy,
 void
 GovernorLoop::cycle(std::size_t index, const CapSchedule &schedule,
                     trace::IntervalSource &source, GovernorStep &step,
-                    std::vector<std::size_t> &next_vf, double &latency_s)
+                    std::vector<std::size_t> &next_vf,
+                    double &latency_s) PPEP_NONBLOCKING
 {
     using clock = std::chrono::steady_clock;
     step.cap_w = schedule.capAt(index);
+    // rt-escape: warm-up growth of the reused step's VF scratch; no-op
+    // once sized to n_cus (test_zero_alloc).
+    PPEP_RT_WARMUP_BEGIN
     step.cu_vf.resize(chip_.config().n_cus);
+    PPEP_RT_WARMUP_END
     for (std::size_t cu = 0; cu < step.cu_vf.size(); ++cu)
         step.cu_vf[cu] = chip_.cuVf(cu);
     source.collectIntervalInto(step.rec);
@@ -67,7 +72,11 @@ GovernorLoop::cycle(std::size_t index, const CapSchedule &schedule,
     // cap change in the very next decision, just like the paper's
     // Fig. 7 experiment.
     const double next_cap = schedule.capAt(index + 1);
+    // rt-escape: steady_clock::now() is an opaque library call but a
+    // non-blocking vDSO clock read; RTSan keeps checking it.
+    PPEP_RT_OPAQUE_BEGIN
     const auto t0 = clock::now();
+    PPEP_RT_OPAQUE_END
     policy_.decideInto(step.rec, next_cap, next_vf);
     PPEP_ASSERT(next_vf.size() == chip_.config().n_cus,
                 "policy returned wrong CU count");
@@ -75,8 +84,11 @@ GovernorLoop::cycle(std::size_t index, const CapSchedule &schedule,
         chip_.setCuVf(cu, next_vf[cu]);
     if (const auto nb = policy_.decideNb())
         chip_.setNbVf(*nb);
+    // rt-escape: second opaque clock read, same contract as above.
+    PPEP_RT_OPAQUE_BEGIN
     latency_s =
         std::chrono::duration<double>(clock::now() - t0).count();
+    PPEP_RT_OPAQUE_END
 }
 
 trace::IntervalSource &

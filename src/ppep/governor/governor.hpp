@@ -21,6 +21,7 @@
 #include "ppep/model/ppep.hpp"
 #include "ppep/sim/chip.hpp"
 #include "ppep/trace/collector.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::governor {
 
@@ -39,7 +40,7 @@ class CapSchedule
         std::vector<std::pair<std::size_t, double>> points);
 
     /** Cap active during interval @p index. */
-    double capAt(std::size_t index) const;
+    double capAt(std::size_t index) const PPEP_NONBLOCKING;
 
     /** A schedule with no cap (infinity). */
     static CapSchedule unlimited();
@@ -70,9 +71,15 @@ class Governor
      * identical to decide().
      */
     virtual void decideInto(const trace::IntervalRecord &rec, double cap_w,
-                            std::vector<std::size_t> &out)
+                            std::vector<std::size_t> &out) PPEP_NONBLOCKING
     {
+        // rt-escape: legacy fallback — decide() allocates its result by
+        // contract. Policies that run in the fleet steady state override
+        // decideInto(); anything still on this default is not RT-safe
+        // and is exempted from the runtime check too.
+        PPEP_RT_WARMUP_BEGIN
         out = decide(rec, cap_w);
+        PPEP_RT_WARMUP_END
     }
 
     /** Human-readable policy name for reports. */
@@ -84,7 +91,7 @@ class Governor
      * after decide().
      */
     virtual std::optional<sim::VfState>
-    decideNb()
+    decideNb() PPEP_NONBLOCKING
     {
         return std::nullopt;
     }
@@ -97,7 +104,7 @@ class Governor
      * Valid until the next decide(). Consumed by telemetry sinks.
      */
     virtual const std::vector<model::VfPrediction> *
-    lastExploration() const
+    lastExploration() const PPEP_NONBLOCKING
     {
         return nullptr;
     }
@@ -107,7 +114,7 @@ class Governor
      * decision will govern; NaN when the policy does not predict power.
      */
     virtual double
-    lastPredictedPower() const
+    lastPredictedPower() const PPEP_NONBLOCKING
     {
         return std::numeric_limits<double>::quiet_NaN();
     }
@@ -163,10 +170,15 @@ class GovernorLoop
                       const StepObserver &observer = nullptr);
 
   private:
-    /** One measurement/decision/actuation cycle shared by run/drive. */
+    /** One measurement/decision/actuation cycle shared by run/drive.
+     *  This is the annotated real-time region: everything reached from
+     *  here must be PPEP_NONBLOCKING or an explicit rt-escape. The
+     *  observer hand-off lives in run()/drive(), outside the region,
+     *  because AsyncTelemetrySink blocks by design (backpressure). */
     void cycle(std::size_t index, const CapSchedule &schedule,
                trace::IntervalSource &source, GovernorStep &step,
-               std::vector<std::size_t> &next_vf, double &latency_s);
+               std::vector<std::size_t> &next_vf,
+               double &latency_s) PPEP_NONBLOCKING;
 
     /** The injected source, or a lazily-built Collector that persists
      *  across run()/drive() calls so its scratch stays warm. */

@@ -39,6 +39,7 @@ void
 PpepCappingGovernor::decideInto(const trace::IntervalRecord &rec,
                                 double cap_w,
                                 std::vector<std::size_t> &out)
+    PPEP_NONBLOCKING
 {
     const std::size_t n_vf = cfg_.vf_table.size();
     const std::size_t n_cores = cfg_.coreCount();
@@ -52,10 +53,14 @@ PpepCappingGovernor::decideInto(const trace::IntervalRecord &rec,
     // inputs, Obs. 2 gap, busy fraction) is extracted once per core and
     // shared across the VF sweep. Tables are flat [c * n_vf + vf] in
     // member scratch so steady-state decisions never touch the heap.
+    // rt-escape: warm-up growth of the member scratch tables; fixed
+    // sizes after the first decision.
+    PPEP_RT_WARMUP_BEGIN
     ips_.assign(n_cores * n_vf, 0.0);
     core_base_.assign(n_cores * n_vf, 0.0);
     nb_part_.assign(n_cores * n_vf, 0.0);
     busy_per_cu_.assign(cfg_.n_cus, 0);
+    PPEP_RT_WARMUP_END
     for (std::size_t c = 0; c < n_cores; ++c) {
         const std::size_t cu = c / cfg_.cores_per_cu;
         const double f_now =
@@ -91,11 +96,18 @@ PpepCappingGovernor::decideInto(const trace::IntervalRecord &rec,
     // voltage, so the governor must price assignments that way or it
     // will blow straight through the cap (ablation A7 quantifies the
     // damage of ignoring this).
+    // rt-escape: warm-up growth of the caller-owned decision vector
+    // and the odometer scratch.
+    PPEP_RT_WARMUP_BEGIN
     out.assign(cfg_.n_cus, 0);
+    PPEP_RT_WARMUP_END
     double best_ips = -1.0;
     double best_power = std::numeric_limits<double>::quiet_NaN();
     double all_lowest_power = std::numeric_limits<double>::quiet_NaN();
+    // rt-escape: warm-up growth of the odometer scratch.
+    PPEP_RT_WARMUP_BEGIN
     assign_.assign(cfg_.n_cus, 0);
+    PPEP_RT_WARMUP_END
     bool first_assignment = true;
     while (true) {
         // Rail resolution: per-CU planes use each CU's own voltage;
@@ -126,7 +138,10 @@ PpepCappingGovernor::decideInto(const trace::IntervalRecord &rec,
         if (cfg_.per_cu_voltage) {
             idle = pg.chipIdleMixed(assign_, busy_per_cu_, true);
         } else {
+            // rt-escape: warm-up growth of the rail-pricing scratch.
+            PPEP_RT_WARMUP_BEGIN
             priced_.assign(assign_.begin(), assign_.end());
+            PPEP_RT_WARMUP_END
             for (auto &vf : priced_)
                 vf = std::max(vf, max_idx);
             idle = pg.chipIdleMixed(priced_, busy_per_cu_, true);
@@ -141,7 +156,11 @@ PpepCappingGovernor::decideInto(const trace::IntervalRecord &rec,
         }
         if (power <= budget && total_ips > best_ips) {
             best_ips = total_ips;
+            // rt-escape: same-size assign into the already-sized
+            // decision vector; reuses capacity.
+            PPEP_RT_WARMUP_BEGIN
             out.assign(assign_.begin(), assign_.end());
+            PPEP_RT_WARMUP_END
             best_power = power;
         }
 

@@ -38,11 +38,12 @@ class PpepCappingGovernor : public Governor
 
     /** Allocation-free decide() (identical assignment). */
     void decideInto(const trace::IntervalRecord &rec, double cap_w,
-                    std::vector<std::size_t> &out) override;
+                    std::vector<std::size_t> &out) PPEP_NONBLOCKING
+        override;
 
     std::string name() const override { return "ppep-one-step"; }
 
-    double lastPredictedPower() const override
+    double lastPredictedPower() const PPEP_NONBLOCKING override
     {
         return last_predicted_power_w_;
     }

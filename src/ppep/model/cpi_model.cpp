@@ -7,7 +7,7 @@
 namespace ppep::model {
 
 CpiSample
-CpiModel::fromEvents(const sim::EventVector &events)
+CpiModel::fromEvents(const sim::EventVector &events) PPEP_NONBLOCKING
 {
     const double inst =
         events[sim::eventIndex(sim::Event::RetiredInst)];
@@ -34,7 +34,7 @@ CpiModel::fromEvents(const sim::EventVector &events)
 
 double
 CpiModel::predictCpi(const CpiSample &sample, double f_current,
-                     double f_target)
+                     double f_target) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(f_current > 0.0 && f_target > 0.0,
                 "frequencies must be positive");
@@ -44,7 +44,7 @@ CpiModel::predictCpi(const CpiSample &sample, double f_current,
 
 double
 CpiModel::predictMcpi(const CpiSample &sample, double f_current,
-                      double f_target)
+                      double f_target) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(f_current > 0.0 && f_target > 0.0,
                 "frequencies must be positive");
@@ -53,7 +53,7 @@ CpiModel::predictMcpi(const CpiSample &sample, double f_current,
 
 double
 CpiModel::predictIps(const CpiSample &sample, double f_current,
-                     double f_target)
+                     double f_target) PPEP_NONBLOCKING
 {
     const double cpi = predictCpi(sample, f_current, f_target);
     if (cpi <= 0.0)
@@ -63,7 +63,7 @@ CpiModel::predictIps(const CpiSample &sample, double f_current,
 
 double
 CpiModel::predictSpeedup(const CpiSample &sample, double f_current,
-                         double f_target)
+                         double f_target) PPEP_NONBLOCKING
 {
     const double cpi_now = sample.cpi;
     const double cpi_then = predictCpi(sample, f_current, f_target);

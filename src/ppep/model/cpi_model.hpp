@@ -18,6 +18,7 @@
 #define PPEP_MODEL_CPI_MODEL_HPP
 
 #include "ppep/sim/events.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::model {
 
@@ -57,29 +58,29 @@ class CpiModel
      * zero or negative cycles, negative MAB-wait cycles). Callers
      * can rely on a non-zero result having cpi > 0 and mcpi >= 0.
      */
-    static CpiSample fromEvents(const sim::EventVector &events);
+    static CpiSample fromEvents(const sim::EventVector &events) PPEP_NONBLOCKING;
 
     /** Eq. 1: CPI at @p f_target given a sample taken at @p f_current. */
     static double predictCpi(const CpiSample &sample, double f_current,
-                             double f_target);
+                             double f_target) PPEP_NONBLOCKING;
 
     /** MCPI at @p f_target (memory wall-time constant, cycles scale). */
     static double predictMcpi(const CpiSample &sample, double f_current,
-                              double f_target);
+                              double f_target) PPEP_NONBLOCKING;
 
     /**
      * Instructions per second at @p f_target predicted from a sample
      * taken at @p f_current.
      */
     static double predictIps(const CpiSample &sample, double f_current,
-                             double f_target);
+                             double f_target) PPEP_NONBLOCKING;
 
     /**
      * Predicted speedup of moving f_current -> f_target (ratio of
      * instruction rates; > 1 means faster).
      */
     static double predictSpeedup(const CpiSample &sample, double f_current,
-                                 double f_target);
+                                 double f_target) PPEP_NONBLOCKING;
 };
 
 } // namespace ppep::model

@@ -56,7 +56,7 @@ DynamicPowerModel::fromWeights(
 double
 DynamicPowerModel::estimate(
     const std::array<double, sim::kNumPowerEvents> &rates_per_s,
-    double voltage) const
+    double voltage) const PPEP_NONBLOCKING
 {
     double core_w = 0.0, nb_w = 0.0;
     split(rates_per_s, voltage, core_w, nb_w);
@@ -74,7 +74,7 @@ DynamicPowerModel::estimateFromRates(const sim::EventVector &rates_per_s,
 }
 
 double
-DynamicPowerModel::voltageScale(double voltage) const
+DynamicPowerModel::voltageScale(double voltage) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(trained_, "dynamic power model not trained");
     PPEP_ASSERT(voltage > 0.0, "non-positive voltage");
@@ -84,7 +84,7 @@ DynamicPowerModel::voltageScale(double voltage) const
 void
 DynamicPowerModel::split(
     const std::array<double, sim::kNumPowerEvents> &rates_per_s,
-    double voltage, double &core_w, double &nb_w) const
+    double voltage, double &core_w, double &nb_w) const PPEP_NONBLOCKING
 {
     splitScaled(rates_per_s, voltageScale(voltage), core_w, nb_w);
 }
@@ -92,7 +92,7 @@ DynamicPowerModel::split(
 double
 DynamicPowerModel::estimateScaled(
     const std::array<double, sim::kNumPowerEvents> &rates_per_s,
-    double vscale) const
+    double vscale) const PPEP_NONBLOCKING
 {
     double core_w = 0.0, nb_w = 0.0;
     splitScaled(rates_per_s, vscale, core_w, nb_w);
@@ -102,7 +102,7 @@ DynamicPowerModel::estimateScaled(
 void
 DynamicPowerModel::splitScaled(
     const std::array<double, sim::kNumPowerEvents> &rates_per_s,
-    double vscale, double &core_w, double &nb_w) const
+    double vscale, double &core_w, double &nb_w) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(trained_, "dynamic power model not trained");
     core_w = 0.0;
@@ -118,7 +118,7 @@ DynamicPowerModel::splitScaled(
 void
 DynamicPowerModel::splitFromRates(const sim::EventVector &rates_per_s,
                                   double voltage, double &core_w,
-                                  double &nb_w) const
+                                  double &nb_w) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(trained_, "dynamic power model not trained");
     const double vscale = voltageScale(voltage);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ppep/sim/events.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::model {
 
@@ -73,7 +74,7 @@ class DynamicPowerModel
      */
     double estimate(
         const std::array<double, sim::kNumPowerEvents> &rates_per_s,
-        double voltage) const;
+        double voltage) const PPEP_NONBLOCKING;
 
     /** Same, taking a full event vector of per-second rates. */
     double estimateFromRates(const sim::EventVector &rates_per_s,
@@ -85,7 +86,7 @@ class DynamicPowerModel
      * breakdown.
      */
     void split(const std::array<double, sim::kNumPowerEvents> &rates_per_s,
-               double voltage, double &core_w, double &nb_w) const;
+               double voltage, double &core_w, double &nb_w) const PPEP_NONBLOCKING;
 
     /**
      * The (V / Vtrain)^alpha factor applied to the core-event weights at
@@ -93,17 +94,17 @@ class DynamicPowerModel
      * (e.g. a per-VF exploration) should compute this once and use the
      * *Scaled variants below — the pow() dominates a single estimate.
      */
-    double voltageScale(double voltage) const;
+    double voltageScale(double voltage) const PPEP_NONBLOCKING;
 
     /** split() with a precomputed voltageScale() factor. */
     void splitScaled(
         const std::array<double, sim::kNumPowerEvents> &rates_per_s,
-        double vscale, double &core_w, double &nb_w) const;
+        double vscale, double &core_w, double &nb_w) const PPEP_NONBLOCKING;
 
     /** estimate() with a precomputed voltageScale() factor. */
     double estimateScaled(
         const std::array<double, sim::kNumPowerEvents> &rates_per_s,
-        double vscale) const;
+        double vscale) const PPEP_NONBLOCKING;
 
     /**
      * split() reading the E1..E9 prefix of a full per-second event
@@ -112,7 +113,7 @@ class DynamicPowerModel
      */
     void splitFromRates(const sim::EventVector &rates_per_s,
                         double voltage, double &core_w,
-                        double &nb_w) const;
+                        double &nb_w) const PPEP_NONBLOCKING;
 
     /** The weights repacked for the batched exploration kernel. */
     KernelWeights kernelWeights() const;

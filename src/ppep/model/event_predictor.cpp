@@ -15,7 +15,7 @@ using sim::eventIndex;
 } // namespace
 
 double
-EventPredictor::obs2Gap(const sim::EventVector &events)
+EventPredictor::obs2Gap(const sim::EventVector &events) PPEP_NONBLOCKING
 {
     const double inst = events[eventIndex(Event::RetiredInst)];
     if (!(inst > 0.0))
@@ -29,7 +29,7 @@ EventPredictor::obs2Gap(const sim::EventVector &events)
 
 CoreObservation
 EventPredictor::observe(const sim::EventVector &events, double duration_s,
-                        double f_current, double mcpi_scale)
+                        double f_current, double mcpi_scale) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(duration_s > 0.0, "non-positive interval duration");
     PPEP_ASSERT(f_current > 0.0, "frequencies must be positive");
@@ -73,7 +73,7 @@ EventPredictor::observe(const sim::EventVector &events, double duration_s,
 }
 
 PredictedCoreState
-EventPredictor::predictAt(const CoreObservation &obs, double f_target)
+EventPredictor::predictAt(const CoreObservation &obs, double f_target) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(f_target > 0.0, "frequencies must be positive");
 
@@ -118,7 +118,7 @@ EventPredictor::predictAt(const CoreObservation &obs, double f_target)
 PredictedCoreState
 EventPredictor::predict(const sim::EventVector &events, double duration_s,
                         double f_current, double f_target,
-                        double mcpi_scale)
+                        double mcpi_scale) PPEP_NONBLOCKING
 {
     return predictAt(observe(events, duration_s, f_current, mcpi_scale),
                      f_target);

@@ -22,6 +22,7 @@
 
 #include "ppep/model/cpi_model.hpp"
 #include "ppep/sim/events.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::model {
 
@@ -70,7 +71,7 @@ class EventPredictor
     static PredictedCoreState predict(const sim::EventVector &events,
                                       double duration_s, double f_current,
                                       double f_target,
-                                      double mcpi_scale = 1.0);
+                                      double mcpi_scale = 1.0) PPEP_NONBLOCKING;
 
     /**
      * Extract everything predict() needs that does not depend on the
@@ -79,17 +80,17 @@ class EventPredictor
      */
     static CoreObservation observe(const sim::EventVector &events,
                                    double duration_s, double f_current,
-                                   double mcpi_scale = 1.0);
+                                   double mcpi_scale = 1.0) PPEP_NONBLOCKING;
 
     /** Predict at one target frequency from a prepared observation. */
     static PredictedCoreState predictAt(const CoreObservation &obs,
-                                        double f_target);
+                                        double f_target) PPEP_NONBLOCKING;
 
     /**
      * The Observation-2 invariant from measured counts:
      * CPI - DispatchStalls/inst. Zero if no instructions retired.
      */
-    static double obs2Gap(const sim::EventVector &events);
+    static double obs2Gap(const sim::EventVector &events) PPEP_NONBLOCKING;
 };
 
 } // namespace ppep::model

@@ -36,10 +36,14 @@ ExplorePlan::build(const ChipPowerModel &power, const sim::VfTable &table)
 
 void
 exploreBatch(const ExplorePlan &plan, const CoreObservation *obs,
-             std::size_t n_cores, ExploreWorkspace &ws)
+             std::size_t n_cores, ExploreWorkspace &ws) PPEP_NONBLOCKING
 {
     const std::size_t n_vf = plan.size();
+    // rt-escape: workspace growth; resize() only ever grows, so a warm
+    // workspace allocates nothing (test_zero_alloc).
+    PPEP_RT_WARMUP_BEGIN
     ws.resize(n_cores, n_vf);
+    PPEP_RT_WARMUP_END
 
     const double *const freq = plan.freq_ghz.data();
     const double *const vscale = plan.vscale.data();

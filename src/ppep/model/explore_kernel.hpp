@@ -49,6 +49,7 @@
 
 #include "ppep/model/chip_power_model.hpp"
 #include "ppep/sim/vf_state.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::model {
 
@@ -112,7 +113,7 @@ struct ExploreWorkspace
  * exactly like the scalar path.
  */
 void exploreBatch(const ExplorePlan &plan, const CoreObservation *obs,
-                  std::size_t n_cores, ExploreWorkspace &ws);
+                  std::size_t n_cores, ExploreWorkspace &ws) PPEP_NONBLOCKING;
 
 } // namespace ppep::model
 

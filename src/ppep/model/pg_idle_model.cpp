@@ -67,7 +67,7 @@ PgIdleModel::fromComponents(std::vector<PgIdleComponents> components,
 }
 
 const PgIdleComponents &
-PgIdleModel::components(std::size_t vf_index) const
+PgIdleModel::components(std::size_t vf_index) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(vf_index < components_.size(),
                 "no components for VF index ", vf_index);
@@ -77,7 +77,7 @@ PgIdleModel::components(std::size_t vf_index) const
 double
 PgIdleModel::perCoreIdle(std::size_t vf_index, bool pg_enabled,
                          std::size_t busy_in_cu,
-                         std::size_t busy_in_chip) const
+                         std::size_t busy_in_chip) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(busy_in_cu >= 1 && busy_in_chip >= busy_in_cu,
                 "inconsistent busy-core counts");
@@ -93,7 +93,7 @@ PgIdleModel::perCoreIdle(std::size_t vf_index, bool pg_enabled,
 }
 
 double
-PgIdleModel::pNbAvg() const
+PgIdleModel::pNbAvg() const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(trained(), "PG idle model not trained");
     double s = 0.0;
@@ -103,7 +103,7 @@ PgIdleModel::pNbAvg() const
 }
 
 double
-PgIdleModel::pBaseAvg() const
+PgIdleModel::pBaseAvg() const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(trained(), "PG idle model not trained");
     double s = 0.0;
@@ -115,7 +115,7 @@ PgIdleModel::pBaseAvg() const
 double
 PgIdleModel::chipIdleMixed(const std::vector<std::size_t> &cu_vf,
                            const std::vector<std::size_t> &busy_per_cu,
-                           bool pg_enabled) const
+                           bool pg_enabled) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(cu_vf.size() == n_cus_ && busy_per_cu.size() == n_cus_,
                 "per-CU vector size mismatch");

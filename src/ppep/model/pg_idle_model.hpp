@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <vector>
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::model {
 
@@ -59,7 +60,7 @@ class PgIdleModel
         std::size_t n_cus);
 
     /** Components at a VF index. @pre trained and index known. */
-    const PgIdleComponents &components(std::size_t vf_index) const;
+    const PgIdleComponents &components(std::size_t vf_index) const PPEP_NONBLOCKING;
 
     /**
      * Eq. 7/8: idle power attributed to one busy core.
@@ -70,7 +71,7 @@ class PgIdleModel
      */
     double perCoreIdle(std::size_t vf_index, bool pg_enabled,
                        std::size_t busy_in_cu,
-                       std::size_t busy_in_chip) const;
+                       std::size_t busy_in_chip) const PPEP_NONBLOCKING;
 
     /**
      * Total chip idle power under PG with the given per-CU busy-core
@@ -88,10 +89,10 @@ class PgIdleModel
      * up to measurement noise; the average is what mixed per-CU VF
      * assignments should use.
      */
-    double pNbAvg() const;
+    double pNbAvg() const PPEP_NONBLOCKING;
 
     /** Base (always-on) power averaged over the measured VF states. */
-    double pBaseAvg() const;
+    double pBaseAvg() const PPEP_NONBLOCKING;
 
     /**
      * Chip idle power for a *mixed* per-CU VF assignment under PG:
@@ -100,7 +101,7 @@ class PgIdleModel
      */
     double chipIdleMixed(const std::vector<std::size_t> &cu_vf,
                          const std::vector<std::size_t> &busy_per_cu,
-                         bool pg_enabled) const;
+                         bool pg_enabled) const PPEP_NONBLOCKING;
 
     /** Whether fromSweeps() produced this model. */
     bool trained() const { return !components_.empty(); }

@@ -18,7 +18,8 @@ Ppep::Ppep(const sim::ChipConfig &cfg, ChipPowerModel power,
 void
 Ppep::predictVfInto(const trace::IntervalRecord &rec,
                     const std::vector<CoreObservation> &obs,
-                    std::size_t target_vf, VfPrediction &out) const
+                    std::size_t target_vf,
+                    VfPrediction &out) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(target_vf < plan_.size(),
                 "target VF index outside the software table");
@@ -36,7 +37,10 @@ Ppep::predictVfInto(const trace::IntervalRecord &rec,
                  plan_.idle_icept[target_vf];
 
     double dyn_core_w = 0.0, dyn_nb_w = 0.0;
+    // rt-escape: warm-up growth of the caller-owned prediction buffer.
+    PPEP_RT_WARMUP_BEGIN
     out.cores.resize(rec.pmc.size());
+    PPEP_RT_WARMUP_END
     for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
         const PredictedCoreState pred =
             EventPredictor::predictAt(obs[c], freq_ghz);
@@ -86,14 +90,17 @@ Ppep::predictVf(const trace::IntervalRecord &rec,
 
 void
 Ppep::observeCores(const trace::IntervalRecord &rec,
-                   std::vector<CoreObservation> &obs) const
+                   std::vector<CoreObservation> &obs) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(!rec.cu_vf.empty(), "record has no VF context");
     const sim::VfState &now = cfg_.vf_table.state(rec.cu_vf.front());
 
     // The target-independent per-core work (CPI decomposition, Obs. 1/2
     // invariants) is shared across the whole VF sweep.
+    // rt-escape: warm-up growth of the caller-owned observation buffer.
+    PPEP_RT_WARMUP_BEGIN
     obs.resize(rec.pmc.size());
+    PPEP_RT_WARMUP_END
     for (std::size_t c = 0; c < rec.pmc.size(); ++c)
         obs[c] = EventPredictor::observe(rec.pmc[c], rec.duration_s,
                                          now.freq_ghz);
@@ -102,7 +109,7 @@ Ppep::observeCores(const trace::IntervalRecord &rec,
 void
 Ppep::exploreInto(const trace::IntervalRecord &rec,
                   std::vector<VfPrediction> &out,
-                  ExploreScratch &scratch) const
+                  ExploreScratch &scratch) const PPEP_NONBLOCKING
 {
     observeCores(rec, scratch.obs);
 
@@ -113,7 +120,10 @@ Ppep::exploreInto(const trace::IntervalRecord &rec,
     // Assemble the kernel's core×VF matrices into per-VF predictions.
     // Accumulation runs in core order per VF — the same order as the
     // scalar reference — so the sums round identically.
+    // rt-escape: warm-up growth of the caller-owned prediction vector.
+    PPEP_RT_WARMUP_BEGIN
     out.resize(n_vf);
+    PPEP_RT_WARMUP_END
     const ExploreWorkspace &ws = scratch.ws;
     for (std::size_t vf = 0; vf < n_vf; ++vf) {
         VfPrediction &p = out[vf];
@@ -124,7 +134,10 @@ Ppep::exploreInto(const trace::IntervalRecord &rec,
         p.idle_w = plan_.idle_slope[vf] * rec.diode_temp_k +
                    plan_.idle_icept[vf];
         double dyn_core_w = 0.0, dyn_nb_w = 0.0;
+        // rt-escape: warm-up growth of the per-VF core array.
+        PPEP_RT_WARMUP_BEGIN
         p.cores.resize(n_cores);
+        PPEP_RT_WARMUP_END
         for (std::size_t c = 0; c < n_cores; ++c) {
             const std::size_t cell = c * n_vf + vf;
             CorePpe &core = p.cores[c];
@@ -152,10 +165,13 @@ Ppep::exploreInto(const trace::IntervalRecord &rec,
 void
 Ppep::exploreScalarInto(const trace::IntervalRecord &rec,
                         std::vector<VfPrediction> &out,
-                        ExploreScratch &scratch) const
+                        ExploreScratch &scratch) const PPEP_NONBLOCKING
 {
     observeCores(rec, scratch.obs);
+    // rt-escape: warm-up growth of the caller-owned prediction vector.
+    PPEP_RT_WARMUP_BEGIN
     out.resize(plan_.size());
+    PPEP_RT_WARMUP_END
     for (std::size_t vf = 0; vf < plan_.size(); ++vf)
         predictVfInto(rec, scratch.obs, vf, out[vf]);
 }

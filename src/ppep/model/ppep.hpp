@@ -27,6 +27,7 @@
 #include "ppep/model/pg_idle_model.hpp"
 #include "ppep/sim/chip_config.hpp"
 #include "ppep/trace/interval.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::model {
 
@@ -116,7 +117,7 @@ class Ppep
      */
     void exploreInto(const trace::IntervalRecord &rec,
                      std::vector<VfPrediction> &out,
-                     ExploreScratch &scratch) const;
+                     ExploreScratch &scratch) const PPEP_NONBLOCKING;
 
     /**
      * The scalar reference exploration: the original per-VF
@@ -126,7 +127,7 @@ class Ppep
      */
     void exploreScalarInto(const trace::IntervalRecord &rec,
                            std::vector<VfPrediction> &out,
-                           ExploreScratch &scratch) const;
+                           ExploreScratch &scratch) const PPEP_NONBLOCKING;
 
     /** Prediction at one VF state (global DVFS). */
     VfPrediction predictVf(const trace::IntervalRecord &rec,
@@ -158,11 +159,13 @@ class Ppep
     /** predictVf() into an existing prediction, reusing its buffers. */
     void predictVfInto(const trace::IntervalRecord &rec,
                        const std::vector<CoreObservation> &obs,
-                       std::size_t target_vf, VfPrediction &out) const;
+                       std::size_t target_vf,
+                       VfPrediction &out) const PPEP_NONBLOCKING;
 
     /** Shared front half of the sweep: per-core observations. */
     void observeCores(const trace::IntervalRecord &rec,
-                      std::vector<CoreObservation> &obs) const;
+                      std::vector<CoreObservation> &obs) const
+        PPEP_NONBLOCKING;
 
     sim::ChipConfig cfg_;
     ChipPowerModel power_;

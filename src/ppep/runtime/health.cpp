@@ -19,7 +19,7 @@ HealthMonitor::HealthMonitor(HealthPolicy policy) : policy_(policy)
 
 void
 HealthMonitor::observe(const SampleHealth &health, double predicted_w,
-                       double measured_w)
+                       double measured_w) PPEP_NONBLOCKING
 {
     ++intervals_;
     // Divergence only updates when the governor actually predicted —

@@ -65,7 +65,7 @@ class HealthMonitor
      * @param measured_w  sensor power the interval actually measured.
      */
     void observe(const SampleHealth &health, double predicted_w,
-                 double measured_w);
+                 double measured_w) PPEP_NONBLOCKING;
 
     /** Current verdict. */
     bool degraded() const { return degraded_; }

@@ -23,7 +23,7 @@ Sampler::Sampler(sim::Chip &chip, SamplerPolicy policy)
 
 bool
 Sampler::countsPlausible(const sim::EventVector &counts,
-                         double duration_s) const
+                         double duration_s) const PPEP_NONBLOCKING
 {
     double max_freq_ghz = 0.0;
     for (std::size_t s = 0; s < chip_.stateCount(); ++s)
@@ -56,6 +56,14 @@ Sampler::countsPlausible(const sim::EventVector &counts,
 trace::IntervalRecord
 Sampler::collectInterval()
 {
+    trace::IntervalRecord rec;
+    collectIntervalInto(rec);
+    return rec;
+}
+
+void
+Sampler::collectIntervalInto(trace::IntervalRecord &rec) PPEP_NONBLOCKING
+{
     const auto &cfg = chip_.config();
     const std::size_t n_cores = cfg.coreCount();
     const std::size_t nominal = cfg.ticks_per_interval;
@@ -74,52 +82,64 @@ Sampler::collectInterval()
     health_.ticks = n_ticks;
     health_.timing_overrun = n_ticks != nominal;
 
-    trace::IntervalRecord rec;
     rec.duration_s = cfg.tick_s * static_cast<double>(n_ticks);
+    rec.sensor_power_w = 0.0;
+    rec.diode_temp_k = 0.0;
+    rec.true_power_w = 0.0;
+    rec.true_dynamic_w = 0.0;
+    rec.true_idle_w = 0.0;
+    rec.true_nb_power_w = 0.0;
+    rec.true_temp_k = 0.0;
+    rec.nb_utilization = 0.0;
+    rec.busy_cores = 0;
+    // rt-escape: warm-up growth of the caller-owned record and member
+    // scratch; no-ops once sized (test_zero_alloc).
+    PPEP_RT_WARMUP_BEGIN
     rec.oracle.assign(n_cores, sim::EventVector{});
     rec.cu_vf.resize(cfg.n_cus);
+    retired_.assign(n_cores, 0.0);
+    PPEP_RT_WARMUP_END
     for (std::size_t cu = 0; cu < cfg.n_cus; ++cu)
         rec.cu_vf[cu] = chip_.cuVf(cu);
     rec.nb_vf = chip_.nbVf();
 
     double sensor_sum = 0.0, diode_sum = 0.0;
     std::size_t sensor_ok = 0, diode_ok = 0;
-    std::vector<double> retired(n_cores, 0.0);
     for (std::size_t t = 0; t < n_ticks; ++t) {
-        const sim::TickResult tick = chip_.step();
+        chip_.stepInto(tick_);
         // Per-sample sanity guards: reject NaN/Inf and physically
         // impossible readings instead of folding them into the mean.
-        if (std::isfinite(tick.sensor_power_w) &&
-            tick.sensor_power_w >= policy_.min_power_w &&
-            tick.sensor_power_w <= policy_.max_power_w) {
-            sensor_sum += tick.sensor_power_w;
+        if (std::isfinite(tick_.sensor_power_w) &&
+            tick_.sensor_power_w >= policy_.min_power_w &&
+            tick_.sensor_power_w <= policy_.max_power_w) {
+            sensor_sum += tick_.sensor_power_w;
             ++sensor_ok;
         } else {
             ++health_.sensor_rejects;
         }
-        if (std::isfinite(tick.diode_temp_k) &&
-            tick.diode_temp_k >= policy_.min_temp_k &&
-            tick.diode_temp_k <= policy_.max_temp_k) {
-            diode_sum += tick.diode_temp_k;
+        if (std::isfinite(tick_.diode_temp_k) &&
+            tick_.diode_temp_k >= policy_.min_temp_k &&
+            tick_.diode_temp_k <= policy_.max_temp_k) {
+            diode_sum += tick_.diode_temp_k;
             ++diode_ok;
         } else {
             ++health_.diode_rejects;
         }
-        rec.true_power_w += tick.truth.power.total;
-        rec.true_dynamic_w += tick.truth.power.coreDynamicTotal() +
-                              tick.truth.power.nb_dynamic;
-        rec.true_idle_w += tick.truth.power.base +
-                           tick.truth.power.housekeeping +
-                           tick.truth.power.nb_static +
-                           tick.truth.power.cuIdleTotal();
-        rec.true_nb_power_w += tick.truth.power.nb_static +
-                               tick.truth.power.nb_dynamic;
-        rec.true_temp_k += tick.truth.temperature_k;
-        rec.nb_utilization += tick.truth.nb_utilization;
+        rec.true_power_w += tick_.truth.power.total;
+        rec.true_dynamic_w += tick_.truth.power.coreDynamicTotal() +
+                              tick_.truth.power.nb_dynamic;
+        rec.true_idle_w += tick_.truth.power.base +
+                           tick_.truth.power.housekeeping +
+                           tick_.truth.power.nb_static +
+                           tick_.truth.power.cuIdleTotal();
+        rec.true_nb_power_w += tick_.truth.power.nb_static +
+                               tick_.truth.power.nb_dynamic;
+        rec.true_temp_k += tick_.truth.temperature_k;
+        rec.nb_utilization += tick_.truth.nb_utilization;
         for (std::size_t c = 0; c < n_cores; ++c) {
             for (std::size_t e = 0; e < sim::kNumEvents; ++e)
-                rec.oracle[c][e] += tick.truth.core_events[c][e];
-            retired[c] += tick.truth.activity[c].instructions;
+                rec.oracle[c][e] += tick_.truth.core_events[c][e];
+            retired_[c] += tick_.truth.activity[c].instructions;
         }
     }
 
@@ -157,7 +177,10 @@ Sampler::collectInterval()
 
     // Counter read-out: bounded retry, window normalisation, sanity
     // guards, then last-good substitution under a staleness budget.
+    // rt-escape: warm-up growth of the record's PMC vector.
+    PPEP_RT_WARMUP_BEGIN
     rec.pmc.resize(n_cores);
+    PPEP_RT_WARMUP_END
     for (std::size_t c = 0; c < n_cores; ++c) {
         const std::size_t window = chip_.pmcTicksSinceReset(c);
         sim::EventVector counts{};
@@ -202,14 +225,13 @@ Sampler::collectInterval()
             ++health_.zeroed_cores;
             rec.pmc[c] = sim::EventVector{};
         }
-        if (retired[c] > 0.0)
+        if (retired_[c] > 0.0)
             ++rec.busy_cores;
     }
 
     if (injector)
         health_.injected = injector->counters();
     health_.pmc_wrap_events = chip_.pmcWrapEvents();
-    return rec;
 }
 
 } // namespace ppep::runtime

@@ -116,6 +116,10 @@ class Sampler : public trace::IntervalSource
     /** Run one interval with the full retry/guard/substitute path. */
     trace::IntervalRecord collectInterval() override;
 
+    /** Allocation-free collectInterval() (bit-identical records). */
+    void collectIntervalInto(trace::IntervalRecord &rec) PPEP_NONBLOCKING
+        override;
+
     /** Health record of the most recent interval. */
     const SampleHealth &lastHealth() const { return health_; }
 
@@ -125,11 +129,15 @@ class Sampler : public trace::IntervalSource
   private:
     /** True when a counter set passes the sanity guards. */
     bool countsPlausible(const sim::EventVector &counts,
-                         double duration_s) const;
+                         double duration_s) const PPEP_NONBLOCKING;
 
     sim::Chip &chip_;
     SamplerPolicy policy_;
     SampleHealth health_;
+
+    /** Per-interval scratch reused by collectIntervalInto(). */
+    sim::TickResult tick_;
+    std::vector<double> retired_;
 
     // Last-good state for substitution.
     std::vector<sim::EventVector> last_good_pmc_;

@@ -80,6 +80,14 @@ CsvSink::onInterval(const IntervalTelemetry &t)
     // Encode the whole row into the reused buffer (shortest
     // round-trip doubles, no locale, no per-cell allocation), then
     // hand the stream one write.
+    encodeRow(t);
+    os.write(row_.data(), static_cast<std::streamsize>(row_.size()));
+    checkStream();
+}
+
+void
+CsvSink::encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING
+{
     util::fmt::RowBuffer &row = row_;
     row.clear();
     row.appendU64(t.index);
@@ -123,8 +131,6 @@ CsvSink::onInterval(const IntervalTelemetry &t)
         }
     }
     row.append('\n');
-    os.write(row.data(), static_cast<std::streamsize>(row.size()));
-    checkStream();
 }
 
 void
@@ -177,6 +183,14 @@ JsonlSink::checkStream()
 void
 JsonlSink::onInterval(const IntervalTelemetry &t)
 {
+    encodeRow(t);
+    out_->write(row_.data(), static_cast<std::streamsize>(row_.size()));
+    checkStream();
+}
+
+void
+JsonlSink::encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING
+{
     util::fmt::RowBuffer &row = row_;
     row.clear();
     row.append(std::string_view{"{\"interval\":"});
@@ -219,8 +233,6 @@ JsonlSink::onInterval(const IntervalTelemetry &t)
         row.append(std::string_view{t.degraded ? "true" : "false"});
     }
     row.append(std::string_view{"}\n"});
-    out_->write(row.data(), static_cast<std::streamsize>(row.size()));
-    checkStream();
 }
 
 void
@@ -251,7 +263,7 @@ JsonlSink::close()
 // --- DigestSink ----------------------------------------------------------
 
 void
-DigestSink::mixU64(std::uint64_t v)
+DigestSink::mixU64(std::uint64_t v) PPEP_NONBLOCKING
 {
     // FNV-1a over the value's 8 bytes, little-endian byte order.
     for (int i = 0; i < 8; ++i) {
@@ -261,7 +273,7 @@ DigestSink::mixU64(std::uint64_t v)
 }
 
 void
-DigestSink::mixDouble(double v)
+DigestSink::mixDouble(double v) PPEP_NONBLOCKING
 {
     std::uint64_t bits;
     static_assert(sizeof(bits) == sizeof(v));
@@ -270,7 +282,7 @@ DigestSink::mixDouble(double v)
 }
 
 void
-DigestSink::onInterval(const IntervalTelemetry &t)
+DigestSink::onInterval(const IntervalTelemetry &t) PPEP_NONBLOCKING
 {
     ++count_;
     mixU64(t.index);

@@ -144,6 +144,8 @@ class CsvSink : public TelemetrySink
   private:
     std::ostream &stream();
     void checkStream();
+    /** Encode one row into row_ (no stream I/O, no allocation warm). */
+    void encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING;
 
     std::ostream *out_ = nullptr;
     std::unique_ptr<std::ostream> owned_;
@@ -172,6 +174,8 @@ class JsonlSink : public TelemetrySink
 
   private:
     void checkStream();
+    /** Encode one object into row_ (no stream I/O, no allocation warm). */
+    void encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING;
 
     std::ostream *out_ = nullptr;
     std::unique_ptr<std::ostream> owned_;
@@ -191,7 +195,7 @@ class JsonlSink : public TelemetrySink
 class DigestSink : public TelemetrySink
 {
   public:
-    void onInterval(const IntervalTelemetry &t) override;
+    void onInterval(const IntervalTelemetry &t) PPEP_NONBLOCKING override;
 
     /** Digest over everything seen so far. */
     std::uint64_t digest() const { return hash_; }
@@ -200,8 +204,8 @@ class DigestSink : public TelemetrySink
     std::size_t intervals() const { return count_; }
 
   private:
-    void mixU64(std::uint64_t v);
-    void mixDouble(double v);
+    void mixU64(std::uint64_t v) PPEP_NONBLOCKING;
+    void mixDouble(double v) PPEP_NONBLOCKING;
 
     std::uint64_t hash_ = 1469598103934665603ULL;
     std::size_t count_ = 0;

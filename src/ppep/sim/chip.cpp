@@ -1,7 +1,6 @@
 #include "ppep/sim/chip.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <limits>
 
 #include "ppep/util/logging.hpp"
@@ -53,7 +52,7 @@ Chip::job(std::size_t core) const
 }
 
 void
-Chip::setCuVf(std::size_t cu, std::size_t vf_index)
+Chip::setCuVf(std::size_t cu, std::size_t vf_index) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(cu < cu_vf_.size(), "CU ", cu, " out of range");
     PPEP_ASSERT(vf_index < stateCount(), "VF index out of range");
@@ -62,8 +61,12 @@ Chip::setCuVf(std::size_t cu, std::size_t vf_index)
         case FaultInjector::VfWrite::Reject:
             return; // silently dropped, like a contended P-state MSR
         case FaultInjector::VfWrite::Delay:
+            // rt-escape: delayed-write queue growth; capacity is
+            // reserved in setFaultPlan() so warm pushes reuse it.
+            PPEP_RT_WARMUP_BEGIN
             pending_vf_.push_back(
                 {cu, vf_index, injector_->plan().vf_delay_ticks});
+            PPEP_RT_WARMUP_END
             return;
         case FaultInjector::VfWrite::Apply:
             break;
@@ -73,13 +76,13 @@ Chip::setCuVf(std::size_t cu, std::size_t vf_index)
 }
 
 std::size_t
-Chip::stateCount() const
+Chip::stateCount() const PPEP_NONBLOCKING
 {
     return cfg_.vf_table.size() + cfg_.boost_states.size();
 }
 
 const VfState &
-Chip::stateOf(std::size_t index) const
+Chip::stateOf(std::size_t index) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(index < stateCount(), "state index out of range");
     if (index < cfg_.vf_table.size())
@@ -88,7 +91,7 @@ Chip::stateOf(std::size_t index) const
 }
 
 std::size_t
-Chip::grantedVf(std::size_t cu) const
+Chip::grantedVf(std::size_t cu) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(cu < cu_vf_.size(), "CU out of range");
     const std::size_t requested = cu_vf_[cu];
@@ -104,14 +107,14 @@ Chip::grantedVf(std::size_t cu) const
 }
 
 void
-Chip::setAllVf(std::size_t vf_index)
+Chip::setAllVf(std::size_t vf_index) PPEP_NONBLOCKING
 {
     for (std::size_t cu = 0; cu < cu_vf_.size(); ++cu)
         setCuVf(cu, vf_index);
 }
 
 std::size_t
-Chip::cuVf(std::size_t cu) const
+Chip::cuVf(std::size_t cu) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(cu < cu_vf_.size(), "CU ", cu, " out of range");
     return cu_vf_[cu];
@@ -126,7 +129,7 @@ Chip::setPowerGatingEnabled(bool enabled)
 }
 
 EventVector
-Chip::readPmc(std::size_t core)
+Chip::readPmc(std::size_t core) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(core < pmc_mux_.size(), "core ", core, " out of range");
     PPEP_ASSERT(pmc_auto_mux_,
@@ -135,7 +138,7 @@ Chip::readPmc(std::size_t core)
 }
 
 bool
-Chip::tryReadPmc(std::size_t core, EventVector &out)
+Chip::tryReadPmc(std::size_t core, EventVector &out) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(core < pmc_mux_.size(), "core ", core, " out of range");
     PPEP_ASSERT(pmc_auto_mux_,
@@ -147,7 +150,7 @@ Chip::tryReadPmc(std::size_t core, EventVector &out)
 }
 
 std::size_t
-Chip::pmcTicksSinceReset(std::size_t core) const
+Chip::pmcTicksSinceReset(std::size_t core) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(core < pmc_mux_.size(), "core ", core, " out of range");
     return pmc_mux_[core]->ticksSinceReset();
@@ -159,10 +162,14 @@ Chip::setFaultPlan(const FaultPlan &plan, std::uint64_t seed)
     injector_ = std::make_unique<FaultInjector>(plan, seed);
     for (auto &bank : pmc_banks_)
         bank->setWrapBits(plan.pmc_wrap_bits);
+    // Bound the delayed-write queue up front so the warm hot path never
+    // grows it: at most one in-flight write per CU per delay window.
+    pending_vf_.reserve(cfg_.n_cus *
+                        std::max<std::size_t>(1, plan.vf_delay_ticks));
 }
 
 std::size_t
-Chip::pmcWrapEvents() const
+Chip::pmcWrapEvents() const PPEP_NONBLOCKING
 {
     std::size_t total = 0;
     for (const auto &bank : pmc_banks_)
@@ -185,7 +192,7 @@ Chip::pmcBank(std::size_t core)
 }
 
 bool
-Chip::cuIdle(std::size_t cu) const
+Chip::cuIdle(std::size_t cu) const PPEP_NONBLOCKING
 {
     for (std::size_t k = 0; k < cfg_.cores_per_cu; ++k) {
         const std::size_t core = cu * cfg_.cores_per_cu + k;
@@ -196,7 +203,7 @@ Chip::cuIdle(std::size_t cu) const
 }
 
 double
-Chip::effectiveCuVoltage(std::size_t cu) const
+Chip::effectiveCuVoltage(std::size_t cu) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(cu < cu_vf_.size(), "CU out of range");
     if (cfg_.per_cu_voltage)
@@ -216,16 +223,17 @@ Chip::effectiveCuVoltage(std::size_t cu) const
 }
 
 double
-Chip::activityFactor(std::size_t core) const
+Chip::activityFactor(std::size_t core) const PPEP_NONBLOCKING
 {
     const Job *j = jobs_[core].get();
     if (!j || j->finished())
         return 1.0;
     // Deterministic per (benchmark, phase index): the same code region
     // has the same unmodeled behaviour at every VF state and in every
-    // run — exactly like real software.
+    // run — exactly like real software. The job caches its name hash at
+    // construction so this stays off the per-tick critical path.
     const std::uint64_t h =
-        std::hash<std::string>{}(j->name()) ^
+        j->nameHash() ^
         (j->currentPhaseIndex() * 0x9e3779b97f4a7c15ULL);
     util::Rng r(h);
     return std::max(0.5,
@@ -241,7 +249,7 @@ Chip::step()
 }
 
 void
-Chip::stepInto(TickResult &res)
+Chip::stepInto(TickResult &res) PPEP_NONBLOCKING
 {
     const double dt = cfg_.tick_s;
     const std::size_t n_cores = cfg_.coreCount();
@@ -257,12 +265,20 @@ Chip::stepInto(TickResult &res)
                 cu_vf_[w.cu] = w.vf_index;
             }
         }
+        // rt-escape: shrinking resize — never reallocates, but the
+        // analysis cannot prove kept <= size().
+        PPEP_RT_WARMUP_BEGIN
         pending_vf_.resize(kept);
+        PPEP_RT_WARMUP_END
     }
 
     // 1. Gate states for this tick.
     std::vector<bool> &cu_gated = scratch_.cu_gated;
+    // rt-escape: warm-up growth of per-tick scratch; assign() at steady
+    // sizes reuses capacity (test_zero_alloc).
+    PPEP_RT_WARMUP_BEGIN
     cu_gated.assign(cfg_.n_cus, false);
+    PPEP_RT_WARMUP_END
     bool all_gated = true;
     for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu) {
         cu_gated[cu] = pg_enabled_ && cuIdle(cu);
@@ -273,8 +289,11 @@ Chip::stepInto(TickResult &res)
     // 2. Effective per-CU voltage/frequency.
     std::vector<double> &cu_volt = scratch_.cu_volt;
     std::vector<double> &cu_freq = scratch_.cu_freq;
+    // rt-escape: warm-up growth of per-tick scratch.
+    PPEP_RT_WARMUP_BEGIN
     cu_volt.assign(cfg_.n_cus, 0.0);
     cu_freq.assign(cfg_.n_cus, 0.0);
+    PPEP_RT_WARMUP_END
     for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu) {
         cu_volt[cu] = effectiveCuVoltage(cu);
         cu_freq[cu] = stateOf(grantedVf(cu)).freq_ghz;
@@ -283,7 +302,10 @@ Chip::stepInto(TickResult &res)
     // 3. Effective rates for busy cores, then the NB contention fixed
     //    point across all of them.
     std::vector<PerInstRates> &rates = scratch_.rates;
+    // rt-escape: warm-up growth of per-tick scratch.
+    PPEP_RT_WARMUP_BEGIN
     rates.assign(n_cores, PerInstRates{});
+    PPEP_RT_WARMUP_END
     std::vector<CoreDemand> &demands = scratch_.demands;
     std::vector<std::size_t> &demand_core = scratch_.demand_core;
     demands.clear();
@@ -295,8 +317,12 @@ Chip::stepInto(TickResult &res)
         const std::size_t cu = c / cfg_.cores_per_cu;
         rates[c] = CoreModel::effectiveRates(cfg_, j->currentPhase(),
                                              cu_freq[cu], core_rngs_[c]);
+        // rt-escape: push into cleared-but-warm scratch; capacity is
+        // reused after the first tick at a given core count.
+        PPEP_RT_WARMUP_BEGIN
         demands.push_back({rates[c], cu_freq[cu]});
         demand_core.push_back(c);
+        PPEP_RT_WARMUP_END
     }
     const NbResolution &nb_res = scratch_.nb_res;
     nb_.resolveInto(demands, scratch_.nb_res);
@@ -304,10 +330,13 @@ Chip::stepInto(TickResult &res)
     // 4. Execute each busy core and advance its job.
     res.sensor_power_w = 0.0;
     res.diode_temp_k = 0.0;
+    std::vector<double> &act_factor = scratch_.act_factor;
+    // rt-escape: warm-up growth of the caller-owned result and scratch.
+    PPEP_RT_WARMUP_BEGIN
     res.truth.activity.assign(n_cores, CoreActivity{});
     res.truth.core_events.assign(n_cores, EventVector{});
-    std::vector<double> &act_factor = scratch_.act_factor;
     act_factor.assign(n_cores, 1.0);
+    PPEP_RT_WARMUP_END
     for (std::size_t d = 0; d < demands.size(); ++d) {
         const std::size_t c = demand_core[d];
         Job *j = jobs_[c].get();
@@ -334,7 +363,10 @@ Chip::stepInto(TickResult &res)
 
     // 5. Ground-truth power.
     std::vector<CorePowerInput> &pins = scratch_.pins;
+    // rt-escape: warm-up growth of per-tick scratch.
+    PPEP_RT_WARMUP_BEGIN
     pins.assign(n_cores, CorePowerInput{});
+    PPEP_RT_WARMUP_END
     for (std::size_t c = 0; c < n_cores; ++c) {
         const std::size_t cu = c / cfg_.cores_per_cu;
         pins[c].activity = &res.truth.activity[c];
@@ -345,7 +377,10 @@ Chip::stepInto(TickResult &res)
     hw_power_.computeInto(pins, cu_gated, nb_gated, cu_volt, cu_freq,
                           nb_.vf(), thermal_.temperature(), dt,
                           res.truth.power);
+    // rt-escape: warm-up growth of the caller-owned result.
+    PPEP_RT_WARMUP_BEGIN
     res.truth.cu_gated.assign(cu_gated.begin(), cu_gated.end());
+    PPEP_RT_WARMUP_END
     res.truth.nb_gated = nb_gated;
     res.truth.nb_utilization = nb_res.utilization;
 

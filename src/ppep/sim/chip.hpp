@@ -27,6 +27,7 @@
 #include "ppep/sim/pmc.hpp"
 #include "ppep/sim/power_sensor.hpp"
 #include "ppep/sim/thermal_model.hpp"
+#include "ppep/util/annotations.hpp"
 #include "ppep/util/rng.hpp"
 
 namespace ppep::sim {
@@ -89,26 +90,26 @@ class Chip
      * boost only while few CUs are busy and the die is cool, clamping to
      * the top P-state otherwise.
      */
-    void setCuVf(std::size_t cu, std::size_t vf_index);
+    void setCuVf(std::size_t cu, std::size_t vf_index) PPEP_NONBLOCKING;
 
     /** Request a VF state for every CU. */
-    void setAllVf(std::size_t vf_index);
+    void setAllVf(std::size_t vf_index) PPEP_NONBLOCKING;
 
     /** Requested VF index of a CU. */
-    std::size_t cuVf(std::size_t cu) const;
+    std::size_t cuVf(std::size_t cu) const PPEP_NONBLOCKING;
 
     /** Total selectable states: P-states plus boost states. */
-    std::size_t stateCount() const;
+    std::size_t stateCount() const PPEP_NONBLOCKING;
 
     /** Operating point of any selectable index (P-state or boost). */
-    const VfState &stateOf(std::size_t index) const;
+    const VfState &stateOf(std::size_t index) const PPEP_NONBLOCKING;
 
     /**
      * The state the hardware would actually grant a CU right now: the
      * request, unless it is a boost level the busy-CU count or the die
      * temperature currently forbids.
      */
-    std::size_t grantedVf(std::size_t cu) const;
+    std::size_t grantedVf(std::size_t cu) const PPEP_NONBLOCKING;
 
     /** Enable/disable power gating (the paper's BIOS switch). */
     void setPowerGatingEnabled(bool enabled);
@@ -117,17 +118,17 @@ class Chip
     bool powerGatingEnabled() const { return pg_enabled_; }
 
     /** Set the NB operating point (Sec. V-C2 what-if). */
-    void setNbVf(const VfState &vf) { nb_.setVf(vf); }
+    void setNbVf(const VfState &vf) PPEP_NONBLOCKING { nb_.setVf(vf); }
 
     /** Current NB operating point. */
-    const VfState &nbVf() const { return nb_.vf(); }
+    const VfState &nbVf() const PPEP_NONBLOCKING { return nb_.vf(); }
 
     /**
      * Read-and-reset one core's software-multiplexed counters (the
      * daemon path the paper uses). Never fails — the legacy perfect-
      * hardware read. @pre auto-multiplexing is enabled.
      */
-    EventVector readPmc(std::size_t core);
+    EventVector readPmc(std::size_t core) PPEP_NONBLOCKING;
 
     /**
      * Fallible read-and-reset of one core's multiplexed counters. With
@@ -137,14 +138,14 @@ class Chip
      * false and leaves @p out untouched on failure.
      * @pre auto-multiplexing is enabled.
      */
-    bool tryReadPmc(std::size_t core, EventVector &out);
+    bool tryReadPmc(std::size_t core, EventVector &out) PPEP_NONBLOCKING;
 
     /**
      * Ticks the core's multiplexer has accumulated since its last
      * successful read — the read window a tryReadPmc() success would
      * cover (longer than one interval after failed reads).
      */
-    std::size_t pmcTicksSinceReset(std::size_t core) const;
+    std::size_t pmcTicksSinceReset(std::size_t core) const PPEP_NONBLOCKING;
 
     /**
      * Enable/disable the built-in per-core software multiplexer. With
@@ -177,7 +178,7 @@ class Chip
     const FaultInjector *faultInjector() const { return injector_.get(); }
 
     /** Total PMC wraparounds across all cores (finite-width counters). */
-    std::size_t pmcWrapEvents() const;
+    std::size_t pmcWrapEvents() const PPEP_NONBLOCKING;
 
     // --- simulation -----------------------------------------------------
 
@@ -189,7 +190,7 @@ class Chip
      * chip's internal scratch) — the allocation-free per-tick path.
      * Outputs are bit-identical to step().
      */
-    void stepInto(TickResult &res);
+    void stepInto(TickResult &res) PPEP_NONBLOCKING;
 
     /** Advance @p n ticks, discarding results (warm-up helper). */
     void run(std::size_t n);
@@ -204,14 +205,14 @@ class Chip
     void setTemperatureK(double t) { thermal_.setTemperature(t); }
 
     /** Effective voltage a CU currently sees (rail sharing resolved). */
-    double effectiveCuVoltage(std::size_t cu) const;
+    double effectiveCuVoltage(std::size_t cu) const PPEP_NONBLOCKING;
 
   private:
     /** True when both cores of a CU are idle (no runnable job). */
-    bool cuIdle(std::size_t cu) const;
+    bool cuIdle(std::size_t cu) const PPEP_NONBLOCKING;
 
     /** Hidden per-phase activity factor for a core's current phase. */
-    double activityFactor(std::size_t core) const;
+    double activityFactor(std::size_t core) const PPEP_NONBLOCKING;
 
     ChipConfig cfg_;
     NorthBridge nb_;

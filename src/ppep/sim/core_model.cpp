@@ -9,7 +9,7 @@ namespace ppep::sim {
 
 PerInstRates
 CoreModel::effectiveRates(const ChipConfig &cfg, const Phase &phase,
-                          double f_ghz, util::Rng &rng)
+                          double f_ghz, util::Rng &rng) PPEP_NONBLOCKING
 {
     const double f_top =
         cfg.vf_table.state(cfg.vf_table.top()).freq_ghz;
@@ -57,7 +57,7 @@ CoreModel::effectiveRates(const ChipConfig &cfg, const Phase &phase,
 
 double
 CoreModel::instRate(const PerInstRates &rates, double f_ghz,
-                    double mem_lat_ns)
+                    double mem_lat_ns) PPEP_NONBLOCKING
 {
     const double mcpi = rates.leading_per_inst * mem_lat_ns * f_ghz;
     const double cpi = rates.ccpi + mcpi;
@@ -68,7 +68,7 @@ CoreModel::instRate(const PerInstRates &rates, double f_ghz,
 CoreActivity
 CoreModel::execute(const ChipConfig &cfg, const PerInstRates &rates,
                    double f_ghz, double mem_lat_ns, double dt_s,
-                   double max_instructions)
+                   double max_instructions) PPEP_NONBLOCKING
 {
     CoreActivity act;
     act.busy = true;

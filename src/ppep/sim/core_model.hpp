@@ -25,6 +25,7 @@
 #include "ppep/sim/events.hpp"
 #include "ppep/sim/phase.hpp"
 #include "ppep/util/rng.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -81,7 +82,7 @@ class CoreModel
      */
     static PerInstRates effectiveRates(const ChipConfig &cfg,
                                        const Phase &phase, double f_ghz,
-                                       util::Rng &rng);
+                                       util::Rng &rng) PPEP_NONBLOCKING;
 
     /**
      * Instructions per second at the given rates, frequency, and memory
@@ -89,7 +90,7 @@ class CoreModel
      * fixed point.
      */
     static double instRate(const PerInstRates &rates, double f_ghz,
-                           double mem_lat_ns);
+                           double mem_lat_ns) PPEP_NONBLOCKING;
 
     /**
      * Execute @p dt_s seconds of @p phase on a core at @p f_ghz with
@@ -100,7 +101,7 @@ class CoreModel
     static CoreActivity execute(const ChipConfig &cfg,
                                 const PerInstRates &rates, double f_ghz,
                                 double mem_lat_ns, double dt_s,
-                                double max_instructions);
+                                double max_instructions) PPEP_NONBLOCKING;
 
     /** Activity record for an idle (halted) core tick. */
     static CoreActivity idleTick();

@@ -108,7 +108,7 @@ FaultPlan::describe() const
 }
 
 std::size_t
-FaultCounters::total() const
+FaultCounters::total() const PPEP_NONBLOCKING
 {
     return msr_read_failures + pmc_slot_saturations + mux_dropped_ticks +
            diode_spikes + diode_stuck_ticks + diode_dropouts +
@@ -124,7 +124,7 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
 }
 
 bool
-FaultInjector::msrReadFails()
+FaultInjector::msrReadFails() PPEP_NONBLOCKING
 {
     if (plan_.msr_read_fail_p <= 0.0 ||
         !rng_.bernoulli(plan_.msr_read_fail_p))
@@ -134,7 +134,7 @@ FaultInjector::msrReadFails()
 }
 
 bool
-FaultInjector::muxTickDropped()
+FaultInjector::muxTickDropped() PPEP_NONBLOCKING
 {
     if (plan_.mux_dropout_p <= 0.0 ||
         !rng_.bernoulli(plan_.mux_dropout_p))
@@ -144,7 +144,7 @@ FaultInjector::muxTickDropped()
 }
 
 std::optional<std::size_t>
-FaultInjector::saturatedSlot(std::size_t n_slots)
+FaultInjector::saturatedSlot(std::size_t n_slots) PPEP_NONBLOCKING
 {
     if (plan_.pmc_slot_saturate_p <= 0.0 || plan_.pmc_wrap_bits == 0 ||
         n_slots == 0 || !rng_.bernoulli(plan_.pmc_slot_saturate_p))
@@ -154,7 +154,7 @@ FaultInjector::saturatedSlot(std::size_t n_slots)
 }
 
 double
-FaultInjector::corruptDiode(double reading_k)
+FaultInjector::corruptDiode(double reading_k) PPEP_NONBLOCKING
 {
     // A stuck diode wins over everything: the readout register simply
     // stops updating for a while.
@@ -182,7 +182,7 @@ FaultInjector::corruptDiode(double reading_k)
 }
 
 double
-FaultInjector::corruptSensor(double reading_w)
+FaultInjector::corruptSensor(double reading_w) PPEP_NONBLOCKING
 {
     if (plan_.sensor_dropout_p > 0.0 &&
         rng_.bernoulli(plan_.sensor_dropout_p)) {
@@ -199,7 +199,7 @@ FaultInjector::corruptSensor(double reading_w)
 }
 
 FaultInjector::VfWrite
-FaultInjector::onVfWrite()
+FaultInjector::onVfWrite() PPEP_NONBLOCKING
 {
     if (plan_.vf_reject_p > 0.0 && rng_.bernoulli(plan_.vf_reject_p)) {
         ++counters_.vf_rejects;
@@ -213,7 +213,7 @@ FaultInjector::onVfWrite()
 }
 
 std::size_t
-FaultInjector::jitterTicks(std::size_t nominal)
+FaultInjector::jitterTicks(std::size_t nominal) PPEP_NONBLOCKING
 {
     if (plan_.tick_jitter_p <= 0.0 || plan_.tick_jitter_max == 0 ||
         !rng_.bernoulli(plan_.tick_jitter_p))

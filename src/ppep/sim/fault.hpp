@@ -26,6 +26,7 @@
 #include <string>
 
 #include "ppep/util/rng.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -111,7 +112,7 @@ struct FaultCounters
     std::size_t jittered_intervals = 0;
 
     /** Sum of every counter (the "how broken was the run" number). */
-    std::size_t total() const;
+    std::size_t total() const PPEP_NONBLOCKING;
 };
 
 /**
@@ -129,19 +130,19 @@ class FaultInjector
     const FaultCounters &counters() const { return counters_; }
 
     /** Does this PMC read-out attempt fail? (Counts failures.) */
-    bool msrReadFails();
+    bool msrReadFails() PPEP_NONBLOCKING;
 
     /** Does this core-tick lose its multiplexer harvest? */
-    bool muxTickDropped();
+    bool muxTickDropped() PPEP_NONBLOCKING;
 
     /** Slot (if any) that saturates this core-tick. */
-    std::optional<std::size_t> saturatedSlot(std::size_t n_slots);
+    std::optional<std::size_t> saturatedSlot(std::size_t n_slots) PPEP_NONBLOCKING;
 
     /** Run a diode reading through the glitch model. */
-    double corruptDiode(double reading_k);
+    double corruptDiode(double reading_k) PPEP_NONBLOCKING;
 
     /** Run a sensor reading through the glitch model. */
-    double corruptSensor(double reading_w);
+    double corruptSensor(double reading_w) PPEP_NONBLOCKING;
 
     /** Outcome of one P-state write. */
     enum class VfWrite
@@ -150,10 +151,10 @@ class FaultInjector
         Reject, ///< silently dropped
         Delay,  ///< lands plan.vf_delay_ticks ticks from now
     };
-    VfWrite onVfWrite();
+    VfWrite onVfWrite() PPEP_NONBLOCKING;
 
     /** Jitter an interval's nominal tick count (never below 1). */
-    std::size_t jitterTicks(std::size_t nominal);
+    std::size_t jitterTicks(std::size_t nominal) PPEP_NONBLOCKING;
 
   private:
     FaultPlan plan_;

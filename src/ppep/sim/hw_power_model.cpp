@@ -8,7 +8,7 @@
 namespace ppep::sim {
 
 double
-PowerBreakdown::cuIdleTotal() const
+PowerBreakdown::cuIdleTotal() const PPEP_NONBLOCKING
 {
     double s = 0.0;
     for (double w : cu_idle)
@@ -17,7 +17,7 @@ PowerBreakdown::cuIdleTotal() const
 }
 
 double
-PowerBreakdown::coreDynamicTotal() const
+PowerBreakdown::coreDynamicTotal() const PPEP_NONBLOCKING
 {
     double s = 0.0;
     for (double w : core_dynamic)
@@ -33,14 +33,14 @@ HwPowerModel::HwPowerModel(const ChipConfig &cfg)
 }
 
 double
-HwPowerModel::dynScale(double voltage) const
+HwPowerModel::dynScale(double voltage) const PPEP_NONBLOCKING
 {
     return std::pow(voltage / vref_, cfg_.power.alpha_true);
 }
 
 double
 HwPowerModel::cuIdlePower(double voltage, double freq_ghz,
-                          double temp_k) const
+                          double temp_k) const PPEP_NONBLOCKING
 {
     const auto &p = cfg_.power;
     const double leak = p.cu_leak_ref_w *
@@ -52,7 +52,7 @@ HwPowerModel::cuIdlePower(double voltage, double freq_ghz,
 }
 
 double
-HwPowerModel::nbStaticPower(const VfState &nb_vf, double temp_k) const
+HwPowerModel::nbStaticPower(const VfState &nb_vf, double temp_k) const PPEP_NONBLOCKING
 {
     const auto &p = cfg_.power;
     const double leak = p.nb_leak_ref_w *
@@ -86,7 +86,7 @@ HwPowerModel::computeInto(const std::vector<CorePowerInput> &cores,
                           const std::vector<double> &cu_voltage,
                           const std::vector<double> &cu_freq_ghz,
                           const VfState &nb_vf, double temp_k,
-                          double dt_s, PowerBreakdown &out) const
+                          double dt_s, PowerBreakdown &out) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(cores.size() == cfg_.coreCount(), "core count mismatch");
     PPEP_ASSERT(cu_gated.size() == cfg_.n_cus &&
@@ -99,7 +99,10 @@ HwPowerModel::computeInto(const std::vector<CorePowerInput> &cores,
     out.base = p.base_power_w;
 
     // Per-CU idle (leakage + clock tree), with the gate applied.
+    // rt-escape: warm-up growth of the caller-owned breakdown.
+    PPEP_RT_WARMUP_BEGIN
     out.cu_idle.assign(cfg_.n_cus, 0.0);
+    PPEP_RT_WARMUP_END
     bool any_cu_alive = false;
     for (std::size_t cu = 0; cu < cfg_.n_cus; ++cu) {
         const double full =
@@ -116,7 +119,10 @@ HwPowerModel::computeInto(const std::vector<CorePowerInput> &cores,
     out.nb_static = nb_gated ? nb_full * p.pg_residual : nb_full;
 
     // Per-core switched energy + NB access energy.
+    // rt-escape: warm-up growth of the caller-owned breakdown.
+    PPEP_RT_WARMUP_BEGIN
     out.core_dynamic.assign(cores.size(), 0.0);
+    PPEP_RT_WARMUP_END
     double l3_rate = 0.0;
     double dram_rate = 0.0;
     for (std::size_t c = 0; c < cores.size(); ++c) {

@@ -27,6 +27,7 @@
 
 #include "ppep/sim/chip_config.hpp"
 #include "ppep/sim/core_model.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -55,9 +56,9 @@ struct PowerBreakdown
     std::vector<double> core_dynamic; ///< Per-core switched energy.
 
     /** Sum of per-CU idle power. */
-    double cuIdleTotal() const;
+    double cuIdleTotal() const PPEP_NONBLOCKING;
     /** Sum of per-core dynamic power. */
-    double coreDynamicTotal() const;
+    double coreDynamicTotal() const PPEP_NONBLOCKING;
 };
 
 /** Stateless ground-truth power evaluator. */
@@ -95,17 +96,17 @@ class HwPowerModel
                      const std::vector<double> &cu_voltage,
                      const std::vector<double> &cu_freq_ghz,
                      const VfState &nb_vf, double temp_k, double dt_s,
-                     PowerBreakdown &out) const;
+                     PowerBreakdown &out) const PPEP_NONBLOCKING;
 
     /** CU leakage+clock power at the given point (before gating). */
     double cuIdlePower(double voltage, double freq_ghz,
-                       double temp_k) const;
+                       double temp_k) const PPEP_NONBLOCKING;
 
     /** NB leakage+clock power at the given point (before gating). */
-    double nbStaticPower(const VfState &nb_vf, double temp_k) const;
+    double nbStaticPower(const VfState &nb_vf, double temp_k) const PPEP_NONBLOCKING;
 
     /** Voltage scale factor (v/vref)^alpha_true for switched energy. */
-    double dynScale(double voltage) const;
+    double dynScale(double voltage) const PPEP_NONBLOCKING;
 
   private:
     const ChipConfig &cfg_;

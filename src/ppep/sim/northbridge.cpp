@@ -13,27 +13,27 @@ NorthBridge::NorthBridge(const ChipConfig &cfg)
 }
 
 void
-NorthBridge::setVf(const VfState &vf)
+NorthBridge::setVf(const VfState &vf) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(vf.freq_ghz > 0.0 && vf.voltage > 0.0, "bad NB VF state");
     vf_ = vf;
 }
 
 double
-NorthBridge::l3LatencyNs() const
+NorthBridge::l3LatencyNs() const PPEP_NONBLOCKING
 {
     return cfg_.nb.l3_latency_cycles / vf_.freq_ghz;
 }
 
 double
-NorthBridge::dramLatencyNs() const
+NorthBridge::dramLatencyNs() const PPEP_NONBLOCKING
 {
     return cfg_.nb.dram_fixed_ns +
            cfg_.nb.mc_latency_cycles / vf_.freq_ghz;
 }
 
 double
-NorthBridge::coreLatencyNs(double l3_miss_rate, double queue_factor) const
+NorthBridge::coreLatencyNs(double l3_miss_rate, double queue_factor) const PPEP_NONBLOCKING
 {
     return l3LatencyNs() * (1.0 - l3_miss_rate) +
            dramLatencyNs() * queue_factor * l3_miss_rate;
@@ -49,9 +49,12 @@ NorthBridge::resolve(const std::vector<CoreDemand> &demands) const
 
 void
 NorthBridge::resolveInto(const std::vector<CoreDemand> &demands,
-                         NbResolution &res) const
+                         NbResolution &res) const PPEP_NONBLOCKING
 {
+    // rt-escape: warm-up growth of the caller-owned resolution buffer.
+    PPEP_RT_WARMUP_BEGIN
     res.mem_lat_ns.assign(demands.size(), 0.0);
+    PPEP_RT_WARMUP_END
     res.utilization = 0.0;
     res.queue_factor = 1.0;
     if (demands.empty())

@@ -18,6 +18,7 @@
 
 #include "ppep/sim/chip_config.hpp"
 #include "ppep/sim/core_model.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -51,22 +52,22 @@ class NorthBridge
     explicit NorthBridge(const ChipConfig &cfg);
 
     /** Current NB operating point. */
-    const VfState &vf() const { return vf_; }
+    const VfState &vf() const PPEP_NONBLOCKING { return vf_; }
 
     /** Change the NB operating point (the Sec. V-C2 what-if). */
-    void setVf(const VfState &vf);
+    void setVf(const VfState &vf) PPEP_NONBLOCKING;
 
     /** L3 hit latency at the current NB frequency, nanoseconds. */
-    double l3LatencyNs() const;
+    double l3LatencyNs() const PPEP_NONBLOCKING;
 
     /** Uncontended DRAM access latency, nanoseconds. */
-    double dramLatencyNs() const;
+    double dramLatencyNs() const PPEP_NONBLOCKING;
 
     /**
      * Average leading-load latency for a core whose L3 accesses miss to
      * DRAM with probability @p l3_miss_rate, given a DRAM queueing factor.
      */
-    double coreLatencyNs(double l3_miss_rate, double queue_factor) const;
+    double coreLatencyNs(double l3_miss_rate, double queue_factor) const PPEP_NONBLOCKING;
 
     /**
      * Resolve the contention fixed point for one tick: given every busy
@@ -80,7 +81,7 @@ class NorthBridge
      * the allocation-free per-tick path.
      */
     void resolveInto(const std::vector<CoreDemand> &demands,
-                     NbResolution &res) const;
+                     NbResolution &res) const PPEP_NONBLOCKING;
 
   private:
     const ChipConfig &cfg_;

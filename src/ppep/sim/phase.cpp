@@ -1,5 +1,7 @@
 #include "ppep/sim/phase.hpp"
 
+#include <functional>
+
 #include "ppep/util/logging.hpp"
 
 namespace ppep::sim {
@@ -29,7 +31,10 @@ Phase::validate() const
 }
 
 Job::Job(std::string name, std::vector<Phase> phases, bool looping)
-    : name_(std::move(name)), phases_(std::move(phases)), looping_(looping)
+    : name_(std::move(name)),
+      name_hash_(std::hash<std::string>{}(name_)),
+      phases_(std::move(phases)),
+      looping_(looping)
 {
     PPEP_ASSERT(!phases_.empty(), "job '", name_, "' has no phases");
     for (const auto &p : phases_)
@@ -37,21 +42,21 @@ Job::Job(std::string name, std::vector<Phase> phases, bool looping)
 }
 
 const Phase &
-Job::currentPhase() const
+Job::currentPhase() const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(!finished_, "currentPhase() on a finished job");
     return phases_[phase_index_];
 }
 
 std::size_t
-Job::currentPhaseIndex() const
+Job::currentPhaseIndex() const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(!finished_, "currentPhaseIndex() on a finished job");
     return phase_index_;
 }
 
 double
-Job::advance(double instructions)
+Job::advance(double instructions) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(instructions >= 0.0, "cannot advance backwards");
     double remaining = instructions;

@@ -17,8 +17,11 @@
 #define PPEP_SIM_PHASE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -90,21 +93,29 @@ class Job
     /** Job/benchmark name (e.g. "433.milc"). */
     const std::string &name() const { return name_; }
 
+    /**
+     * std::hash of name(), cached at construction. The chip derives its
+     * hidden per-phase activity factor from this every tick; hashing
+     * the string there would put O(name length) work — and a read of a
+     * heap-allocated buffer — on the per-tick critical path.
+     */
+    std::uint64_t nameHash() const PPEP_NONBLOCKING { return name_hash_; }
+
     /** Current phase. @pre !finished(). */
-    const Phase &currentPhase() const;
+    const Phase &currentPhase() const PPEP_NONBLOCKING;
 
     /** Index of the current phase. @pre !finished(). */
-    std::size_t currentPhaseIndex() const;
+    std::size_t currentPhaseIndex() const PPEP_NONBLOCKING;
 
     /** True once every phase has been fully executed (never for loops). */
-    bool finished() const { return finished_; }
+    bool finished() const PPEP_NONBLOCKING { return finished_; }
 
     /**
      * Consume @p instructions retired instructions, advancing through
      * phase boundaries. Returns the number actually consumed (less than
      * requested only if the job finishes mid-tick).
      */
-    double advance(double instructions);
+    double advance(double instructions) PPEP_NONBLOCKING;
 
     /** Total instructions retired so far. */
     double instructionsRetired() const { return retired_; }
@@ -123,6 +134,7 @@ class Job
 
   private:
     std::string name_;
+    std::uint64_t name_hash_ = 0;
     std::vector<Phase> phases_;
     bool looping_ = false;
     std::size_t phase_index_ = 0;

@@ -33,7 +33,7 @@ PmcBank::setWrapBits(unsigned bits)
 }
 
 double
-PmcBank::maxCount() const
+PmcBank::maxCount() const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(wrap_bits_ > 0, "unbounded counters have no full scale");
     return wrap_modulus_ - 1.0;
@@ -61,7 +61,7 @@ PmcBank::read(std::size_t slot) const
 }
 
 void
-PmcBank::write(std::size_t slot, double value)
+PmcBank::write(std::size_t slot, double value) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(slot < slots_.size(), "slot ", slot, " out of range");
     PPEP_ASSERT(value >= 0.0, "counters hold non-negative counts");
@@ -69,7 +69,7 @@ PmcBank::write(std::size_t slot, double value)
 }
 
 void
-PmcBank::observe(const EventVector &true_counts)
+PmcBank::observe(const EventVector &true_counts) PPEP_NONBLOCKING
 {
     for (auto &slot : slots_) {
         if (!slot.event)
@@ -123,7 +123,7 @@ PmcMultiplexer::programCurrentGroup()
 }
 
 void
-PmcMultiplexer::afterTick()
+PmcMultiplexer::afterTick() PPEP_NONBLOCKING
 {
     // Harvest what the hardware just counted for the active group.
     const std::size_t width = bank_.counterCount();
@@ -140,7 +140,7 @@ PmcMultiplexer::afterTick()
 }
 
 EventVector
-PmcMultiplexer::readAndReset()
+PmcMultiplexer::readAndReset() PPEP_NONBLOCKING
 {
     EventVector out{};
     for (std::size_t i = 0; i < events_.size(); ++i) {
@@ -152,7 +152,11 @@ PmcMultiplexer::readAndReset()
         }
     }
     accum_ = EventVector{};
+    // rt-escape: assign() at the fixed group count reuses capacity
+    // sized in the constructor; never reallocates.
+    PPEP_RT_WARMUP_BEGIN
     group_ticks_.assign(n_groups_, 0);
+    PPEP_RT_WARMUP_END
     total_ticks_ = 0;
     return out;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ppep/sim/events.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -46,7 +47,7 @@ class PmcBank
     explicit PmcBank(std::size_t n_counters);
 
     /** Number of physical slots. */
-    std::size_t counterCount() const { return slots_.size(); }
+    std::size_t counterCount() const PPEP_NONBLOCKING { return slots_.size(); }
 
     /**
      * Bound every slot at 2^bits (counts wrap on overflow, like the real
@@ -59,10 +60,10 @@ class PmcBank
     unsigned wrapBits() const { return wrap_bits_; }
 
     /** Largest representable count (2^bits - 1); unbounded when 0 bits. */
-    double maxCount() const;
+    double maxCount() const PPEP_NONBLOCKING;
 
     /** Number of wraparounds observe() has performed since construction. */
-    std::size_t wrapEvents() const { return wrap_events_; }
+    std::size_t wrapEvents() const PPEP_NONBLOCKING { return wrap_events_; }
 
     /** Select the event a slot counts (nullopt disables the slot). */
     void program(std::size_t slot, std::optional<Event> event);
@@ -74,13 +75,13 @@ class PmcBank
     double read(std::size_t slot) const;
 
     /** Overwrite a slot's accumulated count (wrmsr to the CTR). */
-    void write(std::size_t slot, double value);
+    void write(std::size_t slot, double value) PPEP_NONBLOCKING;
 
     /**
      * Hardware tick: every enabled slot accumulates its selected
      * event's true count.
      */
-    void observe(const EventVector &true_counts);
+    void observe(const EventVector &true_counts) PPEP_NONBLOCKING;
 
   private:
     struct Slot
@@ -126,7 +127,7 @@ class PmcMultiplexer
      * Harvest the just-observed group's counts from the bank and rotate
      * to the next group. Call after every hardware tick.
      */
-    void afterTick();
+    void afterTick() PPEP_NONBLOCKING;
 
     /**
      * Extrapolated per-event counts for the ticks observed since the
@@ -140,10 +141,10 @@ class PmcMultiplexer
      * "counted nothing" from "never scheduled" should check
      * ticksSinceReset() against groupCount() before reading.
      */
-    EventVector readAndReset();
+    EventVector readAndReset() PPEP_NONBLOCKING;
 
     /** Ticks observed since last reset. */
-    std::size_t ticksSinceReset() const { return total_ticks_; }
+    std::size_t ticksSinceReset() const PPEP_NONBLOCKING { return total_ticks_; }
 
   private:
     PmcBank &bank_;

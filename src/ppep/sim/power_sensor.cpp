@@ -11,7 +11,7 @@ PowerSensor::PowerSensor(const SensorConfig &cfg, util::Rng rng)
 }
 
 double
-PowerSensor::sample(double true_power_w)
+PowerSensor::sample(double true_power_w) PPEP_NONBLOCKING
 {
     const double gain = 1.0 + rng_.gaussian(0.0, cfg_.noise_fraction);
     const double noisy = true_power_w * gain +

@@ -14,6 +14,7 @@
 
 #include "ppep/sim/chip_config.hpp"
 #include "ppep/util/rng.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -24,7 +25,7 @@ class PowerSensor
     PowerSensor(const SensorConfig &cfg, util::Rng rng);
 
     /** One 20 ms reading of @p true_power_w watts. */
-    double sample(double true_power_w);
+    double sample(double true_power_w) PPEP_NONBLOCKING;
 
   private:
     const SensorConfig cfg_;

@@ -12,7 +12,7 @@ ThermalModel::ThermalModel(const ThermalConfig &cfg)
 }
 
 void
-ThermalModel::step(double power_w, double dt_s)
+ThermalModel::step(double power_w, double dt_s) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(dt_s > 0.0, "non-positive thermal step");
     PPEP_ASSERT(power_w >= 0.0, "negative power");
@@ -22,7 +22,7 @@ ThermalModel::step(double power_w, double dt_s)
 }
 
 double
-ThermalModel::diodeReading() const
+ThermalModel::diodeReading() const PPEP_NONBLOCKING
 {
     const double q = cfg_.diode_quantum_k;
     return std::round(temp_k_ / q) * q;

@@ -13,6 +13,7 @@
 #define PPEP_SIM_THERMAL_MODEL_HPP
 
 #include "ppep/sim/chip_config.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -28,13 +29,13 @@ class ThermalModel
      * Exact exponential update (unconditionally stable for any dt):
      * T -> T_ss + (T - T_ss) * exp(-dt/tau), T_ss = T_amb + R * P.
      */
-    void step(double power_w, double dt_s);
+    void step(double power_w, double dt_s) PPEP_NONBLOCKING;
 
     /** True junction temperature, kelvin. */
-    double temperature() const { return temp_k_; }
+    double temperature() const PPEP_NONBLOCKING { return temp_k_; }
 
     /** Diode readout: quantised junction temperature, kelvin. */
-    double diodeReading() const;
+    double diodeReading() const PPEP_NONBLOCKING;
 
     /** Steady-state temperature this power level would settle at. */
     double steadyState(double power_w) const;

@@ -18,7 +18,7 @@ VfTable::VfTable(std::vector<VfState> states) : states_(std::move(states))
 }
 
 const VfState &
-VfTable::state(std::size_t index) const
+VfTable::state(std::size_t index) const PPEP_NONBLOCKING
 {
     PPEP_ASSERT(index < states_.size(), "VF index ", index, " out of range");
     return states_[index];

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <string>
 #include <vector>
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::sim {
 
@@ -43,10 +44,10 @@ class VfTable
     std::size_t size() const { return states_.size(); }
 
     /** State by ascending index (0 = VF1). @pre index < size(). */
-    const VfState &state(std::size_t index) const;
+    const VfState &state(std::size_t index) const PPEP_NONBLOCKING;
 
     /** Index of the top (fastest) state. */
-    std::size_t top() const { return states_.size() - 1; }
+    std::size_t top() const PPEP_NONBLOCKING { return states_.size() - 1; }
 
     /** Human-readable name, "VF1".."VFn", by ascending index. */
     std::string name(std::size_t index) const;

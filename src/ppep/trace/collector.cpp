@@ -15,7 +15,7 @@ Collector::collectInterval()
 }
 
 void
-Collector::collectIntervalInto(IntervalRecord &rec)
+Collector::collectIntervalInto(IntervalRecord &rec) PPEP_NONBLOCKING
 {
     const auto &cfg = chip_.config();
     const std::size_t n_cores = cfg.coreCount();
@@ -31,13 +31,16 @@ Collector::collectIntervalInto(IntervalRecord &rec)
     rec.true_temp_k = 0.0;
     rec.nb_utilization = 0.0;
     rec.busy_cores = 0;
+    // rt-escape: warm-up growth of the caller-owned record and member
+    // scratch; no-ops once sized (test_zero_alloc).
+    PPEP_RT_WARMUP_BEGIN
     rec.oracle.assign(n_cores, sim::EventVector{});
     rec.cu_vf.resize(cfg.n_cus);
+    retired_.assign(n_cores, 0.0);
+    PPEP_RT_WARMUP_END
     for (std::size_t cu = 0; cu < cfg.n_cus; ++cu)
         rec.cu_vf[cu] = chip_.cuVf(cu);
     rec.nb_vf = chip_.nbVf();
-
-    retired_.assign(n_cores, 0.0);
     for (std::size_t t = 0; t < n_ticks; ++t) {
         chip_.stepInto(tick_);
         rec.sensor_power_w += tick_.sensor_power_w;
@@ -70,7 +73,10 @@ Collector::collectIntervalInto(IntervalRecord &rec)
     rec.true_temp_k *= inv;
     rec.nb_utilization *= inv;
 
+    // rt-escape: warm-up growth of the record's PMC vector.
+    PPEP_RT_WARMUP_BEGIN
     rec.pmc.resize(n_cores);
+    PPEP_RT_WARMUP_END
     for (std::size_t c = 0; c < n_cores; ++c) {
         rec.pmc[c] = chip_.readPmc(c);
         if (retired_[c] > 0.0)

@@ -15,6 +15,7 @@
 
 #include "ppep/sim/chip.hpp"
 #include "ppep/trace/interval.hpp"
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::trace {
 
@@ -38,9 +39,14 @@ class IntervalSource
      * The default forwards to collectInterval(); sources with a hot path
      * override it.
      */
-    virtual void collectIntervalInto(IntervalRecord &rec)
+    virtual void collectIntervalInto(IntervalRecord &rec) PPEP_NONBLOCKING
     {
+        // rt-escape: legacy fallback — collectInterval() builds a fresh
+        // record by contract. Sources used in the fleet steady state
+        // (Collector, Sampler) override this with allocation-free paths.
+        PPEP_RT_WARMUP_BEGIN
         rec = collectInterval();
+        PPEP_RT_WARMUP_END
     }
 };
 
@@ -54,7 +60,7 @@ class Collector : public IntervalSource
     IntervalRecord collectInterval() override;
 
     /** Allocation-free collectInterval() (bit-identical outputs). */
-    void collectIntervalInto(IntervalRecord &rec) override;
+    void collectIntervalInto(IntervalRecord &rec) PPEP_NONBLOCKING override;
 
     /** Collect @p n intervals back to back. */
     std::vector<IntervalRecord> collect(std::size_t n);

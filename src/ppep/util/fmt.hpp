@@ -31,6 +31,8 @@
 #include <string_view>
 #include <vector>
 
+#include "ppep/util/annotations.hpp"
+
 namespace ppep::util::fmt {
 
 /**
@@ -49,25 +51,38 @@ inline constexpr std::size_t kMaxU64Chars = 20;
  * least kMaxDoubleChars bytes (to_chars then cannot fail).
  */
 inline char *
-writeDouble(char *first, char *last, double v)
+writeDouble(char *first, char *last, double v) PPEP_NONALLOCATING
 {
+    // rt-escape: std::to_chars is opaque to the effect analysis but
+    // writes into the caller's range without touching the heap.
+    PPEP_RT_OPAQUE_BEGIN
     return std::to_chars(first, last, v).ptr;
+    PPEP_RT_OPAQUE_END
 }
 
 /** Fixed-notation double with @p precision fractional digits. */
 inline char *
 writeFixed(char *first, char *last, double v, int precision)
+    PPEP_NONALLOCATING
 {
+    // rt-escape: std::to_chars is opaque to the effect analysis but
+    // writes into the caller's range without touching the heap.
+    PPEP_RT_OPAQUE_BEGIN
     return std::to_chars(first, last, v, std::chars_format::fixed,
                          precision)
         .ptr;
+    PPEP_RT_OPAQUE_END
 }
 
 /** Decimal unsigned integer into [first, last). */
 inline char *
-writeU64(char *first, char *last, std::uint64_t v)
+writeU64(char *first, char *last, std::uint64_t v) PPEP_NONALLOCATING
 {
+    // rt-escape: std::to_chars is opaque to the effect analysis but
+    // writes into the caller's range without touching the heap.
+    PPEP_RT_OPAQUE_BEGIN
     return std::to_chars(first, last, v).ptr;
+    PPEP_RT_OPAQUE_END
 }
 
 /**
@@ -81,28 +96,39 @@ class RowBuffer
   public:
     explicit RowBuffer(std::size_t capacity = 256) { buf_.reserve(capacity); }
 
-    void clear() { buf_.clear(); }
+    void clear() PPEP_NONALLOCATING { buf_.clear(); }
 
     const char *data() const { return buf_.data(); }
     std::size_t size() const { return buf_.size(); }
     std::string_view view() const { return {buf_.data(), buf_.size()}; }
 
-    void append(char c) { buf_.push_back(c); }
-
-    void append(std::string_view s)
+    void append(char c) PPEP_NONALLOCATING
     {
+        // rt-escape: push_back allocates only on capacity growth, which
+        // converges after the first few rows (warm-up growth).
+        PPEP_RT_WARMUP_BEGIN
+        buf_.push_back(c);
+        PPEP_RT_WARMUP_END
+    }
+
+    void append(std::string_view s) PPEP_NONALLOCATING
+    {
+        // rt-escape: insert allocates only on capacity growth, which
+        // converges after the first few rows (warm-up growth).
+        PPEP_RT_WARMUP_BEGIN
         buf_.insert(buf_.end(), s.begin(), s.end());
+        PPEP_RT_WARMUP_END
     }
 
     /** Shortest round-trip decimal (see writeDouble). */
-    void appendDouble(double v)
+    void appendDouble(double v) PPEP_NONALLOCATING
     {
         char *p = grow(kMaxDoubleChars);
         shrink(writeDouble(p, p + kMaxDoubleChars, v));
     }
 
     /** JSON number: finite values round-trip, NaN/inf become null. */
-    void appendJsonDouble(double v)
+    void appendJsonDouble(double v) PPEP_NONALLOCATING
     {
         if (std::isfinite(v))
             appendDouble(v);
@@ -111,7 +137,7 @@ class RowBuffer
     }
 
     /** Fixed-notation double (human-facing summaries, not traces). */
-    void appendFixed(double v, int precision)
+    void appendFixed(double v, int precision) PPEP_NONALLOCATING
     {
         // Fixed notation of a huge double can need ~310 integral digits.
         const std::size_t need =
@@ -121,7 +147,7 @@ class RowBuffer
         shrink(writeFixed(p, p + need, v, precision));
     }
 
-    void appendU64(std::uint64_t v)
+    void appendU64(std::uint64_t v) PPEP_NONALLOCATING
     {
         char *p = grow(kMaxU64Chars);
         shrink(writeU64(p, p + kMaxU64Chars, v));
@@ -129,17 +155,26 @@ class RowBuffer
 
   private:
     /** Make room for @p n more bytes; return the write cursor. */
-    char *grow(std::size_t n)
+    char *grow(std::size_t n) PPEP_NONALLOCATING
     {
         const std::size_t len = buf_.size();
+        // rt-escape: resize allocates only on capacity growth, which
+        // converges after the first few rows (warm-up growth).
+        PPEP_RT_WARMUP_BEGIN
         buf_.resize(len + n);
+        PPEP_RT_WARMUP_END
         return buf_.data() + len;
     }
 
     /** Drop the unused tail after an in-place write ending at @p end. */
-    void shrink(char *end)
+    void shrink(char *end) PPEP_NONALLOCATING
     {
+        // rt-escape: shrinking resize never reallocates a vector<char>;
+        // the growth branch inside resize() is statically visible to
+        // the analysis but unreachable here. RTSan verifies at runtime.
+        PPEP_RT_OPAQUE_BEGIN
         buf_.resize(static_cast<std::size_t>(end - buf_.data()));
+        PPEP_RT_OPAQUE_END
     }
 
     std::vector<char> buf_;

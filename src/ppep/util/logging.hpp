@@ -14,6 +14,8 @@
 #include <sstream>
 #include <string>
 
+#include "ppep/util/annotations.hpp"
+
 namespace ppep::util {
 
 /** Terminate with an internal-error message; never returns. */
@@ -61,11 +63,22 @@ concat(Args &&...args)
 #define PPEP_INFORM(...) \
     ::ppep::util::informImpl(::ppep::util::detail::concat(__VA_ARGS__))
 
-/** Assert an internal invariant; compiled in all build types. */
+/**
+ * Assert an internal invariant; compiled in all build types.
+ *
+ * Usable inside PPEP_NONBLOCKING functions: the failure branch
+ * allocates (message formatting) and then aborts, so it is wrapped in
+ * an rt-escape — a dying process has no real-time obligations. The
+ * condition itself is evaluated outside the escape and stays checked.
+ */
 #define PPEP_ASSERT(cond, ...) \
     do { \
         if (!(cond)) { \
+            /* rt-escape: assertion failure path — formats a message \
+               and aborts; the process is already past recovery. */ \
+            PPEP_RT_WARMUP_BEGIN \
             PPEP_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+            PPEP_RT_WARMUP_END \
         } \
     } while (0)
 

@@ -35,7 +35,7 @@ Rng::Rng(std::uint64_t seed)
 }
 
 std::uint64_t
-Rng::next()
+Rng::next() PPEP_NONBLOCKING
 {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;
@@ -51,20 +51,20 @@ Rng::next()
 }
 
 double
-Rng::uniform()
+Rng::uniform() PPEP_NONBLOCKING
 {
     // 53 random mantissa bits -> [0, 1).
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double
-Rng::uniform(double lo, double hi)
+Rng::uniform(double lo, double hi) PPEP_NONBLOCKING
 {
     return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t
-Rng::uniformInt(std::uint64_t n)
+Rng::uniformInt(std::uint64_t n) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(n > 0, "uniformInt needs n > 0");
     // Rejection sampling to avoid modulo bias.
@@ -77,7 +77,7 @@ Rng::uniformInt(std::uint64_t n)
 }
 
 double
-Rng::gaussian()
+Rng::gaussian() PPEP_NONBLOCKING
 {
     if (has_cached_gauss_) {
         has_cached_gauss_ = false;
@@ -96,13 +96,13 @@ Rng::gaussian()
 }
 
 double
-Rng::gaussian(double mean, double sd)
+Rng::gaussian(double mean, double sd) PPEP_NONBLOCKING
 {
     return mean + sd * gaussian();
 }
 
 bool
-Rng::bernoulli(double p)
+Rng::bernoulli(double p) PPEP_NONBLOCKING
 {
     return uniform() < p;
 }

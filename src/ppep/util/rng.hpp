@@ -13,6 +13,7 @@
 #define PPEP_UTIL_RNG_HPP
 
 #include <cstdint>
+#include "ppep/util/annotations.hpp"
 
 namespace ppep::util {
 
@@ -29,25 +30,25 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
     /** Next raw 64-bit output. */
-    std::uint64_t next();
+    std::uint64_t next() PPEP_NONBLOCKING;
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform() PPEP_NONBLOCKING;
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi) PPEP_NONBLOCKING;
 
     /** Uniform integer in [0, n). @pre n > 0. */
-    std::uint64_t uniformInt(std::uint64_t n);
+    std::uint64_t uniformInt(std::uint64_t n) PPEP_NONBLOCKING;
 
     /** Standard normal via Box-Muller (cached second deviate). */
-    double gaussian();
+    double gaussian() PPEP_NONBLOCKING;
 
     /** Normal with the given mean and standard deviation. */
-    double gaussian(double mean, double sd);
+    double gaussian(double mean, double sd) PPEP_NONBLOCKING;
 
     /** Bernoulli trial with success probability p. */
-    bool bernoulli(double p);
+    bool bernoulli(double p) PPEP_NONBLOCKING;
 
     /**
      * Fork an independent substream keyed by @p stream_id. Forked streams

@@ -92,9 +92,10 @@ TEST(FaultSoak, TenThousandIntervalsStaySane)
         // A degraded decision never selects boost for the next
         // interval (no VF faults can raise a request, only drop/delay
         // a lower one, so the applied state stays in the table).
-        if (i + 1 < n && flags.degraded[i])
+        if (i + 1 < n && flags.degraded[i]) {
             for (std::size_t v : steps[i + 1].cu_vf)
                 ASSERT_LE(v, top) << "interval " << i;
+        }
     }
 
     // The plan is aggressive enough that the run visits the degraded

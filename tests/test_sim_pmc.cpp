@@ -228,8 +228,9 @@ TEST(MuxZeroCoverage, ZeroTickGroupReadsExactlyZero)
     ASSERT_EQ(mux.ticksSinceReset(), 1u);
     const auto read = mux.readAndReset();
     for (std::size_t i = 0; i < kNumEvents; ++i) {
-        if (mux.groupOf(static_cast<Event>(i)) == 1u)
+        if (mux.groupOf(static_cast<Event>(i)) == 1u) {
             EXPECT_DOUBLE_EQ(read[i], 0.0) << "event " << i;
+        }
     }
 }
 

@@ -1,0 +1,8 @@
+// lint-as: runtime/leaky.cpp
+// Fixture: a naked `new` must trip `allocation`.
+namespace ppep {
+struct Widget {
+    int x = 0;
+};
+Widget *make() { return new Widget(); }
+} // namespace ppep

@@ -1,0 +1,7 @@
+// lint-as: governor/hot.cpp
+// Fixture: std::to_string outside util/fmt.hpp must trip `formatting`.
+#include <string>
+
+namespace ppep {
+std::string label(int cu) { return "cu" + std::to_string(cu); }
+} // namespace ppep

@@ -1,0 +1,11 @@
+// lint-as: util/wrong_guard.hpp
+// Fixture: a header whose guard does not match the canonical
+// PPEP_<PATH>_HPP token must trip `guards`.
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+namespace ppep {
+inline int three() { return 3; }
+} // namespace ppep
+
+#endif

@@ -1,0 +1,9 @@
+// lint-as: governor/energy_governor.cpp
+// Fixture: a mutex acquisition in a HOT_FILES entry must trip
+// `hot-files`.
+#include <mutex>
+
+namespace ppep {
+std::mutex m;
+void decide() { std::lock_guard<std::mutex> g(m); }
+} // namespace ppep

@@ -1,0 +1,17 @@
+// lint-as: model/undocumented.hpp
+// Fixture: a public model prototype without a doc comment must trip
+// `model-docs` (the file-level anchor is present so only the missing
+// method doc fires; see Eq. 1).
+#ifndef PPEP_MODEL_UNDOCUMENTED_HPP
+#define PPEP_MODEL_UNDOCUMENTED_HPP
+
+namespace ppep::model {
+
+class Undocumented {
+  public:
+    double predict(double ipc, double freq_mhz) const;
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_UNDOCUMENTED_HPP

@@ -1,0 +1,6 @@
+// lint-as: sim/suppressed.cpp
+// Fixture: a NOLINT without a named check and reason must trip
+// `nolint`.
+namespace ppep {
+int shift(int x) { return x << 3; } // NOLINT
+} // namespace ppep

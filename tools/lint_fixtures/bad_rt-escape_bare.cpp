@@ -1,0 +1,13 @@
+// lint-as: model/bare_escape.cpp
+// Fixture: an escape region without an `rt-escape:` justification
+// comment must trip the rule named after that marker.
+#include <vector>
+
+namespace ppep {
+void warm(std::vector<double> &v, int n)
+{
+    PPEP_RT_WARMUP_BEGIN
+    v.assign(n, 0.0);
+    PPEP_RT_WARMUP_END
+}
+} // namespace ppep

@@ -1,0 +1,24 @@
+// lint-as: governor/energy_governor.cpp
+// Fixture: a clean hot-path file — justified escape, reasoned
+// suppression, no banned calls — must produce zero findings.
+#include <vector>
+
+namespace ppep {
+
+void warm(std::vector<double> &v, unsigned n)
+{
+    // rt-escape: assign() at the fixed CU count reuses capacity sized
+    // at construction; allocation only on the first (warm-up) call.
+    PPEP_RT_WARMUP_BEGIN
+    v.assign(n, 0.0);
+    PPEP_RT_WARMUP_END
+}
+
+int fold(int x)
+{
+    // NOLINT(bugprone-fold-init-type): fixture exercises the reasoned
+    // suppression form.
+    return x;
+}
+
+} // namespace ppep

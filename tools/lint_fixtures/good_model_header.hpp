@@ -1,0 +1,25 @@
+// lint-as: model/documented.hpp
+// Fixture: a canonically guarded, anchor-citing, fully documented model
+// header must produce zero findings.
+#ifndef PPEP_MODEL_DOCUMENTED_HPP
+#define PPEP_MODEL_DOCUMENTED_HPP
+
+namespace ppep::model {
+
+/** Per-core CPI estimator (Eq. 3 of the paper). */
+class Documented {
+  public:
+    /** Predicted cycles-per-instruction at the target VF state
+     *  (Eq. 3): a linear combination of PMC-derived event rates. */
+    double predict(double ipc, double freq_mhz) const;
+
+    /** Number of fitted coefficients. */
+    int coefficients() const { return n_; }
+
+  private:
+    int n_ = 0;
+};
+
+} // namespace ppep::model
+
+#endif // PPEP_MODEL_DOCUMENTED_HPP
