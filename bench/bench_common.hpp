@@ -11,8 +11,10 @@
 #define PPEP_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -150,6 +152,25 @@ class BenchJson
     std::string path_;
     std::vector<Row> rows_;
 };
+
+/**
+ * Minimal extractor for the BenchJson schema: the value of the first
+ * row whose "metric" matches. NaN when absent. Used by the --check
+ * modes that compare a fresh run against a committed baseline file.
+ */
+inline double
+baselineValue(const std::string &json, const std::string &metric)
+{
+    const std::string tag = "\"metric\": \"" + metric + "\"";
+    auto pos = json.find(tag);
+    if (pos == std::string::npos)
+        return std::numeric_limits<double>::quiet_NaN();
+    const std::string vtag = "\"value\": ";
+    pos = json.find(vtag, pos);
+    if (pos == std::string::npos)
+        return std::numeric_limits<double>::quiet_NaN();
+    return std::strtod(json.c_str() + pos + vtag.size(), nullptr);
+}
 
 } // namespace ppep::bench
 

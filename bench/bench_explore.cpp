@@ -106,24 +106,6 @@ class NullStreambuf : public std::streambuf
     }
 };
 
-/**
- * Minimal extractor for the BenchJson schema: the value of the first
- * row whose "metric" matches. NaN when absent.
- */
-double
-baselineValue(const std::string &json, const std::string &metric)
-{
-    const std::string tag = "\"metric\": \"" + metric + "\"";
-    auto pos = json.find(tag);
-    if (pos == std::string::npos)
-        return std::numeric_limits<double>::quiet_NaN();
-    const std::string vtag = "\"value\": ";
-    pos = json.find(vtag, pos);
-    if (pos == std::string::npos)
-        return std::numeric_limits<double>::quiet_NaN();
-    return std::strtod(json.c_str() + pos + vtag.size(), nullptr);
-}
-
 } // namespace
 
 int
@@ -216,7 +198,8 @@ main(int argc, char **argv)
         std::stringstream buf;
         buf << in.rdbuf();
         const double base_speedup =
-            baselineValue(buf.str(), "speedup_batched_vs_scalar");
+            bench::baselineValue(buf.str(),
+                                 "speedup_batched_vs_scalar");
         if (!(base_speedup > 0.0)) {
             std::fprintf(stderr,
                          "baseline %s has no usable "

@@ -1,17 +1,38 @@
 /**
  * @file
- * Fleet throughput bench: N independent governed sessions over one
- * shared immutable Ppep, scaled across a worker pool.
+ * Fleet throughput bench: N independent governed sessions over an
+ * immutable model registry, scaled across a worker pool.
  *
- * Measures sessions/sec and intervals/sec at 1/2/4/8 threads and
- * cross-checks the determinism contract: every session's telemetry
- * digest must be bit-identical to the serial run at every thread
- * count. Results land in BENCH_fleet.json (schema: bench_common.hpp).
+ * Two scenarios:
+ *   - homogeneous: 8 FX-8320 sessions over one shared Ppep (the
+ *     original fleet bench);
+ *   - heterogeneous: 8 sessions across three distinct platforms
+ *     (FX-8320, Phenom II, FX-8320 NB-DVFS) with two tenants sharing
+ *     the first FX chip — one model-registry entry per platform,
+ *     per-tenant attribution columns in the telemetry stream.
+ *
+ * Both scale across 1/2/4/8 threads and cross-check the determinism
+ * contract: every session's telemetry digest must be bit-identical to
+ * the serial run at every thread count.
+ *
+ * Modes:
+ *   bench_fleet                full run, writes BENCH_fleet.json
+ *   bench_fleet --quick        shorter timed sections (CI smoke)
+ *   bench_fleet --check FILE   compare against a committed baseline
+ *                              instead of writing one: fails on any
+ *                              digest mismatch, or when the mixed
+ *                              fleet's intervals/s falls below 30% of
+ *                              the homogeneous fleet's, or regresses
+ *                              more than 25% against the committed
+ *                              ratio. The ratio is host-normalized by
+ *                              construction — both sides run here.
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <ostream>
+#include <sstream>
 #include <streambuf>
 #include <thread>
 
@@ -25,6 +46,9 @@ namespace {
 
 using namespace ppep;
 
+constexpr double kMixedRatioFloor = 0.3;  // acceptance criterion
+constexpr double kRegressionBand = 1.25;  // vs committed baseline
+
 /** Distinct 2-CU mixes rotated across the fleet's sessions. */
 const std::vector<std::vector<std::string>> kMixes = {
     {"429.mcf", "458.sjeng"},
@@ -33,16 +57,36 @@ const std::vector<std::vector<std::string>> kMixes = {
     {"458.sjeng", "416.gamess"},
 };
 
+std::vector<const workloads::Combination *>
+trainingSet(bool quick)
+{
+    if (!quick)
+        return bench::singleProgramCombos();
+    // CI smoke: a small fixed set keeps training ~1 s per platform.
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations())
+        if (c.instances.size() == 1 && out.size() < 12)
+            out.push_back(&c);
+    return out;
+}
+
 runtime::FleetSpec
-makeSpec(std::size_t n_sessions)
+baseSpec(bool quick)
 {
     runtime::FleetSpec spec;
     spec.cfg = sim::fx8320Config();
     spec.training_seed = bench::kSeed;
-    spec.training_combos = bench::singleProgramCombos();
+    spec.training_combos = trainingSet(quick);
     spec.store.emplace(); // cache shared with the other benches
     spec.warmup = 2;
-    spec.intervals = 30;
+    spec.intervals = quick ? 10 : 30;
+    return spec;
+}
+
+runtime::FleetSpec
+makeHomoSpec(std::size_t n_sessions, bool quick)
+{
+    runtime::FleetSpec spec = baseSpec(quick);
     for (std::size_t i = 0; i < n_sessions; ++i) {
         runtime::FleetSessionSpec ss;
         ss.name = "fleet-s" + std::to_string(i);
@@ -50,6 +94,52 @@ makeSpec(std::size_t n_sessions)
         ss.pg = (i % 2) == 0;
         ss.one_per_cu = kMixes[i % kMixes.size()];
         spec.sessions.push_back(std::move(ss));
+    }
+    return spec;
+}
+
+/** 8 sessions over 3 platforms, 2 tenants on the first FX chip. */
+runtime::FleetSpec
+makeHeteroSpec(bool quick)
+{
+    runtime::FleetSpec spec = baseSpec(quick);
+    const struct
+    {
+        const char *alias;
+        sim::ChipConfig cfg;
+        std::size_t count;
+    } entries[] = {
+        {"fx", sim::fx8320Config(), 3},
+        {"phenom", sim::phenomIIConfig(), 2},
+        {"nbdvfs", sim::fx8320NbDvfsConfig(), 3},
+    };
+    std::size_t i = 0;
+    for (const auto &entry : entries) {
+        for (std::size_t k = 0; k < entry.count; ++k, ++i) {
+            runtime::FleetSessionSpec ss;
+            ss.name = std::string(entry.alias) + "-" +
+                      std::to_string(k);
+            ss.seed = 200 + i;
+            ss.pg = entry.cfg.pg_supported && (i % 2) == 0;
+            ss.one_per_cu = kMixes[i % kMixes.size()];
+            ss.cfg = entry.cfg;
+            spec.sessions.push_back(std::move(ss));
+        }
+    }
+    // Two tenants split the first FX chip's four CUs; their jobs
+    // replace the one_per_cu placement on that session.
+    auto &first = spec.sessions.front();
+    first.one_per_cu.clear();
+    const sim::ChipConfig &cfg = *first.cfg;
+    for (std::size_t t = 0; t < 2; ++t) {
+        runtime::TenantSpec ts;
+        ts.name = t == 0 ? "alpha" : "beta";
+        for (std::size_t cu = t; cu < cfg.n_cus; cu += 2)
+            for (std::size_t c = 0; c < cfg.cores_per_cu; ++c)
+                ts.cores.push_back(cu * cfg.cores_per_cu + c);
+        ts.jobs.push_back(
+            {ts.cores.front(), kMixes[t].front(), true});
+        first.tenants.push_back(std::move(ts));
     }
     return spec;
 }
@@ -76,7 +166,7 @@ class NullStreambuf : public std::streambuf
  */
 template <typename Sink>
 double
-encodeNsPerRow(const sim::ChipConfig &cfg)
+encodeNsPerRow(const sim::ChipConfig &cfg, bool quick)
 {
     sim::Chip chip(cfg, 7);
     chip.setAllVf(2);
@@ -99,7 +189,7 @@ encodeNsPerRow(const sim::ChipConfig &cfg)
     std::ostream out(&null);
     Sink sink(out);
     sink.onInterval(t); // warm the row buffer
-    const std::size_t iters = 200000;
+    const std::size_t iters = quick ? 20000 : 200000;
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < iters; ++i)
         sink.onInterval(t);
@@ -108,47 +198,34 @@ encodeNsPerRow(const sim::ChipConfig &cfg)
            static_cast<double>(iters);
 }
 
-} // namespace
-
-int
-main()
+/** Outcome of one scenario's 1/2/4/8-thread sweep. */
+struct ScenarioResult
 {
-    using namespace ppep;
-    bench::header(
-        "Fleet scaling: thread-pooled multi-session governing",
-        "runtime extension (not a paper figure): shared immutable Ppep, "
-        "per-session state, bit-identical at any thread count");
+    bool all_match = true;
+    /** intervals/s at the widest pool (8 threads). */
+    double best_intervals_per_s = 0.0;
+};
 
-    const std::size_t n_sessions = 8;
-    runtime::Fleet fleet(makeSpec(n_sessions));
-    fleet.prepare(); // keep training out of the timed region
-
-    const unsigned hw = std::thread::hardware_concurrency();
-    std::printf("sessions: %zu, intervals/session: %zu, "
-                "hardware_concurrency: %u\n\n",
-                n_sessions, fleet.spec().intervals, hw);
-
-    bench::BenchJson json("fleet", "BENCH_fleet.json");
-    json.add("env", "hardware_concurrency", static_cast<double>(hw),
-             "threads");
-    json.add("env", "sessions", static_cast<double>(n_sessions),
-             "count");
-
-    util::Table table("Fleet scaling (8 sessions, shared Ppep)");
+ScenarioResult
+runScenario(runtime::Fleet &fleet, const char *label,
+            bench::BenchJson &json)
+{
+    util::Table table(std::string("Fleet scaling: ") + label);
     table.setHeader({"threads", "wall_s", "sessions_per_s",
                      "intervals_per_s", "speedup", "digests"});
 
+    ScenarioResult out;
     std::vector<std::uint64_t> serial_digests;
     double serial_wall = 0.0;
-    bool all_match = true;
 
     for (const std::size_t threads : {1, 2, 4, 8}) {
         const auto res = fleet.run(threads);
         if (res.failed != 0) {
-            std::fprintf(stderr, "FLEET BENCH FAILED: %zu session(s) "
-                         "errored at %zu threads\n",
-                         res.failed, threads);
-            return EXIT_FAILURE;
+            std::fprintf(stderr,
+                         "FLEET BENCH FAILED: %zu session(s) errored "
+                         "at %zu threads (%s)\n",
+                         res.failed, threads, label);
+            std::exit(EXIT_FAILURE);
         }
 
         bool match = true;
@@ -161,7 +238,7 @@ main()
                 match &= res.sessions[i].telemetry_digest ==
                          serial_digests[i];
         }
-        all_match &= match;
+        out.all_match &= match;
 
         const double speedup =
             res.wall_s > 0.0 ? serial_wall / res.wall_s : 0.0;
@@ -172,22 +249,94 @@ main()
                       util::Table::num(speedup, 2) + "x",
                       match ? "bit-identical" : "MISMATCH"});
 
-        json.add("fleet", "wall_s", res.wall_s, "s", threads);
-        json.add("fleet", "sessions_per_s", res.sessions_per_s,
-                 "1/s", threads);
-        json.add("fleet", "intervals_per_s", res.intervals_per_s,
-                 "1/s", threads);
-        json.add("fleet", "speedup_vs_serial", speedup, "x", threads);
-        json.add("fleet", "digest_match", match ? 1.0 : 0.0, "bool",
+        json.add(label, "wall_s", res.wall_s, "s", threads);
+        json.add(label, "sessions_per_s", res.sessions_per_s, "1/s",
                  threads);
+        json.add(label, "intervals_per_s", res.intervals_per_s, "1/s",
+                 threads);
+        json.add(label, "speedup_vs_serial", speedup, "x", threads);
+        json.add(label, "digest_match", match ? 1.0 : 0.0, "bool",
+                 threads);
+        if (threads == 8)
+            out.best_intervals_per_s = res.intervals_per_s;
+    }
+    table.print(std::cout);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ppep;
+    bool quick = false;
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--check") == 0 &&
+                   i + 1 < argc) {
+            check_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--check FILE]\n",
+                         argv[0]);
+            return EXIT_FAILURE;
+        }
     }
 
-    table.print(std::cout);
+    bench::header(
+        "Fleet scaling: thread-pooled multi-session governing",
+        "runtime extension (not a paper figure): immutable model "
+        "registry, per-session state, bit-identical at any thread "
+        "count");
+
+    const std::size_t n_sessions = 8;
+    runtime::Fleet homo(makeHomoSpec(n_sessions, quick));
+    runtime::Fleet hetero(makeHeteroSpec(quick));
+    homo.prepare(); // keep training out of the timed region
+    hetero.prepare();
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("sessions: %zu, intervals/session: %zu, "
+                "hardware_concurrency: %u\n",
+                n_sessions, homo.spec().intervals, hw);
+    std::printf("heterogeneous registry: %zu model entries for %zu "
+                "sessions\n\n",
+                hetero.modelEntryCount(),
+                hetero.spec().sessions.size());
+
+    bench::BenchJson json("fleet", "BENCH_fleet.json");
+    json.add("env", "hardware_concurrency", static_cast<double>(hw),
+             "threads");
+    json.add("env", "sessions", static_cast<double>(n_sessions),
+             "count");
+    json.add("env", "hetero_model_entries",
+             static_cast<double>(hetero.modelEntryCount()), "count");
+
+    const ScenarioResult homo_res = runScenario(homo, "fleet", json);
+    const ScenarioResult hetero_res =
+        runScenario(hetero, "fleet_hetero", json);
+    const bool all_match = homo_res.all_match && hetero_res.all_match;
+
+    // Host-normalized throughput ratio: the mixed fleet pays for
+    // per-config model resolution, tenant attribution, and the wider
+    // Phenom telemetry rows; both sides of the ratio run on this host.
+    const double mixed_ratio =
+        homo_res.best_intervals_per_s > 0.0
+            ? hetero_res.best_intervals_per_s /
+                  homo_res.best_intervals_per_s
+            : 0.0;
+    std::printf("\nmixed/homogeneous intervals-per-s ratio at 8 "
+                "threads: %.2f\n",
+                mixed_ratio);
+    json.add("fleet_hetero", "mixed_over_homo_intervals_per_s",
+             mixed_ratio, "x");
 
     const double csv_ns =
-        encodeNsPerRow<runtime::CsvSink>(fleet.spec().cfg);
+        encodeNsPerRow<runtime::CsvSink>(homo.spec().cfg, quick);
     const double jsonl_ns =
-        encodeNsPerRow<runtime::JsonlSink>(fleet.spec().cfg);
+        encodeNsPerRow<runtime::JsonlSink>(homo.spec().cfg, quick);
     std::printf("\ntelemetry encode (null stream): csv %.1f ns/row, "
                 "jsonl %.1f ns/row\n",
                 csv_ns, jsonl_ns);
@@ -201,6 +350,49 @@ main()
         std::printf("(note: only %u hardware thread(s) available — "
                     "speedup is bounded by the host, not the pool)\n",
                     hw);
+
+    if (!check_path.empty()) {
+        std::ifstream in(check_path);
+        if (!in.is_open()) {
+            std::fprintf(stderr, "cannot open baseline %s\n",
+                         check_path.c_str());
+            return EXIT_FAILURE;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const double base_ratio = bench::baselineValue(
+            buf.str(), "mixed_over_homo_intervals_per_s");
+        if (!(base_ratio > 0.0)) {
+            std::fprintf(stderr,
+                         "baseline %s has no usable "
+                         "mixed_over_homo_intervals_per_s row\n",
+                         check_path.c_str());
+            return EXIT_FAILURE;
+        }
+        bool ok = all_match;
+        if (!all_match)
+            std::fprintf(stderr, "FAIL: telemetry digests diverged "
+                                 "across thread counts\n");
+        if (mixed_ratio < kMixedRatioFloor) {
+            std::fprintf(stderr,
+                         "FAIL: mixed-fleet throughput ratio %.2f is "
+                         "under the %.2f acceptance floor\n",
+                         mixed_ratio, kMixedRatioFloor);
+            ok = false;
+        }
+        if (mixed_ratio * kRegressionBand < base_ratio) {
+            std::fprintf(stderr,
+                         "FAIL: mixed-fleet throughput ratio %.2f "
+                         "regressed >25%% vs committed baseline %.2f\n",
+                         mixed_ratio, base_ratio);
+            ok = false;
+        }
+        std::printf("baseline check vs %s: ratio %.2f vs committed "
+                    "%.2f -> %s\n",
+                    check_path.c_str(), mixed_ratio, base_ratio,
+                    ok ? "OK" : "REGRESSED");
+        return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+    }
 
     json.write();
     return all_match ? EXIT_SUCCESS : EXIT_FAILURE;

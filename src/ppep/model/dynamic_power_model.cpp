@@ -146,7 +146,8 @@ DynamicPowerModel::kernelWeights() const
 }
 
 std::array<double, sim::kNumPowerEvents>
-powerEventRates(const sim::EventVector &counts, double duration_s)
+powerEventRates(const sim::EventVector &counts,
+                double duration_s) PPEP_NONBLOCKING
 {
     PPEP_ASSERT(duration_s > 0.0, "non-positive duration");
     std::array<double, sim::kNumPowerEvents> rates{};

@@ -152,7 +152,8 @@ powerEventRates(const std::vector<sim::EventVector> &per_core_counts,
 
 /** Extract E1..E9 per-second rates from one core's counts. */
 std::array<double, sim::kNumPowerEvents>
-powerEventRates(const sim::EventVector &counts, double duration_s);
+powerEventRates(const sim::EventVector &counts,
+                double duration_s) PPEP_NONBLOCKING;
 
 } // namespace ppep::model
 

@@ -51,6 +51,16 @@ AsyncTelemetrySink::onInterval(const IntervalTelemetry &t)
     } else {
         slot.t.health = nullptr;
     }
+    slot.has_tenants = t.tenants != nullptr && t.tenant_names != nullptr;
+    if (slot.has_tenants) {
+        slot.tenants = *t.tenants;
+        slot.t.tenants = &slot.tenants;
+        slot.tenant_names = *t.tenant_names;
+        slot.t.tenant_names = &slot.tenant_names;
+    } else {
+        slot.t.tenants = nullptr;
+        slot.t.tenant_names = nullptr;
+    }
 
     ++size_;
     max_depth_ = std::max(max_depth_, size_);

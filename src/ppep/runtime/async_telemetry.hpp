@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ppep/runtime/telemetry.hpp"
+#include "ppep/runtime/tenant.hpp"
 
 namespace ppep::runtime {
 
@@ -90,6 +91,9 @@ class AsyncTelemetrySink : public TelemetrySink
         bool has_exploration = false;
         SampleHealth health;
         bool has_health = false;
+        TenantAttribution tenants;
+        std::vector<std::string> tenant_names;
+        bool has_tenants = false;
     };
 
     void writerLoop();

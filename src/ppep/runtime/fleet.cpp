@@ -49,18 +49,46 @@ Fleet::Fleet(FleetSpec spec) : spec_(std::move(spec))
 void
 Fleet::prepare()
 {
-    if (ppep_)
+    if (!entries_.empty())
         return;
     const auto combos = spec_.training_combos ? *spec_.training_combos
                                               : defaultTrainingCombos();
-    if (spec_.store) {
-        models_ = spec_.store->trainOrLoad(spec_.cfg,
-                                           spec_.training_seed, combos);
-    } else {
-        model::Trainer trainer(spec_.cfg, spec_.training_seed);
-        models_ = trainer.trainAll(combos);
+
+    // Resolve every session's config to a registry entry keyed by the
+    // ModelStore platform fingerprint: fingerprint-identical configs
+    // share one entry, and each distinct config trains exactly once.
+    // The registry is immutable after this loop, so sessions may hold
+    // plain const references into it from any worker thread.
+    auto acquire = [&](const sim::ChipConfig &cfg) -> std::size_t {
+        const std::uint64_t fp = platformFingerprint(cfg);
+        for (std::size_t e = 0; e < entries_.size(); ++e)
+            if (entries_[e]->fingerprint == fp)
+                return e;
+        auto entry = std::make_unique<ModelEntry>();
+        entry->cfg = cfg;
+        entry->fingerprint = fp;
+        if (spec_.store) {
+            entry->models = spec_.store->trainOrLoad(
+                cfg, spec_.training_seed, combos);
+        } else {
+            model::Trainer trainer(cfg, spec_.training_seed);
+            entry->models = trainer.trainAll(combos);
+        }
+        entry->ppep.emplace(cfg, entry->models.chip, entry->models.pg);
+        entries_.push_back(std::move(entry));
+        return entries_.size() - 1;
+    };
+
+    session_entry_.resize(spec_.sessions.size());
+    for (std::size_t i = 0; i < spec_.sessions.size(); ++i) {
+        const auto &ss = spec_.sessions[i];
+        session_entry_[i] = acquire(ss.cfg ? *ss.cfg : spec_.cfg);
     }
-    ppep_.emplace(spec_.cfg, models_->chip, models_->pg);
+    const std::uint64_t default_fp = platformFingerprint(spec_.cfg);
+    for (std::size_t e = 0; e < entries_.size(); ++e)
+        if (entries_[e]->fingerprint == default_fp)
+            default_entry_ = e;
+
     // Warm the workload registry's magic statics on this thread too, so
     // workers never contend on first-touch initialisation.
     (void)workloads::allCombinations();
@@ -69,15 +97,47 @@ Fleet::prepare()
 const model::TrainedModels &
 Fleet::models() const
 {
-    PPEP_ASSERT(models_.has_value(), "prepare() has not run");
-    return *models_;
+    PPEP_ASSERT(!entries_.empty(), "prepare() has not run");
+    if (default_entry_ == static_cast<std::size_t>(-1))
+        PPEP_FATAL("no fleet session uses the default config '",
+                   spec_.cfg.name, "'; address its entry via ppepOf()");
+    return entries_[default_entry_]->models;
 }
 
 const model::Ppep &
 Fleet::ppep() const
 {
-    PPEP_ASSERT(ppep_.has_value(), "prepare() has not run");
-    return *ppep_;
+    PPEP_ASSERT(!entries_.empty(), "prepare() has not run");
+    if (default_entry_ == static_cast<std::size_t>(-1))
+        PPEP_FATAL("no fleet session uses the default config '",
+                   spec_.cfg.name, "'; address its entry via ppepOf()");
+    return *entries_[default_entry_]->ppep;
+}
+
+std::size_t
+Fleet::modelEntryCount() const
+{
+    return entries_.size();
+}
+
+std::size_t
+Fleet::entryIndexOf(std::size_t index) const
+{
+    PPEP_ASSERT(index < session_entry_.size(), "prepare() has not run");
+    return session_entry_[index];
+}
+
+const model::Ppep &
+Fleet::ppepOf(std::size_t index) const
+{
+    return *entryOf(index).ppep;
+}
+
+const Fleet::ModelEntry &
+Fleet::entryOf(std::size_t index) const
+{
+    PPEP_ASSERT(index < session_entry_.size(), "prepare() has not run");
+    return *entries_[session_entry_[index]];
 }
 
 FleetSessionResult
@@ -103,10 +163,11 @@ Fleet::runOne(std::size_t index)
                     std::make_unique<AsyncTelemetrySink>(*csv);
         }
 
-        auto builder = Session::builder(spec_.cfg)
+        const ModelEntry &entry = entryOf(index);
+        auto builder = Session::builder(entry.cfg)
                            .seed(ss.seed)
                            .pg(ss.pg)
-                           .sharedModels(*models_, *ppep_)
+                           .sharedModels(entry.models, *entry.ppep)
                            .warmup(spec_.warmup)
                            .sink(summary)
                            .sink(digest);
@@ -116,6 +177,8 @@ Fleet::runOne(std::size_t index)
             builder.sink(*csv);
         if (!ss.jobs.empty())
             builder.jobs(ss.jobs);
+        if (!ss.tenants.empty())
+            builder.tenants(ss.tenants);
         if (!ss.one_per_cu.empty())
             builder.onePerCu(ss.one_per_cu);
         if (ss.governor)

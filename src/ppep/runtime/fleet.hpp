@@ -1,28 +1,35 @@
 /**
  * @file
- * Fleet-scale parallel runtime: N independent governed sessions over
- * one immutable set of trained models, executed on a fixed-size thread
- * pool.
+ * Fleet-scale parallel runtime: N independent governed sessions over a
+ * small immutable registry of trained models, executed on a fixed-size
+ * thread pool.
  *
- * The expensive, shareable state — TrainedModels and the assembled
- * Ppep (with its precomputed per-VF plan) — is acquired exactly once
- * on the calling thread; every session then holds const references to
- * it (Session::Builder::sharedModels). Everything mutable (Chip,
- * Sampler, Governor, RNG streams, telemetry sinks) is per-session, so
- * sessions never synchronise with each other while governing.
+ * Fleets may be heterogeneous: each session can bring its own
+ * ChipConfig (an FX-8320 next to a Phenom II next to an NB-DVFS
+ * variant). The expensive, shareable state — TrainedModels and the
+ * assembled Ppep (with its precomputed per-VF plan) — is acquired
+ * exactly once per *distinct* configuration on the calling thread:
+ * prepare() resolves every session's config to a registry entry keyed
+ * by the ModelStore platform fingerprint, training each entry once and
+ * sharing it between all sessions whose configs hash identically.
+ * Every session then holds const references to its entry
+ * (Session::Builder::sharedModels). Everything mutable (Chip, Sampler,
+ * Governor, RNG streams, telemetry sinks) is per-session, so sessions
+ * never synchronise with each other while governing.
  *
  * Determinism contract: a session's telemetry stream is a pure
- * function of its spec (seed, jobs, governor, schedule, fault plan).
- * The thread pool only changes *when* a session runs, never what it
- * computes, so per-session results are bit-identical at any thread
- * count — including serial. test_runtime_fleet asserts this with
- * DigestSink digests.
+ * function of its spec (config, seed, jobs, governor, schedule, fault
+ * plan, tenants). The thread pool only changes *when* a session runs,
+ * never what it computes, so per-session results are bit-identical at
+ * any thread count — including serial. test_runtime_fleet asserts this
+ * with DigestSink digests, for homogeneous and mixed fleets alike.
  */
 
 #ifndef PPEP_RUNTIME_FLEET_HPP
 #define PPEP_RUNTIME_FLEET_HPP
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,14 +63,24 @@ struct FleetSessionSpec
     std::optional<sim::FaultPlan> faults;
     /** Fault stream seed; nullopt derives from the chip seed. */
     std::optional<std::uint64_t> fault_seed;
+    /**
+     * This session's chip; nullopt inherits the fleet default. Sessions
+     * whose configs fingerprint identically share one trained-model
+     * registry entry; a distinct config gets its own models, so an
+     * FX-8320 model is never served to a Phenom II session.
+     */
+    std::optional<sim::ChipConfig> cfg;
+    /** Tenants sharing this session's chip; empty = no attribution.
+     *  Validated against the session's own config at build(). */
+    std::vector<TenantSpec> tenants;
 };
 
 /** Shared fleet configuration plus the per-session specs. */
 struct FleetSpec
 {
-    /** Chip description shared by every session. */
+    /** Default chip description for sessions without their own cfg. */
     sim::ChipConfig cfg;
-    /** Trainer seed for the shared models. */
+    /** Trainer seed for the shared models (all registry entries). */
     std::uint64_t training_seed = 42;
     /** Acquire models through this cache; nullopt trains fresh. */
     std::optional<ModelStore> store;
@@ -138,14 +155,27 @@ class Fleet
     explicit Fleet(FleetSpec spec);
 
     /**
-     * Acquire the shared models (train, or load through the store) on
-     * the calling thread. Idempotent; run() calls it implicitly.
+     * Build the model registry (train, or load through the store) on
+     * the calling thread: one entry per distinct platform fingerprint
+     * among the sessions' configs, resolved once and immutable for the
+     * fleet's lifetime. Idempotent; run() calls it implicitly.
      */
     void prepare();
 
-    /** Shared models/predictor; prepare() must have run. */
+    /** Models/predictor of the fleet-default config's entry; fatal
+     *  when no session uses the default config. prepare() first. */
     const model::TrainedModels &models() const;
     const model::Ppep &ppep() const;
+
+    /** Distinct trained configurations in the registry. */
+    std::size_t modelEntryCount() const;
+
+    /** Registry entry index serving session @p index — sessions with
+     *  fingerprint-identical configs report the same index. */
+    std::size_t entryIndexOf(std::size_t index) const;
+
+    /** The predictor serving session @p index (sharing witness). */
+    const model::Ppep &ppepOf(std::size_t index) const;
 
     /** The spec in force. */
     const FleetSpec &spec() const { return spec_; }
@@ -158,11 +188,27 @@ class Fleet
     FleetResult run(std::size_t n_threads);
 
   private:
+    /** One immutable registry entry: a distinct chip configuration
+     *  with its trained models and assembled predictor. */
+    struct ModelEntry
+    {
+        sim::ChipConfig cfg;
+        std::uint64_t fingerprint = 0;
+        model::TrainedModels models;
+        std::optional<model::Ppep> ppep;
+    };
+
     FleetSessionResult runOne(std::size_t index);
+    const ModelEntry &entryOf(std::size_t index) const;
 
     FleetSpec spec_;
-    std::optional<model::TrainedModels> models_;
-    std::optional<model::Ppep> ppep_;
+    /** unique_ptr slots keep entry addresses stable while the registry
+     *  grows, so sessions can hold references across prepare(). */
+    std::vector<std::unique_ptr<ModelEntry>> entries_;
+    /** Session index -> registry entry index. */
+    std::vector<std::size_t> session_entry_;
+    /** Entry matching spec_.cfg, or npos when no session uses it. */
+    std::size_t default_entry_ = static_cast<std::size_t>(-1);
 };
 
 } // namespace ppep::runtime

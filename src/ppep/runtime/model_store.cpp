@@ -89,10 +89,18 @@ pathLock(const std::string &path)
 std::uint64_t
 platformFingerprint(const sim::ChipConfig &cfg)
 {
+    // Cover the ENTIRE chip description, ground truth included: two
+    // silicon configurations that differ anywhere must never share a
+    // cache entry, even when they share a platform name. An FX-8320
+    // model served to a Phenom II session would predict garbage; a
+    // stale-fingerprint hit is strictly worse than a retrain.
     std::uint64_t h = 14695981039346656037ull;
     h = mixU64(h, cfg.n_cus);
     h = mixU64(h, cfg.cores_per_cu);
+    h = mixDouble(h, cfg.issue_width);
+    h = mixDouble(h, cfg.mispredict_penalty);
     h = mixU64(h, cfg.pg_supported ? 1 : 0);
+    h = mixU64(h, cfg.nb_dvfs_capable ? 1 : 0);
     h = mixU64(h, cfg.per_cu_voltage ? 1 : 0);
     h = mixDouble(h, cfg.tick_s);
     h = mixU64(h, cfg.ticks_per_interval);
@@ -102,8 +110,51 @@ platformFingerprint(const sim::ChipConfig &cfg)
     h = mixU64(h, cfg.boost_states.size());
     for (const auto &vf : cfg.boost_states)
         h = mixVf(h, vf);
+    h = mixDouble(h, cfg.boost_temp_limit_k);
+    h = mixU64(h, cfg.boost_max_busy_cus);
+
+    const sim::GroundTruthPower &p = cfg.power;
+    for (double e : p.event_energy_nj)
+        h = mixDouble(h, e);
+    h = mixDouble(h, p.alpha_true);
+    h = mixDouble(h, p.busy_cycle_energy_nj);
+    h = mixDouble(h, p.cu_clock_coeff);
+    h = mixDouble(h, p.cu_leak_ref_w);
+    h = mixDouble(h, p.leak_volt_k);
+    h = mixDouble(h, p.leak_temp_k);
+    h = mixDouble(h, p.leak_temp_ref_k);
+    h = mixDouble(h, p.nb_leak_ref_w);
+    h = mixDouble(h, p.nb_clock_coeff);
+    h = mixDouble(h, p.l3_access_energy_nj);
+    h = mixDouble(h, p.dram_access_energy_nj);
+    h = mixDouble(h, p.base_power_w);
+    h = mixDouble(h, p.pg_residual);
+    h = mixDouble(h, p.housekeeping_w);
+    h = mixDouble(h, p.phase_activity_sd);
+
+    h = mixDouble(h, cfg.thermal.ambient_k);
+    h = mixDouble(h, cfg.thermal.resistance_k_per_w);
+    h = mixDouble(h, cfg.thermal.time_constant_s);
+    h = mixDouble(h, cfg.thermal.diode_quantum_k);
+
+    h = mixDouble(h, cfg.sensor.noise_fraction);
+    h = mixDouble(h, cfg.sensor.noise_floor_w);
+    h = mixDouble(h, cfg.sensor.quantum_w);
+
     h = mixVf(h, cfg.nb.vf_hi);
     h = mixVf(h, cfg.nb.vf_lo);
+    h = mixDouble(h, cfg.nb.l3_latency_cycles);
+    h = mixDouble(h, cfg.nb.dram_fixed_ns);
+    h = mixDouble(h, cfg.nb.mc_latency_cycles);
+    h = mixDouble(h, cfg.nb.dram_bw_gbs);
+    h = mixDouble(h, cfg.nb.line_bytes);
+    h = mixDouble(h, cfg.nb.max_utilization);
+    h = mixDouble(h, cfg.nb.mlp_collapse);
+
+    for (double s : cfg.event_freq_sens)
+        h = mixDouble(h, s);
+    h = mixDouble(h, cfg.rate_jitter_sd);
+    h = mixU64(h, cfg.pmc_counters);
     return h;
 }
 

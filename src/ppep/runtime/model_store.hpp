@@ -30,15 +30,17 @@ namespace ppep::runtime {
  * (or anything it calls) changes numerically, so stale cache entries
  * stop matching instead of silently serving old models.
  */
-inline constexpr std::uint32_t kTrainerVersion = 1;
+inline constexpr std::uint32_t kTrainerVersion = 2;
 
 /**
  * Everything that determines a training run's output.
  *
- * The platform fingerprint covers the software-visible chip description
- * (topology, VF/boost tables, PG support, interval timing). The hidden
- * ground-truth constants are assumed to be identified by the platform
- * *name* — two different silicon configurations must not share one.
+ * The platform fingerprint covers the complete chip description —
+ * topology, core microarchitecture, VF/boost tables, PG support,
+ * NB-DVFS capability, interval timing, and the ground-truth power /
+ * thermal / sensor constants. Two configurations that differ anywhere
+ * get distinct keys even under one platform name, so a heterogeneous
+ * fleet can never serve an FX-8320 model to a Phenom II session.
  */
 struct ModelKey
 {

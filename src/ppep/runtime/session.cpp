@@ -74,6 +74,12 @@ struct Session::State
     std::size_t next_index = 0;
     /** lastPredictedPower() carried over to the interval it forecasts. */
     double pending_pred = std::numeric_limits<double>::quiet_NaN();
+    // Tenant attribution; the attributor references cfg + the models,
+    // both address-stable inside this State.
+    bool pg = false;
+    std::optional<TenantAttributor> attributor;
+    TenantAttribution attribution;
+    std::vector<std::string> tenant_names;
     // Hardened-path members; declared after chip so they die first.
     bool hardened = false;
     std::optional<Sampler> sampler;
@@ -200,6 +206,13 @@ Session::Builder::sink(TelemetrySink &s)
 }
 
 Session::Builder &
+Session::Builder::tenants(std::vector<TenantSpec> specs)
+{
+    tenants_ = std::move(specs);
+    return *this;
+}
+
+Session::Builder &
 Session::Builder::faults(const sim::FaultPlan &plan)
 {
     plan_ = plan;
@@ -277,6 +290,7 @@ Session::Builder::build()
                             state->models->pg);
 
     // Chip + jobs.
+    state->pg = pg_;
     state->chip.emplace(state->cfg, chip_seed_);
     state->chip->setPowerGatingEnabled(pg_);
     if (combo_)
@@ -286,6 +300,35 @@ Session::Builder::build()
         state->chip->setJob(j.core, j.looping
                                         ? profile.makeLoopingJob()
                                         : profile.makeJob());
+    }
+
+    // Tenants: validate ownership against the config, place their
+    // jobs, and set up per-interval attribution over the trained
+    // models (the attributor rejects platforms without a trained PG
+    // idle decomposition).
+    if (!tenants_.empty()) {
+        const model::TrainedModels *m =
+            state->shared_models
+                ? state->shared_models
+                : (state->models ? &*state->models : nullptr);
+        if (!m)
+            PPEP_FATAL("tenant attribution requires trained models; "
+                       "give the session models, a store, or "
+                       "sharedModels()");
+        state->attributor.emplace(state->cfg, m->dynamic, m->pg,
+                                  std::move(tenants_));
+        state->attribution = state->attributor->makeAttribution();
+        for (const auto &spec : state->attributor->specs()) {
+            state->tenant_names.push_back(spec.name);
+            for (const auto &job : spec.jobs) {
+                const auto &profile =
+                    workloads::Suite::byName(job.program);
+                state->chip->setJob(job.core,
+                                    job.looping
+                                        ? profile.makeLoopingJob()
+                                        : profile.makeJob());
+            }
+        }
     }
 
     // Policy.
@@ -398,6 +441,12 @@ Session::makeObserver()
         t.health = s.sampler ? &s.sampler->lastHealth() : nullptr;
         t.degraded =
             s.degraded_gov ? s.degraded_gov->degradedNow() : false;
+        if (s.attributor) {
+            s.attributor->attributeInto(step.rec, s.pg,
+                                        s.attribution);
+            t.tenants = &s.attribution;
+            t.tenant_names = &s.tenant_names;
+        }
         for (auto *sink : s.sinks)
             sink->onInterval(t);
         // The decision that just ran governs the *next* interval; hold
@@ -523,6 +572,12 @@ const ppep::governor::DegradedModeGovernor *
 Session::degradedGovernor() const
 {
     return state_->degraded_gov.get();
+}
+
+const TenantAttributor *
+Session::tenantAttributor() const
+{
+    return state_->attributor ? &*state_->attributor : nullptr;
 }
 
 const std::vector<std::string> &

@@ -43,6 +43,7 @@
 #include "ppep/runtime/model_store.hpp"
 #include "ppep/runtime/sampler.hpp"
 #include "ppep/runtime/telemetry.hpp"
+#include "ppep/runtime/tenant.hpp"
 #include "ppep/sim/chip.hpp"
 #include "ppep/sim/fault.hpp"
 #include "ppep/workloads/suite.hpp"
@@ -153,6 +154,15 @@ class Session
         /** Attach a caller-owned telemetry sink (repeatable). */
         Builder &sink(TelemetrySink &s);
 
+        /**
+         * Split the chip between named tenants: their jobs are placed
+         * on their own cores and every interval's power is attributed
+         * per tenant (Eqs. 7-8 idle split) into the telemetry stream.
+         * Requires trained models and a PG-capable platform; validated
+         * at build().
+         */
+        Builder &tenants(std::vector<TenantSpec> specs);
+
         // --- hardened acquisition ------------------------------------
 
         /**
@@ -199,6 +209,7 @@ class Session
         std::optional<ppep::governor::CapSchedule> schedule_;
         std::size_t warmup_ = 0;
         std::vector<TelemetrySink *> sinks_;
+        std::vector<TenantSpec> tenants_;
         std::optional<sim::FaultPlan> plan_;
         std::optional<std::uint64_t> fault_seed_;
         SamplerPolicy sampler_policy_;
@@ -259,6 +270,9 @@ class Session
 
     /** Degraded-mode wrapper; nullptr on plain sessions. */
     const ppep::governor::DegradedModeGovernor *degradedGovernor() const;
+
+    /** Tenant attributor; nullptr when the session has no tenants. */
+    const TenantAttributor *tenantAttributor() const;
 
     /**
      * Errors from sinks that failed during the most recent run()

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "ppep/runtime/tenant.hpp"
 #include "ppep/sim/events.hpp"
 #include "ppep/util/logging.hpp"
 
@@ -27,6 +28,14 @@ totalIps(const trace::IntervalRecord &rec)
     double inst = 0.0;
     for (const auto &core : rec.pmc)
         inst += core[sim::eventIndex(sim::Event::RetiredInst)];
+    return rec.duration_s > 0.0 ? inst / rec.duration_s : 0.0;
+}
+
+double
+coreIps(const trace::IntervalRecord &rec, std::size_t c)
+{
+    const double inst =
+        rec.pmc[c][sim::eventIndex(sim::Event::RetiredInst)];
     return rec.duration_s > 0.0 ? inst / rec.duration_s : 0.0;
 }
 
@@ -65,15 +74,30 @@ CsvSink::onInterval(const IntervalTelemetry &t)
 {
     auto &os = stream();
     if (!header_written_) {
-        // Fault columns appear only on hardened runs, so traces from
-        // plain sessions are byte-identical to what they always were.
+        // The layout is derived from the session's chip config (via the
+        // sizes the first interval carries): one VF column per CU, one
+        // IPS column per core, so a Phenom II session and an FX-class
+        // session in one fleet each get their own correct header.
+        // Fault columns appear only on hardened runs; tenant columns
+        // only on sessions that define tenants.
         with_health_ = t.health != nullptr;
-        os << "interval,time_s,cap_w,cu_vf,measured_power_w,"
-              "predicted_power_w,diode_temp_k,total_ips,"
-              "decision_latency_us";
+        with_tenants_ = t.tenants != nullptr;
+        os << "interval,time_s,cap_w";
+        for (std::size_t i = 0; i < t.cu_vf->size(); ++i)
+            os << ",cu" << i << "_vf";
+        os << ",measured_power_w,predicted_power_w,diode_temp_k,"
+              "total_ips";
+        for (std::size_t c = 0; c < t.rec->pmc.size(); ++c)
+            os << ",core" << c << "_ips";
+        os << ",decision_latency_us";
         if (with_health_)
             os << ",fault_events,substituted_cores,zeroed_cores,"
                   "sensor_rejects,diode_rejects,degraded";
+        if (with_tenants_) {
+            for (const auto &name : *t.tenant_names)
+                os << ",tenant_" << name << "_w";
+            os << ",unattributed_w";
+        }
         os << '\n';
         header_written_ = true;
     }
@@ -95,10 +119,8 @@ CsvSink::encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING
     row.appendDouble(t.time_s);
     row.append(',');
     row.appendDouble(t.cap_w);
-    row.append(',');
     for (std::size_t i = 0; i < t.cu_vf->size(); ++i) {
-        if (i)
-            row.append('+');
+        row.append(',');
         row.appendU64((*t.cu_vf)[i]);
     }
     row.append(',');
@@ -110,6 +132,10 @@ CsvSink::encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING
     row.appendDouble(t.rec->diode_temp_k);
     row.append(',');
     row.appendDouble(totalIps(*t.rec));
+    for (std::size_t c = 0; c < t.rec->pmc.size(); ++c) {
+        row.append(',');
+        row.appendDouble(coreIps(*t.rec, c));
+    }
     row.append(',');
     row.appendDouble(t.decision_latency_s * 1e6);
     if (with_health_) {
@@ -129,6 +155,14 @@ CsvSink::encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING
         } else {
             row.append(std::string_view{",0,0,0,0,0,0"});
         }
+    }
+    if (with_tenants_ && t.tenants) {
+        for (double w : t.tenants->total_w) {
+            row.append(',');
+            row.appendDouble(w);
+        }
+        row.append(',');
+        row.appendDouble(t.tenants->unattributed_w);
     }
     row.append('\n');
 }
@@ -213,7 +247,13 @@ JsonlSink::encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING
     row.appendJsonDouble(t.rec->diode_temp_k);
     row.append(std::string_view{",\"total_ips\":"});
     row.appendJsonDouble(totalIps(*t.rec));
-    row.append(std::string_view{",\"decision_latency_us\":"});
+    row.append(std::string_view{",\"core_ips\":["});
+    for (std::size_t c = 0; c < t.rec->pmc.size(); ++c) {
+        if (c)
+            row.append(',');
+        row.appendJsonDouble(coreIps(*t.rec, c));
+    }
+    row.append(std::string_view{"],\"decision_latency_us\":"});
     row.appendJsonDouble(t.decision_latency_s * 1e6);
     if (t.health) {
         row.append(std::string_view{",\"fault_events\":"});
@@ -231,6 +271,27 @@ JsonlSink::encodeRow(const IntervalTelemetry &t) PPEP_NONALLOCATING
                       t.health->faultEvents());
         row.append(std::string_view{",\"degraded\":"});
         row.append(std::string_view{t.degraded ? "true" : "false"});
+    }
+    if (t.tenants && t.tenant_names) {
+        const TenantAttribution &a = *t.tenants;
+        row.append(std::string_view{",\"tenants\":{"});
+        for (std::size_t i = 0; i < t.tenant_names->size(); ++i) {
+            if (i)
+                row.append(',');
+            row.append('"');
+            row.append(std::string_view{(*t.tenant_names)[i]});
+            row.append(std::string_view{"\":{\"dynamic_w\":"});
+            row.appendJsonDouble(a.dynamic_w[i]);
+            row.append(std::string_view{",\"idle_w\":"});
+            row.appendJsonDouble(a.idle_w[i]);
+            row.append(std::string_view{",\"total_w\":"});
+            row.appendJsonDouble(a.total_w[i]);
+            row.append('}');
+        }
+        row.append(std::string_view{"},\"unattributed_w\":"});
+        row.appendJsonDouble(a.unattributed_w);
+        row.append(std::string_view{",\"tenant_chip_total_w\":"});
+        row.appendJsonDouble(a.chip_total_w);
     }
     row.append(std::string_view{"}\n"});
 }
@@ -329,6 +390,18 @@ DigestSink::onInterval(const IntervalTelemetry &t) PPEP_NONBLOCKING
         }
     }
 
+    if (t.tenants) {
+        const TenantAttribution &a = *t.tenants;
+        for (double v : a.dynamic_w)
+            mixDouble(v);
+        for (double v : a.idle_w)
+            mixDouble(v);
+        for (double v : a.total_w)
+            mixDouble(v);
+        mixDouble(a.unattributed_w);
+        mixDouble(a.chip_total_w);
+    }
+
     if (t.health) {
         const SampleHealth &h = *t.health;
         mixU64(h.msr_retries);
@@ -365,6 +438,21 @@ SummarySink::onInterval(const IntervalTelemetry &t)
     energy_j_ += t.rec->sensor_power_w * t.rec->duration_s;
     latency_sum_s_ += t.decision_latency_s;
     latency_max_s_ = std::max(latency_max_s_, t.decision_latency_s);
+    if (t.tenants) {
+        const TenantAttribution &a = *t.tenants;
+        if (tenant_names_.empty() && t.tenant_names)
+            tenant_names_ = *t.tenant_names;
+        if (tenant_energy_j_.size() < a.total_w.size()) {
+            tenant_energy_j_.resize(a.total_w.size(), 0.0);
+            tenant_power_sum_w_.resize(a.total_w.size(), 0.0);
+        }
+        for (std::size_t i = 0; i < a.total_w.size(); ++i) {
+            tenant_energy_j_[i] += a.total_w[i] * t.rec->duration_s;
+            tenant_power_sum_w_[i] += a.total_w[i];
+        }
+        unattributed_energy_j_ +=
+            a.unattributed_w * t.rec->duration_s;
+    }
     if (t.health)
         fault_events_ += t.health->faultEvents();
     if (t.degraded) {
@@ -425,6 +513,12 @@ SummarySink::summary() const
     s.fault_events = fault_events_;
     s.degraded_intervals = degraded_intervals_;
     s.demotions = demotions_;
+    s.tenant_names = tenant_names_;
+    s.tenant_energy_j = tenant_energy_j_;
+    s.tenant_mean_power_w = tenant_power_sum_w_;
+    for (double &w : s.tenant_mean_power_w)
+        w /= static_cast<double>(steps_.size());
+    s.unattributed_energy_j = unattributed_energy_j_;
     return s;
 }
 
@@ -465,6 +559,15 @@ SummarySink::print(std::ostream &out) const
         row.append(std::string_view{" ("});
         row.appendU64(s.demotions);
         row.append(std::string_view{" demotions)\n"});
+    }
+    for (std::size_t i = 0; i < s.tenant_names.size(); ++i) {
+        row.append(std::string_view{"  tenant "});
+        row.append(std::string_view{s.tenant_names[i]});
+        row.append(std::string_view{": energy "});
+        row.appendFixed(s.tenant_energy_j[i], 1);
+        row.append(std::string_view{" J, mean power "});
+        row.appendFixed(s.tenant_mean_power_w[i], 2);
+        row.append(std::string_view{" W\n"});
     }
     row.append(std::string_view{"  VF residency (CU-intervals):"});
     for (std::size_t v = 0; v < s.vf_residency.size(); ++v) {

@@ -34,6 +34,8 @@
 
 namespace ppep::runtime {
 
+struct TenantAttribution; // runtime/tenant.hpp
+
 /** Everything a sink sees about one completed interval. */
 struct IntervalTelemetry
 {
@@ -79,6 +81,14 @@ struct IntervalTelemetry
     /** True when the decision that ended this interval ran the
      *  degraded-mode safe policy instead of the configured governor. */
     bool degraded = false;
+
+    /** Per-tenant power attribution for this interval; nullptr when the
+     *  session defines no tenants. Valid only during the callback. */
+    const TenantAttribution *tenants = nullptr;
+
+    /** Tenant names aligned with the attribution arrays; set iff
+     *  `tenants` is. Valid only during the callback. */
+    const std::vector<std::string> *tenant_names = nullptr;
 };
 
 /** Observer of a governed run, invoked once per completed interval. */
@@ -153,6 +163,7 @@ class CsvSink : public TelemetrySink
     util::fmt::RowBuffer row_;
     bool header_written_ = false;
     bool with_health_ = false;
+    bool with_tenants_ = false;
     bool failed_ = false;
     std::string error_;
 };
@@ -252,6 +263,18 @@ class SummarySink : public TelemetrySink
 
         /** Healthy-to-degraded transitions observed. */
         std::size_t demotions = 0;
+
+        /** Tenant names (empty when the run had no tenants). */
+        std::vector<std::string> tenant_names;
+
+        /** Attributed energy per tenant, joules (aligned with names). */
+        std::vector<double> tenant_energy_j;
+
+        /** Mean attributed power per tenant, watts. */
+        std::vector<double> tenant_mean_power_w;
+
+        /** Energy attributed to cores no tenant owns, joules. */
+        double unattributed_energy_j = 0.0;
     };
 
     void onInterval(const IntervalTelemetry &t) override;
@@ -271,6 +294,10 @@ class SummarySink : public TelemetrySink
 
     std::vector<StepLite> steps_;
     std::vector<std::size_t> residency_;
+    std::vector<std::string> tenant_names_;
+    std::vector<double> tenant_energy_j_;
+    std::vector<double> tenant_power_sum_w_;
+    double unattributed_energy_j_ = 0.0;
     std::size_t fault_events_ = 0;
     std::size_t degraded_intervals_ = 0;
     std::size_t demotions_ = 0;

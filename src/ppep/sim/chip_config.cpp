@@ -98,6 +98,16 @@ fx8320ConfigWithBoost()
 }
 
 ChipConfig
+fx8320NbDvfsConfig()
+{
+    ChipConfig cfg = fx8320Config();
+    cfg.name = "AMD FX-8320 (simulated, NB-DVFS)";
+    cfg.nb_dvfs_capable = true;
+    cfg.validate();
+    return cfg;
+}
+
+ChipConfig
 phenomIIConfig()
 {
     ChipConfig cfg;

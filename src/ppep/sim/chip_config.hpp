@@ -199,6 +199,15 @@ struct ChipConfig
     bool pg_supported = true;
 
     /**
+     * Whether the NB voltage/frequency can be switched at run time
+     * (Sec. V-C2, Fig. 11): stock parts pin the NB at nb.vf_hi; a
+     * NB-DVFS-capable variant may drop to nb.vf_lo when the predicted
+     * energy saving warrants it. Changes what training measures, so it
+     * participates in the ModelStore fingerprint.
+     */
+    bool nb_dvfs_capable = false;
+
+    /**
      * Whether each CU has its own voltage plane. Real parts share one
      * rail (voltage = max over CUs); the paper's capping study assumes
      * separate planes, as prior work [20, 21] does.
@@ -241,6 +250,12 @@ ChipConfig fx8320ConfigWithBoost();
 
 /** The secondary platform: AMD Phenom II X6 1090T, 6 cores, no PG. */
 ChipConfig phenomIIConfig();
+
+/**
+ * The Fig. 11 what-if platform: an FX-8320 whose NB domain supports
+ * run-time DVFS between nb.vf_hi and nb.vf_lo (Sec. V-C2).
+ */
+ChipConfig fx8320NbDvfsConfig();
 
 } // namespace ppep::sim
 

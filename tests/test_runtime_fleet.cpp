@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -37,13 +39,18 @@ smallTrainingSet(std::size_t n = 8)
     return out;
 }
 
-/** One cache dir for the whole binary: the first fleet trains, every
- *  later one loads the same bytes, keeping the tests fast. */
+/** One cache dir per test process: the first fleet trains, every
+ *  later one in the same process loads the same bytes, keeping the
+ *  tests fast. Keyed by pid because ctest runs each TEST as its own
+ *  process, concurrently — a shared dir would let one process
+ *  remove_all entries a sibling is mid-publish on. */
 const std::string &
 cacheDir()
 {
     static const std::string dir = [] {
-        const std::string d = ::testing::TempDir() + "ppep_fleet_cache";
+        const std::string d = ::testing::TempDir() +
+                              "ppep_fleet_cache_" +
+                              std::to_string(::getpid());
         std::filesystem::remove_all(d);
         return d;
     }();
@@ -184,6 +191,110 @@ TEST(Fleet, ThrowingSessionDoesNotSinkThePool)
     }
 }
 
+/** 5 sessions over 3 distinct platforms, 2 tenants on the first. */
+FleetSpec
+heteroSpec()
+{
+    FleetSpec spec = baseSpec(5);
+    // Sessions 0-1 stay on the fleet-default FX-8320; 2-3 bring a
+    // Phenom II, 4 the NB-DVFS variant. The first FX chip is split
+    // between two tenants, whose jobs replace its one_per_cu.
+    spec.sessions[2].cfg = sim::phenomIIConfig();
+    spec.sessions[3].cfg = sim::phenomIIConfig();
+    spec.sessions[4].cfg = sim::fx8320NbDvfsConfig();
+    // The Phenom II cannot power-gate; baseSpec's pg alternation only
+    // applies to the FX sessions.
+    spec.sessions[2].pg = false;
+    spec.sessions[3].pg = false;
+    spec.sessions[0].one_per_cu.clear();
+    spec.sessions[0].tenants = {
+        {"alpha", {0, 1, 2, 3}, {{0, "EP", true}}},
+        {"beta", {4, 5, 6, 7}, {{4, "CG", true}}},
+    };
+    return spec;
+}
+
+TEST(Fleet, HeterogeneousSharesEntriesPerConfig)
+{
+    Fleet fleet(heteroSpec());
+    fleet.prepare();
+
+    // Three distinct platforms -> three registry entries, resolved by
+    // fingerprint: fingerprint-identical sessions share one Ppep.
+    EXPECT_EQ(fleet.modelEntryCount(), 3u);
+    EXPECT_EQ(fleet.entryIndexOf(0), fleet.entryIndexOf(1));
+    EXPECT_EQ(fleet.entryIndexOf(2), fleet.entryIndexOf(3));
+    EXPECT_NE(fleet.entryIndexOf(0), fleet.entryIndexOf(2));
+    EXPECT_NE(fleet.entryIndexOf(0), fleet.entryIndexOf(4));
+    EXPECT_NE(fleet.entryIndexOf(2), fleet.entryIndexOf(4));
+    EXPECT_EQ(&fleet.ppepOf(0), &fleet.ppepOf(1));
+    EXPECT_NE(&fleet.ppepOf(0), &fleet.ppepOf(2));
+
+    // models()/ppep() still address the default-config entry.
+    EXPECT_EQ(&fleet.ppep(), &fleet.ppepOf(0));
+}
+
+TEST(Fleet, HeterogeneousBitIdenticalAcrossThreadCounts)
+{
+    Fleet fleet(heteroSpec());
+    const auto serial = fleet.run(1);
+    ASSERT_EQ(serial.failed, 0u);
+    ASSERT_EQ(serial.completed, 5u);
+
+    for (std::size_t i = 1; i < serial.sessions.size(); ++i)
+        EXPECT_NE(serial.sessions[i].telemetry_digest,
+                  serial.sessions[0].telemetry_digest);
+
+    for (const std::size_t threads : {2, 8}) {
+        const auto parallel = fleet.run(threads);
+        ASSERT_EQ(parallel.failed, 0u) << threads << " threads";
+        for (std::size_t i = 0; i < serial.sessions.size(); ++i)
+            EXPECT_EQ(parallel.sessions[i].telemetry_digest,
+                      serial.sessions[i].telemetry_digest)
+                << "session " << i << " at " << threads << " threads";
+    }
+}
+
+TEST(Fleet, HeterogeneousCsvHeadersMatchEachConfig)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = ::testing::TempDir() + "ppep_fleet_hetero";
+    fs::remove_all(dir);
+
+    auto spec = heteroSpec();
+    spec.csv_dir = dir;
+    Fleet fleet(std::move(spec));
+    ASSERT_EQ(fleet.run(2).failed, 0u);
+
+    const auto header = [&](const std::string &name) {
+        std::ifstream in(dir + "/" + name + ".csv");
+        EXPECT_TRUE(in.is_open()) << name;
+        std::string line;
+        std::getline(in, line);
+        return line;
+    };
+
+    // FX-8320: 4 CUs x 2 cores; Phenom II: 6 CUs x 1 core. Each
+    // session's columns must come from its own config, and the tenant
+    // session alone grows attribution columns.
+    const std::string fx_tenants = header("s0");
+    EXPECT_NE(fx_tenants.find("cu3_vf"), std::string::npos);
+    EXPECT_EQ(fx_tenants.find("cu4_vf"), std::string::npos);
+    EXPECT_NE(fx_tenants.find("core7_ips"), std::string::npos);
+    EXPECT_NE(fx_tenants.find("tenant_alpha_w"), std::string::npos);
+    EXPECT_NE(fx_tenants.find("tenant_beta_w"), std::string::npos);
+    EXPECT_NE(fx_tenants.find("unattributed_w"), std::string::npos);
+
+    const std::string fx_plain = header("s1");
+    EXPECT_EQ(fx_plain.find("tenant_"), std::string::npos);
+
+    const std::string phenom = header("s2");
+    EXPECT_NE(phenom.find("cu5_vf"), std::string::npos);
+    EXPECT_NE(phenom.find("core5_ips"), std::string::npos);
+    EXPECT_EQ(phenom.find("core6_ips"), std::string::npos);
+    EXPECT_EQ(phenom.find("tenant_"), std::string::npos);
+}
+
 TEST(Fleet, AsyncTelemetryMatchesSyncCsv)
 {
     namespace fs = std::filesystem;
@@ -206,19 +317,25 @@ TEST(Fleet, AsyncTelemetryMatchesSyncCsv)
     ASSERT_EQ(async_fleet.run(2).failed, 0u);
 
     // The async writer must not reorder, drop, or alter rows. The
-    // decision_latency_us column (index 8) is wall clock, so it is
-    // blanked before comparing.
+    // decision_latency_us column is wall clock, so it is located from
+    // the (config-derived) header and blanked before comparing.
     const auto normalized = [](const std::string &path) {
         std::ifstream in(path);
         EXPECT_TRUE(in.is_open()) << path;
         std::string out, line;
+        std::size_t latency_col = std::string::npos;
         while (std::getline(in, line)) {
             std::vector<std::string> fields;
             std::stringstream row(line);
             for (std::string f; std::getline(row, f, ',');)
                 fields.push_back(f);
-            if (fields.size() > 8)
-                fields[8] = "x";
+            if (latency_col == std::string::npos)
+                for (std::size_t i = 0; i < fields.size(); ++i)
+                    if (fields[i] == "decision_latency_us")
+                        latency_col = i;
+            EXPECT_NE(latency_col, std::string::npos) << path;
+            if (fields.size() > latency_col)
+                fields[latency_col] = "x";
             for (std::size_t i = 0; i < fields.size(); ++i)
                 out += (i ? "," : "") + fields[i];
             out += '\n';

@@ -68,6 +68,45 @@ TEST(ModelKey, ChangesWithPlatform)
     EXPECT_NE(fx.fingerprint, planes.fingerprint);
 }
 
+TEST(ModelKey, DistinctEntriesPerFleetConfig)
+{
+    // Every platform a heterogeneous fleet can mix must land on its
+    // own cache entry — an FX-8320 model must never be served to a
+    // Phenom II (or NB-DVFS-variant) session.
+    const auto combos = smallTrainingSet();
+    const sim::ChipConfig cfgs[] = {
+        sim::fx8320Config(),
+        sim::fx8320ConfigWithBoost(),
+        sim::fx8320NbDvfsConfig(),
+        sim::phenomIIConfig(),
+    };
+    for (std::size_t a = 0; a < std::size(cfgs); ++a)
+        for (std::size_t b = a + 1; b < std::size(cfgs); ++b)
+            EXPECT_NE(ModelStore::keyFor(cfgs[a], 1, combos).digest(),
+                      ModelStore::keyFor(cfgs[b], 1, combos).digest())
+                << cfgs[a].name << " vs " << cfgs[b].name;
+}
+
+TEST(ModelKey, ChangesWithGroundTruthPower)
+{
+    // The fingerprint covers the full chip description, ground truth
+    // included: a recalibrated simulator must retrain rather than be
+    // served models fit against the old power surface.
+    const auto combos = smallTrainingSet();
+    const auto base =
+        ModelStore::keyFor(sim::fx8320Config(), 1, combos);
+
+    auto cfg = sim::fx8320Config();
+    cfg.power.base_power_w += 0.5;
+    EXPECT_NE(base.fingerprint,
+              ModelStore::keyFor(cfg, 1, combos).fingerprint);
+
+    cfg = sim::fx8320Config();
+    cfg.nb_dvfs_capable = true;
+    EXPECT_NE(base.fingerprint,
+              ModelStore::keyFor(cfg, 1, combos).fingerprint);
+}
+
 TEST(ModelKey, ChangesWithTrainingSet)
 {
     const auto cfg = sim::fx8320Config();
@@ -202,6 +241,50 @@ TEST(ModelStore, ConcurrentTrainOrLoadTrainsOnce)
                              pr[vf].energy_per_inst);
         }
     }
+}
+
+TEST(ModelStore, ConcurrentMixedFleetTrainsEachConfigOnce)
+{
+    // A heterogeneous fleet's prepare() path: racing trainOrLoad calls
+    // for three distinct platforms must pay for exactly one training
+    // per platform, and every racer of a platform must be served the
+    // bit-identical artifact.
+    const auto combos = smallTrainingSet();
+    const ModelStore store(freshCacheDir("mixed_concurrent"));
+    const sim::ChipConfig cfgs[] = {
+        sim::fx8320Config(),
+        sim::fx8320NbDvfsConfig(),
+        sim::phenomIIConfig(),
+    };
+
+    const auto events_before = ModelStore::trainEvents();
+    constexpr std::size_t kThreads = 6; // two racers per platform
+    std::vector<model::TrainedModels> results(kThreads);
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        pool.emplace_back([&, t] {
+            results[t] =
+                store.trainOrLoad(cfgs[t % std::size(cfgs)], 91, combos);
+        });
+    for (auto &th : pool)
+        th.join();
+
+    EXPECT_EQ(ModelStore::trainEvents() - events_before,
+              std::size(cfgs));
+    for (const auto &cfg : cfgs)
+        EXPECT_TRUE(store.contains(ModelStore::keyFor(cfg, 91, combos)))
+            << cfg.name;
+
+    // Racers that asked for the same platform got the same models;
+    // racers of different platforms did not.
+    for (std::size_t c = 0; c < std::size(cfgs); ++c) {
+        EXPECT_DOUBLE_EQ(results[c].alpha,
+                         results[c + std::size(cfgs)].alpha);
+        EXPECT_EQ(results[c].dynamic.weights(),
+                  results[c + std::size(cfgs)].dynamic.weights());
+    }
+    EXPECT_NE(results[0].dynamic.weights(),
+              results[2].dynamic.weights()); // FX vs Phenom
 }
 
 TEST(ModelStore, Fnv1aMatchesReferenceVectors)

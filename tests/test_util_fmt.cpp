@@ -252,21 +252,29 @@ TEST(FmtTelemetry, CsvSinkDoublesParseBackBitExactly)
     std::string header, line;
     ASSERT_TRUE(std::getline(lines, header));
     ASSERT_TRUE(std::getline(lines, line));
+    // interval,time_s,cap_w + one cu{i}_vf per CU + measured,
+    // predicted, diode, total_ips + one core{c}_ips per core +
+    // decision_latency_us: 3 + 4 + 4 + 2 + 1 columns.
     const auto cells = split(line, ',');
-    ASSERT_EQ(cells.size(), 9u);
+    ASSERT_EQ(cells.size(), 14u);
     EXPECT_EQ(cells[0], "7");
-    EXPECT_EQ(cells[3], "0+2+4+1");
+    EXPECT_EQ(cells[3], "0");
+    EXPECT_EQ(cells[4], "2");
+    EXPECT_EQ(cells[5], "4");
+    EXPECT_EQ(cells[6], "1");
 
     const double total_ips =
         (1.25e8 + 3.1e7) / rec.duration_s; // same fold as the sink
     const std::pair<std::size_t, double> numeric[] = {
         {1, t.time_s},
         {2, t.cap_w},
-        {4, rec.sensor_power_w},
-        {5, t.predicted_power_w},
-        {6, rec.diode_temp_k},
-        {7, total_ips},
-        {8, t.decision_latency_s * 1e6},
+        {7, rec.sensor_power_w},
+        {8, t.predicted_power_w},
+        {9, rec.diode_temp_k},
+        {10, total_ips},
+        {11, 1.25e8 / rec.duration_s},
+        {12, 3.1e7 / rec.duration_s},
+        {13, t.decision_latency_s * 1e6},
     };
     for (const auto &[col, want] : numeric)
         EXPECT_EQ(bits(std::strtod(cells[col].c_str(), nullptr)),

@@ -24,7 +24,9 @@
 #include "ppep/governor/ppep_capping.hpp"
 #include "ppep/model/ppep.hpp"
 #include "ppep/model/trainer.hpp"
+#include "ppep/runtime/session.hpp"
 #include "ppep/runtime/telemetry.hpp"
+#include "ppep/runtime/tenant.hpp"
 #include "ppep/sim/chip.hpp"
 #include "ppep/trace/collector.hpp"
 #include "ppep/workloads/suite.hpp"
@@ -219,6 +221,71 @@ TEST(ZeroAlloc, CsvSinkEncodeIsAllocationFreeOnceWarm)
 TEST(ZeroAlloc, JsonlSinkEncodeIsAllocationFreeOnceWarm)
 {
     expectEncodeIsAllocationFree<runtime::JsonlSink>();
+}
+
+TEST(ZeroAlloc, TenantAttributionIsAllocationFree)
+{
+    const Stack stack;
+    sim::Chip chip(stack.cfg, 5);
+    workloads::launch(chip, workloads::replicate("433.milc", 4), true);
+    trace::Collector col(chip);
+    col.collect(2);
+    const trace::IntervalRecord rec = col.collectInterval();
+
+    const runtime::TenantAttributor attr(
+        stack.cfg, stack.models.dynamic, stack.models.pg,
+        {{"alpha", {0, 1, 2, 3}, {}}, {"beta", {4, 5, 6, 7}, {}}});
+    auto out = attr.makeAttribution();
+    attr.attributeInto(rec, true, out); // warm (nothing to warm, but)
+
+    for (int i = 0; i < 10; ++i) {
+        g_news.store(0, std::memory_order_relaxed);
+        g_counting.store(true, std::memory_order_relaxed);
+        attr.attributeInto(rec, (i % 2) == 0, out);
+        g_counting.store(false, std::memory_order_relaxed);
+        EXPECT_EQ(g_news.load(std::memory_order_relaxed), 0u)
+            << "interval " << i;
+    }
+}
+
+TEST(ZeroAlloc, TenantSessionSteadyStateIntervalIsAllocationFree)
+{
+    // The full fleet path with tenants attached: drive() with per-
+    // interval attribution and digest fan-out must stay allocation-free
+    // once warm, or a mixed fleet would contend on the allocator.
+    runtime::DigestSink digest;
+    auto session =
+        runtime::Session::builder(sim::fx8320Config())
+            .seed(5)
+            .pg(true)
+            .trainingSeed(91)
+            .trainingCombos(smallTrainingSet())
+            .tenants({{"alpha", {0, 1, 2, 3}, {{0, "EP", true}}},
+                      {"beta", {4, 5, 6, 7}, {{4, "CG", true}}}})
+            .sink(digest)
+            .build();
+
+    session.drive(5); // warm every scratch buffer
+
+    // Session::drive() pays a fixed setup cost per call (loop and
+    // observer construction) that sits outside the warm path. The
+    // contract under test is the per-interval work: attribution,
+    // encoding, and digest fan-out. Driving 1 interval and then 21
+    // must allocate identically — the 20 extra warm intervals touch
+    // the heap zero times.
+    g_news.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    session.drive(1);
+    g_counting.store(false, std::memory_order_relaxed);
+    const std::size_t setup = g_news.load(std::memory_order_relaxed);
+
+    g_news.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    session.drive(21);
+    g_counting.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(g_news.load(std::memory_order_relaxed), setup)
+        << "a warm governed interval with tenant attribution "
+           "allocated";
 }
 
 TEST(ZeroAlloc, CountingHookIsLive)

@@ -11,15 +11,21 @@
  *   ppep validate [options]                    estimation-error summary
  *   ppep fleet    --fleet N --threads K        N governed sessions on a
  *                                              K-worker pool
+ *   ppep fleet    --mix fx:6,phenom:2          heterogeneous fleet: one
+ *                                              session per mix entry,
+ *                                              each on its own platform
  *
  * Common options:
- *   --platform fx8320|fx8320-boost|phenom2     (default fx8320)
+ *   --platform fx8320|fx8320-boost|fx8320-nbdvfs|phenom2
+ *                                              (default fx8320)
  *   --seed N                                   (default 2014)
  *   -b/--benchmark NAME, -n/--copies N, --nb-whatif, --quick
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -53,6 +59,8 @@ struct Options
     std::size_t fleet_sessions = 4;
     std::size_t threads = 1;
     std::size_t intervals = 40;
+    std::string mix;
+    std::size_t tenants = 0;
 };
 
 [[noreturn]] void
@@ -73,9 +81,19 @@ usage(int code)
         "  fleet [--fleet N] [--threads K] [--intervals I]\n"
         "                             run N governed sessions on a\n"
         "                             K-worker pool over shared models\n"
+        "        [--mix LIST|@FILE]   heterogeneous fleet: LIST is\n"
+        "                             NAME:COUNT[,NAME:COUNT...] with\n"
+        "                             NAME in fx, boost, nbdvfs, phenom\n"
+        "                             (e.g. --mix fx:6,phenom:2);\n"
+        "                             @FILE reads the same entries from\n"
+        "                             a file, one per line, # comments\n"
+        "        [--tenants K]        split the first session's chip\n"
+        "                             between K tenants and report\n"
+        "                             per-tenant power attribution\n"
         "\n"
         "options:\n"
-        "  --platform fx8320|fx8320-boost|phenom2   (default fx8320)\n"
+        "  --platform fx8320|fx8320-boost|fx8320-nbdvfs|phenom2\n"
+        "                             (default fx8320)\n"
         "  --seed N                                  (default 2014)\n"
         "  --quick                    small training/validation sets\n");
     std::exit(code);
@@ -120,6 +138,10 @@ parse(int argc, char **argv)
             opt.threads = std::stoul(next());
         else if (arg == "--intervals")
             opt.intervals = std::stoul(next());
+        else if (arg == "--mix")
+            opt.mix = next();
+        else if (arg == "--tenants")
+            opt.tenants = std::stoul(next());
         else if (arg == "-h" || arg == "--help")
             usage(0);
         else {
@@ -137,10 +159,131 @@ platformOf(const std::string &name)
         return sim::fx8320Config();
     if (name == "fx8320-boost")
         return sim::fx8320ConfigWithBoost();
+    if (name == "fx8320-nbdvfs")
+        return sim::fx8320NbDvfsConfig();
     if (name == "phenom2")
         return sim::phenomIIConfig();
     std::fprintf(stderr, "unknown platform '%s'\n", name.c_str());
     usage(1);
+}
+
+/** One `NAME:COUNT` entry of a `--mix` argument. */
+struct MixEntry
+{
+    std::string alias;
+    sim::ChipConfig cfg;
+    std::size_t count = 0;
+};
+
+/** Short platform aliases accepted inside --mix. */
+const sim::ChipConfig *
+mixPlatform(const std::string &alias)
+{
+    static const sim::ChipConfig fx = sim::fx8320Config();
+    static const sim::ChipConfig boost = sim::fx8320ConfigWithBoost();
+    static const sim::ChipConfig nbdvfs = sim::fx8320NbDvfsConfig();
+    static const sim::ChipConfig phenom = sim::phenomIIConfig();
+    if (alias == "fx" || alias == "fx8320")
+        return &fx;
+    if (alias == "boost" || alias == "fx8320-boost")
+        return &boost;
+    if (alias == "nbdvfs" || alias == "fx8320-nbdvfs")
+        return &nbdvfs;
+    if (alias == "phenom" || alias == "phenom2")
+        return &phenom;
+    return nullptr;
+}
+
+/**
+ * Parse `--mix fx:6,phenom:2` (or `--mix @file`, same entries one per
+ * line with `#` comments) into per-platform session counts. Exits with
+ * a diagnostic on any malformed entry.
+ */
+std::vector<MixEntry>
+parseMix(const std::string &arg)
+{
+    std::string text = arg;
+    if (!text.empty() && text[0] == '@') {
+        const std::string path = text.substr(1);
+        std::ifstream in(path);
+        if (!in.is_open()) {
+            std::fprintf(stderr, "fleet: cannot open mix file '%s'\n",
+                         path.c_str());
+            std::exit(1);
+        }
+        text.clear();
+        for (std::string line; std::getline(in, line);) {
+            const auto hash = line.find('#');
+            if (hash != std::string::npos)
+                line.erase(hash);
+            std::string token;
+            for (char c : line)
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    token += c;
+            if (token.empty())
+                continue;
+            if (!text.empty())
+                text += ',';
+            text += token;
+        }
+    }
+
+    std::vector<MixEntry> out;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const auto comma = text.find(',', pos);
+        const std::string token =
+            text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        pos = comma == std::string::npos ? text.size() + 1 : comma + 1;
+        if (token.empty()) {
+            std::fprintf(stderr,
+                         "fleet: empty entry in --mix '%s' (want "
+                         "NAME:COUNT, e.g. fx:6,phenom:2)\n",
+                         arg.c_str());
+            std::exit(1);
+        }
+        const auto colon = token.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= token.size()) {
+            std::fprintf(stderr,
+                         "fleet: bad --mix entry '%s' (want NAME:COUNT, "
+                         "e.g. fx:6)\n",
+                         token.c_str());
+            std::exit(1);
+        }
+        MixEntry entry;
+        entry.alias = token.substr(0, colon);
+        const sim::ChipConfig *cfg = mixPlatform(entry.alias);
+        if (cfg == nullptr) {
+            std::fprintf(stderr,
+                         "fleet: unknown platform '%s' in --mix (one of "
+                         "fx, boost, nbdvfs, phenom)\n",
+                         entry.alias.c_str());
+            std::exit(1);
+        }
+        entry.cfg = *cfg;
+        const std::string count = token.substr(colon + 1);
+        for (char c : count) {
+            if (c < '0' || c > '9') {
+                std::fprintf(stderr,
+                             "fleet: bad count '%s' in --mix entry "
+                             "'%s'\n",
+                             count.c_str(), token.c_str());
+                std::exit(1);
+            }
+        }
+        entry.count = std::stoul(count);
+        if (entry.count == 0) {
+            std::fprintf(stderr,
+                         "fleet: count must be positive in --mix entry "
+                         "'%s'\n",
+                         token.c_str());
+            std::exit(1);
+        }
+        out.push_back(std::move(entry));
+    }
+    return out;
 }
 
 std::vector<const workloads::Combination *>
@@ -336,21 +479,79 @@ cmdFleet(const Options &opt)
     spec.store.emplace();
     spec.warmup = 2;
     spec.intervals = opt.intervals;
-    for (std::size_t i = 0; i < opt.fleet_sessions; ++i) {
-        runtime::FleetSessionSpec ss;
-        ss.seed = opt.seed + 100 + i;
-        ss.pg = (i % 2) == 0;
-        ss.one_per_cu = mixes[i % mixes.size()];
-        spec.sessions.push_back(std::move(ss));
+    if (opt.mix.empty()) {
+        for (std::size_t i = 0; i < opt.fleet_sessions; ++i) {
+            runtime::FleetSessionSpec ss;
+            ss.seed = opt.seed + 100 + i;
+            ss.pg = (i % 2) == 0;
+            ss.one_per_cu = mixes[i % mixes.size()];
+            spec.sessions.push_back(std::move(ss));
+        }
+    } else {
+        // Heterogeneous fleet: one session per mix unit, each carrying
+        // its own ChipConfig; the default platform is ignored and the
+        // first mix entry becomes the fleet default.
+        const auto entries = parseMix(opt.mix);
+        spec.cfg = entries.front().cfg;
+        std::size_t i = 0;
+        for (const auto &entry : entries) {
+            for (std::size_t k = 0; k < entry.count; ++k, ++i) {
+                runtime::FleetSessionSpec ss;
+                ss.name = entry.alias + "-" + std::to_string(k);
+                ss.seed = opt.seed + 100 + i;
+                ss.pg = entry.cfg.pg_supported && (i % 2) == 0;
+                ss.one_per_cu = mixes[i % mixes.size()];
+                ss.cfg = entry.cfg;
+                spec.sessions.push_back(std::move(ss));
+            }
+        }
     }
 
+    if (opt.tenants > 0) {
+        // Split the first session's chip between K tenants, one slice
+        // of CUs each, with one looping program per tenant. Eqs. 7-8
+        // attribution then lands in the session summary.
+        auto &first = spec.sessions.front();
+        const sim::ChipConfig &cfg = first.cfg ? *first.cfg : spec.cfg;
+        if (!cfg.pg_supported) {
+            std::fprintf(stderr,
+                         "fleet: --tenants needs a power-gating "
+                         "platform for the first session ('%s' has "
+                         "none); put an fx entry first\n",
+                         cfg.name.c_str());
+            return 1;
+        }
+        if (opt.tenants > cfg.n_cus) {
+            std::fprintf(stderr,
+                         "fleet: --tenants %zu exceeds the %zu CUs of "
+                         "'%s'\n",
+                         opt.tenants, cfg.n_cus, cfg.name.c_str());
+            return 1;
+        }
+        first.one_per_cu.clear();
+        for (std::size_t t = 0; t < opt.tenants; ++t) {
+            runtime::TenantSpec ts;
+            ts.name = "tenant" + std::to_string(t);
+            for (std::size_t cu = t; cu < cfg.n_cus; cu += opt.tenants)
+                for (std::size_t c = 0; c < cfg.cores_per_cu; ++c)
+                    ts.cores.push_back(cu * cfg.cores_per_cu + c);
+            ts.jobs.push_back({ts.cores.front(),
+                               mixes[t % mixes.size()].front(), true});
+            first.tenants.push_back(std::move(ts));
+        }
+    }
+
+    const std::size_t n_sessions = spec.sessions.size();
     runtime::Fleet fleet(std::move(spec));
-    std::printf("training/loading shared models (seed %llu)...\n",
+    std::printf("training/loading models (seed %llu)...\n",
                 static_cast<unsigned long long>(opt.seed));
     fleet.prepare();
+    std::printf("%zu model entr%s for %zu sessions\n",
+                fleet.modelEntryCount(),
+                fleet.modelEntryCount() == 1 ? "y" : "ies", n_sessions);
     std::printf("running %zu sessions x %zu intervals on %zu "
                 "thread(s)...\n",
-                opt.fleet_sessions, opt.intervals, opt.threads);
+                n_sessions, opt.intervals, opt.threads);
     const auto res = fleet.run(opt.threads);
 
     util::Table t("\nFleet sessions:");
@@ -368,6 +569,18 @@ cmdFleet(const Options &opt)
                   util::Table::num(s.summary.energy_j, 1), digest});
     }
     t.print(std::cout);
+    for (const auto &s : res.sessions) {
+        if (!s.completed || s.summary.tenant_names.empty())
+            continue;
+        std::printf("\nsession %s tenants:\n", s.name.c_str());
+        for (std::size_t i = 0; i < s.summary.tenant_names.size(); ++i)
+            std::printf("  %-10s %8.1f J  mean %6.2f W\n",
+                        s.summary.tenant_names[i].c_str(),
+                        s.summary.tenant_energy_j[i],
+                        s.summary.tenant_mean_power_w[i]);
+        std::printf("  %-10s %8.1f J\n", "unowned",
+                    s.summary.unattributed_energy_j);
+    }
     std::printf("\n%zu/%zu sessions completed in %.3f s "
                 "(%.2f sessions/s, %.1f intervals/s)\n",
                 res.completed, res.sessions.size(), res.wall_s,
