@@ -11,7 +11,7 @@ DegradedModeGovernor::DegradedModeGovernor(const sim::Chip &chip,
                                            Governor &inner,
                                            HealthProbe probe,
                                            SafePolicy policy)
-    : chip_(chip), inner_(inner), probe_(std::move(probe)),
+    : chip_(chip), inner_(&inner), probe_(std::move(probe)),
       policy_(policy),
       last_predicted_w_(std::numeric_limits<double>::quiet_NaN())
 {
@@ -45,8 +45,8 @@ DegradedModeGovernor::decideInto(const trace::IntervalRecord &rec,
     PPEP_RT_OPAQUE_END
 
     if (!degraded_now_) {
-        inner_.decideInto(rec, cap_w, out);
-        last_predicted_w_ = inner_.lastPredictedPower();
+        inner_->decideInto(rec, cap_w, out);
+        last_predicted_w_ = inner_->lastPredictedPower();
         return;
     }
 
@@ -79,19 +79,19 @@ DegradedModeGovernor::decideNb() PPEP_NONBLOCKING
 {
     if (degraded_now_)
         return std::nullopt;
-    return inner_.decideNb();
+    return inner_->decideNb();
 }
 
 std::string
 DegradedModeGovernor::name() const
 {
-    return "degraded-mode(" + inner_.name() + ")";
+    return "degraded-mode(" + inner_->name() + ")";
 }
 
 const std::vector<model::VfPrediction> *
 DegradedModeGovernor::lastExploration() const PPEP_NONBLOCKING
 {
-    return degraded_now_ ? nullptr : inner_.lastExploration();
+    return degraded_now_ ? nullptr : inner_->lastExploration();
 }
 
 double

@@ -97,9 +97,19 @@ class DegradedModeGovernor : public Governor
     /** The safe-policy tuning in force. */
     const SafePolicy &safePolicy() const { return policy_; }
 
+    /**
+     * Re-point the wrapper at a fresh inner policy — the recalibration
+     * hot-swap. Called between decisions (from the step observer, off
+     * the annotated decide path); @p g must outlive the governor.
+     */
+    void setInner(Governor &g) { inner_ = &g; }
+
+    /** The inner policy currently wrapped. */
+    const Governor &inner() const { return *inner_; }
+
   private:
     const sim::Chip &chip_;
-    Governor &inner_;
+    Governor *inner_;
     HealthProbe probe_;
     SafePolicy policy_;
     bool degraded_now_ = false;

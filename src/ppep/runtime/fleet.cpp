@@ -193,6 +193,17 @@ Fleet::runOne(std::size_t index)
             builder.faults(*ss.faults);
         if (ss.fault_seed)
             builder.faultSeed(*ss.fault_seed);
+        const std::optional<RecalibrationPolicy> &recal =
+            ss.recalibration ? ss.recalibration
+                             : spec_.default_recalibration;
+        if (recal) {
+            builder.recalibration(*recal);
+            // The session's lineage journal rides on the fleet store
+            // (safe alongside sharedModels: the shared entry wins model
+            // acquisition, the store is only consulted for lineage).
+            if (spec_.store)
+                builder.store(*spec_.store);
+        }
 
         Session session = builder.build();
         res.intervals = session.drive(spec_.intervals);

@@ -63,6 +63,9 @@ struct FleetSessionSpec
     std::optional<sim::FaultPlan> faults;
     /** Fault stream seed; nullopt derives from the chip seed. */
     std::optional<std::uint64_t> fault_seed;
+    /** Per-session online recalibration; nullopt falls back to the
+     *  fleet default (which may itself be off). */
+    std::optional<RecalibrationPolicy> recalibration;
     /**
      * This session's chip; nullopt inherits the fleet default. Sessions
      * whose configs fingerprint identically share one trained-model
@@ -91,6 +94,9 @@ struct FleetSpec
     GovernorFactory default_governor;
     /** Fleet-default cap schedule; nullopt = unlimited. */
     std::optional<ppep::governor::CapSchedule> default_schedule;
+    /** Fleet-default recalibration; nullopt = off. Sessions running
+     *  with a store() also journal adoptions to its lineage log. */
+    std::optional<RecalibrationPolicy> default_recalibration;
     /** Warm-up intervals per session. */
     std::size_t warmup = 0;
     /** Governed intervals per session. */

@@ -85,6 +85,23 @@ class HealthMonitor
     /** Intervals observed so far. */
     std::size_t intervalsObserved() const { return intervals_; }
 
+    /**
+     * A recalibrated model was just swapped in: the divergence history
+     * was earned by the retired model, so the EWMA restarts from zero
+     * and the clean streak with it. The degraded latch is untouched —
+     * re-promotion still requires repromote_clean genuinely clean
+     * intervals under the incoming model.
+     */
+    void noteModelSwap() PPEP_NONBLOCKING
+    {
+        divergence_ewma_ = 0.0;
+        clean_streak_ = 0;
+        ++model_swaps_;
+    }
+
+    /** Model swaps noted so far. */
+    std::size_t modelSwaps() const { return model_swaps_; }
+
     /** The thresholds in force. */
     const HealthPolicy &policy() const { return policy_; }
 
@@ -96,6 +113,7 @@ class HealthMonitor
     std::size_t demotions_ = 0;
     std::size_t repromotions_ = 0;
     std::size_t intervals_ = 0;
+    std::size_t model_swaps_ = 0;
 };
 
 } // namespace ppep::runtime

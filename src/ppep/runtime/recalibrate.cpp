@@ -1,0 +1,390 @@
+#include "ppep/runtime/recalibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "ppep/math/kfold.hpp"
+#include "ppep/math/least_squares.hpp"
+#include "ppep/math/matrix.hpp"
+#include "ppep/model/dynamic_power_model.hpp"
+#include "ppep/runtime/model_store.hpp"
+#include "ppep/util/logging.hpp"
+#include "ppep/util/rng.hpp"
+
+namespace ppep::runtime {
+
+namespace {
+
+/** Content digest of one generation's dynamic weights. */
+std::uint64_t
+weightsDigest(const std::array<double, sim::kNumPowerEvents> &w)
+{
+    return fnv1a(w.data(), sizeof(double) * w.size());
+}
+
+/** design-row . weights, the shared prediction kernel of the gate. */
+double
+dot(const math::Matrix &design, std::size_t row,
+    const std::vector<double> &w)
+{
+    double acc = 0.0;
+    for (std::size_t j = 0; j < w.size(); ++j)
+        acc += design(row, j) * w[j];
+    return acc;
+}
+
+} // namespace
+
+Recalibrator::Recalibrator(const sim::ChipConfig &cfg,
+                           const model::TrainedModels &gen0,
+                           GovernorRebuilder rebuild,
+                           std::uint64_t training_seed,
+                           RecalibrationPolicy policy)
+    : cfg_(cfg), gen0_(gen0), rebuild_(std::move(rebuild)),
+      training_seed_(training_seed), policy_(policy)
+{
+    PPEP_ASSERT(policy_.recal_divergence_w > 0.0,
+                "recalibrate threshold must be positive");
+    PPEP_ASSERT(policy_.kfold_k >= 2, "k-fold needs k >= 2");
+    PPEP_ASSERT(policy_.min_ring_fill >= policy_.kfold_k,
+                "min ring fill must cover the folds");
+    PPEP_ASSERT(policy_.ring_capacity >= policy_.min_ring_fill,
+                "ring capacity below its own fill threshold");
+    PPEP_ASSERT(policy_.adopt_latency_intervals >= 1,
+                "adoption needs at least one interval of latency");
+    PPEP_ASSERT(policy_.min_improvement >= 0.0 &&
+                    policy_.min_improvement < 1.0,
+                "min_improvement in [0, 1)");
+    PPEP_ASSERT(gen0_.idle.trained() && gen0_.dynamic.trained(),
+                "recalibration starts from trained models");
+    PPEP_ASSERT(rebuild_ != nullptr,
+                "recalibration needs a governor rebuilder");
+    ring_.resize(policy_.ring_capacity);
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+Recalibrator::~Recalibrator()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        quit_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+void
+Recalibrator::observeInterval(const trace::IntervalRecord &rec,
+                              bool clean, std::uint64_t interval_index)
+{
+    // Only data the sampler vouches for may teach the next model; a
+    // fault-storm interval would poison the very refit meant to cure
+    // divergence.
+    if (!clean || !std::isfinite(rec.sensor_power_w) ||
+        !std::isfinite(rec.diode_temp_k) || rec.duration_s <= 0.0)
+        return;
+
+    RingRow &row = ring_[ring_head_];
+    row.design.fill(0.0);
+    row.target_w = 0.0;
+    row.interval = interval_index;
+
+    // Eq. 3 design vector with the per-core voltage scale folded into
+    // the seven core-event columns: the fit then stays one linear
+    // regression even though online rows span arbitrary per-CU VF
+    // states, unlike offline training's fixed top-VF protocol.
+    const std::size_t table_top = cfg_.vf_table.size() - 1;
+    double volt_sum = 0.0;
+    for (std::size_t c = 0; c < rec.pmc.size(); ++c) {
+        const std::size_t cu = c / cfg_.cores_per_cu;
+        const std::size_t vf =
+            std::min(rec.cu_vf[cu], table_top);
+        const double voltage = cfg_.vf_table.state(vf).voltage;
+        const double vscale = gen0_.dynamic.voltageScale(voltage);
+        const auto rates =
+            model::powerEventRates(rec.pmc[c], rec.duration_s);
+        for (std::size_t i = 0; i < sim::kNumCorePowerEvents; ++i)
+            row.design[i] += vscale * rates[i];
+        for (std::size_t i = sim::kNumCorePowerEvents;
+             i < sim::kNumPowerEvents; ++i)
+            row.design[i] += rates[i];
+    }
+    for (std::size_t cu = 0; cu < rec.cu_vf.size(); ++cu)
+        volt_sum +=
+            cfg_.vf_table.state(std::min(rec.cu_vf[cu], table_top))
+                .voltage;
+    const double mean_v =
+        rec.cu_vf.empty()
+            ? cfg_.vf_table.state(table_top).voltage
+            : volt_sum / static_cast<double>(rec.cu_vf.size());
+
+    // Target: measured dynamic power, priced against the generation-0
+    // idle model (idle/alpha are carried through generations, so the
+    // target definition never shifts under the fit).
+    row.target_w = rec.sensor_power_w -
+                   gen0_.idle.predict(mean_v, rec.diode_temp_k);
+
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+    if (ring_fill_ < ring_.size())
+        ++ring_fill_;
+}
+
+bool
+Recalibrator::maybeTrigger(const trace::IntervalRecord &rec,
+                           double divergence_ewma_w,
+                           std::uint64_t interval_index)
+{
+    if (pending_.load(std::memory_order_relaxed))
+        return false;
+    if (!(divergence_ewma_w > policy_.recal_divergence_w))
+        return false;
+    if (ring_fill_ < policy_.min_ring_fill)
+        return false;
+    if (interval_index < cooldown_until_)
+        return false;
+    if (policy_.max_generations != 0 &&
+        generation() >= policy_.max_generations)
+        return false;
+
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        job_.rows.clear();
+        job_.rows.reserve(ring_fill_);
+        for (std::size_t i = 0; i < ring_fill_; ++i)
+            job_.rows.push_back(ring_[i]);
+        if (adopted_) {
+            job_.incumbent_weights =
+                adopted_->models.dynamic.weights();
+            job_.incumbent_digest = adopted_->digest;
+        } else {
+            job_.incumbent_weights = gen0_.dynamic.weights();
+            job_.incumbent_digest =
+                weightsDigest(gen0_.dynamic.weights());
+        }
+        job_.generation = generation() + 1;
+        job_.trigger_interval = interval_index;
+        job_.trigger_ewma_w = divergence_ewma_w;
+        job_.warm_rec = rec;
+        job_ready_ = true;
+        result_ready_ = false;
+    }
+    pending_.store(true, std::memory_order_relaxed);
+    adopt_deadline_ =
+        interval_index + policy_.adopt_latency_intervals;
+    ++triggers_;
+    cv_.notify_all();
+    return true;
+}
+
+const Recalibrator::ModelVersion *
+Recalibrator::adoptIfDue(std::uint64_t interval_index)
+{
+    if (!pending_.load(std::memory_order_relaxed))
+        return nullptr;
+    if (interval_index < adopt_deadline_)
+        return nullptr;
+
+    Result res;
+    {
+        // The determinism barrier: adoption happens at exactly
+        // trigger + adopt_latency_intervals, so a slow worker delays
+        // the wall clock, never the decision sequence.
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_.wait(lk, [this] { return result_ready_; });
+        res = std::move(result_);
+        result_ready_ = false;
+    }
+    pending_.store(false, std::memory_order_relaxed);
+    cooldown_until_ = adopt_deadline_ + policy_.cooldown_intervals;
+    res.record.decide_interval = interval_index;
+    lineage_.push_back(res.record);
+
+    // The previous adoption's grace period is over (this resolution is
+    // at least cooldown + latency intervals later): hand the parked
+    // version to the worker for destruction off the governing path.
+    if (grace_) {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            reclaim_.push_back(std::move(grace_));
+        }
+        cv_.notify_all();
+    }
+
+    if (!res.version) {
+        ++rejected_;
+        return nullptr;
+    }
+    res.version->adopt_interval = interval_index;
+    // Retire, don't destroy: telemetry for the adoption interval still
+    // reads the outgoing generation (the exploration behind the
+    // decision that just ran lives in its governor), so the old version
+    // is parked for one grace period before reclamation.
+    grace_ = std::move(adopted_);
+    adopted_ = std::move(res.version);
+    ++accepted_;
+    return adopted_.get();
+}
+
+void
+Recalibrator::workerLoop()
+{
+    for (;;) {
+        Job job;
+        bool have_job = false;
+        std::vector<std::unique_ptr<ModelVersion>> retired;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            cv_.wait(lk, [this] {
+                return quit_ || job_ready_ || !reclaim_.empty();
+            });
+            retired.swap(reclaim_);
+            if (quit_)
+                return;
+            if (job_ready_) {
+                job = std::move(job_);
+                job_ready_ = false;
+                have_job = true;
+            }
+        }
+        retired.clear();
+        if (!have_job)
+            continue;
+        Result res = refit(job);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            result_ = std::move(res);
+            result_ready_ = true;
+        }
+        cv_.notify_all();
+    }
+}
+
+Recalibrator::Result
+Recalibrator::refit(const Job &job) const
+{
+    const std::size_t n = job.rows.size();
+    const std::size_t p = sim::kNumPowerEvents;
+
+    math::Matrix design(n, p);
+    std::vector<double> target(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < p; ++j)
+            design(i, j) = job.rows[i].design[j];
+        target[i] = job.rows[i].target_w;
+    }
+
+    Result res;
+    res.record.generation = job.generation;
+    res.record.parent_digest = job.incumbent_digest;
+    res.record.trigger_interval = job.trigger_interval;
+    res.record.trigger_ewma_w = job.trigger_ewma_w;
+    res.record.ring_rows = n;
+
+    // Incumbent error on the very same ring: apples to apples, since
+    // both models share the voltage-scale and idle terms.
+    const std::vector<double> incumbent(
+        job.incumbent_weights.begin(), job.incumbent_weights.end());
+    double inc_abs = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        inc_abs += std::abs(dot(design, i, incumbent) - target[i]);
+    const double inc_mae = inc_abs / static_cast<double>(n);
+    res.record.incumbent_mae_w = inc_mae;
+
+    // Cross-validated candidate error: per-fold NNLS on the training
+    // rows, scored on the held-out rows. The shuffle is seeded from
+    // (training seed, generation), so identical runs make identical
+    // accept/reject calls at any fleet thread count.
+    const std::size_t k = std::min(policy_.kfold_k, n);
+    util::Rng rng(training_seed_ ^
+                  (0x9E3779B97F4A7C15ULL * job.generation));
+    const auto folds = math::makeFolds(n, k, rng);
+    double cv_abs = 0.0;
+    std::size_t cv_count = 0;
+    for (const auto &fold : folds) {
+        math::Matrix train(fold.train.size(), p);
+        std::vector<double> train_y(fold.train.size());
+        for (std::size_t r = 0; r < fold.train.size(); ++r) {
+            for (std::size_t j = 0; j < p; ++j)
+                train(r, j) = design(fold.train[r], j);
+            train_y[r] = target[fold.train[r]];
+        }
+        const auto fit =
+            math::fitNonNegativeLeastSquares(train, train_y);
+        for (const std::size_t t : fold.test) {
+            cv_abs +=
+                std::abs(dot(design, t, fit.coefficients) - target[t]);
+            ++cv_count;
+        }
+    }
+    const double cv_mae =
+        cv_abs / static_cast<double>(cv_count ? cv_count : 1);
+    res.record.cv_mae_w = cv_mae;
+
+    // The published weights come from the full-ring fit.
+    const auto full = math::fitNonNegativeLeastSquares(design, target);
+    std::array<double, sim::kNumPowerEvents> weights{};
+    for (std::size_t j = 0; j < p; ++j)
+        weights[j] = full.coefficients[j];
+    res.record.digest = weightsDigest(weights);
+
+    // Acceptance gate 1: beat the incumbent on its own ring.
+    if (!(cv_mae <= inc_mae * (1.0 - policy_.min_improvement))) {
+        res.record.verdict = "worse-than-incumbent";
+        return res;
+    }
+    // Gate 2: weights must stay physically plausible energies.
+    for (const double w : weights) {
+        if (!std::isfinite(w) || w > policy_.max_weight) {
+            res.record.verdict = "implausible-weights";
+            return res;
+        }
+    }
+    // Gate 3: the fit must not predict absurd power anywhere on the
+    // ring it was trained on.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double pred = dot(design, i, full.coefficients);
+        if (!std::isfinite(pred) ||
+            std::abs(pred) > policy_.max_predicted_w) {
+            res.record.verdict = "implausible-predictions";
+            return res;
+        }
+    }
+
+    // Build the immutable next generation: gen-0 idle/alpha/PG with
+    // the refit dynamic weights, a fresh Ppep plan, and a rebuilt
+    // governor — pre-warmed here so the first decision after the swap
+    // allocates nothing on the governing thread.
+    auto ver = std::make_unique<ModelVersion>();
+    ver->generation = job.generation;
+    ver->parent_digest = job.incumbent_digest;
+    ver->digest = res.record.digest;
+    ver->trigger_interval = job.trigger_interval;
+    ver->cv_mae_w = cv_mae;
+    ver->incumbent_ring_mae_w = inc_mae;
+    ver->models = gen0_;
+    ver->models.dynamic = model::DynamicPowerModel::fromWeights(
+        weights, gen0_.dynamic.trainingVoltage(),
+        gen0_.dynamic.alpha());
+    ver->models.chip = model::ChipPowerModel(
+        ver->models.idle, ver->models.dynamic, cfg_.vf_table);
+    ver->ppep = std::make_unique<model::Ppep>(cfg_, ver->models.chip,
+                                              ver->models.pg);
+    ver->gov = rebuild_(cfg_, ver->models, *ver->ppep);
+    PPEP_ASSERT(ver->gov != nullptr,
+                "governor rebuilder returned null");
+    std::vector<std::size_t> scratch;
+    const double no_cap = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 3; ++i) {
+        ver->gov->decideInto(job.warm_rec, no_cap, scratch);
+        (void)ver->gov->decideNb();
+    }
+
+    res.record.accepted = true;
+    res.record.verdict = "adopted";
+    res.version = std::move(ver);
+    return res;
+}
+
+} // namespace ppep::runtime

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Drift-triggered online recalibration with an RCU-style hot swap.
+ *
+ * ModelStore makes training a one-time offline effort, but silicon
+ * ages, sensors decalibrate, and workloads shift: the HealthMonitor's
+ * divergence EWMA then climbs until the DegradedModeGovernor parks the
+ * session on the safe policy — detection without recovery. The
+ * Recalibrator closes the loop:
+ *
+ *  1. every governed interval it snapshots one bounded ring row —
+ *     the Eq. 3 design vector (per-core event rates with the per-core
+ *     voltage scale folded in) and the measured dynamic power target
+ *     (sensor minus the incumbent idle estimate) — allocation-free;
+ *  2. when the divergence EWMA crosses the recalibrate threshold
+ *     (below the demote threshold: heal before you have to degrade),
+ *     it hands the ring to a background worker thread;
+ *  3. the worker refits the nine dynamic-power weights with the
+ *     existing math/least_squares NNLS + math/kfold machinery and
+ *     gates acceptance: the candidate's k-fold error must beat the
+ *     incumbent's error on the same ring by a configured margin, and
+ *     the weights and predictions must pass plausibility bounds;
+ *  4. publication is an atomic hand-off of an immutable
+ *     TrainedModels + Ppep + rebuilt (pre-warmed) governor entry that
+ *     the session re-points its DegradedModeGovernor at between
+ *     decisions, so the warm decide path never blocks or allocates;
+ *     retired entries are reclaimed on the worker, off the hot path.
+ *
+ * Adoption is deterministic by construction: the swap takes effect at
+ * exactly trigger + adopt_latency_intervals regardless of how fast the
+ * worker runs (the observer blocks on the result only when that
+ * deadline arrives), so fleet results stay bit-identical at any thread
+ * count. Every refit — accepted or rejected — is recorded in a lineage
+ * the ModelStore can persist.
+ */
+
+#ifndef PPEP_RUNTIME_RECALIBRATE_HPP
+#define PPEP_RUNTIME_RECALIBRATE_HPP
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ppep/governor/governor.hpp"
+#include "ppep/model/ppep.hpp"
+#include "ppep/model/trainer.hpp"
+#include "ppep/sim/chip_config.hpp"
+#include "ppep/sim/events.hpp"
+#include "ppep/trace/interval.hpp"
+
+namespace ppep::runtime {
+
+/** When to refit, how much history to use, and what to accept. */
+struct RecalibrationPolicy
+{
+    /** Trigger a refit when the divergence EWMA exceeds this, watts.
+     *  Keep it below HealthPolicy::demote_divergence_w so healing
+     *  starts before the session has to degrade. */
+    double recal_divergence_w = 10.0;
+
+    /** Ring capacity: intervals of history a refit can see. */
+    std::size_t ring_capacity = 256;
+
+    /** Minimum clean rows in the ring before a refit may trigger. */
+    std::size_t min_ring_fill = 64;
+
+    /** Intervals to wait after an adoption/rejection before the next
+     *  trigger may fire (lets the EWMA re-converge first). */
+    std::size_t cooldown_intervals = 128;
+
+    /** Intervals between the trigger and the deterministic adoption
+     *  point — the worker's time budget. The observer blocks only if
+     *  the refit has not finished when the deadline arrives, so this
+     *  bounds nondeterminism away entirely. */
+    std::size_t adopt_latency_intervals = 8;
+
+    /** Folds for the candidate's cross-validated error. */
+    std::size_t kfold_k = 4;
+
+    /** Required relative improvement: candidate cv MAE must be at or
+     *  under incumbent ring MAE * (1 - min_improvement). */
+    double min_improvement = 0.1;
+
+    /** Plausibility: per-event energy weights above this (watts per
+     *  event/second; physical values are ~1e-8) are rejected. */
+    double max_weight = 1e-3;
+
+    /** Plausibility: a candidate whose ring predictions exceed this
+     *  (watts) is rejected. */
+    double max_predicted_w = 1e4;
+
+    /** Adopted-generation cap; 0 = unlimited. */
+    std::size_t max_generations = 0;
+};
+
+/**
+ * Rebuilds the session's policy against a recalibrated model set.
+ * Defined here (not in terms of session.hpp's GovernorFactory) so the
+ * two headers stay acyclic; Session wraps its factory into one of
+ * these.
+ */
+using GovernorRebuilder = std::function<std::unique_ptr<governor::Governor>(
+    const sim::ChipConfig &, const model::TrainedModels &,
+    const model::Ppep &)>;
+
+/** One refit attempt, accepted or not — the audit trail. */
+struct RefitRecord
+{
+    std::uint64_t generation = 0;
+    std::uint64_t parent_digest = 0;
+    std::uint64_t digest = 0;
+    bool accepted = false;
+    /** Static-literal verdict ("adopted", "worse-than-incumbent",
+     *  "implausible-weights", "implausible-predictions"). */
+    const char *verdict = "";
+    std::uint64_t trigger_interval = 0;
+    std::uint64_t decide_interval = 0;
+    double trigger_ewma_w = 0.0;
+    double cv_mae_w = 0.0;
+    double incumbent_mae_w = 0.0;
+    std::size_t ring_rows = 0;
+};
+
+/** Drift-triggered background refit + RCU-style model hot swap. */
+class Recalibrator
+{
+  public:
+    /** An immutable published model generation. */
+    struct ModelVersion
+    {
+        std::uint64_t generation = 0;
+        /** Digest of the weights this refit replaced. */
+        std::uint64_t parent_digest = 0;
+        /** Digest of this generation's dynamic weights. */
+        std::uint64_t digest = 0;
+        std::uint64_t trigger_interval = 0;
+        std::uint64_t adopt_interval = 0;
+        double cv_mae_w = 0.0;
+        double incumbent_ring_mae_w = 0.0;
+        model::TrainedModels models;
+        std::unique_ptr<model::Ppep> ppep;
+        std::unique_ptr<governor::Governor> gov;
+    };
+
+    /**
+     * @param cfg           the session's chip description (copied).
+     * @param gen0          the models the session started with (copied;
+     *                      idle model, alpha, and PG decomposition are
+     *                      carried through every generation unchanged).
+     * @param rebuild       builds a fresh policy over a refit model set.
+     * @param training_seed seeds the k-fold shuffles deterministically.
+     */
+    Recalibrator(const sim::ChipConfig &cfg,
+                 const model::TrainedModels &gen0,
+                 GovernorRebuilder rebuild, std::uint64_t training_seed,
+                 RecalibrationPolicy policy = {});
+
+    Recalibrator(const Recalibrator &) = delete;
+    Recalibrator &operator=(const Recalibrator &) = delete;
+
+    ~Recalibrator();
+
+    /**
+     * Record one completed interval into the ring. Allocation-free —
+     * the ring is preallocated and rows are plain arrays. Rows from
+     * unclean intervals (@p clean false: sampler interventions fired)
+     * or with a non-finite sensor reading are skipped; a refit must
+     * not learn from data the sampler itself distrusts.
+     */
+    void observeInterval(const trace::IntervalRecord &rec, bool clean,
+                         std::uint64_t interval_index);
+
+    /**
+     * Fire a refit if the divergence warrants one: EWMA above the
+     * threshold, ring sufficiently full, cooldown expired, no refit in
+     * flight, generation cap not reached. @p rec is the interval that
+     * just completed (its copy pre-warms the rebuilt governor on the
+     * worker). Returns true when a refit was dispatched. The fast path
+     * is one relaxed atomic load plus arithmetic.
+     */
+    bool maybeTrigger(const trace::IntervalRecord &rec,
+                      double divergence_ewma_w,
+                      std::uint64_t interval_index);
+
+    /**
+     * At exactly trigger + adopt_latency_intervals, resolve the
+     * in-flight refit: returns the newly adopted version (caller
+     * re-points its governor and resets its health EWMA), or nullptr
+     * when nothing is due or the candidate was rejected. Blocks only
+     * when the deadline has arrived and the worker has not finished —
+     * the determinism barrier. The retired version is handed to the
+     * worker for reclamation, never freed here.
+     */
+    const ModelVersion *adoptIfDue(std::uint64_t interval_index);
+
+    /** The currently adopted version; nullptr while on generation 0. */
+    const ModelVersion *current() const { return adopted_.get(); }
+
+    /** Adopted generation count (0 = still the offline models). */
+    std::uint64_t generation() const
+    {
+        return adopted_ ? adopted_->generation : 0;
+    }
+
+    /** Refits dispatched so far. */
+    std::uint64_t triggers() const { return triggers_; }
+
+    /** Refits adopted so far. */
+    std::uint64_t accepted() const { return accepted_; }
+
+    /** Refits rejected by the acceptance gate so far. */
+    std::uint64_t rejected() const { return rejected_; }
+
+    /** Clean rows currently in the ring. */
+    std::size_t ringFill() const { return ring_fill_; }
+
+    /** True while a dispatched refit has not been resolved. */
+    bool refitPending() const
+    {
+        return pending_.load(std::memory_order_relaxed);
+    }
+
+    /** Every refit attempt, in dispatch order. */
+    const std::vector<RefitRecord> &lineage() const { return lineage_; }
+
+    /** The policy in force. */
+    const RecalibrationPolicy &policy() const { return policy_; }
+
+  private:
+    /** One ring row: Eq. 3 design vector + measured dynamic power. */
+    struct RingRow
+    {
+        std::array<double, sim::kNumPowerEvents> design{};
+        double target_w = 0.0;
+        std::uint64_t interval = 0;
+    };
+
+    /** Inputs of one dispatched refit (observer -> worker). */
+    struct Job
+    {
+        std::vector<RingRow> rows;
+        std::array<double, sim::kNumPowerEvents> incumbent_weights{};
+        std::uint64_t incumbent_digest = 0;
+        std::uint64_t generation = 0;
+        std::uint64_t trigger_interval = 0;
+        double trigger_ewma_w = 0.0;
+        trace::IntervalRecord warm_rec;
+    };
+
+    /** Outputs of one refit (worker -> observer). */
+    struct Result
+    {
+        std::unique_ptr<ModelVersion> version; ///< null when rejected
+        RefitRecord record;
+    };
+
+    void workerLoop();
+    Result refit(const Job &job) const;
+
+    const sim::ChipConfig cfg_;
+    const model::TrainedModels gen0_;
+    const GovernorRebuilder rebuild_;
+    const std::uint64_t training_seed_;
+    const RecalibrationPolicy policy_;
+
+    // --- observer-thread state ----------------------------------------
+    std::vector<RingRow> ring_;
+    std::size_t ring_head_ = 0;
+    std::size_t ring_fill_ = 0;
+    std::unique_ptr<ModelVersion> adopted_;
+    /** The version retired by the most recent adoption, parked for one
+     *  RCU grace period: the adoption interval's telemetry still reads
+     *  the outgoing governor (its exploration buffer), so reclamation
+     *  waits until the next refit resolution. */
+    std::unique_ptr<ModelVersion> grace_;
+    std::uint64_t triggers_ = 0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t adopt_deadline_ = 0;
+    std::uint64_t cooldown_until_ = 0;
+    std::vector<RefitRecord> lineage_;
+
+    // --- observer <-> worker hand-off ---------------------------------
+    std::atomic<bool> pending_{false};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool quit_ = false;
+    bool job_ready_ = false;
+    bool result_ready_ = false;
+    Job job_;
+    Result result_;
+    /** Retired versions awaiting destruction on the worker. */
+    std::vector<std::unique_ptr<ModelVersion>> reclaim_;
+    std::thread worker_;
+};
+
+} // namespace ppep::runtime
+
+#endif // PPEP_RUNTIME_RECALIBRATE_HPP

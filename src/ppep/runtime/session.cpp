@@ -85,6 +85,12 @@ struct Session::State
     std::optional<Sampler> sampler;
     std::optional<HealthMonitor> monitor;
     std::unique_ptr<governor::DegradedModeGovernor> degraded_gov;
+    /** Online recalibration; declared after degraded_gov so the worker
+     *  (which may hold a governor being reclaimed) dies first. */
+    std::unique_ptr<Recalibrator> recal;
+    /** Store whose lineage journal adopted generations are appended
+     *  to; set only when the session was built with both. */
+    std::optional<ModelStore> lineage_store;
     std::vector<std::string> sink_errors;
 };
 
@@ -251,6 +257,14 @@ Session::Builder::safePolicy(const ppep::governor::SafePolicy &p)
     return *this;
 }
 
+Session::Builder &
+Session::Builder::recalibration(const RecalibrationPolicy &p)
+{
+    recal_policy_ = p;
+    hardened_ = true;
+    return *this;
+}
+
 Session
 Session::Builder::build()
 {
@@ -385,6 +399,35 @@ Session::Builder::build()
         state->gov = state->degraded_gov.get();
     }
 
+    // Online recalibration: a background refitter that can rebuild the
+    // policy over hot-swapped models — so it cannot manage a policy it
+    // does not know how to construct.
+    if (recal_policy_) {
+        PPEP_ASSERT(external_gov_ == nullptr,
+                    "recalibration rebuilds the governor from its "
+                    "factory; it cannot manage an external policy");
+        const model::TrainedModels *gen0 =
+            state->shared_models ? state->shared_models
+                                 : (state->models ? &*state->models
+                                                  : nullptr);
+        PPEP_ASSERT(gen0 != nullptr,
+                    "recalibration requires trained models");
+        const GovernorFactory factory =
+            factory_ ? factory_ : edpGovernor();
+        const std::uint64_t tseed = training_seed_;
+        GovernorRebuilder rebuild =
+            [factory, tseed](const sim::ChipConfig &cfg,
+                             const model::TrainedModels &m,
+                             const model::Ppep &p) {
+                return factory(ModelContext{cfg, m, p, tseed});
+            };
+        state->recal = std::make_unique<Recalibrator>(
+            state->cfg, *gen0, std::move(rebuild), training_seed_,
+            *recal_policy_);
+        if (store_)
+            state->lineage_store = *store_;
+    }
+
     return Session(std::move(state));
 }
 
@@ -441,6 +484,43 @@ Session::makeObserver()
         t.health = s.sampler ? &s.sampler->lastHealth() : nullptr;
         t.degraded =
             s.degraded_gov ? s.degraded_gov->degradedNow() : false;
+        if (s.monitor)
+            t.divergence_ewma_w = s.monitor->divergenceEwma();
+        // The decision that just ran governs the *next* interval; hold
+        // its forecast until that interval's record arrives. Captured
+        // before any model swap below, so the forecast stays paired
+        // with the governor that actually made the decision.
+        const double next_pred = s.gov->lastPredictedPower();
+        if (s.recal) {
+            // Feed the ring, resolve any due refit (re-pointing the
+            // degraded wrapper at the new generation and restarting
+            // the divergence EWMA), then consider a new trigger —
+            // adopt-before-trigger so a freshly reset EWMA cannot
+            // immediately re-dispatch.
+            s.recal->observeInterval(
+                step.rec, s.sampler->lastHealth().faultEvents() == 0,
+                t.index);
+            if (const auto *ver = s.recal->adoptIfDue(t.index)) {
+                s.degraded_gov->setInner(*ver->gov);
+                s.monitor->noteModelSwap();
+                t.divergence_ewma_w = s.monitor->divergenceEwma();
+                if (s.lineage_store)
+                    s.lineage_store->appendLineage(
+                        s.cfg.name, platformFingerprint(s.cfg),
+                        ver->generation, ver->parent_digest,
+                        ver->digest, "drift-refit",
+                        ver->trigger_interval, ver->cv_mae_w,
+                        ver->incumbent_ring_mae_w);
+            }
+            s.recal->maybeTrigger(step.rec,
+                                  s.monitor->divergenceEwma(),
+                                  t.index);
+            t.recal_active = true;
+            t.model_generation = s.recal->generation();
+            t.recal_triggers = s.recal->triggers();
+            t.recal_accepted = s.recal->accepted();
+            t.recal_rejected = s.recal->rejected();
+        }
         if (s.attributor) {
             s.attributor->attributeInto(step.rec, s.pg,
                                         s.attribution);
@@ -449,9 +529,7 @@ Session::makeObserver()
         }
         for (auto *sink : s.sinks)
             sink->onInterval(t);
-        // The decision that just ran governs the *next* interval; hold
-        // its forecast until that interval's record arrives.
-        s.pending_pred = s.gov->lastPredictedPower();
+        s.pending_pred = next_pred;
     };
 }
 
@@ -572,6 +650,12 @@ const ppep::governor::DegradedModeGovernor *
 Session::degradedGovernor() const
 {
     return state_->degraded_gov.get();
+}
+
+const Recalibrator *
+Session::recalibrator() const
+{
+    return state_->recal.get();
 }
 
 const TenantAttributor *

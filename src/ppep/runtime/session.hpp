@@ -41,6 +41,7 @@
 #include "ppep/model/trainer.hpp"
 #include "ppep/runtime/health.hpp"
 #include "ppep/runtime/model_store.hpp"
+#include "ppep/runtime/recalibrate.hpp"
 #include "ppep/runtime/sampler.hpp"
 #include "ppep/runtime/telemetry.hpp"
 #include "ppep/runtime/tenant.hpp"
@@ -187,6 +188,19 @@ class Session
         /** Degraded-mode safe-policy tuning (implies hardened path). */
         Builder &safePolicy(const ppep::governor::SafePolicy &p);
 
+        /**
+         * Run a Recalibrator alongside the hardened loop (implies the
+         * hardened path): when the divergence EWMA crosses the policy's
+         * recalibrate threshold, the dynamic-power weights are refit on
+         * a background thread and — if they beat the incumbent — hot-
+         * swapped in without blocking the governed loop. Incompatible
+         * with an external governor (the Recalibrator must be able to
+         * rebuild the policy over the refit models). When the session
+         * also has a store(), adopted generations are journalled to the
+         * store's lineage log.
+         */
+        Builder &recalibration(const RecalibrationPolicy &p);
+
         /** Assemble the session (trains or loads models as needed). */
         Session build();
 
@@ -215,6 +229,7 @@ class Session
         SamplerPolicy sampler_policy_;
         HealthPolicy health_policy_;
         ppep::governor::SafePolicy safe_policy_;
+        std::optional<RecalibrationPolicy> recal_policy_;
         bool hardened_ = false;
     };
 
@@ -270,6 +285,9 @@ class Session
 
     /** Degraded-mode wrapper; nullptr on plain sessions. */
     const ppep::governor::DegradedModeGovernor *degradedGovernor() const;
+
+    /** Online recalibrator; nullptr when recalibration is off. */
+    const Recalibrator *recalibrator() const;
 
     /** Tenant attributor; nullptr when the session has no tenants. */
     const TenantAttributor *tenantAttributor() const;

@@ -82,6 +82,27 @@ struct IntervalTelemetry
      *  degraded-mode safe policy instead of the configured governor. */
     bool degraded = false;
 
+    /** The HealthMonitor's smoothed |predicted - measured| power after
+     *  this interval, watts; NaN on plain (non-hardened) sessions. */
+    double divergence_ewma_w = std::numeric_limits<double>::quiet_NaN();
+
+    /** True when the session runs an online Recalibrator — the
+     *  model_generation and recal_* fields below are then live. */
+    bool recal_active = false;
+
+    /** Model generation governing this interval (0 = the offline-
+     *  trained models; each adopted refit increments it). */
+    std::uint64_t model_generation = 0;
+
+    /** Refits dispatched so far. */
+    std::uint64_t recal_triggers = 0;
+
+    /** Refits adopted (hot-swapped in) so far. */
+    std::uint64_t recal_accepted = 0;
+
+    /** Refits rejected by the acceptance gate so far. */
+    std::uint64_t recal_rejected = 0;
+
     /** Per-tenant power attribution for this interval; nullptr when the
      *  session defines no tenants. Valid only during the callback. */
     const TenantAttribution *tenants = nullptr;
@@ -163,6 +184,7 @@ class CsvSink : public TelemetrySink
     util::fmt::RowBuffer row_;
     bool header_written_ = false;
     bool with_health_ = false;
+    bool with_recal_ = false;
     bool with_tenants_ = false;
     bool failed_ = false;
     std::string error_;
@@ -264,6 +286,19 @@ class SummarySink : public TelemetrySink
         /** Healthy-to-degraded transitions observed. */
         std::size_t demotions = 0;
 
+        /** Divergence EWMA after the final interval, watts; NaN on
+         *  plain sessions. */
+        double final_divergence_ewma_w =
+            std::numeric_limits<double>::quiet_NaN();
+
+        /** Model generation governing the final interval. */
+        std::uint64_t model_generation = 0;
+
+        /** Refits dispatched / adopted / rejected over the run. */
+        std::uint64_t recal_triggers = 0;
+        std::uint64_t recal_accepted = 0;
+        std::uint64_t recal_rejected = 0;
+
         /** Tenant names (empty when the run had no tenants). */
         std::vector<std::string> tenant_names;
 
@@ -302,6 +337,12 @@ class SummarySink : public TelemetrySink
     std::size_t degraded_intervals_ = 0;
     std::size_t demotions_ = 0;
     bool last_degraded_ = false;
+    bool recal_seen_ = false;
+    double last_divergence_w_ = std::numeric_limits<double>::quiet_NaN();
+    std::uint64_t last_generation_ = 0;
+    std::uint64_t last_triggers_ = 0;
+    std::uint64_t last_accepted_ = 0;
+    std::uint64_t last_rejected_ = 0;
     double abs_err_sum_w_ = 0.0;
     std::size_t predicted_ = 0;
     double power_sum_w_ = 0.0;

@@ -377,6 +377,23 @@ Chip::stepInto(TickResult &res) PPEP_NONBLOCKING
     hw_power_.computeInto(pins, cu_gated, nb_gated, cu_volt, cu_freq,
                           nb_.vf(), thermal_.temperature(), dt,
                           res.truth.power);
+    if (injector_ && injector_->drifting()) {
+        // Silicon aging: the whole true power decomposition wanders by
+        // one multiplicative gain, so the trained models slowly go
+        // stale while the decomposition stays self-consistent.
+        injector_->advanceDrift();
+        const double g = injector_->powerGain();
+        PowerBreakdown &pw = res.truth.power;
+        pw.total *= g;
+        pw.base *= g;
+        pw.housekeeping *= g;
+        pw.nb_static *= g;
+        pw.nb_dynamic *= g;
+        for (double &w : pw.cu_idle)
+            w *= g;
+        for (double &w : pw.core_dynamic)
+            w *= g;
+    }
     // rt-escape: warm-up growth of the caller-owned result.
     PPEP_RT_WARMUP_BEGIN
     res.truth.cu_gated.assign(cu_gated.begin(), cu_gated.end());
@@ -390,6 +407,8 @@ Chip::stepInto(TickResult &res) PPEP_NONBLOCKING
     res.sensor_power_w = sensor_.sample(res.truth.power.total);
     res.diode_temp_k = thermal_.diodeReading();
     if (injector_) {
+        if (injector_->drifting())
+            res.sensor_power_w *= injector_->sensorGain();
         res.sensor_power_w = injector_->corruptSensor(res.sensor_power_w);
         res.diode_temp_k = injector_->corruptDiode(res.diode_temp_k);
     }

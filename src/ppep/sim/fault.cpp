@@ -16,7 +16,9 @@ FaultPlan::any() const
            diode_spike_p > 0.0 || diode_stuck_p > 0.0 ||
            diode_dropout_p > 0.0 || sensor_spike_p > 0.0 ||
            sensor_dropout_p > 0.0 || vf_reject_p > 0.0 ||
-           vf_delay_p > 0.0 || tick_jitter_p > 0.0;
+           vf_delay_p > 0.0 || tick_jitter_p > 0.0 ||
+           power_drift_rate > 0.0 || power_drift_bias != 0.0 ||
+           sensor_drift_rate > 0.0 || sensor_drift_bias != 0.0;
 }
 
 FaultPlan
@@ -72,6 +74,16 @@ FaultPlan::parse(const std::string &spec)
             plan.tick_jitter_p = value;
         else if (key == "jitter_max")
             plan.tick_jitter_max = static_cast<std::size_t>(value);
+        else if (key == "power_drift")
+            plan.power_drift_rate = value;
+        else if (key == "power_drift_bias")
+            plan.power_drift_bias = value;
+        else if (key == "sensor_drift")
+            plan.sensor_drift_rate = value;
+        else if (key == "sensor_drift_bias")
+            plan.sensor_drift_bias = value;
+        else if (key == "drift_clamp")
+            plan.drift_clamp = value;
         else
             PPEP_FATAL("unknown fault spec key '", key, "'");
     }
@@ -104,6 +116,27 @@ FaultPlan::describe() const
     add("vf_reject", vf_reject_p);
     add("vf_delay", vf_delay_p);
     add("jitter", tick_jitter_p);
+    // Biases may be negative (programmatic plans); add() skips v <= 0.
+    const auto addSigned = [&out](const char *key, double v) {
+        if (v == 0.0)
+            return;
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s%s=%g", out.empty() ? "" : ",",
+                      key, v);
+        out += buf;
+    };
+    add("power_drift", power_drift_rate);
+    addSigned("power_drift_bias", power_drift_bias);
+    add("sensor_drift", sensor_drift_rate);
+    addSigned("sensor_drift_bias", sensor_drift_bias);
+    // Only meaningful alongside a drift term; emit when it differs
+    // from the default so describe() round-trips through parse().
+    const bool drifting = power_drift_rate > 0.0 ||
+                          power_drift_bias != 0.0 ||
+                          sensor_drift_rate > 0.0 ||
+                          sensor_drift_bias != 0.0;
+    if (drifting && drift_clamp != FaultPlan{}.drift_clamp)
+        addSigned("drift_clamp", drift_clamp);
     return out;
 }
 
@@ -113,7 +146,7 @@ FaultCounters::total() const PPEP_NONBLOCKING
     return msr_read_failures + pmc_slot_saturations + mux_dropped_ticks +
            diode_spikes + diode_stuck_ticks + diode_dropouts +
            sensor_spikes + sensor_dropouts + vf_rejects + vf_delays +
-           jittered_intervals;
+           jittered_intervals + drift_ticks;
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
@@ -210,6 +243,30 @@ FaultInjector::onVfWrite() PPEP_NONBLOCKING
         return VfWrite::Delay;
     }
     return VfWrite::Apply;
+}
+
+void
+FaultInjector::advanceDrift() PPEP_NONBLOCKING
+{
+    ++counters_.drift_ticks;
+    const double clamp = plan_.drift_clamp;
+    const auto step = [this, clamp](double log_gain, double bias,
+                                    double rate) {
+        // Draw only when the walk is stochastic: bias-only plans leave
+        // the shared RNG stream untouched for every other fault kind.
+        log_gain += bias + (rate > 0.0 ? rate * rng_.gaussian() : 0.0);
+        if (log_gain > clamp)
+            log_gain = clamp;
+        else if (log_gain < -clamp)
+            log_gain = -clamp;
+        return log_gain;
+    };
+    power_log_gain_ = step(power_log_gain_, plan_.power_drift_bias,
+                           plan_.power_drift_rate);
+    sensor_log_gain_ = step(sensor_log_gain_, plan_.sensor_drift_bias,
+                            plan_.sensor_drift_rate);
+    power_gain_ = std::exp(power_log_gain_);
+    sensor_gain_ = std::exp(sensor_log_gain_);
 }
 
 std::size_t

@@ -81,6 +81,22 @@ struct FaultPlan
     /** Maximum jitter, ticks (uniform in [-max, +max], never below 1). */
     std::size_t tick_jitter_max = 2;
 
+    // --- gradual drift (silicon aging / sensor decalibration) ----------
+    /** Per-tick standard deviation of the random walk on the log of the
+     *  ground-truth power gain (multiplicative wander of true power). */
+    double power_drift_rate = 0.0;
+    /** Deterministic per-tick bias on the log power gain (monotone
+     *  aging; negative values only settable programmatically). */
+    double power_drift_bias = 0.0;
+    /** Per-tick standard deviation of the random walk on the log of the
+     *  sensor gain (the external power logger decalibrating). */
+    double sensor_drift_rate = 0.0;
+    /** Deterministic per-tick bias on the log sensor gain. */
+    double sensor_drift_bias = 0.0;
+    /** Clamp on |log gain| for both walks: gains saturate at
+     *  [exp(-clamp), exp(clamp)] instead of diverging. */
+    double drift_clamp = 0.5;
+
     /** True when any fault can ever fire. */
     bool any() const;
 
@@ -110,6 +126,7 @@ struct FaultCounters
     std::size_t vf_rejects = 0;
     std::size_t vf_delays = 0;
     std::size_t jittered_intervals = 0;
+    std::size_t drift_ticks = 0;
 
     /** Sum of every counter (the "how broken was the run" number). */
     std::size_t total() const PPEP_NONBLOCKING;
@@ -156,12 +173,39 @@ class FaultInjector
     /** Jitter an interval's nominal tick count (never below 1). */
     std::size_t jitterTicks(std::size_t nominal) PPEP_NONBLOCKING;
 
+    /** Whether the plan drifts at all (gates the per-tick advance). */
+    bool drifting() const PPEP_NONBLOCKING
+    {
+        return plan_.power_drift_rate > 0.0 ||
+               plan_.power_drift_bias != 0.0 ||
+               plan_.sensor_drift_rate > 0.0 ||
+               plan_.sensor_drift_bias != 0.0;
+    }
+
+    /**
+     * Advance both drift walks by one tick. The chip calls this once per
+     * tick, and only when drifting(): RNG draws happen only for walks
+     * with a nonzero rate, so bias-only (or drift-free) plans leave
+     * every other fault stream bit-identical.
+     */
+    void advanceDrift() PPEP_NONBLOCKING;
+
+    /** Current multiplicative gain on ground-truth power. */
+    double powerGain() const PPEP_NONBLOCKING { return power_gain_; }
+
+    /** Current multiplicative gain on the power-sensor reading. */
+    double sensorGain() const PPEP_NONBLOCKING { return sensor_gain_; }
+
   private:
     FaultPlan plan_;
     util::Rng rng_;
     FaultCounters counters_;
     std::size_t diode_stuck_left_ = 0;
     double diode_stuck_value_ = 0.0;
+    double power_log_gain_ = 0.0;
+    double sensor_log_gain_ = 0.0;
+    double power_gain_ = 1.0;
+    double sensor_gain_ = 1.0;
 };
 
 } // namespace ppep::sim

@@ -184,6 +184,110 @@ TEST(HealthMonitor, CountsMultipleDemotionCycles)
     EXPECT_FALSE(mon.degraded());
 }
 
+// --- exact threshold boundaries ----------------------------------------
+
+TEST(HealthMonitor, DivergenceExactlyAtDemoteThresholdStaysHealthy)
+{
+    // Demotion is strict >: an EWMA sitting exactly on the line is
+    // still (barely) trusted.
+    HealthPolicy pol;
+    pol.ewma_alpha = 1.0; // EWMA == the latest error
+    HealthMonitor mon(pol);
+    for (int i = 0; i < 10; ++i) {
+        mon.observe(cleanInterval(), 60.0,
+                    60.0 + pol.demote_divergence_w);
+        EXPECT_FALSE(mon.degraded());
+    }
+    // Nudge the *measured* value (one ulp at ~75 W survives the
+    // subtraction; one ulp at 15 W would be absorbed by 60.0 + x).
+    mon.observe(cleanInterval(), 60.0,
+                std::nextafter(60.0 + pol.demote_divergence_w, 1e300));
+    EXPECT_TRUE(mon.degraded());
+}
+
+TEST(HealthMonitor, DivergenceExactlyAtCleanThresholdCountsClean)
+{
+    // Cleanliness is inclusive <=: exactly clean_divergence_w earns
+    // streak credit and eventually re-promotes.
+    HealthPolicy pol;
+    pol.ewma_alpha = 1.0;
+    HealthMonitor mon(pol);
+    mon.observe(faultyInterval(10), 60.0, 60.0);
+    ASSERT_TRUE(mon.degraded());
+    for (std::size_t i = 0; i < pol.repromote_clean; ++i)
+        mon.observe(cleanInterval(), 60.0,
+                    60.0 + pol.clean_divergence_w);
+    EXPECT_FALSE(mon.degraded());
+    EXPECT_EQ(mon.repromotions(), 1u);
+}
+
+TEST(HealthMonitor, FaultEventsExactlyAtThresholdDemote)
+{
+    HealthMonitor below;
+    below.observe(faultyInterval(below.policy().demote_fault_events - 1),
+                  60.0, 60.0);
+    EXPECT_FALSE(below.degraded());
+
+    HealthMonitor at;
+    at.observe(faultyInterval(at.policy().demote_fault_events), 60.0,
+               60.0);
+    EXPECT_TRUE(at.degraded());
+}
+
+// --- model swaps --------------------------------------------------------
+
+TEST(HealthMonitor, ModelSwapResetsEwmaAndStreak)
+{
+    HealthMonitor mon;
+    for (int i = 0; i < 20; ++i)
+        mon.observe(cleanInterval(), 60.0, 70.0);
+    ASSERT_GT(mon.divergenceEwma(), 0.0);
+    mon.noteModelSwap();
+    EXPECT_EQ(mon.divergenceEwma(), 0.0);
+    EXPECT_EQ(mon.cleanStreak(), 0u);
+    EXPECT_EQ(mon.modelSwaps(), 1u);
+}
+
+TEST(HealthMonitor, ModelSwapDoesNotLiftTheDegradedLatch)
+{
+    // A swap mid-recovery erases the streak earned under the retired
+    // model; re-promotion needs repromote_clean fresh intervals under
+    // the new one.
+    HealthMonitor mon;
+    mon.observe(faultyInterval(10), 60.0, 60.0);
+    ASSERT_TRUE(mon.degraded());
+    const std::size_t need = mon.policy().repromote_clean;
+    for (std::size_t i = 1; i < need; ++i)
+        mon.observe(cleanInterval(), kNaN, 60.0);
+    mon.noteModelSwap();
+    EXPECT_TRUE(mon.degraded());
+    for (std::size_t i = 1; i < need; ++i) {
+        mon.observe(cleanInterval(), kNaN, 60.0);
+        EXPECT_TRUE(mon.degraded()) << "after " << i << " clean";
+    }
+    mon.observe(cleanInterval(), kNaN, 60.0);
+    EXPECT_FALSE(mon.degraded());
+    EXPECT_EQ(mon.repromotions(), 1u);
+}
+
+TEST(HealthMonitor, SwapWhileHealthyKeepsGoverning)
+{
+    // The re-promotion hysteresis path of a swap on a healthy session:
+    // an EWMA just under the demote line restarts from zero, so the
+    // session does not demote on post-swap residue.
+    HealthPolicy pol;
+    pol.ewma_alpha = 1.0;
+    HealthMonitor mon(pol);
+    mon.observe(cleanInterval(), 60.0,
+                60.0 + pol.demote_divergence_w); // at, not over
+    ASSERT_FALSE(mon.degraded());
+    mon.noteModelSwap();
+    EXPECT_EQ(mon.divergenceEwma(), 0.0);
+    mon.observe(cleanInterval(), 60.0, 60.5);
+    EXPECT_FALSE(mon.degraded());
+    EXPECT_DOUBLE_EQ(mon.divergenceEwma(), 0.5);
+}
+
 TEST(HealthMonitorDeath, DegeneratePoliciesAreFatal)
 {
     HealthPolicy alpha;

@@ -282,4 +282,117 @@ TEST(FaultInjector, JitterNeverReturnsZeroTicks)
         EXPECT_GE(inj.jitterTicks(1), 1u);
 }
 
+// --- gradual drift ------------------------------------------------------
+
+TEST(FaultPlan, ParseFillsDriftFields)
+{
+    const auto plan = FaultPlan::parse(
+        "power_drift=0.001,power_drift_bias=0.0002,sensor_drift=0.003,"
+        "sensor_drift_bias=0.0004,drift_clamp=0.25");
+    EXPECT_TRUE(plan.any());
+    EXPECT_DOUBLE_EQ(plan.power_drift_rate, 0.001);
+    EXPECT_DOUBLE_EQ(plan.power_drift_bias, 0.0002);
+    EXPECT_DOUBLE_EQ(plan.sensor_drift_rate, 0.003);
+    EXPECT_DOUBLE_EQ(plan.sensor_drift_bias, 0.0004);
+    EXPECT_DOUBLE_EQ(plan.drift_clamp, 0.25);
+    const auto desc = plan.describe();
+    EXPECT_NE(desc.find("power_drift=0.001"), std::string::npos);
+    EXPECT_NE(desc.find("sensor_drift_bias=0.0004"), std::string::npos);
+}
+
+TEST(FaultInjector, DriftGainsStartAtUnity)
+{
+    FaultInjector inj(FaultPlan::parse("power_drift_bias=0.001"), 5);
+    EXPECT_TRUE(inj.drifting());
+    EXPECT_DOUBLE_EQ(inj.powerGain(), 1.0);
+    EXPECT_DOUBLE_EQ(inj.sensorGain(), 1.0);
+}
+
+TEST(FaultInjector, BiasOnlyDriftConsumesNoRandomness)
+{
+    // A deterministic drift (rate 0) must not draw from the fault RNG:
+    // adding it to a plan cannot perturb any other fault stream.
+    const auto base = FaultPlan::parse("msr=0.3");
+    auto drifted = base;
+    drifted.power_drift_bias = 1e-4;
+    drifted.sensor_drift_bias = -1e-4;
+    FaultInjector a(base, 42), b(drifted, 42);
+    for (int i = 0; i < 500; ++i) {
+        b.advanceDrift();
+        EXPECT_EQ(a.msrReadFails(), b.msrReadFails()) << "tick " << i;
+    }
+}
+
+TEST(FaultInjector, DriftClampBoundsTheGain)
+{
+    auto plan = FaultPlan::parse("power_drift_bias=0.01,drift_clamp=0.2");
+    plan.sensor_drift_bias = -0.01; // negative bias: programmatic only
+    FaultInjector inj(plan, 7);
+    for (int i = 0; i < 1000; ++i)
+        inj.advanceDrift();
+    EXPECT_NEAR(inj.powerGain(), std::exp(0.2), 1e-12);
+    EXPECT_NEAR(inj.sensorGain(), std::exp(-0.2), 1e-12);
+    EXPECT_EQ(inj.counters().drift_ticks, 1000u);
+}
+
+TEST(FaultInjector, SeededDriftWalkIsDeterministic)
+{
+    const auto plan =
+        FaultPlan::parse("power_drift=0.001,sensor_drift=0.002");
+    FaultInjector a(plan, 11), b(plan, 11);
+    for (int i = 0; i < 300; ++i) {
+        a.advanceDrift();
+        b.advanceDrift();
+        EXPECT_EQ(a.powerGain(), b.powerGain());
+        EXPECT_EQ(a.sensorGain(), b.sensorGain());
+    }
+}
+
+TEST(FaultChip, PowerDriftScalesGroundTruthAndSensor)
+{
+    auto plain = busyChip();
+    auto drifted = busyChip();
+    drifted.setFaultPlan(
+        FaultPlan::parse("power_drift_bias=0.001,drift_clamp=0.4"), 1);
+    trace::Collector ca(plain), cb(drifted);
+    double ratio = 0.0;
+    for (int i = 0; i < 40; ++i) {
+        const auto ra = ca.collectInterval();
+        const auto rb = cb.collectInterval();
+        // Counters are untouched by power drift.
+        for (std::size_t c = 0; c < ra.pmc.size(); ++c)
+            for (std::size_t e = 0; e < sim::kNumEvents; ++e)
+                ASSERT_EQ(ra.pmc[c][e], rb.pmc[c][e]);
+        ratio = rb.true_power_w / ra.true_power_w;
+    }
+    // 40 intervals of accumulating per-tick bias, clamped at e^0.4
+    // (plus a little thermal-leakage feedback from the hotter chip).
+    EXPECT_GT(ratio, 1.2);
+    EXPECT_LT(ratio, std::exp(0.4) * 1.15);
+    EXPECT_GT(drifted.faultInjector()->counters().drift_ticks, 0u);
+}
+
+TEST(FaultChip, SensorDriftLeavesGroundTruthIntact)
+{
+    auto plain = busyChip();
+    auto drifted = busyChip();
+    drifted.setFaultPlan(FaultPlan::parse("sensor_drift_bias=0.002"), 1);
+    trace::Collector ca(plain), cb(drifted);
+    double last_sensor_ratio = 1.0;
+    for (int i = 0; i < 20; ++i) {
+        const auto ra = ca.collectInterval();
+        const auto rb = cb.collectInterval();
+        EXPECT_EQ(ra.true_power_w, rb.true_power_w);
+        EXPECT_EQ(ra.diode_temp_k, rb.diode_temp_k);
+        last_sensor_ratio = rb.sensor_power_w / ra.sensor_power_w;
+    }
+    EXPECT_GT(last_sensor_ratio, 1.02); // decalibrating upward
+}
+
+TEST(FaultPlanDeath, NegativeDriftSpecIsFatal)
+{
+    EXPECT_DEATH(FaultPlan::parse("power_drift_bias=-0.1"),
+                 "negative");
+}
+
 } // namespace

@@ -61,6 +61,8 @@ struct Options
     std::size_t intervals = 40;
     std::string mix;
     std::size_t tenants = 0;
+    std::string faults;
+    bool recalibrate = false;
 };
 
 [[noreturn]] void
@@ -90,6 +92,13 @@ usage(int code)
         "        [--tenants K]        split the first session's chip\n"
         "                             between K tenants and report\n"
         "                             per-tenant power attribution\n"
+        "        [--faults SPEC]      run every session hardened under\n"
+        "                             this fault plan (key=value CSV,\n"
+        "                             e.g. power_drift_bias=2e-4,\n"
+        "                             drift_clamp=0.3)\n"
+        "        [--recalibrate]      refit the dynamic-power weights\n"
+        "                             online when divergence climbs and\n"
+        "                             hot-swap the accepted model in\n"
         "\n"
         "options:\n"
         "  --platform fx8320|fx8320-boost|fx8320-nbdvfs|phenom2\n"
@@ -142,6 +151,10 @@ parse(int argc, char **argv)
             opt.mix = next();
         else if (arg == "--tenants")
             opt.tenants = std::stoul(next());
+        else if (arg == "--faults")
+            opt.faults = next();
+        else if (arg == "--recalibrate")
+            opt.recalibrate = true;
         else if (arg == "-h" || arg == "--help")
             usage(0);
         else {
@@ -541,6 +554,15 @@ cmdFleet(const Options &opt)
         }
     }
 
+    if (!opt.faults.empty()) {
+        const sim::FaultPlan plan = sim::FaultPlan::parse(opt.faults);
+        std::printf("fault plan: %s\n", plan.describe().c_str());
+        for (auto &ss : spec.sessions)
+            ss.faults = plan;
+    }
+    if (opt.recalibrate)
+        spec.default_recalibration.emplace();
+
     const std::size_t n_sessions = spec.sessions.size();
     runtime::Fleet fleet(std::move(spec));
     std::printf("training/loading models (seed %llu)...\n",
@@ -580,6 +602,26 @@ cmdFleet(const Options &opt)
                         s.summary.tenant_mean_power_w[i]);
         std::printf("  %-10s %8.1f J\n", "unowned",
                     s.summary.unattributed_energy_j);
+    }
+    if (opt.recalibrate) {
+        std::printf("\nrecalibration:\n");
+        for (const auto &s : res.sessions) {
+            if (!s.completed)
+                continue;
+            std::printf("  %-10s generation %llu, %llu refits "
+                        "(%llu adopted, %llu rejected), divergence "
+                        "EWMA %.2f W\n",
+                        s.name.c_str(),
+                        static_cast<unsigned long long>(
+                            s.summary.model_generation),
+                        static_cast<unsigned long long>(
+                            s.summary.recal_triggers),
+                        static_cast<unsigned long long>(
+                            s.summary.recal_accepted),
+                        static_cast<unsigned long long>(
+                            s.summary.recal_rejected),
+                        s.summary.final_divergence_ewma_w);
+        }
     }
     std::printf("\n%zu/%zu sessions completed in %.3f s "
                 "(%.2f sessions/s, %.1f intervals/s)\n",
