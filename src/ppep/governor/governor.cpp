@@ -53,12 +53,9 @@ GovernorLoop::GovernorLoop(sim::Chip &chip, Governor &policy,
 }
 
 void
-GovernorLoop::cycle(std::size_t index, const CapSchedule &schedule,
-                    trace::IntervalSource &source, GovernorStep &step,
-                    std::vector<std::size_t> &next_vf,
-                    double &latency_s) PPEP_NONBLOCKING
+GovernorLoop::cycleBegin(std::size_t index, const CapSchedule &schedule,
+                         GovernorStep &step) PPEP_NONBLOCKING
 {
-    using clock = std::chrono::steady_clock;
     step.cap_w = schedule.capAt(index);
     // rt-escape: warm-up growth of the reused step's VF scratch; no-op
     // once sized to n_cus (test_zero_alloc).
@@ -67,7 +64,15 @@ GovernorLoop::cycle(std::size_t index, const CapSchedule &schedule,
     PPEP_RT_WARMUP_END
     for (std::size_t cu = 0; cu < step.cu_vf.size(); ++cu)
         step.cu_vf[cu] = chip_.cuVf(cu);
-    source.collectIntervalInto(step.rec);
+}
+
+void
+GovernorLoop::cycleDecide(std::size_t index, const CapSchedule &schedule,
+                          GovernorStep &step,
+                          std::vector<std::size_t> &next_vf,
+                          double &latency_s) PPEP_NONBLOCKING
+{
+    using clock = std::chrono::steady_clock;
     // Decide with the *next* interval's cap: the policy reacts to a
     // cap change in the very next decision, just like the paper's
     // Fig. 7 experiment.
@@ -89,6 +94,17 @@ GovernorLoop::cycle(std::size_t index, const CapSchedule &schedule,
     latency_s =
         std::chrono::duration<double>(clock::now() - t0).count();
     PPEP_RT_OPAQUE_END
+}
+
+void
+GovernorLoop::cycle(std::size_t index, const CapSchedule &schedule,
+                    trace::IntervalSource &source, GovernorStep &step,
+                    std::vector<std::size_t> &next_vf,
+                    double &latency_s) PPEP_NONBLOCKING
+{
+    cycleBegin(index, schedule, step);
+    source.collectIntervalInto(step.rec);
+    cycleDecide(index, schedule, step, next_vf, latency_s);
 }
 
 trace::IntervalSource &

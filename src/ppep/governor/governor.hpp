@@ -169,6 +169,21 @@ class GovernorLoop
     std::size_t drive(std::size_t intervals, const CapSchedule &schedule,
                       const StepObserver &observer = nullptr);
 
+    // Split cycle for external drivers (the batched fleet, replay):
+    // cycleBegin + "run the interval into step.rec however you like" +
+    // cycleDecide is exactly cycle() — the private fused path is these
+    // two calls with source.collectIntervalInto(step.rec) between them.
+
+    /** Stamp the step's cap and the VF context active this interval. */
+    void cycleBegin(std::size_t index, const CapSchedule &schedule,
+                    GovernorStep &step) PPEP_NONBLOCKING;
+
+    /** Decide with the next interval's cap, actuate, time the policy. */
+    void cycleDecide(std::size_t index, const CapSchedule &schedule,
+                     GovernorStep &step,
+                     std::vector<std::size_t> &next_vf,
+                     double &latency_s) PPEP_NONBLOCKING;
+
   private:
     /** One measurement/decision/actuation cycle shared by run/drive.
      *  This is the annotated real-time region: everything reached from

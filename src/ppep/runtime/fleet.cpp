@@ -41,6 +41,11 @@ Fleet::Fleet(FleetSpec spec) : spec_(std::move(spec))
 {
     PPEP_ASSERT(!spec_.sessions.empty(), "fleet has no sessions");
     PPEP_ASSERT(spec_.intervals > 0, "fleet intervals must be positive");
+    if (!spec_.replay_path.empty() && spec_.batched)
+        PPEP_FATAL("a replayed fleet has no chips to batch-step; "
+                   "use batched or replay_path, not both");
+    if (!spec_.replay_path.empty() && !spec_.record_path.empty())
+        PPEP_FATAL("a fleet cannot record and replay at once");
     for (std::size_t i = 0; i < spec_.sessions.size(); ++i)
         if (spec_.sessions[i].name.empty())
             spec_.sessions[i].name = "s" + std::to_string(i);
@@ -140,88 +145,131 @@ Fleet::entryOf(std::size_t index) const
     return *entries_[session_entry_[index]];
 }
 
+/** Everything one fleet session needs alive while it is driven. */
+struct Fleet::Harness
+{
+    FleetSessionResult res;
+    SummarySink summary;
+    DigestSink digest;
+    std::unique_ptr<CsvSink> csv;
+    std::unique_ptr<AsyncTelemetrySink> async_csv;
+    std::optional<trace::ReplaySource> replay;
+    std::optional<Session> session;
+};
+
+void
+Fleet::buildHarness(std::size_t index, Harness &h)
+{
+    const FleetSessionSpec &ss = spec_.sessions[index];
+    h.res.name = ss.name;
+    h.res.seed = ss.seed;
+
+    if (!spec_.csv_dir.empty()) {
+        const auto path =
+            std::filesystem::path(spec_.csv_dir) / (ss.name + ".csv");
+        h.csv = std::make_unique<CsvSink>(path.string());
+        if (spec_.async_telemetry)
+            h.async_csv = std::make_unique<AsyncTelemetrySink>(*h.csv);
+    }
+
+    const ModelEntry &entry = entryOf(index);
+    const std::optional<RecalibrationPolicy> &recal =
+        ss.recalibration ? ss.recalibration
+                         : spec_.default_recalibration;
+
+    auto builder = Session::builder(entry.cfg)
+                       .seed(ss.seed)
+                       .pg(ss.pg)
+                       .sharedModels(entry.models, *entry.ppep)
+                       .warmup(spec_.warmup)
+                       .sink(h.summary)
+                       .sink(h.digest);
+    if (h.async_csv)
+        builder.sink(*h.async_csv);
+    else if (h.csv)
+        builder.sink(*h.csv);
+    if (!spec_.record_path.empty()) {
+        // A hardened session's frames carry the health block: the
+        // replayed run must reconstruct the same SampleHealth the
+        // digest hashed live.
+        const bool with_health = ss.faults.has_value() ||
+                                 recal.has_value();
+        recorders_[index] = std::make_unique<RecorderSink>(
+            ss.name, entry.fingerprint, entry.cfg.coreCount(),
+            entry.cfg.n_cus, with_health);
+        builder.sink(*recorders_[index]);
+    }
+    if (!spec_.replay_path.empty()) {
+        const trace::ReplayFile &file = *replay_file_;
+        std::size_t stream = file.streamCount();
+        for (std::size_t s = 0; s < file.streamCount(); ++s)
+            if (file.stream(s).name == ss.name)
+                stream = s;
+        if (stream == file.streamCount())
+            PPEP_FATAL("replay file '", file.path(),
+                       "' has no stream for session '", ss.name, "'");
+        h.replay.emplace(file, stream, entry.fingerprint);
+        builder.replay(*h.replay);
+    }
+    if (!ss.jobs.empty())
+        builder.jobs(ss.jobs);
+    if (!ss.tenants.empty())
+        builder.tenants(ss.tenants);
+    if (!ss.one_per_cu.empty())
+        builder.onePerCu(ss.one_per_cu);
+    if (ss.governor)
+        builder.governor(ss.governor);
+    else if (spec_.default_governor)
+        builder.governor(spec_.default_governor);
+    if (ss.schedule)
+        builder.schedule(*ss.schedule);
+    else if (spec_.default_schedule)
+        builder.schedule(*spec_.default_schedule);
+    if (ss.faults)
+        builder.faults(*ss.faults);
+    if (ss.fault_seed)
+        builder.faultSeed(*ss.fault_seed);
+    if (recal) {
+        builder.recalibration(*recal);
+        // The session's lineage journal rides on the fleet store
+        // (safe alongside sharedModels: the shared entry wins model
+        // acquisition, the store is only consulted for lineage).
+        if (spec_.store)
+            builder.store(*spec_.store);
+    }
+
+    h.session.emplace(builder.build());
+}
+
+void
+Fleet::finishHarness(Harness &h)
+{
+    h.res.sink_errors = h.session->sinkErrors();
+    if (h.async_csv)
+        h.async_csv->close();
+    else if (h.csv)
+        h.csv->close();
+    h.res.summary = h.summary.summary();
+    h.res.telemetry_digest = h.digest.digest();
+    h.res.completed = true;
+}
+
 FleetSessionResult
 Fleet::runOne(std::size_t index)
 {
-    const FleetSessionSpec &ss = spec_.sessions[index];
-    FleetSessionResult res;
-    res.name = ss.name;
-    res.seed = ss.seed;
     const auto t0 = clock::now();
+    Harness h;
     try {
-        SummarySink summary;
-        DigestSink digest;
-
-        std::unique_ptr<CsvSink> csv;
-        std::unique_ptr<AsyncTelemetrySink> async_csv;
-        if (!spec_.csv_dir.empty()) {
-            const auto path =
-                std::filesystem::path(spec_.csv_dir) / (ss.name + ".csv");
-            csv = std::make_unique<CsvSink>(path.string());
-            if (spec_.async_telemetry)
-                async_csv =
-                    std::make_unique<AsyncTelemetrySink>(*csv);
-        }
-
-        const ModelEntry &entry = entryOf(index);
-        auto builder = Session::builder(entry.cfg)
-                           .seed(ss.seed)
-                           .pg(ss.pg)
-                           .sharedModels(entry.models, *entry.ppep)
-                           .warmup(spec_.warmup)
-                           .sink(summary)
-                           .sink(digest);
-        if (async_csv)
-            builder.sink(*async_csv);
-        else if (csv)
-            builder.sink(*csv);
-        if (!ss.jobs.empty())
-            builder.jobs(ss.jobs);
-        if (!ss.tenants.empty())
-            builder.tenants(ss.tenants);
-        if (!ss.one_per_cu.empty())
-            builder.onePerCu(ss.one_per_cu);
-        if (ss.governor)
-            builder.governor(ss.governor);
-        else if (spec_.default_governor)
-            builder.governor(spec_.default_governor);
-        if (ss.schedule)
-            builder.schedule(*ss.schedule);
-        else if (spec_.default_schedule)
-            builder.schedule(*spec_.default_schedule);
-        if (ss.faults)
-            builder.faults(*ss.faults);
-        if (ss.fault_seed)
-            builder.faultSeed(*ss.fault_seed);
-        const std::optional<RecalibrationPolicy> &recal =
-            ss.recalibration ? ss.recalibration
-                             : spec_.default_recalibration;
-        if (recal) {
-            builder.recalibration(*recal);
-            // The session's lineage journal rides on the fleet store
-            // (safe alongside sharedModels: the shared entry wins model
-            // acquisition, the store is only consulted for lineage).
-            if (spec_.store)
-                builder.store(*spec_.store);
-        }
-
-        Session session = builder.build();
-        res.intervals = session.drive(spec_.intervals);
-        res.sink_errors = session.sinkErrors();
-        if (async_csv)
-            async_csv->close();
-        else if (csv)
-            csv->close();
-        res.summary = summary.summary();
-        res.telemetry_digest = digest.digest();
-        res.completed = true;
+        buildHarness(index, h);
+        h.res.intervals = h.session->drive(spec_.intervals);
+        finishHarness(h);
     } catch (const std::exception &e) {
-        res.error = e.what();
+        h.res.error = e.what();
     } catch (...) {
-        res.error = "unknown exception";
+        h.res.error = "unknown exception";
     }
-    res.wall_s = secondsSince(t0);
-    return res;
+    h.res.wall_s = secondsSince(t0);
+    return h.res;
 }
 
 FleetResult
@@ -235,8 +283,18 @@ Fleet::run(std::size_t n_threads)
             PPEP_FATAL("cannot create fleet csv dir '", spec_.csv_dir,
                        "': ", ec.message());
     }
-
     const std::size_t n_sessions = spec_.sessions.size();
+    // Slots are written by whichever worker builds the session; the
+    // vector itself never reallocates under the workers.
+    recorders_.clear();
+    recorders_.resize(n_sessions);
+    if (!spec_.replay_path.empty() && !replay_file_)
+        replay_file_ =
+            std::make_unique<trace::ReplayFile>(spec_.replay_path);
+
+    if (spec_.batched)
+        return runBatched();
+
     const std::size_t workers =
         std::clamp<std::size_t>(n_threads, 1, n_sessions);
 
@@ -268,7 +326,92 @@ Fleet::run(std::size_t n_threads)
             th.join();
     }
 
-    out.wall_s = secondsSince(t0);
+    finalizeRun(out, secondsSince(t0));
+    return out;
+}
+
+FleetResult
+Fleet::runBatched()
+{
+    const std::size_t n_sessions = spec_.sessions.size();
+    FleetResult out;
+    out.sessions.resize(n_sessions);
+    const auto t0 = clock::now();
+
+    // Build every harness on this thread, attach its chip to the batch.
+    // A session that fails to build is recorded and left out of the
+    // lockstep; its lane is never allocated.
+    std::vector<std::unique_ptr<Harness>> harnesses(n_sessions);
+    std::vector<std::optional<Session::BatchDriver>> drivers(n_sessions);
+    std::vector<clock::time_point> started(n_sessions);
+    sim::ChipBatch batch;
+    constexpr std::size_t kNoLane = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> lane_of(n_sessions, kNoLane);
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        started[i] = clock::now();
+        harnesses[i] = std::make_unique<Harness>();
+        try {
+            buildHarness(i, *harnesses[i]);
+            drivers[i].emplace(*harnesses[i]->session);
+            lane_of[i] = batch.attach(drivers[i]->chip());
+        } catch (const std::exception &e) {
+            harnesses[i]->res.error = e.what();
+            drivers[i].reset();
+        } catch (...) {
+            harnesses[i]->res.error = "unknown exception";
+            drivers[i].reset();
+        }
+    }
+
+    // The lockstep: open the interval on every session, step all chips
+    // tick-locked through the batch, fan each tick result back, close.
+    // Fault-jittered sessions may run short intervals; their lanes go
+    // inactive for the tail ticks, exactly as if they had stopped
+    // stepping their own chip.
+    std::vector<std::size_t> ticks(n_sessions, 0);
+    for (std::size_t interval = 0; interval < spec_.intervals;
+         ++interval) {
+        std::size_t max_ticks = 0;
+        for (std::size_t i = 0; i < n_sessions; ++i) {
+            if (!drivers[i])
+                continue;
+            ticks[i] = drivers[i]->beginInterval();
+            batch.setActive(lane_of[i], true);
+            max_ticks = std::max(max_ticks, ticks[i]);
+        }
+        for (std::size_t t = 0; t < max_ticks; ++t) {
+            for (std::size_t i = 0; i < n_sessions; ++i)
+                if (drivers[i] && ticks[i] == t)
+                    batch.setActive(lane_of[i], false);
+            batch.step();
+            for (std::size_t i = 0; i < n_sessions; ++i)
+                if (drivers[i] && t < ticks[i])
+                    drivers[i]->consumeTick(batch.result(lane_of[i]));
+        }
+        for (std::size_t i = 0; i < n_sessions; ++i)
+            if (drivers[i])
+                drivers[i]->endInterval();
+    }
+
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        Harness &h = *harnesses[i];
+        if (drivers[i]) {
+            drivers[i]->finish();
+            h.res.intervals = spec_.intervals;
+            finishHarness(h);
+        }
+        h.res.wall_s = secondsSince(started[i]);
+        out.sessions[i] = std::move(h.res);
+    }
+
+    finalizeRun(out, secondsSince(t0));
+    return out;
+}
+
+void
+Fleet::finalizeRun(FleetResult &out, double wall_s)
+{
+    out.wall_s = wall_s;
     double power_sum = 0.0;
     for (const auto &r : out.sessions) {
         if (r.completed) {
@@ -291,7 +434,15 @@ Fleet::run(std::size_t n_threads)
         out.intervals_per_s =
             static_cast<double>(out.total_intervals) / out.wall_s;
     }
-    return out;
+    if (!spec_.record_path.empty()) {
+        std::vector<const trace::ReplayStreamBuilder *> streams;
+        streams.reserve(recorders_.size());
+        for (const auto &r : recorders_)
+            if (r)
+                streams.push_back(&r->stream());
+        trace::writeReplayFile(spec_.record_path, streams);
+        recorders_.clear();
+    }
 }
 
 } // namespace ppep::runtime

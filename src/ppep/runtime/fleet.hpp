@@ -36,9 +36,12 @@
 
 #include "ppep/governor/governor.hpp"
 #include "ppep/runtime/model_store.hpp"
+#include "ppep/runtime/recorder.hpp"
 #include "ppep/runtime/session.hpp"
+#include "ppep/sim/chip_batch.hpp"
 #include "ppep/sim/chip_config.hpp"
 #include "ppep/sim/fault.hpp"
+#include "ppep/trace/replay.hpp"
 
 namespace ppep::runtime {
 
@@ -107,6 +110,22 @@ struct FleetSpec
     /** Put each session's CSV behind an AsyncTelemetrySink so stream
      *  writes happen off the governing thread. */
     bool async_telemetry = false;
+    /**
+     * Step every session's chip through one SoA sim::ChipBatch on the
+     * calling thread instead of per-session scalar loops. Telemetry is
+     * bit-identical to the per-session path (any thread count) — the
+     * batch's per-lane arithmetic is the scalar step's, reordered
+     * across lanes only. Incompatible with replay_path.
+     */
+    bool batched = false;
+    /** When non-empty, record every session's governed interval stream
+     *  into this replay file (written after the run completes). */
+    std::string record_path;
+    /** When non-empty, drive every session from the stream of the same
+     *  name in this replay file: zero simulation, mmap ingest. The
+     *  file's platform fingerprints must match the sessions' configs.
+     *  Incompatible with record_path and batched. */
+    std::string replay_path;
     /** The sessions to run. */
     std::vector<FleetSessionSpec> sessions;
 };
@@ -204,7 +223,20 @@ class Fleet
         std::optional<model::Ppep> ppep;
     };
 
+    /** Per-session sinks + session, shared by the scalar and batched
+     *  drive paths (defined in fleet.cpp). */
+    struct Harness;
+
     FleetSessionResult runOne(std::size_t index);
+    /** Build sinks and the session for session @p index into @p h. */
+    void buildHarness(std::size_t index, Harness &h);
+    /** Close sinks and collect the session's outcome into h.res. */
+    void finishHarness(Harness &h);
+    /** The lockstep ChipBatch drive (spec_.batched). */
+    FleetResult runBatched();
+    /** Rollup + throughput + record-file assembly shared by both
+     *  drive paths. */
+    void finalizeRun(FleetResult &out, double wall_s);
     const ModelEntry &entryOf(std::size_t index) const;
 
     FleetSpec spec_;
@@ -215,6 +247,13 @@ class Fleet
     std::vector<std::size_t> session_entry_;
     /** Entry matching spec_.cfg, or npos when no session uses it. */
     std::size_t default_entry_ = static_cast<std::size_t>(-1);
+    /** Record mode: one stream builder per session, assembled into
+     *  spec_.record_path after the run. Slots are index-owned, so
+     *  workers never touch each other's. */
+    std::vector<std::unique_ptr<RecorderSink>> recorders_;
+    /** Replay mode: the mmap'd file, opened once per run; workers read
+     *  it concurrently (the mapping is immutable). */
+    std::unique_ptr<trace::ReplayFile> replay_file_;
 };
 
 } // namespace ppep::runtime

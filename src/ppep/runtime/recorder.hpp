@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Telemetry sink that records a governed run into a replay stream.
+ *
+ * A RecorderSink captures exactly what a later trace::ReplaySource
+ * needs to re-drive the governor/telemetry pipeline without
+ * simulation: the interval record, its telemetry context (time, cap),
+ * and — on hardened sessions — the digest-relevant health counters.
+ * Frames buffer in the wrapped ReplayStreamBuilder; the caller
+ * assembles one or more builders into a file with
+ * trace::writeReplayFile() after the run.
+ */
+
+#ifndef PPEP_RUNTIME_RECORDER_HPP
+#define PPEP_RUNTIME_RECORDER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "ppep/runtime/telemetry.hpp"
+#include "ppep/trace/replay.hpp"
+
+namespace ppep::runtime {
+
+/** Records each observed interval as one replay frame. */
+class RecorderSink : public TelemetrySink
+{
+  public:
+    /**
+     * @param name        stream name stored in the file (session name).
+     * @param fingerprint platformFingerprint of the recorded chip.
+     * @param with_health record the health block (hardened sessions).
+     */
+    RecorderSink(std::string name, std::uint64_t fingerprint,
+                 std::size_t n_cores, std::size_t n_cus,
+                 bool with_health);
+
+    void onInterval(const IntervalTelemetry &t) override;
+
+    /** The accumulated stream, for trace::writeReplayFile(). */
+    const trace::ReplayStreamBuilder &stream() const { return builder_; }
+
+    bool failed() const override { return failed_; }
+    std::string error() const override { return error_; }
+
+  private:
+    trace::ReplayStreamBuilder builder_;
+    bool failed_ = false;
+    std::string error_;
+};
+
+} // namespace ppep::runtime
+
+#endif // PPEP_RUNTIME_RECORDER_HPP

@@ -92,6 +92,27 @@ struct Session::State
      *  to; set only when the session was built with both. */
     std::optional<ModelStore> lineage_store;
     std::vector<std::string> sink_errors;
+    // Replay ingest: the session reads recorded intervals instead of
+    // simulating. The frame's context replaces what the chip/Sampler
+    // would have provided.
+    trace::ReplaySource *replay = nullptr;
+    double replay_time_s = 0.0;
+    SampleHealth replay_health;
+    /** Plain sessions' splittable source for the batched fleet drive
+     *  (hardened sessions use their Sampler). */
+    std::optional<trace::Collector> batch_collector;
+
+    /** The health record the current interval was observed with:
+     *  decoded from the replay frame, or the live Sampler's. Only
+     *  meaningful when hasObservedHealth(). */
+    const SampleHealth &observedHealth() const
+    {
+        return replay ? replay_health : sampler->lastHealth();
+    }
+    bool hasObservedHealth() const
+    {
+        return replay ? replay->hasHealth() : sampler.has_value();
+    }
 };
 
 Session::Builder::Builder(sim::ChipConfig cfg) : cfg_(std::move(cfg)) {}
@@ -258,6 +279,13 @@ Session::Builder::safePolicy(const ppep::governor::SafePolicy &p)
 }
 
 Session::Builder &
+Session::Builder::replay(trace::ReplaySource &src)
+{
+    replay_ = &src;
+    return *this;
+}
+
+Session::Builder &
 Session::Builder::recalibration(const RecalibrationPolicy &p)
 {
     recal_policy_ = p;
@@ -390,7 +418,7 @@ Session::Builder::build()
                 *state->chip, *state->gov,
                 [st](const trace::IntervalRecord &rec) {
                     st->monitor->observe(
-                        st->sampler->lastHealth(),
+                        st->observedHealth(),
                         st->degraded_gov->lastPredictedPower(),
                         rec.sensor_power_w);
                     return st->monitor->degraded();
@@ -428,6 +456,8 @@ Session::Builder::build()
             state->lineage_store = *store_;
     }
 
+    state->replay = replay_;
+
     return Session(std::move(state));
 }
 
@@ -449,6 +479,12 @@ void
 Session::warmupIfNeeded()
 {
     auto &s = *state_;
+    if (s.replay) {
+        // The recording already warmed the run it captured; replaying
+        // a warm-up would consume governed frames.
+        s.warmed = true;
+        return;
+    }
     if (!s.warmup || s.warmed)
         return;
     if (s.sampler) {
@@ -472,16 +508,20 @@ Session::makeObserver()
         IntervalTelemetry t;
         t.index = s.next_index++;
         // Accumulated tick rounding can leave the first interval a hair
-        // below zero; clamp rather than report negative time.
+        // below zero; clamp rather than report negative time. Replay
+        // serves the recorded timestamp: the chip never steps.
         t.time_s =
-            std::max(0.0, s.chip->timeS() - step.rec.duration_s);
+            s.replay
+                ? s.replay_time_s
+                : std::max(0.0, s.chip->timeS() - step.rec.duration_s);
         t.rec = &step.rec;
         t.cu_vf = &step.cu_vf;
         t.cap_w = step.cap_w;
         t.predicted_power_w = s.pending_pred;
         t.exploration = s.gov->lastExploration();
         t.decision_latency_s = latency_s;
-        t.health = s.sampler ? &s.sampler->lastHealth() : nullptr;
+        t.health =
+            s.hasObservedHealth() ? &s.observedHealth() : nullptr;
         t.degraded =
             s.degraded_gov ? s.degraded_gov->degradedNow() : false;
         if (s.monitor)
@@ -498,7 +538,7 @@ Session::makeObserver()
             // adopt-before-trigger so a freshly reset EWMA cannot
             // immediately re-dispatch.
             s.recal->observeInterval(
-                step.rec, s.sampler->lastHealth().faultEvents() == 0,
+                step.rec, s.observedHealth().faultEvents() == 0,
                 t.index);
             if (const auto *ver = s.recal->adoptIfDue(t.index)) {
                 s.degraded_gov->setInner(*ver->gov);
@@ -554,6 +594,10 @@ std::vector<governor::GovernorStep>
 Session::run(std::size_t intervals)
 {
     auto &s = *state_;
+    if (s.replay)
+        PPEP_FATAL("replay sessions support drive() only; run() "
+                   "retains a step trace the steady-state ingest path "
+                   "is built to avoid");
     warmupIfNeeded();
     governor::GovernorLoop loop =
         s.sampler ? governor::GovernorLoop(*s.chip, *s.gov, *s.sampler)
@@ -567,6 +611,8 @@ std::size_t
 Session::drive(std::size_t intervals)
 {
     auto &s = *state_;
+    if (s.replay)
+        return driveReplay(intervals);
     warmupIfNeeded();
     governor::GovernorLoop loop =
         s.sampler ? governor::GovernorLoop(*s.chip, *s.gov, *s.sampler)
@@ -575,6 +621,125 @@ Session::drive(std::size_t intervals)
                                        makeObserver());
     finishSinks();
     return ran;
+}
+
+std::size_t
+Session::driveReplay(std::size_t intervals)
+{
+    auto &s = *state_;
+    s.warmed = true;
+    governor::GovernorLoop loop(*s.chip, *s.gov);
+    const auto observer = makeObserver();
+    governor::GovernorStep step;
+    std::vector<std::size_t> next_vf;
+    for (std::size_t i = 0; i < intervals; ++i) {
+        if (s.replay->done())
+            PPEP_FATAL("replay stream exhausted after ",
+                       s.replay->framesConsumed(), " frames; ",
+                       intervals, " intervals requested");
+        s.replay->collectIntervalInto(step.rec);
+        // The frame's telemetry context replaces what cycleBegin would
+        // read off the chip. The recorded VF context equals what the
+        // live run stamped from its chip at the same point, and the
+        // recorded cap must agree with this session's schedule or the
+        // governor would be reacting to caps the record never ran.
+        step.cap_w = s.replay->frameCapW();
+        const double want = s.schedule.capAt(i);
+        if (step.cap_w != want)
+            PPEP_FATAL("replayed cap ", step.cap_w, " W at interval ",
+                       i, " does not match the session schedule's ",
+                       want, " W");
+        step.cu_vf = step.rec.cu_vf;
+        s.replay_time_s = s.replay->frameTimeS();
+        if (s.replay->hasHealth()) {
+            const trace::ReplayHealth &rh = s.replay->frameHealth();
+            SampleHealth &h = s.replay_health;
+            h.msr_retries = static_cast<std::size_t>(rh.msr_retries);
+            h.msr_failed_cores =
+                static_cast<std::size_t>(rh.msr_failed_cores);
+            h.pmc_rejected_cores =
+                static_cast<std::size_t>(rh.pmc_rejected_cores);
+            h.substituted_cores =
+                static_cast<std::size_t>(rh.substituted_cores);
+            h.zeroed_cores = static_cast<std::size_t>(rh.zeroed_cores);
+            h.sensor_rejects =
+                static_cast<std::size_t>(rh.sensor_rejects);
+            h.diode_rejects =
+                static_cast<std::size_t>(rh.diode_rejects);
+            h.ticks = static_cast<std::size_t>(rh.ticks);
+            h.timing_overrun = rh.timing_overrun;
+            h.pmc_wrap_events =
+                static_cast<std::size_t>(rh.pmc_wrap_events);
+            h.total_fault_events =
+                static_cast<std::size_t>(rh.total_fault_events);
+        }
+        double latency_s = 0.0;
+        loop.cycleDecide(i, s.schedule, step, next_vf, latency_s);
+        observer(step, latency_s);
+    }
+    finishSinks();
+    return intervals;
+}
+
+trace::TickedIntervalSource &
+Session::tickedSource()
+{
+    auto &s = *state_;
+    if (s.sampler)
+        return *s.sampler;
+    if (!s.batch_collector)
+        s.batch_collector.emplace(*s.chip);
+    return *s.batch_collector;
+}
+
+Session::BatchDriver::BatchDriver(Session &session)
+    : session_(session),
+      loop_(*session.state_->chip, *session.state_->gov),
+      observer_(session.makeObserver())
+{
+    PPEP_ASSERT(session.state_->replay == nullptr,
+                "a replay session has no chip to batch-step");
+    session.warmupIfNeeded();
+    source_ = &session.tickedSource();
+}
+
+sim::Chip &
+Session::BatchDriver::chip()
+{
+    return *session_.state_->chip;
+}
+
+std::size_t
+Session::BatchDriver::beginInterval() PPEP_NONBLOCKING
+{
+    loop_.cycleBegin(index_, session_.state_->schedule, step_);
+    return source_->beginIntervalInto(step_.rec);
+}
+
+void
+Session::BatchDriver::consumeTick(const sim::TickResult &tick)
+    PPEP_NONBLOCKING
+{
+    source_->consumeTick(step_.rec, tick);
+}
+
+void
+Session::BatchDriver::endInterval()
+{
+    source_->finishIntervalInto(step_.rec);
+    double latency_s = 0.0;
+    loop_.cycleDecide(index_, session_.state_->schedule, step_,
+                      next_vf_, latency_s);
+    // The observer hand-off lives outside the annotated region, same
+    // as run()/drive(): AsyncTelemetrySink blocks by design.
+    observer_(step_, latency_s);
+    ++index_;
+}
+
+void
+Session::BatchDriver::finish()
+{
+    session_.finishSinks();
 }
 
 sim::Chip &

@@ -47,6 +47,7 @@
 #include "ppep/runtime/tenant.hpp"
 #include "ppep/sim/chip.hpp"
 #include "ppep/sim/fault.hpp"
+#include "ppep/trace/replay.hpp"
 #include "ppep/workloads/suite.hpp"
 
 namespace ppep::runtime {
@@ -189,6 +190,20 @@ class Session
         Builder &safePolicy(const ppep::governor::SafePolicy &p);
 
         /**
+         * Drive the session from a recorded interval stream instead of
+         * the simulated chip: collectInterval reads mmap'd frames, the
+         * governor decides and actuates live, and telemetry fans out
+         * unchanged — zero simulation, zero per-interval allocation
+         * once warm. The source must outlive the session, its stream's
+         * fingerprint must match this session's chip config (checked
+         * at ReplaySource construction), and the recorded caps must
+         * match this session's schedule (checked per interval). Warm-up
+         * is skipped: the recording already warmed the run it captured.
+         * Replay sessions support drive() only.
+         */
+        Builder &replay(trace::ReplaySource &src);
+
+        /**
          * Run a Recalibrator alongside the hardened loop (implies the
          * hardened path): when the divergence EWMA crosses the policy's
          * recalibrate threshold, the dynamic-power weights are refit on
@@ -231,6 +246,53 @@ class Session
         ppep::governor::SafePolicy safe_policy_;
         std::optional<RecalibrationPolicy> recal_policy_;
         bool hardened_ = false;
+        trace::ReplaySource *replay_ = nullptr;
+    };
+
+    /**
+     * Splits one governed interval into begin / consumeTick-per-tick /
+     * end so an external driver (runtime::Fleet's batched mode) can
+     * step many sessions' chips tick-locked through one
+     * sim::ChipBatch. The sequence
+     *
+     *     n = d.beginInterval();
+     *     repeat n times { batch.step(); d.consumeTick(batch result); }
+     *     d.endInterval();
+     *
+     * is bit-identical to one interval of Session::drive(): begin and
+     * end wrap the same GovernorLoop cycle halves and the same
+     * TickedIntervalSource calls the fused path is made of, and the
+     * telemetry observer runs inside endInterval() exactly as drive()
+     * runs it. Construction runs the session's warm-up (scalar).
+     */
+    class BatchDriver
+    {
+      public:
+        explicit BatchDriver(Session &session);
+
+        /** The chip to attach to the ChipBatch. */
+        sim::Chip &chip();
+
+        /** Open interval; returns its tick count (may be jittered). */
+        std::size_t beginInterval() PPEP_NONBLOCKING;
+
+        /** Fold one batch-stepped tick into the open interval. */
+        void consumeTick(const sim::TickResult &tick) PPEP_NONBLOCKING;
+
+        /** Close the interval: decide, actuate, fan out telemetry. */
+        void endInterval();
+
+        /** End of run: finish()/flush() the session's sinks. */
+        void finish();
+
+      private:
+        Session &session_;
+        ppep::governor::GovernorLoop loop_;
+        ppep::governor::GovernorLoop::StepObserver observer_;
+        trace::TickedIntervalSource *source_ = nullptr;
+        ppep::governor::GovernorStep step_;
+        std::vector<std::size_t> next_vf_;
+        std::size_t index_ = 0;
     };
 
     static Builder builder(sim::ChipConfig cfg);
@@ -309,9 +371,14 @@ class Session
     ppep::governor::GovernorLoop::StepObserver makeObserver();
     /** finish()+flush() every sink; collect failures. */
     void finishSinks();
+    /** drive() over the attached ReplaySource (no simulation). */
+    std::size_t driveReplay(std::size_t intervals);
+    /** The session's splittable source (Sampler or batch Collector). */
+    trace::TickedIntervalSource &tickedSource();
 
     std::unique_ptr<State> state_;
     friend class Builder;
+    friend class BatchDriver;
 };
 
 } // namespace ppep::runtime

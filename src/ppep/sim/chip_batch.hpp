@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Batched SoA stepping of many chips — the fleet simulator kernel.
+ *
+ * A fleet of N sessions steps N independent chips ticks-in-lockstep.
+ * Chip::stepInto() is control-heavy (job phase walks, RNG streams, the
+ * NB contention fixed point), but its single biggest arithmetic block
+ * is embarrassingly data-parallel: pricing each core's tick as
+ *
+ *     energy_nJ = max(0, cycles - dispatch_stalls) * busy_coeff
+ *               + Σ_i events[i] * event_coeff[i]      (i < 9)
+ *
+ * — the ground-truth mirror of Eq. 3's "energy per event" form, and
+ * the same shape model/explore_kernel repacked for Eq. 2/3. ChipBatch
+ * packs every attached chip's cores into flat structure-of-arrays
+ * lanes (lanes = Σ cores across chips) and runs that pricing for all
+ * of them in one `#pragma omp simd` pass per event column; the
+ * control-heavy phases stay scalar, per chip, in golden order.
+ *
+ * Bit-identity contract: ChipBatch::step() produces results bitwise
+ * equal to calling chip.stepInto() on each attached chip.
+ *  - stepInto() == stepPhaseA + stepPhaseB(nullptr) + stepPhaseC by
+ *    pure code motion; the batch calls the same phases.
+ *  - The SIMD pricing pass performs, per core, exactly the operation
+ *    sequence of HwPowerModel's inline loop (one multiply, then nine
+ *    ascending multiply-adds). Vectorization runs that identical
+ *    sequence for several cores at once; with -ffp-contract=off
+ *    (pinned on ppep_sim, like ppep_model) every intermediate rounds
+ *    identically, so the lanes cannot diverge from the scalar path.
+ *  - Chips never share state, so interleaving phases across chips is
+ *    unobservable.
+ * Heterogeneous fleets are free: each lane carries the coefficients of
+ * its own chip's config, so FX-8320 and Phenom II lanes coexist in the
+ * same pass. Fault injection lives entirely in the scalar phases and
+ * is untouched.
+ */
+
+#ifndef PPEP_SIM_CHIP_BATCH_HPP
+#define PPEP_SIM_CHIP_BATCH_HPP
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "ppep/sim/chip.hpp"
+#include "ppep/sim/events.hpp"
+#include "ppep/util/annotations.hpp"
+
+namespace ppep::sim {
+
+/** Steps many independent chips with one shared SIMD pricing pass. */
+class ChipBatch
+{
+  public:
+    /**
+     * Add a chip as another lane (cold; grows the SoA arrays by the
+     * chip's core count). The chip must outlive the batch. Returns
+     * the lane index.
+     */
+    std::size_t attach(Chip &chip);
+
+    /** Number of attached chips. */
+    std::size_t laneCount() const { return lanes_.size(); }
+
+    /** Flat core lanes across all attached chips. */
+    std::size_t coreLaneCount() const { return total_cores_; }
+
+    /**
+     * Include/exclude a lane from subsequent step() calls — e.g. when
+     * a fault-jittered interval gave one session fewer ticks than its
+     * lockstep peers. An inactive lane's chip and result are untouched.
+     */
+    void setActive(std::size_t lane, bool active) PPEP_NONBLOCKING;
+
+    /** Whether a lane participates in step(). */
+    bool laneActive(std::size_t lane) const;
+
+    /** The most recent tick's result for a lane. */
+    TickResult &result(std::size_t lane);
+
+    /**
+     * Advance every active lane's chip by one tick — bit-identical to
+     * calling stepInto() on each (see the bit-identity contract above).
+     */
+    void step() PPEP_NONBLOCKING;
+
+  private:
+    struct Lane
+    {
+        Chip *chip = nullptr;
+        std::size_t core_offset = 0;
+        std::size_t n_cores = 0;
+        bool active = true;
+    };
+
+    std::vector<Lane> lanes_;
+    std::vector<TickResult> results_;
+    std::size_t total_cores_ = 0;
+
+    // Structure-of-arrays pricing inputs/outputs, one slot per flat
+    // core lane. Coefficients are per-lane so heterogeneous configs
+    // share the pass.
+    std::vector<double> cycles_;
+    std::vector<double> stall_;
+    std::vector<double> busy_coeff_;
+    std::array<std::vector<double>, kNumPowerEvents> ev_;
+    std::array<std::vector<double>, kNumPowerEvents> coeff_;
+    std::vector<double> energy_nj_;
+};
+
+} // namespace ppep::sim
+
+#endif // PPEP_SIM_CHIP_BATCH_HPP

@@ -63,6 +63,9 @@ struct Options
     std::size_t tenants = 0;
     std::string faults;
     bool recalibrate = false;
+    bool batched = false;
+    std::string record_path;
+    std::string replay_path;
 };
 
 [[noreturn]] void
@@ -99,6 +102,14 @@ usage(int code)
         "        [--recalibrate]      refit the dynamic-power weights\n"
         "                             online when divergence climbs and\n"
         "                             hot-swap the accepted model in\n"
+        "        [--batched]          step all sessions' chips through\n"
+        "                             one SIMD batch (bit-identical\n"
+        "                             telemetry, one thread)\n"
+        "        [--record FILE]      record every session's interval\n"
+        "                             stream into a replay file\n"
+        "        [--replay FILE]      govern from a recorded file with\n"
+        "                             zero simulation; digests match\n"
+        "                             the recording run bit for bit\n"
         "\n"
         "options:\n"
         "  --platform fx8320|fx8320-boost|fx8320-nbdvfs|phenom2\n"
@@ -155,6 +166,12 @@ parse(int argc, char **argv)
             opt.faults = next();
         else if (arg == "--recalibrate")
             opt.recalibrate = true;
+        else if (arg == "--batched")
+            opt.batched = true;
+        else if (arg == "--record")
+            opt.record_path = next();
+        else if (arg == "--replay")
+            opt.replay_path = next();
         else if (arg == "-h" || arg == "--help")
             usage(0);
         else {
@@ -562,6 +579,9 @@ cmdFleet(const Options &opt)
     }
     if (opt.recalibrate)
         spec.default_recalibration.emplace();
+    spec.batched = opt.batched;
+    spec.record_path = opt.record_path;
+    spec.replay_path = opt.replay_path;
 
     const std::size_t n_sessions = spec.sessions.size();
     runtime::Fleet fleet(std::move(spec));
@@ -571,9 +591,16 @@ cmdFleet(const Options &opt)
     std::printf("%zu model entr%s for %zu sessions\n",
                 fleet.modelEntryCount(),
                 fleet.modelEntryCount() == 1 ? "y" : "ies", n_sessions);
-    std::printf("running %zu sessions x %zu intervals on %zu "
-                "thread(s)...\n",
-                n_sessions, opt.intervals, opt.threads);
+    if (!opt.replay_path.empty())
+        std::printf("replaying %zu sessions x %zu intervals from "
+                    "'%s' (zero simulation)...\n",
+                    n_sessions, opt.intervals,
+                    opt.replay_path.c_str());
+    else
+        std::printf("running %zu sessions x %zu intervals on %zu "
+                    "thread(s)%s...\n",
+                    n_sessions, opt.intervals, opt.threads,
+                    opt.batched ? " (batched SIMD drive)" : "");
     const auto res = fleet.run(opt.threads);
 
     util::Table t("\nFleet sessions:");
@@ -629,6 +656,14 @@ cmdFleet(const Options &opt)
                 res.sessions_per_s, res.intervals_per_s);
     std::printf("fleet mean power %.1f W, total energy %.1f J\n",
                 res.mean_power_w, res.energy_j);
+    if (!opt.record_path.empty())
+        std::printf("recorded %zu stream(s) to '%s'; replay with "
+                    "the same fleet options plus --replay\n",
+                    res.completed, opt.record_path.c_str());
+    if (!opt.replay_path.empty())
+        std::printf("replay digests above are bit-comparable to the "
+                    "recording run's (same table, same values when "
+                    "the replay is faithful)\n");
     return res.failed == 0 ? 0 : 1;
 }
 

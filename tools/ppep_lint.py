@@ -85,9 +85,11 @@ HOT_FILES = {
     "governor/degraded_mode.cpp", "governor/degraded_mode.hpp",
     "governor/coscale_lite.cpp", "governor/coscale_lite.hpp",
     "trace/collector.cpp", "trace/collector.hpp",
+    "trace/replay.cpp", "trace/replay.hpp",
     "runtime/sampler.cpp", "runtime/sampler.hpp",
     "runtime/health.cpp", "runtime/health.hpp",
     "sim/chip.cpp", "sim/chip.hpp",
+    "sim/chip_batch.cpp", "sim/chip_batch.hpp",
     "sim/core_model.cpp", "sim/core_model.hpp",
     "sim/northbridge.cpp", "sim/northbridge.hpp",
     "sim/hw_power_model.cpp", "sim/hw_power_model.hpp",
