@@ -16,7 +16,13 @@
  *   - replay: the homogeneous fleet recorded once at simulation speed,
  *     then re-driven from the memory-mapped trace with zero simulation
  *     — the governing-pipeline throughput with the simulator factored
- *     out.
+ *     out;
+ *   - budget: the same fleet under a global watt contract with a
+ *     mid-run budget drop, solved by the single-pass predictive
+ *     BudgetArbiter and by the retained iterative baseline — the
+ *     paper's Fig. 7 comparison (predictive one-step capping vs
+ *     reactive search) at fleet scale, plus a 64-session x 8-VF
+ *     synthetic decide() latency microbench.
  *
  * The first two scale across 1/2/4/8 threads and cross-check the
  * determinism contract: every session's telemetry digest must be
@@ -45,9 +51,22 @@
  *                              8-thread pool fails to beat the serial
  *                              run. Every ratio is host-normalized by
  *                              construction: both sides run here.
+ *                              Arbitration gates: the baseline file's
+ *                              schema version must match this binary's
+ *                              (mismatch = regenerate, checked before
+ *                              anything else), the single-pass arbiter
+ *                              must re-settle a budget drop within 2
+ *                              intervals while the iterative baseline
+ *                              needs at least 3, the arbiter's cap-sum
+ *                              self-check must be clean, and — on
+ *                              simulation-bound hosts, the same escape
+ *                              hatch the throughput ratios use — the
+ *                              64-session decide() must stay under the
+ *                              latency ceiling.
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -71,6 +90,9 @@ constexpr double kRegressionBand = 1.25;  // vs committed baseline
 constexpr double kReplayOverSimFloor = 10.0; // replay vs simulated
 constexpr double kReplayIpsFloor = 1e6;      // absolute replay rate
 constexpr double kSpeedupFloor = 1.05; // 8-thread pool vs serial
+constexpr double kSinglePassSettleCeil = 2.0; // intervals after a drop
+constexpr double kIterativeSettleFloor = 3.0; // baseline must be slower
+constexpr double kDecideUsCeil = 200.0; // 64-session decide() latency
 
 /** Distinct 2-CU mixes rotated across the fleet's sessions. */
 const std::vector<std::vector<std::string>> kMixes = {
@@ -449,8 +471,198 @@ main(int argc, char **argv)
 
     // The simulated fleets are simulation-bound when the same governed
     // pipeline runs far faster without the simulator underneath it.
-    json.add("env", "simulation_bound",
-             replay_over_sim >= 2.0 ? 1.0 : 0.0, "bool");
+    const bool sim_bound = replay_over_sim >= 2.0;
+    json.add("env", "simulation_bound", sim_bound ? 1.0 : 0.0, "bool");
+
+    // Fleet budget arbitration: the Fig. 7 systems claim at fleet
+    // scale. A mid-run budget drop is handed to the single-pass
+    // predictive BudgetArbiter and to the retained iterative baseline;
+    // the predictive sweep re-settles measured fleet power under the
+    // lowered contract in about one interval because every session's
+    // per-VF power is already predicted, while the reactive baseline
+    // walks caps down step by step. The watt contract is calibrated
+    // off this fleet's own uncapped draw, so the drop binds on every
+    // host and training set.
+    double sp_settle = 0.0;
+    double iter_settle = 0.0;
+    double settle_ratio = 0.0;
+    std::size_t cap_sum_violations = 0;
+    {
+        const std::size_t budget_intervals = quick ? 16 : 30;
+        const std::size_t drop_at = quick ? 4 : 8;
+
+        runtime::FleetSpec cal = makeHomoSpec(n_sessions, quick);
+        cal.intervals = budget_intervals;
+        cal.arbiter.emplace(); // arbitrated but uncapped: calibration
+        runtime::Fleet cal_fleet(std::move(cal));
+        cal_fleet.prepare();
+        const auto cal_res = cal_fleet.run(1);
+        if (cal_res.failed != 0) {
+            std::fprintf(stderr,
+                         "FLEET BENCH FAILED: %zu session(s) errored "
+                         "in the budget calibration run\n",
+                         cal_res.failed);
+            return EXIT_FAILURE;
+        }
+        const double total_w =
+            cal_res.mean_power_w * static_cast<double>(n_sessions);
+        const double b_high = 1.2 * total_w;
+        const double b_low = 0.8 * total_w;
+
+        const auto makeBudgetSpec = [&](bool iterative) {
+            runtime::FleetSpec s = makeHomoSpec(n_sessions, quick);
+            s.intervals = budget_intervals;
+            runtime::ArbiterSpec a;
+            a.budget = ppep::governor::CapSchedule(
+                {{0, b_high}, {drop_at, b_low}});
+            a.iterative = iterative;
+            s.arbiter = std::move(a);
+            return s;
+        };
+
+        // The single-pass arbiter across 1/2/8 threads: the
+        // determinism contract must survive arbitration (caps are
+        // decided in the barrier completion step, serially).
+        std::vector<std::uint64_t> serial_digests;
+        bool match = true;
+        runtime::ArbiterReport sp_report;
+        for (const std::size_t threads : {1, 2, 8}) {
+            runtime::Fleet f(makeBudgetSpec(false));
+            f.prepare();
+            const auto res = f.run(threads);
+            if (res.failed != 0) {
+                std::fprintf(stderr,
+                             "FLEET BENCH FAILED: %zu session(s) "
+                             "errored in the arbitrated fleet at %zu "
+                             "threads\n",
+                             res.failed, threads);
+                return EXIT_FAILURE;
+            }
+            if (threads == 1) {
+                for (const auto &s : res.sessions)
+                    serial_digests.push_back(s.telemetry_digest);
+                sp_report = res.arbiter;
+            } else {
+                for (std::size_t i = 0; i < res.sessions.size(); ++i)
+                    match &= res.sessions[i].telemetry_digest ==
+                             serial_digests[i];
+            }
+        }
+        all_match &= match;
+
+        runtime::Fleet iter_fleet(makeBudgetSpec(true));
+        iter_fleet.prepare();
+        const auto iter_res = iter_fleet.run(1);
+        if (iter_res.failed != 0) {
+            std::fprintf(stderr,
+                         "FLEET BENCH FAILED: %zu session(s) errored "
+                         "in the iterative-arbiter fleet\n",
+                         iter_res.failed);
+            return EXIT_FAILURE;
+        }
+        const runtime::ArbiterReport &ir = iter_res.arbiter;
+
+        // A drop that never re-settled inside the run counts as the
+        // whole post-drop window — "still searching at the end".
+        const auto settled = [&](const runtime::ArbiterReport &r) {
+            if (r.budget_drops > 0 && r.mean_settle_intervals == 0.0)
+                return static_cast<double>(budget_intervals - drop_at);
+            return r.mean_settle_intervals;
+        };
+        sp_settle = settled(sp_report);
+        iter_settle = settled(ir);
+        settle_ratio = sp_settle > 0.0 ? iter_settle / sp_settle : 0.0;
+        // Gate the invariant on the single-pass arbiter only: the
+        // reactive baseline's caps structurally overhang a dropped
+        // budget while it walks down — that overhang IS the contrast
+        // being measured, not a regression.
+        cap_sum_violations = sp_report.cap_sum_violations;
+
+        std::printf("\nbudget arbitration (%.0f W -> %.0f W at "
+                    "interval %zu):\n",
+                    b_high, b_low, drop_at);
+        std::printf("  single-pass: settled in %.1f interval(s), %zu "
+                    "violation interval(s), mean decide %.1f us, "
+                    "digests %s\n",
+                    sp_settle, sp_report.violation_intervals,
+                    sp_report.mean_decide_s * 1e6,
+                    match ? "bit-identical" : "MISMATCH");
+        std::printf("  iterative:   settled in %.1f interval(s), %zu "
+                    "violation interval(s) (%.1fx slower to "
+                    "converge)\n",
+                    iter_settle, ir.violation_intervals, settle_ratio);
+
+        json.add("fleet_budget", "single_pass_settle_intervals",
+                 sp_settle, "intervals");
+        json.add("fleet_budget", "iterative_settle_intervals",
+                 iter_settle, "intervals");
+        json.add("fleet_budget", "iterative_over_single_pass_settle",
+                 settle_ratio, "x");
+        json.add("fleet_budget", "single_pass_violation_intervals",
+                 static_cast<double>(sp_report.violation_intervals),
+                 "count");
+        json.add("fleet_budget", "iterative_violation_intervals",
+                 static_cast<double>(ir.violation_intervals), "count");
+        json.add("fleet_budget", "cap_sum_violations",
+                 static_cast<double>(cap_sum_violations), "count");
+        json.add("fleet_budget", "mean_headroom_w",
+                 sp_report.mean_headroom_w, "W");
+        json.add("fleet_budget", "mean_decide_us",
+                 sp_report.mean_decide_s * 1e6, "us");
+        json.add("fleet_budget", "digest_match", match ? 1.0 : 0.0,
+                 "bool");
+    }
+
+    // Synthetic 64-session x 8-VF decide() microbench: the serial
+    // barrier-completion cost a wide fleet pays per interval — gather
+    // into the SoA lanes plus the full hull/sort/sweep solve.
+    double decide_us = 0.0;
+    {
+        constexpr std::size_t kLanes = 64;
+        constexpr std::size_t kVf = 8;
+        std::vector<runtime::FleetArbiter::SessionSetup> setups(kLanes);
+        for (std::size_t s = 0; s < kLanes; ++s) {
+            setups[s].n_vf = kVf;
+            setups[s].priority =
+                1.0 + static_cast<double>(s % 4) * 0.25;
+            setups[s].slo_floor_w = 5.0;
+        }
+        runtime::ArbiterSpec aspec;
+        aspec.budget = ppep::governor::CapSchedule(900.0);
+        aspec.tiers = {{"rack0", 500.0}, {"rack1", 500.0}};
+        const auto arb = runtime::makeArbiter(aspec, setups);
+
+        std::vector<model::VfPrediction> rows(kLanes * kVf);
+        for (std::size_t s = 0; s < kLanes; ++s)
+            for (std::size_t k = 0; k < kVf; ++k) {
+                auto &r = rows[s * kVf + k];
+                r.chip_power_w = 8.0 + 3.0 * static_cast<double>(k) +
+                                 0.05 * static_cast<double>(s);
+                r.total_ips = (1.0 + 0.01 * static_cast<double>(s)) *
+                              1e9 *
+                              std::sqrt(static_cast<double>(k + 1));
+            }
+        const auto oneInterval = [&](std::size_t i) {
+            for (std::size_t s = 0; s < kLanes; ++s)
+                arb->gather(s, rows.data() + s * kVf, kVf,
+                            10.0 + 0.1 * static_cast<double>(s));
+            arb->decide(i);
+        };
+        for (std::size_t i = 0; i < 16; ++i) // warm
+            oneInterval(i);
+        const std::size_t iters = quick ? 2000 : 20000;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < iters; ++i)
+            oneInterval(16 + i);
+        const auto t1 = std::chrono::steady_clock::now();
+        decide_us =
+            std::chrono::duration<double, std::micro>(t1 - t0).count() /
+            static_cast<double>(iters);
+        std::printf("  arbiter decide (64 sessions x 8 VF, synthetic): "
+                    "%.1f us/interval\n",
+                    decide_us);
+        json.add("arbiter", "decide_us_64x8", decide_us, "us");
+    }
 
     // Host-normalized throughput ratio: the mixed fleet pays for
     // per-config model resolution, tenant attribution, and the wider
@@ -493,6 +705,20 @@ main(int argc, char **argv)
         }
         std::stringstream buf;
         buf << in.rdbuf();
+        // Schema gate first: comparing against a baseline written by a
+        // different schema would silently read NaNs, so refuse with a
+        // regeneration hint before any metric is touched.
+        const int base_schema = bench::baselineSchema(buf.str());
+        if (base_schema != bench::kBenchSchemaVersion) {
+            std::fprintf(stderr,
+                         "FAIL: baseline %s has schema version %d but "
+                         "this binary writes version %d — regenerate "
+                         "BENCH_fleet.json with a full bench_fleet "
+                         "run\n",
+                         check_path.c_str(), base_schema,
+                         bench::kBenchSchemaVersion);
+            return EXIT_FAILURE;
+        }
         const double base_ratio = bench::baselineValue(
             buf.str(), "mixed_over_homo_intervals_per_s");
         if (!(base_ratio > 0.0)) {
@@ -531,6 +757,42 @@ main(int argc, char **argv)
                          "rate (floor %.0fx)\n",
                          replay_ips, kReplayIpsFloor, replay_over_sim,
                          kReplayOverSimFloor);
+            ok = false;
+        }
+        // The Fig. 7 claim at fleet scale: predictive single-pass
+        // capping settles a budget drop in ~1 interval; the reactive
+        // baseline must demonstrably need its iterative search.
+        if (sp_settle > kSinglePassSettleCeil) {
+            std::fprintf(stderr,
+                         "FAIL: single-pass arbiter settled in %.1f "
+                         "intervals (ceiling %.1f)\n",
+                         sp_settle, kSinglePassSettleCeil);
+            ok = false;
+        }
+        if (iter_settle < kIterativeSettleFloor) {
+            std::fprintf(stderr,
+                         "FAIL: iterative baseline settled in %.1f "
+                         "intervals (< %.1f) — the comparison no "
+                         "longer demonstrates the predictive win\n",
+                         iter_settle, kIterativeSettleFloor);
+            ok = false;
+        }
+        if (cap_sum_violations != 0) {
+            std::fprintf(stderr,
+                         "FAIL: arbiter cap-sum self-check tripped %zu "
+                         "time(s) — installed caps exceeded the "
+                         "budget\n",
+                         cap_sum_violations);
+            ok = false;
+        }
+        if (!sim_bound) {
+            std::printf("arbiter latency gate skipped: host is not "
+                        "simulation-bound, timing is unreliable\n");
+        } else if (decide_us > kDecideUsCeil) {
+            std::fprintf(stderr,
+                         "FAIL: 64-session arbiter decide %.1f us is "
+                         "over the %.0f us ceiling\n",
+                         decide_us, kDecideUsCeil);
             ok = false;
         }
         if (hw <= 1) {

@@ -1,5 +1,6 @@
 #include "ppep/governor/governor.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "ppep/util/logging.hpp"
@@ -56,7 +57,7 @@ void
 GovernorLoop::cycleBegin(std::size_t index, const CapSchedule &schedule,
                          GovernorStep &step) PPEP_NONBLOCKING
 {
-    step.cap_w = schedule.capAt(index);
+    step.cap_w = std::min(schedule.capAt(index), cap_limit_);
     // rt-escape: warm-up growth of the reused step's VF scratch; no-op
     // once sized to n_cus (test_zero_alloc).
     PPEP_RT_WARMUP_BEGIN
@@ -76,7 +77,7 @@ GovernorLoop::cycleDecide(std::size_t index, const CapSchedule &schedule,
     // Decide with the *next* interval's cap: the policy reacts to a
     // cap change in the very next decision, just like the paper's
     // Fig. 7 experiment.
-    const double next_cap = schedule.capAt(index + 1);
+    const double next_cap = std::min(schedule.capAt(index + 1), cap_limit_);
     // rt-escape: steady_clock::now() is an opaque library call but a
     // non-blocking vDSO clock read; RTSan keeps checking it.
     PPEP_RT_OPAQUE_BEGIN

@@ -184,6 +184,15 @@ class GovernorLoop
                      std::vector<std::size_t> &next_vf,
                      double &latency_s) PPEP_NONBLOCKING;
 
+    /**
+     * Externally imposed watt limit layered under the schedule: the
+     * effective cap at any interval is min(schedule, limit). The fleet
+     * arbiter installs its per-session allocation here each barrier
+     * interval; the default (+inf) leaves the schedule alone.
+     */
+    void setCapLimit(double cap_w) PPEP_NONBLOCKING { cap_limit_ = cap_w; }
+    double capLimit() const PPEP_NONBLOCKING { return cap_limit_; }
+
   private:
     /** One measurement/decision/actuation cycle shared by run/drive.
      *  This is the annotated real-time region: everything reached from
@@ -201,6 +210,8 @@ class GovernorLoop
 
     sim::Chip &chip_;
     Governor &policy_;
+    /** Arbiter-imposed limit; min()'d with the schedule everywhere. */
+    double cap_limit_ = std::numeric_limits<double>::max();
     trace::IntervalSource *source_ = nullptr;
     std::optional<trace::Collector> own_collector_;
     /** Scratch reused by drive(). */

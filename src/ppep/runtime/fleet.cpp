@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <chrono>
 #include <exception>
 #include <filesystem>
@@ -46,6 +47,10 @@ Fleet::Fleet(FleetSpec spec) : spec_(std::move(spec))
                    "use batched or replay_path, not both");
     if (!spec_.replay_path.empty() && !spec_.record_path.empty())
         PPEP_FATAL("a fleet cannot record and replay at once");
+    if (spec_.arbiter && spec_.batched)
+        PPEP_FATAL("the arbitrated drive and the batched SIMD drive "
+                   "are separate locksteps; use arbiter or batched, "
+                   "not both");
     for (std::size_t i = 0; i < spec_.sessions.size(); ++i)
         if (spec_.sessions[i].name.empty())
             spec_.sessions[i].name = "s" + std::to_string(i);
@@ -294,6 +299,8 @@ Fleet::run(std::size_t n_threads)
 
     if (spec_.batched)
         return runBatched();
+    if (spec_.arbiter)
+        return runArbitrated(n_threads);
 
     const std::size_t workers =
         std::clamp<std::size_t>(n_threads, 1, n_sessions);
@@ -404,6 +411,172 @@ Fleet::runBatched()
         out.sessions[i] = std::move(h.res);
     }
 
+    finalizeRun(out, secondsSince(t0));
+    return out;
+}
+
+FleetResult
+Fleet::runArbitrated(std::size_t n_threads)
+{
+    const ArbiterSpec &aspec = *spec_.arbiter;
+    const std::size_t n_sessions = spec_.sessions.size();
+    FleetResult out;
+    out.sessions.resize(n_sessions);
+    const auto t0 = clock::now();
+
+    // Build every harness on this thread; a session that fails to
+    // build is recorded, excluded from the lockstep, and enters the
+    // arbiter with priority 0 so it draws no budget.
+    std::vector<std::unique_ptr<Harness>> harnesses(n_sessions);
+    std::vector<std::optional<Session::LockstepDriver>> drivers(
+        n_sessions);
+    std::vector<clock::time_point> started(n_sessions);
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        started[i] = clock::now();
+        harnesses[i] = std::make_unique<Harness>();
+        try {
+            buildHarness(i, *harnesses[i]);
+            drivers[i].emplace(*harnesses[i]->session);
+        } catch (const std::exception &e) {
+            harnesses[i]->res.error = e.what();
+            drivers[i].reset();
+        } catch (...) {
+            harnesses[i]->res.error = "unknown exception";
+            drivers[i].reset();
+        }
+    }
+
+    std::vector<FleetArbiter::SessionSetup> setups(n_sessions);
+    std::vector<std::size_t> live;
+    live.reserve(n_sessions);
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        const FleetSessionSpec &ss = spec_.sessions[i];
+        auto &su = setups[i];
+        if (drivers[i]) {
+            su.priority = ss.priority;
+            su.slo_floor_w = ss.slo_floor_w;
+            live.push_back(i);
+        } else {
+            su.priority = 0.0;
+            su.slo_floor_w = 0.0;
+        }
+        su.tier = ss.tier;
+        const sim::ChipConfig &cfg = ss.cfg ? *ss.cfg : spec_.cfg;
+        su.n_vf = cfg.vf_table.size();
+    }
+    const std::unique_ptr<FleetArbiter> arbiter =
+        makeArbiter(aspec, setups);
+
+    std::vector<double> cap_sum_w(n_sessions, 0.0);
+    std::vector<double> throttled_sum_w(n_sessions, 0.0);
+
+    const std::size_t workers = live.empty()
+                                    ? 1
+                                    : std::clamp<std::size_t>(
+                                          n_threads, 1, live.size());
+
+    // The barrier completion step runs serially (on whichever worker
+    // arrived last) once every worker has collected and gathered its
+    // slice: the arbiter's decision is a pure function of the gathered
+    // SoA table, so fleet telemetry is bit-identical at any worker
+    // count. Observers run here too — outside the sessions' annotated
+    // regions, like the telemetry hand-off.
+    std::size_t interval = 0;
+    auto arbitrate = [&]() noexcept {
+        const auto d0 = clock::now();
+        arbiter->decide(interval);
+        arbiter->noteDecideSeconds(secondsSince(d0));
+        for (std::size_t i = 0; i < n_sessions; ++i) {
+            cap_sum_w[i] += arbiter->capOf(i);
+            throttled_sum_w[i] += arbiter->throttledOf(i);
+        }
+        if (aspec.observer) {
+            ArbiterIntervalView view;
+            view.interval = interval;
+            view.budget_w = arbiter->budgetAt(interval);
+            view.next_budget_w = arbiter->budgetAt(interval + 1);
+            view.caps = arbiter->capsData();
+            view.measured = arbiter->measuredData();
+            view.n_sessions = n_sessions;
+            view.headroom_w = arbiter->headroomLastW();
+            view.violation = arbiter->lastViolation();
+            aspec.observer(view);
+        }
+        ++interval;
+    };
+
+    if (!live.empty()) {
+        std::barrier bar(static_cast<std::ptrdiff_t>(workers),
+                         arbitrate);
+        auto work = [&](std::size_t w) {
+            // Contiguous slice of the live sessions for this worker.
+            const std::size_t lo = live.size() * w / workers;
+            const std::size_t hi = live.size() * (w + 1) / workers;
+            for (std::size_t iv = 0; iv < spec_.intervals; ++iv) {
+                for (std::size_t k = lo; k < hi; ++k) {
+                    const std::size_t i = live[k];
+                    auto &d = *drivers[i];
+                    d.collectPhase();
+                    const auto *ex = d.exploration();
+                    arbiter->gather(
+                        i, ex ? ex->data() : nullptr,
+                        ex ? ex->size() : 0, d.measuredPowerW());
+                }
+                bar.arrive_and_wait();
+                for (std::size_t k = lo; k < hi; ++k) {
+                    const std::size_t i = live[k];
+                    drivers[i]->setCapLimitW(arbiter->capOf(i));
+                    drivers[i]->decidePhase();
+                }
+            }
+        };
+        if (workers == 1) {
+            work(0);
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (std::size_t w = 0; w < workers; ++w)
+                pool.emplace_back(work, w);
+            for (auto &th : pool)
+                th.join();
+        }
+    }
+
+    const double intervals_d =
+        static_cast<double>(std::max<std::size_t>(1, spec_.intervals));
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        Harness &h = *harnesses[i];
+        if (drivers[i]) {
+            drivers[i]->finish();
+            h.res.intervals = spec_.intervals;
+            finishHarness(h);
+            h.res.mean_cap_w = cap_sum_w[i] / intervals_d;
+            h.res.final_cap_w = arbiter->capOf(i);
+            h.res.mean_throttled_w = throttled_sum_w[i] / intervals_d;
+            // Bill throttling to tenants in proportion to their
+            // attributed power draw — the tenant that pulled the watts
+            // carries the denial.
+            const auto &sum = h.res.summary;
+            if (!sum.tenant_names.empty()) {
+                double total_w = 0.0;
+                for (double w : sum.tenant_mean_power_w)
+                    total_w += w;
+                h.res.tenant_throttled_w.resize(
+                    sum.tenant_names.size(), 0.0);
+                for (std::size_t t = 0;
+                     t < sum.tenant_names.size(); ++t)
+                    h.res.tenant_throttled_w[t] =
+                        total_w > 0.0
+                            ? h.res.mean_throttled_w *
+                                  sum.tenant_mean_power_w[t] / total_w
+                            : 0.0;
+            }
+        }
+        h.res.wall_s = secondsSince(started[i]);
+        out.sessions[i] = std::move(h.res);
+    }
+
+    out.arbiter = arbiter->report();
     finalizeRun(out, secondsSince(t0));
     return out;
 }

@@ -29,12 +29,14 @@
 #define PPEP_RUNTIME_FLEET_HPP
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "ppep/governor/governor.hpp"
+#include "ppep/runtime/arbiter.hpp"
 #include "ppep/runtime/model_store.hpp"
 #include "ppep/runtime/recorder.hpp"
 #include "ppep/runtime/session.hpp"
@@ -79,6 +81,14 @@ struct FleetSessionSpec
     /** Tenants sharing this session's chip; empty = no attribution.
      *  Validated against the session's own config at build(). */
     std::vector<TenantSpec> tenants;
+    /** Arbitration weight (FleetSpec::arbiter); 0 removes the session
+     *  from the budget sweep entirely. */
+    double priority = 1.0;
+    /** Arbitration SLO floor: never cap this session below this many
+     *  watts unless the floors alone are infeasible. */
+    double slo_floor_w = 0.0;
+    /** Arbitration tier; nullopt = round-robin over the spec's tiers. */
+    std::optional<std::size_t> tier;
 };
 
 /** Shared fleet configuration plus the per-session specs. */
@@ -126,6 +136,15 @@ struct FleetSpec
      *  file's platform fingerprints must match the sessions' configs.
      *  Incompatible with record_path and batched. */
     std::string replay_path;
+    /**
+     * Fleet-level power-budget arbitration: when set, the fleet drives
+     * every session in lockstep and a BudgetArbiter (or the iterative
+     * baseline) redistributes per-session caps from the sessions' own
+     * per-VF predictions on a deterministic barrier every interval.
+     * Telemetry stays bit-identical at any thread count. Incompatible
+     * with batched (the SoA chip lockstep is a separate drive).
+     */
+    std::optional<ArbiterSpec> arbiter;
     /** The sessions to run. */
     std::vector<FleetSessionSpec> sessions;
 };
@@ -149,6 +168,17 @@ struct FleetSessionResult
     std::vector<std::string> sink_errors;
     /** Wall-clock cost of this session, seconds. */
     double wall_s = 0.0;
+    // --- arbitration telemetry (meaningful when the fleet arbitrates
+    // --- under a finite budget) --------------------------------------
+    /** Mean watt cap allocated to this session per interval. */
+    double mean_cap_w = 0.0;
+    /** Cap in force after the final interval. */
+    double final_cap_w = std::numeric_limits<double>::max();
+    /** Mean watts denied per interval (demand minus allocation). */
+    double mean_throttled_w = 0.0;
+    /** Per-tenant share of the throttled watts, split in proportion to
+     *  each tenant's attributed power (summary.tenant_names order). */
+    std::vector<double> tenant_throttled_w;
 };
 
 /** Fleet rollup (specs order preserved in sessions). */
@@ -166,6 +196,9 @@ struct FleetResult
     double mean_power_w = 0.0;
     /** Total energy across completed sessions, joules. */
     double energy_j = 0.0;
+    /** Arbitration rollup; arbiter.active is false when the fleet ran
+     *  without one. */
+    ArbiterReport arbiter;
 };
 
 /**
@@ -234,6 +267,8 @@ class Fleet
     void finishHarness(Harness &h);
     /** The lockstep ChipBatch drive (spec_.batched). */
     FleetResult runBatched();
+    /** The barrier-arbitrated lockstep drive (spec_.arbiter). */
+    FleetResult runArbitrated(std::size_t n_threads);
     /** Rollup + throughput + record-file assembly shared by both
      *  drive paths. */
     void finalizeRun(FleetResult &out, double wall_s);

@@ -623,6 +623,53 @@ Session::drive(std::size_t intervals)
     return ran;
 }
 
+void
+Session::replayFrameInto(governor::GovernorStep &step, std::size_t index,
+                         double want_cap_w)
+{
+    auto &s = *state_;
+    if (s.replay->done())
+        PPEP_FATAL("replay stream exhausted after ",
+                   s.replay->framesConsumed(), " frames at interval ",
+                   index);
+    s.replay->collectIntervalInto(step.rec);
+    // The frame's telemetry context replaces what cycleBegin would
+    // read off the chip. The recorded VF context equals what the
+    // live run stamped from its chip at the same point, and the
+    // recorded cap must agree with this session's schedule (and any
+    // arbiter limit) or the governor would be reacting to caps the
+    // record never ran.
+    step.cap_w = s.replay->frameCapW();
+    if (step.cap_w != want_cap_w)
+        PPEP_FATAL("replayed cap ", step.cap_w, " W at interval ",
+                   index, " does not match the session schedule's ",
+                   want_cap_w, " W");
+    step.cu_vf = step.rec.cu_vf;
+    s.replay_time_s = s.replay->frameTimeS();
+    if (s.replay->hasHealth()) {
+        const trace::ReplayHealth &rh = s.replay->frameHealth();
+        SampleHealth &h = s.replay_health;
+        h.msr_retries = static_cast<std::size_t>(rh.msr_retries);
+        h.msr_failed_cores =
+            static_cast<std::size_t>(rh.msr_failed_cores);
+        h.pmc_rejected_cores =
+            static_cast<std::size_t>(rh.pmc_rejected_cores);
+        h.substituted_cores =
+            static_cast<std::size_t>(rh.substituted_cores);
+        h.zeroed_cores = static_cast<std::size_t>(rh.zeroed_cores);
+        h.sensor_rejects =
+            static_cast<std::size_t>(rh.sensor_rejects);
+        h.diode_rejects =
+            static_cast<std::size_t>(rh.diode_rejects);
+        h.ticks = static_cast<std::size_t>(rh.ticks);
+        h.timing_overrun = rh.timing_overrun;
+        h.pmc_wrap_events =
+            static_cast<std::size_t>(rh.pmc_wrap_events);
+        h.total_fault_events =
+            static_cast<std::size_t>(rh.total_fault_events);
+    }
+}
+
 std::size_t
 Session::driveReplay(std::size_t intervals)
 {
@@ -633,46 +680,7 @@ Session::driveReplay(std::size_t intervals)
     governor::GovernorStep step;
     std::vector<std::size_t> next_vf;
     for (std::size_t i = 0; i < intervals; ++i) {
-        if (s.replay->done())
-            PPEP_FATAL("replay stream exhausted after ",
-                       s.replay->framesConsumed(), " frames; ",
-                       intervals, " intervals requested");
-        s.replay->collectIntervalInto(step.rec);
-        // The frame's telemetry context replaces what cycleBegin would
-        // read off the chip. The recorded VF context equals what the
-        // live run stamped from its chip at the same point, and the
-        // recorded cap must agree with this session's schedule or the
-        // governor would be reacting to caps the record never ran.
-        step.cap_w = s.replay->frameCapW();
-        const double want = s.schedule.capAt(i);
-        if (step.cap_w != want)
-            PPEP_FATAL("replayed cap ", step.cap_w, " W at interval ",
-                       i, " does not match the session schedule's ",
-                       want, " W");
-        step.cu_vf = step.rec.cu_vf;
-        s.replay_time_s = s.replay->frameTimeS();
-        if (s.replay->hasHealth()) {
-            const trace::ReplayHealth &rh = s.replay->frameHealth();
-            SampleHealth &h = s.replay_health;
-            h.msr_retries = static_cast<std::size_t>(rh.msr_retries);
-            h.msr_failed_cores =
-                static_cast<std::size_t>(rh.msr_failed_cores);
-            h.pmc_rejected_cores =
-                static_cast<std::size_t>(rh.pmc_rejected_cores);
-            h.substituted_cores =
-                static_cast<std::size_t>(rh.substituted_cores);
-            h.zeroed_cores = static_cast<std::size_t>(rh.zeroed_cores);
-            h.sensor_rejects =
-                static_cast<std::size_t>(rh.sensor_rejects);
-            h.diode_rejects =
-                static_cast<std::size_t>(rh.diode_rejects);
-            h.ticks = static_cast<std::size_t>(rh.ticks);
-            h.timing_overrun = rh.timing_overrun;
-            h.pmc_wrap_events =
-                static_cast<std::size_t>(rh.pmc_wrap_events);
-            h.total_fault_events =
-                static_cast<std::size_t>(rh.total_fault_events);
-        }
+        replayFrameInto(step, i, s.schedule.capAt(i));
         double latency_s = 0.0;
         loop.cycleDecide(i, s.schedule, step, next_vf, latency_s);
         observer(step, latency_s);
@@ -738,6 +746,66 @@ Session::BatchDriver::endInterval()
 
 void
 Session::BatchDriver::finish()
+{
+    session_.finishSinks();
+}
+
+Session::LockstepDriver::LockstepDriver(Session &session)
+    : session_(session),
+      loop_(*session.state_->chip, *session.state_->gov),
+      observer_(session.makeObserver())
+{
+    session.warmupIfNeeded();
+    if (session.state_->replay == nullptr)
+        source_ = &session.tickedSource();
+}
+
+void
+Session::LockstepDriver::collectPhase()
+{
+    auto &s = *session_.state_;
+    if (s.replay) {
+        session_.replayFrameInto(
+            step_, index_,
+            std::min(s.schedule.capAt(index_), loop_.capLimit()));
+        return;
+    }
+    loop_.cycleBegin(index_, s.schedule, step_);
+    source_->collectIntervalInto(step_.rec);
+}
+
+void
+Session::LockstepDriver::decidePhase()
+{
+    double latency_s = 0.0;
+    loop_.cycleDecide(index_, session_.state_->schedule, step_,
+                      next_vf_, latency_s);
+    // The observer hand-off lives outside the annotated region, same
+    // as run()/drive(): AsyncTelemetrySink blocks by design.
+    observer_(step_, latency_s);
+    ++index_;
+}
+
+void
+Session::LockstepDriver::setCapLimitW(double cap_w) PPEP_NONBLOCKING
+{
+    loop_.setCapLimit(cap_w);
+}
+
+const std::vector<model::VfPrediction> *
+Session::LockstepDriver::exploration() const PPEP_NONBLOCKING
+{
+    return session_.state_->gov->lastExploration();
+}
+
+double
+Session::LockstepDriver::measuredPowerW() const PPEP_NONBLOCKING
+{
+    return step_.rec.sensor_power_w;
+}
+
+void
+Session::LockstepDriver::finish()
 {
     session_.finishSinks();
 }

@@ -295,6 +295,62 @@ class Session
         std::size_t index_ = 0;
     };
 
+    /**
+     * Splits one governed interval into a collect phase and a decide
+     * phase so an external arbiter (runtime::Fleet's budget drive) can
+     * sit between them on a barrier:
+     *
+     *     d.collectPhase();                 // measure the interval
+     *     // barrier: arbiter reads exploration()/measuredPowerW()
+     *     d.setCapLimitW(arbiter cap);      // install the allocation
+     *     d.decidePhase();                  // decide, actuate, telemetry
+     *
+     * The two phases are exactly one interval of Session::drive() plus
+     * the movable cap limit: with the limit at +inf the sequence is
+     * bit-identical to drive(). Works for simulated, hardened, and
+     * replayed sessions alike (replay decodes recorded frames in the
+     * collect phase and re-checks the recorded cap against the
+     * schedule/limit pair). Construction runs the session's warm-up.
+     */
+    class LockstepDriver
+    {
+      public:
+        explicit LockstepDriver(Session &session);
+
+        /** Open interval @p index: stamp cap context and measure (or
+         *  decode the replay frame) into the step. */
+        void collectPhase();
+
+        /** Close the interval: decide under the current cap limit,
+         *  actuate, fan out telemetry, advance the index. */
+        void decidePhase();
+
+        /** Install the arbiter's watt allocation for the decisions
+         *  that follow (effective cap = min(schedule, limit)). */
+        void setCapLimitW(double cap_w) PPEP_NONBLOCKING;
+
+        /** The governor's per-VF exploration from its latest decide;
+         *  nullptr before the first decide or while degraded. */
+        const std::vector<model::VfPrediction> *exploration() const
+            PPEP_NONBLOCKING;
+
+        /** Measured chip power of the interval just collected. */
+        double measuredPowerW() const PPEP_NONBLOCKING;
+
+        /** End of run: finish()/flush() the session's sinks. */
+        void finish();
+
+      private:
+        Session &session_;
+        ppep::governor::GovernorLoop loop_;
+        ppep::governor::GovernorLoop::StepObserver observer_;
+        /** Null for replay sessions (frames come from the recording). */
+        trace::IntervalSource *source_ = nullptr;
+        ppep::governor::GovernorStep step_;
+        std::vector<std::size_t> next_vf_;
+        std::size_t index_ = 0;
+    };
+
     static Builder builder(sim::ChipConfig cfg);
 
     Session(Session &&) noexcept;
@@ -373,12 +429,18 @@ class Session
     void finishSinks();
     /** drive() over the attached ReplaySource (no simulation). */
     std::size_t driveReplay(std::size_t intervals);
+    /** Decode the next replay frame into @p step and verify its
+     *  recorded cap matches @p want_cap_w (the schedule/limit pair in
+     *  force at @p index). Shared by driveReplay and LockstepDriver. */
+    void replayFrameInto(ppep::governor::GovernorStep &step,
+                         std::size_t index, double want_cap_w);
     /** The session's splittable source (Sampler or batch Collector). */
     trace::TickedIntervalSource &tickedSource();
 
     std::unique_ptr<State> state_;
     friend class Builder;
     friend class BatchDriver;
+    friend class LockstepDriver;
 };
 
 } // namespace ppep::runtime

@@ -1,0 +1,562 @@
+/**
+ * @file
+ * BudgetArbiter tests: the water-filling sweep's optimality-shaped
+ * invariants on synthetic tables (priorities, SLO floors, tiers,
+ * hysteresis, infeasible scaling, blind fallback), the iterative
+ * baseline's reactive stepping, and the arbitrated fleet's determinism
+ * contract — bit-identical digests at any thread count and under
+ * record/replay, caps that never sum above the budget, and the
+ * single-pass-beats-iterative settle comparison from the paper's
+ * Fig. 7 at fleet scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include "ppep/model/ppep.hpp"
+#include "ppep/runtime/arbiter.hpp"
+#include "ppep/runtime/fleet.hpp"
+#include "ppep/sim/fault.hpp"
+#include "ppep/workloads/suite.hpp"
+
+namespace {
+
+using namespace ppep;
+using runtime::ArbiterReport;
+using runtime::ArbiterSpec;
+using runtime::BudgetArbiter;
+using runtime::Fleet;
+using runtime::FleetArbiter;
+using runtime::FleetSessionSpec;
+using runtime::FleetSpec;
+using Setup = runtime::FleetArbiter::SessionSetup;
+using ppep::governor::CapSchedule;
+
+constexpr double kHuge = 0.25 * std::numeric_limits<double>::max();
+
+// ---------------------------------------------------------------------------
+// Unit level: synthetic (power, throughput) tables fed straight into
+// the arbiters, no fleet underneath.
+// ---------------------------------------------------------------------------
+
+/**
+ * A strictly concave 4-state lane: hull steps cost 4, 6, 8 W with
+ * marginal rates 0.2, 0.1, 0.05 Gips/W — every point is on the hull,
+ * so grants are exactly predictable.
+ */
+std::vector<model::VfPrediction>
+concaveLane(double ips_scale = 1.0)
+{
+    const double p[] = {10.0, 14.0, 20.0, 28.0};
+    const double i[] = {1.0e9, 1.8e9, 2.4e9, 2.8e9};
+    std::vector<model::VfPrediction> rows(4);
+    for (std::size_t k = 0; k < 4; ++k) {
+        rows[k].vf_index = k;
+        rows[k].chip_power_w = p[k];
+        rows[k].total_ips = i[k] * ips_scale;
+    }
+    return rows;
+}
+
+Setup
+setupOf(double priority = 1.0, double floor_w = 0.0,
+        std::size_t n_vf = 4)
+{
+    Setup s;
+    s.priority = priority;
+    s.slo_floor_w = floor_w;
+    s.n_vf = n_vf;
+    return s;
+}
+
+TEST(Arbiter, UnlimitedBudgetLeavesEveryLaneUncapped)
+{
+    ArbiterSpec spec; // unlimited
+    const auto arb =
+        runtime::makeArbiter(spec, {setupOf(), setupOf()});
+    const auto rows = concaveLane();
+    arb->gather(0, rows.data(), rows.size(), 20.0);
+    arb->gather(1, rows.data(), rows.size(), 20.0);
+    arb->decide(0);
+    EXPECT_GT(arb->capOf(0), kHuge);
+    EXPECT_GT(arb->capOf(1), kHuge);
+    EXPECT_EQ(arb->throttledOf(0), 0.0);
+    EXPECT_EQ(arb->throttledOf(1), 0.0);
+    EXPECT_FALSE(arb->lastViolation());
+}
+
+TEST(Arbiter, WaterFillingGrantsHighestMarginalThroughputFirst)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule(24.0);
+    const auto arb =
+        runtime::makeArbiter(spec, {setupOf(), setupOf()});
+    const auto strong = concaveLane(1.0);
+    const auto weak = concaveLane(0.9); // same watts, less ips/W
+    arb->gather(0, strong.data(), strong.size(), 12.0);
+    arb->gather(1, weak.data(), weak.size(), 12.0);
+    arb->decide(0);
+    // Base 10 + 10; the 4 W remainder buys exactly one hull step and
+    // the steeper lane outbids the scaled-down one.
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 14.0);
+    EXPECT_DOUBLE_EQ(arb->capOf(1), 10.0);
+    // Demand is the max-throughput state (28 W); throttled = denied.
+    EXPECT_DOUBLE_EQ(arb->throttledOf(0), 14.0);
+    EXPECT_DOUBLE_EQ(arb->throttledOf(1), 18.0);
+}
+
+TEST(Arbiter, PriorityWeightsBiasTheSweep)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule(24.0);
+    const auto arb =
+        runtime::makeArbiter(spec, {setupOf(1.0), setupOf(2.0)});
+    const auto rows = concaveLane();
+    arb->gather(0, rows.data(), rows.size(), 12.0);
+    arb->gather(1, rows.data(), rows.size(), 12.0);
+    arb->decide(0);
+    // Identical tables: priority alone decides who gets the one
+    // affordable step.
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 10.0);
+    EXPECT_DOUBLE_EQ(arb->capOf(1), 14.0);
+}
+
+TEST(Arbiter, SloFloorLiftsTheBaseAllocation)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule(50.0);
+    const auto arb = runtime::makeArbiter(
+        spec, {setupOf(1.0, 30.0), setupOf(1.0)});
+    const auto rows = concaveLane();
+    arb->gather(0, rows.data(), rows.size(), 12.0);
+    arb->gather(1, rows.data(), rows.size(), 12.0);
+    arb->decide(0);
+    EXPECT_GE(arb->capOf(0), 30.0);
+    double sum = arb->capOf(0) + arb->capOf(1);
+    EXPECT_LE(sum, 50.0 * (1.0 + 1e-9) + 1e-6);
+}
+
+TEST(Arbiter, InfeasibleFloorsScaleEveryCapProportionally)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule(60.0);
+    const auto arb = runtime::makeArbiter(
+        spec, {setupOf(1.0, 40.0), setupOf(1.0, 40.0)});
+    const auto rows = concaveLane();
+    arb->gather(0, rows.data(), rows.size(), 12.0);
+    arb->gather(1, rows.data(), rows.size(), 12.0);
+    arb->decide(0);
+    // Floors alone want 80 W against a 60 W contract: everything
+    // scales by 0.75 and the interval counts as infeasible.
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 30.0);
+    EXPECT_DOUBLE_EQ(arb->capOf(1), 30.0);
+    EXPECT_EQ(arb->report().infeasible_intervals, 1u);
+}
+
+TEST(Arbiter, TierBudgetsConstrainTheirSessions)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule(100.0);
+    spec.tiers = {{"rack0", 20.0}, {"rack1", 100.0}};
+    auto s0 = setupOf();
+    s0.tier = 0;
+    auto s1 = setupOf();
+    s1.tier = 1;
+    const auto arb = runtime::makeArbiter(spec, {s0, s1});
+    const auto rows = concaveLane();
+    arb->gather(0, rows.data(), rows.size(), 12.0);
+    arb->gather(1, rows.data(), rows.size(), 12.0);
+    arb->decide(0);
+    // Lane 0's tier is exhausted at 20 W (base 10 + steps 4 + 6);
+    // global headroom cannot leak into it, so the leftover all lands
+    // on lane 1.
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 20.0);
+    EXPECT_GT(arb->capOf(1), 28.0);
+    EXPECT_LE(arb->capOf(0) + arb->capOf(1),
+              100.0 * (1.0 + 1e-9) + 1e-6);
+}
+
+TEST(Arbiter, HysteresisSuppressesSmallRaisesButNeverLowering)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule({{0, 24.0}, {2, 27.0}, {3, 20.0}});
+    spec.hysteresis_w = 5.0;
+    const auto arb =
+        runtime::makeArbiter(spec, {setupOf(), setupOf()});
+    const auto strong = concaveLane(1.0);
+    const auto weak = concaveLane(0.9);
+    const auto feed = [&] {
+        arb->gather(0, strong.data(), strong.size(), 11.0);
+        arb->gather(1, weak.data(), weak.size(), 11.0);
+    };
+    feed();
+    arb->decide(0); // next budget 24 -> caps {14, 10}
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 14.0);
+    EXPECT_DOUBLE_EQ(arb->capOf(1), 10.0);
+    feed();
+    arb->decide(1); // next budget 27: +1.5 W raises, under threshold
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 14.0);
+    EXPECT_DOUBLE_EQ(arb->capOf(1), 10.0);
+    feed();
+    arb->decide(2); // next budget 20: lowering always applies
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 10.0);
+    EXPECT_DOUBLE_EQ(arb->capOf(1), 10.0);
+}
+
+TEST(Arbiter, BlindLanesFallBackToPriorityShare)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule(60.0);
+    const auto arb = runtime::makeArbiter(
+        spec, {setupOf(1.0), setupOf(2.0), setupOf(0.0)});
+    const auto rows = concaveLane();
+    arb->gather(0, rows.data(), rows.size(), 12.0);
+    arb->gather(1, nullptr, 0, 12.0); // no exploration this interval
+    arb->gather(2, nullptr, 0, 0.0);  // dead lane, priority 0
+    arb->decide(0);
+    // The blind lane takes its priority-proportional share outright;
+    // the dead lane gets nothing; the sighted lane sweeps the rest.
+    EXPECT_DOUBLE_EQ(arb->capOf(1), 60.0 * 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(arb->capOf(2), 0.0);
+    EXPECT_GE(arb->capOf(0), 10.0);
+    EXPECT_LE(arb->capOf(0) + arb->capOf(1) + arb->capOf(2),
+              60.0 * (1.0 + 1e-9) + 1e-6);
+    // Blind lanes have no stated demand, so nothing counts throttled.
+    EXPECT_EQ(arb->throttledOf(1), 0.0);
+}
+
+TEST(Arbiter, DecideIsInvariantToGatherOrder)
+{
+    const auto run = [](bool reversed) {
+        ArbiterSpec spec;
+        spec.budget = CapSchedule(47.0);
+        spec.tiers = {{"a", 30.0}, {"b", 30.0}};
+        const auto arb = runtime::makeArbiter(
+            spec, {setupOf(1.0), setupOf(1.5), setupOf(0.5, 12.0)});
+        const auto r0 = concaveLane(1.0);
+        const auto r1 = concaveLane(0.8);
+        const auto r2 = concaveLane(1.2);
+        for (std::size_t i = 0; i < 3; ++i) {
+            if (reversed) {
+                arb->gather(2, r2.data(), r2.size(), 15.0);
+                arb->gather(1, r1.data(), r1.size(), 14.0);
+                arb->gather(0, r0.data(), r0.size(), 13.0);
+            } else {
+                arb->gather(0, r0.data(), r0.size(), 13.0);
+                arb->gather(1, r1.data(), r1.size(), 14.0);
+                arb->gather(2, r2.data(), r2.size(), 15.0);
+            }
+            arb->decide(i);
+        }
+        return std::vector<double>{arb->capOf(0), arb->capOf(1),
+                                   arb->capOf(2)};
+    };
+    // Lanes are disjoint SoA slots: the deposit order (= worker
+    // scheduling) must be invisible to the solve, bit for bit.
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Arbiter, ViolationsLatchOnlyOnMeasuredOvershoot)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule(30.0);
+    const auto arb =
+        runtime::makeArbiter(spec, {setupOf(), setupOf()});
+    const auto rows = concaveLane();
+    arb->gather(0, rows.data(), rows.size(), 20.0);
+    arb->gather(1, rows.data(), rows.size(), 20.0);
+    arb->decide(0); // measured 40 > 30: genuine overshoot
+    EXPECT_TRUE(arb->lastViolation());
+    arb->gather(0, rows.data(), rows.size(), 14.0);
+    arb->gather(1, rows.data(), rows.size(), 14.0);
+    arb->decide(1); // measured 28 <= 30: caps alone never latch
+    EXPECT_FALSE(arb->lastViolation());
+    EXPECT_EQ(arb->report().violation_intervals, 1u);
+}
+
+TEST(Arbiter, IterativeBaselineStepsReactively)
+{
+    ArbiterSpec spec;
+    spec.budget = CapSchedule(30.0);
+    spec.iterative = true;
+    const auto arb =
+        runtime::makeArbiter(spec, {setupOf(), setupOf()});
+    EXPECT_STREQ(arb->policyName(), "iterative");
+    const auto rows = concaveLane();
+    // Over budget: the initial proportional split (15 + 15) steps
+    // down by step_w every interval the measured sum stays high.
+    arb->gather(0, rows.data(), rows.size(), 20.0);
+    arb->gather(1, rows.data(), rows.size(), 20.0);
+    arb->decide(0);
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 13.0);
+    arb->gather(0, rows.data(), rows.size(), 20.0);
+    arb->gather(1, rows.data(), rows.size(), 20.0);
+    arb->decide(1);
+    EXPECT_DOUBLE_EQ(arb->capOf(0), 11.0);
+    // Comfortably under: caps claw back up, never past the budget.
+    for (std::size_t i = 2; i < 12; ++i) {
+        arb->gather(0, rows.data(), rows.size(), 5.0);
+        arb->gather(1, rows.data(), rows.size(), 5.0);
+        arb->decide(i);
+        EXPECT_LE(arb->capOf(0) + arb->capOf(1),
+                  30.0 * (1.0 + 1e-9) + 1e-6) << "interval " << i;
+    }
+    EXPECT_GT(arb->capOf(0), 11.0);
+}
+
+TEST(Arbiter, MakeArbiterBuildsTheRequestedPolicy)
+{
+    ArbiterSpec spec;
+    EXPECT_STREQ(runtime::makeArbiter(spec, {setupOf()})->policyName(),
+                 "single-pass");
+    spec.iterative = true;
+    EXPECT_STREQ(runtime::makeArbiter(spec, {setupOf()})->policyName(),
+                 "iterative");
+}
+
+// ---------------------------------------------------------------------------
+// Fleet level: the arbitrated lockstep drive.
+// ---------------------------------------------------------------------------
+
+std::vector<const workloads::Combination *>
+smallTrainingSet(std::size_t n = 8)
+{
+    std::vector<const workloads::Combination *> out;
+    for (const auto &c : workloads::allCombinations())
+        if (c.instances.size() == 1 && out.size() < n)
+            out.push_back(&c);
+    return out;
+}
+
+const std::string &
+cacheDir()
+{
+    static const std::string dir = [] {
+        const std::string d = ::testing::TempDir() +
+                              "ppep_arbiter_cache_" +
+                              std::to_string(::getpid());
+        std::filesystem::remove_all(d);
+        return d;
+    }();
+    return dir;
+}
+
+FleetSpec
+baseSpec(std::size_t n_sessions, std::size_t intervals = 8)
+{
+    static const std::vector<std::string> programs = {"EP", "CG",
+                                                      "458.sjeng"};
+    FleetSpec spec;
+    spec.cfg = sim::fx8320Config();
+    spec.training_seed = 91;
+    spec.training_combos = smallTrainingSet();
+    spec.store.emplace(cacheDir());
+    spec.warmup = 1;
+    spec.intervals = intervals;
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        FleetSessionSpec ss;
+        ss.seed = 7 + i;
+        ss.pg = (i % 2) == 0;
+        ss.one_per_cu = {programs[i % programs.size()]};
+        spec.sessions.push_back(std::move(ss));
+    }
+    return spec;
+}
+
+/** Uncapped fleet power, for calibrating budgets that actually bind. */
+double
+uncappedFleetWatts(std::size_t n_sessions)
+{
+    auto spec = baseSpec(n_sessions);
+    Fleet fleet(std::move(spec));
+    const auto res = fleet.run(1);
+    EXPECT_EQ(res.failed, 0u);
+    return res.mean_power_w * static_cast<double>(n_sessions);
+}
+
+TEST(ArbiterFleet, BitIdenticalAcrossThreadCounts)
+{
+    const double total_w = uncappedFleetWatts(5);
+    auto makeSpec = [&] {
+        auto spec = baseSpec(5, 10);
+        ArbiterSpec a;
+        a.budget = CapSchedule(
+            {{0, 1.1 * total_w}, {4, 0.75 * total_w}});
+        a.tiers = {{"rack0", 0.7 * total_w}, {"rack1", 0.7 * total_w}};
+        spec.arbiter = std::move(a);
+        spec.sessions[1].priority = 2.0;
+        spec.sessions[2].slo_floor_w = 8.0;
+        return spec;
+    };
+    Fleet fleet(makeSpec());
+    const auto serial = fleet.run(1);
+    ASSERT_EQ(serial.failed, 0u);
+    ASSERT_TRUE(serial.arbiter.active);
+    EXPECT_EQ(serial.arbiter.policy, "single-pass");
+    EXPECT_EQ(serial.arbiter.cap_sum_violations, 0u);
+    EXPECT_EQ(serial.arbiter.intervals, 10u);
+
+    for (std::size_t i = 1; i < serial.sessions.size(); ++i)
+        EXPECT_NE(serial.sessions[i].telemetry_digest,
+                  serial.sessions[0].telemetry_digest);
+
+    for (const std::size_t threads : {2, 8}) {
+        const auto parallel = fleet.run(threads);
+        ASSERT_EQ(parallel.failed, 0u) << threads << " threads";
+        for (std::size_t i = 0; i < serial.sessions.size(); ++i)
+            EXPECT_EQ(parallel.sessions[i].telemetry_digest,
+                      serial.sessions[i].telemetry_digest)
+                << "session " << i << " at " << threads << " threads";
+        EXPECT_EQ(parallel.arbiter.violation_intervals,
+                  serial.arbiter.violation_intervals);
+    }
+}
+
+TEST(ArbiterFleet, ObserverSeesEveryIntervalAndCapsHoldTheBudget)
+{
+    const double total_w = uncappedFleetWatts(4);
+    auto spec = baseSpec(4, 10);
+    ArbiterSpec a;
+    a.budget =
+        CapSchedule({{0, 1.1 * total_w}, {5, 0.8 * total_w}});
+    std::size_t calls = 0;
+    a.observer = [&](const runtime::ArbiterIntervalView &v) {
+        EXPECT_EQ(v.interval, calls);
+        EXPECT_EQ(v.n_sessions, 4u);
+        double cap_sum = 0.0;
+        for (std::size_t s = 0; s < v.n_sessions; ++s)
+            cap_sum += v.caps[s];
+        EXPECT_LE(cap_sum, v.next_budget_w * (1.0 + 1e-9) + 1e-6)
+            << "interval " << v.interval;
+        ++calls;
+    };
+    spec.arbiter = std::move(a);
+    Fleet fleet(std::move(spec));
+    const auto res = fleet.run(1);
+    ASSERT_EQ(res.failed, 0u);
+    EXPECT_EQ(calls, 10u);
+    EXPECT_EQ(res.arbiter.cap_sum_violations, 0u);
+    // Per-session allocation telemetry is populated under a finite
+    // budget.
+    for (const auto &s : res.sessions) {
+        EXPECT_GT(s.mean_cap_w, 0.0);
+        EXPECT_LT(s.final_cap_w, kHuge);
+        EXPECT_GE(s.mean_throttled_w, 0.0);
+    }
+}
+
+TEST(ArbiterFleet, SinglePassSettlesFasterThanIterativeBaseline)
+{
+    const double total_w = uncappedFleetWatts(4);
+    const std::size_t intervals = 18;
+    const std::size_t drop_at = 5;
+    auto makeSpec = [&](bool iterative) {
+        auto spec = baseSpec(4, intervals);
+        ArbiterSpec a;
+        a.budget = CapSchedule(
+            // The calibration mean is dominated by the high-power
+            // opening intervals; the fleet's steady-state draw is well
+            // below it, so the drop must go deep (0.55x) to actually
+            // bind post-drop.
+            {{0, 1.2 * total_w}, {drop_at, 0.55 * total_w}});
+        a.iterative = iterative;
+        spec.arbiter = std::move(a);
+        return spec;
+    };
+    const auto settleOf = [&](bool iterative) {
+        Fleet fleet(makeSpec(iterative));
+        const auto res = fleet.run(2);
+        EXPECT_EQ(res.failed, 0u);
+        EXPECT_EQ(res.arbiter.budget_drops, 1u);
+        // A drop that never re-settled within the run counts as the
+        // whole post-drop window.
+        if (res.arbiter.mean_settle_intervals == 0.0)
+            return static_cast<double>(intervals - drop_at);
+        return res.arbiter.mean_settle_intervals;
+    };
+    const double single_pass = settleOf(false);
+    const double iterative = settleOf(true);
+    // The Fig. 7 shape at fleet scale: the predictive solve lands the
+    // fleet under the lowered budget in about one interval; the
+    // reactive baseline needs its step-by-step search.
+    EXPECT_LE(single_pass, 2.0);
+    EXPECT_GE(iterative, 3.0);
+    EXPECT_GT(iterative, single_pass);
+}
+
+TEST(ArbiterFleet, RecordThenReplayReproducesArbitratedDigests)
+{
+    namespace fs = std::filesystem;
+    const std::string path = ::testing::TempDir() +
+                             "ppep_arbiter_replay_" +
+                             std::to_string(::getpid()) + ".trc";
+    fs::remove(path);
+    const double total_w = uncappedFleetWatts(3);
+    auto makeSpec = [&] {
+        auto spec = baseSpec(3, 10);
+        ArbiterSpec a;
+        a.budget = CapSchedule(
+            {{0, 1.1 * total_w}, {4, 0.8 * total_w}});
+        spec.arbiter = std::move(a);
+        return spec;
+    };
+    auto rec_spec = makeSpec();
+    rec_spec.record_path = path;
+    Fleet rec_fleet(std::move(rec_spec));
+    const auto rec = rec_fleet.run(2);
+    ASSERT_EQ(rec.failed, 0u);
+
+    auto rep_spec = makeSpec();
+    rep_spec.replay_path = path;
+    Fleet rep_fleet(std::move(rep_spec));
+    const auto rep = rep_fleet.run(2);
+    ASSERT_EQ(rep.failed, 0u);
+    for (std::size_t i = 0; i < rec.sessions.size(); ++i)
+        EXPECT_EQ(rep.sessions[i].telemetry_digest,
+                  rec.sessions[i].telemetry_digest)
+            << "session " << i;
+    EXPECT_EQ(rep.arbiter.violation_intervals,
+              rec.arbiter.violation_intervals);
+    fs::remove(path);
+}
+
+TEST(ArbiterFleet, TenantThrottledWattsSplitProportionally)
+{
+    const double total_w = uncappedFleetWatts(2);
+    auto spec = baseSpec(2, 10);
+    spec.sessions[0].one_per_cu.clear();
+    spec.sessions[0].tenants = {
+        {"alpha", {0, 1, 2, 3}, {{0, "EP", true}}},
+        {"beta", {4, 5, 6, 7}, {{4, "CG", true}}},
+    };
+    ArbiterSpec a;
+    a.budget = CapSchedule(0.7 * total_w); // binding from the start
+    spec.arbiter = std::move(a);
+    Fleet fleet(std::move(spec));
+    const auto res = fleet.run(1);
+    ASSERT_EQ(res.failed, 0u);
+    const auto &s = res.sessions[0];
+    ASSERT_EQ(s.summary.tenant_names.size(), 2u);
+    ASSERT_EQ(s.tenant_throttled_w.size(), 2u);
+    // The denied watts are attributed in proportion to each tenant's
+    // attributed power and jointly account for the session's total.
+    EXPECT_GE(s.tenant_throttled_w[0], 0.0);
+    EXPECT_GE(s.tenant_throttled_w[1], 0.0);
+    if (s.mean_throttled_w > 0.0) {
+        EXPECT_NEAR(s.tenant_throttled_w[0] + s.tenant_throttled_w[1],
+                    s.mean_throttled_w, 1e-9 + 1e-6 * s.mean_throttled_w);
+        const double p0 = s.summary.tenant_mean_power_w[0];
+        const double p1 = s.summary.tenant_mean_power_w[1];
+        if (p0 > 0.0 && p1 > 0.0)
+            EXPECT_NEAR(s.tenant_throttled_w[0] * p1,
+                        s.tenant_throttled_w[1] * p0,
+                        1e-6 * s.mean_throttled_w * (p0 + p1));
+    }
+}
+
+} // namespace

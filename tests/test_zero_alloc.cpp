@@ -24,6 +24,7 @@
 #include "ppep/governor/ppep_capping.hpp"
 #include "ppep/model/ppep.hpp"
 #include "ppep/model/trainer.hpp"
+#include "ppep/runtime/arbiter.hpp"
 #include "ppep/runtime/session.hpp"
 #include "ppep/runtime/telemetry.hpp"
 #include "ppep/runtime/tenant.hpp"
@@ -341,6 +342,56 @@ TEST(ZeroAlloc, RecalibratedSessionSteadyStateIntervalIsAllocationFree)
     EXPECT_EQ(g_news.load(std::memory_order_relaxed), setup)
         << "a warm governed interval on a recalibrated session "
            "allocated";
+}
+
+TEST(ZeroAlloc, ArbiterGatherDecideIsAllocationFreeOnceConfigured)
+{
+    // The fleet arbiter's whole hot path — depositing every session's
+    // per-VF exploration into the SoA lanes and solving the global
+    // allocation (hull build, sort, sweep, leftover split, hysteresis)
+    // — runs inside the fleet's barrier completion step every
+    // interval. configure() is the only allocating phase by contract.
+    runtime::ArbiterSpec spec;
+    spec.budget =
+        ppep::governor::CapSchedule({{0, 400.0}, {64, 280.0}});
+    spec.tiers = {{"rack0", 250.0}, {"rack1", 250.0}};
+    constexpr std::size_t kLanes = 16;
+    constexpr std::size_t kVf = 8;
+    std::vector<runtime::FleetArbiter::SessionSetup> setups(kLanes);
+    for (std::size_t s = 0; s < kLanes; ++s) {
+        setups[s].n_vf = kVf;
+        setups[s].priority = 1.0 + static_cast<double>(s % 3) * 0.5;
+        setups[s].slo_floor_w = 4.0;
+    }
+    const auto arb = runtime::makeArbiter(spec, setups);
+
+    std::vector<model::VfPrediction> rows(kLanes * kVf);
+    for (std::size_t s = 0; s < kLanes; ++s)
+        for (std::size_t k = 0; k < kVf; ++k) {
+            auto &r = rows[s * kVf + k];
+            r.chip_power_w = 8.0 + 3.0 * static_cast<double>(k) +
+                             0.1 * static_cast<double>(s);
+            r.total_ips = 1e9 * static_cast<double>(k + 1) /
+                          (1.0 + 0.1 * static_cast<double>(k));
+        }
+    const auto oneInterval = [&](std::size_t i) {
+        for (std::size_t s = 0; s < kLanes; ++s)
+            arb->gather(s, rows.data() + s * kVf,
+                        s % 5 == 4 ? 0 : kVf, // a blind lane too
+                        18.0 + static_cast<double>(s));
+        arb->decide(i);
+    };
+    for (std::size_t i = 0; i < 8; ++i) // warm (nothing to warm, but)
+        oneInterval(i);
+
+    for (std::size_t i = 0; i < 80; ++i) {
+        g_news.store(0, std::memory_order_relaxed);
+        g_counting.store(true, std::memory_order_relaxed);
+        oneInterval(8 + i); // crosses the budget drop at 64
+        g_counting.store(false, std::memory_order_relaxed);
+        EXPECT_EQ(g_news.load(std::memory_order_relaxed), 0u)
+            << "interval " << i;
+    }
 }
 
 TEST(ZeroAlloc, CountingHookIsLive)

@@ -1,0 +1,19 @@
+// lint-as: runtime/arbiter.cpp
+// A mutex in the arbiter's decide path: the fleet barrier already
+// serialises decide(), so a lock here is both redundant and a blocking
+// call on the warm-interval hot path. The hot-files rule must reject it.
+#include <mutex>
+
+namespace ppep::runtime {
+
+struct BadArbiter
+{
+    std::mutex caps_lock;
+
+    void decide()
+    {
+        const std::lock_guard<std::mutex> hold(caps_lock);
+    }
+};
+
+} // namespace ppep::runtime

@@ -14,6 +14,9 @@
  *   ppep fleet    --mix fx:6,phenom:2          heterogeneous fleet: one
  *                                              session per mix entry,
  *                                              each on its own platform
+ *   ppep fleet    --budget W [--tiers rack:2]  arbitrate a global watt
+ *                                              contract into per-session
+ *                                              caps every interval
  *
  * Common options:
  *   --platform fx8320|fx8320-boost|fx8320-nbdvfs|phenom2
@@ -24,10 +27,13 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ppep/governor/energy_explorer.hpp"
@@ -66,6 +72,12 @@ struct Options
     bool batched = false;
     std::string record_path;
     std::string replay_path;
+    double budget_w = 0.0; // 0 = no arbitration
+    std::string budget_drop;
+    std::string tiers;
+    std::string priority_csv;
+    double slo_floor_w = 0.0;
+    std::string arbiter_policy;
 };
 
 [[noreturn]] void
@@ -110,6 +122,21 @@ usage(int code)
         "        [--replay FILE]      govern from a recorded file with\n"
         "                             zero simulation; digests match\n"
         "                             the recording run bit for bit\n"
+        "        [--budget W]         arbitrate a global W-watt power\n"
+        "                             contract across the fleet: per-\n"
+        "                             session caps are re-solved from\n"
+        "                             the sessions' own per-VF power\n"
+        "                             predictions every interval\n"
+        "        [--budget-drop W@I]  lower the budget to W watts from\n"
+        "                             interval I on (Fig. 7-style step)\n"
+        "        [--tiers NAME:K]     split the budget evenly across K\n"
+        "                             named tiers (e.g. rack:2);\n"
+        "                             sessions are assigned round-robin\n"
+        "        [--priority CSV]     per-session arbitration weights,\n"
+        "                             cycled over the fleet (e.g. 2,1)\n"
+        "        [--slo-floor W]      never cap a session below W watts\n"
+        "        [--arbiter POLICY]   single-pass (default) or the\n"
+        "                             iterative reactive baseline\n"
         "\n"
         "options:\n"
         "  --platform fx8320|fx8320-boost|fx8320-nbdvfs|phenom2\n"
@@ -172,6 +199,24 @@ parse(int argc, char **argv)
             opt.record_path = next();
         else if (arg == "--replay")
             opt.replay_path = next();
+        else if (arg == "--budget") {
+            opt.budget_w = std::stod(next());
+            if (!(opt.budget_w > 0.0)) {
+                std::fprintf(stderr, "--budget wants a positive "
+                                     "watt value\n");
+                std::exit(1);
+            }
+        }
+        else if (arg == "--budget-drop")
+            opt.budget_drop = next();
+        else if (arg == "--tiers")
+            opt.tiers = next();
+        else if (arg == "--priority")
+            opt.priority_csv = next();
+        else if (arg == "--slo-floor")
+            opt.slo_floor_w = std::stod(next());
+        else if (arg == "--arbiter")
+            opt.arbiter_policy = next();
         else if (arg == "-h" || arg == "--help")
             usage(0);
         else {
@@ -583,6 +628,114 @@ cmdFleet(const Options &opt)
     spec.record_path = opt.record_path;
     spec.replay_path = opt.replay_path;
 
+    if (opt.budget_w <= 0.0 &&
+        (!opt.budget_drop.empty() || !opt.tiers.empty() ||
+         !opt.priority_csv.empty() || opt.slo_floor_w > 0.0 ||
+         !opt.arbiter_policy.empty())) {
+        std::fprintf(stderr, "fleet: --budget-drop/--tiers/--priority/"
+                             "--slo-floor/--arbiter require "
+                             "--budget W\n");
+        return 1;
+    }
+    if (opt.budget_w > 0.0) {
+        if (opt.batched) {
+            std::fprintf(stderr, "fleet: --budget is incompatible with "
+                                 "--batched (the arbitrated drive is "
+                                 "its own lockstep)\n");
+            return 1;
+        }
+        runtime::ArbiterSpec aspec;
+        std::vector<std::pair<std::size_t, double>> points = {
+            {0, opt.budget_w}};
+        if (!opt.budget_drop.empty()) {
+            const auto at = opt.budget_drop.find('@');
+            double drop_w = 0.0;
+            std::size_t drop_i = 0;
+            if (at != std::string::npos && at > 0 &&
+                at + 1 < opt.budget_drop.size()) {
+                drop_w = std::stod(opt.budget_drop.substr(0, at));
+                drop_i = std::stoul(opt.budget_drop.substr(at + 1));
+            }
+            if (drop_w <= 0.0 || drop_i == 0 ||
+                drop_i >= opt.intervals) {
+                std::fprintf(stderr,
+                             "fleet: bad --budget-drop '%s' (want "
+                             "W@I with W > 0 and 0 < I < "
+                             "--intervals)\n",
+                             opt.budget_drop.c_str());
+                return 1;
+            }
+            points.push_back({drop_i, drop_w});
+        }
+        aspec.budget =
+            ppep::governor::CapSchedule(std::move(points));
+        if (!opt.tiers.empty()) {
+            const auto colon = opt.tiers.find(':');
+            std::size_t n_tiers = 0;
+            if (colon != std::string::npos && colon > 0 &&
+                colon + 1 < opt.tiers.size())
+                n_tiers = std::stoul(opt.tiers.substr(colon + 1));
+            if (n_tiers == 0 || n_tiers > spec.sessions.size()) {
+                std::fprintf(stderr,
+                             "fleet: bad --tiers '%s' (want NAME:K "
+                             "with 0 < K <= sessions)\n",
+                             opt.tiers.c_str());
+                return 1;
+            }
+            const std::string name = opt.tiers.substr(0, colon);
+            for (std::size_t t = 0; t < n_tiers; ++t)
+                aspec.tiers.push_back(
+                    {name + std::to_string(t),
+                     opt.budget_w / static_cast<double>(n_tiers)});
+        }
+        if (!opt.arbiter_policy.empty() &&
+            opt.arbiter_policy != "single-pass" &&
+            opt.arbiter_policy != "iterative") {
+            std::fprintf(stderr,
+                         "fleet: unknown --arbiter '%s' (single-pass "
+                         "or iterative)\n",
+                         opt.arbiter_policy.c_str());
+            return 1;
+        }
+        aspec.iterative = opt.arbiter_policy == "iterative";
+        spec.arbiter = std::move(aspec);
+        if (!opt.priority_csv.empty()) {
+            std::vector<double> prio;
+            std::size_t pos = 0;
+            while (pos <= opt.priority_csv.size()) {
+                const auto comma = opt.priority_csv.find(',', pos);
+                const std::string tok = opt.priority_csv.substr(
+                    pos, comma == std::string::npos
+                             ? std::string::npos
+                             : comma - pos);
+                pos = comma == std::string::npos
+                          ? opt.priority_csv.size() + 1
+                          : comma + 1;
+                if (tok.empty()) {
+                    std::fprintf(stderr,
+                                 "fleet: empty entry in --priority "
+                                 "'%s'\n",
+                                 opt.priority_csv.c_str());
+                    return 1;
+                }
+                const double p = std::stod(tok);
+                if (p < 0.0) {
+                    std::fprintf(stderr,
+                                 "fleet: --priority weights must be "
+                                 ">= 0 (got %s)\n",
+                                 tok.c_str());
+                    return 1;
+                }
+                prio.push_back(p);
+            }
+            for (std::size_t i = 0; i < spec.sessions.size(); ++i)
+                spec.sessions[i].priority = prio[i % prio.size()];
+        }
+        if (opt.slo_floor_w > 0.0)
+            for (auto &ss : spec.sessions)
+                ss.slo_floor_w = opt.slo_floor_w;
+    }
+
     const std::size_t n_sessions = spec.sessions.size();
     runtime::Fleet fleet(std::move(spec));
     std::printf("training/loading models (seed %llu)...\n",
@@ -622,13 +775,53 @@ cmdFleet(const Options &opt)
         if (!s.completed || s.summary.tenant_names.empty())
             continue;
         std::printf("\nsession %s tenants:\n", s.name.c_str());
-        for (std::size_t i = 0; i < s.summary.tenant_names.size(); ++i)
-            std::printf("  %-10s %8.1f J  mean %6.2f W\n",
+        for (std::size_t i = 0; i < s.summary.tenant_names.size();
+             ++i) {
+            std::printf("  %-10s %8.1f J  mean %6.2f W",
                         s.summary.tenant_names[i].c_str(),
                         s.summary.tenant_energy_j[i],
                         s.summary.tenant_mean_power_w[i]);
+            if (i < s.tenant_throttled_w.size())
+                std::printf("  throttled %5.2f W",
+                            s.tenant_throttled_w[i]);
+            std::printf("\n");
+        }
         std::printf("  %-10s %8.1f J\n", "unowned",
                     s.summary.unattributed_energy_j);
+    }
+    if (res.arbiter.active) {
+        const auto &ar = res.arbiter;
+        std::printf("\narbitration (%s): final budget %.1f W, mean "
+                    "headroom %.1f W, mean decide %.1f us\n",
+                    ar.policy.c_str(), ar.final_budget_w,
+                    ar.mean_headroom_w, ar.mean_decide_s * 1e6);
+        std::printf("  violations %zu/%zu interval(s), infeasible "
+                    "%zu, cap-sum self-check failures %zu\n",
+                    ar.violation_intervals, ar.intervals,
+                    ar.infeasible_intervals, ar.cap_sum_violations);
+        if (ar.budget_drops > 0)
+            std::printf("  %zu budget drop(s), re-settled in %.1f "
+                        "interval(s) mean (max %zu)\n",
+                        ar.budget_drops, ar.mean_settle_intervals,
+                        ar.max_settle_intervals);
+        util::Table at("\nPer-session allocation:");
+        at.setHeader(
+            {"session", "priority", "mean cap W", "final cap W",
+             "throttled W"});
+        const auto &sessions = fleet.spec().sessions;
+        for (std::size_t i = 0; i < res.sessions.size(); ++i) {
+            const auto &s = res.sessions[i];
+            const bool capped =
+                s.final_cap_w < 0.5 * std::numeric_limits<double>::max();
+            at.addRow({s.name,
+                       util::Table::num(sessions[i].priority, 2),
+                       capped ? util::Table::num(s.mean_cap_w, 1)
+                              : "uncapped",
+                       capped ? util::Table::num(s.final_cap_w, 1)
+                              : "uncapped",
+                       util::Table::num(s.mean_throttled_w, 2)});
+        }
+        at.print(std::cout);
     }
     if (opt.recalibrate) {
         std::printf("\nrecalibration:\n");

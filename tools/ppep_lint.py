@@ -86,6 +86,7 @@ HOT_FILES = {
     "governor/coscale_lite.cpp", "governor/coscale_lite.hpp",
     "trace/collector.cpp", "trace/collector.hpp",
     "trace/replay.cpp", "trace/replay.hpp",
+    "runtime/arbiter.cpp", "runtime/arbiter.hpp",
     "runtime/sampler.cpp", "runtime/sampler.hpp",
     "runtime/health.cpp", "runtime/health.hpp",
     "sim/chip.cpp", "sim/chip.hpp",
