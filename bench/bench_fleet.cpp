@@ -646,6 +646,9 @@ main(int argc, char **argv)
             for (std::size_t s = 0; s < kLanes; ++s)
                 arb->gather(s, rows.data() + s * kVf, kVf,
                             10.0 + 0.1 * static_cast<double>(s));
+            // Single-threaded microbench: this loop IS the serial
+            // section decide() requires.
+            util::RoleGuard serial(runtime::kArbiterSerialRole);
             arb->decide(i);
         };
         for (std::size_t i = 0; i < 16; ++i) // warm

@@ -84,7 +84,9 @@ exploreBatch(const ExplorePlan &plan, const CoreObservation *obs,
         // exact operation sequence of predictAt() + splitScaled(): the
         // validity guard becomes a select, and the dynamic-power dot
         // product keeps rates-then-weights order and weight-order
-        // accumulation so results stay bit-identical.
+        // accumulation so results stay bit-identical. This TU is
+        // compiled with -ffp-contract=off (model/CMakeLists.txt) so FMA
+        // contraction cannot perturb the scalar/vector agreement.
 #pragma omp simd
         for (std::size_t vf = 0; vf < n_vf; ++vf) {
             const double cpi_t =

@@ -84,7 +84,8 @@ FleetArbiter::gather(std::size_t s, const model::VfPrediction *rows,
 }
 
 void
-FleetArbiter::decide(std::size_t interval) PPEP_NONBLOCKING
+FleetArbiter::decide(std::size_t interval)
+    PPEP_NONBLOCKING PPEP_REQUIRES(kArbiterSerialRole)
 {
     const double b_now = budget_.capAt(interval);
     // Caps installed now govern the *next* interval, exactly like a

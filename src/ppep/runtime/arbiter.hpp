@@ -40,8 +40,23 @@
 #include "ppep/governor/governor.hpp"
 #include "ppep/model/ppep.hpp"
 #include "ppep/util/annotations.hpp"
+#include "ppep/util/thread_annotations.hpp"
 
 namespace ppep::runtime {
+
+/**
+ * Phantom capability naming the fleet's barrier-serial section: the
+ * one-thread-at-a-time completion step of the interval barrier (or a
+ * test's single-threaded harness). FleetArbiter::decide() requires it,
+ * so — under the PPEP_THREAD_SAFETY build — decide() can only be
+ * called from a scope holding a util::RoleGuard on this role, i.e.
+ * from code that has explicitly claimed serial execution. The role is
+ * a pure annotation: claiming it never blocks and costs nothing, which
+ * is the point — the decide path must stay lock-free
+ * (PPEP_NONBLOCKING), and any real mutex added to it by accident is a
+ * -Werror=function-effects error, not an added capability.
+ */
+inline util::Role kArbiterSerialRole;
 
 /** One tier (rack, row, ...) with its own sub-budget. */
 struct ArbiterTierSpec
@@ -180,9 +195,12 @@ class FleetArbiter
      * govern interval @p interval + 1, exactly like a governor's
      * decide) and fold this interval's measured powers into the
      * violation/settle statistics. Serial, deterministic,
-     * allocation-free once configured. Clears the gather lanes.
+     * allocation-free once configured. Clears the gather lanes. Callers
+     * claim kArbiterSerialRole (via util::RoleGuard) to assert they sit
+     * in the barrier-serial section.
      */
-    void decide(std::size_t interval) PPEP_NONBLOCKING;
+    void decide(std::size_t interval)
+        PPEP_NONBLOCKING PPEP_REQUIRES(kArbiterSerialRole);
 
     /** Cap installed for session @p s by the latest decide(). */
     double capOf(std::size_t s) const PPEP_NONBLOCKING

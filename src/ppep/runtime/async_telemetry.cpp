@@ -23,9 +23,17 @@ AsyncTelemetrySink::~AsyncTelemetrySink()
 void
 AsyncTelemetrySink::onInterval(const IntervalTelemetry &t)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::UniqueLock lock(mu_);
     PPEP_ASSERT(!closed_, "onInterval() after close()");
-    producer_cv_.wait(lock, [this] { return size_ < ring_.size(); });
+    while (size_ >= ring_.size() && !closed_)
+        producer_cv_.wait(lock);
+    if (closed_) {
+        // close() woke us: the writer is (or will be) gone, so this
+        // interval could never drain. The single-producer contract says
+        // the owner must stop producing before closing — fail loudly
+        // rather than hang on a dead ring or drop the interval.
+        PPEP_FATAL("producer blocked in onInterval() across close()");
+    }
 
     // Deep-copy into the slot: the callback's pointers die when we
     // return, but the slot (and its re-pointed telemetry) stays valid
@@ -71,8 +79,9 @@ void
 AsyncTelemetrySink::writerLoop()
 {
     for (;;) {
-        std::unique_lock<std::mutex> lock(mu_);
-        writer_cv_.wait(lock, [this] { return size_ > 0 || stop_; });
+        util::UniqueLock lock(mu_);
+        while (size_ == 0 && !stop_)
+            writer_cv_.wait(lock);
         if (size_ == 0 && stop_)
             return;
         Slot &slot = ring_[head_];
@@ -97,8 +106,9 @@ AsyncTelemetrySink::writerLoop()
 void
 AsyncTelemetrySink::drain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    drained_cv_.wait(lock, [this] { return size_ == 0; });
+    util::UniqueLock lock(mu_);
+    while (size_ != 0)
+        drained_cv_.wait(lock);
 }
 
 void
@@ -119,12 +129,15 @@ void
 AsyncTelemetrySink::close()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         if (closed_)
             return;
         closed_ = true;
         stop_ = true;
         writer_cv_.notify_one();
+        // A producer blocked on a full ring must not sleep through the
+        // shutdown: wake it so it can fail loudly (see onInterval).
+        producer_cv_.notify_all();
     }
     if (writer_.joinable())
         writer_.join(); // writer drains the ring before exiting
@@ -146,21 +159,21 @@ AsyncTelemetrySink::error() const
 std::size_t
 AsyncTelemetrySink::maxDepth() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return max_depth_;
 }
 
 double
 AsyncTelemetrySink::encodeSeconds() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return encode_s_;
 }
 
 std::size_t
 AsyncTelemetrySink::encodedIntervals() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return encoded_count_;
 }
 

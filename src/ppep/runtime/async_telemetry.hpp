@@ -19,14 +19,13 @@
 #ifndef PPEP_RUNTIME_ASYNC_TELEMETRY_HPP
 #define PPEP_RUNTIME_ASYNC_TELEMETRY_HPP
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "ppep/runtime/telemetry.hpp"
 #include "ppep/runtime/tenant.hpp"
+#include "ppep/util/sync.hpp"
 
 namespace ppep::runtime {
 
@@ -51,33 +50,36 @@ class AsyncTelemetrySink : public TelemetrySink
     AsyncTelemetrySink(const AsyncTelemetrySink &) = delete;
     AsyncTelemetrySink &operator=(const AsyncTelemetrySink &) = delete;
 
-    /** Deep-copy the interval into the ring; blocks while full. */
-    void onInterval(const IntervalTelemetry &t) override;
+    /** Deep-copy the interval into the ring; blocks while full. A
+     *  producer still blocked here when close() lands dies loudly
+     *  (PPEP_FATAL) instead of hanging or losing the interval — see
+     *  the single-producer contract in the class comment. */
+    void onInterval(const IntervalTelemetry &t) override PPEP_EXCLUDES(mu_);
 
     /** Drain, then finish() the wrapped sink. */
-    void finish() override;
+    void finish() override PPEP_EXCLUDES(mu_);
 
     /** Drain, then flush() the wrapped sink (the durability point). */
-    void flush() override;
+    void flush() override PPEP_EXCLUDES(mu_);
 
     /** Drain, stop the writer thread, close() the wrapped sink.
      *  Idempotent; implied by destruction. */
-    void close() override;
+    void close() override PPEP_EXCLUDES(mu_);
 
     /** Wrapped sink's failure state (meaningful after a drain). */
     bool failed() const override;
     std::string error() const override;
 
     /** High-water mark of in-flight intervals (observability). */
-    std::size_t maxDepth() const;
+    std::size_t maxDepth() const PPEP_EXCLUDES(mu_);
 
     /** Cumulative wall time the writer thread spent inside the wrapped
      *  sink's onInterval() — i.e. encode + write cost moved off the
      *  governing thread (observability; bench_fleet reports it). */
-    double encodeSeconds() const;
+    double encodeSeconds() const PPEP_EXCLUDES(mu_);
 
     /** Intervals handed off to the wrapped sink so far. */
-    std::size_t encodedIntervals() const;
+    std::size_t encodedIntervals() const PPEP_EXCLUDES(mu_);
 
   private:
     /** One ring entry: the telemetry plus deep copies of everything it
@@ -96,24 +98,37 @@ class AsyncTelemetrySink : public TelemetrySink
         bool has_tenants = false;
     };
 
-    void writerLoop();
+    void writerLoop() PPEP_EXCLUDES(mu_);
     /** Blocks until every enqueued interval has been handed off. */
-    void drain();
+    void drain() PPEP_EXCLUDES(mu_);
 
     TelemetrySink &wrapped_;
+    /** The slots themselves are NOT guarded by mu_: ownership of
+     *  ring_[head_] transfers to the writer under the lock, which then
+     *  formats/writes it unlocked — the producer cannot reuse the slot
+     *  until size_ (guarded) drops below capacity, which only happens
+     *  when the writer re-takes mu_ after the hand-off. The vector
+     *  never resizes after construction. */
     std::vector<Slot> ring_;
 
-    mutable std::mutex mu_;
-    std::condition_variable producer_cv_;
-    std::condition_variable writer_cv_;
-    std::condition_variable drained_cv_;
-    std::size_t head_ = 0; ///< next slot the writer consumes
-    std::size_t size_ = 0; ///< slots in flight
-    std::size_t max_depth_ = 0;
-    double encode_s_ = 0.0;         ///< wrapped onInterval() wall time
-    std::size_t encoded_count_ = 0; ///< intervals handed off
-    bool stop_ = false;
-    bool closed_ = false;
+    mutable util::Mutex mu_;
+    /** Producer waits: size_ < ring_.size() || closed_. */
+    util::CondVar producer_cv_;
+    /** Writer waits: size_ > 0 || stop_. */
+    util::CondVar writer_cv_;
+    /** drain() waits: size_ == 0. */
+    util::CondVar drained_cv_;
+    /** Next slot the writer consumes. */
+    std::size_t head_ PPEP_GUARDED_BY(mu_) = 0;
+    /** Slots in flight. */
+    std::size_t size_ PPEP_GUARDED_BY(mu_) = 0;
+    std::size_t max_depth_ PPEP_GUARDED_BY(mu_) = 0;
+    /** Wrapped onInterval() wall time. */
+    double encode_s_ PPEP_GUARDED_BY(mu_) = 0.0;
+    /** Intervals handed off. */
+    std::size_t encoded_count_ PPEP_GUARDED_BY(mu_) = 0;
+    bool stop_ PPEP_GUARDED_BY(mu_) = false;
+    bool closed_ PPEP_GUARDED_BY(mu_) = false;
 
     std::thread writer_;
 };

@@ -483,6 +483,10 @@ Fleet::runArbitrated(std::size_t n_threads)
     // regions, like the telemetry hand-off.
     std::size_t interval = 0;
     auto arbitrate = [&]() noexcept {
+        // Claim the barrier-serial role: exactly one thread (the last
+        // to arrive) runs this completion step, which is what lets
+        // decide() stay lock-free yet race-free.
+        util::RoleGuard serial(kArbiterSerialRole);
         const auto d0 = clock::now();
         arbiter->decide(interval);
         arbiter->noteDecideSeconds(secondsSince(d0));

@@ -6,12 +6,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "ppep/model/serialization.hpp"
 #include "ppep/util/logging.hpp"
+#include "ppep/util/sync.hpp"
 
 namespace ppep::runtime {
 
@@ -64,24 +65,102 @@ mixVf(std::uint64_t h, const sim::VfState &vf)
 std::atomic<std::uint64_t> g_train_events{0};
 
 /**
- * One in-process lock per cache path. Concurrent trainOrLoad() calls
- * for the same key serialise on it: the first caller trains and
+ * Bounded registry of per-path locks. Concurrent trainOrLoad() calls
+ * for the same key serialise on one lock: the first caller trains and
  * publishes, later callers load the published file — exactly-once
  * training per key per process. Distinct keys proceed in parallel.
  * (Cross-process racers are still safe via write-then-rename; they may
  * train redundantly but never corrupt the cache.)
+ *
+ * Bounded because a long-lived fleet process touches a fresh path per
+ * (platform, seed, training-set) tuple: an unbounded map would grow for
+ * process lifetime. acquire() hands out shared_ptr handles and evicts
+ * cold entries only when the registry alone holds the reference
+ * (use_count() == 1), so an evicted path can never have a live holder —
+ * a re-acquire minting a fresh mutex while the old one is still locked
+ * would silently break per-path exclusion.
+ *
+ * Lock order (encoded with PPEP_EXCLUDES): the registry lock mu_ is
+ * always taken first and dropped before the per-path lock is taken;
+ * acquire() only returns a handle, it never locks it.
  */
-std::mutex &
-pathLock(const std::string &path)
+class PathLockRegistry
 {
-    static std::mutex registry_mu;
-    static std::unordered_map<std::string, std::unique_ptr<std::mutex>>
-        locks;
-    std::lock_guard<std::mutex> g(registry_mu);
-    auto &slot = locks[path];
-    if (!slot)
-        slot = std::make_unique<std::mutex>();
-    return *slot;
+  public:
+    /** Registry cap; live holders can push the size past it (eviction
+     *  never sacrifices exclusion), but idle entries stay below it. */
+    static constexpr std::size_t kCapacity = 64;
+
+    static PathLockRegistry &instance()
+    {
+        static PathLockRegistry reg;
+        return reg;
+    }
+
+    /**
+     * The lock handle for @p path. Hold the shared_ptr for the whole
+     * lock()..unlock() window: the live reference pins the entry
+     * against eviction, so every holder of one path shares one mutex.
+     */
+    std::shared_ptr<util::Mutex> acquire(const std::string &path)
+        PPEP_EXCLUDES(mu_)
+    {
+        util::MutexLock g(mu_);
+        const auto it = map_.find(path);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second.pos);
+            return it->second.lock;
+        }
+        evictIfFull();
+        lru_.push_front(path);
+        auto lock = std::make_shared<util::Mutex>();
+        map_.emplace(path, Entry{lock, lru_.begin()});
+        return lock;
+    }
+
+    /** Current entry count (test hook). */
+    std::size_t size() const PPEP_EXCLUDES(mu_)
+    {
+        util::MutexLock g(mu_);
+        return map_.size();
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<util::Mutex> lock;
+        std::list<std::string>::iterator pos;
+    };
+
+    void evictIfFull() PPEP_REQUIRES(mu_)
+    {
+        if (map_.size() < kCapacity)
+            return;
+        // Walk from the cold end and drop the first entry nobody
+        // holds (the registry's own reference is the use_count()==1).
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            const auto m = map_.find(*it);
+            if (m->second.lock.use_count() == 1) {
+                map_.erase(m);
+                lru_.erase(std::next(it).base());
+                return;
+            }
+        }
+        // Every entry has a live holder: more in-flight paths than the
+        // cap. Grow past it rather than break exclusion.
+    }
+
+    mutable util::Mutex mu_;
+    std::unordered_map<std::string, Entry> map_ PPEP_GUARDED_BY(mu_);
+    /** Eviction order, most recently used first. */
+    std::list<std::string> lru_ PPEP_GUARDED_BY(mu_);
+};
+
+/** The process-wide per-path lock handle for @p path. */
+std::shared_ptr<util::Mutex>
+pathLockFor(const std::string &path)
+{
+    return PathLockRegistry::instance().acquire(path);
 }
 
 } // namespace
@@ -276,7 +355,8 @@ ModelStore::trainOrLoad(
 {
     const ModelKey key = keyFor(cfg, seed, combos);
     const std::string path = pathFor(key);
-    std::lock_guard<std::mutex> lock(pathLock(path));
+    const auto path_mu = pathLockFor(path);
+    util::MutexLock lock(*path_mu);
     if (contains(key)) {
         if (was_cached)
             *was_cached = true;
@@ -306,7 +386,8 @@ ModelStore::appendLineage(const std::string &platform,
         PPEP_FATAL("cannot create model cache dir '", dir_,
                    "': ", ec.message());
     const std::string path = (fs::path(dir_) / "lineage.log").string();
-    std::lock_guard<std::mutex> lock(pathLock(path));
+    const auto path_mu = pathLockFor(path);
+    util::MutexLock lock(*path_mu);
     std::FILE *f = std::fopen(path.c_str(), "ae");
     if (!f)
         PPEP_FATAL("cannot open lineage journal '", path, "'");
@@ -332,7 +413,8 @@ std::vector<std::string>
 ModelStore::lineageLines() const
 {
     const std::string path = (fs::path(dir_) / "lineage.log").string();
-    std::lock_guard<std::mutex> lock(pathLock(path));
+    const auto path_mu = pathLockFor(path);
+    util::MutexLock lock(*path_mu);
     std::vector<std::string> out;
     std::FILE *f = std::fopen(path.c_str(), "re");
     if (!f)
@@ -356,6 +438,18 @@ std::uint64_t
 ModelStore::trainEvents()
 {
     return g_train_events.load();
+}
+
+std::size_t
+ModelStore::pathLockCount()
+{
+    return PathLockRegistry::instance().size();
+}
+
+std::size_t
+ModelStore::pathLockCapacity()
+{
+    return PathLockRegistry::kCapacity;
 }
 
 } // namespace ppep::runtime

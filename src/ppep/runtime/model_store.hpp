@@ -15,6 +15,7 @@
 #ifndef PPEP_RUNTIME_MODEL_STORE_HPP
 #define PPEP_RUNTIME_MODEL_STORE_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -132,6 +133,18 @@ class ModelStore
      * process — the train-once guarantee the concurrency tests assert.
      */
     static std::uint64_t trainEvents();
+
+    /**
+     * Process-wide count of entries in the per-path lock registry
+     * (test hook). The registry is bounded: idle entries are evicted
+     * LRU once pathLockCapacity() is reached, while entries with a
+     * live holder are never evicted (that would mint a second mutex
+     * for a path someone still has locked).
+     */
+    static std::size_t pathLockCount();
+
+    /** The registry's idle-entry cap. */
+    static std::size_t pathLockCapacity();
 
   private:
     std::string dir_;

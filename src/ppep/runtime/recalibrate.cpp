@@ -68,7 +68,7 @@ Recalibrator::Recalibrator(const sim::ChipConfig &cfg,
 Recalibrator::~Recalibrator()
 {
     {
-        std::lock_guard<std::mutex> lk(mutex_);
+        util::MutexLock lk(mutex_);
         quit_ = true;
     }
     cv_.notify_all();
@@ -149,7 +149,7 @@ Recalibrator::maybeTrigger(const trace::IntervalRecord &rec,
         return false;
 
     {
-        std::lock_guard<std::mutex> lk(mutex_);
+        util::MutexLock lk(mutex_);
         job_.rows.clear();
         job_.rows.reserve(ring_fill_);
         for (std::size_t i = 0; i < ring_fill_; ++i)
@@ -191,8 +191,9 @@ Recalibrator::adoptIfDue(std::uint64_t interval_index)
         // The determinism barrier: adoption happens at exactly
         // trigger + adopt_latency_intervals, so a slow worker delays
         // the wall clock, never the decision sequence.
-        std::unique_lock<std::mutex> lk(mutex_);
-        cv_.wait(lk, [this] { return result_ready_; });
+        util::UniqueLock lk(mutex_);
+        while (!result_ready_)
+            cv_.wait(lk);
         res = std::move(result_);
         result_ready_ = false;
     }
@@ -206,7 +207,7 @@ Recalibrator::adoptIfDue(std::uint64_t interval_index)
     // version to the worker for destruction off the governing path.
     if (grace_) {
         {
-            std::lock_guard<std::mutex> lk(mutex_);
+            util::MutexLock lk(mutex_);
             reclaim_.push_back(std::move(grace_));
         }
         cv_.notify_all();
@@ -235,10 +236,9 @@ Recalibrator::workerLoop()
         bool have_job = false;
         std::vector<std::unique_ptr<ModelVersion>> retired;
         {
-            std::unique_lock<std::mutex> lk(mutex_);
-            cv_.wait(lk, [this] {
-                return quit_ || job_ready_ || !reclaim_.empty();
-            });
+            util::UniqueLock lk(mutex_);
+            while (!(quit_ || job_ready_ || !reclaim_.empty()))
+                cv_.wait(lk);
             retired.swap(reclaim_);
             if (quit_)
                 return;
@@ -253,7 +253,7 @@ Recalibrator::workerLoop()
             continue;
         Result res = refit(job);
         {
-            std::lock_guard<std::mutex> lk(mutex_);
+            util::MutexLock lk(mutex_);
             result_ = std::move(res);
             result_ready_ = true;
         }

@@ -39,12 +39,10 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -54,6 +52,7 @@
 #include "ppep/sim/chip_config.hpp"
 #include "ppep/sim/events.hpp"
 #include "ppep/trace/interval.hpp"
+#include "ppep/util/sync.hpp"
 
 namespace ppep::runtime {
 
@@ -165,7 +164,7 @@ class Recalibrator
     Recalibrator(const Recalibrator &) = delete;
     Recalibrator &operator=(const Recalibrator &) = delete;
 
-    ~Recalibrator();
+    ~Recalibrator() PPEP_EXCLUDES(mutex_);
 
     /**
      * Record one completed interval into the ring. Allocation-free —
@@ -187,7 +186,7 @@ class Recalibrator
      */
     bool maybeTrigger(const trace::IntervalRecord &rec,
                       double divergence_ewma_w,
-                      std::uint64_t interval_index);
+                      std::uint64_t interval_index) PPEP_EXCLUDES(mutex_);
 
     /**
      * At exactly trigger + adopt_latency_intervals, resolve the
@@ -198,7 +197,8 @@ class Recalibrator
      * the determinism barrier. The retired version is handed to the
      * worker for reclamation, never freed here.
      */
-    const ModelVersion *adoptIfDue(std::uint64_t interval_index);
+    const ModelVersion *adoptIfDue(std::uint64_t interval_index)
+        PPEP_EXCLUDES(mutex_);
 
     /** The currently adopted version; nullptr while on generation 0. */
     const ModelVersion *current() const { return adopted_.get(); }
@@ -261,7 +261,7 @@ class Recalibrator
         RefitRecord record;
     };
 
-    void workerLoop();
+    void workerLoop() PPEP_EXCLUDES(mutex_);
     Result refit(const Job &job) const;
 
     const sim::ChipConfig cfg_;
@@ -271,6 +271,16 @@ class Recalibrator
     const RecalibrationPolicy policy_;
 
     // --- observer-thread state ----------------------------------------
+    // Deliberately NOT PPEP_GUARDED_BY anything: these fields are
+    // confined to the observer (governing) thread, which is the RCU
+    // reader side of the hot swap. The worker never touches them; the
+    // only cross-thread traffic is the mailbox below plus the pending_
+    // flag. adopted_/grace_ in particular hold the published model
+    // generations: readers dereference them lock-free between
+    // decisions, and retirement is deferred one grace period and then
+    // destructed on the worker via reclaim_. Annotating them with a
+    // mutex capability would force the warm decide path to take a lock
+    // it must not take (see DESIGN.md section 18).
     std::vector<RingRow> ring_;
     std::size_t ring_head_ = 0;
     std::size_t ring_fill_ = 0;
@@ -289,15 +299,18 @@ class Recalibrator
 
     // --- observer <-> worker hand-off ---------------------------------
     std::atomic<bool> pending_{false};
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool quit_ = false;
-    bool job_ready_ = false;
-    bool result_ready_ = false;
-    Job job_;
-    Result result_;
+    util::Mutex mutex_;
+    /** Worker waits: quit_ || job_ready_ || !reclaim_.empty().
+     *  Observer waits (in adoptIfDue): result_ready_. */
+    util::CondVar cv_;
+    bool quit_ PPEP_GUARDED_BY(mutex_) = false;
+    bool job_ready_ PPEP_GUARDED_BY(mutex_) = false;
+    bool result_ready_ PPEP_GUARDED_BY(mutex_) = false;
+    Job job_ PPEP_GUARDED_BY(mutex_);
+    Result result_ PPEP_GUARDED_BY(mutex_);
     /** Retired versions awaiting destruction on the worker. */
-    std::vector<std::unique_ptr<ModelVersion>> reclaim_;
+    std::vector<std::unique_ptr<ModelVersion>> reclaim_
+        PPEP_GUARDED_BY(mutex_);
     std::thread worker_;
 };
 

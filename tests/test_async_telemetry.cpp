@@ -1,0 +1,205 @@
+/**
+ * @file
+ * AsyncTelemetrySink unit tests, shutdown edges included: ordered
+ * drain under backlog, deep-copy integrity once the callback's
+ * pointers are gone, flush/finish as durability points, idempotent
+ * close, and the two loud-failure edges the annotations document —
+ * onInterval() after close() and a producer blocked across close().
+ * Runs under the concurrency label so the TSan job exercises the
+ * annotated invariants dynamically too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "ppep/runtime/async_telemetry.hpp"
+#include "ppep/runtime/telemetry.hpp"
+
+namespace {
+
+using namespace ppep;
+using runtime::AsyncTelemetrySink;
+using runtime::IntervalTelemetry;
+using runtime::TelemetrySink;
+
+/** Records what the writer thread hands it; optionally slow. The
+ *  wrapped sink is touched only from the writer thread (plus drained
+ *  finish/flush/close), so plain members suffice. */
+class CountingSink : public TelemetrySink
+{
+  public:
+    explicit CountingSink(std::chrono::microseconds delay = {})
+        : delay_(delay)
+    {
+    }
+
+    void onInterval(const IntervalTelemetry &t) override
+    {
+        if (delay_.count() > 0)
+            std::this_thread::sleep_for(delay_);
+        indices.push_back(t.index);
+        sensor_w.push_back(t.rec->sensor_power_w);
+        cu_vf0.push_back(t.cu_vf->empty() ? 0 : (*t.cu_vf)[0]);
+    }
+    void finish() override { ++finishes; }
+    void flush() override { ++flushes; }
+    void close() override { ++closes; }
+
+    std::vector<std::size_t> indices;
+    std::vector<double> sensor_w;
+    std::vector<std::size_t> cu_vf0;
+    int finishes = 0;
+    int flushes = 0;
+    int closes = 0;
+
+  private:
+    std::chrono::microseconds delay_;
+};
+
+/** Blocks inside onInterval() until released — pins the writer thread
+ *  so a test can force the producer against a full ring. */
+class GateSink : public TelemetrySink
+{
+  public:
+    void onInterval(const IntervalTelemetry &) override
+    {
+        entered.store(true);
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    std::atomic<bool> entered{false};
+    std::atomic<bool> release{false};
+};
+
+/** A minimal but pointer-complete telemetry row. The backing storage
+ *  lives in the fixture so the sink's deep copy is what keeps the data
+ *  alive — exactly the production contract. */
+struct Row
+{
+    trace::IntervalRecord rec;
+    std::vector<std::size_t> cu_vf;
+
+    IntervalTelemetry telemetry(std::size_t index)
+    {
+        rec.duration_s = 0.2;
+        rec.sensor_power_w = 10.0 + static_cast<double>(index);
+        cu_vf = {index % 4, (index + 1) % 4};
+        IntervalTelemetry t;
+        t.index = index;
+        t.time_s = 0.2 * static_cast<double>(index);
+        t.rec = &rec;
+        t.cu_vf = &cu_vf;
+        return t;
+    }
+};
+
+TEST(AsyncTelemetry, DrainsBacklogInOrderWithDeepCopies)
+{
+    CountingSink slow(std::chrono::microseconds(200));
+    {
+        AsyncTelemetrySink async(slow, 4);
+        for (std::size_t i = 0; i < 64; ++i) {
+            // One Row per iteration, dead before the writer gets there:
+            // only the slot's deep copy can serve the values.
+            Row row;
+            async.onInterval(row.telemetry(i));
+        }
+        async.finish();
+        EXPECT_EQ(slow.finishes, 1);
+        EXPECT_EQ(slow.indices.size(), 64u);
+        EXPECT_LE(async.maxDepth(), 4u);
+        EXPECT_EQ(async.encodedIntervals(), 64u);
+        EXPECT_GT(async.encodeSeconds(), 0.0);
+    }
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_EQ(slow.indices[i], i);
+        EXPECT_DOUBLE_EQ(slow.sensor_w[i], 10.0 + static_cast<double>(i));
+        EXPECT_EQ(slow.cu_vf0[i], i % 4);
+    }
+}
+
+TEST(AsyncTelemetry, DestructorDrainsAndCloses)
+{
+    CountingSink sink;
+    {
+        AsyncTelemetrySink async(sink, 8);
+        Row row;
+        for (std::size_t i = 0; i < 20; ++i)
+            async.onInterval(row.telemetry(i));
+        // No drain call: destruction alone must hand off all 20.
+    }
+    EXPECT_EQ(sink.indices.size(), 20u);
+    EXPECT_EQ(sink.closes, 1);
+}
+
+TEST(AsyncTelemetry, FlushIsADurabilityPoint)
+{
+    CountingSink slow(std::chrono::microseconds(100));
+    AsyncTelemetrySink async(slow, 4);
+    Row row;
+    for (std::size_t i = 0; i < 16; ++i)
+        async.onInterval(row.telemetry(i));
+    async.flush();
+    // Everything enqueued before flush() is in the wrapped sink now.
+    EXPECT_EQ(slow.indices.size(), 16u);
+    EXPECT_EQ(slow.flushes, 1);
+    async.close();
+    EXPECT_EQ(slow.closes, 1);
+}
+
+TEST(AsyncTelemetry, CloseIsIdempotent)
+{
+    CountingSink sink;
+    AsyncTelemetrySink async(sink, 4);
+    Row row;
+    async.onInterval(row.telemetry(0));
+    async.close();
+    async.close();
+    EXPECT_EQ(sink.indices.size(), 1u);
+    EXPECT_EQ(sink.closes, 1);
+}
+
+TEST(AsyncTelemetryDeath, OnIntervalAfterCloseDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    CountingSink sink;
+    AsyncTelemetrySink async(sink, 4);
+    async.close();
+    Row row;
+    EXPECT_DEATH(async.onInterval(row.telemetry(0)),
+                 "onInterval\\(\\) after close\\(\\)");
+}
+
+TEST(AsyncTelemetryDeath, ProducerBlockedAcrossCloseDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            GateSink gate;
+            AsyncTelemetrySink async(gate, 1);
+            std::thread producer([&] {
+                Row row;
+                // #0 occupies the writer (gated), #1 fills the one
+                // ring slot, #2 blocks on the full ring.
+                for (std::size_t i = 0; i < 3; ++i)
+                    async.onInterval(row.telemetry(i));
+            });
+            while (!gate.entered.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            // Give the producer time to reach the blocking wait.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+            async.close(); // wakes the blocked producer -> PPEP_FATAL
+            producer.join();
+        },
+        "blocked in onInterval\\(\\) across close\\(\\)");
+}
+
+} // namespace

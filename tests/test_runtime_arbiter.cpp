@@ -39,6 +39,15 @@ using ppep::governor::CapSchedule;
 
 constexpr double kHuge = 0.25 * std::numeric_limits<double>::max();
 
+/** Single-threaded harness stand-in for the fleet's barrier completion
+ *  step: claim the serial role decide() requires, then decide. */
+void
+decideSerial(FleetArbiter &arb, std::size_t interval)
+{
+    util::RoleGuard serial(runtime::kArbiterSerialRole);
+    arb.decide(interval);
+}
+
 // ---------------------------------------------------------------------------
 // Unit level: synthetic (power, throughput) tables fed straight into
 // the arbiters, no fleet underneath.
@@ -82,7 +91,7 @@ TEST(Arbiter, UnlimitedBudgetLeavesEveryLaneUncapped)
     const auto rows = concaveLane();
     arb->gather(0, rows.data(), rows.size(), 20.0);
     arb->gather(1, rows.data(), rows.size(), 20.0);
-    arb->decide(0);
+    decideSerial(*arb, 0);
     EXPECT_GT(arb->capOf(0), kHuge);
     EXPECT_GT(arb->capOf(1), kHuge);
     EXPECT_EQ(arb->throttledOf(0), 0.0);
@@ -100,7 +109,7 @@ TEST(Arbiter, WaterFillingGrantsHighestMarginalThroughputFirst)
     const auto weak = concaveLane(0.9); // same watts, less ips/W
     arb->gather(0, strong.data(), strong.size(), 12.0);
     arb->gather(1, weak.data(), weak.size(), 12.0);
-    arb->decide(0);
+    decideSerial(*arb, 0);
     // Base 10 + 10; the 4 W remainder buys exactly one hull step and
     // the steeper lane outbids the scaled-down one.
     EXPECT_DOUBLE_EQ(arb->capOf(0), 14.0);
@@ -119,7 +128,7 @@ TEST(Arbiter, PriorityWeightsBiasTheSweep)
     const auto rows = concaveLane();
     arb->gather(0, rows.data(), rows.size(), 12.0);
     arb->gather(1, rows.data(), rows.size(), 12.0);
-    arb->decide(0);
+    decideSerial(*arb, 0);
     // Identical tables: priority alone decides who gets the one
     // affordable step.
     EXPECT_DOUBLE_EQ(arb->capOf(0), 10.0);
@@ -135,7 +144,7 @@ TEST(Arbiter, SloFloorLiftsTheBaseAllocation)
     const auto rows = concaveLane();
     arb->gather(0, rows.data(), rows.size(), 12.0);
     arb->gather(1, rows.data(), rows.size(), 12.0);
-    arb->decide(0);
+    decideSerial(*arb, 0);
     EXPECT_GE(arb->capOf(0), 30.0);
     double sum = arb->capOf(0) + arb->capOf(1);
     EXPECT_LE(sum, 50.0 * (1.0 + 1e-9) + 1e-6);
@@ -150,7 +159,7 @@ TEST(Arbiter, InfeasibleFloorsScaleEveryCapProportionally)
     const auto rows = concaveLane();
     arb->gather(0, rows.data(), rows.size(), 12.0);
     arb->gather(1, rows.data(), rows.size(), 12.0);
-    arb->decide(0);
+    decideSerial(*arb, 0);
     // Floors alone want 80 W against a 60 W contract: everything
     // scales by 0.75 and the interval counts as infeasible.
     EXPECT_DOUBLE_EQ(arb->capOf(0), 30.0);
@@ -171,7 +180,7 @@ TEST(Arbiter, TierBudgetsConstrainTheirSessions)
     const auto rows = concaveLane();
     arb->gather(0, rows.data(), rows.size(), 12.0);
     arb->gather(1, rows.data(), rows.size(), 12.0);
-    arb->decide(0);
+    decideSerial(*arb, 0);
     // Lane 0's tier is exhausted at 20 W (base 10 + steps 4 + 6);
     // global headroom cannot leak into it, so the leftover all lands
     // on lane 1.
@@ -195,15 +204,15 @@ TEST(Arbiter, HysteresisSuppressesSmallRaisesButNeverLowering)
         arb->gather(1, weak.data(), weak.size(), 11.0);
     };
     feed();
-    arb->decide(0); // next budget 24 -> caps {14, 10}
+    decideSerial(*arb, 0); // next budget 24 -> caps {14, 10}
     EXPECT_DOUBLE_EQ(arb->capOf(0), 14.0);
     EXPECT_DOUBLE_EQ(arb->capOf(1), 10.0);
     feed();
-    arb->decide(1); // next budget 27: +1.5 W raises, under threshold
+    decideSerial(*arb, 1); // next budget 27: +1.5 W raises, under threshold
     EXPECT_DOUBLE_EQ(arb->capOf(0), 14.0);
     EXPECT_DOUBLE_EQ(arb->capOf(1), 10.0);
     feed();
-    arb->decide(2); // next budget 20: lowering always applies
+    decideSerial(*arb, 2); // next budget 20: lowering always applies
     EXPECT_DOUBLE_EQ(arb->capOf(0), 10.0);
     EXPECT_DOUBLE_EQ(arb->capOf(1), 10.0);
 }
@@ -218,7 +227,7 @@ TEST(Arbiter, BlindLanesFallBackToPriorityShare)
     arb->gather(0, rows.data(), rows.size(), 12.0);
     arb->gather(1, nullptr, 0, 12.0); // no exploration this interval
     arb->gather(2, nullptr, 0, 0.0);  // dead lane, priority 0
-    arb->decide(0);
+    decideSerial(*arb, 0);
     // The blind lane takes its priority-proportional share outright;
     // the dead lane gets nothing; the sighted lane sweeps the rest.
     EXPECT_DOUBLE_EQ(arb->capOf(1), 60.0 * 2.0 / 3.0);
@@ -251,7 +260,7 @@ TEST(Arbiter, DecideIsInvariantToGatherOrder)
                 arb->gather(1, r1.data(), r1.size(), 14.0);
                 arb->gather(2, r2.data(), r2.size(), 15.0);
             }
-            arb->decide(i);
+            decideSerial(*arb, i);
         }
         return std::vector<double>{arb->capOf(0), arb->capOf(1),
                                    arb->capOf(2)};
@@ -270,11 +279,11 @@ TEST(Arbiter, ViolationsLatchOnlyOnMeasuredOvershoot)
     const auto rows = concaveLane();
     arb->gather(0, rows.data(), rows.size(), 20.0);
     arb->gather(1, rows.data(), rows.size(), 20.0);
-    arb->decide(0); // measured 40 > 30: genuine overshoot
+    decideSerial(*arb, 0); // measured 40 > 30: genuine overshoot
     EXPECT_TRUE(arb->lastViolation());
     arb->gather(0, rows.data(), rows.size(), 14.0);
     arb->gather(1, rows.data(), rows.size(), 14.0);
-    arb->decide(1); // measured 28 <= 30: caps alone never latch
+    decideSerial(*arb, 1); // measured 28 <= 30: caps alone never latch
     EXPECT_FALSE(arb->lastViolation());
     EXPECT_EQ(arb->report().violation_intervals, 1u);
 }
@@ -292,17 +301,17 @@ TEST(Arbiter, IterativeBaselineStepsReactively)
     // down by step_w every interval the measured sum stays high.
     arb->gather(0, rows.data(), rows.size(), 20.0);
     arb->gather(1, rows.data(), rows.size(), 20.0);
-    arb->decide(0);
+    decideSerial(*arb, 0);
     EXPECT_DOUBLE_EQ(arb->capOf(0), 13.0);
     arb->gather(0, rows.data(), rows.size(), 20.0);
     arb->gather(1, rows.data(), rows.size(), 20.0);
-    arb->decide(1);
+    decideSerial(*arb, 1);
     EXPECT_DOUBLE_EQ(arb->capOf(0), 11.0);
     // Comfortably under: caps claw back up, never past the budget.
     for (std::size_t i = 2; i < 12; ++i) {
         arb->gather(0, rows.data(), rows.size(), 5.0);
         arb->gather(1, rows.data(), rows.size(), 5.0);
-        arb->decide(i);
+        decideSerial(*arb, i);
         EXPECT_LE(arb->capOf(0) + arb->capOf(1),
                   30.0 * (1.0 + 1e-9) + 1e-6) << "interval " << i;
     }

@@ -9,6 +9,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <string>
 #include <thread>
 
 #include "ppep/model/ppep.hpp"
@@ -285,6 +286,40 @@ TEST(ModelStore, ConcurrentMixedFleetTrainsEachConfigOnce)
     }
     EXPECT_NE(results[0].dynamic.weights(),
               results[2].dynamic.weights()); // FX vs Phenom
+}
+
+TEST(ModelStore, PathLockRegistryStaysBounded)
+{
+    const std::size_t cap = ModelStore::pathLockCapacity();
+    ASSERT_GT(cap, 0u);
+
+    // Touch far more distinct lock paths than the cap: every store's
+    // lineage journal locks its own path, and nobody holds a handle
+    // between calls, so idle entries must be evicted down to the cap.
+    for (std::size_t i = 0; i < cap * 3; ++i) {
+        const ModelStore store(
+            freshCacheDir("lockreg_" + std::to_string(i)));
+        (void)store.lineageLines();
+    }
+    EXPECT_LE(ModelStore::pathLockCount(), cap);
+    EXPECT_GE(ModelStore::pathLockCount(), 1u);
+
+    // Bounding must not sacrifice per-path exclusion: concurrent
+    // appends to one journal still serialise and lose no lines.
+    const ModelStore store(freshCacheDir("lockreg_exclusion"));
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kAppends = 8;
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        pool.emplace_back([&store, t] {
+            for (std::size_t i = 0; i < kAppends; ++i)
+                store.appendLineage("platform", 1,
+                                    t * kAppends + i, 0, 1, "test", i,
+                                    0.5, 1.0);
+        });
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(store.lineageLines().size(), kThreads * kAppends);
 }
 
 TEST(ModelStore, Fnv1aMatchesReferenceVectors)

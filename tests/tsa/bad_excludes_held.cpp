@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Thread-safety negative fixture: calling a PPEP_EXCLUDES(mu) function
+ * while holding mu MUST fail to compile under PPEP_THREAD_SAFETY —
+ * the callee takes the lock itself, so the call would self-deadlock.
+ * This is how the ModelStore registry -> path lock order is encoded.
+ */
+
+#include "ppep/util/sync.hpp"
+
+namespace {
+
+class Registry
+{
+  public:
+    void reenter() PPEP_EXCLUDES(mu_)
+    {
+        ppep::util::MutexLock g(mu_);
+        locked(); // BAD: locked() excludes mu_, which is held here.
+    }
+
+    void locked() PPEP_EXCLUDES(mu_)
+    {
+        ppep::util::MutexLock g(mu_);
+    }
+
+  private:
+    ppep::util::Mutex mu_;
+};
+
+} // namespace
+
+int
+main()
+{
+    Registry r;
+    r.reenter();
+    return 0;
+}

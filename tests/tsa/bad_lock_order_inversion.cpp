@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Thread-safety negative fixture: acquiring two mutexes against their
+ * declared PPEP_ACQUIRED_AFTER order MUST fail to compile under
+ * PPEP_THREAD_SAFETY (the ordering checks live behind
+ * -Wthread-safety-beta, which the option promotes to an error too).
+ */
+
+#include "ppep/util/sync.hpp"
+
+namespace {
+
+class TwoLocks
+{
+  public:
+    void wrongOrder() PPEP_EXCLUDES(first_, second_)
+    {
+        // BAD: second_ is declared acquired-after first_, so taking it
+        // first inverts the declared order.
+        ppep::util::MutexLock b(second_);
+        ppep::util::MutexLock a(first_);
+    }
+
+  private:
+    ppep::util::Mutex first_;
+    ppep::util::Mutex second_ PPEP_ACQUIRED_AFTER(first_);
+};
+
+} // namespace
+
+int
+main()
+{
+    TwoLocks t;
+    t.wrongOrder();
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Thread-safety negative fixture: calling a PPEP_REQUIRES function
+ * without holding the capability MUST fail to compile under
+ * PPEP_THREAD_SAFETY. This is the arbiter pattern — decide() requires
+ * the barrier-serial role, and a call site outside a RoleGuard scope
+ * is exactly the mistake being rejected here.
+ */
+
+#include "ppep/util/thread_annotations.hpp"
+
+namespace {
+
+ppep::util::Role serial_role;
+
+void
+serialOnly() PPEP_REQUIRES(serial_role)
+{
+}
+
+} // namespace
+
+int
+main()
+{
+    serialOnly(); // BAD: no RoleGuard on serial_role at this call site.
+    return 0;
+}

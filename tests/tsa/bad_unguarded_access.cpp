@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Thread-safety negative fixture: writing a PPEP_GUARDED_BY member
+ * without holding its mutex MUST fail to compile under
+ * PPEP_THREAD_SAFETY (-Werror=thread-safety). This is the canonical
+ * data race the analysis exists to reject.
+ */
+
+#include "ppep/util/sync.hpp"
+
+namespace {
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        ++n_; // BAD: n_ is guarded by mu_, which is not held here.
+    }
+
+  private:
+    ppep::util::Mutex mu_;
+    long n_ PPEP_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Thread-safety positive fixture: every locking idiom the runtime uses,
+ * written correctly — MUST compile cleanly with the PPEP_THREAD_SAFETY
+ * flags (-Werror=thread-safety -Werror=thread-safety-beta). If this
+ * fixture fails, the wrappers themselves (util/sync.hpp) regressed, not
+ * a caller.
+ */
+
+#include "ppep/util/sync.hpp"
+
+namespace {
+
+ppep::util::Role serial_role;
+
+/** The arbiter idiom: callable only from the barrier-serial section. */
+void
+serialOnly() PPEP_REQUIRES(serial_role)
+{
+}
+
+/** The mailbox idiom: guarded state, scoped locks, explicit CV wait
+ *  loops, an EXCLUDES public surface, and a REQUIRES helper. */
+class Mailbox
+{
+  public:
+    void post() PPEP_EXCLUDES(mu_)
+    {
+        {
+            ppep::util::MutexLock g(mu_);
+            bumpLocked();
+            ready_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /** Explicit wait loop — the only CV shape TSA can verify. */
+    int take() PPEP_EXCLUDES(mu_)
+    {
+        ppep::util::UniqueLock lk(mu_);
+        while (!ready_)
+            cv_.wait(lk);
+        ready_ = false;
+        return n_;
+    }
+
+    /** The unlock-work-relock shape of the telemetry writer. */
+    void dropAndRetake() PPEP_EXCLUDES(mu_)
+    {
+        ppep::util::UniqueLock lk(mu_);
+        ++n_;
+        lk.unlock();
+        serialish(); // unguarded work while the lock is dropped
+        lk.lock();
+        ++n_;
+    }
+
+    /** try_lock in an if-condition acquires only on the true branch. */
+    bool tryBump() PPEP_EXCLUDES(mu_)
+    {
+        if (mu_.try_lock()) {
+            ++n_;
+            mu_.unlock();
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    void bumpLocked() PPEP_REQUIRES(mu_) { ++n_; }
+
+    static void serialish()
+    {
+        ppep::util::RoleGuard serial(serial_role);
+        serialOnly();
+    }
+
+    ppep::util::Mutex mu_;
+    ppep::util::CondVar cv_;
+    int n_ PPEP_GUARDED_BY(mu_) = 0;
+    bool ready_ PPEP_GUARDED_BY(mu_) = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    Mailbox m;
+    m.post();
+    const int n = m.take();
+    m.dropAndRetake();
+    (void)m.tryBump();
+    return n == 0 ? 1 : 0;
+}

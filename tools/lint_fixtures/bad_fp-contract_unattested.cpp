@@ -1,0 +1,19 @@
+// lint-as: model/sweep_kernel.cpp
+// Fixture: a `#pragma omp simd` TU with no attestation comment about
+// pinning FP contraction must trip `fp-contract`.
+
+#include <cstddef>
+
+namespace ppep::model {
+
+double
+dot(const double *a, const double *b, std::size_t n)
+{
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace ppep::model

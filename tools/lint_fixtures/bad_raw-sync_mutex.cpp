@@ -1,0 +1,23 @@
+// lint-as: runtime/journal.cpp
+// Fixture: raw standard-library locking outside util/sync.hpp must trip
+// `raw-sync` — the primitive is invisible to Thread Safety Analysis.
+
+#include <mutex>
+
+namespace ppep::runtime {
+
+class Journal
+{
+  public:
+    void append(int v)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        last_ = v;
+    }
+
+  private:
+    std::mutex mu_;
+    int last_ = 0;
+};
+
+} // namespace ppep::runtime

@@ -1,0 +1,17 @@
+// lint-as: workloads/builder.cpp
+// Fixture: seeding from hardware entropy makes replays unreproducible —
+// std::random_device must trip `seed` anywhere in src/ppep.
+
+#include <cstdint>
+#include <random>
+
+namespace ppep::workloads {
+
+std::uint64_t
+freshSeed()
+{
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+} // namespace ppep::workloads

@@ -1,0 +1,19 @@
+// lint-as: runtime/telemetry.cpp
+// Fixture: a hash container in a determinism-digest file must trip
+// `unordered-iter` — iteration order varies across libstdc++ builds.
+
+#include <string>
+#include <unordered_map>
+
+namespace ppep::runtime {
+
+double
+totalPower(const std::unordered_map<std::string, double> &per_tenant)
+{
+    double sum = 0.0;
+    for (const auto &kv : per_tenant)
+        sum += kv.second;
+    return sum;
+}
+
+} // namespace ppep::runtime

@@ -1,0 +1,21 @@
+// lint-as: model/sweep_kernel.cpp
+// Fixture: the same vectorised loop, but the TU attests that its build
+// pins -ffp-contract=off — must be clean.
+
+#include <cstddef>
+
+namespace ppep::model {
+
+double
+dot(const double *a, const double *b, std::size_t n)
+{
+    double acc = 0.0;
+    // Compiled with -ffp-contract=off so this reduction matches the
+    // scalar reference bit-for-bit.
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace ppep::model

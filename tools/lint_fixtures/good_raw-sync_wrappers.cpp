@@ -1,0 +1,23 @@
+// lint-as: runtime/journal.cpp
+// Fixture: the capability-annotated wrappers are the sanctioned way to
+// lock — a file using util::Mutex / util::MutexLock must be clean.
+
+#include "ppep/util/sync.hpp"
+
+namespace ppep::runtime {
+
+class Journal
+{
+  public:
+    void append(int v) PPEP_EXCLUDES(mu_)
+    {
+        util::MutexLock lock(mu_);
+        last_ = v;
+    }
+
+  private:
+    util::Mutex mu_;
+    int last_ PPEP_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace ppep::runtime

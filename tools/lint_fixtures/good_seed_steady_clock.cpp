@@ -1,0 +1,16 @@
+// lint-as: runtime/sampler_timing.cpp
+// Fixture: steady_clock durations are measurement, not state — legal
+// even under the `seed` rule, which bans wall clocks and entropy seeds.
+
+#include <chrono>
+
+namespace ppep::runtime {
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}
+
+} // namespace ppep::runtime

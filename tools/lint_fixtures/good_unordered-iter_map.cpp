@@ -1,0 +1,19 @@
+// lint-as: runtime/telemetry.cpp
+// Fixture: std::map iterates in key order, so digests built from it are
+// reproducible — must be clean in a determinism-digest file.
+
+#include <map>
+#include <string>
+
+namespace ppep::runtime {
+
+double
+totalPower(const std::map<std::string, double> &per_tenant)
+{
+    double sum = 0.0;
+    for (const auto &kv : per_tenant)
+        sum += kv.second;
+    return sum;
+}
+
+} // namespace ppep::runtime

@@ -37,6 +37,34 @@ knows about:
                paper (Eq. / Sec. / Fig. / Obs. / Table reference), so
                the model code stays navigable against the source text.
 
+  raw-sync     std::mutex / std::condition_variable (and friends) are
+               banned in src/ppep outside util/sync.hpp: all locking
+               goes through the capability-annotated util::Mutex /
+               util::CondVar wrappers so the PPEP_THREAD_SAFETY build
+               can prove lock discipline. A raw primitive is invisible
+               to Thread Safety Analysis.
+
+  unordered-iter
+               std::unordered_{map,set} are banned in the files whose
+               output feeds the fleet determinism digest (telemetry,
+               arbiter, tenant attribution, trace export/replay): hash
+               iteration order varies across libstdc++ versions and
+               seeds, which breaks the bit-identical-at-any-thread-count
+               contract. Use std::map or a sorted vector.
+
+  fp-contract  every TU using `#pragma omp simd` must attest (in a
+               comment matching `ffp-contract=off` / `ffp-contract: off`)
+               that its build pins -ffp-contract=off, and the sibling
+               CMakeLists.txt must actually pin it: FMA contraction
+               makes vectorised and scalar sweeps disagree bitwise.
+
+  seed         std::random_device, srand(), time(nullptr)-style wall
+               clocks, and system_clock are banned in src/ppep: every
+               seed comes from the session/fleet spec so replays are
+               exact. steady_clock (latency telemetry) stays legal —
+               wall-clock durations are measured, never folded into
+               decisions or digests.
+
 Exit status 0 = clean, 1 = findings, 2 = usage error.
 Run `ppep_lint.py --self-test` to check the rules against the fixtures
 in tools/lint_fixtures/ (registered in ctest as test_ppep_lint).
@@ -111,10 +139,47 @@ ALLOC_RE = re.compile(r"(^|[^_\w.])(new\s+[A-Za-z_:]|malloc\s*\(|free\s*\()")
 HOT_BANNED_RE = re.compile(
     r"\b(std::mutex|std::shared_mutex|lock_guard|unique_lock|scoped_lock"
     r"|condition_variable|std::thread|std::cout|std::cerr|fprintf|printf"
-    r"|fopen|fstream|ofstream)\b")
+    r"|fopen|fstream|ofstream"
+    # The annotated wrappers block exactly like the primitives they wrap;
+    # a hot file must not acquire them either.
+    r"|util::Mutex|util::CondVar|MutexLock|UniqueLock)\b")
 HOT_BANNED_INCLUDE_RE = re.compile(
-    r"#include\s+<(iostream|fstream|sstream|mutex|thread"
-    r"|condition_variable|shared_mutex)>")
+    r"#include\s+(?:<(iostream|fstream|sstream|mutex|thread"
+    r"|condition_variable|shared_mutex)>"
+    r"|\"(ppep/util/sync\.hpp)\")")
+# The only file allowed to touch the raw standard-library primitives:
+# it defines the capability-annotated wrappers everything else uses.
+RAW_SYNC_ALLOWED = {"util/sync.hpp"}
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+RAW_SYNC_INCLUDE_RE = re.compile(
+    r"#include\s+<(mutex|condition_variable|shared_mutex)>")
+
+# Files whose iteration order feeds the fleet determinism digest (or the
+# exported artifacts hashed by it). Hash containers are banned here.
+DETERMINISM_FILES = {
+    "runtime/telemetry.cpp", "runtime/telemetry.hpp",
+    "runtime/async_telemetry.cpp", "runtime/async_telemetry.hpp",
+    "runtime/arbiter.cpp", "runtime/arbiter.hpp",
+    "runtime/tenant.cpp", "runtime/tenant.hpp",
+    "trace/export.cpp", "trace/export.hpp",
+    "trace/replay.cpp", "trace/replay.hpp",
+}
+UNORDERED_RE = re.compile(
+    r"\bstd::unordered_(map|set|multimap|multiset)\b"
+    r"|#include\s+<unordered_(map|set)>")
+
+OMP_SIMD_RE = re.compile(r"#pragma\s+omp\s+simd")
+# Matches the attestation comment ("compiled with -ffp-contract=off")
+# and the actual CMake flag, so one regex serves both sides of the check.
+FP_CONTRACT_OFF_RE = re.compile(r"ffp-contract[=:]?\s*off")
+
+SEED_RE = re.compile(
+    r"\b(std::random_device|srand\s*\(|system_clock"
+    r"|time\s*\(\s*(?:nullptr|NULL|0)\s*\))")
+
 ESCAPE_RE = re.compile(r"PPEP_RT_(WARMUP|OPAQUE)_BEGIN")
 ESCAPE_JUSTIFY_RE = re.compile(r"rt-escape:")
 NOLINT_RE = re.compile(r"NOLINT(NEXTLINE)?(\(([^)]*)\))?(.*)")
@@ -177,8 +242,9 @@ def check_hot_files(path: Path, rp: str, lines: list[str], out: list):
         line = strip_line_comment(raw)
         m = HOT_BANNED_INCLUDE_RE.search(line) or HOT_BANNED_RE.search(line)
         if m:
+            token = next((g for g in m.groups() if g), m.group(0))
             out.append(Finding(path, i, "hot-files",
-                               f"'{m.group(1)}' on the warm-interval hot "
+                               f"'{token}' on the warm-interval hot "
                                "path; blocking belongs behind the async "
                                "telemetry boundary"))
 
@@ -289,8 +355,73 @@ def check_model_docs(path: Path, rp: str, lines: list[str], out: list):
                                "equation it implements)"))
 
 
+def check_raw_sync(path: Path, rp: str, lines: list[str], out: list):
+    if rp in RAW_SYNC_ALLOWED:
+        return
+    for i, raw in enumerate(lines, 1):
+        line = strip_line_comment(raw)
+        m = RAW_SYNC_INCLUDE_RE.search(line) or RAW_SYNC_RE.search(line)
+        if m:
+            token = next((g for g in m.groups() if g), m.group(0))
+            out.append(Finding(path, i, "raw-sync",
+                               f"raw '{token}' outside util/sync.hpp; "
+                               "use the capability-annotated util::Mutex"
+                               " / util::CondVar wrappers so "
+                               "PPEP_THREAD_SAFETY can see the lock"))
+
+
+def check_unordered_iter(path: Path, rp: str, lines: list[str], out: list):
+    if rp not in DETERMINISM_FILES:
+        return
+    for i, raw in enumerate(lines, 1):
+        line = strip_line_comment(raw)
+        m = UNORDERED_RE.search(line)
+        if m:
+            out.append(Finding(path, i, "unordered-iter",
+                               "hash container on a determinism-digest "
+                               "path; iteration order is unspecified — "
+                               "use std::map or a sorted vector"))
+
+
+def check_fp_contract(path: Path, rp: str, lines: list[str], out: list):
+    simd_line = next((i for i, raw in enumerate(lines, 1)
+                      if OMP_SIMD_RE.search(raw)), None)
+    if simd_line is None:
+        return
+    # Attestation comment searched raw (it lives *in* comments), so no
+    # strip_line_comment here.
+    if not any(FP_CONTRACT_OFF_RE.search(raw) for raw in lines):
+        out.append(Finding(path, simd_line, "fp-contract",
+                           "TU uses `#pragma omp simd` but carries no "
+                           "`-ffp-contract=off` attestation comment; "
+                           "FMA contraction breaks bitwise determinism"))
+    # The comment can lie: the TU's own CMakeLists.txt must pin the flag.
+    # Fixtures (and any future out-of-tree lint targets) have no sibling
+    # CMakeLists.txt, so the build-side check only runs when one exists.
+    cmake = path.parent / "CMakeLists.txt"
+    if cmake.is_file() and not FP_CONTRACT_OFF_RE.search(
+            cmake.read_text(encoding="utf-8")):
+        out.append(Finding(path, simd_line, "fp-contract",
+                           f"`#pragma omp simd` here but {cmake.name} in "
+                           f"{rel(cmake.parent, path.parent.parent)} does "
+                           "not pin -ffp-contract=off"))
+
+
+def check_seed(path: Path, rp: str, lines: list[str], out: list):
+    for i, raw in enumerate(lines, 1):
+        line = strip_line_comment(raw)
+        m = SEED_RE.search(line)
+        if m:
+            out.append(Finding(path, i, "seed",
+                               f"'{m.group(1)}' is nondeterministic; "
+                               "seeds come from the session/fleet spec "
+                               "and time from steady_clock (durations "
+                               "only, never digested)"))
+
+
 RULES = [check_formatting, check_alloc, check_hot_files, check_rt_escape,
-         check_nolint, check_guards, check_model_docs]
+         check_nolint, check_guards, check_model_docs, check_raw_sync,
+         check_unordered_iter, check_fp_contract, check_seed]
 
 
 # --- driver ----------------------------------------------------------------
